@@ -1,0 +1,105 @@
+// E1 (Figure 1): the SDSS color-space distribution is highly non-uniform —
+// points cluster along loci, densities contrast by orders of magnitude,
+// and outliers exist. This bench prints occupancy statistics of the
+// synthetic catalog plus the 2-D projection histogram summary behind the
+// Figure 1 analog.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "geom/box.h"
+#include "linalg/pca.h"
+#include "sdss/catalog.h"
+
+namespace mds {
+namespace {
+
+void Run(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "E1 / Figure 1: color-space distribution",
+      "distribution is highly inhomogeneous; clustered along loci; outliers");
+
+  CatalogConfig config;
+  config.num_objects = options.n != 0 ? options.n
+                       : options.quick ? 100000
+                                       : 500000;
+  WallTimer timer;
+  Catalog cat = GenerateCatalog(config);
+  std::printf("generated %zu objects in %.2fs\n", cat.size(), timer.Seconds());
+
+  size_t counts[4] = {0, 0, 0, 0};
+  for (SpectralClass c : cat.classes) ++counts[static_cast<size_t>(c)];
+  std::printf("classes: stars=%zu galaxies=%zu quasars=%zu outliers=%zu\n",
+              counts[0], counts[1], counts[2], counts[3]);
+
+  // Occupancy of a 16^5 grid over the 5-D space.
+  Box bounds = Box::Bounding(cat.colors);
+  const int res = 16;
+  std::map<int64_t, uint64_t> cells;
+  for (size_t i = 0; i < cat.size(); ++i) {
+    const float* p = cat.colors.point(i);
+    int64_t cell = 0;
+    for (size_t j = 0; j < kNumBands; ++j) {
+      double t = (p[j] - bounds.lo(j)) / (bounds.hi(j) - bounds.lo(j));
+      cell = cell * res + std::min<int64_t>(res - 1, static_cast<int64_t>(t * res));
+    }
+    ++cells[cell];
+  }
+  std::vector<uint64_t> occ;
+  occ.reserve(cells.size());
+  for (const auto& [cell, count] : cells) occ.push_back(count);
+  std::sort(occ.begin(), occ.end());
+  const double total_cells = std::pow(res, kNumBands);
+  std::printf("grid 16^5: occupied cells %zu of %.0f (%.4f%%)\n", occ.size(),
+              total_cells, 100.0 * occ.size() / total_cells);
+  std::printf("occupancy: max=%llu median=%llu p99=%llu  uniform-expected=%.3f\n",
+              (unsigned long long)occ.back(),
+              (unsigned long long)occ[occ.size() / 2],
+              (unsigned long long)occ[occ.size() * 99 / 100],
+              cat.size() / total_cells);
+  std::printf("density contrast (max cell / uniform expectation): %.0fx\n",
+              occ.back() / (cat.size() / total_cells));
+
+  // Figure 1 is a 2-D projection; report the per-class separation of the
+  // first two principal components.
+  const size_t sample = std::min<size_t>(cat.size(), 50000);
+  Matrix data(sample, kNumBands);
+  for (size_t i = 0; i < sample; ++i) {
+    const float* p = cat.colors.point(i);
+    for (size_t j = 0; j < kNumBands; ++j) data(i, j) = p[j];
+  }
+  auto pca = Pca::Fit(data, 2);
+  if (pca.ok()) {
+    double mean[3][2] = {};
+    size_t cnt[3] = {};
+    double out[2];
+    for (size_t i = 0; i < sample; ++i) {
+      if (cat.classes[i] == SpectralClass::kOutlier) continue;
+      pca->TransformPoint(data.RowPtr(i), 2, out);
+      size_t c = static_cast<size_t>(cat.classes[i]);
+      mean[c][0] += out[0];
+      mean[c][1] += out[1];
+      ++cnt[c];
+    }
+    const char* names[3] = {"stars", "galaxies", "quasars"};
+    std::printf("2-D PCA projection class centroids (Figure 1 analog):\n");
+    for (int c = 0; c < 3; ++c) {
+      if (cnt[c] == 0) continue;
+      std::printf("  %-9s (%.3f, %.3f)\n", names[c], mean[c][0] / cnt[c],
+                  mean[c][1] / cnt[c]);
+    }
+    std::printf("variance captured by 2 PCs: %.1f%%\n",
+                100.0 * pca->ExplainedVarianceRatio(2));
+  }
+}
+
+}  // namespace
+}  // namespace mds
+
+int main(int argc, char** argv) {
+  mds::Run(mds::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E6 (§3.3): kd-tree k-nearest-neighbor search. The paper's boundary-point
+// region-growing algorithm examines only a local neighborhood of leaves;
+// this bench compares it against brute force and the classic best-first
+// descent for k in {1, 10, 100}, for query points on the data distribution
+// and in voids.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/knn.h"
+#include "sdss/catalog.h"
+
+namespace mds {
+namespace {
+
+struct MethodResult {
+  double ms_per_query = 0.0;
+  double leaves = 0.0;
+  double points = 0.0;
+};
+
+void Run(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "E6 / §3.3: k-nearest-neighbor search engines",
+      "boundary-point region growing answers exact k-NN touching only a "
+      "local neighborhood of kd-boxes (TOP(k-f) refinement per box)");
+
+  CatalogConfig config;
+  config.num_objects = options.n != 0 ? options.n
+                       : options.quick ? 200000
+                                       : 1000000;
+  Catalog cat = GenerateCatalog(config);
+  auto tree = KdTreeIndex::Build(&cat.colors);
+  MDS_CHECK(tree.ok());
+  KdKnnSearcher searcher(&*tree);
+  std::printf("N=%zu  leaves=%u\n", cat.colors.size(), tree->num_leaves());
+
+  Rng rng(7);
+  const int queries = options.quick ? 50 : 200;
+  // Query points: half drawn near catalog objects, half uniform in the
+  // bounding box (voids / outlier regions).
+  Box bounds = Box::Bounding(cat.colors);
+  std::vector<std::vector<double>> query_points;
+  for (int i = 0; i < queries; ++i) {
+    std::vector<double> q(kNumBands);
+    if (i % 2 == 0) {
+      uint64_t anchor = rng.NextBounded(cat.size());
+      for (size_t j = 0; j < kNumBands; ++j) {
+        q[j] = cat.colors.coord(anchor, j) + 0.02 * rng.NextGaussian();
+      }
+    } else {
+      for (size_t j = 0; j < kNumBands; ++j) {
+        q[j] = rng.NextUniform(bounds.lo(j), bounds.hi(j));
+      }
+    }
+    query_points.push_back(std::move(q));
+  }
+
+  std::printf("%-5s %-14s %-10s %-12s %-12s %-10s\n", "k", "method",
+              "ms/query", "leaves/q", "points/q", "exact");
+  for (size_t k : {1u, 10u, 100u}) {
+    // Ground truth once.
+    std::vector<std::vector<Neighbor>> truth;
+    MethodResult brute;
+    {
+      KnnStats stats;
+      WallTimer timer;
+      for (const auto& q : query_points) {
+        truth.push_back(searcher.BruteForce(q.data(), k, &stats));
+      }
+      brute.ms_per_query = timer.Millis() / queries;
+      brute.points = static_cast<double>(stats.points_examined) / queries;
+    }
+    std::printf("%-5zu %-14s %-10.3f %-12s %-12.0f %-10s\n", k, "brute-force",
+                brute.ms_per_query, "-", brute.points, "ref");
+
+    auto run = [&](const char* name, auto&& method) {
+      KnnStats stats;
+      bool exact = true;
+      WallTimer timer;
+      for (int i = 0; i < queries; ++i) {
+        auto result = method(query_points[i].data(), k, &stats);
+        for (size_t j = 0; j < result.size(); ++j) {
+          if (result[j].squared_distance != truth[i][j].squared_distance) {
+            exact = false;
+          }
+        }
+      }
+      double ms = timer.Millis() / queries;
+      std::printf("%-5zu %-14s %-10.3f %-12.1f %-12.0f %-10s\n", k, name, ms,
+                  static_cast<double>(stats.leaves_examined) / queries,
+                  static_cast<double>(stats.points_examined) / queries,
+                  exact ? "yes" : "NO");
+    };
+    run("best-first", [&](const double* q, size_t kk, KnnStats* s) {
+      return searcher.BestFirst(q, kk, s);
+    });
+    run("boundary-grow", [&](const double* q, size_t kk, KnnStats* s) {
+      return searcher.BoundaryGrow(q, kk, s);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace mds
+
+int main(int argc, char** argv) {
+  mds::Run(mds::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E12 (§4.2, Figures 9-10): spectral similarity search. 3000-sample
+// spectra are reduced to their first 5 Karhunen-Loeve components ("enough
+// to describe most of the physical characteristics"); nearest neighbors in
+// the feature space retrieve spectra of the same kind of object.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "spectra/similarity.h"
+#include "spectra/spectrum_generator.h"
+
+namespace mds {
+namespace {
+
+void Run(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "E12 / §4.2 Figures 9-10: spectral similarity search",
+      "5 principal components of 3000-sample spectra suffice; nearest "
+      "feature-space neighbors are spectra of the same object type");
+
+  SpectrumGrid grid;
+  grid.num_samples = options.quick ? 750 : 3000;  // the paper's resolution
+  SpectrumGenerator gen(grid);
+  Rng rng(7);
+
+  const size_t per_class = options.quick ? 100 : 300;
+  std::vector<std::vector<float>> archive;
+  std::vector<SpectrumClass> classes;
+  WallTimer gen_timer;
+  for (size_t c = 0; c < kNumSpectrumClasses; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      SpectrumParams p = gen.RandomParams(static_cast<SpectrumClass>(c), rng);
+      archive.push_back(gen.GenerateNoisy(p, 0.02, rng));
+      classes.push_back(p.cls);
+    }
+  }
+  std::printf("archive: %zu spectra x %zu samples (%.2fs to synthesize)\n",
+              archive.size(), grid.num_samples, gen_timer.Seconds());
+
+  // PCA training on a subset (the paper fits the KL basis on a sample).
+  std::vector<std::vector<float>> training(
+      archive.begin(), archive.begin() + archive.size() / 2);
+  WallTimer fit_timer;
+  auto space = SpectralFeatureSpace::Fit(training, 5);
+  MDS_CHECK(space.ok());
+  std::printf("KL transform fit: %.2fs; 5 components capture %.1f%% of "
+              "variance\n",
+              fit_timer.Seconds(), 100.0 * space->ExplainedVarianceRatio());
+
+  WallTimer index_timer;
+  auto search = SpectralSimilaritySearch::Build(&*space, archive);
+  MDS_CHECK(search.ok());
+  std::printf("feature index over %zu spectra built in %.2fs\n",
+              archive.size(), index_timer.Seconds());
+
+  // Precision@k of class retrieval for fresh query spectra.
+  const char* names[] = {"elliptical", "spiral", "starburst", "quasar"};
+  std::printf("%-12s %-8s %-8s %-8s\n", "query_class", "P@1", "P@5", "P@10");
+  const int queries = options.quick ? 20 : 50;
+  WallTimer query_timer;
+  uint64_t total_queries = 0;
+  for (size_t c = 0; c < kNumSpectrumClasses; ++c) {
+    uint64_t hits1 = 0, hits5 = 0, hits10 = 0;
+    for (int t = 0; t < queries; ++t) {
+      SpectrumParams p = gen.RandomParams(static_cast<SpectrumClass>(c), rng);
+      std::vector<float> query = gen.GenerateNoisy(p, 0.02, rng);
+      auto result = search->FindSimilar(query, 10);
+      ++total_queries;
+      for (size_t i = 0; i < result.size(); ++i) {
+        bool match = classes[result[i].id] == p.cls;
+        if (i < 1 && match) ++hits1;
+        if (i < 5 && match) ++hits5;
+        if (match) ++hits10;
+      }
+    }
+    std::printf("%-12s %-8.2f %-8.2f %-8.2f\n", names[c],
+                static_cast<double>(hits1) / queries,
+                static_cast<double>(hits5) / (5.0 * queries),
+                static_cast<double>(hits10) / (10.0 * queries));
+  }
+  std::printf("%.2f ms per similarity query (project + k-NN)\n",
+              query_timer.Millis() / total_queries);
+}
+
+}  // namespace
+}  // namespace mds
+
+int main(int argc, char** argv) {
+  mds::Run(mds::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

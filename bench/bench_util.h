@@ -1,0 +1,41 @@
+#ifndef MDS_BENCH_BENCH_UTIL_H_
+#define MDS_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/timer.h"
+
+namespace mds::bench {
+
+/// Common bench options. Every bench accepts:
+///   --quick      reduced problem sizes (used by smoke runs / CI)
+///   --n=<rows>   override the main table size
+struct BenchOptions {
+  bool quick = false;
+  uint64_t n = 0;  // 0 = bench default
+
+  static BenchOptions Parse(int argc, char** argv) {
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        options.quick = true;
+      } else if (std::strncmp(argv[i], "--n=", 4) == 0) {
+        options.n = std::strtoull(argv[i] + 4, nullptr, 10);
+      }
+    }
+    return options;
+  }
+};
+
+/// Section header in the output.
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+}
+
+}  // namespace mds::bench
+
+#endif  // MDS_BENCH_BENCH_UTIL_H_

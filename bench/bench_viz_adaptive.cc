@@ -1,0 +1,159 @@
+// E15 (§5, Figures 14-16): adaptive visualization. A scripted camera path
+// zooms into the dense region of the 3-PC projection and back out; per
+// step we report points delivered (must stay >= n), index fetches vs cache
+// hits (zoom-out must be served entirely from cache), kd-boxes in view
+// (>= 500), and the adaptive Delaunay level in use.
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/kdtree.h"
+#include "core/layered_grid.h"
+#include "core/voronoi_index.h"
+#include "linalg/pca.h"
+#include "sdss/catalog.h"
+#include "viz/app.h"
+#include "viz/producers.h"
+#include "viz/renderer.h"
+
+namespace mds {
+namespace {
+
+PointSet ProjectTo3D(const Catalog& cat) {
+  const size_t fit_sample = std::min<size_t>(cat.size(), 50000);
+  Matrix data(fit_sample, kNumBands);
+  for (size_t i = 0; i < fit_sample; ++i) {
+    const float* p = cat.colors.point(i);
+    for (size_t j = 0; j < kNumBands; ++j) data(i, j) = p[j];
+  }
+  auto pca = Pca::Fit(data, 3);
+  MDS_CHECK(pca.ok());
+  PointSet projected(3, 0);
+  projected.Reserve(cat.size());
+  double row[kNumBands], out[3];
+  for (size_t i = 0; i < cat.size(); ++i) {
+    const float* p = cat.colors.point(i);
+    for (size_t j = 0; j < kNumBands; ++j) row[j] = p[j];
+    pca->TransformPoint(row, 3, out);
+    projected.Append(out);
+  }
+  return projected;
+}
+
+/// Builds the 3-level adaptive Delaunay/Voronoi structure of §5.2 (1K /
+/// 10K / 100K samples, scaled by `scale`).
+std::vector<AdaptiveGraphLevel> BuildAdaptiveLevels(const PointSet& points,
+                                                    double scale) {
+  std::vector<AdaptiveGraphLevel> levels;
+  Rng volume_rng(13);
+  for (uint32_t nseed :
+       {static_cast<uint32_t>(1000 * scale), static_cast<uint32_t>(10000 * scale),
+        static_cast<uint32_t>(100000 * scale)}) {
+    VoronoiIndexConfig vc;
+    vc.num_seeds = std::max<uint32_t>(nseed, 16);
+    auto index = VoronoiIndex::Build(&points, vc);
+    MDS_CHECK(index.ok());
+    AdaptiveGraphLevel level;
+    level.seeds = PointSet(3, 0);
+    for (uint32_t s = 0; s < index->num_seeds(); ++s) {
+      level.seeds.Append(index->seeds().point(s));
+    }
+    const auto& graph = index->seed_graph();
+    for (uint32_t u = 0; u < graph.size(); ++u) {
+      for (uint32_t v : graph[u]) {
+        if (u < v) level.edges.emplace_back(u, v);
+      }
+    }
+    std::vector<double> volumes = index->EstimateCellVolumes(
+        std::min<uint64_t>(200000, points.size()), volume_rng);
+    level.seed_values.assign(volumes.begin(), volumes.end());
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+void Run(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "E15 / §5 Figures 14-16: adaptive visualization pipeline",
+      "LOD keeps >= n points (100K) and >= 500 kd-boxes in view; zoom-out "
+      "served from the plugin cache with zero database fetches; 3-level "
+      "adaptive Delaunay");
+
+  CatalogConfig config;
+  config.num_objects = options.n != 0 ? options.n
+                       : options.quick ? 300000
+                                       : 2000000;
+  Catalog cat = GenerateCatalog(config);
+  PointSet points = ProjectTo3D(cat);
+
+  WallTimer build_timer;
+  auto grid = LayeredGridIndex::Build(&points);
+  auto tree = KdTreeIndex::Build(&points);
+  MDS_CHECK(grid.ok());
+  MDS_CHECK(tree.ok());
+  auto levels = BuildAdaptiveLevels(points, options.quick ? 0.02 : 0.1);
+  std::printf("N=%zu; indexes + 3 adaptive levels built in %.1fs\n",
+              points.size(), build_timer.Seconds());
+
+  const uint64_t detail = options.quick ? 20000 : 100000;  // the paper's n
+  VisualizationApp app;
+  app.AddPipeline(std::make_unique<PointCloudProducer>(&*grid, false));
+  app.AddPipeline(std::make_unique<KdBoxProducer>(&*tree, 500, false));
+  app.AddPipeline(std::make_unique<DelaunayProducer>(levels, 500, false));
+  auto renderer = std::make_unique<PpmRenderer>(256, 256);
+  PpmRenderer* renderer_ptr = renderer.get();
+  app.SetConsumer(std::move(renderer));
+  MDS_CHECK(app.Start().ok());
+
+  auto* cloud = dynamic_cast<PointCloudProducer*>(app.producer(0));
+  auto* boxes = dynamic_cast<KdBoxProducer*>(app.producer(1));
+  auto* delaunay = dynamic_cast<DelaunayProducer*>(app.producer(2));
+
+  Camera camera = cloud->SuggestInitial();
+  camera.detail = detail;
+
+  // Zoom path: 6 steps in toward the dense center, then back out.
+  std::vector<Camera> path = {camera};
+  for (int i = 0; i < 6; ++i) path.push_back(ZoomCamera(path.back(), 0.55));
+  for (int i = 5; i >= 0; --i) path.push_back(path[i]);
+
+  std::printf("%-6s %-10s %-9s %-9s %-8s %-8s %-9s %-8s\n", "step",
+              "view_frac", "points", "boxes", "fetches", "hits", "dl_level",
+              "frame_ms");
+  double full_volume = path[0].view.Volume();
+  for (size_t step = 0; step < path.size(); ++step) {
+    WallTimer frame_timer;
+    app.SetCamera(path[step]);
+    auto report = app.DrainFrames();
+    double ms = frame_timer.Millis();
+    size_t pts = 0, bx = 0;
+    // Pull the last geometry via the producers directly for reporting.
+    auto pg = cloud->GetOutput();
+    auto bg = boxes->GetOutput();
+    if (pg != nullptr) pts = pg->points.size();
+    if (bg != nullptr) bx = bg->boxes.size();
+    std::printf("%-6zu %-10.3g %-9zu %-9zu %-8llu %-8llu %-9u %-8.1f\n", step,
+                path[step].view.Volume() / full_volume, pts, bx,
+                (unsigned long long)cloud->db_fetches(),
+                (unsigned long long)cloud->cache_hits(),
+                delaunay->last_level(), ms);
+    (void)report;
+  }
+  std::printf("fetch counter frozen during the zoom-out half => 'the cache "
+              "reduces time delay to zero' (§5.1)\n");
+  Status st = renderer_ptr->WritePpm("viz_final_frame.ppm");
+  std::printf("final frame: %s (coverage %.1f%%)\n",
+              st.ok() ? "viz_final_frame.ppm" : st.ToString().c_str(),
+              100.0 * renderer_ptr->CoverageFraction());
+  app.Stop();
+}
+
+}  // namespace
+}  // namespace mds
+
+int main(int argc, char** argv) {
+  mds::Run(mds::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

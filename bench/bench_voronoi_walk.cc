@@ -1,0 +1,115 @@
+// E8 (§3.4): point location by directed walk on the Delaunay graph takes
+// O(sqrt(Nseed)) steps on average. Sweep Nseed, measure mean walk steps
+// from a fixed start, and fit the growth exponent.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/voronoi_index.h"
+#include "sdss/catalog.h"
+
+namespace mds {
+namespace {
+
+void Run(const bench::BenchOptions& options) {
+  bench::PrintHeader(
+      "E8 / §3.4: directed walk point location",
+      "finding the containing Voronoi cell via a directed walk on the "
+      "Delaunay graph takes O(sqrt(Nseed)) steps on average");
+
+  CatalogConfig config;
+  config.num_objects = options.quick ? 100000 : 400000;
+  config.seed = 3;
+  Catalog cat = GenerateCatalog(config);
+
+  // 3-D projection (g, r, i) keeps exact Delaunay affordable across the
+  // whole Nseed sweep.
+  PointSet points(3, 0);
+  points.Reserve(cat.size());
+  for (size_t i = 0; i < cat.size(); ++i) {
+    const float* p = cat.colors.point(i);
+    float q[3] = {p[1], p[2], p[3]};
+    points.Append(q);
+  }
+
+  std::vector<uint32_t> seed_counts = options.quick
+                                          ? std::vector<uint32_t>{256, 1024}
+                                          : std::vector<uint32_t>{256, 1024,
+                                                                  4096, 16384};
+  Rng rng(17);
+  const int queries = options.quick ? 200 : 1000;
+
+  std::printf("%-8s %-10s %-12s %-12s %-10s %-10s\n", "Nseed", "steps(avg)",
+              "sqrt(Nseed)", "steps/sqrt", "exact%%", "us/locate");
+  std::vector<double> log_n, log_steps;
+  for (uint32_t nseed : seed_counts) {
+    VoronoiIndexConfig vc;
+    vc.num_seeds = nseed;
+    vc.graph_mode = VoronoiGraphMode::kExactDelaunay;
+    auto index = VoronoiIndex::Build(&points, vc);
+    if (!index.ok()) {
+      std::printf("%-8u build failed: %s\n", nseed,
+                  index.status().ToString().c_str());
+      continue;
+    }
+    Box bounds = Box::Bounding(points);
+    WalkStats stats;
+    uint64_t exact = 0;
+    WallTimer timer;
+    for (int t = 0; t < queries; ++t) {
+      double q[3];
+      if (t % 2 == 0) {
+        uint64_t anchor = rng.NextBounded(points.size());
+        for (int j = 0; j < 3; ++j) {
+          q[j] = points.coord(anchor, j) + 0.01 * rng.NextGaussian();
+        }
+      } else {
+        for (int j = 0; j < 3; ++j) {
+          q[j] = rng.NextUniform(bounds.lo(j), bounds.hi(j));
+        }
+      }
+      uint32_t start =
+          static_cast<uint32_t>(rng.NextBounded(index->num_seeds()));
+      uint32_t walked = index->WalkLocate(q, start, &stats);
+      double dw = SquaredDistance(q, index->seeds().point(walked), 3);
+      double de =
+          SquaredDistance(q, index->seeds().point(index->NearestSeed(q)), 3);
+      if (dw == de) ++exact;
+    }
+    double us = timer.Micros() / queries;
+    double steps = static_cast<double>(stats.steps) / queries;
+    double root = std::sqrt(static_cast<double>(index->num_seeds()));
+    std::printf("%-8u %-10.1f %-12.1f %-12.3f %-10.1f %-10.1f\n",
+                index->num_seeds(), steps, root, steps / root,
+                100.0 * exact / queries, us);
+    log_n.push_back(std::log(static_cast<double>(index->num_seeds())));
+    log_steps.push_back(std::log(std::max(steps, 1e-9)));
+  }
+  if (log_n.size() >= 2) {
+    // Least-squares slope of log(steps) vs log(Nseed).
+    double mx = 0, my = 0;
+    for (size_t i = 0; i < log_n.size(); ++i) {
+      mx += log_n[i];
+      my += log_steps[i];
+    }
+    mx /= log_n.size();
+    my /= log_n.size();
+    double num = 0, den = 0;
+    for (size_t i = 0; i < log_n.size(); ++i) {
+      num += (log_n[i] - mx) * (log_steps[i] - my);
+      den += (log_n[i] - mx) * (log_n[i] - mx);
+    }
+    std::printf("fitted growth exponent: steps ~ Nseed^%.2f "
+                "(paper: ~0.5)\n", num / den);
+  }
+}
+
+}  // namespace
+}  // namespace mds
+
+int main(int argc, char** argv) {
+  mds::Run(mds::bench::BenchOptions::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scenario: the §4.1 photometric-redshift pipeline, end to end.
+//
+// 1M galaxies with 5-band photometry; ~1% have spectroscopic redshifts
+// (the reference set). The k-NN local polynomial estimator assigns
+// redshifts to everything else; the mis-calibrated template-fitting
+// baseline shows why the paper's method halves the error. Also writes
+// `photoz_scatter.csv` with (true_z, knn_z, template_z) rows — the data
+// behind Figures 7 and 8.
+
+#include <cstdio>
+
+#include "common/timer.h"
+
+#include "photoz/knn_photoz.h"
+#include "photoz/template_fitting.h"
+#include "sdss/catalog.h"
+
+using namespace mds;
+
+int main() {
+  CatalogConfig config;
+  config.num_objects = 1000000;
+  config.seed = 41;
+  config.star_fraction = 0.0;
+  config.galaxy_fraction = 1.0;
+  config.quasar_fraction = 0.0;
+  Catalog catalog = GenerateCatalog(config);
+
+  ReferenceSplit split = SplitReferenceSet(catalog, 0.01, 42);
+  PointSet ref_colors(kNumBands, 0);
+  std::vector<float> ref_z;
+  for (uint64_t id : split.reference) {
+    ref_colors.Append(catalog.colors.point(id));
+    ref_z.push_back(catalog.redshifts[id]);
+  }
+  std::printf("catalog: %zu galaxies; reference set with spectro-z: %zu\n",
+              catalog.size(), ref_colors.size());
+
+  auto knn = KnnPhotoZEstimator::Build(&ref_colors, &ref_z);
+  auto tmpl = TemplateFittingEstimator::Build();
+  if (!knn.ok() || !tmpl.ok()) {
+    std::printf("estimator build failed\n");
+    return 1;
+  }
+
+  std::FILE* csv = std::fopen("photoz_scatter.csv", "w");
+  if (csv != nullptr) std::fprintf(csv, "true_z,knn_z,template_z\n");
+
+  PhotoZScorer knn_scorer, tmpl_scorer;
+  WallTimer timer;
+  uint64_t estimated = 0;
+  for (size_t idx = 0; idx < split.unknown.size(); idx += 40) {
+    uint64_t id = split.unknown[idx];
+    const float* colors = catalog.colors.point(id);
+    double knn_z = knn->Estimate(colors).redshift;
+    double tmpl_z = tmpl->Estimate(colors);
+    knn_scorer.Add(knn_z, catalog.redshifts[id]);
+    tmpl_scorer.Add(tmpl_z, catalog.redshifts[id]);
+    if (csv != nullptr && estimated < 20000) {
+      std::fprintf(csv, "%.4f,%.4f,%.4f\n", catalog.redshifts[id], knn_z,
+                   tmpl_z);
+    }
+    ++estimated;
+  }
+  double secs = timer.Seconds();
+  if (csv != nullptr) std::fclose(csv);
+
+  PhotoZEvaluation k = knn_scorer.Finish();
+  PhotoZEvaluation t = tmpl_scorer.Finish();
+  std::printf("estimated %llu objects in %.1fs (%.3f ms/object, both "
+              "methods)\n",
+              (unsigned long long)estimated, secs, 1e3 * secs / estimated);
+  std::printf("  template fitting : rms=%.4f bias=%+.4f   (Figure 7)\n",
+              t.rms_error, t.bias);
+  std::printf("  k-NN poly fit    : rms=%.4f bias=%+.4f   (Figure 8)\n",
+              k.rms_error, k.bias);
+  std::printf("  error reduction  : %.0f%% (paper: >50%%)\n",
+              100.0 * (1.0 - k.rms_error / t.rms_error));
+  std::printf("scatter data written to photoz_scatter.csv\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Quickstart: the 5-minute tour of the library.
+//
+// Generates a synthetic SDSS-like color catalog, builds the three spatial
+// indexes of the paper (layered grid, kd-tree, sampled Voronoi), and runs
+// one query of each kind:
+//   * an adaptive sample query ("give me ~1000 points of this box"),
+//   * a polyhedron query (a color-cut WHERE clause),
+//   * a k-nearest-neighbor search.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/kdtree.h"
+#include "core/knn.h"
+#include "core/layered_grid.h"
+#include "core/voronoi_index.h"
+#include "sdss/catalog.h"
+
+using namespace mds;
+
+int main() {
+  // 1. A 100K-object synthetic catalog (5 magnitudes per object).
+  CatalogConfig config;
+  config.num_objects = 100000;
+  config.seed = 2007;
+  Catalog catalog = GenerateCatalog(config);
+  std::printf("catalog: %zu objects in %zu-D magnitude space\n",
+              catalog.size(), catalog.colors.dim());
+
+  // 2. Index it three ways.
+  auto grid = LayeredGridIndex::Build(&catalog.colors);
+  auto tree = KdTreeIndex::Build(&catalog.colors);
+  VoronoiIndexConfig vc;
+  vc.num_seeds = 512;
+  auto voronoi = VoronoiIndex::Build(&catalog.colors, vc);
+  if (!grid.ok() || !tree.ok() || !voronoi.ok()) {
+    std::printf("index build failed\n");
+    return 1;
+  }
+  std::printf("indexes: grid %u layers | kd-tree %u leaves | voronoi %u cells\n",
+              grid->num_layers(), tree->num_leaves(), voronoi->num_seeds());
+
+  // 3. Adaptive sample query: ~1000 points of the central region,
+  //    following the underlying density (what the visualizer asks for).
+  Box region = grid->bounding_box();
+  for (size_t j = 0; j < region.dim(); ++j) {
+    double center = 0.5 * (region.lo(j) + region.hi(j));
+    double half = 0.25 * (region.hi(j) - region.lo(j));
+    region.set_lo(j, center - half);
+    region.set_hi(j, center + half);
+  }
+  std::vector<uint64_t> sample;
+  GridQueryStats grid_stats;
+  Status st = grid->SampleQuery(region, 1000, &sample, &grid_stats);
+  std::printf("sample query: %zu points (scanned %llu) -> %s\n", sample.size(),
+              (unsigned long long)grid_stats.points_scanned,
+              st.ToString().c_str());
+
+  // 4. Polyhedron query: "quasar candidates" — UV-excess color cuts, the
+  //    kind of WHERE clause in Figure 2. Halfspace = {x : n.x <= b}.
+  Polyhedron cuts(kNumBands);
+  // u - g < 0.6  (UV excess)
+  cuts.AddHalfspace({1, -1, 0, 0, 0}, 0.6);
+  // g - r < 0.5  (blue)
+  cuts.AddHalfspace({0, 1, -1, 0, 0}, 0.5);
+  // r < 20.5     (bright enough)
+  cuts.AddHalfspace({0, 0, 1, 0, 0}, 20.5);
+  std::vector<uint64_t> candidates;
+  KdQueryStats kd_stats;
+  tree->QueryPolyhedron(cuts, &candidates, &kd_stats);
+  size_t true_quasars = 0;
+  for (uint64_t id : candidates) {
+    if (catalog.classes[id] == SpectralClass::kQuasar) ++true_quasars;
+  }
+  std::printf(
+      "polyhedron query: %zu candidates (%zu true quasars, %.0f%% purity); "
+      "%llu/%u leaves ranged, %llu points tested\n",
+      candidates.size(), true_quasars,
+      candidates.empty() ? 0.0 : 100.0 * true_quasars / candidates.size(),
+      (unsigned long long)kd_stats.leaves_full, tree->num_leaves(),
+      (unsigned long long)kd_stats.points_tested);
+
+  // 5. k-NN: the 5 most similar objects to the first quasar, via the
+  //    paper's boundary-point region-growing search (§3.3).
+  for (uint64_t i = 0; i < catalog.size(); ++i) {
+    if (catalog.classes[i] != SpectralClass::kQuasar) continue;
+    KdKnnSearcher searcher(&*tree);
+    KnnStats knn_stats;
+    auto neighbors = searcher.BoundaryGrow(catalog.colors.point(i), 6,
+                                           &knn_stats);
+    std::printf("nearest neighbors of object %llu (a quasar):\n",
+                (unsigned long long)i);
+    const char* names[] = {"star", "galaxy", "quasar", "outlier"};
+    for (const Neighbor& n : neighbors) {
+      if (n.id == i) continue;  // itself
+      std::printf("  obj %-7llu dist=%.3f class=%s\n",
+                  (unsigned long long)n.id, std::sqrt(n.squared_distance),
+                  names[static_cast<int>(catalog.classes[n.id])]);
+    }
+    std::printf("  (examined %llu of %u leaves)\n",
+                (unsigned long long)knn_stats.leaves_examined,
+                tree->num_leaves());
+    break;
+  }
+
+  // 6. Voronoi point location by directed walk (§3.4).
+  double probe[kNumBands];
+  QuasarLocus(1.2, 0.0, probe);
+  WalkStats walk;
+  uint32_t cell = voronoi->WalkLocate(probe, 0, &walk);
+  std::printf("directed walk located cell %u in %llu steps (exact: %s)\n",
+              cell, (unsigned long long)walk.steps,
+              cell == voronoi->NearestSeed(probe) ? "yes" : "no");
+  return 0;
+}

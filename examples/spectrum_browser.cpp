@@ -1,0 +1,85 @@
+// Scenario: the §4.2 spectral similarity workflow (Figures 9-10).
+//
+// Synthesizes an archive of galaxy/quasar spectra (3000 samples each),
+// fits the Karhunen-Loeve transform, keeps 5 principal components, and
+// answers "show me objects like this one" queries through the same kd-tree
+// k-NN machinery the magnitude space uses. Finishes with the
+// simulation-matching exercise: recover physical parameters of an
+// "observed" spectrum from its closest synthetic match.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "spectra/similarity.h"
+#include "spectra/spectrum_generator.h"
+
+using namespace mds;
+
+int main() {
+  SpectrumGrid grid;  // 3000 samples, 3800..9200 Angstrom, like SDSS
+  SpectrumGenerator generator(grid);
+  Rng rng(2007);
+
+  const char* names[] = {"elliptical", "spiral", "starburst", "quasar"};
+  std::vector<std::vector<float>> archive;
+  std::vector<SpectrumParams> params;
+  for (size_t c = 0; c < kNumSpectrumClasses; ++c) {
+    for (int i = 0; i < 250; ++i) {
+      SpectrumParams p =
+          generator.RandomParams(static_cast<SpectrumClass>(c), rng);
+      archive.push_back(generator.GenerateNoisy(p, 0.02, rng));
+      params.push_back(p);
+    }
+  }
+  std::printf("archive: %zu spectra x %zu samples\n", archive.size(),
+              grid.num_samples);
+
+  std::vector<std::vector<float>> training(archive.begin(),
+                                           archive.begin() + 400);
+  auto space = SpectralFeatureSpace::Fit(training, 5);
+  if (!space.ok()) {
+    std::printf("KL fit failed: %s\n", space.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Karhunen-Loeve transform: 5 components carry %.1f%% of the "
+              "variance (indexing all %zu dimensions 'would be "
+              "prohibitive')\n",
+              100.0 * space->ExplainedVarianceRatio(), grid.num_samples);
+
+  auto search = SpectralSimilaritySearch::Build(&*space, archive);
+  if (!search.ok()) return 1;
+
+  // "The top figure is a typical elliptic galaxy..." — query with a fresh
+  // elliptical and a fresh quasar, print their most similar archive hits.
+  for (SpectrumClass cls : {SpectrumClass::kElliptical, SpectrumClass::kQuasar}) {
+    SpectrumParams truth = generator.RandomParams(cls, rng);
+    std::vector<float> query = generator.GenerateNoisy(truth, 0.02, rng);
+    auto hits = search->FindSimilar(query, 3);
+    std::printf("\nquery: %s (z=%.2f age=%.2f)\n",
+                names[static_cast<int>(cls)], truth.redshift, truth.age);
+    for (const Neighbor& h : hits) {
+      const SpectrumParams& m = params[h.id];
+      std::printf("  match #%llu: %s z=%.2f age=%.2f  (feature dist %.3f)\n",
+                  (unsigned long long)h.id, names[static_cast<int>(m.cls)],
+                  m.redshift, m.age, std::sqrt(h.squared_distance));
+    }
+  }
+
+  // Reverse engineering via simulations: average parameter recovery error
+  // over 50 noisy observations.
+  double dz = 0.0, dage = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    SpectrumParams truth = generator.RandomParams(
+        static_cast<SpectrumClass>(t % kNumSpectrumClasses), rng);
+    std::vector<float> observed = generator.GenerateNoisy(truth, 0.03, rng);
+    auto hits = search->FindSimilar(observed, 1);
+    dz += std::abs(params[hits[0].id].redshift - truth.redshift);
+    dage += std::abs(params[hits[0].id].age - truth.age);
+  }
+  std::printf("\nsimulation matching over %d observations: |dz|=%.3f "
+              "|dage|=%.2f\n",
+              trials, dz / trials, dage / trials);
+  return 0;
+}

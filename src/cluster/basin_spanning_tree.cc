@@ -1,0 +1,105 @@
+#include "cluster/basin_spanning_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mds {
+
+Result<BasinSpanningTree> BuildBasinSpanningTree(
+    const std::vector<std::vector<uint32_t>>& graph,
+    const std::vector<double>& density) {
+  const size_t n = graph.size();
+  if (density.size() != n) {
+    return Status::InvalidArgument(
+        "BuildBasinSpanningTree: graph/density size mismatch");
+  }
+  BasinSpanningTree bst;
+  bst.parent.resize(n);
+  // Total order (density desc, id asc) keeps the gradient process acyclic
+  // even on density plateaus.
+  auto denser = [&](uint32_t a, uint32_t b) {
+    if (density[a] != density[b]) return density[a] > density[b];
+    return a < b;
+  };
+  for (uint32_t c = 0; c < n; ++c) {
+    uint32_t best = c;
+    for (uint32_t nb : graph[c]) {
+      if (nb >= n) {
+        return Status::InvalidArgument(
+            "BuildBasinSpanningTree: neighbor id out of range");
+      }
+      if (denser(nb, best)) best = nb;
+    }
+    bst.parent[c] = best;
+  }
+  // Resolve each cell to its peak with path compression.
+  bst.cluster.assign(n, ~uint32_t{0});
+  std::vector<uint32_t> path;
+  std::unordered_map<uint32_t, uint32_t> peak_ids;
+  for (uint32_t c = 0; c < n; ++c) {
+    if (bst.cluster[c] != ~uint32_t{0}) continue;
+    path.clear();
+    uint32_t cur = c;
+    while (bst.parent[cur] != cur && bst.cluster[cur] == ~uint32_t{0}) {
+      path.push_back(cur);
+      cur = bst.parent[cur];
+    }
+    uint32_t cluster_id;
+    if (bst.cluster[cur] != ~uint32_t{0}) {
+      cluster_id = bst.cluster[cur];
+    } else {
+      // `cur` is a peak.
+      auto [it, inserted] =
+          peak_ids.emplace(cur, static_cast<uint32_t>(bst.peaks.size()));
+      if (inserted) bst.peaks.push_back(cur);
+      cluster_id = it->second;
+      bst.cluster[cur] = cluster_id;
+    }
+    for (uint32_t node : path) bst.cluster[node] = cluster_id;
+  }
+  return bst;
+}
+
+Result<ClusterClassification> EvaluateClusterClassification(
+    const std::vector<uint32_t>& point_cluster,
+    const std::vector<uint32_t>& point_label, uint32_t num_clusters) {
+  if (point_cluster.size() != point_label.size()) {
+    return Status::InvalidArgument(
+        "EvaluateClusterClassification: size mismatch");
+  }
+  uint32_t max_label = 0;
+  for (uint32_t l : point_label) max_label = std::max(max_label, l);
+  // counts[cluster][label]
+  std::vector<std::vector<uint64_t>> counts(
+      num_clusters, std::vector<uint64_t>(max_label + 1, 0));
+  for (size_t i = 0; i < point_cluster.size(); ++i) {
+    if (point_cluster[i] >= num_clusters) {
+      return Status::InvalidArgument(
+          "EvaluateClusterClassification: cluster id out of range");
+    }
+    ++counts[point_cluster[i]][point_label[i]];
+  }
+  ClusterClassification eval;
+  eval.num_clusters = num_clusters;
+  eval.cluster_label.resize(num_clusters, 0);
+  uint64_t correct = 0;
+  for (uint32_t c = 0; c < num_clusters; ++c) {
+    uint64_t best = 0;
+    uint32_t best_label = 0;
+    for (uint32_t l = 0; l <= max_label; ++l) {
+      if (counts[c][l] > best) {
+        best = counts[c][l];
+        best_label = l;
+      }
+    }
+    eval.cluster_label[c] = best_label;
+    correct += best;
+  }
+  eval.accuracy = point_cluster.empty()
+                      ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(point_cluster.size());
+  return eval;
+}
+
+}  // namespace mds

@@ -1,0 +1,54 @@
+#ifndef MDS_CLUSTER_BASIN_SPANNING_TREE_H_
+#define MDS_CLUSTER_BASIN_SPANNING_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mds {
+
+/// Basin spanning tree clustering (§4, Figure 6) over a cell graph.
+///
+/// Every cell links to its densest neighbor when that neighbor is denser
+/// than itself ("connected each cell to one neighbor, the one with the
+/// largest density"); cells denser than all neighbors are density peaks.
+/// Following the links as a gradient process partitions the cells into
+/// basins — one cluster per peak.
+struct BasinSpanningTree {
+  /// Parent cell in the tree; parent[c] == c for density peaks.
+  std::vector<uint32_t> parent;
+  /// Cluster id per cell: the index of the peak the cell drains to.
+  std::vector<uint32_t> cluster;
+  /// Peak cell per cluster id.
+  std::vector<uint32_t> peaks;
+
+  uint32_t num_clusters() const { return static_cast<uint32_t>(peaks.size()); }
+};
+
+/// Builds the BST from a symmetric adjacency graph (e.g. a Voronoi seed
+/// graph) and per-cell densities (e.g. inverse cell volumes). Fails if the
+/// sizes disagree.
+Result<BasinSpanningTree> BuildBasinSpanningTree(
+    const std::vector<std::vector<uint32_t>>& graph,
+    const std::vector<double>& density);
+
+/// Majority-vote evaluation of an unsupervised clustering against ground
+/// truth labels: each cluster is assigned its most frequent true label and
+/// accuracy is the fraction of points whose label matches their cluster's
+/// majority — the paper's "92% of objects were classified correctly"
+/// metric.
+struct ClusterClassification {
+  double accuracy = 0.0;
+  uint32_t num_clusters = 0;
+  /// Majority true label per cluster id.
+  std::vector<uint32_t> cluster_label;
+};
+
+Result<ClusterClassification> EvaluateClusterClassification(
+    const std::vector<uint32_t>& point_cluster,
+    const std::vector<uint32_t>& point_label, uint32_t num_clusters);
+
+}  // namespace mds
+
+#endif  // MDS_CLUSTER_BASIN_SPANNING_TREE_H_

@@ -1,0 +1,93 @@
+#include "cluster/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/knn.h"
+
+namespace mds {
+
+Result<KnnOutlierDetector> KnnOutlierDetector::Build(const PointSet* points,
+                                                     size_t k) {
+  if (k == 0 || points->size() <= k) {
+    return Status::InvalidArgument(
+        "KnnOutlierDetector: need more points than k");
+  }
+  KnnOutlierDetector detector;
+  detector.points_ = points;
+  detector.k_ = k;
+  MDS_ASSIGN_OR_RETURN(KdTreeIndex tree,
+                       KdTreeIndex::Build(points, KdTreeConfig{}));
+  detector.tree_ = std::make_unique<KdTreeIndex>(std::move(tree));
+  return detector;
+}
+
+double KnnOutlierDetector::Score(const double* p) const {
+  KdKnnSearcher searcher(tree_.get());
+  std::vector<Neighbor> neighbors = searcher.BoundaryGrow(p, k_);
+  return std::sqrt(neighbors.back().squared_distance);
+}
+
+std::vector<double> KnnOutlierDetector::ScoreAll() const {
+  std::vector<double> scores(points_->size());
+  KdKnnSearcher searcher(tree_.get());
+  std::vector<double> q(points_->dim());
+  for (uint64_t i = 0; i < points_->size(); ++i) {
+    const float* p = points_->point(i);
+    for (size_t j = 0; j < points_->dim(); ++j) q[j] = p[j];
+    // k+1 neighbors: the point itself (distance 0) plus k true neighbors.
+    std::vector<Neighbor> neighbors = searcher.BoundaryGrow(q.data(), k_ + 1);
+    scores[i] = std::sqrt(neighbors.back().squared_distance);
+  }
+  return scores;
+}
+
+Result<VoronoiOutlierDetector> VoronoiOutlierDetector::Build(
+    const VoronoiIndex* index, uint64_t volume_samples, Rng& rng) {
+  if (volume_samples == 0) {
+    return Status::InvalidArgument(
+        "VoronoiOutlierDetector: need volume samples");
+  }
+  VoronoiOutlierDetector detector;
+  detector.index_ = index;
+  std::vector<double> volumes = index->EstimateCellVolumes(volume_samples, rng);
+  detector.cell_score_.resize(index->num_seeds());
+  for (uint32_t c = 0; c < index->num_seeds(); ++c) {
+    uint64_t population = index->cell_size(c);
+    // Roomy cell, few members => outliers. Empty cells never score.
+    detector.cell_score_[c] =
+        population == 0 ? 0.0
+                        : volumes[c] / static_cast<double>(population);
+  }
+  return detector;
+}
+
+std::vector<double> VoronoiOutlierDetector::ScoreAll() const {
+  std::vector<double> scores(index_->points().size());
+  for (uint64_t i = 0; i < scores.size(); ++i) {
+    scores[i] = Score(i);
+  }
+  return scores;
+}
+
+double OutlierPrecisionAtTop(const std::vector<double>& scores,
+                             const std::vector<char>& is_outlier,
+                             double top_fraction) {
+  MDS_CHECK(scores.size() == is_outlier.size());
+  if (scores.empty()) return 0.0;
+  size_t top = std::max<size_t>(
+      1, static_cast<size_t>(top_fraction * scores.size()));
+  std::vector<uint64_t> order(scores.size());
+  for (uint64_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::nth_element(order.begin(), order.begin() + top - 1, order.end(),
+                   [&](uint64_t a, uint64_t b) {
+                     return scores[a] > scores[b];
+                   });
+  size_t hits = 0;
+  for (size_t i = 0; i < top; ++i) {
+    if (is_outlier[order[i]]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(top);
+}
+
+}  // namespace mds

@@ -1,0 +1,82 @@
+#ifndef MDS_CLUSTER_OUTLIER_H_
+#define MDS_CLUSTER_OUTLIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/kdtree.h"
+#include "core/voronoi_index.h"
+
+namespace mds {
+
+/// Outlier detection over the indexed color space. The paper points at two
+/// routes: "kd-trees can be used efficiently for outlier detection [8]"
+/// (§3.2) and "because the volume of the cells is inversely proportional
+/// to the local density it can be used for finding clusters and outliers"
+/// (§3.4). Both are implemented; scores are comparable (higher = more
+/// outlying).
+
+/// k-NN based detector: the outlier score of a point is its distance to
+/// its k-th nearest neighbor, computed with the §3.3 search.
+class KnnOutlierDetector {
+ public:
+  /// `points` must outlive the detector.
+  static Result<KnnOutlierDetector> Build(const PointSet* points,
+                                          size_t k = 8);
+
+  /// Score of an arbitrary query point.
+  double Score(const double* p) const;
+
+  /// Scores of every indexed point (excluding the point itself from its
+  /// own neighborhood).
+  std::vector<double> ScoreAll() const;
+
+  const KdTreeIndex& tree() const { return *tree_; }
+
+ private:
+  KnnOutlierDetector() = default;
+
+  const PointSet* points_ = nullptr;
+  std::unique_ptr<KdTreeIndex> tree_;
+  size_t k_ = 8;
+};
+
+/// Voronoi-volume based detector: a point's score is the Monte-Carlo
+/// volume of its cell divided by the cell's population — sparse, roomy
+/// cells mark their members as outliers.
+class VoronoiOutlierDetector {
+ public:
+  /// `index` must outlive the detector; `volume_samples` controls the
+  /// Monte-Carlo volume estimate.
+  static Result<VoronoiOutlierDetector> Build(const VoronoiIndex* index,
+                                              uint64_t volume_samples,
+                                              Rng& rng);
+
+  /// Score of indexed point `id`.
+  double Score(uint64_t id) const {
+    return cell_score_[index_->tag(id)];
+  }
+
+  std::vector<double> ScoreAll() const;
+
+  const std::vector<double>& cell_scores() const { return cell_score_; }
+
+ private:
+  VoronoiOutlierDetector() = default;
+
+  const VoronoiIndex* index_ = nullptr;
+  std::vector<double> cell_score_;
+};
+
+/// Evaluation helper: fraction of true outliers among the `top_fraction`
+/// highest-scoring points (precision at the contamination level).
+double OutlierPrecisionAtTop(const std::vector<double>& scores,
+                             const std::vector<char>& is_outlier,
+                             double top_fraction);
+
+}  // namespace mds
+
+#endif  // MDS_CLUSTER_OUTLIER_H_

@@ -1,0 +1,21 @@
+#ifndef MDS_COMMON_LOGGING_H_
+#define MDS_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant check: aborts with a message on violation. Used for
+/// programmer errors (broken invariants), never for recoverable conditions,
+/// which are reported through Status.
+#define MDS_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MDS_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define MDS_DCHECK(cond) MDS_CHECK(cond)
+
+#endif  // MDS_COMMON_LOGGING_H_

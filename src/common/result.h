@@ -1,0 +1,86 @@
+#ifndef MDS_COMMON_RESULT_H_
+#define MDS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mds {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Implicit so functions can
+  /// `return value;` directly.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status. Implicit so functions
+  /// can `return Status::...;` directly.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value; must only be called when ok().
+  const T& operator*() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& operator*() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+
+  /// Moves the value out; must only be called when ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mds
+
+/// Assigns the value of a Result-returning expression to `lhs`, or
+/// propagates its error status.
+#define MDS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(*tmp)
+
+#define MDS_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MDS_ASSIGN_OR_RETURN_NAME(a, b) MDS_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define MDS_ASSIGN_OR_RETURN(lhs, expr) \
+  MDS_ASSIGN_OR_RETURN_IMPL(MDS_ASSIGN_OR_RETURN_NAME(_res_, __LINE__), lhs, expr)
+
+#endif  // MDS_COMMON_RESULT_H_

@@ -1,0 +1,60 @@
+#ifndef MDS_COMMON_RNG_H_
+#define MDS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mds {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded with
+/// splitmix64). All data generation and sampling in the library goes through
+/// this class so experiments are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller, cached second value).
+  double NextGaussian();
+
+  /// Exponential with rate lambda (> 0).
+  double NextExponential(double lambda);
+
+  /// Fisher–Yates shuffle of v.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<uint64_t> Permutation(uint64_t n);
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mds
+
+#endif  // MDS_COMMON_RNG_H_

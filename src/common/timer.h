@@ -1,0 +1,34 @@
+#ifndef MDS_COMMON_TIMER_H_
+#define MDS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace mds {
+
+/// Simple monotonic wall-clock timer for benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Microseconds elapsed.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_COMMON_TIMER_H_

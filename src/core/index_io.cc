@@ -1,0 +1,238 @@
+#include "core/index_io.h"
+
+namespace mds {
+
+namespace {
+
+constexpr uint64_t kKdMagic = 0x4d44534b44543031ULL;    // "MDSKDT01"
+constexpr uint64_t kGridMagic = 0x4d445347524431ULL;    // "MDSGRD1"
+constexpr uint64_t kVoronoiMagic = 0x4d4453564f5231ULL;  // "MDSVOR1"
+
+Status WriteBox(PageStreamWriter* w, const Box& box) {
+  MDS_RETURN_NOT_OK(w->WriteVector(box.lo()));
+  return w->WriteVector(box.hi());
+}
+
+Result<Box> ReadBox(PageStreamReader* r, size_t dim) {
+  MDS_ASSIGN_OR_RETURN(std::vector<double> lo, r->ReadVector<double>());
+  MDS_ASSIGN_OR_RETURN(std::vector<double> hi, r->ReadVector<double>());
+  if (lo.size() != dim || hi.size() != dim) {
+    return Status::Corruption("IndexIo: box dimension mismatch");
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+Status ValidateHeader(PageStreamReader* r, uint64_t magic,
+                      const PointSet* points) {
+  MDS_ASSIGN_OR_RETURN(uint64_t got_magic, r->ReadValue<uint64_t>());
+  if (got_magic != magic) {
+    return Status::Corruption("IndexIo: bad magic (wrong index type?)");
+  }
+  MDS_ASSIGN_OR_RETURN(uint64_t dim, r->ReadValue<uint64_t>());
+  MDS_ASSIGN_OR_RETURN(uint64_t n, r->ReadValue<uint64_t>());
+  if (dim != points->dim() || n != points->size()) {
+    return Status::InvalidArgument(
+        "IndexIo: point set does not match the saved index");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Kd-tree
+
+Result<PageId> IndexIo::SaveKdTree(BufferPool* pool,
+                                   const KdTreeIndex& index) {
+  PageStreamWriter w(pool);
+  MDS_RETURN_NOT_OK(w.WriteValue(kKdMagic));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.dim()));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.num_points()));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_levels_));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_leaves_));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.nodes_.size()));
+  for (const KdTreeIndex::Node& node : index.nodes_) {
+    MDS_RETURN_NOT_OK(w.WriteValue<int32_t>(node.split_dim));
+    MDS_RETURN_NOT_OK(w.WriteValue<double>(node.split_value));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.left));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.right));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.post_order));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.first_leaf));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.last_leaf));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(node.row_begin));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(node.row_end));
+    MDS_RETURN_NOT_OK(WriteBox(&w, node.region));
+    MDS_RETURN_NOT_OK(WriteBox(&w, node.bounds));
+  }
+  MDS_RETURN_NOT_OK(w.WriteVector(index.leaf_node_index_));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.clustered_order_));
+  return w.Finish();
+}
+
+Result<KdTreeIndex> IndexIo::LoadKdTree(BufferPool* pool, PageId head,
+                                        const PointSet* points) {
+  PageStreamReader r(pool, head);
+  MDS_RETURN_NOT_OK(ValidateHeader(&r, kKdMagic, points));
+  KdTreeIndex index;
+  index.points_ = points;
+  MDS_ASSIGN_OR_RETURN(index.num_levels_, r.ReadValue<uint32_t>());
+  MDS_ASSIGN_OR_RETURN(index.num_leaves_, r.ReadValue<uint32_t>());
+  MDS_ASSIGN_OR_RETURN(uint64_t num_nodes, r.ReadValue<uint64_t>());
+  if (num_nodes != 2ull * index.num_leaves_ - 1) {
+    return Status::Corruption("IndexIo: kd-tree node count inconsistent");
+  }
+  index.nodes_.resize(num_nodes);
+  const size_t dim = points->dim();
+  for (KdTreeIndex::Node& node : index.nodes_) {
+    MDS_ASSIGN_OR_RETURN(node.split_dim, r.ReadValue<int32_t>());
+    MDS_ASSIGN_OR_RETURN(node.split_value, r.ReadValue<double>());
+    MDS_ASSIGN_OR_RETURN(node.left, r.ReadValue<uint32_t>());
+    MDS_ASSIGN_OR_RETURN(node.right, r.ReadValue<uint32_t>());
+    MDS_ASSIGN_OR_RETURN(node.post_order, r.ReadValue<uint32_t>());
+    MDS_ASSIGN_OR_RETURN(node.first_leaf, r.ReadValue<uint32_t>());
+    MDS_ASSIGN_OR_RETURN(node.last_leaf, r.ReadValue<uint32_t>());
+    MDS_ASSIGN_OR_RETURN(node.row_begin, r.ReadValue<uint64_t>());
+    MDS_ASSIGN_OR_RETURN(node.row_end, r.ReadValue<uint64_t>());
+    MDS_ASSIGN_OR_RETURN(node.region, ReadBox(&r, dim));
+    MDS_ASSIGN_OR_RETURN(node.bounds, ReadBox(&r, dim));
+  }
+  MDS_ASSIGN_OR_RETURN(index.leaf_node_index_, r.ReadVector<uint32_t>());
+  MDS_ASSIGN_OR_RETURN(index.clustered_order_, r.ReadVector<uint64_t>());
+  if (index.leaf_node_index_.size() != index.num_leaves_ ||
+      index.clustered_order_.size() != points->size()) {
+    return Status::Corruption("IndexIo: kd-tree payload sizes inconsistent");
+  }
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Layered grid
+
+Result<PageId> IndexIo::SaveLayeredGrid(BufferPool* pool,
+                                        const LayeredGridIndex& index) {
+  PageStreamWriter w(pool);
+  MDS_RETURN_NOT_OK(w.WriteValue(kGridMagic));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.dim()));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.points_->size()));
+  MDS_RETURN_NOT_OK(WriteBox(&w, index.bounds_));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_layers()));
+  for (const LayeredGridIndex::Layer& layer : index.layers_) {
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(layer.resolution));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(layer.row_begin));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(layer.row_end));
+    MDS_RETURN_NOT_OK(w.WriteVector(layer.cells));
+  }
+  MDS_RETURN_NOT_OK(w.WriteVector(index.random_id_));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.layer_of_));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.contained_by_));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.clustered_order_));
+  return w.Finish();
+}
+
+Result<LayeredGridIndex> IndexIo::LoadLayeredGrid(BufferPool* pool,
+                                                  PageId head,
+                                                  const PointSet* points) {
+  PageStreamReader r(pool, head);
+  MDS_RETURN_NOT_OK(ValidateHeader(&r, kGridMagic, points));
+  LayeredGridIndex index;
+  index.points_ = points;
+  MDS_ASSIGN_OR_RETURN(index.bounds_, ReadBox(&r, points->dim()));
+  MDS_ASSIGN_OR_RETURN(uint32_t num_layers, r.ReadValue<uint32_t>());
+  index.layers_.resize(num_layers);
+  for (LayeredGridIndex::Layer& layer : index.layers_) {
+    MDS_ASSIGN_OR_RETURN(layer.resolution, r.ReadValue<uint32_t>());
+    MDS_ASSIGN_OR_RETURN(layer.row_begin, r.ReadValue<uint64_t>());
+    MDS_ASSIGN_OR_RETURN(layer.row_end, r.ReadValue<uint64_t>());
+    MDS_ASSIGN_OR_RETURN(layer.cells,
+                         r.ReadVector<LayeredGridIndex::CellRange>());
+  }
+  MDS_ASSIGN_OR_RETURN(index.random_id_, r.ReadVector<int64_t>());
+  MDS_ASSIGN_OR_RETURN(index.layer_of_, r.ReadVector<int32_t>());
+  MDS_ASSIGN_OR_RETURN(index.contained_by_, r.ReadVector<int64_t>());
+  MDS_ASSIGN_OR_RETURN(index.clustered_order_, r.ReadVector<uint64_t>());
+  if (index.random_id_.size() != points->size() ||
+      index.clustered_order_.size() != points->size()) {
+    return Status::Corruption("IndexIo: grid payload sizes inconsistent");
+  }
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Voronoi
+
+Result<PageId> IndexIo::SaveVoronoi(BufferPool* pool,
+                                    const VoronoiIndex& index) {
+  PageStreamWriter w(pool);
+  MDS_RETURN_NOT_OK(w.WriteValue(kVoronoiMagic));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.dim()));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.points_->size()));
+  MDS_RETURN_NOT_OK(WriteBox(&w, index.data_bounds_));
+  MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_seeds()));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.seeds_->raw()));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.seed_ids_));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.tags_));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.clustered_order_));
+  MDS_RETURN_NOT_OK(w.WriteVector(index.cell_rows_));
+  for (const Box& box : index.cell_bounds_) {
+    MDS_RETURN_NOT_OK(WriteBox(&w, box));
+  }
+  // Adjacency: offsets + flattened edges (the Delaunay triangulation
+  // itself is not persisted — the graph is what queries use; §3.4 likewise
+  // suggests storing only the Delaunay edges).
+  std::vector<uint64_t> offsets(index.graph_.size() + 1, 0);
+  std::vector<uint32_t> edges;
+  for (size_t s = 0; s < index.graph_.size(); ++s) {
+    offsets[s + 1] = offsets[s] + index.graph_[s].size();
+    edges.insert(edges.end(), index.graph_[s].begin(), index.graph_[s].end());
+  }
+  MDS_RETURN_NOT_OK(w.WriteVector(offsets));
+  MDS_RETURN_NOT_OK(w.WriteVector(edges));
+  return w.Finish();
+}
+
+Result<VoronoiIndex> IndexIo::LoadVoronoi(BufferPool* pool, PageId head,
+                                          const PointSet* points) {
+  PageStreamReader r(pool, head);
+  MDS_RETURN_NOT_OK(ValidateHeader(&r, kVoronoiMagic, points));
+  VoronoiIndex index;
+  index.points_ = points;
+  MDS_ASSIGN_OR_RETURN(index.data_bounds_, ReadBox(&r, points->dim()));
+  MDS_ASSIGN_OR_RETURN(uint32_t num_seeds, r.ReadValue<uint32_t>());
+  MDS_ASSIGN_OR_RETURN(std::vector<float> seed_coords, r.ReadVector<float>());
+  if (seed_coords.size() != static_cast<size_t>(num_seeds) * points->dim()) {
+    return Status::Corruption("IndexIo: seed payload size inconsistent");
+  }
+  index.seeds_ = std::make_unique<PointSet>(points->dim(), 0);
+  index.seeds_->mutable_raw() = std::move(seed_coords);
+  MDS_ASSIGN_OR_RETURN(index.seed_ids_, r.ReadVector<uint64_t>());
+  MDS_ASSIGN_OR_RETURN(index.tags_, r.ReadVector<uint32_t>());
+  MDS_ASSIGN_OR_RETURN(index.clustered_order_, r.ReadVector<uint64_t>());
+  MDS_ASSIGN_OR_RETURN(index.cell_rows_, r.ReadVector<uint64_t>());
+  index.cell_bounds_.reserve(num_seeds);
+  for (uint32_t c = 0; c < num_seeds; ++c) {
+    MDS_ASSIGN_OR_RETURN(Box box, ReadBox(&r, points->dim()));
+    index.cell_bounds_.push_back(std::move(box));
+  }
+  MDS_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets,
+                       r.ReadVector<uint64_t>());
+  MDS_ASSIGN_OR_RETURN(std::vector<uint32_t> edges, r.ReadVector<uint32_t>());
+  if (offsets.size() != num_seeds + 1 || index.tags_.size() != points->size() ||
+      index.cell_rows_.size() != num_seeds + 1) {
+    return Status::Corruption("IndexIo: voronoi payload sizes inconsistent");
+  }
+  index.graph_.resize(num_seeds);
+  for (uint32_t s = 0; s < num_seeds; ++s) {
+    if (offsets[s + 1] < offsets[s] || offsets[s + 1] > edges.size()) {
+      return Status::Corruption("IndexIo: voronoi adjacency corrupt");
+    }
+    index.graph_[s].assign(edges.begin() + offsets[s],
+                           edges.begin() + offsets[s + 1]);
+  }
+  // The nearest-seed kd-tree is cheap to rebuild over the seeds.
+  auto tree = KdTreeIndex::Build(index.seeds_.get(), KdTreeConfig{});
+  if (!tree.ok()) return tree.status();
+  index.seed_tree_ = std::make_unique<KdTreeIndex>(std::move(*tree));
+  return index;
+}
+
+}  // namespace mds

@@ -1,0 +1,47 @@
+#ifndef MDS_CORE_INDEX_IO_H_
+#define MDS_CORE_INDEX_IO_H_
+
+#include "common/result.h"
+#include "core/kdtree.h"
+#include "core/layered_grid.h"
+#include "core/voronoi_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_stream.h"
+
+namespace mds {
+
+/// Persistence for the spatial indexes: an index is serialized into a
+/// chain of buffer-pool pages living in the same pager file as the tables
+/// it indexes, so a database file reopens with its indexes intact — the
+/// paper's indexes likewise persist inside SQL Server alongside the
+/// magnitude table.
+///
+/// The coordinate data itself is not duplicated: Load takes the same
+/// PointSet the index was built over (normally re-materialized from the
+/// stored table) and validates that its size and dimension match.
+class IndexIo {
+ public:
+  /// Serializes the index; returns the head page of its chain (store it in
+  /// your catalog/metadata page).
+  static Result<PageId> SaveKdTree(BufferPool* pool, const KdTreeIndex& index);
+  static Result<PageId> SaveLayeredGrid(BufferPool* pool,
+                                        const LayeredGridIndex& index);
+  static Result<PageId> SaveVoronoi(BufferPool* pool,
+                                    const VoronoiIndex& index);
+
+  /// Deserializes an index saved by the matching Save call. `points` must
+  /// contain the identical point set (same size/dim, same order) and must
+  /// outlive the index. Fails with Corruption on bad magic and
+  /// InvalidArgument on a mismatched point set.
+  static Result<KdTreeIndex> LoadKdTree(BufferPool* pool, PageId head,
+                                        const PointSet* points);
+  static Result<LayeredGridIndex> LoadLayeredGrid(BufferPool* pool,
+                                                  PageId head,
+                                                  const PointSet* points);
+  static Result<VoronoiIndex> LoadVoronoi(BufferPool* pool, PageId head,
+                                          const PointSet* points);
+};
+
+}  // namespace mds
+
+#endif  // MDS_CORE_INDEX_IO_H_

@@ -1,0 +1,137 @@
+#ifndef MDS_CORE_KDTREE_H_
+#define MDS_CORE_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/box.h"
+#include "geom/point_set.h"
+#include "geom/polyhedron.h"
+
+namespace mds {
+
+/// Build options for the balanced kd-tree of §3.2.
+struct KdTreeConfig {
+  /// Number of leaves; 0 picks 2^ceil(log2(sqrt(N))) — the paper's
+  /// "number of leaves equal to the square root of the number of rows"
+  /// optimum (15 levels / 2^14 leaves / ~16K rows per leaf at N = 270M).
+  uint64_t num_leaves = 0;
+
+  /// false: cycle the split dimension per level (classic kd-tree, what the
+  /// paper built). true: split the widest dimension of each node's tight
+  /// bounding box — the [8] variant that counteracts the elongated boxes
+  /// the paper observes in Figure 15. Benched as an ablation.
+  bool max_spread_split = false;
+};
+
+/// Per-query work counters.
+struct KdQueryStats {
+  uint64_t nodes_visited = 0;
+  uint64_t leaves_full = 0;     ///< leaves fully inside: emitted via range
+  uint64_t leaves_partial = 0;  ///< leaves needing per-point tests (Fig. 4 red)
+  uint64_t points_tested = 0;
+  uint64_t points_emitted = 0;
+};
+
+/// Balanced kd-tree over an in-memory PointSet.
+///
+/// Construction follows the paper: iterative level-by-level median
+/// splitting (never recursive), one cut per level. Nodes are numbered
+/// post-order so that the leaves under any inner node form a contiguous
+/// leaf-id interval — at query time a fully-contained subtree turns into a
+/// single `BETWEEN` range over the leaf-clustered row order (§3.2).
+///
+/// The tree keeps two boxes per node: the partition box (the region the
+/// node tiles; used for point location and the k-NN boundary walk) and the
+/// tight bounding box of its points (used for query pruning).
+class KdTreeIndex {
+ public:
+  static constexpr uint32_t kNoChild = ~uint32_t{0};
+
+  struct Node {
+    Box region;        ///< partition box: tiles the root region
+    Box bounds;        ///< tight bounding box of the node's points
+    int32_t split_dim = -1;     ///< -1 for leaves
+    double split_value = 0.0;
+    uint32_t left = kNoChild;   ///< index into nodes()
+    uint32_t right = kNoChild;
+    uint32_t post_order = 0;    ///< the paper's node numbering
+    uint32_t first_leaf = 0;    ///< leaf ordinals covered: [first_leaf,
+    uint32_t last_leaf = 0;     ///<   last_leaf] inclusive
+    uint64_t row_begin = 0;     ///< clustered row range [row_begin, row_end)
+    uint64_t row_end = 0;
+  };
+
+  /// Builds the index. `points` must stay alive while the index is used.
+  static Result<KdTreeIndex> Build(const PointSet* points,
+                                   const KdTreeConfig& config = {});
+
+  size_t dim() const { return points_->dim(); }
+  uint64_t num_points() const { return points_->size(); }
+  uint32_t num_levels() const { return num_levels_; }
+  uint32_t num_leaves() const { return num_leaves_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& root() const { return nodes_[0]; }
+  const Node& leaf(uint32_t ordinal) const {
+    return nodes_[leaf_node_index_[ordinal]];
+  }
+
+  /// Clustered row order: clustered_order()[pos] is the original point id
+  /// stored at clustered row `pos`; leaf ordinal L owns rows
+  /// [leaf(L).row_begin, leaf(L).row_end).
+  const std::vector<uint64_t>& clustered_order() const {
+    return clustered_order_;
+  }
+
+  /// Leaf ordinal whose partition box contains p (ties on split planes go
+  /// to the left child, matching partition-box closure).
+  uint32_t FindLeaf(const double* p) const;
+  uint32_t FindLeaf(const float* p) const;
+
+  /// Leaf adjacent to leaf `from` across the face point `b`: descends like
+  /// FindLeaf but breaks ties on coordinate `face_dim` toward `positive`.
+  /// Exact — no epsilon nudging. Returns the leaf ordinal.
+  uint32_t FindLeafDirected(const double* b, size_t face_dim,
+                            bool positive) const;
+
+  /// Evaluates a polyhedron query, appending the *original* ids of all
+  /// points inside `query` to out (Figure 4 evaluation: inside boxes emit
+  /// whole leaf ranges, partial boxes fall back to per-point tests).
+  void QueryPolyhedron(const Polyhedron& query, std::vector<uint64_t>* out,
+                       KdQueryStats* stats = nullptr) const;
+
+  /// Same access path restricted to an axis-aligned box query.
+  void QueryBox(const Box& query, std::vector<uint64_t>* out,
+                KdQueryStats* stats = nullptr) const;
+
+  /// Collects the clustered-row intervals a polyhedron query would touch:
+  /// `full` ranges (every row qualifies — the BETWEEN case) and `partial`
+  /// ranges (rows need testing). This is what the storage-backed executor
+  /// consumes.
+  void PlanPolyhedron(const Polyhedron& query,
+                      std::vector<std::pair<uint64_t, uint64_t>>* full,
+                      std::vector<std::pair<uint64_t, uint64_t>>* partial,
+                      KdQueryStats* stats = nullptr) const;
+
+  const PointSet& points() const { return *points_; }
+
+ private:
+  KdTreeIndex() = default;
+  friend class IndexIo;
+
+  template <typename Visitor>
+  void Visit(const Polyhedron& query, Visitor&& visitor,
+             KdQueryStats* stats) const;
+
+  const PointSet* points_ = nullptr;
+  std::vector<Node> nodes_;  // heap order: node i has children 2i+1, 2i+2
+  std::vector<uint32_t> leaf_node_index_;  // leaf ordinal -> node index
+  std::vector<uint64_t> clustered_order_;
+  uint32_t num_levels_ = 0;
+  uint32_t num_leaves_ = 0;
+};
+
+}  // namespace mds
+
+#endif  // MDS_CORE_KDTREE_H_

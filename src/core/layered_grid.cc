@@ -1,0 +1,185 @@
+#include "core/layered_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mds {
+
+namespace {
+
+/// Cell coordinate of x on a grid of `res` cells over [lo, hi].
+int64_t CellCoord(double x, double lo, double hi, uint32_t res) {
+  double t = (x - lo) / (hi - lo);
+  int64_t c = static_cast<int64_t>(t * res);
+  if (c < 0) c = 0;
+  if (c >= res) c = res - 1;
+  return c;
+}
+
+}  // namespace
+
+Result<LayeredGridIndex> LayeredGridIndex::Build(
+    const PointSet* points, const LayeredGridConfig& config) {
+  const uint64_t n = points->size();
+  const size_t d = points->dim();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("LayeredGridIndex::Build: empty point set");
+  }
+  // Cap the layer count so cell ids fit the 48-bit field of EncodeKey
+  // (resolution 2^layers per axis, d axes).
+  uint32_t max_layers = config.max_layers;
+  if (d * max_layers >= 48) {
+    max_layers = static_cast<uint32_t>(47 / d);
+  }
+  if (max_layers == 0) {
+    return Status::InvalidArgument(
+        "LayeredGridIndex::Build: dimension too high for cell id encoding");
+  }
+  LayeredGridIndex index;
+  index.points_ = points;
+  index.bounds_ = Box::Bounding(*points);
+  // A degenerate axis (all points equal) would divide by zero in CellOf.
+  for (size_t j = 0; j < d; ++j) {
+    if (index.bounds_.hi(j) <= index.bounds_.lo(j)) {
+      index.bounds_.set_hi(j, index.bounds_.lo(j) + 1.0);
+    }
+  }
+
+  // RandomID: the random permutation column.
+  Rng rng(config.seed);
+  std::vector<uint64_t> perm = rng.Permutation(n);
+  index.random_id_.resize(n);
+  for (uint64_t pos = 0; pos < n; ++pos) {
+    index.random_id_[perm[pos]] = static_cast<int64_t>(pos);
+  }
+
+  // Layer sizes: base, base*2^d, base*4^d, ... last layer absorbs the rest.
+  const uint64_t mult = uint64_t{1} << d;
+  std::vector<uint64_t> layer_sizes;
+  uint64_t assigned = 0;
+  uint64_t size = config.base_layer_points;
+  while (assigned < n) {
+    if (layer_sizes.size() + 1 == max_layers || assigned + size >= n) {
+      layer_sizes.push_back(n - assigned);
+      assigned = n;
+    } else {
+      layer_sizes.push_back(size);
+      assigned += size;
+      size *= mult;
+    }
+  }
+
+  index.layer_of_.resize(n);
+  index.contained_by_.resize(n);
+  uint64_t pos = 0;
+  for (uint32_t l = 0; l < layer_sizes.size(); ++l) {
+    const uint32_t res = uint32_t{1} << (l + 1);
+    for (uint64_t i = 0; i < layer_sizes[l]; ++i, ++pos) {
+      uint64_t id = perm[pos];
+      index.layer_of_[id] = static_cast<int32_t>(l + 1);
+      const float* pnt = points->point(id);
+      int64_t cell = 0;
+      for (size_t j = d; j-- > 0;) {
+        cell = cell * res + CellCoord(pnt[j], index.bounds_.lo(j),
+                                      index.bounds_.hi(j), res);
+      }
+      index.contained_by_[id] = cell;
+    }
+  }
+
+  // Clustered order: sort by (Layer, ContainedBy, RandomID).
+  index.clustered_order_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) index.clustered_order_[i] = i;
+  std::sort(index.clustered_order_.begin(), index.clustered_order_.end(),
+            [&](uint64_t a, uint64_t b) {
+              if (index.layer_of_[a] != index.layer_of_[b]) {
+                return index.layer_of_[a] < index.layer_of_[b];
+              }
+              if (index.contained_by_[a] != index.contained_by_[b]) {
+                return index.contained_by_[a] < index.contained_by_[b];
+              }
+              return index.random_id_[a] < index.random_id_[b];
+            });
+
+  // Per-layer cell directories.
+  index.layers_.resize(layer_sizes.size());
+  uint64_t row = 0;
+  for (uint32_t l = 0; l < layer_sizes.size(); ++l) {
+    Layer& layer = index.layers_[l];
+    layer.resolution = uint32_t{1} << (l + 1);
+    layer.row_begin = row;
+    layer.row_end = row + layer_sizes[l];
+    uint64_t r = layer.row_begin;
+    while (r < layer.row_end) {
+      int64_t cell = index.contained_by_[index.clustered_order_[r]];
+      uint64_t begin = r;
+      while (r < layer.row_end &&
+             index.contained_by_[index.clustered_order_[r]] == cell) {
+        ++r;
+      }
+      layer.cells.push_back(CellRange{cell, begin, r});
+    }
+    row = layer.row_end;
+  }
+  return index;
+}
+
+int64_t LayeredGridIndex::CellOf(const float* p, uint32_t l) const {
+  const uint32_t res = layers_[l].resolution;
+  int64_t cell = 0;
+  for (size_t j = dim(); j-- > 0;) {
+    cell = cell * res + CellCoord(p[j], bounds_.lo(j), bounds_.hi(j), res);
+  }
+  return cell;
+}
+
+int64_t LayeredGridIndex::CellOf(const double* p, uint32_t l) const {
+  const uint32_t res = layers_[l].resolution;
+  int64_t cell = 0;
+  for (size_t j = dim(); j-- > 0;) {
+    cell = cell * res + CellCoord(p[j], bounds_.lo(j), bounds_.hi(j), res);
+  }
+  return cell;
+}
+
+void LayeredGridIndex::CellRangesFor(const Box& q, uint32_t l,
+                                     std::vector<CellRange>* out) const {
+  const Layer& layer = layers_[l];
+  const uint32_t res = layer.resolution;
+  const size_t d = dim();
+  // Cell coordinate interval intersecting q along each axis.
+  std::vector<int64_t> clo(d), chi(d);
+  for (size_t j = 0; j < d; ++j) {
+    if (q.hi(j) < bounds_.lo(j) || q.lo(j) > bounds_.hi(j)) return;
+    clo[j] = CellCoord(q.lo(j), bounds_.lo(j), bounds_.hi(j), res);
+    chi[j] = CellCoord(q.hi(j), bounds_.lo(j), bounds_.hi(j), res);
+  }
+  // Enumerate the lattice box of intersecting cells; for each, look up its
+  // row range (cells with no points are absent from the directory).
+  std::vector<int64_t> coord(clo);
+  for (;;) {
+    int64_t cell = 0;
+    for (size_t j = d; j-- > 0;) cell = cell * res + coord[j];
+    auto it = std::lower_bound(
+        layer.cells.begin(), layer.cells.end(), cell,
+        [](const CellRange& cr, int64_t c) { return cr.cell < c; });
+    if (it != layer.cells.end() && it->cell == cell) out->push_back(*it);
+    // Odometer increment.
+    size_t j = 0;
+    while (j < d) {
+      if (++coord[j] <= chi[j]) break;
+      coord[j] = clo[j];
+      ++j;
+    }
+    if (j == d) break;
+  }
+}
+
+Status LayeredGridIndex::SampleQuery(const Box& q, uint64_t n,
+                                     std::vector<uint64_t>* out,
+                                     GridQueryStats* stats) const {
+  return SampleQueryStream(
+      q, n, [&](uint64_t id, uint32_t) { out->push_back(id); }, stats);
+}
+
+}  // namespace mds

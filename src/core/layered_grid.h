@@ -1,0 +1,169 @@
+#ifndef MDS_CORE_LAYERED_GRID_H_
+#define MDS_CORE_LAYERED_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geom/box.h"
+#include "geom/point_set.h"
+
+namespace mds {
+
+/// Build options for the layered uniform grid of §3.1.
+struct LayeredGridConfig {
+  /// Points on the first layer; layer l holds base_layer_points * (2^d)^(l-1)
+  /// so the expected points-per-cell stays constant across layers (128 in
+  /// the paper's 3-D setup: 1024 points on a 2x2x2 grid, 8*1024 on 4x4x4...).
+  uint64_t base_layer_points = 1024;
+  /// Permutation seed for the RandomID column.
+  uint64_t seed = 1;
+  /// Upper bound on layers (grid resolution 2^max_layers per axis must keep
+  /// cell ids in int64). The final layer absorbs all remaining points.
+  uint32_t max_layers = 15;
+};
+
+/// Per-query counters for E2/E3.
+struct GridQueryStats {
+  uint32_t layers_visited = 0;
+  uint64_t cells_visited = 0;
+  uint64_t points_scanned = 0;   ///< rows read from candidate cells
+  uint64_t points_returned = 0;  ///< rows inside the query box
+};
+
+/// The layered uniform grid index.
+///
+/// Build: points get a RandomID (a random permutation), the first
+/// base_layer_points go to layer 1, the next 2^d * base_layer_points to
+/// layer 2, and so on; layer l is cut by a uniform 2^l-per-axis grid and
+/// every point is tagged with its cell (ContainedBy). Rows clustered by
+/// (Layer, ContainedBy) make each cell a contiguous row range, so a sample
+/// query reads (almost) only pages holding returned points.
+///
+/// Query(q, n): walk layers from coarse to fine, fetching the points of
+/// cells intersecting q and keeping those inside q, until at least n points
+/// have been found. Each layer is an unbiased random sample of the data, so
+/// the returned set follows the underlying distribution at any zoom level —
+/// the property TABLESAMPLE + TOP(n) lacks (E3).
+class LayeredGridIndex {
+ public:
+  struct CellRange {
+    int64_t cell = 0;        ///< ContainedBy value
+    uint64_t row_begin = 0;  ///< clustered row range of the cell
+    uint64_t row_end = 0;
+  };
+
+  struct Layer {
+    uint32_t resolution = 0;  ///< cells per axis (2^layer)
+    uint64_t row_begin = 0;   ///< clustered rows of the whole layer
+    uint64_t row_end = 0;
+    std::vector<CellRange> cells;  ///< sorted by cell id
+  };
+
+  static Result<LayeredGridIndex> Build(const PointSet* points,
+                                        const LayeredGridConfig& config = {});
+
+  size_t dim() const { return points_->dim(); }
+  uint32_t num_layers() const { return static_cast<uint32_t>(layers_.size()); }
+  const Layer& layer(uint32_t l) const { return layers_[l]; }
+  const Box& bounding_box() const { return bounds_; }
+
+  /// Clustered row order: clustered_order()[pos] = original point id. Rows
+  /// are sorted by (Layer, ContainedBy, RandomID).
+  const std::vector<uint64_t>& clustered_order() const {
+    return clustered_order_;
+  }
+
+  /// The three added columns of §3.1 for original point `id`.
+  int64_t random_id(uint64_t id) const { return random_id_[id]; }
+  int32_t layer_of(uint64_t id) const { return layer_of_[id]; }
+  int64_t contained_by(uint64_t id) const { return contained_by_[id]; }
+
+  /// Cell id of point p on layer `l` (row-major over the 2^l grid).
+  int64_t CellOf(const float* p, uint32_t l) const;
+  int64_t CellOf(const double* p, uint32_t l) const;
+
+  /// Returns at least n points of `q` following the underlying
+  /// distribution (all of them if the box holds fewer). Appends original
+  /// point ids. Layers are consumed coarse-to-fine and the walk halts at
+  /// the end of the first layer where the running total reaches n, so
+  /// callers can receive slightly more than n — the paper's semantics.
+  Status SampleQuery(const Box& q, uint64_t n, std::vector<uint64_t>* out,
+                     GridQueryStats* stats = nullptr) const;
+
+  /// Streaming variant of SampleQuery — the §3.1 "interesting feature
+  /// possibility": "when points from the first layer are available, start
+  /// sending them back to the client as we fetch more points from layer 2".
+  /// Invokes on_point(point_id, layer_number) for every match as it is
+  /// found; the callback may return void, or bool where false aborts the
+  /// stream early (a disconnecting client).
+  template <typename Fn>
+  Status SampleQueryStream(const Box& q, uint64_t n, Fn&& on_point,
+                           GridQueryStats* stats = nullptr) const;
+
+  /// Enumerates the clustered-row ranges of the cells of layer `l` that
+  /// intersect q (the storage executor's access path).
+  void CellRangesFor(const Box& q, uint32_t l,
+                     std::vector<CellRange>* out) const;
+
+  /// Encodes the (Layer, ContainedBy) pair into the single int64 clustered
+  /// key used when materializing the table.
+  static int64_t EncodeKey(uint32_t layer, int64_t cell) {
+    return (static_cast<int64_t>(layer) << 48) | cell;
+  }
+
+  const PointSet& points() const { return *points_; }
+
+ private:
+  LayeredGridIndex() = default;
+  friend class IndexIo;
+
+  const PointSet* points_ = nullptr;
+  Box bounds_;
+  std::vector<Layer> layers_;
+  std::vector<uint64_t> clustered_order_;
+  std::vector<int64_t> random_id_;
+  std::vector<int32_t> layer_of_;
+  std::vector<int64_t> contained_by_;
+};
+
+template <typename Fn>
+Status LayeredGridIndex::SampleQueryStream(const Box& q, uint64_t n,
+                                           Fn&& on_point,
+                                           GridQueryStats* stats) const {
+  if (q.dim() != dim()) {
+    return Status::InvalidArgument(
+        "SampleQueryStream: box dimension mismatch");
+  }
+  GridQueryStats local;
+  GridQueryStats* st = stats != nullptr ? stats : &local;
+  std::vector<CellRange> ranges;
+  uint64_t found = 0;
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    ++st->layers_visited;
+    ranges.clear();
+    CellRangesFor(q, l, &ranges);
+    for (const CellRange& cr : ranges) {
+      ++st->cells_visited;
+      for (uint64_t r = cr.row_begin; r < cr.row_end; ++r) {
+        uint64_t id = clustered_order_[r];
+        ++st->points_scanned;
+        if (!q.Contains(points_->point(id))) continue;
+        ++st->points_returned;
+        ++found;
+        if constexpr (std::is_void_v<decltype(on_point(id, l + 1))>) {
+          on_point(id, l + 1);
+        } else {
+          if (!on_point(id, l + 1)) return Status::OK();
+        }
+      }
+    }
+    if (found >= n) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace mds
+
+#endif  // MDS_CORE_LAYERED_GRID_H_

@@ -1,0 +1,58 @@
+#include "core/point_table.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mds {
+
+Schema PointTableSchema(size_t dim) {
+  std::vector<ColumnSpec> columns;
+  columns.push_back({"objID", ColumnType::kInt64, 0});
+  for (size_t j = 0; j < dim; ++j) {
+    columns.push_back({"x" + std::to_string(j), ColumnType::kFloat32, 0});
+  }
+  return Schema(std::move(columns));
+}
+
+Result<Table> MaterializePointTable(BufferPool* pool, const PointSet& points,
+                                    const std::vector<uint64_t>& order) {
+  MDS_ASSIGN_OR_RETURN(Table table,
+                       Table::Create(pool, PointTableSchema(points.dim())));
+  RowBuilder row(&table.schema());
+  const uint64_t n = points.size();
+  for (uint64_t pos = 0; pos < n; ++pos) {
+    uint64_t id = order.empty() ? pos : order[pos];
+    row.SetInt64(0, static_cast<int64_t>(id));
+    const float* p = points.point(id);
+    for (size_t j = 0; j < points.dim(); ++j) {
+      row.SetFloat32(1 + j, p[j]);
+    }
+    MDS_RETURN_NOT_OK(table.Append(row));
+  }
+  return table;
+}
+
+Result<BPlusTree> BuildObjIdIndex(BufferPool* pool, const Table& table) {
+  std::vector<std::pair<int64_t, uint64_t>> pairs;
+  pairs.reserve(table.num_rows());
+  MDS_RETURN_NOT_OK(table.Scan([&](uint64_t row_id, RowRef ref) {
+    pairs.emplace_back(ref.GetInt64(0), row_id);
+  }));
+  std::sort(pairs.begin(), pairs.end());
+  return BPlusTree::BulkLoad(pool, pairs);
+}
+
+Status LookupByObjId(const Table& table, const BPlusTree& index,
+                     int64_t objid, float* out, size_t dim) {
+  MDS_ASSIGN_OR_RETURN(std::vector<uint64_t> rows, index.Lookup(objid));
+  if (rows.empty()) {
+    return Status::NotFound("LookupByObjId: unknown objID");
+  }
+  std::vector<uint8_t> buf(table.schema().row_size());
+  MDS_RETURN_NOT_OK(table.ReadRow(rows.front(), buf.data()));
+  RowRef ref(&table.schema(), buf.data());
+  ref.GetFloat32Span(1, dim, out);
+  return Status::OK();
+}
+
+}  // namespace mds

@@ -1,0 +1,72 @@
+#ifndef MDS_CORE_QUERY_ENGINE_H_
+#define MDS_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/kdtree.h"
+#include "core/layered_grid.h"
+#include "core/voronoi_index.h"
+#include "geom/polyhedron.h"
+#include "storage/table.h"
+
+namespace mds {
+
+/// Binds a stored point table to the query engine: which column carries
+/// the original object id and where the coordinate columns start.
+struct PointTableBinding {
+  const Table* table = nullptr;
+  size_t objid_col = 0;
+  size_t first_coord_col = 1;
+  size_t dim = 0;
+};
+
+/// I/O-level result of a storage-backed query.
+struct StorageQueryResult {
+  std::vector<int64_t> objids;
+  uint64_t rows_scanned = 0;
+  uint64_t pages_read = 0;     ///< physical page reads during the query
+  uint64_t pages_fetched = 0;  ///< logical page fetches (hits + misses)
+};
+
+/// Executes spatial queries against tables through the buffer pool, so
+/// every experiment can report page-level I/O. The three index execution
+/// paths assume the table rows were materialized in the respective index's
+/// clustered order; the full-scan path is the paper's "simple SQL query"
+/// baseline (Figure 5) and works on any order.
+class StorageQueryExecutor {
+ public:
+  /// Full-table scan with a per-row polyhedron predicate.
+  static Result<StorageQueryResult> FullScan(const PointTableBinding& binding,
+                                             const Polyhedron& query);
+
+  /// Executes a kd-tree query plan: `full` row ranges are emitted without
+  /// per-row tests (the post-order BETWEEN case); `partial` ranges are
+  /// filtered by the polyhedron.
+  static Result<StorageQueryResult> ExecuteKdPlan(
+      const PointTableBinding& binding, const KdTreeIndex& index,
+      const Polyhedron& query);
+
+  /// §3.1 sample query over a table clustered by (Layer, ContainedBy):
+  /// returns at least n box points following the data distribution.
+  static Result<StorageQueryResult> GridSample(
+      const PointTableBinding& binding, const LayeredGridIndex& index,
+      const Box& query, uint64_t n, GridQueryStats* grid_stats = nullptr);
+
+  /// The paper's pre-grid baseline: TABLESAMPLE SYSTEM(percent) + TOP(n)
+  /// with a box predicate (E3).
+  static Result<StorageQueryResult> TableSampleTopN(
+      const PointTableBinding& binding, const Box& query, double percent,
+      uint64_t n, Rng& rng);
+
+  /// Voronoi-index execution over a table clustered by cell tag.
+  static Result<StorageQueryResult> ExecuteVoronoi(
+      const PointTableBinding& binding, const VoronoiIndex& index,
+      const Polyhedron& query, VoronoiQueryStats* voronoi_stats = nullptr);
+};
+
+}  // namespace mds
+
+#endif  // MDS_CORE_QUERY_ENGINE_H_

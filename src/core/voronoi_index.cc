@@ -1,0 +1,259 @@
+#include "core/voronoi_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/knn.h"
+
+namespace mds {
+
+namespace {
+
+/// Morton (Z-order) key of p within `bounds`, `bits` bits per dimension.
+/// The paper numbers Voronoi cells along a space-filling curve so nearby
+/// cells get nearby clustered keys; this is that numbering.
+uint64_t MortonKey(const float* p, const Box& bounds, size_t dim,
+                   uint32_t bits) {
+  uint64_t key = 0;
+  std::vector<uint32_t> q(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    double extent = bounds.hi(j) - bounds.lo(j);
+    double t = extent > 0.0 ? (p[j] - bounds.lo(j)) / extent : 0.0;
+    t = std::min(std::max(t, 0.0), 1.0);
+    q[j] = static_cast<uint32_t>(t * ((uint64_t{1} << bits) - 1));
+  }
+  for (uint32_t b = bits; b-- > 0;) {
+    for (size_t j = 0; j < dim; ++j) {
+      key = (key << 1) | ((q[j] >> b) & 1);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<VoronoiIndex> VoronoiIndex::Build(const PointSet* points,
+                                         const VoronoiIndexConfig& config) {
+  const uint64_t n = points->size();
+  const size_t d = points->dim();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("VoronoiIndex::Build: empty point set");
+  }
+  uint32_t num_seeds = config.num_seeds;
+  if (num_seeds < d + 2) num_seeds = static_cast<uint32_t>(d + 2);
+  if (num_seeds > n) num_seeds = static_cast<uint32_t>(n);
+
+  VoronoiIndex index;
+  index.points_ = points;
+  index.data_bounds_ = Box::Bounding(*points);
+
+  // Sample Nseed representative points (§3.4: "we have chosen the seeds
+  // randomly") and order them along a space-filling curve.
+  Rng rng(config.seed);
+  index.seed_ids_ = rng.SampleWithoutReplacement(n, num_seeds);
+  const uint32_t morton_bits = static_cast<uint32_t>(std::min<size_t>(60 / d, 16));
+  std::sort(index.seed_ids_.begin(), index.seed_ids_.end(),
+            [&](uint64_t a, uint64_t b) {
+              uint64_t ka = MortonKey(points->point(a), index.data_bounds_, d,
+                                      morton_bits);
+              uint64_t kb = MortonKey(points->point(b), index.data_bounds_, d,
+                                      morton_bits);
+              if (ka != kb) return ka < kb;
+              return a < b;
+            });
+  index.seeds_ = std::make_unique<PointSet>(d, 0);
+  index.seeds_->Reserve(num_seeds);
+  for (uint64_t id : index.seed_ids_) index.seeds_->Append(points->point(id));
+
+  // kd-tree over the seeds for exact nearest-seed assignment. The seed
+  // PointSet sits behind a unique_ptr, so the tree's pointer into it stays
+  // valid when the finished index is moved out of Build.
+  VoronoiIndex& self = index;
+  auto tree = KdTreeIndex::Build(self.seeds_.get(), KdTreeConfig{});
+  if (!tree.ok()) return tree.status();
+  self.seed_tree_ = std::make_unique<KdTreeIndex>(std::move(*tree));
+
+  // Tag every point with its nearest seed and collect witness edges.
+  KdKnnSearcher searcher(self.seed_tree_.get());
+  self.tags_.resize(n);
+  std::vector<std::pair<uint32_t, uint32_t>> witness_edges;
+  const bool witness = config.graph_mode == VoronoiGraphMode::kWitness;
+  std::vector<double> buf(d);
+  for (uint64_t i = 0; i < n; ++i) {
+    const float* p = self.points_->point(i);
+    for (size_t j = 0; j < d; ++j) buf[j] = p[j];
+    size_t k = witness ? 2 : 1;
+    std::vector<Neighbor> nearest = searcher.BestFirst(buf.data(), k);
+    self.tags_[i] = static_cast<uint32_t>(nearest[0].id);
+    if (witness && nearest.size() > 1) {
+      uint32_t a = static_cast<uint32_t>(nearest[0].id);
+      uint32_t b = static_cast<uint32_t>(nearest[1].id);
+      witness_edges.emplace_back(std::min(a, b), std::max(a, b));
+    }
+  }
+
+  // Clustered order by tag (counting sort keeps it deterministic).
+  self.cell_rows_.assign(num_seeds + 1, 0);
+  for (uint64_t i = 0; i < n; ++i) ++self.cell_rows_[self.tags_[i] + 1];
+  for (uint32_t c = 0; c < num_seeds; ++c) {
+    self.cell_rows_[c + 1] += self.cell_rows_[c];
+  }
+  self.clustered_order_.resize(n);
+  {
+    std::vector<uint64_t> cursor(self.cell_rows_.begin(),
+                                 self.cell_rows_.end() - 1);
+    for (uint64_t i = 0; i < n; ++i) {
+      self.clustered_order_[cursor[self.tags_[i]]++] = i;
+    }
+  }
+
+  // Tight per-cell bounding boxes.
+  self.cell_bounds_.assign(num_seeds, Box::Empty(d));
+  for (uint64_t i = 0; i < n; ++i) {
+    self.cell_bounds_[self.tags_[i]].Extend(self.points_->point(i));
+  }
+  for (uint32_t c = 0; c < num_seeds; ++c) {
+    if (self.cell_size(c) == 0) {
+      // Empty cell: collapse its box onto the seed so queries skip it.
+      std::vector<double> seed_coords(d);
+      const float* s = self.seeds_->point(c);
+      for (size_t j = 0; j < d; ++j) seed_coords[j] = s[j];
+      self.cell_bounds_[c] = Box(seed_coords, seed_coords);
+    }
+  }
+
+  // Neighbor graph.
+  self.graph_.assign(num_seeds, {});
+  if (witness) {
+    std::sort(witness_edges.begin(), witness_edges.end());
+    witness_edges.erase(
+        std::unique(witness_edges.begin(), witness_edges.end()),
+        witness_edges.end());
+    for (auto [a, b] : witness_edges) {
+      self.graph_[a].push_back(b);
+      self.graph_[b].push_back(a);
+    }
+    for (auto& adjacency : self.graph_) {
+      std::sort(adjacency.begin(), adjacency.end());
+    }
+  } else {
+    std::vector<double> coords(num_seeds * d);
+    for (uint32_t s = 0; s < num_seeds; ++s) {
+      const float* p = self.seeds_->point(s);
+      for (size_t j = 0; j < d; ++j) coords[s * d + j] = p[j];
+    }
+    auto delaunay = DelaunayTriangulation::Compute(coords, d);
+    if (!delaunay.ok()) return delaunay.status();
+    self.delaunay_.emplace(std::move(*delaunay));
+    self.graph_ = self.delaunay_->seed_graph();
+  }
+  return index;
+}
+
+uint32_t VoronoiIndex::NearestSeed(const double* p) const {
+  KdKnnSearcher searcher(seed_tree_.get());
+  return static_cast<uint32_t>(searcher.BestFirst(p, 1)[0].id);
+}
+
+uint32_t VoronoiIndex::NearestSeed(const float* p) const {
+  std::vector<double> buf(dim());
+  for (size_t j = 0; j < dim(); ++j) buf[j] = p[j];
+  return NearestSeed(buf.data());
+}
+
+uint32_t VoronoiIndex::WalkLocate(const double* p, uint32_t start,
+                                  WalkStats* stats) const {
+  uint32_t current = start;
+  double current_d2 = SquaredDistance(p, seeds_->point(current), dim());
+  for (uint32_t guard = 0; guard < num_seeds(); ++guard) {
+    uint32_t best = current;
+    double best_d2 = current_d2;
+    for (uint32_t nb : graph_[current]) {
+      if (stats != nullptr) ++stats->neighbor_evaluations;
+      double d2 = SquaredDistance(p, seeds_->point(nb), dim());
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = nb;
+      }
+    }
+    if (best == current) break;
+    current = best;
+    current_d2 = best_d2;
+    if (stats != nullptr) ++stats->steps;
+  }
+  return current;
+}
+
+void VoronoiIndex::QueryPolyhedron(const Polyhedron& query,
+                                   std::vector<uint64_t>* out,
+                                   VoronoiQueryStats* stats) const {
+  VoronoiQueryStats local;
+  VoronoiQueryStats* st = stats != nullptr ? stats : &local;
+  for (uint32_t c = 0; c < num_seeds(); ++c) {
+    if (cell_size(c) == 0) {
+      ++st->cells_outside;
+      continue;
+    }
+    BoxClass cls = query.Classify(cell_bounds_[c]);
+    if (cls == BoxClass::kOutside) {
+      ++st->cells_outside;
+      continue;
+    }
+    if (cls == BoxClass::kInside) {
+      ++st->cells_inside;
+      for (uint64_t r = cell_rows_[c]; r < cell_rows_[c + 1]; ++r) {
+        out->push_back(clustered_order_[r]);
+      }
+      st->points_emitted += cell_size(c);
+      continue;
+    }
+    ++st->cells_partial;
+    for (uint64_t r = cell_rows_[c]; r < cell_rows_[c + 1]; ++r) {
+      uint64_t id = clustered_order_[r];
+      ++st->points_tested;
+      if (query.Contains(points_->point(id))) {
+        out->push_back(id);
+        ++st->points_emitted;
+      }
+    }
+  }
+}
+
+std::vector<double> VoronoiIndex::EstimateCellVolumes(uint64_t samples,
+                                                      Rng& rng) const {
+  std::vector<uint64_t> counts(num_seeds(), 0);
+  const size_t d = dim();
+  std::vector<double> p(d);
+  for (uint64_t s = 0; s < samples; ++s) {
+    for (size_t j = 0; j < d; ++j) {
+      p[j] = rng.NextUniform(data_bounds_.lo(j), data_bounds_.hi(j));
+    }
+    ++counts[NearestSeed(p.data())];
+  }
+  const double box_volume = data_bounds_.Volume();
+  std::vector<double> volumes(num_seeds());
+  for (uint32_t c = 0; c < num_seeds(); ++c) {
+    volumes[c] = box_volume * static_cast<double>(counts[c]) /
+                 static_cast<double>(samples);
+  }
+  return volumes;
+}
+
+std::vector<double> VoronoiIndex::EstimateCellDensities(
+    uint64_t volume_samples, Rng& rng) const {
+  std::vector<double> volumes = EstimateCellVolumes(volume_samples, rng);
+  std::vector<double> densities(num_seeds(), 0.0);
+  // Floor: a cell so small that no Monte-Carlo sample landed in it is very
+  // dense; use one sample quantum as the volume floor.
+  const double floor_volume =
+      data_bounds_.Volume() / static_cast<double>(volume_samples);
+  for (uint32_t c = 0; c < num_seeds(); ++c) {
+    double v = std::max(volumes[c], floor_volume);
+    densities[c] = static_cast<double>(cell_size(c)) / v;
+  }
+  return densities;
+}
+
+}  // namespace mds

@@ -1,0 +1,150 @@
+#ifndef MDS_CORE_VORONOI_INDEX_H_
+#define MDS_CORE_VORONOI_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/kdtree.h"
+#include "geom/box.h"
+#include "geom/point_set.h"
+#include "geom/polyhedron.h"
+#include "hull/delaunay.h"
+
+namespace mds {
+
+/// How the Delaunay/neighbor graph over the seeds is obtained.
+enum class VoronoiGraphMode {
+  /// Exact Delaunay triangulation via the lifted quickhull (QHull path of
+  /// the paper). Cost grows steeply with dimension; intended for d <= 5
+  /// and a few thousand seeds.
+  kExactDelaunay,
+  /// Witness graph: two seeds are connected if some data point has them as
+  /// its first and second nearest seeds. Scalable approximation of the
+  /// Delaunay graph (the paper cites approximate Voronoi diagrams [6] as
+  /// the standard workaround); edges are a subset of Delaunay edges and the
+  /// dense regions that matter are covered by construction.
+  kWitness,
+};
+
+struct VoronoiIndexConfig {
+  uint32_t num_seeds = 1024;  ///< the paper samples Nseed = 10K of 270M
+  uint64_t seed = 7;          ///< RNG seed for sampling
+  VoronoiGraphMode graph_mode = VoronoiGraphMode::kWitness;
+};
+
+/// Polyhedron-query counters (E9).
+struct VoronoiQueryStats {
+  uint64_t cells_inside = 0;
+  uint64_t cells_outside = 0;
+  uint64_t cells_partial = 0;
+  uint64_t points_tested = 0;
+  uint64_t points_emitted = 0;
+};
+
+/// Directed-walk counters (E8).
+struct WalkStats {
+  uint64_t steps = 0;
+  uint64_t neighbor_evaluations = 0;
+};
+
+/// Sampled flat Voronoi tessellation index (§3.4).
+///
+/// Nseed representative data points become seeds; every row is tagged with
+/// its nearest seed (the ContainedBy analog) and rows are clustered by tag,
+/// so retrieving one cell's points is a contiguous range scan. Cells are
+/// numbered along a space-filling (Morton) curve as in the paper. Point
+/// location runs as a directed walk on the Delaunay (or witness) graph;
+/// polyhedron queries classify cells as inside / outside / partial.
+class VoronoiIndex {
+ public:
+  static Result<VoronoiIndex> Build(const PointSet* points,
+                                    const VoronoiIndexConfig& config = {});
+
+  size_t dim() const { return points_->dim(); }
+  uint32_t num_seeds() const { return static_cast<uint32_t>(seeds_->size()); }
+  /// Seed coordinates (ordered along the space-filling curve).
+  const PointSet& seeds() const { return *seeds_; }
+  /// Original data ids of the seeds (aligned with seed ids).
+  const std::vector<uint64_t>& seed_point_ids() const { return seed_ids_; }
+
+  /// Nearest-seed tag per original point id.
+  uint32_t tag(uint64_t point_id) const { return tags_[point_id]; }
+
+  /// Clustered row order (sorted by tag); cell c owns rows
+  /// [cell_row_begin(c), cell_row_end(c)).
+  const std::vector<uint64_t>& clustered_order() const {
+    return clustered_order_;
+  }
+  uint64_t cell_row_begin(uint32_t cell) const { return cell_rows_[cell]; }
+  uint64_t cell_row_end(uint32_t cell) const { return cell_rows_[cell + 1]; }
+  uint64_t cell_size(uint32_t cell) const {
+    return cell_rows_[cell + 1] - cell_rows_[cell];
+  }
+
+  /// Tight bounding box of the points of one cell.
+  const Box& cell_bounds(uint32_t cell) const { return cell_bounds_[cell]; }
+
+  /// The seed adjacency graph (Delaunay or witness).
+  const std::vector<std::vector<uint32_t>>& seed_graph() const {
+    return graph_;
+  }
+
+  /// The exact Delaunay triangulation; present only in kExactDelaunay mode.
+  const std::optional<DelaunayTriangulation>& delaunay() const {
+    return delaunay_;
+  }
+
+  /// Exact nearest seed of p (kd-tree over the seeds).
+  uint32_t NearestSeed(const double* p) const;
+  uint32_t NearestSeed(const float* p) const;
+
+  /// Directed walk on the seed graph from `start`: repeatedly hop to the
+  /// neighbor closest to p until no neighbor improves (§3.4; expected
+  /// O(sqrt(Nseed)) steps). Exact on the Delaunay graph; on the witness
+  /// graph it may stop at a local minimum (tests quantify the miss rate).
+  uint32_t WalkLocate(const double* p, uint32_t start,
+                      WalkStats* stats = nullptr) const;
+
+  /// Polyhedron query via cell classification; appends original point ids.
+  void QueryPolyhedron(const Polyhedron& query, std::vector<uint64_t>* out,
+                       VoronoiQueryStats* stats = nullptr) const;
+
+  /// Monte-Carlo estimate of cell volumes restricted to the data bounding
+  /// box (cells of hull seeds are unbounded; the restriction makes the
+  /// inverse-volume density estimator of §3.4/§4 well defined). Returns
+  /// one volume per cell.
+  std::vector<double> EstimateCellVolumes(uint64_t samples, Rng& rng) const;
+
+  /// Inverse-volume density estimate per cell: cell point count divided by
+  /// estimated volume (the §3.4 "parameter-free density map").
+  std::vector<double> EstimateCellDensities(uint64_t volume_samples,
+                                            Rng& rng) const;
+
+  const PointSet& points() const { return *points_; }
+
+ private:
+  VoronoiIndex() = default;
+  friend class IndexIo;
+
+  const PointSet* points_ = nullptr;
+  /// Behind a unique_ptr so the kd-tree's pointer into it survives moves
+  /// of the index object.
+  std::unique_ptr<PointSet> seeds_;
+  std::vector<uint64_t> seed_ids_;
+  std::vector<uint32_t> tags_;
+  std::vector<uint64_t> clustered_order_;
+  std::vector<uint64_t> cell_rows_;  // size num_seeds + 1
+  std::vector<Box> cell_bounds_;
+  std::vector<std::vector<uint32_t>> graph_;
+  std::optional<DelaunayTriangulation> delaunay_;
+  std::unique_ptr<KdTreeIndex> seed_tree_;
+  Box data_bounds_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_CORE_VORONOI_INDEX_H_

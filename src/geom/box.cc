@@ -1,0 +1,136 @@
+#include "geom/box.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mds {
+
+Box Box::Empty(size_t dim) {
+  return Box(std::vector<double>(dim, std::numeric_limits<double>::infinity()),
+             std::vector<double>(dim, -std::numeric_limits<double>::infinity()));
+}
+
+Box Box::Bounding(const PointSet& points) {
+  if (points.empty()) return Box::Unit(points.dim());
+  Box b = Box::Empty(points.dim());
+  for (size_t i = 0; i < points.size(); ++i) b.Extend(points.point(i));
+  return b;
+}
+
+Box Box::Unit(size_t dim) {
+  return Box(std::vector<double>(dim, 0.0), std::vector<double>(dim, 1.0));
+}
+
+void Box::Extend(const float* p) {
+  for (size_t j = 0; j < dim(); ++j) {
+    lo_[j] = std::min(lo_[j], static_cast<double>(p[j]));
+    hi_[j] = std::max(hi_[j], static_cast<double>(p[j]));
+  }
+}
+
+void Box::Extend(const double* p) {
+  for (size_t j = 0; j < dim(); ++j) {
+    lo_[j] = std::min(lo_[j], p[j]);
+    hi_[j] = std::max(hi_[j], p[j]);
+  }
+}
+
+void Box::Inflate(double amount) {
+  for (size_t j = 0; j < dim(); ++j) {
+    lo_[j] -= amount;
+    hi_[j] += amount;
+  }
+}
+
+bool Box::Contains(const float* p) const {
+  for (size_t j = 0; j < dim(); ++j) {
+    double v = p[j];
+    if (v < lo_[j] || v > hi_[j]) return false;
+  }
+  return true;
+}
+
+bool Box::Contains(const double* p) const {
+  for (size_t j = 0; j < dim(); ++j) {
+    if (p[j] < lo_[j] || p[j] > hi_[j]) return false;
+  }
+  return true;
+}
+
+bool Box::Intersects(const Box& other) const {
+  for (size_t j = 0; j < dim(); ++j) {
+    if (hi_[j] < other.lo_[j] || other.hi_[j] < lo_[j]) return false;
+  }
+  return true;
+}
+
+bool Box::ContainsBox(const Box& other) const {
+  for (size_t j = 0; j < dim(); ++j) {
+    if (other.lo_[j] < lo_[j] || other.hi_[j] > hi_[j]) return false;
+  }
+  return true;
+}
+
+double Box::Volume() const {
+  double v = 1.0;
+  for (size_t j = 0; j < dim(); ++j) v *= std::max(0.0, hi_[j] - lo_[j]);
+  return v;
+}
+
+std::vector<double> Box::Center() const {
+  std::vector<double> c(dim());
+  for (size_t j = 0; j < dim(); ++j) c[j] = 0.5 * (lo_[j] + hi_[j]);
+  return c;
+}
+
+std::vector<double> Box::Corner(uint64_t k) const {
+  std::vector<double> out(dim());
+  CornerInto(k, out.data());
+  return out;
+}
+
+void Box::CornerInto(uint64_t k, double* out) const {
+  for (size_t j = 0; j < dim(); ++j) {
+    out[j] = (k >> j) & 1 ? hi_[j] : lo_[j];
+  }
+}
+
+double Box::MinSquaredDistance(const double* p) const {
+  double s = 0.0;
+  for (size_t j = 0; j < dim(); ++j) {
+    double d = 0.0;
+    if (p[j] < lo_[j]) {
+      d = lo_[j] - p[j];
+    } else if (p[j] > hi_[j]) {
+      d = p[j] - hi_[j];
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+double Box::MinSquaredDistance(const float* p) const {
+  double s = 0.0;
+  for (size_t j = 0; j < dim(); ++j) {
+    double v = p[j];
+    double d = 0.0;
+    if (v < lo_[j]) {
+      d = lo_[j] - v;
+    } else if (v > hi_[j]) {
+      d = v - hi_[j];
+    }
+    s += d * d;
+  }
+  return s;
+}
+
+double Box::MaxSquaredDistance(const double* p) const {
+  double s = 0.0;
+  for (size_t j = 0; j < dim(); ++j) {
+    double d = std::max(std::abs(p[j] - lo_[j]), std::abs(p[j] - hi_[j]));
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace mds

@@ -1,0 +1,83 @@
+#ifndef MDS_GEOM_BOX_H_
+#define MDS_GEOM_BOX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "geom/point_set.h"
+
+namespace mds {
+
+/// Axis-aligned box in d dimensions: the bounding volume of kd-tree nodes,
+/// grid cells and query boxes. Closed on both ends: lo <= x <= hi.
+class Box {
+ public:
+  Box() = default;
+  Box(std::vector<double> lo, std::vector<double> hi)
+      : lo_(std::move(lo)), hi_(std::move(hi)) {
+    MDS_DCHECK(lo_.size() == hi_.size());
+  }
+
+  /// The degenerate "empty" box ready to be Extend()ed.
+  static Box Empty(size_t dim);
+
+  /// Bounding box of a point set (lo == hi == origin for empty sets).
+  static Box Bounding(const PointSet& points);
+
+  /// Unit cube [0,1]^d.
+  static Box Unit(size_t dim);
+
+  size_t dim() const { return lo_.size(); }
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+  double lo(size_t j) const { return lo_[j]; }
+  double hi(size_t j) const { return hi_[j]; }
+  void set_lo(size_t j, double v) { lo_[j] = v; }
+  void set_hi(size_t j, double v) { hi_[j] = v; }
+
+  /// Grows to cover p.
+  void Extend(const float* p);
+  void Extend(const double* p);
+
+  /// Expands every side by `amount` on both ends.
+  void Inflate(double amount);
+
+  bool Contains(const float* p) const;
+  bool Contains(const double* p) const;
+
+  /// True iff the boxes share at least one point (closed intersection).
+  bool Intersects(const Box& other) const;
+
+  /// True iff `other` lies entirely within this box.
+  bool ContainsBox(const Box& other) const;
+
+  /// Product of side lengths.
+  double Volume() const;
+
+  std::vector<double> Center() const;
+
+  /// Corner k of the 2^dim corners: bit j of k selects hi (1) or lo (0)
+  /// along axis j. dim() must be <= 63.
+  std::vector<double> Corner(uint64_t k) const;
+  void CornerInto(uint64_t k, double* out) const;
+
+  /// Squared distance from p to the nearest point of the box (0 if inside).
+  double MinSquaredDistance(const double* p) const;
+  double MinSquaredDistance(const float* p) const;
+
+  /// Squared distance from p to the farthest point of the box.
+  double MaxSquaredDistance(const double* p) const;
+
+  bool operator==(const Box& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_GEOM_BOX_H_

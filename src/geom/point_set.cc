@@ -1,0 +1,12 @@
+#include "geom/point_set.h"
+
+namespace mds {
+
+PointSet PointSet::Gather(const std::vector<uint64_t>& ids) const {
+  PointSet out(dim_, 0);
+  out.Reserve(ids.size());
+  for (uint64_t id : ids) out.Append(point(id));
+  return out;
+}
+
+}  // namespace mds

@@ -1,0 +1,92 @@
+#ifndef MDS_GEOM_POINT_SET_H_
+#define MDS_GEOM_POINT_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mds {
+
+/// A set of n points in d-dimensional space, stored contiguously in
+/// row-major float precision (matching the survey's 4-byte magnitude
+/// columns). Index structures hold row ids into a PointSet; coordinates are
+/// promoted to double for geometry computations.
+class PointSet {
+ public:
+  PointSet() = default;
+  PointSet(size_t dim, size_t size) : dim_(dim), data_(dim * size, 0.0f) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  bool empty() const { return data_.empty(); }
+
+  const float* point(size_t i) const {
+    MDS_DCHECK(i < size());
+    return &data_[i * dim_];
+  }
+  float* mutable_point(size_t i) {
+    MDS_DCHECK(i < size());
+    return &data_[i * dim_];
+  }
+
+  float coord(size_t i, size_t j) const {
+    MDS_DCHECK(i < size() && j < dim_);
+    return data_[i * dim_ + j];
+  }
+  void set_coord(size_t i, size_t j, float v) {
+    MDS_DCHECK(i < size() && j < dim_);
+    data_[i * dim_ + j] = v;
+  }
+
+  /// Appends one point; p must have dim() entries.
+  void Append(const float* p) { data_.insert(data_.end(), p, p + dim_); }
+  void Append(const double* p) {
+    for (size_t j = 0; j < dim_; ++j) data_.push_back(static_cast<float>(p[j]));
+  }
+
+  void Reserve(size_t n) { data_.reserve(n * dim_); }
+
+  const std::vector<float>& raw() const { return data_; }
+  std::vector<float>& mutable_raw() { return data_; }
+
+  /// Extracts the rows named by `ids` into a new PointSet.
+  PointSet Gather(const std::vector<uint64_t>& ids) const;
+
+ private:
+  size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+/// Squared Euclidean distance between two d-dimensional points.
+inline double SquaredDistance(const float* a, const float* b, size_t dim) {
+  double s = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    double diff = static_cast<double>(a[j]) - static_cast<double>(b[j]);
+    s += diff * diff;
+  }
+  return s;
+}
+
+inline double SquaredDistance(const double* a, const double* b, size_t dim) {
+  double s = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    double diff = a[j] - b[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+inline double SquaredDistance(const double* a, const float* b, size_t dim) {
+  double s = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    double diff = a[j] - static_cast<double>(b[j]);
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace mds
+
+#endif  // MDS_GEOM_POINT_SET_H_

@@ -1,0 +1,90 @@
+#ifndef MDS_GEOM_POLYHEDRON_H_
+#define MDS_GEOM_POLYHEDRON_H_
+
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point_set.h"
+
+namespace mds {
+
+/// A closed halfspace {x : normal . x <= offset}.
+///
+/// The paper's "scientific questions are transformed into queries which are
+/// hyper planes ... broken down into polyhedron queries" — each linear
+/// predicate in a SkyServer-style WHERE clause (Figure 2) is one Halfspace.
+struct Halfspace {
+  std::vector<double> normal;
+  double offset = 0.0;
+
+  bool Contains(const float* p) const {
+    double s = 0.0;
+    for (size_t j = 0; j < normal.size(); ++j) s += normal[j] * p[j];
+    return s <= offset;
+  }
+  bool Contains(const double* p) const {
+    double s = 0.0;
+    for (size_t j = 0; j < normal.size(); ++j) s += normal[j] * p[j];
+    return s <= offset;
+  }
+};
+
+/// Relation of an axis-aligned box to a convex query region.
+enum class BoxClass {
+  kInside,   ///< box entirely within the region
+  kOutside,  ///< box entirely outside the region
+  kPartial,  ///< box straddles the boundary (or undecided: conservative)
+};
+
+/// Convex polyhedron in H-representation (intersection of halfspaces).
+/// This is the query type evaluated against kd-tree boxes (Figure 4) and
+/// Voronoi cells (§3.4).
+class Polyhedron {
+ public:
+  Polyhedron() = default;
+  explicit Polyhedron(size_t dim) : dim_(dim) {}
+
+  /// A polyhedron equivalent to an axis-aligned box (2*dim halfspaces).
+  static Polyhedron FromBox(const Box& box);
+
+  /// Euclidean ball approximated by `facets` tangent halfspaces whose
+  /// normals are spread with a deterministic low-discrepancy scheme, plus
+  /// the axis directions. Used to build query polyhedra of controlled
+  /// volume in tests/benches.
+  static Polyhedron BallApproximation(const std::vector<double>& center,
+                                      double radius, size_t facets);
+
+  size_t dim() const { return dim_; }
+  size_t num_halfspaces() const { return halfspaces_.size(); }
+  const std::vector<Halfspace>& halfspaces() const { return halfspaces_; }
+
+  /// Adds the constraint normal . x <= offset. Normal length must be dim().
+  void AddHalfspace(std::vector<double> normal, double offset);
+
+  /// Membership test for a point.
+  bool Contains(const float* p) const;
+  bool Contains(const double* p) const;
+
+  /// Classifies a box against the polyhedron.
+  ///
+  /// Exact "inside" test: for every halfspace the support corner in the
+  /// normal direction satisfies it. Exact-per-face "outside" test: some
+  /// halfspace is violated by the box's best corner. When neither holds the
+  /// box is reported kPartial; this is conservative (a disjoint box whose
+  /// separating hyperplane is not a polyhedron face is classed partial, and
+  /// the per-point fallback then returns nothing), so query results stay
+  /// exact.
+  BoxClass Classify(const Box& box) const;
+
+  /// True iff every vertex from `points` with ids in `ids` is contained.
+  bool ContainsAll(const PointSet& points,
+                   const std::vector<uint64_t>& ids) const;
+
+ private:
+  size_t dim_ = 0;
+  std::vector<Halfspace> halfspaces_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_GEOM_POLYHEDRON_H_

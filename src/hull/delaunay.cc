@@ -1,0 +1,153 @@
+#include "hull/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mds {
+
+Result<std::vector<double>> Circumcenter(const std::vector<double>& verts,
+                                         size_t dim) {
+  const size_t d = dim;
+  if (verts.size() != (d + 1) * d) {
+    return Status::InvalidArgument("Circumcenter: bad vertex array");
+  }
+  // Equidistance conditions: 2 (v_i - v_0) . c = |v_i|^2 - |v_0|^2.
+  // Solve the d x d system with Gaussian elimination + partial pivoting.
+  std::vector<double> a(d * (d + 1));  // augmented
+  const double* v0 = verts.data();
+  double v0sq = 0.0;
+  for (size_t j = 0; j < d; ++j) v0sq += v0[j] * v0[j];
+  for (size_t i = 0; i < d; ++i) {
+    const double* vi = verts.data() + (i + 1) * d;
+    double visq = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      a[i * (d + 1) + j] = 2.0 * (vi[j] - v0[j]);
+      visq += vi[j] * vi[j];
+    }
+    a[i * (d + 1) + d] = visq - v0sq;
+  }
+  for (size_t col = 0; col < d; ++col) {
+    size_t piv = col;
+    for (size_t r = col + 1; r < d; ++r) {
+      if (std::abs(a[r * (d + 1) + col]) > std::abs(a[piv * (d + 1) + col])) {
+        piv = r;
+      }
+    }
+    if (std::abs(a[piv * (d + 1) + col]) < 1e-300) {
+      return Status::FailedPrecondition("Circumcenter: degenerate simplex");
+    }
+    if (piv != col) {
+      for (size_t j = col; j <= d; ++j) {
+        std::swap(a[piv * (d + 1) + j], a[col * (d + 1) + j]);
+      }
+    }
+    double diag = a[col * (d + 1) + col];
+    for (size_t r = 0; r < d; ++r) {
+      if (r == col) continue;
+      double factor = a[r * (d + 1) + col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t j = col; j <= d; ++j) {
+        a[r * (d + 1) + j] -= factor * a[col * (d + 1) + j];
+      }
+    }
+  }
+  std::vector<double> c(d);
+  for (size_t i = 0; i < d; ++i) {
+    c[i] = a[i * (d + 1) + d] / a[i * (d + 1) + i];
+  }
+  return c;
+}
+
+Result<DelaunayTriangulation> DelaunayTriangulation::Compute(
+    const std::vector<double>& seeds, size_t dim,
+    const QuickhullOptions& options) {
+  if (dim == 0 || seeds.size() % dim != 0) {
+    return Status::InvalidArgument("Delaunay: bad seed array");
+  }
+  const size_t n = seeds.size() / dim;
+  if (n < dim + 2) {
+    return Status::InvalidArgument("Delaunay: need at least d+2 seeds");
+  }
+  // Lift to the paraboloid in d+1 dimensions.
+  const size_t ld = dim + 1;
+  std::vector<double> lifted(n * ld);
+  for (size_t i = 0; i < n; ++i) {
+    double sq = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      double x = seeds[i * dim + j];
+      lifted[i * ld + j] = x;
+      sq += x * x;
+    }
+    lifted[i * ld + dim] = sq;
+  }
+  MDS_ASSIGN_OR_RETURN(ConvexHull hull,
+                       ComputeConvexHull(lifted, ld, options));
+
+  DelaunayTriangulation tri;
+  tri.dim_ = dim;
+  tri.num_seeds_ = n;
+  tri.on_hull_.assign(n, 0);
+  tri.incident_.resize(n);
+  tri.graph_.resize(n);
+
+  std::vector<double> simplex_coords((dim + 1) * dim);
+  for (const HullFacet& facet : hull.facets) {
+    if (facet.normal[dim] < 0.0) {
+      // Downward facet: a Delaunay simplex.
+      DelaunaySimplex simplex;
+      simplex.vertices = facet.vertices;
+      for (size_t i = 0; i <= dim; ++i) {
+        const double* src = seeds.data() + facet.vertices[i] * dim;
+        std::copy(src, src + dim, simplex_coords.begin() + i * dim);
+      }
+      Result<std::vector<double>> cc = Circumcenter(simplex_coords, dim);
+      if (cc.ok()) {
+        simplex.circumcenter = std::move(*cc);
+        const double* v0 = seeds.data() + facet.vertices[0] * dim;
+        double r2 = 0.0;
+        for (size_t j = 0; j < dim; ++j) {
+          double diff = simplex.circumcenter[j] - v0[j];
+          r2 += diff * diff;
+        }
+        simplex.circumradius2 = r2;
+      } else {
+        // Nearly flat simplex after joggling: fall back to the centroid so
+        // downstream consumers still have a representative vertex.
+        simplex.circumcenter.assign(dim, 0.0);
+        for (size_t i = 0; i <= dim; ++i) {
+          for (size_t j = 0; j < dim; ++j) {
+            simplex.circumcenter[j] += simplex_coords[i * dim + j];
+          }
+        }
+        for (double& x : simplex.circumcenter) {
+          x /= static_cast<double>(dim + 1);
+        }
+        simplex.circumradius2 = 0.0;
+      }
+      uint32_t sid = static_cast<uint32_t>(tri.simplices_.size());
+      for (uint32_t v : simplex.vertices) tri.incident_[v].push_back(sid);
+      for (size_t i = 0; i < simplex.vertices.size(); ++i) {
+        for (size_t j = i + 1; j < simplex.vertices.size(); ++j) {
+          tri.graph_[simplex.vertices[i]].push_back(simplex.vertices[j]);
+          tri.graph_[simplex.vertices[j]].push_back(simplex.vertices[i]);
+        }
+      }
+      tri.simplices_.push_back(std::move(simplex));
+    } else {
+      // Upward facet: its vertices lie on the convex hull of the seeds,
+      // so their Voronoi cells are unbounded.
+      for (uint32_t v : facet.vertices) tri.on_hull_[v] = 1;
+    }
+  }
+  if (tri.simplices_.empty()) {
+    return Status::Internal("Delaunay: no downward facets found");
+  }
+  for (auto& adjacency : tri.graph_) {
+    std::sort(adjacency.begin(), adjacency.end());
+    adjacency.erase(std::unique(adjacency.begin(), adjacency.end()),
+                    adjacency.end());
+  }
+  return tri;
+}
+
+}  // namespace mds

@@ -1,0 +1,69 @@
+#ifndef MDS_HULL_DELAUNAY_H_
+#define MDS_HULL_DELAUNAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "hull/quickhull.h"
+
+namespace mds {
+
+/// One Delaunay simplex (d+1 seed indices) with its circumsphere.
+struct DelaunaySimplex {
+  std::vector<uint32_t> vertices;
+  std::vector<double> circumcenter;  ///< = a Voronoi vertex of the dual
+  double circumradius2 = 0.0;
+};
+
+/// Delaunay triangulation of n seed points in d dimensions, computed by the
+/// lifting transform: points are mapped to the paraboloid
+/// (x, |x|^2) in d+1 dimensions, the convex hull is taken with Quickhull,
+/// and the downward-facing facets project to the Delaunay simplices — the
+/// same construction QHull performs for the paper (§3.4).
+class DelaunayTriangulation {
+ public:
+  /// seeds: n x d row-major coordinates.
+  static Result<DelaunayTriangulation> Compute(
+      const std::vector<double>& seeds, size_t dim,
+      const QuickhullOptions& options = {});
+
+  size_t dim() const { return dim_; }
+  size_t num_seeds() const { return num_seeds_; }
+  const std::vector<DelaunaySimplex>& simplices() const { return simplices_; }
+
+  /// The Delaunay graph (§3.4): adjacency lists per seed, sorted, unique.
+  /// Two seeds are connected iff their Voronoi cells share a face.
+  const std::vector<std::vector<uint32_t>>& seed_graph() const {
+    return graph_;
+  }
+
+  /// Simplices incident to each seed; the circumcenters of these simplices
+  /// are the vertices of the seed's Voronoi cell.
+  const std::vector<std::vector<uint32_t>>& incident_simplices() const {
+    return incident_;
+  }
+
+  /// True for seeds on the convex hull of the seed set; their Voronoi
+  /// cells are unbounded.
+  const std::vector<char>& on_hull() const { return on_hull_; }
+
+ private:
+  DelaunayTriangulation() = default;
+
+  size_t dim_ = 0;
+  size_t num_seeds_ = 0;
+  std::vector<DelaunaySimplex> simplices_;
+  std::vector<std::vector<uint32_t>> graph_;
+  std::vector<std::vector<uint32_t>> incident_;
+  std::vector<char> on_hull_;
+};
+
+/// Circumcenter of the simplex with vertex coordinates `verts` (d+1 rows of
+/// d columns). Fails if the simplex is degenerate.
+Result<std::vector<double>> Circumcenter(const std::vector<double>& verts,
+                                         size_t dim);
+
+}  // namespace mds
+
+#endif  // MDS_HULL_DELAUNAY_H_

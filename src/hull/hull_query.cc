@@ -1,0 +1,31 @@
+#include "hull/hull_query.h"
+
+namespace mds {
+
+Result<Polyhedron> ConvexHullPolyhedron(const std::vector<double>& points,
+                                        size_t dim, double margin,
+                                        const QuickhullOptions& options) {
+  MDS_ASSIGN_OR_RETURN(ConvexHull hull,
+                       ComputeConvexHull(points, dim, options));
+  Polyhedron poly(dim);
+  for (const HullFacet& facet : hull.facets) {
+    poly.AddHalfspace(facet.normal, facet.offset + margin);
+  }
+  return poly;
+}
+
+Result<Polyhedron> ConvexHullPolyhedron(const PointSet& points,
+                                        const std::vector<uint64_t>& ids,
+                                        double margin,
+                                        const QuickhullOptions& options) {
+  const size_t d = points.dim();
+  std::vector<double> coords;
+  coords.reserve(ids.size() * d);
+  for (uint64_t id : ids) {
+    const float* p = points.point(id);
+    for (size_t j = 0; j < d; ++j) coords.push_back(p[j]);
+  }
+  return ConvexHullPolyhedron(coords, d, margin, options);
+}
+
+}  // namespace mds

@@ -1,0 +1,34 @@
+#ifndef MDS_HULL_HULL_QUERY_H_
+#define MDS_HULL_HULL_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/point_set.h"
+#include "geom/polyhedron.h"
+#include "hull/quickhull.h"
+
+namespace mds {
+
+/// Builds the H-representation of the convex hull of a training set —
+/// the §2.2 "finding similar objects with drawing a convex hull around the
+/// training set" query: every hull facet becomes one halfspace, and the
+/// resulting Polyhedron can be evaluated by any of the spatial indexes.
+///
+/// `margin` inflates the hull outward by that distance along each facet
+/// normal (a margin of 0 returns the tight hull; training points on the
+/// boundary remain inside either way).
+Result<Polyhedron> ConvexHullPolyhedron(const std::vector<double>& points,
+                                        size_t dim, double margin = 0.0,
+                                        const QuickhullOptions& options = {});
+
+/// Convenience overload: hull of the selected rows of a PointSet.
+Result<Polyhedron> ConvexHullPolyhedron(const PointSet& points,
+                                        const std::vector<uint64_t>& ids,
+                                        double margin = 0.0,
+                                        const QuickhullOptions& options = {});
+
+}  // namespace mds
+
+#endif  // MDS_HULL_HULL_QUERY_H_

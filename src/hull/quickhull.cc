@@ -1,0 +1,646 @@
+#include "hull/quickhull.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mds {
+
+namespace {
+
+// Working facet with bookkeeping fields (trimmed away in the output).
+struct Facet {
+  std::vector<uint32_t> vertices;  // sorted, size d
+  std::vector<double> normal;
+  double offset = 0.0;
+  std::vector<uint32_t> neighbors;
+  std::vector<uint32_t> outside;
+  double furthest_dist = 0.0;
+  uint32_t furthest = 0;
+  bool alive = false;
+  uint64_t visit_epoch = 0;
+  bool visible = false;
+};
+
+struct RidgeKeyHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+class QuickhullImpl {
+ public:
+  QuickhullImpl(const double* pts, size_t n, size_t d, double eps)
+      : pts_(pts),
+        n_(n),
+        d_(d),
+        eps_(eps),
+        // Visibility/outside threshold: much tighter than the degeneracy
+        // tolerance. A coarse threshold here disconnects the true visible
+        // region on nearly-coplanar facet fans (dense clustered input) and
+        // silently drops hull points; facet-creation degeneracy is guarded
+        // separately by eps_.
+        vis_eps_(eps * 1e-3) {}
+
+  Status Run();
+  ConvexHull TakeResult();
+
+ private:
+  const double* P(uint32_t i) const { return pts_ + i * d_; }
+
+  double Dot(const double* a, const double* b) const {
+    double s = 0.0;
+    for (size_t j = 0; j < d_; ++j) s += a[j] * b[j];
+    return s;
+  }
+
+  double SignedDist(const Facet& f, uint32_t p) const {
+    return Dot(f.normal.data(), P(p)) - f.offset;
+  }
+
+  /// Computes the oriented supporting plane of f from its vertices;
+  /// fails if the vertices are affinely dependent.
+  Status ComputePlane(Facet* f);
+
+  Status BuildInitialSimplex();
+  Result<bool> AddApex(uint32_t base_facet);
+  bool ReinsertEscapedPoints();
+
+  uint32_t NewFacet();
+  void FreeFacet(uint32_t id);
+
+  const double* pts_;
+  size_t n_;
+  size_t d_;
+  double eps_;
+  double vis_eps_;
+
+  std::vector<Facet> facets_;
+  std::vector<uint32_t> free_list_;
+  std::vector<uint32_t> pending_;  // facets with outside points to process
+  std::vector<double> interior_;
+  uint64_t epoch_ = 0;
+
+  // Scratch buffers reused across AddApex calls.
+  std::vector<uint32_t> visible_;
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> horizon_;
+  std::vector<uint32_t> orphan_points_;
+  std::vector<char> banned_;
+};
+
+Status QuickhullImpl::ComputePlane(Facet* f) {
+  const size_t d = d_;
+  // Orthonormal basis of the facet's direction space via modified
+  // Gram-Schmidt on the edge vectors from vertex 0.
+  std::vector<double> basis((d - 1) * d);
+  size_t rank = 0;
+  const double* v0 = P(f->vertices[0]);
+  for (size_t i = 1; i < d; ++i) {
+    double* b = &basis[rank * d];
+    const double* vi = P(f->vertices[i]);
+    for (size_t j = 0; j < d; ++j) b[j] = vi[j] - v0[j];
+    for (size_t r = 0; r < rank; ++r) {
+      const double* br = &basis[r * d];
+      double proj = Dot(b, br);
+      for (size_t j = 0; j < d; ++j) b[j] -= proj * br[j];
+    }
+    double norm = std::sqrt(Dot(b, b));
+    if (norm <= eps_) {
+      return Status::FailedPrecondition("quickhull: degenerate facet");
+    }
+    for (size_t j = 0; j < d; ++j) b[j] /= norm;
+    ++rank;
+  }
+  // The normal: the coordinate axis with the largest residual after
+  // projecting out the facet directions, normalized.
+  std::vector<double> best(d), residual(d);
+  double best_norm = -1.0;
+  for (size_t k = 0; k < d; ++k) {
+    for (size_t j = 0; j < d; ++j) residual[j] = (j == k) ? 1.0 : 0.0;
+    for (size_t r = 0; r < rank; ++r) {
+      const double* br = &basis[r * d];
+      double proj = residual[k] * br[k];
+      // Full projection: residual starts as e_k, so the dot is just br[k],
+      // but after the first subtraction residual is general; recompute.
+      proj = Dot(residual.data(), br);
+      for (size_t j = 0; j < d; ++j) residual[j] -= proj * br[j];
+    }
+    double norm = std::sqrt(Dot(residual.data(), residual.data()));
+    if (norm > best_norm) {
+      best_norm = norm;
+      best = residual;
+    }
+  }
+  if (best_norm <= eps_) {
+    return Status::FailedPrecondition("quickhull: degenerate facet normal");
+  }
+  for (double& x : best) x /= best_norm;
+  // Offset: average over vertices for numeric robustness.
+  double offset = 0.0;
+  for (uint32_t v : f->vertices) offset += Dot(best.data(), P(v));
+  offset /= static_cast<double>(d);
+  // Orient away from the interior point.
+  double side = Dot(best.data(), interior_.data()) - offset;
+  if (side > 0.0) {
+    for (double& x : best) x = -x;
+    offset = -offset;
+  }
+  f->normal = std::move(best);
+  f->offset = offset;
+  return Status::OK();
+}
+
+uint32_t QuickhullImpl::NewFacet() {
+  uint32_t id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = static_cast<uint32_t>(facets_.size());
+    facets_.emplace_back();
+  }
+  Facet& f = facets_[id];
+  f.vertices.clear();
+  f.normal.clear();
+  f.neighbors.clear();
+  f.outside.clear();
+  f.furthest_dist = 0.0;
+  f.alive = true;
+  f.visible = false;
+  f.visit_epoch = 0;
+  return id;
+}
+
+void QuickhullImpl::FreeFacet(uint32_t id) {
+  facets_[id].alive = false;
+  facets_[id].outside.clear();
+  free_list_.push_back(id);
+}
+
+Status QuickhullImpl::BuildInitialSimplex() {
+  const size_t d = d_;
+  if (n_ < d + 1) {
+    return Status::InvalidArgument("quickhull: need at least d+1 points");
+  }
+  // Candidate extremes: min/max along each axis.
+  std::vector<uint32_t> candidates;
+  for (size_t j = 0; j < d; ++j) {
+    uint32_t lo = 0, hi = 0;
+    for (uint32_t i = 1; i < n_; ++i) {
+      if (P(i)[j] < P(lo)[j]) lo = i;
+      if (P(i)[j] > P(hi)[j]) hi = i;
+    }
+    candidates.push_back(lo);
+    candidates.push_back(hi);
+  }
+  // Farthest candidate pair seeds the simplex.
+  uint32_t a = candidates[0], b = candidates[1];
+  double best = -1.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      double s = 0.0;
+      for (size_t t = 0; t < d; ++t) {
+        double diff = P(candidates[i])[t] - P(candidates[j])[t];
+        s += diff * diff;
+      }
+      if (s > best) {
+        best = s;
+        a = candidates[i];
+        b = candidates[j];
+      }
+    }
+  }
+  if (best <= eps_ * eps_) {
+    return Status::FailedPrecondition("quickhull: all points coincide");
+  }
+  std::vector<uint32_t> simplex = {a, b};
+  // Orthonormal basis of the current affine span.
+  std::vector<double> basis;
+  {
+    std::vector<double> e(d);
+    for (size_t j = 0; j < d; ++j) e[j] = P(b)[j] - P(a)[j];
+    double norm = std::sqrt(Dot(e.data(), e.data()));
+    for (size_t j = 0; j < d; ++j) e[j] /= norm;
+    basis.insert(basis.end(), e.begin(), e.end());
+  }
+  std::vector<double> r(d);
+  while (simplex.size() < d + 1) {
+    // Farthest point from the current affine subspace.
+    uint32_t far = 0;
+    double far_dist = -1.0;
+    const size_t rank = basis.size() / d;
+    for (uint32_t i = 0; i < n_; ++i) {
+      for (size_t j = 0; j < d; ++j) r[j] = P(i)[j] - P(a)[j];
+      for (size_t k = 0; k < rank; ++k) {
+        const double* bk = &basis[k * d];
+        double proj = Dot(r.data(), bk);
+        for (size_t j = 0; j < d; ++j) r[j] -= proj * bk[j];
+      }
+      double dist = std::sqrt(Dot(r.data(), r.data()));
+      if (dist > far_dist) {
+        far_dist = dist;
+        far = i;
+      }
+    }
+    if (far_dist <= eps_) {
+      return Status::FailedPrecondition(
+          "quickhull: points are affinely dependent (flat input)");
+    }
+    simplex.push_back(far);
+    for (size_t j = 0; j < d; ++j) r[j] = P(far)[j] - P(a)[j];
+    for (size_t k = 0; k < rank; ++k) {
+      const double* bk = &basis[k * d];
+      double proj = Dot(r.data(), bk);
+      for (size_t j = 0; j < d; ++j) r[j] -= proj * bk[j];
+    }
+    double norm = std::sqrt(Dot(r.data(), r.data()));
+    for (size_t j = 0; j < d; ++j) r[j] /= norm;
+    basis.insert(basis.end(), r.begin(), r.end());
+  }
+
+  interior_.assign(d, 0.0);
+  for (uint32_t v : simplex) {
+    for (size_t j = 0; j < d; ++j) interior_[j] += P(v)[j];
+  }
+  for (size_t j = 0; j < d; ++j) interior_[j] /= static_cast<double>(d + 1);
+
+  // One facet per omitted simplex vertex; all pairs are neighbors.
+  std::vector<uint32_t> ids;
+  for (size_t omit = 0; omit < d + 1; ++omit) {
+    uint32_t id = NewFacet();
+    Facet& f = facets_[id];
+    for (size_t i = 0; i < d + 1; ++i) {
+      if (i != omit) f.vertices.push_back(simplex[i]);
+    }
+    std::sort(f.vertices.begin(), f.vertices.end());
+    MDS_RETURN_NOT_OK(ComputePlane(&f));
+    ids.push_back(id);
+  }
+  for (uint32_t id : ids) {
+    for (uint32_t other : ids) {
+      if (other != id) facets_[id].neighbors.push_back(other);
+    }
+  }
+  // Distribute the remaining points to outside sets.
+  std::vector<char> in_simplex(n_, 0);
+  for (uint32_t v : simplex) in_simplex[v] = 1;
+  for (uint32_t i = 0; i < n_; ++i) {
+    if (in_simplex[i]) continue;
+    for (uint32_t id : ids) {
+      Facet& f = facets_[id];
+      double dist = SignedDist(f, i);
+      if (dist > vis_eps_) {
+        if (f.outside.empty() || dist > f.furthest_dist) {
+          f.furthest_dist = dist;
+          f.furthest = i;
+        }
+        f.outside.push_back(i);
+        break;
+      }
+    }
+  }
+  for (uint32_t id : ids) {
+    if (!facets_[id].outside.empty()) pending_.push_back(id);
+  }
+  return Status::OK();
+}
+
+Result<bool> QuickhullImpl::AddApex(uint32_t base_id) {
+  const size_t d = d_;
+  const uint32_t apex = facets_[base_id].furthest;
+
+  // Find all facets visible from the apex by flood fill across neighbors.
+  ++epoch_;
+  visible_.clear();
+  horizon_.clear();
+  std::vector<uint32_t> stack = {base_id};
+  facets_[base_id].visit_epoch = epoch_;
+  facets_[base_id].visible = true;
+  visible_.push_back(base_id);
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    for (uint32_t nb : facets_[id].neighbors) {
+      Facet& g = facets_[nb];
+      if (g.visit_epoch == epoch_) continue;
+      g.visit_epoch = epoch_;
+      g.visible = SignedDist(g, apex) > vis_eps_;
+      if (g.visible) {
+        visible_.push_back(nb);
+        stack.push_back(nb);
+      }
+    }
+  }
+  // Horizon ridges: (outside facet, shared d-1 vertices) pairs. Read-only:
+  // nothing below mutates shared state until the whole fan has validated,
+  // so an inconsistent horizon (a floating-point artifact of a near-surface
+  // apex) can be rejected without corrupting the hull.
+  std::vector<uint32_t> ridge;
+  for (uint32_t id : visible_) {
+    for (uint32_t nb : facets_[id].neighbors) {
+      if (facets_[nb].visible && facets_[nb].alive) continue;
+      ridge.clear();
+      std::set_intersection(facets_[id].vertices.begin(),
+                            facets_[id].vertices.end(),
+                            facets_[nb].vertices.begin(),
+                            facets_[nb].vertices.end(),
+                            std::back_inserter(ridge));
+      if (ridge.size() != d - 1) {
+        return false;  // malformed ridge: reject this apex
+      }
+      horizon_.emplace_back(nb, ridge);
+    }
+  }
+  if (horizon_.empty()) {
+    return false;  // apex sees no horizon: reject
+  }
+
+  // Stage the new fan. New facets are allocated but nothing outside them is
+  // touched yet; planned relinks of horizon neighbors are recorded and
+  // applied only after validation.
+  std::vector<uint32_t> new_ids;
+  new_ids.reserve(horizon_.size());
+  struct Relink {
+    uint32_t outside_facet;
+    size_t slot;       // index into outside_facet.neighbors
+    uint32_t new_id;   // replacement
+  };
+  std::vector<Relink> relinks;
+  std::unordered_map<std::vector<uint32_t>, uint32_t, RidgeKeyHash> ridge_map;
+  bool valid = true;
+  for (auto& [outside_facet, ridge_verts] : horizon_) {
+    uint32_t id = NewFacet();
+    new_ids.push_back(id);
+    Facet& f = facets_[id];
+    f.vertices = ridge_verts;
+    f.vertices.push_back(apex);
+    std::sort(f.vertices.begin(), f.vertices.end());
+    if (!ComputePlane(&f).ok()) {
+      valid = false;
+      break;
+    }
+    // Plan the relink across the horizon.
+    f.neighbors.push_back(outside_facet);
+    Facet& out = facets_[outside_facet];
+    bool relinked = false;
+    for (size_t slot = 0; slot < out.neighbors.size(); ++slot) {
+      uint32_t nb = out.neighbors[slot];
+      if (facets_[nb].visit_epoch == epoch_ && facets_[nb].visible) {
+        bool shares = std::includes(facets_[nb].vertices.begin(),
+                                    facets_[nb].vertices.end(),
+                                    ridge_verts.begin(), ridge_verts.end());
+        if (shares) {
+          relinks.push_back(Relink{outside_facet, slot, id});
+          relinked = true;
+          break;
+        }
+      }
+    }
+    if (!relinked) {
+      valid = false;
+      break;
+    }
+    // Link new facets to each other through shared sub-ridges (all of
+    // which contain the apex).
+    std::vector<uint32_t> key;
+    for (size_t omit = 0; omit < f.vertices.size(); ++omit) {
+      if (f.vertices[omit] == apex) continue;  // that's the horizon ridge
+      key.clear();
+      for (size_t t = 0; t < f.vertices.size(); ++t) {
+        if (t != omit) key.push_back(f.vertices[t]);
+      }
+      auto [it, inserted] = ridge_map.try_emplace(key, id);
+      if (!inserted) {
+        uint32_t other = it->second;
+        facets_[id].neighbors.push_back(other);
+        facets_[other].neighbors.push_back(id);
+      }
+    }
+  }
+  // Validate: every new facet must have exactly d neighbors.
+  if (valid) {
+    for (uint32_t id : new_ids) {
+      if (facets_[id].neighbors.size() != d) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    // Roll back: free the staged facets; no shared state was modified.
+    for (uint32_t id : new_ids) FreeFacet(id);
+    return false;
+  }
+
+  // Commit. Gather orphaned outside points, relink the horizon, retire the
+  // visible facets, redistribute orphans.
+  orphan_points_.clear();
+  for (uint32_t id : visible_) {
+    for (uint32_t p : facets_[id].outside) {
+      if (p != apex && !banned_[p]) orphan_points_.push_back(p);
+    }
+  }
+  for (const Relink& r : relinks) {
+    facets_[r.outside_facet].neighbors[r.slot] = r.new_id;
+  }
+  for (uint32_t id : visible_) FreeFacet(id);
+  for (uint32_t p : orphan_points_) {
+    for (uint32_t id : new_ids) {
+      Facet& f = facets_[id];
+      double dist = SignedDist(f, p);
+      if (dist > vis_eps_) {
+        if (f.outside.empty() || dist > f.furthest_dist) {
+          f.furthest_dist = dist;
+          f.furthest = p;
+        }
+        f.outside.push_back(p);
+        break;
+      }
+    }
+  }
+  for (uint32_t id : new_ids) {
+    if (!facets_[id].outside.empty()) pending_.push_back(id);
+  }
+  return true;
+}
+
+Status QuickhullImpl::Run() {
+  banned_.assign(n_, 0);
+  MDS_RETURN_NOT_OK(BuildInitialSimplex());
+  // Outer verify-and-repair loop: with inexact arithmetic the incremental
+  // partitioning can orphan a point that is still above some surviving
+  // facet. After the queue drains, sweep all points against all facets and
+  // reinsert violators. Apexes whose visible region is numerically
+  // inconsistent (AddApex returns false) are banned: they sit within
+  // rounding distance of the hull surface and are treated as interior.
+  for (int sweep = 0; sweep < 32; ++sweep) {
+    while (!pending_.empty()) {
+      uint32_t id = pending_.back();
+      pending_.pop_back();
+      Facet& f = facets_[id];
+      if (!f.alive || f.outside.empty()) continue;
+      MDS_ASSIGN_OR_RETURN(bool added, AddApex(id));
+      if (!added) {
+        // Ban the apex and re-queue the facet with its remaining points.
+        uint32_t apex = f.furthest;
+        banned_[apex] = 1;
+        std::vector<uint32_t> rest;
+        rest.reserve(f.outside.size());
+        f.furthest_dist = 0.0;
+        for (uint32_t p : f.outside) {
+          if (p == apex || banned_[p]) continue;
+          double dist = SignedDist(f, p);
+          if (dist <= vis_eps_) continue;
+          if (rest.empty() || dist > f.furthest_dist) {
+            f.furthest_dist = dist;
+            f.furthest = p;
+          }
+          rest.push_back(p);
+        }
+        f.outside = std::move(rest);
+        if (!f.outside.empty()) pending_.push_back(id);
+      }
+    }
+    bool more = ReinsertEscapedPoints();
+    if (std::getenv("MDS_QH_DEBUG") != nullptr) {
+      std::fprintf(stderr, "qh sweep %d: pending=%zu\n", sweep,
+                   pending_.size());
+    }
+    if (!more) return Status::OK();
+  }
+  return Status::FailedPrecondition(
+      "quickhull: could not converge to a consistent hull (degenerate "
+      "input); joggle required");
+}
+
+bool QuickhullImpl::ReinsertEscapedPoints() {
+  // Returns true if any point still lies above a surviving facet (after
+  // queueing it for another round).
+  bool found = false;
+  for (uint32_t i = 0; i < n_; ++i) {
+    if (banned_[i]) continue;
+    double best = 0.0;
+    uint32_t best_facet = 0;
+    for (uint32_t f = 0; f < facets_.size(); ++f) {
+      if (!facets_[f].alive) continue;
+      double dist = SignedDist(facets_[f], i);
+      if (dist > best) {
+        best = dist;
+        best_facet = f;
+      }
+    }
+    if (best <= vis_eps_) continue;
+    // Skip points that are already queued as someone's outside point.
+    bool queued = false;
+    for (uint32_t f = 0; f < facets_.size() && !queued; ++f) {
+      if (!facets_[f].alive) continue;
+      for (uint32_t p : facets_[f].outside) {
+        if (p == i) {
+          queued = true;
+          break;
+        }
+      }
+    }
+    if (queued) continue;
+    Facet& facet = facets_[best_facet];
+    if (facet.outside.empty() || best > facet.furthest_dist) {
+      facet.furthest_dist = best;
+      facet.furthest = i;
+    }
+    facet.outside.push_back(i);
+    pending_.push_back(best_facet);
+    found = true;
+  }
+  return found;
+}
+
+ConvexHull QuickhullImpl::TakeResult() {
+  ConvexHull hull;
+  hull.dim = d_;
+  // Compact alive facets and renumber neighbors.
+  std::vector<uint32_t> remap(facets_.size(), ~uint32_t{0});
+  uint32_t next = 0;
+  for (uint32_t i = 0; i < facets_.size(); ++i) {
+    if (facets_[i].alive) remap[i] = next++;
+  }
+  hull.facets.resize(next);
+  std::vector<char> on_hull(n_, 0);
+  for (uint32_t i = 0; i < facets_.size(); ++i) {
+    if (!facets_[i].alive) continue;
+    HullFacet& out = hull.facets[remap[i]];
+    out.vertices = facets_[i].vertices;
+    out.normal = facets_[i].normal;
+    out.offset = facets_[i].offset;
+    out.neighbors.reserve(facets_[i].neighbors.size());
+    for (uint32_t nb : facets_[i].neighbors) {
+      if (facets_[nb].alive) out.neighbors.push_back(remap[nb]);
+    }
+    for (uint32_t v : out.vertices) on_hull[v] = 1;
+  }
+  for (uint32_t i = 0; i < n_; ++i) {
+    if (on_hull[i]) hull.hull_vertices.push_back(i);
+  }
+  return hull;
+}
+
+Result<ConvexHull> RunOnce(const std::vector<double>& points, size_t dim,
+                           double eps) {
+  QuickhullImpl impl(points.data(), points.size() / dim, dim, eps);
+  MDS_RETURN_NOT_OK(impl.Run());
+  return impl.TakeResult();
+}
+
+}  // namespace
+
+Result<ConvexHull> ComputeConvexHull(const std::vector<double>& points,
+                                     size_t dim,
+                                     const QuickhullOptions& options) {
+  if (dim == 0 || points.size() % dim != 0) {
+    return Status::InvalidArgument("ComputeConvexHull: bad point array");
+  }
+  const size_t n = points.size() / dim;
+  if (n < dim + 1) {
+    return Status::InvalidArgument("ComputeConvexHull: need at least d+1 points");
+  }
+  double max_abs = 0.0;
+  for (double x : points) max_abs = std::max(max_abs, std::abs(x));
+  if (max_abs == 0.0) max_abs = 1.0;
+  double eps = options.epsilon > 0.0
+                   ? options.epsilon
+                   : 1e-10 * static_cast<double>(dim) * max_abs;
+
+  Result<ConvexHull> result = RunOnce(points, dim, eps);
+  if (result.ok() || !options.joggle) return result;
+  if (std::getenv("MDS_QH_DEBUG") != nullptr) {
+    std::fprintf(stderr, "qh attempt 0 failed: %s\n",
+                 result.status().ToString().c_str());
+  }
+
+  // Joggle: deterministic perturbation retries for degenerate input.
+  double scale = options.joggle_scale * max_abs;
+  for (int attempt = 0; attempt < options.max_joggle_retries; ++attempt) {
+    Rng rng(options.joggle_seed + attempt);
+    std::vector<double> jittered = points;
+    for (double& x : jittered) x += scale * (rng.NextDouble() - 0.5);
+    result = RunOnce(jittered, dim, eps);
+    if (result.ok()) return result;
+    if (std::getenv("MDS_QH_DEBUG") != nullptr) {
+      std::fprintf(stderr, "qh joggle attempt %d (scale %g) failed: %s\n",
+                   attempt + 1, scale, result.status().ToString().c_str());
+    }
+    scale *= 10.0;
+  }
+  return result;
+}
+
+}  // namespace mds

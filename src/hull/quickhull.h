@@ -1,0 +1,58 @@
+#ifndef MDS_HULL_QUICKHULL_H_
+#define MDS_HULL_QUICKHULL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mds {
+
+/// Options for the convex hull computation.
+struct QuickhullOptions {
+  /// Numeric thickness of facet planes; 0 picks an automatic tolerance
+  /// scaled to the input extent.
+  double epsilon = 0.0;
+  /// On degenerate input (affinely dependent / cospherical points) retry
+  /// with a tiny deterministic perturbation, the qhull "joggle" option.
+  bool joggle = true;
+  uint64_t joggle_seed = 0x70661e;
+  /// Perturbation magnitude relative to the data extent.
+  double joggle_scale = 1e-9;
+  int max_joggle_retries = 8;
+};
+
+/// One facet of a d-dimensional convex hull.
+struct HullFacet {
+  /// d vertex indices into the input point array.
+  std::vector<uint32_t> vertices;
+  /// Outward unit normal and offset: normal . x <= offset for hull points.
+  std::vector<double> normal;
+  double offset = 0.0;
+  /// Indices of the d adjacent facets (across each ridge).
+  std::vector<uint32_t> neighbors;
+};
+
+/// Result of a convex hull computation.
+struct ConvexHull {
+  size_t dim = 0;
+  std::vector<HullFacet> facets;
+  /// Deduplicated indices of input points on the hull.
+  std::vector<uint32_t> hull_vertices;
+};
+
+/// Computes the convex hull of n points in d dimensions (row-major doubles)
+/// with the Quickhull algorithm [Barber, Dobkin, Huhdanpaa 1996] — the
+/// method of the QHull library the paper uses for its 5-D tessellation
+/// (§3.4), reimplemented here for arbitrary dimension.
+///
+/// Requires n >= d+1 affinely independent points; flat input fails with
+/// FailedPrecondition unless options.joggle is set (the default), in which
+/// case the input is perturbed deterministically and retried.
+Result<ConvexHull> ComputeConvexHull(const std::vector<double>& points,
+                                     size_t dim,
+                                     const QuickhullOptions& options = {});
+
+}  // namespace mds
+
+#endif  // MDS_HULL_QUICKHULL_H_

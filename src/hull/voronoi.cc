@@ -1,0 +1,58 @@
+#include "hull/voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mds {
+
+VoronoiDiagram::VoronoiDiagram(const DelaunayTriangulation* delaunay,
+                               const std::vector<double>* seeds)
+    : delaunay_(delaunay), seeds_(seeds) {}
+
+VoronoiCellStats VoronoiDiagram::CellStats(uint32_t seed) const {
+  VoronoiCellStats stats;
+  stats.num_neighbors =
+      static_cast<uint32_t>(delaunay_->seed_graph()[seed].size());
+  stats.num_vertices =
+      static_cast<uint32_t>(delaunay_->incident_simplices()[seed].size());
+  stats.bounded = delaunay_->on_hull()[seed] == 0;
+  return stats;
+}
+
+std::vector<std::vector<double>> VoronoiDiagram::CellVertices(
+    uint32_t seed) const {
+  std::vector<std::vector<double>> out;
+  for (uint32_t sid : delaunay_->incident_simplices()[seed]) {
+    out.push_back(delaunay_->simplices()[sid].circumcenter);
+  }
+  return out;
+}
+
+Result<double> VoronoiDiagram::CellArea2D(uint32_t seed) const {
+  if (dim() != 2) {
+    return Status::InvalidArgument("CellArea2D: diagram is not 2-D");
+  }
+  if (delaunay_->on_hull()[seed]) {
+    return Status::FailedPrecondition("CellArea2D: cell is unbounded");
+  }
+  std::vector<std::vector<double>> verts = CellVertices(seed);
+  if (verts.size() < 3) {
+    return Status::FailedPrecondition("CellArea2D: degenerate cell");
+  }
+  const double sx = (*seeds_)[seed * 2];
+  const double sy = (*seeds_)[seed * 2 + 1];
+  std::sort(verts.begin(), verts.end(),
+            [&](const std::vector<double>& a, const std::vector<double>& b) {
+              return std::atan2(a[1] - sy, a[0] - sx) <
+                     std::atan2(b[1] - sy, b[0] - sx);
+            });
+  double area = 0.0;
+  for (size_t i = 0; i < verts.size(); ++i) {
+    const auto& a = verts[i];
+    const auto& b = verts[(i + 1) % verts.size()];
+    area += a[0] * b[1] - b[0] * a[1];
+  }
+  return std::abs(area) * 0.5;
+}
+
+}  // namespace mds

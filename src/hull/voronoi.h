@@ -1,0 +1,55 @@
+#ifndef MDS_HULL_VORONOI_H_
+#define MDS_HULL_VORONOI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "hull/delaunay.h"
+
+namespace mds {
+
+/// Shape statistics of one Voronoi cell — the quantities behind the §3.4
+/// "roundness" observation (5-D cells have ~10^3 vertices and ~50
+/// neighbors, vs 32 corners and 10 faces for 5-D hyper-rectangles).
+struct VoronoiCellStats {
+  uint32_t num_neighbors = 0;  ///< faces: adjacent cells in the Delaunay graph
+  uint32_t num_vertices = 0;   ///< circumcenters of incident simplices
+  bool bounded = false;        ///< false for seeds on the seed-set hull
+};
+
+/// Voronoi diagram of a seed set, represented through its Delaunay dual
+/// (cells are never materialized as explicit polytopes; the paper stores
+/// the same dual form, noting the full 5-D cell geometry "takes much more
+/// space to store").
+class VoronoiDiagram {
+ public:
+  /// `delaunay` and `seeds` must outlive the diagram.
+  VoronoiDiagram(const DelaunayTriangulation* delaunay,
+                 const std::vector<double>* seeds);
+
+  size_t dim() const { return delaunay_->dim(); }
+  size_t num_cells() const { return delaunay_->num_seeds(); }
+
+  VoronoiCellStats CellStats(uint32_t seed) const;
+
+  /// Voronoi vertices of a cell: the circumcenters of the seed's incident
+  /// Delaunay simplices.
+  std::vector<std::vector<double>> CellVertices(uint32_t seed) const;
+
+  /// Exact area of a bounded 2-D Voronoi cell (circumcenters sorted by
+  /// angle, shoelace formula). Fails for unbounded cells or dim != 2; the
+  /// general-dimension path is Monte-Carlo volume estimation in
+  /// core/voronoi_index (see DESIGN.md substitution table).
+  Result<double> CellArea2D(uint32_t seed) const;
+
+  const DelaunayTriangulation& delaunay() const { return *delaunay_; }
+
+ private:
+  const DelaunayTriangulation* delaunay_;
+  const std::vector<double>* seeds_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_HULL_VORONOI_H_

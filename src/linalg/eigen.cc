@@ -1,0 +1,84 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mds {
+
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& input,
+                                                int max_sweeps) {
+  const size_t n = input.rows();
+  if (input.cols() != n) {
+    return Status::InvalidArgument("JacobiEigenSymmetric: matrix not square");
+  }
+  Matrix a = input;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    return std::sqrt(s);
+  };
+
+  const double eps = 1e-14;
+  double scale = 0.0;
+  for (size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(a(i, i)));
+  scale = std::max(scale, 1.0);
+
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= eps * scale * static_cast<double>(n)) {
+      converged = true;
+      break;
+    }
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::abs(apq) <= eps * scale) continue;
+        double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Apply rotation on rows/cols p and q of A and accumulate into V.
+        for (size_t k = 0; k < n; ++k) {
+          double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged && off_diagonal_norm() > 1e-8 * scale * n) {
+    return Status::Internal("JacobiEigenSymmetric: did not converge");
+  }
+
+  // Sort by descending eigenvalue, permuting columns of V accordingly.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return a(i, i) > a(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.values[j] = a(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace mds

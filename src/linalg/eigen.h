@@ -1,0 +1,28 @@
+#ifndef MDS_LINALG_EIGEN_H_
+#define MDS_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace mds {
+
+/// Eigen decomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Computes the eigen decomposition of a symmetric matrix using the cyclic
+/// Jacobi rotation method. Fails with InvalidArgument on non-square input
+/// and Internal if convergence is not reached (does not happen for
+/// symmetric input within the generous sweep limit).
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                int max_sweeps = 64);
+
+}  // namespace mds
+
+#endif  // MDS_LINALG_EIGEN_H_

@@ -1,0 +1,122 @@
+#include "linalg/least_squares.h"
+
+#include <cmath>
+
+namespace mds {
+
+Result<std::vector<double>> SolveCholesky(Matrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("SolveCholesky: dimension mismatch");
+  }
+  // In-place lower-triangular Cholesky: A = L L^T.
+  for (size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0) {
+      return Status::FailedPrecondition(
+          "SolveCholesky: matrix not positive definite");
+    }
+    double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Forward solve L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Back solve L^T x = y.
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double s = b[i];
+    for (size_t k = i + 1; k < n; ++k) s -= a(k, i) * b[k];
+    b[i] = s / a(i, i);
+  }
+  return b;
+}
+
+Result<std::vector<double>> FitLeastSquares(const Matrix& x,
+                                            const std::vector<double>& y,
+                                            double ridge) {
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  if (y.size() != n) {
+    return Status::InvalidArgument("FitLeastSquares: y size mismatch");
+  }
+  if (n < p) {
+    return Status::InvalidArgument(
+        "FitLeastSquares: fewer rows than parameters");
+  }
+  // Normal equations: (X^T X + ridge I) beta = X^T y.
+  Matrix xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t a = 0; a < p; ++a) {
+      xty[a] += row[a] * y[i];
+      for (size_t b = a; b < p; ++b) xtx(a, b) += row[a] * row[b];
+    }
+  }
+  for (size_t a = 0; a < p; ++a) {
+    xtx(a, a) += ridge;
+    for (size_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+  }
+  return SolveCholesky(std::move(xtx), std::move(xty));
+}
+
+size_t PolynomialTermCount(size_t dim, int degree) {
+  switch (degree) {
+    case 0:
+      return 1;
+    case 1:
+      return 1 + dim;
+    case 2:
+      return 1 + dim + dim * (dim + 1) / 2;
+    default:
+      MDS_CHECK(false && "degree must be 0, 1 or 2");
+      return 0;
+  }
+}
+
+Matrix PolynomialDesign(const Matrix& points, int degree) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  Matrix out(n, PolynomialTermCount(d, degree));
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = points.RowPtr(i);
+    double* row = out.RowPtr(i);
+    size_t c = 0;
+    row[c++] = 1.0;
+    if (degree >= 1) {
+      for (size_t j = 0; j < d; ++j) row[c++] = p[j];
+    }
+    if (degree >= 2) {
+      for (size_t j = 0; j < d; ++j)
+        for (size_t k = j; k < d; ++k) row[c++] = p[j] * p[k];
+    }
+  }
+  return out;
+}
+
+double EvaluatePolynomial(const std::vector<double>& coeffs,
+                          const double* point, size_t dim, int degree) {
+  MDS_CHECK(coeffs.size() == PolynomialTermCount(dim, degree));
+  size_t c = 0;
+  double acc = coeffs[c++];
+  if (degree >= 1) {
+    for (size_t j = 0; j < dim; ++j) acc += coeffs[c++] * point[j];
+  }
+  if (degree >= 2) {
+    for (size_t j = 0; j < dim; ++j)
+      for (size_t k = j; k < dim; ++k) acc += coeffs[c++] * point[j] * point[k];
+  }
+  return acc;
+}
+
+}  // namespace mds

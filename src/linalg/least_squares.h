@@ -1,0 +1,44 @@
+#ifndef MDS_LINALG_LEAST_SQUARES_H_
+#define MDS_LINALG_LEAST_SQUARES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace mds {
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky decomposition. Fails with InvalidArgument if A is not square /
+/// sized to b, and with FailedPrecondition if A is not positive definite
+/// (up to a small ridge tolerance).
+Result<std::vector<double>> SolveCholesky(Matrix a, std::vector<double> b);
+
+/// Ordinary least squares: minimizes ||X beta - y||^2 through the normal
+/// equations with a tiny ridge term for numerical safety. X is n x p with
+/// n >= p. Returns the p coefficients.
+///
+/// This is the multi-parameter general least-squares fit the paper runs as
+/// a CLR stored procedure (Numerical Recipes lfit) for the local polynomial
+/// photometric-redshift estimator.
+Result<std::vector<double>> FitLeastSquares(const Matrix& x,
+                                            const std::vector<double>& y,
+                                            double ridge = 1e-9);
+
+/// Builds a polynomial design matrix of the given degree (0, 1 or 2) from
+/// n x d input rows: column of ones, then the d linear terms, then (for
+/// degree 2) all d*(d+1)/2 quadratic monomials.
+Matrix PolynomialDesign(const Matrix& points, int degree);
+
+/// Evaluates the polynomial with coefficients from FitLeastSquares over a
+/// single d-dimensional point (same term ordering as PolynomialDesign).
+double EvaluatePolynomial(const std::vector<double>& coeffs,
+                          const double* point, size_t dim, int degree);
+
+/// Number of coefficients of a degree-`degree` polynomial in `dim` variables
+/// (degree in {0, 1, 2}).
+size_t PolynomialTermCount(size_t dim, int degree);
+
+}  // namespace mds
+
+#endif  // MDS_LINALG_LEAST_SQUARES_H_

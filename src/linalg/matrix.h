@@ -1,0 +1,64 @@
+#ifndef MDS_LINALG_MATRIX_H_
+#define MDS_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mds {
+
+/// Dense row-major matrix of doubles. Small and dependency-free: the
+/// library only needs modest dense linear algebra (normal equations for
+/// local polynomial fits, covariance matrices, eigen decomposition for PCA
+/// and whitening).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    MDS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    MDS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const double* RowPtr(size_t r) const { return &data_[r * cols_]; }
+  double* RowPtr(size_t r) { return &data_[r * cols_]; }
+
+  /// this * other; cols() must equal other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transpose copy.
+  Matrix Transposed() const;
+
+  /// Matrix-vector product; v.size() must equal cols().
+  std::vector<double> Apply(const std::vector<double>& v) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_LINALG_MATRIX_H_

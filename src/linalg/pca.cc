@@ -1,0 +1,137 @@
+#include "linalg/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace mds {
+
+Result<Pca> Pca::Fit(const Matrix& data, size_t max_components) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n < 2 || d == 0) {
+    return Status::InvalidArgument("Pca::Fit: need at least 2 rows");
+  }
+  Pca pca;
+  pca.mean_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) pca.mean_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) pca.mean_[j] /= static_cast<double>(n);
+
+  size_t keep = max_components == 0 ? std::min(n - 1, d)
+                                    : std::min(max_components, std::min(n - 1, d));
+
+  if (d <= n) {
+    // Primal: eigen decomposition of the d x d covariance matrix.
+    Matrix cov(d, d);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = data.RowPtr(i);
+      for (size_t a = 0; a < d; ++a) {
+        double ca = row[a] - pca.mean_[a];
+        for (size_t b = a; b < d; ++b) {
+          cov(a, b) += ca * (row[b] - pca.mean_[b]);
+        }
+      }
+    }
+    double inv = 1.0 / static_cast<double>(n - 1);
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = a; b < d; ++b) {
+        cov(a, b) *= inv;
+        cov(b, a) = cov(a, b);
+      }
+    }
+    MDS_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigenSymmetric(cov));
+    pca.total_variance_ = 0.0;
+    for (double v : eig.values) pca.total_variance_ += std::max(v, 0.0);
+    pca.components_ = Matrix(keep, d);
+    pca.variance_.resize(keep);
+    for (size_t j = 0; j < keep; ++j) {
+      pca.variance_[j] = std::max(eig.values[j], 0.0);
+      for (size_t a = 0; a < d; ++a) pca.components_(j, a) = eig.vectors(a, j);
+    }
+  } else {
+    // Dual (Gram-matrix) PCA for wide data such as 3000-sample spectra:
+    // eigenvectors of X X^T / (n-1) give the projections; directions are
+    // recovered as X^T u / sqrt((n-1) lambda).
+    Matrix gram(n, n);
+    std::vector<double> centered(d);
+    // Center rows lazily while accumulating the Gram matrix.
+    for (size_t i = 0; i < n; ++i) {
+      const double* ri = data.RowPtr(i);
+      for (size_t j = i; j < n; ++j) {
+        const double* rj = data.RowPtr(j);
+        double s = 0.0;
+        for (size_t a = 0; a < d; ++a) {
+          s += (ri[a] - pca.mean_[a]) * (rj[a] - pca.mean_[a]);
+        }
+        gram(i, j) = s / static_cast<double>(n - 1);
+        gram(j, i) = gram(i, j);
+      }
+    }
+    MDS_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigenSymmetric(gram));
+    pca.total_variance_ = 0.0;
+    for (double v : eig.values) pca.total_variance_ += std::max(v, 0.0);
+    pca.components_ = Matrix(keep, d);
+    pca.variance_.resize(keep);
+    for (size_t j = 0; j < keep; ++j) {
+      double lambda = std::max(eig.values[j], 0.0);
+      pca.variance_[j] = lambda;
+      if (lambda <= 0.0) continue;
+      double norm = 1.0 / std::sqrt(lambda * static_cast<double>(n - 1));
+      for (size_t i = 0; i < n; ++i) {
+        double u = eig.vectors(i, j) * norm;
+        if (u == 0.0) continue;
+        const double* row = data.RowPtr(i);
+        double* comp = pca.components_.RowPtr(j);
+        for (size_t a = 0; a < d; ++a) {
+          comp[a] += u * (row[a] - pca.mean_[a]);
+        }
+      }
+    }
+  }
+  return pca;
+}
+
+double Pca::ExplainedVarianceRatio(size_t k) const {
+  if (total_variance_ <= 0.0) return 0.0;
+  k = std::min(k, variance_.size());
+  double s = 0.0;
+  for (size_t j = 0; j < k; ++j) s += variance_[j];
+  return s / total_variance_;
+}
+
+Matrix Pca::Transform(const Matrix& data, size_t k) const {
+  if (k == 0 || k > num_components()) k = num_components();
+  MDS_CHECK(data.cols() == input_dim());
+  Matrix out(data.rows(), k);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    TransformPoint(data.RowPtr(i), k, out.RowPtr(i));
+  }
+  return out;
+}
+
+void Pca::TransformPoint(const double* point, size_t k, double* out) const {
+  const size_t d = input_dim();
+  for (size_t j = 0; j < k; ++j) {
+    const double* comp = components_.RowPtr(j);
+    double s = 0.0;
+    for (size_t a = 0; a < d; ++a) s += comp[a] * (point[a] - mean_[a]);
+    out[j] = s;
+  }
+}
+
+std::vector<double> Pca::InverseTransformPoint(const double* coeffs,
+                                               size_t k) const {
+  const size_t d = input_dim();
+  std::vector<double> out(mean_);
+  for (size_t j = 0; j < k && j < num_components(); ++j) {
+    const double* comp = components_.RowPtr(j);
+    for (size_t a = 0; a < d; ++a) out[a] += coeffs[j] * comp[a];
+  }
+  return out;
+}
+
+}  // namespace mds

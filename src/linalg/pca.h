@@ -1,0 +1,62 @@
+#ifndef MDS_LINALG_PCA_H_
+#define MDS_LINALG_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace mds {
+
+/// Principal component analysis (Karhunen–Loève transform).
+///
+/// The paper reduces 3000-dimensional SDSS spectra to their first 5
+/// principal components (§4.2) and visualizes the first 3 principal
+/// components of the magnitude table (§3.1/§5); this class provides both
+/// transforms.
+class Pca {
+ public:
+  /// Empty PCA; use Fit to obtain a usable instance.
+  Pca() = default;
+
+  /// Fits on n x d data. Keeps at most max_components (all if 0). For very
+  /// wide data (d > n, e.g. spectra) the dual/Gram-matrix formulation is
+  /// used so the eigenproblem stays n x n.
+  static Result<Pca> Fit(const Matrix& data, size_t max_components = 0);
+
+  size_t input_dim() const { return mean_.size(); }
+  size_t num_components() const { return components_.rows(); }
+
+  /// Per-component variance, descending.
+  const std::vector<double>& explained_variance() const { return variance_; }
+
+  /// Fraction of total variance captured by the first k components.
+  double ExplainedVarianceRatio(size_t k) const;
+
+  /// Row i of the result is the projection of row i of `data` onto the
+  /// first `k` components (k <= num_components; 0 means all kept).
+  Matrix Transform(const Matrix& data, size_t k = 0) const;
+
+  /// Projects one point (length input_dim) to `out` (length k).
+  void TransformPoint(const double* point, size_t k, double* out) const;
+
+  /// Reconstructs from a k-dimensional projection back to input space.
+  std::vector<double> InverseTransformPoint(const double* coeffs,
+                                            size_t k) const;
+
+  /// Component matrix: row j is the j-th unit principal direction.
+  const Matrix& components() const { return components_; }
+  const std::vector<double>& mean() const { return mean_; }
+
+ private:
+
+  std::vector<double> mean_;
+  Matrix components_;  // num_components x input_dim
+  std::vector<double> variance_;
+  double total_variance_ = 0.0;
+};
+
+}  // namespace mds
+
+#endif  // MDS_LINALG_PCA_H_

@@ -1,0 +1,88 @@
+#include "linalg/whitening.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace mds {
+
+Result<Whitening> Whitening::Fit(const Matrix& data, double eigen_floor) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n < 2 || d == 0) {
+    return Status::InvalidArgument("Whitening::Fit: need at least 2 rows");
+  }
+  Whitening w;
+  w.mean_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) w.mean_[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) w.mean_[j] /= static_cast<double>(n);
+
+  Matrix cov(d, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.RowPtr(i);
+    for (size_t a = 0; a < d; ++a) {
+      double ca = row[a] - w.mean_[a];
+      for (size_t b = a; b < d; ++b) cov(a, b) += ca * (row[b] - w.mean_[b]);
+    }
+  }
+  double inv = 1.0 / static_cast<double>(n - 1);
+  for (size_t a = 0; a < d; ++a)
+    for (size_t b = a; b < d; ++b) {
+      cov(a, b) *= inv;
+      cov(b, a) = cov(a, b);
+    }
+
+  MDS_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigenSymmetric(cov));
+
+  // ZCA: W = V diag(1/sqrt(lambda)) V^T, W^{-1} = V diag(sqrt(lambda)) V^T.
+  w.forward_ = Matrix(d, d);
+  w.inverse_ = Matrix(d, d);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < d; ++b) {
+      double f = 0.0, g = 0.0;
+      for (size_t k = 0; k < d; ++k) {
+        double lambda = std::max(eig.values[k], eigen_floor);
+        double vak = eig.vectors(a, k);
+        double vbk = eig.vectors(b, k);
+        f += vak * vbk / std::sqrt(lambda);
+        g += vak * vbk * std::sqrt(lambda);
+      }
+      w.forward_(a, b) = f;
+      w.inverse_(a, b) = g;
+    }
+  }
+  return w;
+}
+
+Matrix Whitening::Transform(const Matrix& data) const {
+  MDS_CHECK(data.cols() == dim());
+  Matrix out(data.rows(), dim());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    TransformPoint(data.RowPtr(i), out.RowPtr(i));
+  }
+  return out;
+}
+
+void Whitening::TransformPoint(const double* in, double* out) const {
+  const size_t d = dim();
+  for (size_t a = 0; a < d; ++a) {
+    double s = 0.0;
+    for (size_t b = 0; b < d; ++b) s += forward_(a, b) * (in[b] - mean_[b]);
+    out[a] = s;
+  }
+}
+
+void Whitening::InverseTransformPoint(const double* in, double* out) const {
+  const size_t d = dim();
+  for (size_t a = 0; a < d; ++a) {
+    double s = mean_[a];
+    for (size_t b = 0; b < d; ++b) s += inverse_(a, b) * in[b];
+    out[a] = s;
+  }
+}
+
+}  // namespace mds

@@ -1,0 +1,42 @@
+#ifndef MDS_LINALG_WHITENING_H_
+#define MDS_LINALG_WHITENING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace mds {
+
+/// Whitening transform: maps data so that its covariance becomes the
+/// identity. §3.4 of the paper notes the Euclidean metric used for Voronoi
+/// tessellation "after whitening should give correct results"; this class
+/// is that preprocessing step.
+class Whitening {
+ public:
+  /// Fits the ZCA whitening transform W = C^{-1/2} on n x d data, with a
+  /// small eigenvalue floor for stability.
+  static Result<Whitening> Fit(const Matrix& data, double eigen_floor = 1e-9);
+
+  size_t dim() const { return mean_.size(); }
+
+  /// Applies the transform to every row of `data`.
+  Matrix Transform(const Matrix& data) const;
+
+  /// Applies the transform to a single point in place.
+  void TransformPoint(const double* in, double* out) const;
+
+  /// Inverse transform (colorizes whitened data back).
+  void InverseTransformPoint(const double* in, double* out) const;
+
+ private:
+  Whitening() = default;
+
+  std::vector<double> mean_;
+  Matrix forward_;  // d x d: W
+  Matrix inverse_;  // d x d: W^{-1} = C^{1/2}
+};
+
+}  // namespace mds
+
+#endif  // MDS_LINALG_WHITENING_H_

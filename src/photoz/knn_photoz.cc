@@ -1,0 +1,103 @@
+#include "photoz/knn_photoz.h"
+
+#include <cmath>
+
+#include "linalg/least_squares.h"
+
+namespace mds {
+
+Result<KnnPhotoZEstimator> KnnPhotoZEstimator::Build(
+    const PointSet* reference_colors,
+    const std::vector<float>* reference_redshifts,
+    const KnnPhotoZConfig& config) {
+  if (reference_colors->size() != reference_redshifts->size()) {
+    return Status::InvalidArgument(
+        "KnnPhotoZEstimator: colors/redshift size mismatch");
+  }
+  if (reference_colors->size() < config.k) {
+    return Status::InvalidArgument(
+        "KnnPhotoZEstimator: reference set smaller than k");
+  }
+  if (config.degree < 0 || config.degree > 2) {
+    return Status::InvalidArgument("KnnPhotoZEstimator: degree must be 0..2");
+  }
+  KnnPhotoZEstimator est;
+  est.colors_ = reference_colors;
+  est.redshifts_ = reference_redshifts;
+  est.config_ = config;
+  MDS_ASSIGN_OR_RETURN(KdTreeIndex tree,
+                       KdTreeIndex::Build(reference_colors, KdTreeConfig{}));
+  est.tree_ = std::make_unique<KdTreeIndex>(std::move(tree));
+  return est;
+}
+
+PhotoZEstimate KnnPhotoZEstimator::Estimate(const float* colors,
+                                            KnnStats* stats) const {
+  const size_t d = colors_->dim();
+  KdKnnSearcher searcher(tree_.get());
+  std::vector<Neighbor> neighbors =
+      searcher.BoundaryGrow(colors, config_.k, stats);
+
+  PhotoZEstimate out;
+  out.neighbor_distance =
+      std::sqrt(neighbors.back().squared_distance);
+
+  // Average fallback (degree 0 or degenerate fit).
+  auto average = [&]() {
+    double s = 0.0;
+    for (const Neighbor& n : neighbors) s += (*redshifts_)[n.id];
+    return s / static_cast<double>(neighbors.size());
+  };
+
+  if (config_.degree == 0) {
+    out.redshift = average();
+    return out;
+  }
+
+  // Local polynomial fit z = P(colors) over the neighbors, centered on the
+  // query to keep the normal equations well scaled.
+  Matrix pts(neighbors.size(), d);
+  std::vector<double> z(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    const float* nc = colors_->point(neighbors[i].id);
+    for (size_t j = 0; j < d; ++j) {
+      pts(i, j) = static_cast<double>(nc[j]) - static_cast<double>(colors[j]);
+    }
+    z[i] = (*redshifts_)[neighbors[i].id];
+  }
+  if (neighbors.size() < PolynomialTermCount(d, config_.degree)) {
+    out.redshift = average();
+    return out;
+  }
+  Matrix design = PolynomialDesign(pts, config_.degree);
+  Result<std::vector<double>> fit = FitLeastSquares(design, z, 1e-8);
+  if (!fit.ok()) {
+    out.redshift = average();
+    return out;
+  }
+  // The query point is the origin of the centered coordinates, so the
+  // estimate is the constant term.
+  out.redshift = (*fit)[0];
+  out.fit_used = true;
+  return out;
+}
+
+void PhotoZScorer::Add(double estimate, double truth) {
+  double err = estimate - truth;
+  sum_sq_ += err * err;
+  sum_abs_ += std::abs(err);
+  sum_err_ += err;
+  ++n_;
+}
+
+PhotoZEvaluation PhotoZScorer::Finish() const {
+  PhotoZEvaluation eval;
+  eval.count = n_;
+  if (n_ == 0) return eval;
+  eval.rms_error = std::sqrt(sum_sq_ / static_cast<double>(n_));
+  eval.mean_abs_error = sum_abs_ / static_cast<double>(n_);
+  eval.bias = sum_err_ / static_cast<double>(n_);
+  return eval;
+}
+
+}  // namespace mds

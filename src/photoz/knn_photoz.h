@@ -1,0 +1,85 @@
+#ifndef MDS_PHOTOZ_KNN_PHOTOZ_H_
+#define MDS_PHOTOZ_KNN_PHOTOZ_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kdtree.h"
+#include "core/knn.h"
+#include "geom/point_set.h"
+
+namespace mds {
+
+/// Options for the non-parametric photometric redshift estimator (§4.1).
+struct KnnPhotoZConfig {
+  /// Neighbors fetched from the reference set per estimate.
+  size_t k = 32;
+  /// Degree of the local polynomial fit over the neighbor colors (0 =
+  /// plain average, 1 = the paper's "local low order polynomial fit",
+  /// 2 = quadratic).
+  int degree = 1;
+};
+
+/// Per-estimate diagnostics.
+struct PhotoZEstimate {
+  double redshift = 0.0;
+  double neighbor_distance = 0.0;  ///< distance to the k-th neighbor
+  bool fit_used = false;  ///< false when the fit degenerated to an average
+};
+
+/// k-NN local polynomial photometric redshift estimator.
+///
+/// The reference set is the ~1% of objects with spectroscopic redshifts;
+/// for an unknown object the estimator fetches its k nearest reference
+/// galaxies in color space through the kd-tree k-NN procedure (§3.3) and
+/// fits redshift as a local polynomial of the colors — the paper's
+/// NearestNeighbors + FitPolynomial + Estimate loop.
+class KnnPhotoZEstimator {
+ public:
+  /// `reference_colors` (n x 5) and `reference_redshifts` (n) must outlive
+  /// the estimator.
+  static Result<KnnPhotoZEstimator> Build(
+      const PointSet* reference_colors,
+      const std::vector<float>* reference_redshifts,
+      const KnnPhotoZConfig& config = {});
+
+  /// Estimates the redshift of one object from its colors.
+  PhotoZEstimate Estimate(const float* colors, KnnStats* stats = nullptr) const;
+
+  const KnnPhotoZConfig& config() const { return config_; }
+
+ private:
+  KnnPhotoZEstimator() = default;
+
+  const PointSet* colors_ = nullptr;
+  const std::vector<float>* redshifts_ = nullptr;
+  std::unique_ptr<KdTreeIndex> tree_;
+  KnnPhotoZConfig config_;
+};
+
+/// Aggregate accuracy of an estimator over a labeled evaluation set.
+struct PhotoZEvaluation {
+  double rms_error = 0.0;
+  double mean_abs_error = 0.0;
+  double bias = 0.0;  ///< mean (estimate - truth)
+  uint64_t count = 0;
+};
+
+/// Accumulates (estimate, truth) pairs into summary statistics.
+class PhotoZScorer {
+ public:
+  void Add(double estimate, double truth);
+  PhotoZEvaluation Finish() const;
+
+ private:
+  double sum_sq_ = 0.0;
+  double sum_abs_ = 0.0;
+  double sum_err_ = 0.0;
+  uint64_t n_ = 0;
+};
+
+}  // namespace mds
+
+#endif  // MDS_PHOTOZ_KNN_PHOTOZ_H_

@@ -1,0 +1,63 @@
+#include "photoz/template_fitting.h"
+
+#include <limits>
+
+namespace mds {
+
+Result<TemplateFittingEstimator> TemplateFittingEstimator::Build(
+    const TemplateFittingConfig& config) {
+  if (config.num_redshift_bins < 2 || config.num_luminosity_bins < 1) {
+    return Status::InvalidArgument("TemplateFittingEstimator: empty grid");
+  }
+  TemplateFittingEstimator est;
+  est.config_ = config;
+  est.grid_mags_.reserve(config.num_redshift_bins *
+                         config.num_luminosity_bins);
+  double mags[kNumBands];
+  for (size_t zi = 0; zi < config.num_redshift_bins; ++zi) {
+    double z = config.max_redshift * static_cast<double>(zi) /
+               static_cast<double>(config.num_redshift_bins - 1);
+    for (size_t li = 0; li < config.num_luminosity_bins; ++li) {
+      double lum =
+          config.num_luminosity_bins == 1
+              ? 0.0
+              : config.min_luminosity +
+                    (config.max_luminosity - config.min_luminosity) *
+                        static_cast<double>(li) /
+                        static_cast<double>(config.num_luminosity_bins - 1);
+      GalaxyLocus(z, lum, mags);
+      // Wavelength-dependent warp pattern: strongest in the UV, alternating
+      // through the bands — the shape of SED/filter calibration residuals.
+      static constexpr double kWarp[kNumBands] = {1.2, -0.5, 0.2, -0.6, 1.1};
+      std::array<double, kNumBands> tmpl;
+      for (size_t b = 0; b < kNumBands; ++b) {
+        tmpl[b] = mags[b] + config.calibration_offset[b] +
+                  config.miscalibration * (0.25 + z) * kWarp[b];
+      }
+      est.grid_mags_.push_back(tmpl);
+      est.grid_redshift_.push_back(z);
+    }
+  }
+  return est;
+}
+
+double TemplateFittingEstimator::Estimate(const float* mags) const {
+  double best_chi2 = std::numeric_limits<double>::infinity();
+  double best_z = 0.0;
+  for (size_t i = 0; i < grid_mags_.size(); ++i) {
+    const auto& tmpl = grid_mags_[i];
+    double chi2 = 0.0;
+    for (size_t b = 0; b < kNumBands; ++b) {
+      double diff = static_cast<double>(mags[b]) - tmpl[b];
+      chi2 += diff * diff;
+      if (chi2 >= best_chi2) break;
+    }
+    if (chi2 < best_chi2) {
+      best_chi2 = chi2;
+      best_z = grid_redshift_[i];
+    }
+  }
+  return best_z;
+}
+
+}  // namespace mds

@@ -1,0 +1,136 @@
+#include "sdss/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mds {
+
+void GalaxyLocus(double z, double luminosity, double mags[kNumBands]) {
+  // A smooth, curved surface in magnitude space: colors redden nonlinearly
+  // with redshift (4000A-break passing through the filters), magnitudes dim
+  // with distance modulus ~ 5 log10(z). Shapes are stylized, not
+  // astrophysically calibrated; what matters is a nonlinear, locally
+  // invertible color(z) relation with curvature.
+  double r = 17.5 + 2.0 * std::log10(1.0 + 25.0 * z) + luminosity;
+  double gr = 0.55 + 2.2 * z - 1.6 * z * z;
+  double ug = 1.15 + 1.9 * z - 1.1 * z * z;
+  double ri = 0.40 + 0.9 * z - 0.5 * z * z;
+  double iz = 0.30 + 0.6 * z - 0.8 * z * z;
+  mags[2] = r;             // r
+  mags[1] = r + gr;        // g
+  mags[0] = mags[1] + ug;  // u
+  mags[3] = r - ri;        // i
+  mags[4] = mags[3] - iz;  // z
+}
+
+void StellarLocus(double t, double brightness, double mags[kNumBands]) {
+  // One-dimensional main-sequence curve from hot/blue (t=0) to cool/red
+  // (t=1), with the characteristic kink of the SDSS stellar locus.
+  double r = 16.0 + 4.0 * t + brightness;
+  double gr = -0.3 + 1.6 * t + 0.25 * std::sin(3.0 * t);
+  double ug = 0.8 + 2.1 * t * t;
+  double ri = -0.1 + 1.3 * t * t * t + 0.4 * t;
+  double iz = 0.05 + 0.55 * t * t;
+  mags[2] = r;
+  mags[1] = r + gr;
+  mags[0] = mags[1] + ug;
+  mags[3] = r - ri;
+  mags[4] = mags[3] - iz;
+}
+
+void QuasarLocus(double z, double brightness, double mags[kNumBands]) {
+  // Quasars sit blueward of the stellar locus in u-g and form a compact
+  // cloud with mild redshift-dependent wiggles from emission lines.
+  double r = 18.8 + 0.8 * std::log10(1.0 + z) + brightness;
+  double gr = 0.15 + 0.12 * std::sin(2.2 * z);
+  double ug = 0.05 + 0.22 * std::cos(1.7 * z) + 0.08 * z;
+  double ri = 0.10 + 0.10 * std::sin(1.3 * z + 0.8);
+  double iz = 0.05 + 0.08 * std::cos(2.9 * z);
+  mags[2] = r;
+  mags[1] = r + gr;
+  mags[0] = mags[1] + ug;
+  mags[3] = r - ri;
+  mags[4] = mags[3] - iz;
+}
+
+Catalog GenerateCatalog(const CatalogConfig& config) {
+  Rng rng(config.seed);
+  Catalog cat;
+  cat.colors = PointSet(kNumBands, 0);
+  cat.colors.Reserve(config.num_objects);
+  cat.classes.reserve(config.num_objects);
+  cat.redshifts.reserve(config.num_objects);
+
+  const double p_star = config.star_fraction;
+  const double p_galaxy = p_star + config.galaxy_fraction;
+  const double p_quasar = p_galaxy + config.quasar_fraction;
+
+  double mags[kNumBands];
+  for (uint64_t i = 0; i < config.num_objects; ++i) {
+    double u = rng.NextDouble();
+    SpectralClass cls;
+    double z = 0.0;
+    if (u < p_star) {
+      cls = SpectralClass::kStar;
+      // Beta-like temperature distribution: more cool stars than hot.
+      double t = std::pow(rng.NextDouble(), 0.7);
+      double b = 1.2 * rng.NextGaussian();
+      StellarLocus(t, b, mags);
+      // Intrinsic width of the locus.
+      for (double& m : mags) m += 0.04 * rng.NextGaussian();
+    } else if (u < p_galaxy) {
+      cls = SpectralClass::kGalaxy;
+      // Redshift distribution ~ z^2 exp(-z/z0) truncated.
+      double z0 = config.max_galaxy_redshift / 4.0;
+      do {
+        z = z0 * (rng.NextExponential(1.0) + rng.NextExponential(1.0) +
+                  rng.NextExponential(1.0));
+      } while (z > config.max_galaxy_redshift);
+      double lum = 0.8 * rng.NextGaussian();
+      GalaxyLocus(z, lum, mags);
+      for (double& m : mags) m += 0.06 * rng.NextGaussian();
+    } else if (u < p_quasar) {
+      cls = SpectralClass::kQuasar;
+      z = config.max_quasar_redshift * rng.NextDouble();
+      double b = 0.7 * rng.NextGaussian();
+      QuasarLocus(z, b, mags);
+      for (double& m : mags) m += 0.05 * rng.NextGaussian();
+    } else {
+      cls = SpectralClass::kOutlier;
+      // Measurement/calibration failures: start from a random locus point
+      // and throw one or more bands far off, or scatter uniformly.
+      if (rng.NextDouble() < 0.5) {
+        StellarLocus(rng.NextDouble(), rng.NextGaussian(), mags);
+        size_t band = static_cast<size_t>(rng.NextBounded(kNumBands));
+        mags[band] += (rng.NextDouble() < 0.5 ? -1.0 : 1.0) *
+                      (2.0 + rng.NextExponential(0.5));
+      } else {
+        for (double& m : mags) m = rng.NextUniform(12.0, 28.0);
+      }
+    }
+    // Photometric noise on every band.
+    for (double& m : mags) m += config.photometric_noise * rng.NextGaussian();
+    cat.colors.Append(mags);
+    cat.classes.push_back(cls);
+    cat.redshifts.push_back(static_cast<float>(z));
+  }
+  return cat;
+}
+
+ReferenceSplit SplitReferenceSet(const Catalog& catalog, double fraction,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  ReferenceSplit split;
+  for (uint64_t i = 0; i < catalog.size(); ++i) {
+    bool eligible = catalog.classes[i] == SpectralClass::kGalaxy ||
+                    catalog.classes[i] == SpectralClass::kQuasar;
+    if (eligible && rng.NextDouble() < fraction) {
+      split.reference.push_back(i);
+    } else {
+      split.unknown.push_back(i);
+    }
+  }
+  return split;
+}
+
+}  // namespace mds

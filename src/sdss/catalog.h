@@ -1,0 +1,81 @@
+#ifndef MDS_SDSS_CATALOG_H_
+#define MDS_SDSS_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point_set.h"
+
+namespace mds {
+
+/// Spectral type of a celestial object (the color coding of Figure 1).
+enum class SpectralClass : uint8_t {
+  kStar = 0,
+  kGalaxy = 1,
+  kQuasar = 2,
+  kOutlier = 3,
+};
+
+inline constexpr size_t kNumBands = 5;  // u, g, r, i, z
+
+/// Configuration of the synthetic SDSS color-space catalog.
+///
+/// The real 270M-row magnitude table is not distributable; this generator
+/// substitutes it with a mixture model that reproduces the properties the
+/// paper's indexing depends on (§2.1): points cluster along low-dimensional
+/// loci (a 1-D stellar locus, a redshift-parameterized galaxy surface, a
+/// compact quasar cloud), densities contrast by orders of magnitude, and a
+/// fraction of rows are outliers from measurement error.
+struct CatalogConfig {
+  uint64_t num_objects = 100000;
+  uint64_t seed = 42;
+  double star_fraction = 0.55;
+  double galaxy_fraction = 0.35;
+  double quasar_fraction = 0.09;
+  // Remainder (1 - star - galaxy - quasar) are outliers.
+  double photometric_noise = 0.05;  ///< per-band measurement sigma (mag)
+  double max_galaxy_redshift = 0.6;
+  double max_quasar_redshift = 2.5;
+};
+
+/// An in-memory synthetic catalog: 5-band magnitudes plus ground truth
+/// (class labels, true redshifts) used to score the §4 applications.
+struct Catalog {
+  PointSet colors;  ///< num_objects x 5 magnitudes (u, g, r, i, z)
+  std::vector<SpectralClass> classes;
+  /// True redshift; 0 for stars, small instrumental jitter for outliers.
+  std::vector<float> redshifts;
+
+  size_t size() const { return colors.size(); }
+};
+
+/// Generates a catalog deterministically from config.seed.
+Catalog GenerateCatalog(const CatalogConfig& config);
+
+/// The noiseless galaxy color locus: magnitudes as a smooth nonlinear
+/// function of redshift and intrinsic luminosity. Exposed so the photo-z
+/// template-fitting baseline can build its (mis-calibrated) template grid
+/// from the same family.
+void GalaxyLocus(double redshift, double luminosity, double mags[kNumBands]);
+
+/// The 1-D stellar locus parameterized by effective temperature t in [0,1].
+void StellarLocus(double temperature, double brightness,
+                  double mags[kNumBands]);
+
+/// Quasar locus parameterized by redshift.
+void QuasarLocus(double redshift, double brightness, double mags[kNumBands]);
+
+/// Splits a catalog into the paper's reference set (objects with measured
+/// redshift, ~1% in SDSS) and unknown set, by deterministic sampling of
+/// galaxies/quasars. Returns indices into the catalog.
+struct ReferenceSplit {
+  std::vector<uint64_t> reference;
+  std::vector<uint64_t> unknown;
+};
+ReferenceSplit SplitReferenceSet(const Catalog& catalog, double fraction,
+                                 uint64_t seed);
+
+}  // namespace mds
+
+#endif  // MDS_SDSS_CATALOG_H_

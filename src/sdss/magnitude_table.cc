@@ -1,0 +1,38 @@
+#include "sdss/magnitude_table.h"
+
+namespace mds {
+
+Schema MagnitudeTableSchema() {
+  return Schema({
+      {"objID", ColumnType::kInt64, 0},
+      {"u", ColumnType::kFloat32, 0},
+      {"g", ColumnType::kFloat32, 0},
+      {"r", ColumnType::kFloat32, 0},
+      {"i", ColumnType::kFloat32, 0},
+      {"z", ColumnType::kFloat32, 0},
+      {"class", ColumnType::kInt64, 0},
+      {"redshift", ColumnType::kFloat32, 0},
+  });
+}
+
+Result<Table> MaterializeMagnitudeTable(BufferPool* pool,
+                                        const Catalog& catalog,
+                                        const std::vector<uint64_t>& order) {
+  MDS_ASSIGN_OR_RETURN(Table table, Table::Create(pool, MagnitudeTableSchema()));
+  RowBuilder row(&table.schema());
+  const uint64_t n = catalog.size();
+  for (uint64_t pos = 0; pos < n; ++pos) {
+    uint64_t i = order.empty() ? pos : order[pos];
+    row.SetInt64(kColObjId, static_cast<int64_t>(i));
+    const float* mags = catalog.colors.point(i);
+    for (size_t b = 0; b < kNumBands; ++b) {
+      row.SetFloat32(kColU + b, mags[b]);
+    }
+    row.SetInt64(kColClass, static_cast<int64_t>(catalog.classes[i]));
+    row.SetFloat32(kColRedshift, catalog.redshifts[i]);
+    MDS_RETURN_NOT_OK(table.Append(row));
+  }
+  return table;
+}
+
+}  // namespace mds

@@ -1,0 +1,44 @@
+#ifndef MDS_SDSS_MAGNITUDE_TABLE_H_
+#define MDS_SDSS_MAGNITUDE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "sdss/catalog.h"
+#include "storage/table.h"
+
+namespace mds {
+
+/// Column order of the materialized magnitude table.
+enum MagnitudeColumn : size_t {
+  kColObjId = 0,
+  kColU = 1,
+  kColG = 2,
+  kColR = 3,
+  kColI = 4,
+  kColZ = 5,
+  kColClass = 6,
+  kColRedshift = 7,
+};
+
+/// Schema of the magnitude table: objID, the five float magnitudes, the
+/// (mostly unknown in reality) spectral class, and true redshift.
+Schema MagnitudeTableSchema();
+
+/// Materializes catalog rows into `pool` in the order given by `order`
+/// (pass a permutation to cluster the table on an index key; an empty
+/// vector means catalog order). Column kColObjId holds the catalog index
+/// so ground truth stays joinable.
+Result<Table> MaterializeMagnitudeTable(BufferPool* pool,
+                                        const Catalog& catalog,
+                                        const std::vector<uint64_t>& order);
+
+/// Reads the 5 magnitudes of a row.
+inline void ReadMagnitudes(const RowRef& ref, float out[kNumBands]) {
+  ref.GetFloat32Span(kColU, kNumBands, out);
+}
+
+}  // namespace mds
+
+#endif  // MDS_SDSS_MAGNITUDE_TABLE_H_

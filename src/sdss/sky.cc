@@ -1,0 +1,103 @@
+#include "sdss/sky.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace mds {
+
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+/// Hubble distance c/H0 in h^-1 Mpc; distance = kHubbleDistance * z for
+/// the linear (low-z) Hubble law the paper invokes.
+constexpr double kHubbleDistance = 2998.0;
+
+}  // namespace
+
+void SkyToCartesian(double ra_deg, double dec_deg, double redshift,
+                    double out[3]) {
+  double r = kHubbleDistance * redshift;
+  double ra = ra_deg * kDegToRad;
+  double dec = dec_deg * kDegToRad;
+  out[0] = r * std::cos(dec) * std::cos(ra);
+  out[1] = r * std::cos(dec) * std::sin(ra);
+  out[2] = r * std::sin(dec);
+}
+
+SkyCatalog GenerateSkyCatalog(const SkyCatalogConfig& config) {
+  Rng rng(config.seed);
+  SkyCatalog cat;
+  cat.ra.reserve(config.num_galaxies);
+  cat.dec.reserve(config.num_galaxies);
+  cat.redshift.reserve(config.num_galaxies);
+  cat.cluster_id.reserve(config.num_galaxies);
+  cat.positions.Reserve(config.num_galaxies);
+
+  // Redshift of a field galaxy: comoving volume goes like z^2 dz at low z,
+  // so draw z ~ max_z * U^(1/3).
+  auto field_redshift = [&]() {
+    return config.max_redshift * std::cbrt(rng.NextDouble());
+  };
+  // Uniform-on-the-sphere dec within the footprint: sin(dec) uniform.
+  auto field_dec = [&]() {
+    double smin = std::sin(config.dec_min * kDegToRad);
+    double smax = std::sin(config.dec_max * kDegToRad);
+    return std::asin(rng.NextUniform(smin, smax)) / kDegToRad;
+  };
+
+  // Cluster centers.
+  struct Cluster {
+    double ra, dec, z;
+    double richness;  // relative mass -> member count weight
+  };
+  std::vector<Cluster> clusters(config.num_clusters);
+  double richness_total = 0.0;
+  for (Cluster& c : clusters) {
+    c.ra = rng.NextUniform(config.ra_min, config.ra_max);
+    c.dec = field_dec();
+    // Clusters preferentially at moderate redshift (volume-weighted).
+    c.z = field_redshift();
+    c.richness = rng.NextExponential(1.0) + 0.2;
+    richness_total += c.richness;
+  }
+
+  double p[3];
+  for (uint64_t i = 0; i < config.num_galaxies; ++i) {
+    double ra, dec, z;
+    int32_t cluster_id = -1;
+    if (!clusters.empty() && rng.NextDouble() < config.clustered_fraction) {
+      // Pick a cluster with probability proportional to richness.
+      double pick = rng.NextUniform(0.0, richness_total);
+      size_t ci = 0;
+      double acc = 0.0;
+      for (; ci + 1 < clusters.size(); ++ci) {
+        acc += clusters[ci].richness;
+        if (pick <= acc) break;
+      }
+      const Cluster& c = clusters[ci];
+      cluster_id = static_cast<int32_t>(ci);
+      // Small angular scatter, large line-of-sight scatter: the Finger of
+      // God pointing at the observer.
+      ra = c.ra + config.cluster_sigma_deg * rng.NextGaussian() /
+                      std::max(std::cos(c.dec * kDegToRad), 0.2);
+      dec = c.dec + config.cluster_sigma_deg * rng.NextGaussian();
+      z = c.z + config.finger_sigma_z * rng.NextGaussian();
+    } else {
+      ra = rng.NextUniform(config.ra_min, config.ra_max);
+      dec = field_dec();
+      z = field_redshift();
+    }
+    if (z < 0.0005) z = 0.0005;
+    cat.ra.push_back(static_cast<float>(ra));
+    cat.dec.push_back(static_cast<float>(dec));
+    cat.redshift.push_back(static_cast<float>(z));
+    cat.cluster_id.push_back(cluster_id);
+    SkyToCartesian(ra, dec, z, p);
+    cat.positions.Append(p);
+  }
+  return cat;
+}
+
+}  // namespace mds

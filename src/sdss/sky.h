@@ -1,0 +1,57 @@
+#ifndef MDS_SDSS_SKY_H_
+#define MDS_SDSS_SKY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point_set.h"
+
+namespace mds {
+
+/// Configuration of the synthetic (ra, dec, redshift) survey — the space
+/// of the Figure 14 visualization ("the large scale structure of the
+/// universe ... e.g. Finger of God structures").
+struct SkyCatalogConfig {
+  uint64_t num_galaxies = 200000;
+  uint64_t seed = 99;
+  /// Galaxy clusters scattered through the volume; members get small
+  /// angular scatter but a large line-of-sight redshift scatter from
+  /// peculiar velocities — the "Finger of God" elongation.
+  uint32_t num_clusters = 150;
+  double clustered_fraction = 0.5;
+  double max_redshift = 0.25;
+  /// Survey footprint in degrees (an SDSS-like contiguous cap).
+  double ra_min = 130.0, ra_max = 230.0;
+  double dec_min = 0.0, dec_max = 60.0;
+  /// Peculiar-velocity redshift scatter inside clusters (the finger
+  /// length) vs the cluster angular radius in degrees.
+  double finger_sigma_z = 0.004;
+  double cluster_sigma_deg = 0.35;
+};
+
+/// The generated survey: spherical coordinates plus the 3-D Cartesian
+/// positions obtained from Hubble's law ("we can trivially compute the
+/// radial distance of celestial objects from redshift data", §5.2).
+/// Distances are in h^-1 Mpc (c z / H0 with c/H0 = 2998 h^-1 Mpc).
+struct SkyCatalog {
+  std::vector<float> ra;        ///< degrees
+  std::vector<float> dec;       ///< degrees
+  std::vector<float> redshift;
+  /// True cluster id per galaxy, or -1 for field galaxies (ground truth
+  /// for structure-finding tests).
+  std::vector<int32_t> cluster_id;
+  PointSet positions{3, 0};  ///< Cartesian x, y, z
+
+  size_t size() const { return ra.size(); }
+};
+
+/// Generates the survey deterministically from config.seed.
+SkyCatalog GenerateSkyCatalog(const SkyCatalogConfig& config);
+
+/// Converts (ra, dec, redshift) to the Cartesian position used above.
+void SkyToCartesian(double ra_deg, double dec_deg, double redshift,
+                    double out[3]);
+
+}  // namespace mds
+
+#endif  // MDS_SDSS_SKY_H_

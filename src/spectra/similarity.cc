@@ -1,0 +1,74 @@
+#include "spectra/similarity.h"
+
+namespace mds {
+
+Result<SpectralFeatureSpace> SpectralFeatureSpace::Fit(
+    const std::vector<std::vector<float>>& training, size_t num_features) {
+  if (training.size() < 2) {
+    return Status::InvalidArgument(
+        "SpectralFeatureSpace::Fit: need at least 2 spectra");
+  }
+  const size_t len = training[0].size();
+  for (const auto& s : training) {
+    if (s.size() != len) {
+      return Status::InvalidArgument(
+          "SpectralFeatureSpace::Fit: ragged spectra");
+    }
+  }
+  Matrix data(training.size(), len);
+  for (size_t i = 0; i < training.size(); ++i) {
+    double* row = data.RowPtr(i);
+    for (size_t j = 0; j < len; ++j) row[j] = training[i][j];
+  }
+  SpectralFeatureSpace space;
+  space.num_features_ = num_features;
+  MDS_ASSIGN_OR_RETURN(space.pca_, Pca::Fit(data, num_features));
+  return space;
+}
+
+std::vector<float> SpectralFeatureSpace::Project(
+    const std::vector<float>& spectrum) const {
+  MDS_CHECK(spectrum.size() == pca_.input_dim());
+  std::vector<double> in(spectrum.begin(), spectrum.end());
+  std::vector<double> out(num_features_);
+  pca_.TransformPoint(in.data(), num_features_, out.data());
+  return std::vector<float>(out.begin(), out.end());
+}
+
+std::vector<float> SpectralFeatureSpace::Reconstruct(
+    const std::vector<float>& features) const {
+  std::vector<double> in(features.begin(), features.end());
+  std::vector<double> out = pca_.InverseTransformPoint(in.data(), in.size());
+  return std::vector<float>(out.begin(), out.end());
+}
+
+Result<SpectralSimilaritySearch> SpectralSimilaritySearch::Build(
+    const SpectralFeatureSpace* space,
+    const std::vector<std::vector<float>>& archive) {
+  if (archive.empty()) {
+    return Status::InvalidArgument("SpectralSimilaritySearch: empty archive");
+  }
+  SpectralSimilaritySearch search;
+  search.space_ = space;
+  search.features_ =
+      std::make_unique<PointSet>(space->num_features(), 0);
+  search.features_->Reserve(archive.size());
+  for (const auto& spectrum : archive) {
+    std::vector<float> f = space->Project(spectrum);
+    search.features_->Append(f.data());
+  }
+  MDS_ASSIGN_OR_RETURN(
+      KdTreeIndex tree,
+      KdTreeIndex::Build(search.features_.get(), KdTreeConfig{}));
+  search.tree_ = std::make_unique<KdTreeIndex>(std::move(tree));
+  return search;
+}
+
+std::vector<Neighbor> SpectralSimilaritySearch::FindSimilar(
+    const std::vector<float>& query, size_t k) const {
+  std::vector<float> f = space_->Project(query);
+  KdKnnSearcher searcher(tree_.get());
+  return searcher.BoundaryGrow(f.data(), k);
+}
+
+}  // namespace mds

@@ -1,0 +1,80 @@
+#ifndef MDS_SPECTRA_SIMILARITY_H_
+#define MDS_SPECTRA_SIMILARITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/kdtree.h"
+#include "core/knn.h"
+#include "geom/point_set.h"
+#include "linalg/pca.h"
+#include "spectra/spectrum_generator.h"
+
+namespace mds {
+
+/// Karhunen–Loève feature space for spectra (§4.2): "the first few
+/// principal components ... is enough to describe most of the physical
+/// characteristics". Fits a PCA on a training sample of spectra and
+/// projects any spectrum to a `num_features`-dimensional feature vector —
+/// indexing the 3000-dimensional spectrum space directly "would be
+/// prohibitive".
+class SpectralFeatureSpace {
+ public:
+  /// `training` holds spectra as rows (n x num_samples floats).
+  static Result<SpectralFeatureSpace> Fit(const std::vector<std::vector<float>>& training,
+                                          size_t num_features = 5);
+
+  size_t num_features() const { return num_features_; }
+  size_t spectrum_length() const { return pca_.input_dim(); }
+
+  /// Variance captured by the kept components.
+  double ExplainedVarianceRatio() const {
+    return pca_.ExplainedVarianceRatio(num_features_);
+  }
+
+  /// Projects one spectrum to its feature vector.
+  std::vector<float> Project(const std::vector<float>& spectrum) const;
+
+  /// Reconstructs a spectrum from its features (for reconstruction-error
+  /// tests).
+  std::vector<float> Reconstruct(const std::vector<float>& features) const;
+
+  const Pca& pca() const { return pca_; }
+
+ private:
+  SpectralFeatureSpace() = default;
+
+  Pca pca_;
+  size_t num_features_ = 5;
+};
+
+/// Nearest-neighbor similarity search over spectra through the shared
+/// kd-tree machinery: "a similar index can be built and the same stored
+/// procedures can be used for nearest neighbor searches as for the
+/// magnitude space".
+class SpectralSimilaritySearch {
+ public:
+  /// Builds the index over the feature projections of `archive`.
+  static Result<SpectralSimilaritySearch> Build(
+      const SpectralFeatureSpace* space,
+      const std::vector<std::vector<float>>& archive);
+
+  size_t size() const { return features_->size(); }
+
+  /// Returns the archive indices of the k spectra most similar to `query`.
+  std::vector<Neighbor> FindSimilar(const std::vector<float>& query,
+                                    size_t k) const;
+
+ private:
+  SpectralSimilaritySearch() = default;
+
+  const SpectralFeatureSpace* space_ = nullptr;
+  std::unique_ptr<PointSet> features_;
+  std::unique_ptr<KdTreeIndex> tree_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_SPECTRA_SIMILARITY_H_

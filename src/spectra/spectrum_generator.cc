@@ -1,0 +1,137 @@
+#include "spectra/spectrum_generator.h"
+
+#include <cmath>
+
+namespace mds {
+
+namespace {
+
+struct Line {
+  double center = 0.0;    // rest-frame Angstrom
+  double width = 8.0;     // Gaussian sigma, Angstrom
+  double strength = 0.0;  // positive = emission, negative = absorption
+};
+
+// Standard rest wavelengths: CaII K/H, [OII], Hbeta, [OIII], Mg, Na, Halpha.
+constexpr double kCaK = 3933.7, kCaH = 3968.5, kOII = 3727.1, kHb = 4861.3,
+                 kOIII = 5006.8, kMg = 5175.4, kNa = 5893.0, kHa = 6562.8;
+
+void AppendClassLines(const SpectrumParams& p, std::vector<Line>* lines) {
+  const double m = 0.5 + p.metallicity;  // metallicity scales absorption
+  switch (p.cls) {
+    case SpectrumClass::kElliptical:
+      lines->push_back({kCaK, 10.0, -0.45 * m});
+      lines->push_back({kCaH, 10.0, -0.40 * m});
+      lines->push_back({kMg, 14.0, -0.30 * m});
+      lines->push_back({kNa, 10.0, -0.22 * m});
+      lines->push_back({kHb, 8.0, -0.12 * m});
+      break;
+    case SpectrumClass::kSpiral:
+      lines->push_back({kCaK, 10.0, -0.20 * m});
+      lines->push_back({kCaH, 10.0, -0.18 * m});
+      lines->push_back({kMg, 14.0, -0.12 * m});
+      lines->push_back({kHa, 9.0, 0.35});
+      lines->push_back({kOII, 8.0, 0.15});
+      break;
+    case SpectrumClass::kStarburst:
+      lines->push_back({kOII, 8.0, 0.8});
+      lines->push_back({kHb, 8.0, 0.6});
+      lines->push_back({kOIII, 8.0, 1.1});
+      lines->push_back({kHa, 9.0, 1.6});
+      break;
+    case SpectrumClass::kQuasar:
+      // Broad lines: the defining quasar signature.
+      lines->push_back({kHb, 60.0, 0.9});
+      lines->push_back({kHa, 70.0, 1.4});
+      lines->push_back({4102.0, 55.0, 0.4});  // Hdelta broad
+      lines->push_back({kOIII, 10.0, 0.5});   // narrow component
+      break;
+  }
+}
+
+double ContinuumSlope(const SpectrumParams& p) {
+  // Spectral index alpha in f ~ (lambda/5000)^alpha: older and dustier
+  // populations are redder (positive slope), starbursts and quasars bluer.
+  switch (p.cls) {
+    case SpectrumClass::kElliptical:
+      return 0.8 + 1.2 * p.age + 0.8 * p.dust;
+    case SpectrumClass::kSpiral:
+      return 0.0 + 1.0 * p.age + 0.8 * p.dust;
+    case SpectrumClass::kStarburst:
+      return -1.2 + 0.6 * p.age + 0.8 * p.dust;
+    case SpectrumClass::kQuasar:
+      return -0.7 + 0.3 * p.age + 0.5 * p.dust;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<float> SpectrumGenerator::Generate(
+    const SpectrumParams& params) const {
+  const size_t n = grid_.num_samples;
+  std::vector<float> flux(n);
+  std::vector<Line> lines;
+  AppendClassLines(params, &lines);
+  const double alpha = ContinuumSlope(params);
+  const double zfac = 1.0 + params.redshift;
+  // The 4000A break: a continuum step that redshifts through the grid and
+  // carries most of the redshift information.
+  const double break_depth =
+      params.cls == SpectrumClass::kQuasar ? 0.08 : 0.25 + 0.3 * params.age;
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double lambda_obs =
+        grid_.lambda_min + (grid_.lambda_max - grid_.lambda_min) *
+                               static_cast<double>(i) /
+                               static_cast<double>(n - 1);
+    double lambda_rest = lambda_obs / zfac;
+    double f = std::pow(lambda_rest / 5000.0, alpha);
+    // Smooth 4000A break.
+    f *= 1.0 - break_depth / (1.0 + std::exp((lambda_rest - 4000.0) / 60.0));
+    for (const Line& line : lines) {
+      double u = (lambda_rest - line.center) / line.width;
+      if (std::abs(u) < 6.0) {
+        f += line.strength * std::exp(-0.5 * u * u);
+      }
+    }
+    f = std::max(f, 0.0);
+    flux[i] = static_cast<float>(f);
+    total += f;
+  }
+  // Normalize to unit mean flux (spectra are compared in shape space).
+  double scale = total > 0.0 ? static_cast<double>(n) / total : 1.0;
+  for (float& f : flux) f = static_cast<float>(f * scale);
+  return flux;
+}
+
+std::vector<float> SpectrumGenerator::GenerateNoisy(
+    const SpectrumParams& params, double noise_sigma, Rng& rng) const {
+  std::vector<float> flux = Generate(params);
+  for (float& f : flux) {
+    f = static_cast<float>(
+        std::max(0.0, f * (1.0 + noise_sigma * rng.NextGaussian())));
+  }
+  return flux;
+}
+
+SpectrumParams SpectrumGenerator::RandomParams(SpectrumClass cls,
+                                               Rng& rng) const {
+  SpectrumParams p;
+  p.cls = cls;
+  p.age = rng.NextDouble();
+  p.metallicity = rng.NextDouble();
+  p.dust = 0.5 * rng.NextDouble();
+  switch (cls) {
+    case SpectrumClass::kQuasar:
+      p.redshift = rng.NextUniform(0.1, 0.45);
+      break;
+    default:
+      p.redshift = rng.NextUniform(0.0, 0.25);
+      break;
+  }
+  return p;
+}
+
+}  // namespace mds

@@ -1,0 +1,70 @@
+#ifndef MDS_SPECTRA_SPECTRUM_GENERATOR_H_
+#define MDS_SPECTRA_SPECTRUM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mds {
+
+/// Object families with distinct spectral shapes (§4.2, Figures 9–10).
+enum class SpectrumClass : uint8_t {
+  kElliptical = 0,  ///< red continuum, deep absorption lines
+  kSpiral = 1,      ///< intermediate continuum, mild emission
+  kStarburst = 2,   ///< blue continuum, strong narrow emission
+  kQuasar = 3,      ///< power-law continuum, broad emission lines
+};
+
+inline constexpr size_t kNumSpectrumClasses = 4;
+
+/// Physical parameters of a synthetic spectrum — the knobs a
+/// Bruzual–Charlot-style synthesis code exposes ("tweaking the age,
+/// chemical composition, dust content and other physical parameters").
+struct SpectrumParams {
+  SpectrumClass cls = SpectrumClass::kElliptical;
+  double redshift = 0.0;
+  double age = 0.5;          ///< [0, 1]: reddens the continuum
+  double metallicity = 0.5;  ///< [0, 1]: scales absorption line depths
+  double dust = 0.0;         ///< [0, 1]: extra reddening attenuation
+};
+
+/// Sampling grid of the spectrograph.
+struct SpectrumGrid {
+  size_t num_samples = 3000;  ///< SDSS spectra have ~3000 samples
+  double lambda_min = 3800.0; ///< Angstrom
+  double lambda_max = 9200.0;
+};
+
+/// Generates synthetic galaxy/quasar/star-formation spectra: a smooth
+/// continuum shaped by age/dust plus Gaussian emission and absorption
+/// lines at standard rest wavelengths, redshifted onto the observed grid.
+/// This substitutes the SDSS SpectrumService archive (see DESIGN.md): the
+/// §4.2 experiments only require that spectra live on a low-dimensional
+/// manifold parameterized by physical knobs, which this family provides by
+/// construction.
+class SpectrumGenerator {
+ public:
+  explicit SpectrumGenerator(const SpectrumGrid& grid = {}) : grid_(grid) {}
+
+  const SpectrumGrid& grid() const { return grid_; }
+
+  /// Noise-free spectrum for the given parameters (length num_samples,
+  /// normalized to unit mean flux).
+  std::vector<float> Generate(const SpectrumParams& params) const;
+
+  /// Spectrum with multiplicative pixel noise of the given amplitude.
+  std::vector<float> GenerateNoisy(const SpectrumParams& params,
+                                   double noise_sigma, Rng& rng) const;
+
+  /// Draws random parameters for a class (redshift, age, metallicity,
+  /// dust ranges chosen per class).
+  SpectrumParams RandomParams(SpectrumClass cls, Rng& rng) const;
+
+ private:
+  SpectrumGrid grid_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_SPECTRA_SPECTRUM_GENERATOR_H_

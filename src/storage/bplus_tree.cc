@@ -1,0 +1,327 @@
+#include "storage/bplus_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mds {
+
+namespace {
+
+// Node accessors over a raw Page. Offsets per the layout in the header.
+bool NodeIsLeaf(const Page& p) { return p.ReadAt<uint8_t>(0) != 0; }
+void NodeSetLeaf(Page& p, bool leaf) {
+  p.WriteAt<uint8_t>(0, leaf ? 1 : 0);
+}
+uint16_t NodeCount(const Page& p) { return p.ReadAt<uint16_t>(2); }
+void NodeSetCount(Page& p, uint16_t c) { p.WriteAt<uint16_t>(2, c); }
+
+// Leaf entries.
+PageId LeafNext(const Page& p) { return p.ReadAt<PageId>(4); }
+void LeafSetNext(Page& p, PageId id) { p.WriteAt<PageId>(4, id); }
+size_t LeafEntryOffset(size_t i) { return BPlusTree::kLeafHeader + i * 16; }
+int64_t LeafKey(const Page& p, size_t i) {
+  return p.ReadAt<int64_t>(LeafEntryOffset(i));
+}
+uint64_t LeafValue(const Page& p, size_t i) {
+  return p.ReadAt<uint64_t>(LeafEntryOffset(i) + 8);
+}
+void LeafSetEntry(Page& p, size_t i, int64_t key, uint64_t value) {
+  p.WriteAt<int64_t>(LeafEntryOffset(i), key);
+  p.WriteAt<uint64_t>(LeafEntryOffset(i) + 8, value);
+}
+
+// Internal entries.
+PageId InternalChild0(const Page& p) { return p.ReadAt<PageId>(4); }
+void InternalSetChild0(Page& p, PageId id) { p.WriteAt<PageId>(4, id); }
+size_t InternalEntryOffset(size_t i) {
+  return BPlusTree::kInternalHeader + i * 16;
+}
+int64_t InternalKey(const Page& p, size_t i) {
+  return p.ReadAt<int64_t>(InternalEntryOffset(i));
+}
+PageId InternalChild(const Page& p, size_t i) {
+  return p.ReadAt<PageId>(InternalEntryOffset(i) + 8);
+}
+void InternalSetEntry(Page& p, size_t i, int64_t key, PageId child) {
+  p.WriteAt<int64_t>(InternalEntryOffset(i), key);
+  p.WriteAt<PageId>(InternalEntryOffset(i) + 8, child);
+}
+
+// Child slot for `key` in an internal node: index into the child list of
+// count+1 children (slot 0 = child0). Strict comparison so that the
+// leftmost leaf that can hold duplicates of `key` is found; range scans
+// then walk rightwards over the leaf chain.
+size_t ChildSlot(const Page& p, int64_t key) {
+  size_t lo = 0, hi = NodeCount(p);
+  // First separator >= key; the child before it covers the leftmost `key`.
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (InternalKey(p, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;  // 0..count
+}
+
+PageId ChildAt(const Page& p, size_t slot) {
+  return slot == 0 ? InternalChild0(p) : InternalChild(p, slot - 1);
+}
+
+}  // namespace
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+  BPlusTree tree(pool);
+  MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool->Allocate());
+  Page& page = guard.MutablePage();
+  NodeSetLeaf(page, true);
+  NodeSetCount(page, 0);
+  LeafSetNext(page, kInvalidPageId);
+  tree.root_ = guard.id();
+  tree.height_ = 1;
+  return tree;
+}
+
+Result<BPlusTree> BPlusTree::BulkLoad(
+    BufferPool* pool, const std::vector<std::pair<int64_t, uint64_t>>& pairs) {
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    if (pairs[i].first < pairs[i - 1].first) {
+      return Status::InvalidArgument("BPlusTree::BulkLoad: pairs not sorted");
+    }
+  }
+  BPlusTree tree(pool);
+  tree.num_entries_ = pairs.size();
+
+  // Fill leaves ~90% full so subsequent inserts don't immediately split.
+  const size_t per_leaf = std::max<size_t>(1, kLeafCapacity * 9 / 10);
+  std::vector<std::pair<int64_t, PageId>> level;  // (first key, page)
+  size_t i = 0;
+  PageId prev_leaf = kInvalidPageId;
+  if (pairs.empty()) return Create(pool);
+  while (i < pairs.size()) {
+    size_t n = std::min(per_leaf, pairs.size() - i);
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool->Allocate());
+    Page& page = guard.MutablePage();
+    NodeSetLeaf(page, true);
+    NodeSetCount(page, static_cast<uint16_t>(n));
+    LeafSetNext(page, kInvalidPageId);
+    for (size_t j = 0; j < n; ++j) {
+      LeafSetEntry(page, j, pairs[i + j].first, pairs[i + j].second);
+    }
+    if (prev_leaf != kInvalidPageId) {
+      MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard prev, pool->Fetch(prev_leaf));
+      LeafSetNext(prev.MutablePage(), guard.id());
+    }
+    level.emplace_back(pairs[i].first, guard.id());
+    prev_leaf = guard.id();
+    i += n;
+  }
+
+  // Build internal levels bottom-up.
+  uint32_t height = 1;
+  const size_t per_node = std::max<size_t>(2, kInternalCapacity * 9 / 10);
+  while (level.size() > 1) {
+    std::vector<std::pair<int64_t, PageId>> next_level;
+    size_t j = 0;
+    while (j < level.size()) {
+      size_t n = std::min(per_node + 1, level.size() - j);  // children count
+      if (level.size() - j - n == 1) --n;  // avoid a trailing 1-child node
+      MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool->Allocate());
+      Page& page = guard.MutablePage();
+      NodeSetLeaf(page, false);
+      NodeSetCount(page, static_cast<uint16_t>(n - 1));
+      InternalSetChild0(page, level[j].second);
+      for (size_t c = 1; c < n; ++c) {
+        InternalSetEntry(page, c - 1, level[j + c].first, level[j + c].second);
+      }
+      next_level.emplace_back(level[j].first, guard.id());
+      j += n;
+    }
+    level = std::move(next_level);
+    ++height;
+  }
+  tree.root_ = level[0].second;
+  tree.height_ = height;
+  return tree;
+}
+
+Result<PageId> BPlusTree::FindLeaf(int64_t key) const {
+  PageId node = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_->Fetch(node));
+    const Page& page = guard.page();
+    MDS_CHECK(!NodeIsLeaf(page));
+    node = ChildAt(page, ChildSlot(page, key));
+  }
+  return node;
+}
+
+Status BPlusTree::Insert(int64_t key, uint64_t value) {
+  MDS_ASSIGN_OR_RETURN(SplitResult split,
+                       InsertRecursive(root_, height_, key, value));
+  if (split.split) {
+    // Grow a new root.
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_->Allocate());
+    Page& page = guard.MutablePage();
+    NodeSetLeaf(page, false);
+    NodeSetCount(page, 1);
+    InternalSetChild0(page, root_);
+    InternalSetEntry(page, 0, split.sep_key, split.right);
+    root_ = guard.id();
+    ++height_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node,
+                                                          uint32_t level,
+                                                          int64_t key,
+                                                          uint64_t value) {
+  if (level == 1) {
+    // Leaf insert.
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_->Fetch(node));
+    Page& page = guard.MutablePage();
+    MDS_CHECK(NodeIsLeaf(page));
+    uint16_t count = NodeCount(page);
+    // Position: first entry with key > `key` (stable for duplicates).
+    size_t pos = 0;
+    {
+      size_t lo = 0, hi = count;
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (LeafKey(page, mid) <= key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pos = lo;
+    }
+    if (count < kLeafCapacity) {
+      for (size_t j = count; j > pos; --j) {
+        LeafSetEntry(page, j, LeafKey(page, j - 1), LeafValue(page, j - 1));
+      }
+      LeafSetEntry(page, pos, key, value);
+      NodeSetCount(page, count + 1);
+      return SplitResult{};
+    }
+    // Split: left keeps half, right gets the rest; insert into the proper
+    // side afterwards (gather-into-vector keeps the logic simple).
+    std::vector<std::pair<int64_t, uint64_t>> entries;
+    entries.reserve(count + 1);
+    for (size_t j = 0; j < count; ++j) {
+      entries.emplace_back(LeafKey(page, j), LeafValue(page, j));
+    }
+    entries.insert(entries.begin() + pos, {key, value});
+    size_t left_n = entries.size() / 2;
+
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard rguard, pool_->Allocate());
+    Page& right = rguard.MutablePage();
+    NodeSetLeaf(right, true);
+    LeafSetNext(right, LeafNext(page));
+    LeafSetNext(page, rguard.id());
+    NodeSetCount(page, static_cast<uint16_t>(left_n));
+    NodeSetCount(right, static_cast<uint16_t>(entries.size() - left_n));
+    for (size_t j = 0; j < left_n; ++j) {
+      LeafSetEntry(page, j, entries[j].first, entries[j].second);
+    }
+    for (size_t j = left_n; j < entries.size(); ++j) {
+      LeafSetEntry(right, j - left_n, entries[j].first, entries[j].second);
+    }
+    SplitResult res;
+    res.split = true;
+    res.sep_key = entries[left_n].first;
+    res.right = rguard.id();
+    return res;
+  }
+
+  // Internal node.
+  PageId child;
+  size_t slot;
+  {
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_->Fetch(node));
+    const Page& page = guard.page();
+    MDS_CHECK(!NodeIsLeaf(page));
+    slot = ChildSlot(page, key);
+    child = ChildAt(page, slot);
+  }
+  MDS_ASSIGN_OR_RETURN(SplitResult child_split,
+                       InsertRecursive(child, level - 1, key, value));
+  if (!child_split.split) return SplitResult{};
+
+  MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_->Fetch(node));
+  Page& page = guard.MutablePage();
+  uint16_t count = NodeCount(page);
+  if (count < kInternalCapacity) {
+    for (size_t j = count; j > slot; --j) {
+      InternalSetEntry(page, j, InternalKey(page, j - 1),
+                       InternalChild(page, j - 1));
+    }
+    InternalSetEntry(page, slot, child_split.sep_key, child_split.right);
+    NodeSetCount(page, count + 1);
+    return SplitResult{};
+  }
+  // Split internal node.
+  std::vector<std::pair<int64_t, PageId>> entries;  // separators + right child
+  entries.reserve(count + 1);
+  for (size_t j = 0; j < count; ++j) {
+    entries.emplace_back(InternalKey(page, j), InternalChild(page, j));
+  }
+  entries.insert(entries.begin() + slot,
+                 {child_split.sep_key, child_split.right});
+  PageId child0 = InternalChild0(page);
+  size_t mid = entries.size() / 2;  // separator promoted upward
+
+  MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard rguard, pool_->Allocate());
+  Page& right = rguard.MutablePage();
+  NodeSetLeaf(right, false);
+  NodeSetCount(page, static_cast<uint16_t>(mid));
+  InternalSetChild0(page, child0);
+  for (size_t j = 0; j < mid; ++j) {
+    InternalSetEntry(page, j, entries[j].first, entries[j].second);
+  }
+  NodeSetCount(right, static_cast<uint16_t>(entries.size() - mid - 1));
+  InternalSetChild0(right, entries[mid].second);
+  for (size_t j = mid + 1; j < entries.size(); ++j) {
+    InternalSetEntry(right, j - mid - 1, entries[j].first, entries[j].second);
+  }
+  SplitResult res;
+  res.split = true;
+  res.sep_key = entries[mid].first;
+  res.right = rguard.id();
+  return res;
+}
+
+Status BPlusTree::RangeLookup(
+    int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, uint64_t)>& fn) const {
+  if (lo > hi || num_entries_ == 0) return Status::OK();
+  MDS_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(lo));
+  while (leaf != kInvalidPageId) {
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_->Fetch(leaf));
+    const Page& page = guard.page();
+    uint16_t count = NodeCount(page);
+    for (size_t j = 0; j < count; ++j) {
+      int64_t k = LeafKey(page, j);
+      if (k < lo) continue;
+      if (k > hi) return Status::OK();
+      if (!fn(k, LeafValue(page, j))) return Status::OK();
+    }
+    leaf = LeafNext(page);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> BPlusTree::Lookup(int64_t key) const {
+  std::vector<uint64_t> out;
+  MDS_RETURN_NOT_OK(RangeLookup(key, key, [&](int64_t, uint64_t v) {
+    out.push_back(v);
+    return true;
+  }));
+  return out;
+}
+
+}  // namespace mds

@@ -1,0 +1,83 @@
+#ifndef MDS_STORAGE_BPLUS_TREE_H_
+#define MDS_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace mds {
+
+/// Paged B+-tree mapping int64 keys to uint64 values (row ids). Duplicate
+/// keys are allowed. This is the secondary-index substrate (the analog of
+/// the SQL Server nonclustered indexes backing RandomID / Layer /
+/// ContainedBy predicates); nodes live in buffer-pool pages so lookups are
+/// I/O-accounted like everything else.
+///
+/// Node layout (little-endian):
+///   common   : u8 is_leaf, u8 pad, u16 count
+///   leaf     : u64 next_leaf, then count * (i64 key, u64 value)
+///   internal : u64 child0, then count * (i64 key, u64 child)
+///              subtree child0 holds keys < key[0]; child[i] holds keys in
+///              [key[i-1] ... key[i]); the last child holds keys >= key[count-1].
+class BPlusTree {
+ public:
+  /// Creates an empty tree (a single empty leaf).
+  static Result<BPlusTree> Create(BufferPool* pool);
+
+  /// Builds a tree bottom-up from key-sorted (key, value) pairs; much
+  /// faster and denser than repeated Insert.
+  static Result<BPlusTree> BulkLoad(
+      BufferPool* pool, const std::vector<std::pair<int64_t, uint64_t>>& pairs);
+
+  /// Inserts one (key, value) pair.
+  Status Insert(int64_t key, uint64_t value);
+
+  /// Calls fn(key, value) for every entry with key in [lo, hi], in key
+  /// order. fn may return void or bool (false stops the walk).
+  Status RangeLookup(int64_t lo, int64_t hi,
+                     const std::function<bool(int64_t, uint64_t)>& fn) const;
+
+  /// Collects all values with exactly this key.
+  Result<std::vector<uint64_t>> Lookup(int64_t key) const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t height() const { return height_; }
+  PageId root() const { return root_; }
+
+ private:
+  explicit BPlusTree(BufferPool* pool) : pool_(pool) {}
+
+  struct SplitResult {
+    bool split = false;
+    int64_t sep_key = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  Result<SplitResult> InsertRecursive(PageId node, uint32_t level, int64_t key,
+                                      uint64_t value);
+
+  /// Descends to the leaf that may contain `key`.
+  Result<PageId> FindLeaf(int64_t key) const;
+
+  BufferPool* pool_;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 1;  // number of levels; 1 == root is a leaf
+  uint64_t num_entries_ = 0;
+
+ public:
+  // Capacity constants exposed for tests.
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kLeafHeader = kHeaderSize + 8;   // + next pointer
+  static constexpr size_t kLeafCapacity = (kPageSize - kLeafHeader) / 16;
+  static constexpr size_t kInternalHeader = kHeaderSize + 8;  // + child0
+  static constexpr size_t kInternalCapacity =
+      (kPageSize - kInternalHeader) / 16;
+};
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_BPLUS_TREE_H_

@@ -1,0 +1,103 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace mds {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity) {
+  MDS_CHECK(capacity_ > 0);
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors at teardown cannot be reported.
+  (void)FlushAll();
+}
+
+Result<BufferPool::PageGuard> BufferPool::Fetch(PageId id) {
+  ++stats_.logical_reads;
+  MDS_ASSIGN_OR_RETURN(Frame * frame, GetFrame(id, /*load=*/true));
+  Pin(frame);
+  return PageGuard(this, frame);
+}
+
+Result<BufferPool::PageGuard> BufferPool::Allocate() {
+  MDS_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  ++stats_.logical_reads;
+  MDS_ASSIGN_OR_RETURN(Frame * frame, GetFrame(id, /*load=*/false));
+  Pin(frame);
+  PageGuard guard(this, frame);
+  guard.MarkDirty();
+  return guard;
+}
+
+Result<BufferPool::Frame*> BufferPool::GetFrame(PageId id, bool load) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    return it->second.get();
+  }
+  while (frames_.size() >= capacity_) {
+    MDS_RETURN_NOT_OK(EvictOne());
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  if (load) {
+    ++stats_.physical_reads;
+    MDS_RETURN_NOT_OK(pager_->ReadPage(id, &frame->page));
+  }
+  Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  return raw;
+}
+
+Status BufferPool::EvictOne() {
+  // Evict the least recently used unpinned page.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    PageId victim = *it;
+    auto fit = frames_.find(victim);
+    MDS_CHECK(fit != frames_.end());
+    Frame* f = fit->second.get();
+    if (f->pins != 0) continue;
+    if (f->dirty) {
+      ++stats_.physical_writes;
+      MDS_RETURN_NOT_OK(pager_->WritePage(f->id, f->page));
+    }
+    lru_.erase(std::next(it).base());
+    frames_.erase(fit);
+    ++stats_.evictions;
+    return Status::OK();
+  }
+  return Status::ResourceExhausted("buffer pool: all pages pinned");
+}
+
+void BufferPool::Pin(Frame* f) {
+  if (f->in_lru) {
+    lru_.erase(f->lru_pos);
+    f->in_lru = false;
+  }
+  ++f->pins;
+}
+
+void BufferPool::Unpin(Frame* f, bool dirty) {
+  MDS_CHECK(f->pins > 0);
+  f->dirty = f->dirty || dirty;
+  --f->pins;
+  if (f->pins == 0) {
+    lru_.push_front(f->id);
+    f->lru_pos = lru_.begin();
+    f->in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame->dirty) {
+      ++stats_.physical_writes;
+      MDS_RETURN_NOT_OK(pager_->WritePage(frame->id, frame->page));
+      frame->dirty = false;
+    }
+  }
+  return pager_->Sync();
+}
+
+}  // namespace mds

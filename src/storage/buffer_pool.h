@@ -1,0 +1,138 @@
+#ifndef MDS_STORAGE_BUFFER_POOL_H_
+#define MDS_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace mds {
+
+/// I/O accounting, the primary metric for experiments E2/E3: the paper's
+/// key claim for the layered grid is that "practically only points which
+/// are actually returned are read from disk", which we verify by counting
+/// physical page reads here.
+struct BufferPoolStats {
+  uint64_t logical_reads = 0;   ///< page fetches served (hit or miss)
+  uint64_t physical_reads = 0;  ///< fetches that had to hit the pager
+  uint64_t physical_writes = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    return logical_reads == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(physical_reads) /
+                           static_cast<double>(logical_reads);
+  }
+};
+
+/// Fixed-capacity LRU buffer pool over a Pager. Pages are pinned while a
+/// PageGuard is alive; unpinned pages are eligible for eviction (dirty
+/// pages are written back). Single-threaded by design: the query engine
+/// executes one query at a time, as the paper's stored procedures do.
+class BufferPool {
+ public:
+  /// capacity: maximum resident pages (> 0).
+  BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  class PageGuard;
+
+  /// Fetches a page, pinning it for the guard's lifetime.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// Allocates a fresh page in the pager and returns it pinned (dirty).
+  Result<PageGuard> Allocate();
+
+  /// Writes back all dirty pages.
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return frames_.size(); }
+  Pager* pager() const { return pager_; }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    Page page;
+    uint32_t pins = 0;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;  // valid iff pins == 0
+    bool in_lru = false;
+  };
+
+  Result<Frame*> GetFrame(PageId id, bool load);
+  Status EvictOne();
+  void Pin(Frame* f);
+  void Unpin(Frame* f, bool dirty);
+
+  Pager* pager_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  std::list<PageId> lru_;  // front = most recently used
+  BufferPoolStats stats_;
+
+  friend class PageGuard;
+};
+
+/// RAII pin on a buffered page. Mark dirty via MarkDirty() before writing.
+class BufferPool::PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Frame* frame) : pool_(pool), frame_(frame) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      dirty_ = other.dirty_;
+      other.pool_ = nullptr;
+      other.frame_ = nullptr;
+      other.dirty_ = false;
+    }
+    return *this;
+  }
+
+  bool valid() const { return frame_ != nullptr; }
+  PageId id() const { return frame_->id; }
+  const Page& page() const { return frame_->page; }
+  Page& MutablePage() {
+    dirty_ = true;
+    return frame_->page;
+  }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && frame_ != nullptr) {
+      pool_->Unpin(frame_, dirty_);
+    }
+    pool_ = nullptr;
+    frame_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,66 @@
+#include "storage/clustered_index.h"
+
+#include <algorithm>
+
+namespace mds {
+
+Result<ClusteredKeyIndex> ClusteredKeyIndex::Build(const Table* table,
+                                                   size_t key_col) {
+  if (key_col >= table->schema().num_columns() ||
+      table->schema().column(key_col).type != ColumnType::kInt64) {
+    return Status::InvalidArgument(
+        "ClusteredKeyIndex: key column must be int64");
+  }
+  ClusteredKeyIndex index(table, key_col);
+  index.first_keys_.reserve(table->num_pages());
+  int64_t prev = INT64_MIN;
+  bool monotone = true;
+  MDS_RETURN_NOT_OK(table->Scan([&](uint64_t row_id, RowRef ref) {
+    int64_t k = ref.GetInt64(key_col);
+    if (k < prev) monotone = false;
+    prev = k;
+    if (row_id % table->rows_per_page() == 0) index.first_keys_.push_back(k);
+  }));
+  if (!monotone) {
+    return Status::FailedPrecondition(
+        "ClusteredKeyIndex: table not sorted by key column");
+  }
+  return index;
+}
+
+uint64_t ClusteredKeyIndex::FirstCandidatePage(int64_t key) const {
+  // Last page whose first key is <= key.
+  auto it = std::upper_bound(first_keys_.begin(), first_keys_.end(), key);
+  if (it == first_keys_.begin()) return 0;
+  return static_cast<uint64_t>(std::distance(first_keys_.begin(), it)) - 1;
+}
+
+Result<std::pair<uint64_t, uint64_t>> ClusteredKeyIndex::EqualRange(
+    int64_t key_lo, int64_t key_hi) const {
+  uint64_t begin = table_->num_rows();
+  uint64_t end = table_->num_rows();
+  bool found_begin = false;
+  if (table_->num_rows() == 0 || key_lo > key_hi) return std::make_pair(uint64_t{0}, uint64_t{0});
+  uint64_t page = FirstCandidatePage(key_lo);
+  uint64_t start_row = page * table_->rows_per_page();
+  MDS_RETURN_NOT_OK(table_->ScanRange(
+      start_row, table_->num_rows(), [&](uint64_t row_id, RowRef ref) -> bool {
+        int64_t k = ref.GetInt64(key_col_);
+        if (!found_begin) {
+          if (k >= key_lo) {
+            begin = row_id;
+            found_begin = true;
+          }
+        }
+        if (k > key_hi) {
+          end = row_id;
+          return false;
+        }
+        return true;
+      }));
+  if (!found_begin) return std::make_pair(table_->num_rows(), table_->num_rows());
+  if (end < begin) end = begin;
+  return std::make_pair(begin, end);
+}
+
+}  // namespace mds

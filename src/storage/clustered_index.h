@@ -1,0 +1,83 @@
+#ifndef MDS_STORAGE_CLUSTERED_INDEX_H_
+#define MDS_STORAGE_CLUSTERED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace mds {
+
+/// Sparse index over a table whose rows were appended in nondecreasing
+/// order of one int64 key column (a "clustered index" in the paper's SQL
+/// Server sense). Stores the first key of each page; a key-range scan then
+/// touches only pages that can contain qualifying rows and stops early.
+///
+/// Both the kd-tree's post-order `BETWEEN` leaf ranges (§3.2) and the
+/// Voronoi cell tags (§3.4) use this access path.
+class ClusteredKeyIndex {
+ public:
+  /// Scans the table once to record per-page first keys; fails with
+  /// FailedPrecondition if the key column is not nondecreasing.
+  static Result<ClusteredKeyIndex> Build(const Table* table, size_t key_col);
+
+  /// Calls fn(row_id, RowRef) for every row whose key lies in
+  /// [key_lo, key_hi]. Rows are visited in key order. The callback may
+  /// return void or bool (false stops the scan).
+  template <typename Fn>
+  Status ScanKeyRange(int64_t key_lo, int64_t key_hi, Fn&& fn) const;
+
+  /// Row-id interval [begin, end) of keys in [key_lo, key_hi], located by
+  /// binary search over pages plus a bounded scan at the edges.
+  Result<std::pair<uint64_t, uint64_t>> EqualRange(int64_t key_lo,
+                                                   int64_t key_hi) const;
+
+  size_t key_col() const { return key_col_; }
+
+ private:
+  ClusteredKeyIndex(const Table* table, size_t key_col)
+      : table_(table), key_col_(key_col) {}
+
+  /// First page that could contain `key` (its first_key <= key), by binary
+  /// search over first_keys_.
+  uint64_t FirstCandidatePage(int64_t key) const;
+
+  const Table* table_;
+  size_t key_col_;
+  std::vector<int64_t> first_keys_;  // first key of each page
+};
+
+template <typename Fn>
+Status ClusteredKeyIndex::ScanKeyRange(int64_t key_lo, int64_t key_hi,
+                                       Fn&& fn) const {
+  if (table_->num_rows() == 0 || key_lo > key_hi) return Status::OK();
+  uint64_t page = FirstCandidatePage(key_lo);
+  uint64_t begin = page * table_->rows_per_page();
+  bool done = false;
+  MDS_RETURN_NOT_OK(table_->ScanRange(
+      begin, table_->num_rows(), [&](uint64_t row_id, RowRef ref) -> bool {
+        int64_t k = ref.GetInt64(key_col_);
+        if (k > key_hi) {
+          done = true;
+          return false;
+        }
+        if (k < key_lo) return true;
+        if constexpr (std::is_void_v<decltype(fn(row_id, ref))>) {
+          fn(row_id, ref);
+          return true;
+        } else {
+          if (!fn(row_id, ref)) {
+            done = true;
+            return false;
+          }
+          return true;
+        }
+      }));
+  (void)done;
+  return Status::OK();
+}
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_CLUSTERED_INDEX_H_

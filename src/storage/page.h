@@ -1,0 +1,45 @@
+#ifndef MDS_STORAGE_PAGE_H_
+#define MDS_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace mds {
+
+/// Fixed page size, matching the 8 KB pages of the SQL Server instance the
+/// paper ran on. All on-disk structures (tables, B+-trees) are built from
+/// these pages, and the buffer pool accounts I/O in page units — the unit
+/// in which the paper's "only points actually returned are read from disk"
+/// claim is measured.
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~PageId{0};
+
+/// Raw page buffer with typed access helpers. Readers/writers are
+/// responsible for staying inside kPageSize (checked in debug builds by the
+/// callers' offsets).
+struct Page {
+  std::array<uint8_t, kPageSize> data{};
+
+  template <typename T>
+  T ReadAt(size_t offset) const {
+    T v;
+    std::memcpy(&v, data.data() + offset, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void WriteAt(size_t offset, const T& v) {
+    std::memcpy(data.data() + offset, &v, sizeof(T));
+  }
+
+  const uint8_t* bytes() const { return data.data(); }
+  uint8_t* bytes() { return data.data(); }
+};
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_PAGE_H_

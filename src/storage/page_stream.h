@@ -1,0 +1,102 @@
+#ifndef MDS_STORAGE_PAGE_STREAM_H_
+#define MDS_STORAGE_PAGE_STREAM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace mds {
+
+/// Byte-stream serialization over chained buffer-pool pages: the substrate
+/// for persisting index structures next to their tables, so a database
+/// file reopens with its indexes intact (the out-of-core property the
+/// paper gets from SQL Server's catalog).
+///
+/// Page layout: [u64 next_page][u32 used][payload ...].
+class PageStreamWriter {
+ public:
+  explicit PageStreamWriter(BufferPool* pool) : pool_(pool) {}
+
+  /// Appends raw bytes.
+  Status Write(const void* data, size_t len);
+
+  /// Appends a trivially-copyable value.
+  template <typename T>
+  Status WriteValue(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Write(&v, sizeof(T));
+  }
+
+  /// Appends a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+  Status WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MDS_RETURN_NOT_OK(WriteValue<uint64_t>(v.size()));
+    return Write(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Flushes the current page and returns the first page of the chain.
+  Result<PageId> Finish();
+
+ private:
+  Status EnsurePage();
+
+  BufferPool* pool_;
+  PageId first_ = kInvalidPageId;
+  PageId current_ = kInvalidPageId;
+  PageId current_prev_ = kInvalidPageId;  // last flushed page, for chaining
+  std::vector<uint8_t> buffer_;  // staged payload of the current page
+  bool finished_ = false;
+
+  static constexpr size_t kHeader = 12;
+  static constexpr size_t kCapacity = kPageSize - kHeader;
+};
+
+/// Reader for chains written by PageStreamWriter.
+class PageStreamReader {
+ public:
+  PageStreamReader(BufferPool* pool, PageId first)
+      : pool_(pool), next_(first) {}
+
+  /// Reads exactly `len` bytes; fails with OutOfRange past the end.
+  Status Read(void* out, size_t len);
+
+  template <typename T>
+  Result<T> ReadValue() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    MDS_RETURN_NOT_OK(Read(&v, sizeof(T)));
+    return v;
+  }
+
+  /// Reads a vector written by WriteVector. `max_elements` guards against
+  /// corrupted length prefixes.
+  template <typename T>
+  Result<std::vector<T>> ReadVector(uint64_t max_elements = (1ull << 32)) {
+    MDS_ASSIGN_OR_RETURN(uint64_t n, ReadValue<uint64_t>());
+    if (n > max_elements) {
+      return Status::Corruption("PageStreamReader: implausible vector size");
+    }
+    std::vector<T> v(n);
+    MDS_RETURN_NOT_OK(Read(v.data(), n * sizeof(T)));
+    return v;
+  }
+
+ private:
+  Status LoadNextPage();
+
+  BufferPool* pool_;
+  PageId next_;
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;
+
+  static constexpr size_t kHeader = 12;
+};
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_PAGE_STREAM_H_

@@ -1,0 +1,142 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mds {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+FilePager::~FilePager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot create pager file", path));
+  }
+  return std::unique_ptr<FilePager>(new FilePager(fd, path, 0));
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open pager file", path));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("cannot stat pager file", path));
+  }
+  if (static_cast<uint64_t>(size) % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("pager file size not a multiple of page size: " +
+                              path);
+  }
+  return std::unique_ptr<FilePager>(
+      new FilePager(fd, path, static_cast<uint64_t>(size) / kPageSize));
+}
+
+Result<PageId> FilePager::AllocatePage() {
+  Page zero;
+  PageId id = num_pages_;
+  MDS_RETURN_NOT_OK(WritePage(id, zero));
+  return id;
+}
+
+Status FilePager::ReadPage(PageId id, Page* page) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("ReadPage: page id out of range");
+  }
+  ssize_t n = ::pread(fd_, page->bytes(), kPageSize,
+                      static_cast<off_t>(id * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(ErrnoMessage("short read from pager file", path_));
+  }
+  return Status::OK();
+}
+
+Status FilePager::WritePage(PageId id, const Page& page) {
+  if (id > num_pages_) {
+    return Status::OutOfRange("WritePage: page id beyond end");
+  }
+  ssize_t n = ::pwrite(fd_, page.bytes(), kPageSize,
+                       static_cast<off_t>(id * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(ErrnoMessage("short write to pager file", path_));
+  }
+  if (id == num_pages_) ++num_pages_;
+  return Status::OK();
+}
+
+Status FilePager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed on", path_));
+  }
+  return Status::OK();
+}
+
+Result<PageId> MemPager::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>());
+  return PageId{pages_.size() - 1};
+}
+
+Status MemPager::ReadPage(PageId id, Page* page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("ReadPage: page id out of range");
+  }
+  *page = *pages_[id];
+  return Status::OK();
+}
+
+Status MemPager::WritePage(PageId id, const Page& page) {
+  if (id > pages_.size()) {
+    return Status::OutOfRange("WritePage: page id beyond end");
+  }
+  if (id == pages_.size()) {
+    pages_.push_back(std::make_unique<Page>(page));
+  } else {
+    *pages_[id] = page;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionPager::Tick() {
+  if (remaining_ == 0) {
+    return Status::IOError("injected fault");
+  }
+  --remaining_;
+  return Status::OK();
+}
+
+Result<PageId> FaultInjectionPager::AllocatePage() {
+  MDS_RETURN_NOT_OK(Tick());
+  return base_->AllocatePage();
+}
+
+Status FaultInjectionPager::ReadPage(PageId id, Page* page) {
+  MDS_RETURN_NOT_OK(Tick());
+  return base_->ReadPage(id, page);
+}
+
+Status FaultInjectionPager::WritePage(PageId id, const Page& page) {
+  MDS_RETURN_NOT_OK(Tick());
+  return base_->WritePage(id, page);
+}
+
+Status FaultInjectionPager::Sync() {
+  MDS_RETURN_NOT_OK(Tick());
+  return base_->Sync();
+}
+
+}  // namespace mds

@@ -1,0 +1,111 @@
+#ifndef MDS_STORAGE_PAGER_H_
+#define MDS_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mds {
+
+/// Abstract page-granular storage device. Implementations: FilePager
+/// (POSIX file), MemPager (RAM, for tests), FaultInjectionPager (wraps
+/// another pager and fails after a programmable number of operations, for
+/// error-path tests).
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Appends a zeroed page; returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Reads page `id` into *page.
+  virtual Status ReadPage(PageId id, Page* page) = 0;
+
+  /// Writes *page to page `id`.
+  virtual Status WritePage(PageId id, const Page& page) = 0;
+
+  /// Number of allocated pages.
+  virtual uint64_t NumPages() const = 0;
+
+  /// Flushes to durable storage where applicable.
+  virtual Status Sync() = 0;
+
+ protected:
+  Pager() = default;
+};
+
+/// File-backed pager using pread/pwrite on a single file.
+class FilePager : public Pager {
+ public:
+  ~FilePager() override;
+
+  /// Creates (truncates) a new pager file.
+  static Result<std::unique_ptr<FilePager>> Create(const std::string& path);
+
+  /// Opens an existing pager file; size must be a multiple of kPageSize.
+  static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* page) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t NumPages() const override { return num_pages_; }
+  Status Sync() override;
+
+ private:
+  FilePager(int fd, std::string path, uint64_t num_pages)
+      : fd_(fd), path_(std::move(path)), num_pages_(num_pages) {}
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t num_pages_ = 0;
+};
+
+/// In-memory pager; used by unit tests and small pipelines.
+class MemPager : public Pager {
+ public:
+  MemPager() = default;
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* page) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t NumPages() const override { return pages_.size(); }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// Wraps a pager and injects an IOError after `fail_after` successful
+/// operations (reads+writes+allocations). Used to test that storage errors
+/// propagate as Status through every layer instead of crashing.
+class FaultInjectionPager : public Pager {
+ public:
+  explicit FaultInjectionPager(Pager* base, uint64_t fail_after)
+      : base_(base), remaining_(fail_after) {}
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* page) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t NumPages() const override { return base_->NumPages(); }
+  Status Sync() override;
+
+  /// Re-arms the injector.
+  void Reset(uint64_t fail_after) { remaining_ = fail_after; }
+
+ private:
+  Status Tick();
+
+  Pager* base_;
+  uint64_t remaining_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_PAGER_H_

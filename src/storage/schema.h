@@ -1,0 +1,80 @@
+#ifndef MDS_STORAGE_SCHEMA_H_
+#define MDS_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mds {
+
+/// Column value types. All fixed width so rows pack densely into pages;
+/// kBytes is a fixed-size binary blob (the "vector data type" of §3.5).
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kFloat32 = 1,
+  kFloat64 = 2,
+  kBytes = 3,
+};
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Width in bytes; only meaningful (and required) for kBytes.
+  uint32_t width = 0;
+};
+
+inline uint32_t ColumnWidth(const ColumnSpec& spec) {
+  switch (spec.type) {
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kFloat32:
+      return 4;
+    case ColumnType::kFloat64:
+      return 8;
+    case ColumnType::kBytes:
+      return spec.width;
+  }
+  return 0;
+}
+
+/// Fixed-width row schema: ordered columns with computed byte offsets.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns)
+      : columns_(std::move(columns)) {
+    offsets_.reserve(columns_.size());
+    uint32_t off = 0;
+    for (const ColumnSpec& c : columns_) {
+      offsets_.push_back(off);
+      uint32_t w = ColumnWidth(c);
+      MDS_CHECK(w > 0);
+      off += w;
+    }
+    row_size_ = off;
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+  uint32_t row_size() const { return row_size_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<ColumnSpec> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t row_size_ = 0;
+};
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_SCHEMA_H_

@@ -1,0 +1,68 @@
+#include "storage/table.h"
+
+namespace mds {
+
+Table::Table(BufferPool* pool, Schema schema)
+    : pool_(pool),
+      schema_(std::move(schema)),
+      rows_per_page_(kPageSize / schema_.row_size()) {
+  MDS_CHECK(rows_per_page_ > 0);
+}
+
+Result<Table> Table::Create(BufferPool* pool, Schema schema) {
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("Table::Create: empty schema");
+  }
+  if (schema.row_size() > kPageSize) {
+    return Status::InvalidArgument("Table::Create: row larger than a page");
+  }
+  return Table(pool, std::move(schema));
+}
+
+Result<Table> Table::Attach(BufferPool* pool, Schema schema,
+                            std::vector<PageId> page_ids, uint64_t num_rows) {
+  MDS_ASSIGN_OR_RETURN(Table table, Create(pool, std::move(schema)));
+  uint64_t needed =
+      (num_rows + table.rows_per_page_ - 1) / table.rows_per_page_;
+  if (page_ids.size() != needed) {
+    return Status::InvalidArgument(
+        "Table::Attach: page count does not match row count");
+  }
+  for (PageId id : page_ids) {
+    if (id >= pool->pager()->NumPages()) {
+      return Status::InvalidArgument("Table::Attach: page id beyond file end");
+    }
+  }
+  table.page_ids_ = std::move(page_ids);
+  table.num_rows_ = num_rows;
+  return table;
+}
+
+Status Table::Append(const RowBuilder& row) {
+  uint64_t slot = num_rows_ % rows_per_page_;
+  if (slot == 0) {
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_->Allocate());
+    page_ids_.push_back(guard.id());
+  }
+  MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard,
+                       pool_->Fetch(page_ids_.back()));
+  std::memcpy(guard.MutablePage().bytes() + slot * schema_.row_size(),
+              row.data(), schema_.row_size());
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::ReadRow(uint64_t row_id, uint8_t* out) const {
+  if (row_id >= num_rows_) {
+    return Status::OutOfRange("Table::ReadRow: row id out of range");
+  }
+  uint64_t page_index = row_id / rows_per_page_;
+  uint64_t slot = row_id % rows_per_page_;
+  MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard,
+                       pool_->Fetch(page_ids_[page_index]));
+  std::memcpy(out, guard.page().bytes() + slot * schema_.row_size(),
+              schema_.row_size());
+  return Status::OK();
+}
+
+}  // namespace mds

@@ -1,0 +1,189 @@
+#ifndef MDS_STORAGE_TABLE_H_
+#define MDS_STORAGE_TABLE_H_
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/schema.h"
+
+namespace mds {
+
+/// Read-only view of one row; valid only inside the scan/read callback
+/// that produced it.
+class RowRef {
+ public:
+  RowRef() = default;
+  RowRef(const Schema* schema, const uint8_t* data)
+      : schema_(schema), data_(data) {}
+
+  int64_t GetInt64(size_t col) const {
+    int64_t v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  float GetFloat32(size_t col) const {
+    float v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  double GetFloat64(size_t col) const {
+    double v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  const uint8_t* GetBytes(size_t col) const {
+    return data_ + schema_->offset(col);
+  }
+
+  /// Copies `count` consecutive kFloat32 columns starting at `first_col`
+  /// into `out` — the hot path for reading a point's coordinates.
+  void GetFloat32Span(size_t first_col, size_t count, float* out) const {
+    std::memcpy(out, data_ + schema_->offset(first_col), count * sizeof(float));
+  }
+
+ private:
+  const Schema* schema_ = nullptr;
+  const uint8_t* data_ = nullptr;
+};
+
+/// Mutable staging buffer for one row.
+class RowBuilder {
+ public:
+  explicit RowBuilder(const Schema* schema)
+      : schema_(schema), data_(schema->row_size(), 0) {}
+
+  void SetInt64(size_t col, int64_t v) {
+    std::memcpy(&data_[schema_->offset(col)], &v, sizeof(v));
+  }
+  void SetFloat32(size_t col, float v) {
+    std::memcpy(&data_[schema_->offset(col)], &v, sizeof(v));
+  }
+  void SetFloat64(size_t col, double v) {
+    std::memcpy(&data_[schema_->offset(col)], &v, sizeof(v));
+  }
+  void SetBytes(size_t col, const uint8_t* src, size_t len) {
+    MDS_CHECK(len <= ColumnWidth(schema_->column(col)));
+    std::memcpy(&data_[schema_->offset(col)], src, len);
+  }
+
+  const uint8_t* data() const { return data_.data(); }
+
+ private:
+  const Schema* schema_;
+  std::vector<uint8_t> data_;
+};
+
+/// Heap table of fixed-width rows packed into buffer-pool pages.
+///
+/// Rows live at consecutive row ids; page p holds rows
+/// [p*rows_per_page, ...). A table whose rows were appended in the order of
+/// a key column is "clustered" on that key: range scans over a key interval
+/// then touch only the pages that actually hold qualifying rows, which is
+/// how the paper's `BETWEEN` leaf-range trick and the (Layer, ContainedBy)
+/// clustering get their I/O behaviour.
+class Table {
+ public:
+  /// Creates an empty table with its own page range inside `pool`.
+  static Result<Table> Create(BufferPool* pool, Schema schema);
+
+  /// Re-binds a table persisted in an existing pager file: `page_ids` are
+  /// the pages the rows were appended into (in order) and `num_rows` the
+  /// row count — both recorded in the caller's catalog metadata when the
+  /// file was created.
+  static Result<Table> Attach(BufferPool* pool, Schema schema,
+                              std::vector<PageId> page_ids,
+                              uint64_t num_rows);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t rows_per_page() const { return rows_per_page_; }
+  uint64_t num_pages() const { return page_ids_.size(); }
+
+  /// Appends one row.
+  Status Append(const RowBuilder& row);
+
+  /// Reads row `row_id` through the buffer pool into the builder-sized
+  /// buffer `out` (schema().row_size() bytes).
+  Status ReadRow(uint64_t row_id, uint8_t* out) const;
+
+  /// Invokes fn(row_id, RowRef) for every row in [begin, end). Pages are
+  /// fetched once each through the buffer pool (I/O is accounted there).
+  /// The callback may return void, or bool where `false` stops the scan
+  /// early.
+  template <typename Fn>
+  Status ScanRange(uint64_t begin, uint64_t end, Fn&& fn) const;
+
+  /// Full-table scan.
+  template <typename Fn>
+  Status Scan(Fn&& fn) const {
+    return ScanRange(0, num_rows_, std::forward<Fn>(fn));
+  }
+
+  /// Invokes fn for every row of page `page_index` (used by TABLESAMPLE).
+  template <typename Fn>
+  Status ScanPage(uint64_t page_index, Fn&& fn) const;
+
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  Table(BufferPool* pool, Schema schema);
+
+  template <typename Fn>
+  static bool InvokeRow(Fn&& fn, uint64_t row_id, RowRef ref) {
+    if constexpr (std::is_void_v<decltype(fn(row_id, ref))>) {
+      fn(row_id, ref);
+      return true;
+    } else {
+      return fn(row_id, ref);
+    }
+  }
+
+  BufferPool* pool_;
+  Schema schema_;
+  uint32_t rows_per_page_;
+  uint64_t num_rows_ = 0;
+  std::vector<PageId> page_ids_;
+};
+
+template <typename Fn>
+Status Table::ScanRange(uint64_t begin, uint64_t end, Fn&& fn) const {
+  if (begin > end || end > num_rows_) {
+    return Status::OutOfRange("Table::ScanRange: bad row range");
+  }
+  const uint32_t row_size = schema_.row_size();
+  uint64_t row = begin;
+  while (row < end) {
+    uint64_t page_index = row / rows_per_page_;
+    uint64_t first_in_page = row % rows_per_page_;
+    uint64_t rows_here =
+        std::min<uint64_t>(end - row, rows_per_page_ - first_in_page);
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard,
+                         pool_->Fetch(page_ids_[page_index]));
+    const uint8_t* base = guard.page().bytes() + first_in_page * row_size;
+    for (uint64_t i = 0; i < rows_here; ++i) {
+      if (!InvokeRow(fn, row + i, RowRef(&schema_, base + i * row_size))) {
+        return Status::OK();
+      }
+    }
+    row += rows_here;
+  }
+  return Status::OK();
+}
+
+template <typename Fn>
+Status Table::ScanPage(uint64_t page_index, Fn&& fn) const {
+  if (page_index >= page_ids_.size()) {
+    return Status::OutOfRange("Table::ScanPage: bad page index");
+  }
+  uint64_t begin = page_index * rows_per_page_;
+  uint64_t end = std::min<uint64_t>(begin + rows_per_page_, num_rows_);
+  return ScanRange(begin, end, std::forward<Fn>(fn));
+}
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_TABLE_H_

@@ -1,0 +1,47 @@
+#ifndef MDS_STORAGE_TABLE_SAMPLE_H_
+#define MDS_STORAGE_TABLE_SAMPLE_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace mds {
+
+/// Page-level Bernoulli sampling, the semantics of SQL Server's
+/// `TABLESAMPLE SYSTEM (p PERCENT)` that the paper's first visualization
+/// prototype used (§3.1): each *page* is included with probability
+/// percent/100 and every row on an included page is produced. This is the
+/// E3 baseline whose under/over-sampling problems motivate the layered
+/// grid.
+///
+/// fn(row_id, RowRef) may return void or bool (false stops the sample
+/// early, the analog of a TOP(n) clause).
+template <typename Fn>
+Status TableSamplePages(const Table& table, double percent, Rng& rng,
+                        Fn&& fn) {
+  if (percent < 0.0 || percent > 100.0) {
+    return Status::InvalidArgument("TableSamplePages: bad percentage");
+  }
+  const double p = percent / 100.0;
+  bool stopped = false;
+  for (uint64_t page = 0; page < table.num_pages() && !stopped; ++page) {
+    if (rng.NextDouble() >= p) continue;
+    MDS_RETURN_NOT_OK(table.ScanPage(page, [&](uint64_t row_id, RowRef ref) {
+      if constexpr (std::is_void_v<decltype(fn(row_id, ref))>) {
+        fn(row_id, ref);
+        return true;
+      } else {
+        if (!fn(row_id, ref)) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      }
+    }));
+  }
+  return Status::OK();
+}
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_TABLE_SAMPLE_H_

@@ -1,0 +1,126 @@
+#include "viz/app.h"
+
+#include "viz/threaded_producer.h"
+
+namespace mds {
+
+VisualizationApp::~VisualizationApp() { Stop(); }
+
+void VisualizationApp::AddPipeline(std::unique_ptr<Producer> producer,
+                                   std::vector<std::unique_ptr<Pipe>> pipes) {
+  Pipeline p;
+  p.producer = std::move(producer);
+  p.pipes = std::move(pipes);
+  p.registry = std::make_unique<Registry>();
+  pipelines_.push_back(std::move(p));
+}
+
+void VisualizationApp::SetConsumer(std::unique_ptr<Consumer> consumer) {
+  consumer_ = std::move(consumer);
+  consumer_registry_ = std::make_unique<Registry>();
+}
+
+Status VisualizationApp::Start() {
+  for (Pipeline& p : pipelines_) {
+    if (!p.producer->Initialize(p.registry.get())) {
+      return Status::Internal("producer Initialize failed");
+    }
+    for (auto& pipe : p.pipes) {
+      if (!pipe->Initialize(p.registry.get())) {
+        return Status::Internal("pipe Initialize failed");
+      }
+    }
+  }
+  if (consumer_ != nullptr &&
+      !consumer_->Initialize(consumer_registry_.get())) {
+    return Status::Internal("consumer Initialize failed");
+  }
+  for (Pipeline& p : pipelines_) {
+    if (!p.producer->Start()) return Status::Internal("producer Start failed");
+    for (auto& pipe : p.pipes) {
+      if (!pipe->Start()) return Status::Internal("pipe Start failed");
+    }
+  }
+  if (consumer_ != nullptr && !consumer_->Start()) {
+    return Status::Internal("consumer Start failed");
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void VisualizationApp::SetCamera(const Camera& camera) {
+  for (Pipeline& p : pipelines_) {
+    p.registry->EmitCameraChanged(camera);
+  }
+  if (consumer_registry_ != nullptr) {
+    consumer_registry_->EmitCameraChanged(camera);
+  }
+}
+
+Camera VisualizationApp::SuggestInitial() const {
+  if (pipelines_.empty()) return Camera{};
+  return pipelines_.front().producer->SuggestInitial();
+}
+
+VisualizationApp::FrameReport VisualizationApp::RunFrame() {
+  FrameReport report;
+  for (Pipeline& p : pipelines_) {
+    if (!p.registry->ConsumeProductionSignal()) continue;
+    std::shared_ptr<const GeometrySet> geometry = p.producer->GetOutput();
+    if (geometry == nullptr) {
+      // Busy producer: re-arm the signal so the next frame retries —
+      // "the main application will attempt to extract the 3D geometry in
+      // the next frame cycle".
+      p.registry->SignalProduction(p.producer.get());
+      ++report.outputs_deferred;
+      continue;
+    }
+    for (auto& pipe : p.pipes) {
+      geometry = pipe->Transform(std::move(geometry));
+      if (geometry == nullptr) break;
+    }
+    if (geometry == nullptr) {
+      ++report.outputs_deferred;
+      continue;
+    }
+    p.last_geometry = geometry;
+    ++report.outputs_collected;
+    report.primitives += geometry->TotalPrimitives();
+    if (consumer_ != nullptr) consumer_->Consume(*geometry);
+  }
+  return report;
+}
+
+VisualizationApp::FrameReport VisualizationApp::DrainFrames() {
+  FrameReport total;
+  for (Pipeline& p : pipelines_) {
+    auto* threaded = dynamic_cast<ThreadedProducer*>(p.producer.get());
+    if (threaded != nullptr) threaded->WaitIdle();
+  }
+  // Signals may interleave with late worker completions; loop until quiet.
+  for (int i = 0; i < 64; ++i) {
+    FrameReport r = RunFrame();
+    total.outputs_collected += r.outputs_collected;
+    total.outputs_deferred += r.outputs_deferred;
+    total.primitives += r.primitives;
+    if (r.outputs_collected == 0 && r.outputs_deferred == 0) break;
+  }
+  return total;
+}
+
+void VisualizationApp::Stop() {
+  if (!started_) return;
+  for (Pipeline& p : pipelines_) {
+    p.producer->Stop();
+    for (auto& pipe : p.pipes) pipe->Stop();
+    p.producer->Shutdown();
+    for (auto& pipe : p.pipes) pipe->Shutdown();
+  }
+  if (consumer_ != nullptr) {
+    consumer_->Stop();
+    consumer_->Shutdown();
+  }
+  started_ = false;
+}
+
+}  // namespace mds

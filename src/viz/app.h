@@ -1,0 +1,76 @@
+#ifndef MDS_VIZ_APP_H_
+#define MDS_VIZ_APP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "viz/plugin.h"
+
+namespace mds {
+
+/// The visualization application driving the plugin graph (Figure 11):
+/// camera events flow to producers, produced geometry flows through pipes
+/// to the consumer. Headless — the "visualizer" is whatever Consumer is
+/// attached (the PPM renderer, or a stats recorder in tests).
+class VisualizationApp {
+ public:
+  VisualizationApp() = default;
+  ~VisualizationApp();
+
+  VisualizationApp(const VisualizationApp&) = delete;
+  VisualizationApp& operator=(const VisualizationApp&) = delete;
+
+  /// Adds a producer with an optional chain of pipes. The configuration
+  /// XML of the paper is replaced by this programmatic graph assembly.
+  void AddPipeline(std::unique_ptr<Producer> producer,
+                   std::vector<std::unique_ptr<Pipe>> pipes = {});
+
+  void SetConsumer(std::unique_ptr<Consumer> consumer);
+
+  /// Initializes and starts all plugins.
+  Status Start();
+
+  /// Emits a camera event to every producer's registry.
+  void SetCamera(const Camera& camera);
+
+  /// Initial camera suggested by the first producer.
+  Camera SuggestInitial() const;
+
+  /// One frame cycle: for every producer whose registry has a production
+  /// signal, attempt GetOutput(); null outputs (contended try-lock) are
+  /// retried next frame by leaving the signal set. Collected geometry runs
+  /// through the pipeline and into the consumer.
+  struct FrameReport {
+    uint32_t outputs_collected = 0;
+    uint32_t outputs_deferred = 0;  ///< null GetOutput, retried next frame
+    uint64_t primitives = 0;
+  };
+  FrameReport RunFrame();
+
+  /// Blocks until all threaded producers finished outstanding work, then
+  /// runs frames until every signal is drained. Test/benchmark helper.
+  FrameReport DrainFrames();
+
+  void Stop();
+
+  size_t num_pipelines() const { return pipelines_.size(); }
+  Producer* producer(size_t i) const { return pipelines_[i].producer.get(); }
+
+ private:
+  struct Pipeline {
+    std::unique_ptr<Producer> producer;
+    std::vector<std::unique_ptr<Pipe>> pipes;
+    std::unique_ptr<Registry> registry;
+    std::shared_ptr<const GeometrySet> last_geometry;
+  };
+
+  std::vector<Pipeline> pipelines_;
+  std::unique_ptr<Consumer> consumer_;
+  std::unique_ptr<Registry> consumer_registry_;
+  bool started_ = false;
+};
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_APP_H_

@@ -1,0 +1,16 @@
+#include "viz/camera.h"
+
+namespace mds {
+
+Camera ZoomCamera(const Camera& camera, double factor) {
+  Camera out = camera;
+  std::vector<double> center = camera.view.Center();
+  for (size_t j = 0; j < camera.view.dim(); ++j) {
+    double half = 0.5 * (camera.view.hi(j) - camera.view.lo(j)) * factor;
+    out.view.set_lo(j, center[j] - half);
+    out.view.set_hi(j, center[j] + half);
+  }
+  return out;
+}
+
+}  // namespace mds

@@ -1,0 +1,26 @@
+#ifndef MDS_VIZ_CAMERA_H_
+#define MDS_VIZ_CAMERA_H_
+
+#include <cstdint>
+
+#include "geom/box.h"
+
+namespace mds {
+
+/// Camera state delivered to plugins on CameraBoxChanged events. Matching
+/// §3.1, the client communicates an axis-aligned view box plus the number
+/// of points it wants to display from that region.
+struct Camera {
+  Box view{std::vector<double>(3, 0.0), std::vector<double>(3, 1.0)};
+  /// Requested level of detail: minimum primitives in view (the paper uses
+  /// n = 100K points for point clouds and n = 500 for kd-boxes).
+  uint64_t detail = 100000;
+};
+
+/// Returns a camera zoomed by `factor` (< 1 zooms in) around the center of
+/// `camera`'s view box.
+Camera ZoomCamera(const Camera& camera, double factor);
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_CAMERA_H_

@@ -1,0 +1,41 @@
+#ifndef MDS_VIZ_GEOMETRY_H_
+#define MDS_VIZ_GEOMETRY_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point_set.h"
+
+namespace mds {
+
+/// 3-D geometry passed from producers through pipes to the visualizer —
+/// the GeometrySet of the paper's plugin interface (Figure 12).
+struct GeometrySet {
+  /// Point cloud (dim 3) with an optional scalar per point (color source,
+  /// e.g. Voronoi cell volume in Figure 16).
+  PointSet points{3, 0};
+  std::vector<float> point_values;
+
+  /// Line segments (Delaunay edges, Figure 16).
+  struct Segment {
+    std::array<float, 3> a{};
+    std::array<float, 3> b{};
+  };
+  std::vector<Segment> segments;
+
+  /// Axis-aligned boxes (kd-tree cells, Figure 15).
+  std::vector<Box> boxes;
+
+  /// Monotonically increasing production counter set by the producer.
+  uint64_t revision = 0;
+
+  size_t TotalPrimitives() const {
+    return points.size() + segments.size() + boxes.size();
+  }
+};
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_GEOMETRY_H_

@@ -1,0 +1,76 @@
+#ifndef MDS_VIZ_GEOMETRY_CACHE_H_
+#define MDS_VIZ_GEOMETRY_CACHE_H_
+
+#include <deque>
+#include <memory>
+
+#include "viz/camera.h"
+#include "viz/geometry.h"
+
+namespace mds {
+
+/// Per-producer LRU cache of the last n production results, keyed by the
+/// camera they were produced for. "when zooming in and then back out, the
+/// cache reduces time delay to zero" (§5.1): a cached result produced for
+/// a view box that covers the requested one at sufficient detail is reused
+/// without contacting the database.
+class GeometryCache {
+ public:
+  explicit GeometryCache(size_t capacity = 8) : capacity_(capacity) {}
+
+  /// A cached entry satisfies `camera` when its view box covers the
+  /// requested one AND it can actually supply the requested level of
+  /// detail: either the views are identical (same query, detail already
+  /// met by construction), or the cached geometry holds at least
+  /// camera.detail points inside the requested box — zooming in past the
+  /// cached density is "additional geometry" and must go to the database.
+  std::shared_ptr<const GeometrySet> Lookup(const Camera& camera) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->camera.detail < camera.detail ||
+          !it->camera.view.ContainsBox(camera.view)) {
+        continue;
+      }
+      bool satisfied = it->camera.view == camera.view;
+      if (!satisfied && it->geometry != nullptr) {
+        uint64_t in_view = 0;
+        const PointSet& pts = it->geometry->points;
+        for (size_t i = 0; i < pts.size() && in_view < camera.detail; ++i) {
+          if (camera.view.Contains(pts.point(i))) ++in_view;
+        }
+        satisfied = in_view >= camera.detail;
+      }
+      if (!satisfied) continue;
+      Entry hit = *it;
+      entries_.erase(it);
+      entries_.push_front(hit);  // refresh LRU position
+      ++hits_;
+      return hit.geometry;
+    }
+    ++misses_;
+    return nullptr;
+  }
+
+  void Insert(const Camera& camera, std::shared_ptr<const GeometrySet> g) {
+    entries_.push_front(Entry{camera, std::move(g)});
+    while (entries_.size() > capacity_) entries_.pop_back();
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Camera camera;
+    std::shared_ptr<const GeometrySet> geometry;
+  };
+
+  size_t capacity_;
+  std::deque<Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_GEOMETRY_CACHE_H_

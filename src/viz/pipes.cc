@@ -1,0 +1,42 @@
+#include "viz/pipes.h"
+
+#include "geom/box.h"
+
+namespace mds {
+
+std::shared_ptr<const GeometrySet> DecimatePipe::Transform(
+    std::shared_ptr<const GeometrySet> input) {
+  if (input == nullptr || stride_ == 1) return input;
+  auto out = std::make_shared<GeometrySet>();
+  out->revision = input->revision;
+  out->segments = input->segments;
+  out->boxes = input->boxes;
+  out->points = PointSet(3, 0);
+  const bool has_values = !input->point_values.empty();
+  for (size_t i = 0; i < input->points.size(); i += stride_) {
+    out->points.Append(input->points.point(i));
+    if (has_values) out->point_values.push_back(input->point_values[i]);
+  }
+  return out;
+}
+
+std::shared_ptr<const GeometrySet> ColorByAxisPipe::Transform(
+    std::shared_ptr<const GeometrySet> input) {
+  if (input == nullptr || axis_ >= 3) return input;
+  auto out = std::make_shared<GeometrySet>(*input);
+  out->point_values.resize(out->points.size());
+  for (size_t i = 0; i < out->points.size(); ++i) {
+    out->point_values[i] = out->points.coord(i, axis_);
+  }
+  return out;
+}
+
+std::shared_ptr<const GeometrySet> BoundingBoxPipe::Transform(
+    std::shared_ptr<const GeometrySet> input) {
+  if (input == nullptr || input->points.empty()) return input;
+  auto out = std::make_shared<GeometrySet>(*input);
+  out->boxes.push_back(Box::Bounding(input->points));
+  return out;
+}
+
+}  // namespace mds

@@ -1,0 +1,66 @@
+#ifndef MDS_VIZ_PIPES_H_
+#define MDS_VIZ_PIPES_H_
+
+#include <memory>
+
+#include "viz/plugin.h"
+
+namespace mds {
+
+/// Concrete Pipe plugins — "well designed pipes can be used in many
+/// visualization contexts" (§5). Pipes transform GeometrySets between a
+/// producer and the visualizer.
+
+/// Keeps every `stride`-th point (a cheap client-side level-of-detail
+/// reducer for slow render targets). Segments and boxes pass through.
+class DecimatePipe : public Pipe {
+ public:
+  explicit DecimatePipe(uint32_t stride) : stride_(stride == 0 ? 1 : stride) {}
+
+  bool Initialize(Registry*) override { return true; }
+  bool Start() override { return true; }
+  bool Stop() override { return true; }
+  void Shutdown() override {}
+
+  std::shared_ptr<const GeometrySet> Transform(
+      std::shared_ptr<const GeometrySet> input) override;
+
+ private:
+  uint32_t stride_;
+};
+
+/// Colors points by one of their coordinates (a poor man's transfer
+/// function: Figure 16 colors cells by volume; this pipe colors by height
+/// or any axis when the producer supplies no scalars).
+class ColorByAxisPipe : public Pipe {
+ public:
+  explicit ColorByAxisPipe(size_t axis) : axis_(axis) {}
+
+  bool Initialize(Registry*) override { return true; }
+  bool Start() override { return true; }
+  bool Stop() override { return true; }
+  void Shutdown() override {}
+
+  std::shared_ptr<const GeometrySet> Transform(
+      std::shared_ptr<const GeometrySet> input) override;
+
+ private:
+  size_t axis_;
+};
+
+/// Appends the bounding box of the incoming points to the geometry — the
+/// visual frame around a dataset.
+class BoundingBoxPipe : public Pipe {
+ public:
+  bool Initialize(Registry*) override { return true; }
+  bool Start() override { return true; }
+  bool Stop() override { return true; }
+  void Shutdown() override {}
+
+  std::shared_ptr<const GeometrySet> Transform(
+      std::shared_ptr<const GeometrySet> input) override;
+};
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_PIPES_H_

@@ -1,0 +1,31 @@
+#include "viz/plugin.h"
+
+namespace mds {
+
+void Registry::SubscribeCameraChanged(CameraCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  camera_callbacks_.push_back(std::move(callback));
+}
+
+void Registry::EmitCameraChanged(const Camera& camera) {
+  std::vector<CameraCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks = camera_callbacks_;
+  }
+  for (const auto& cb : callbacks) cb(camera);
+}
+
+void Registry::SignalProduction(Producer*) {
+  std::lock_guard<std::mutex> lock(mu_);
+  production_signaled_ = true;
+}
+
+bool Registry::ConsumeProductionSignal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool was = production_signaled_;
+  production_signaled_ = false;
+  return was;
+}
+
+}  // namespace mds

@@ -1,0 +1,79 @@
+#ifndef MDS_VIZ_PLUGIN_H_
+#define MDS_VIZ_PLUGIN_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "viz/camera.h"
+#include "viz/geometry.h"
+
+namespace mds {
+
+class Producer;
+
+/// Event hub handed to every plugin at Initialize time (one Registry per
+/// plugin, as in the paper). Plugins subscribe to camera events and signal
+/// completed productions back to the application; SignalProduction is
+/// callable from any thread and merely sets a flag consumed on the next
+/// frame cycle, so neither side ever blocks on the other (§5.1).
+class Registry {
+ public:
+  using CameraCallback = std::function<void(const Camera&)>;
+
+  /// Subscribes to CameraBoxChanged events (called from the app thread).
+  void SubscribeCameraChanged(CameraCallback callback);
+
+  /// Fires a camera event to all subscribers (app thread).
+  void EmitCameraChanged(const Camera& camera);
+
+  /// Called by the plugin (possibly from a worker thread) when new output
+  /// is ready: "this simply sets a flag to signal the application that in
+  /// the next frame cycle it should attempt a GetOutput() call".
+  void SignalProduction(Producer* producer);
+
+  /// App-side: atomically reads and clears the production flag.
+  bool ConsumeProductionSignal();
+
+ private:
+  std::mutex mu_;
+  std::vector<CameraCallback> camera_callbacks_;
+  bool production_signaled_ = false;
+};
+
+/// Base plugin lifecycle (Figure 12).
+class Plugin {
+ public:
+  virtual ~Plugin() = default;
+  virtual bool Initialize(Registry* registry) = 0;
+  virtual bool Start() = 0;
+  virtual bool Stop() = 0;
+  virtual void Shutdown() = 0;
+};
+
+/// Output-only plugin: the source of all geometry data. GetOutput must be
+/// non-blocking: it returns nullptr when the producer is busy replacing
+/// its result, and the application retries next frame.
+class Producer : public Plugin {
+ public:
+  virtual std::shared_ptr<const GeometrySet> GetOutput() = 0;
+  virtual Camera SuggestInitial() = 0;
+};
+
+/// Input/output plugin transforming geometry (ParaView-filter analog).
+class Pipe : public Plugin {
+ public:
+  virtual std::shared_ptr<const GeometrySet> Transform(
+      std::shared_ptr<const GeometrySet> input) = 0;
+};
+
+/// Terminal plugin: receives the geometry each frame (renderer, recorder).
+class Consumer : public Plugin {
+ public:
+  virtual void Consume(const GeometrySet& geometry) = 0;
+};
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_PLUGIN_H_

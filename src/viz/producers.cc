@@ -1,0 +1,221 @@
+#include "viz/producers.h"
+
+#include <algorithm>
+
+namespace mds {
+
+namespace {
+
+/// Copies the first three coordinates (zero-padded) of a source point.
+void ToDisplayPoint(const float* src, size_t dim, float out[3]) {
+  for (size_t j = 0; j < 3; ++j) {
+    out[j] = j < dim ? src[j] : 0.0f;
+  }
+}
+
+Box DisplayBounds(const Box& data_bounds) {
+  std::vector<double> lo(3, 0.0), hi(3, 1.0);
+  for (size_t j = 0; j < 3 && j < data_bounds.dim(); ++j) {
+    lo[j] = data_bounds.lo(j);
+    hi[j] = data_bounds.hi(j);
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+/// View box in the source point space (first min(3, dim) axes constrained,
+/// the rest unconstrained).
+Box ViewToDataBox(const Box& view, size_t dim) {
+  std::vector<double> lo(dim, -1e300), hi(dim, 1e300);
+  for (size_t j = 0; j < dim && j < 3; ++j) {
+    lo[j] = view.lo(j);
+    hi[j] = view.hi(j);
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+bool SegmentTouchesView(const Box& view, const float* a, const float* b) {
+  // Conservative: either endpoint inside, or the segment's bounding box
+  // intersects the view.
+  std::vector<double> lo(3), hi(3);
+  for (size_t j = 0; j < 3; ++j) {
+    lo[j] = std::min(a[j], b[j]);
+    hi[j] = std::max(a[j], b[j]);
+  }
+  return view.Intersects(Box(std::move(lo), std::move(hi)));
+}
+
+}  // namespace
+
+PointCloudProducer::PointCloudProducer(const LayeredGridIndex* index,
+                                       bool threaded, size_t cache_capacity)
+    : ThreadedProducer(threaded), index_(index), cache_(cache_capacity) {}
+
+Camera PointCloudProducer::SuggestInitial() {
+  Camera camera;
+  camera.view = DisplayBounds(index_->bounding_box());
+  camera.detail = 100000;
+  return camera;
+}
+
+uint64_t PointCloudProducer::cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.hits();
+}
+
+std::shared_ptr<GeometrySet> PointCloudProducer::Produce(
+    const Camera& camera) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    std::shared_ptr<const GeometrySet> cached = cache_.Lookup(camera);
+    if (cached != nullptr) {
+      // Reuse: copy-on-write is unnecessary, the set is immutable; wrap in
+      // a fresh mutable object sharing the data.
+      return std::make_shared<GeometrySet>(*cached);
+    }
+  }
+  ++db_fetches_;
+  Box query = ViewToDataBox(camera.view, index_->dim());
+  std::vector<uint64_t> ids;
+  GridQueryStats stats;
+  Status st = index_->SampleQuery(query, camera.detail, &ids, &stats);
+  if (!st.ok()) return nullptr;
+
+  auto geometry = std::make_shared<GeometrySet>();
+  geometry->points = PointSet(3, 0);
+  geometry->points.Reserve(ids.size());
+  float display[3];
+  const PointSet& points = index_->points();
+  for (uint64_t id : ids) {
+    ToDisplayPoint(points.point(id), points.dim(), display);
+    geometry->points.Append(display);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_.Insert(camera, geometry);
+  }
+  return geometry;
+}
+
+KdBoxProducer::KdBoxProducer(const KdTreeIndex* index, uint32_t min_boxes,
+                             bool threaded)
+    : ThreadedProducer(threaded), index_(index), min_boxes_(min_boxes) {}
+
+Camera KdBoxProducer::SuggestInitial() {
+  Camera camera;
+  camera.view = DisplayBounds(index_->root().region);
+  camera.detail = min_boxes_;
+  return camera;
+}
+
+std::shared_ptr<GeometrySet> KdBoxProducer::Produce(const Camera& camera) {
+  const Box query = ViewToDataBox(camera.view, index_->dim());
+  const auto& nodes = index_->nodes();
+  // Level-by-level descent: stop at the first depth with >= min_boxes
+  // boxes in view (or the leaf level).
+  std::vector<uint32_t> current = {0};
+  std::vector<uint32_t> in_view;
+  for (;;) {
+    in_view.clear();
+    for (uint32_t idx : current) {
+      if (nodes[idx].region.Intersects(query)) in_view.push_back(idx);
+    }
+    bool has_children =
+        !in_view.empty() && nodes[in_view.front()].split_dim >= 0;
+    if (in_view.size() >= min_boxes_ || !has_children) break;
+    std::vector<uint32_t> next;
+    next.reserve(in_view.size() * 2);
+    for (uint32_t idx : in_view) {
+      next.push_back(nodes[idx].left);
+      next.push_back(nodes[idx].right);
+    }
+    current = std::move(next);
+  }
+  auto geometry = std::make_shared<GeometrySet>();
+  geometry->boxes.reserve(in_view.size());
+  for (uint32_t idx : in_view) {
+    geometry->boxes.push_back(nodes[idx].region);
+  }
+  return geometry;
+}
+
+DelaunayProducer::DelaunayProducer(std::vector<AdaptiveGraphLevel> levels,
+                                   uint64_t min_edges, bool threaded)
+    : ThreadedProducer(threaded),
+      levels_(std::move(levels)),
+      min_edges_(min_edges) {}
+
+Camera DelaunayProducer::SuggestInitial() {
+  Camera camera;
+  if (!levels_.empty()) {
+    camera.view = DisplayBounds(Box::Bounding(levels_.front().seeds));
+  }
+  camera.detail = min_edges_;
+  return camera;
+}
+
+std::shared_ptr<GeometrySet> DelaunayProducer::Produce(const Camera& camera) {
+  auto geometry = std::make_shared<GeometrySet>();
+  float a[3], b[3];
+  for (uint32_t l = 0; l < levels_.size(); ++l) {
+    const AdaptiveGraphLevel& level = levels_[l];
+    geometry->segments.clear();
+    for (auto [u, v] : level.edges) {
+      ToDisplayPoint(level.seeds.point(u), level.seeds.dim(), a);
+      ToDisplayPoint(level.seeds.point(v), level.seeds.dim(), b);
+      if (SegmentTouchesView(camera.view, a, b)) {
+        GeometrySet::Segment seg;
+        std::copy(a, a + 3, seg.a.begin());
+        std::copy(b, b + 3, seg.b.begin());
+        geometry->segments.push_back(seg);
+      }
+    }
+    last_level_.store(l);
+    // "if not enough edges are returned, it goes on to the 10K and
+    // subsequently 100K tables to ensure a good level of detail".
+    if (geometry->segments.size() >= min_edges_ || l + 1 == levels_.size()) {
+      break;
+    }
+  }
+  return geometry;
+}
+
+VoronoiCellProducer::VoronoiCellProducer(std::vector<AdaptiveGraphLevel> levels,
+                                         uint64_t min_points, bool threaded)
+    : ThreadedProducer(threaded),
+      levels_(std::move(levels)),
+      min_points_(min_points) {}
+
+Camera VoronoiCellProducer::SuggestInitial() {
+  Camera camera;
+  if (!levels_.empty()) {
+    camera.view = DisplayBounds(Box::Bounding(levels_.front().seeds));
+  }
+  camera.detail = min_points_;
+  return camera;
+}
+
+std::shared_ptr<GeometrySet> VoronoiCellProducer::Produce(
+    const Camera& camera) {
+  auto geometry = std::make_shared<GeometrySet>();
+  float display[3];
+  for (uint32_t l = 0; l < levels_.size(); ++l) {
+    const AdaptiveGraphLevel& level = levels_[l];
+    geometry->points = PointSet(3, 0);
+    geometry->point_values.clear();
+    for (size_t i = 0; i < level.seeds.size(); ++i) {
+      ToDisplayPoint(level.seeds.point(i), level.seeds.dim(), display);
+      if (camera.view.Contains(display)) {
+        geometry->points.Append(display);
+        geometry->point_values.push_back(
+            i < level.seed_values.size() ? level.seed_values[i] : 0.0f);
+      }
+    }
+    last_level_.store(l);
+    if (geometry->points.size() >= min_points_ || l + 1 == levels_.size()) {
+      break;
+    }
+  }
+  return geometry;
+}
+
+}  // namespace mds

@@ -1,0 +1,115 @@
+#ifndef MDS_VIZ_PRODUCERS_H_
+#define MDS_VIZ_PRODUCERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/kdtree.h"
+#include "core/layered_grid.h"
+#include "viz/geometry_cache.h"
+#include "viz/threaded_producer.h"
+
+namespace mds {
+
+/// Adaptive point-cloud producer (§5.2): keeps at least camera.detail
+/// points in view by issuing layered-grid sample queries, serving repeats
+/// from the local geometry cache ("the database is contacted only if
+/// additional geometry is needed").
+class PointCloudProducer : public ThreadedProducer {
+ public:
+  /// `index` must outlive the producer; its point set supplies the first
+  /// three coordinates of each returned point.
+  PointCloudProducer(const LayeredGridIndex* index, bool threaded = false,
+                     size_t cache_capacity = 8);
+
+  Camera SuggestInitial() override;
+
+  /// Index queries actually issued (cache misses) — the E15 fetch counter.
+  uint64_t db_fetches() const { return db_fetches_.load(); }
+  uint64_t cache_hits() const;
+
+ protected:
+  std::shared_ptr<GeometrySet> Produce(const Camera& camera) override;
+
+ private:
+  const LayeredGridIndex* index_;
+  mutable std::mutex cache_mu_;
+  GeometryCache cache_;
+  std::atomic<uint64_t> db_fetches_{0};
+};
+
+/// Adaptive kd-box producer (Figure 15): descends the tree level by level
+/// until at least `min_boxes` node regions intersect the view, then emits
+/// those boxes.
+class KdBoxProducer : public ThreadedProducer {
+ public:
+  KdBoxProducer(const KdTreeIndex* index, uint32_t min_boxes = 500,
+                bool threaded = false);
+
+  Camera SuggestInitial() override;
+
+ protected:
+  std::shared_ptr<GeometrySet> Produce(const Camera& camera) override;
+
+ private:
+  const KdTreeIndex* index_;
+  uint32_t min_boxes_;
+};
+
+/// One resolution level of the adaptive Delaunay / Voronoi visualization
+/// (the paper exports 1K / 10K / 100K samples and walks them coarse to
+/// fine).
+struct AdaptiveGraphLevel {
+  PointSet seeds{3, 0};
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  /// Scalar per seed (e.g. Voronoi cell volume for Figure 16 coloring).
+  std::vector<float> seed_values;
+};
+
+/// Emits the Delaunay edges of the coarsest level that still shows at
+/// least `min_edges` edges in view (Figure 16, left).
+class DelaunayProducer : public ThreadedProducer {
+ public:
+  DelaunayProducer(std::vector<AdaptiveGraphLevel> levels,
+                   uint64_t min_edges = 500, bool threaded = false);
+
+  Camera SuggestInitial() override;
+
+  /// Level used by the last production (coarse = 0), for tests.
+  uint32_t last_level() const { return last_level_.load(); }
+
+ protected:
+  std::shared_ptr<GeometrySet> Produce(const Camera& camera) override;
+
+ private:
+  std::vector<AdaptiveGraphLevel> levels_;
+  uint64_t min_edges_;
+  std::atomic<uint32_t> last_level_{0};
+};
+
+/// Emits Voronoi cell sites colored by cell volume at adaptive resolution
+/// (Figure 16, right).
+class VoronoiCellProducer : public ThreadedProducer {
+ public:
+  VoronoiCellProducer(std::vector<AdaptiveGraphLevel> levels,
+                      uint64_t min_points = 200, bool threaded = false);
+
+  Camera SuggestInitial() override;
+  uint32_t last_level() const { return last_level_.load(); }
+
+ protected:
+  std::shared_ptr<GeometrySet> Produce(const Camera& camera) override;
+
+ private:
+  std::vector<AdaptiveGraphLevel> levels_;
+  uint64_t min_points_;
+  std::atomic<uint32_t> last_level_{0};
+};
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_PRODUCERS_H_

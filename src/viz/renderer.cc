@@ -1,0 +1,157 @@
+#include "viz/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mds {
+
+PpmRenderer::PpmRenderer(uint32_t width, uint32_t height)
+    : width_(width), height_(height), framebuffer_(width * height) {}
+
+bool PpmRenderer::Initialize(Registry* registry) {
+  registry->SubscribeCameraChanged(
+      [this](const Camera& camera) { SetViewport(camera); });
+  return true;
+}
+
+void PpmRenderer::Clear() {
+  std::fill(framebuffer_.begin(), framebuffer_.end(), Rgb{});
+}
+
+bool PpmRenderer::ProjectPoint(const float* p, int* px, int* py) const {
+  double wx = camera_.view.hi(0) - camera_.view.lo(0);
+  double wy = camera_.view.hi(1) - camera_.view.lo(1);
+  if (wx <= 0.0 || wy <= 0.0) return false;
+  double tx = (p[0] - camera_.view.lo(0)) / wx;
+  double ty = (p[1] - camera_.view.lo(1)) / wy;
+  if (tx < 0.0 || tx > 1.0 || ty < 0.0 || ty > 1.0) return false;
+  *px = std::min<int>(static_cast<int>(tx * width_), width_ - 1);
+  *py = std::min<int>(static_cast<int>((1.0 - ty) * height_), height_ - 1);
+  return true;
+}
+
+void PpmRenderer::PutPixel(int x, int y, Rgb color) {
+  if (x < 0 || y < 0 || x >= static_cast<int>(width_) ||
+      y >= static_cast<int>(height_)) {
+    return;
+  }
+  framebuffer_[static_cast<size_t>(y) * width_ + x] = color;
+}
+
+void PpmRenderer::DrawLine(int x0, int y0, int x1, int y1, Rgb color) {
+  // Bresenham.
+  int dx = std::abs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+  int dy = -std::abs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    PutPixel(x0, y0, color);
+    if (x0 == x1 && y0 == y1) break;
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+PpmRenderer::Rgb PpmRenderer::ValueToColor(float t) {
+  t = std::min(std::max(t, 0.0f), 1.0f);
+  // Blue (cold / large volume) to red (hot / dense).
+  return Rgb{static_cast<uint8_t>(64 + 191 * t),
+             static_cast<uint8_t>(64 + 64 * (1.0f - std::abs(t - 0.5f) * 2)),
+             static_cast<uint8_t>(64 + 191 * (1.0f - t))};
+}
+
+void PpmRenderer::Consume(const GeometrySet& geometry) {
+  Clear();
+  ++frames_;
+  // Normalize point scalars to [0, 1] for coloring.
+  float vmin = 0.0f, vmax = 1.0f;
+  if (!geometry.point_values.empty()) {
+    vmin = *std::min_element(geometry.point_values.begin(),
+                             geometry.point_values.end());
+    vmax = *std::max_element(geometry.point_values.begin(),
+                             geometry.point_values.end());
+    if (vmax <= vmin) vmax = vmin + 1.0f;
+  }
+  int px, py;
+  for (size_t i = 0; i < geometry.points.size(); ++i) {
+    if (!ProjectPoint(geometry.points.point(i), &px, &py)) continue;
+    Rgb color{220, 220, 220};
+    if (i < geometry.point_values.size()) {
+      color = ValueToColor((geometry.point_values[i] - vmin) / (vmax - vmin));
+    }
+    PutPixel(px, py, color);
+  }
+  const Rgb line_color{90, 200, 90};
+  for (const auto& seg : geometry.segments) {
+    int ax, ay, bx, by;
+    if (ProjectPoint(seg.a.data(), &ax, &ay) &&
+        ProjectPoint(seg.b.data(), &bx, &by)) {
+      DrawLine(ax, ay, bx, by, line_color);
+    }
+  }
+  const Rgb box_color{200, 160, 60};
+  for (const Box& box : geometry.boxes) {
+    float corners[4][3] = {
+        {static_cast<float>(box.lo(0)), static_cast<float>(box.lo(1)), 0.0f},
+        {static_cast<float>(box.hi(0)), static_cast<float>(box.lo(1)), 0.0f},
+        {static_cast<float>(box.hi(0)), static_cast<float>(box.hi(1)), 0.0f},
+        {static_cast<float>(box.lo(0)), static_cast<float>(box.hi(1)), 0.0f},
+    };
+    int xs[4], ys[4];
+    bool ok = true;
+    for (int c = 0; c < 4; ++c) {
+      // Clamp corners into view before projecting so partially visible
+      // boxes still draw their visible edges.
+      float clamped[3] = {
+          static_cast<float>(std::min(std::max<double>(corners[c][0],
+                                                       camera_.view.lo(0)),
+                                      camera_.view.hi(0))),
+          static_cast<float>(std::min(std::max<double>(corners[c][1],
+                                                       camera_.view.lo(1)),
+                                      camera_.view.hi(1))),
+          0.0f};
+      if (!ProjectPoint(clamped, &xs[c], &ys[c])) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (int c = 0; c < 4; ++c) {
+      DrawLine(xs[c], ys[c], xs[(c + 1) % 4], ys[(c + 1) % 4], box_color);
+    }
+  }
+}
+
+Status PpmRenderer::WritePpm(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open PPM output file: " + path);
+  }
+  std::fprintf(f, "P6\n%u %u\n255\n", width_, height_);
+  for (const Rgb& px : framebuffer_) {
+    uint8_t rgb[3] = {px.r, px.g, px.b};
+    if (std::fwrite(rgb, 1, 3, f) != 3) {
+      std::fclose(f);
+      return Status::IOError("short write to PPM file: " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+double PpmRenderer::CoverageFraction() const {
+  uint64_t lit = 0;
+  for (const Rgb& px : framebuffer_) {
+    if (px.r != 0 || px.g != 0 || px.b != 0) ++lit;
+  }
+  return static_cast<double>(lit) / static_cast<double>(framebuffer_.size());
+}
+
+}  // namespace mds

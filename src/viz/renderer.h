@@ -1,0 +1,95 @@
+#ifndef MDS_VIZ_RENDERER_H_
+#define MDS_VIZ_RENDERER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "viz/plugin.h"
+
+namespace mds {
+
+/// Offscreen software renderer writing PPM images — the headless stand-in
+/// for the paper's Managed DirectX visualizer (see DESIGN.md). Projects
+/// geometry orthographically onto the (x, y) plane of the current camera
+/// view box; point colors follow their scalar values through a blue→red
+/// ramp (Figure 16's volume coloring).
+class PpmRenderer : public Consumer {
+ public:
+  PpmRenderer(uint32_t width, uint32_t height);
+
+  bool Initialize(Registry* registry) override;
+  bool Start() override { return true; }
+  bool Stop() override { return true; }
+  void Shutdown() override {}
+
+  void Consume(const GeometrySet& geometry) override;
+
+  /// Updates the projection window (called on camera events through the
+  /// consumer registry, or directly by a driver).
+  void SetViewport(const Camera& camera) { camera_ = camera; }
+
+  /// Writes the current framebuffer as a binary PPM.
+  Status WritePpm(const std::string& path) const;
+
+  /// Fraction of non-background pixels (a cheap "did we draw something"
+  /// probe for tests).
+  double CoverageFraction() const;
+
+  uint64_t frames_consumed() const { return frames_; }
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+
+ private:
+  struct Rgb {
+    uint8_t r = 0, g = 0, b = 0;
+  };
+
+  void Clear();
+  bool ProjectPoint(const float* p, int* px, int* py) const;
+  void PutPixel(int x, int y, Rgb color);
+  void DrawLine(int x0, int y0, int x1, int y1, Rgb color);
+  static Rgb ValueToColor(float t);
+
+  uint32_t width_;
+  uint32_t height_;
+  Camera camera_;
+  std::vector<Rgb> framebuffer_;
+  uint64_t frames_ = 0;
+};
+
+/// Consumer that only records what it saw; the assertion target of the
+/// pipeline tests.
+class RecordingConsumer : public Consumer {
+ public:
+  bool Initialize(Registry*) override { return true; }
+  bool Start() override { return true; }
+  bool Stop() override { return true; }
+  void Shutdown() override {}
+
+  void Consume(const GeometrySet& geometry) override {
+    ++frames_;
+    last_points_ = geometry.points.size();
+    last_segments_ = geometry.segments.size();
+    last_boxes_ = geometry.boxes.size();
+    last_revision_ = geometry.revision;
+  }
+
+  uint64_t frames() const { return frames_; }
+  size_t last_points() const { return last_points_; }
+  size_t last_segments() const { return last_segments_; }
+  size_t last_boxes() const { return last_boxes_; }
+  uint64_t last_revision() const { return last_revision_; }
+
+ private:
+  uint64_t frames_ = 0;
+  size_t last_points_ = 0;
+  size_t last_segments_ = 0;
+  size_t last_boxes_ = 0;
+  uint64_t last_revision_ = 0;
+};
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_RENDERER_H_

@@ -1,0 +1,94 @@
+#include "viz/threaded_producer.h"
+
+namespace mds {
+
+ThreadedProducer::~ThreadedProducer() { Stop(); }
+
+bool ThreadedProducer::Initialize(Registry* registry) {
+  registry_ = registry;
+  registry_->SubscribeCameraChanged(
+      [this](const Camera& camera) { OnCamera(camera); });
+  return true;
+}
+
+bool ThreadedProducer::Start() {
+  if (threaded_ && !worker_.joinable()) {
+    stop_ = false;
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+  return true;
+}
+
+bool ThreadedProducer::Stop() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+  return true;
+}
+
+void ThreadedProducer::OnCamera(const Camera& camera) {
+  if (!threaded_) {
+    Install(Produce(camera));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Collapse outstanding requests: only the latest camera matters.
+    pending_ = camera;
+  }
+  cv_.notify_all();
+}
+
+void ThreadedProducer::WorkerLoop() {
+  for (;;) {
+    Camera camera;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || pending_.has_value(); });
+      if (stop_) return;
+      camera = *pending_;
+      pending_.reset();
+      busy_ = true;
+    }
+    std::shared_ptr<GeometrySet> geometry = Produce(camera);
+    Install(std::move(geometry));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+void ThreadedProducer::Install(std::shared_ptr<GeometrySet> geometry) {
+  if (geometry != nullptr) {
+    geometry->revision = ++revision_;
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ = std::move(geometry);
+  }
+  ++productions_;
+  if (registry_ != nullptr) registry_->SignalProduction(this);
+}
+
+std::shared_ptr<const GeometrySet> ThreadedProducer::GetOutput() {
+  // Non-blocking contract: never stall the frame loop.
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    ++contended_gets_;
+    return nullptr;
+  }
+  return last_;
+}
+
+void ThreadedProducer::WaitIdle() {
+  if (!threaded_) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !busy_ && !pending_.has_value(); });
+}
+
+}  // namespace mds

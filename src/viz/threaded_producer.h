@@ -1,0 +1,76 @@
+#ifndef MDS_VIZ_THREADED_PRODUCER_H_
+#define MDS_VIZ_THREADED_PRODUCER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "viz/plugin.h"
+
+namespace mds {
+
+/// Base class implementing the §5.1 threading protocol for producers.
+///
+/// Camera events enqueue a production request. In multi-threaded mode a
+/// worker thread picks up the latest request, calls Produce() and installs
+/// the result, then raises SignalProduction; GetOutput() uses a try-lock
+/// and returns nullptr if the worker is mid-swap ("the main application
+/// will attempt to extract the 3D geometry in the next frame cycle"). In
+/// single-threaded mode Produce runs inline in the event callback — "our
+/// architecture is set up in a way to support both models".
+///
+/// Subclasses implement Produce(camera) only; it runs on the worker thread
+/// in threaded mode.
+class ThreadedProducer : public Producer {
+ public:
+  explicit ThreadedProducer(bool threaded) : threaded_(threaded) {}
+  ~ThreadedProducer() override;
+
+  bool Initialize(Registry* registry) override;
+  bool Start() override;
+  bool Stop() override;
+  void Shutdown() override {}
+
+  std::shared_ptr<const GeometrySet> GetOutput() override;
+  Camera SuggestInitial() override { return Camera{}; }
+
+  /// Productions completed since Start (for E15 accounting).
+  uint64_t productions() const { return productions_.load(); }
+  /// GetOutput calls that returned nullptr due to contention.
+  uint64_t contended_gets() const { return contended_gets_.load(); }
+
+  /// Blocks until all enqueued camera requests have been produced (test
+  /// and benchmark synchronization point; not used by the frame loop).
+  void WaitIdle();
+
+ protected:
+  virtual std::shared_ptr<GeometrySet> Produce(const Camera& camera) = 0;
+
+  Registry* registry() const { return registry_; }
+
+ private:
+  void OnCamera(const Camera& camera);
+  void WorkerLoop();
+  void Install(std::shared_ptr<GeometrySet> geometry);
+
+  const bool threaded_;
+  Registry* registry_ = nullptr;
+
+  std::mutex mu_;  // guards pending_/last_/stop_, and the swap in Install
+  std::condition_variable cv_;
+  std::optional<Camera> pending_;
+  std::shared_ptr<const GeometrySet> last_;
+  bool stop_ = false;
+  bool busy_ = false;
+  std::thread worker_;
+  std::atomic<uint64_t> productions_{0};
+  std::atomic<uint64_t> contended_gets_{0};
+  std::atomic<uint64_t> revision_{0};
+};
+
+}  // namespace mds
+
+#endif  // MDS_VIZ_THREADED_PRODUCER_H_

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "storage/bplus_tree.h"
+
+namespace mds {
+namespace {
+
+std::vector<uint64_t> Collect(const BPlusTree& tree, int64_t lo, int64_t hi) {
+  std::vector<uint64_t> out;
+  EXPECT_TRUE(tree.RangeLookup(lo, hi,
+                               [&](int64_t, uint64_t v) {
+                                 out.push_back(v);
+                                 return true;
+                               })
+                  .ok());
+  return out;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  auto tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_entries(), 0u);
+  EXPECT_TRUE(Collect(*tree, INT64_MIN, INT64_MAX).empty());
+}
+
+TEST(BPlusTreeTest, InsertAndLookupSmall) {
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  auto tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t k : {5, 1, 9, 3, 7}) {
+    ASSERT_TRUE(tree->Insert(k, static_cast<uint64_t>(k * 10)).ok());
+  }
+  auto vals = tree->Lookup(3);
+  ASSERT_TRUE(vals.ok());
+  ASSERT_EQ(vals->size(), 1u);
+  EXPECT_EQ((*vals)[0], 30u);
+  EXPECT_TRUE(tree->Lookup(4)->empty());
+  auto range = Collect(*tree, 3, 7);
+  EXPECT_EQ(range, (std::vector<uint64_t>{30, 50, 70}));
+}
+
+TEST(BPlusTreeTest, DuplicateKeys) {
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  auto tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t v = 0; v < 100; ++v) {
+    ASSERT_TRUE(tree->Insert(42, v).ok());
+  }
+  ASSERT_TRUE(tree->Insert(41, 1000).ok());
+  ASSERT_TRUE(tree->Insert(43, 2000).ok());
+  auto vals = tree->Lookup(42);
+  ASSERT_TRUE(vals.ok());
+  EXPECT_EQ(vals->size(), 100u);
+}
+
+class BPlusTreeRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BPlusTreeRandomTest, MatchesReferenceMultimap) {
+  const size_t n = GetParam();
+  MemPager pager;
+  BufferPool pool(&pager, 4096);
+  auto tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(1000 + n);
+  std::multimap<int64_t, uint64_t> reference;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t key = static_cast<int64_t>(rng.NextBounded(n / 2 + 1));
+    ASSERT_TRUE(tree->Insert(key, i).ok());
+    reference.emplace(key, i);
+  }
+  EXPECT_EQ(tree->num_entries(), n);
+  // Point lookups.
+  for (int64_t key = 0; key < static_cast<int64_t>(n / 2 + 1); key += 7) {
+    auto vals = tree->Lookup(key);
+    ASSERT_TRUE(vals.ok());
+    auto [lo, hi] = reference.equal_range(key);
+    std::vector<uint64_t> expect;
+    for (auto it = lo; it != hi; ++it) expect.push_back(it->second);
+    std::sort(vals->begin(), vals->end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(*vals, expect) << "key " << key;
+  }
+  // Range lookups.
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t a = static_cast<int64_t>(rng.NextBounded(n / 2 + 1));
+    int64_t b = static_cast<int64_t>(rng.NextBounded(n / 2 + 1));
+    if (a > b) std::swap(a, b);
+    auto got = Collect(*tree, a, b);
+    std::vector<uint64_t> expect;
+    for (auto it = reference.lower_bound(a);
+         it != reference.end() && it->first <= b; ++it) {
+      expect.push_back(it->second);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BPlusTreeRandomTest,
+                         ::testing::Values(10, 100, 1000, 20000));
+
+TEST(BPlusTreeTest, BulkLoadMatchesInserts) {
+  MemPager pager;
+  BufferPool pool(&pager, 4096);
+  Rng rng(31);
+  const size_t n = 30000;
+  std::vector<std::pair<int64_t, uint64_t>> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(static_cast<int64_t>(rng.NextBounded(5000)), i);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  auto tree = BPlusTree::BulkLoad(&pool, pairs);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_entries(), n);
+  EXPECT_GE(tree->height(), 2u);
+
+  // Key-ordered full scan matches.
+  std::vector<std::pair<int64_t, uint64_t>> scanned;
+  ASSERT_TRUE(tree->RangeLookup(INT64_MIN, INT64_MAX,
+                                [&](int64_t k, uint64_t v) {
+                                  scanned.emplace_back(k, v);
+                                  return true;
+                                })
+                  .ok());
+  ASSERT_EQ(scanned.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(scanned[i].first, pairs[i].first);
+  }
+  // Random lookups against reference.
+  std::multimap<int64_t, uint64_t> reference(pairs.begin(), pairs.end());
+  for (int64_t key = 0; key < 5000; key += 137) {
+    auto vals = tree->Lookup(key);
+    ASSERT_TRUE(vals.ok());
+    EXPECT_EQ(vals->size(), reference.count(key)) << key;
+  }
+}
+
+TEST(BPlusTreeTest, BulkLoadRejectsUnsorted) {
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  auto tree = BPlusTree::BulkLoad(&pool, {{3, 0}, {1, 1}});
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BPlusTreeTest, BulkLoadThenInsertMore) {
+  MemPager pager;
+  BufferPool pool(&pager, 1024);
+  std::vector<std::pair<int64_t, uint64_t>> pairs;
+  for (int64_t i = 0; i < 5000; ++i) pairs.emplace_back(i * 2, i);
+  auto tree = BPlusTree::BulkLoad(&pool, pairs);
+  ASSERT_TRUE(tree.ok());
+  // Insert odd keys afterwards.
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree->Insert(i * 2 + 1, 100000 + i).ok());
+  }
+  auto got = Collect(*tree, 0, 19);
+  EXPECT_EQ(got.size(), 20u);
+  // Early termination of the callback.
+  size_t count = 0;
+  ASSERT_TRUE(tree->RangeLookup(0, INT64_MAX,
+                                [&](int64_t, uint64_t) {
+                                  return ++count < 10;
+                                })
+                  .ok());
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(BPlusTreeTest, RangeBoundaryDuplicatesAcrossLeaves) {
+  // Force many duplicates so runs straddle leaf boundaries; all must be
+  // found by both Lookup and RangeLookup.
+  MemPager pager;
+  BufferPool pool(&pager, 4096);
+  auto tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  const size_t dup = BPlusTree::kLeafCapacity * 3;
+  for (size_t i = 0; i < dup; ++i) {
+    ASSERT_TRUE(tree->Insert(7, i).ok());
+  }
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree->Insert(6, 100000 + i).ok());
+    ASSERT_TRUE(tree->Insert(8, 200000 + i).ok());
+  }
+  auto vals = tree->Lookup(7);
+  ASSERT_TRUE(vals.ok());
+  EXPECT_EQ(vals->size(), dup);
+  EXPECT_EQ(Collect(*tree, 6, 6).size(), 100u);
+  EXPECT_EQ(Collect(*tree, 6, 8).size(), dup + 200);
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/basin_spanning_tree.h"
+
+namespace mds {
+namespace {
+
+/// Builds a 1-D chain graph 0-1-2-...-(n-1).
+std::vector<std::vector<uint32_t>> ChainGraph(uint32_t n) {
+  std::vector<std::vector<uint32_t>> graph(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    graph[i].push_back(i + 1);
+    graph[i + 1].push_back(i);
+  }
+  return graph;
+}
+
+TEST(BstTest, TwoPeaksOnAChain) {
+  // Density: two bumps with a valley between them.
+  const uint32_t n = 11;
+  std::vector<double> density = {1, 3, 5, 3, 1, 0.5, 1, 4, 6, 4, 1};
+  auto bst = BuildBasinSpanningTree(ChainGraph(n), density);
+  ASSERT_TRUE(bst.ok());
+  EXPECT_EQ(bst->num_clusters(), 2u);
+  // Peaks are cells 2 and 8.
+  EXPECT_EQ(bst->parent[2], 2u);
+  EXPECT_EQ(bst->parent[8], 8u);
+  // Left bump drains to peak 2, right bump to peak 8.
+  for (uint32_t c : {0u, 1u, 2u, 3u, 4u}) {
+    EXPECT_EQ(bst->cluster[c], bst->cluster[2]) << c;
+  }
+  for (uint32_t c : {7u, 8u, 9u, 10u}) {
+    EXPECT_EQ(bst->cluster[c], bst->cluster[8]) << c;
+  }
+  EXPECT_NE(bst->cluster[2], bst->cluster[8]);
+}
+
+TEST(BstTest, SinglePeak) {
+  std::vector<double> density = {1, 2, 3, 4, 5};
+  auto bst = BuildBasinSpanningTree(ChainGraph(5), density);
+  ASSERT_TRUE(bst.ok());
+  EXPECT_EQ(bst->num_clusters(), 1u);
+  for (uint32_t c = 0; c < 5; ++c) EXPECT_EQ(bst->cluster[c], 0u);
+  EXPECT_EQ(bst->peaks[0], 4u);
+}
+
+TEST(BstTest, PlateauIsAcyclic) {
+  // All equal densities: id tie-break must produce a single basin without
+  // infinite loops.
+  std::vector<double> density(20, 1.0);
+  auto bst = BuildBasinSpanningTree(ChainGraph(20), density);
+  ASSERT_TRUE(bst.ok());
+  EXPECT_EQ(bst->num_clusters(), 1u);
+  EXPECT_EQ(bst->peaks[0], 0u);  // smallest id wins ties
+}
+
+TEST(BstTest, IsolatedVerticesAreOwnPeaks) {
+  std::vector<std::vector<uint32_t>> graph(3);  // no edges
+  std::vector<double> density = {1, 2, 3};
+  auto bst = BuildBasinSpanningTree(graph, density);
+  ASSERT_TRUE(bst.ok());
+  EXPECT_EQ(bst->num_clusters(), 3u);
+}
+
+TEST(BstTest, GridWithFourBlobs) {
+  // 20x20 grid graph, density = sum of 4 Gaussian bumps; expect exactly 4
+  // clusters and correct basin assignment near the bump centers.
+  const uint32_t gs = 20;
+  const uint32_t n = gs * gs;
+  std::vector<std::vector<uint32_t>> graph(n);
+  auto id = [&](uint32_t x, uint32_t y) { return y * gs + x; };
+  for (uint32_t y = 0; y < gs; ++y) {
+    for (uint32_t x = 0; x < gs; ++x) {
+      if (x + 1 < gs) {
+        graph[id(x, y)].push_back(id(x + 1, y));
+        graph[id(x + 1, y)].push_back(id(x, y));
+      }
+      if (y + 1 < gs) {
+        graph[id(x, y)].push_back(id(x, y + 1));
+        graph[id(x, y + 1)].push_back(id(x, y));
+      }
+    }
+  }
+  const double centers[4][2] = {{4, 4}, {4, 15}, {15, 4}, {15, 15}};
+  std::vector<double> density(n);
+  for (uint32_t y = 0; y < gs; ++y) {
+    for (uint32_t x = 0; x < gs; ++x) {
+      double d = 0.0;
+      for (const auto& c : centers) {
+        double dx = x - c[0], dy = y - c[1];
+        d += std::exp(-(dx * dx + dy * dy) / 8.0);
+      }
+      density[id(x, y)] = d;
+    }
+  }
+  auto bst = BuildBasinSpanningTree(graph, density);
+  ASSERT_TRUE(bst.ok());
+  EXPECT_EQ(bst->num_clusters(), 4u);
+  // The four centers land in four distinct clusters.
+  std::set<uint32_t> center_clusters;
+  for (const auto& c : centers) {
+    center_clusters.insert(
+        bst->cluster[id(static_cast<uint32_t>(c[0]),
+                        static_cast<uint32_t>(c[1]))]);
+  }
+  EXPECT_EQ(center_clusters.size(), 4u);
+}
+
+TEST(BstTest, SizeMismatchRejected) {
+  auto bst = BuildBasinSpanningTree(ChainGraph(3), {1.0, 2.0});
+  EXPECT_EQ(bst.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BstTest, BadNeighborRejected) {
+  std::vector<std::vector<uint32_t>> graph = {{5}};
+  auto bst = BuildBasinSpanningTree(graph, {1.0});
+  EXPECT_EQ(bst.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterClassificationTest, MajorityVote) {
+  // Two clusters; cluster 0 mostly label 1, cluster 1 mostly label 0.
+  std::vector<uint32_t> cluster = {0, 0, 0, 0, 1, 1, 1};
+  std::vector<uint32_t> label = {1, 1, 1, 0, 0, 0, 1};
+  auto eval = EvaluateClusterClassification(cluster, label, 2);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->cluster_label[0], 1u);
+  EXPECT_EQ(eval->cluster_label[1], 0u);
+  EXPECT_NEAR(eval->accuracy, 5.0 / 7.0, 1e-12);
+}
+
+TEST(ClusterClassificationTest, PerfectClustering) {
+  std::vector<uint32_t> cluster = {0, 0, 1, 1, 2, 2};
+  std::vector<uint32_t> label = {7, 7, 3, 3, 5, 5};
+  auto eval = EvaluateClusterClassification(cluster, label, 3);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->accuracy, 1.0);
+}
+
+TEST(ClusterClassificationTest, ErrorsRejected) {
+  EXPECT_FALSE(EvaluateClusterClassification({0, 1}, {0}, 2).ok());
+  EXPECT_FALSE(EvaluateClusterClassification({5}, {0}, 2).ok());
+}
+
+}  // namespace
+}  // namespace mds

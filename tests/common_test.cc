@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace mds {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IOError("disk exploded");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "disk exploded");
+  EXPECT_EQ(st.ToString(), "IOError: disk exploded");
+}
+
+TEST(StatusTest, AllFactoryCodesDistinct) {
+  std::vector<Status> all = {
+      Status::InvalidArgument("x"), Status::OutOfRange("x"),
+      Status::NotFound("x"),        Status::AlreadyExists("x"),
+      Status::IOError("x"),         Status::Corruption("x"),
+      Status::ResourceExhausted("x"), Status::FailedPrecondition("x"),
+      Status::Unimplemented("x"),   Status::Internal("x")};
+  std::set<StatusCode> codes;
+  for (const Status& st : all) {
+    EXPECT_FALSE(st.ok());
+    codes.insert(st.code());
+  }
+  EXPECT_EQ(codes.size(), all.size());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Corruption("bad page"); };
+  auto wrapper = [&]() -> Status {
+    MDS_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kCorruption);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool ok) -> Result<std::string> {
+    if (!ok) return Status::Internal("nope");
+    return std::string("value");
+  };
+  auto consumer = [&](bool ok) -> Result<size_t> {
+    MDS_ASSIGN_OR_RETURN(std::string s, producer(ok));
+    return s.size();
+  };
+  ASSERT_TRUE(consumer(true).ok());
+  EXPECT_EQ(*consumer(true), 5u);
+  EXPECT_EQ(consumer(false).status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = r.MoveValue();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(17);
+  auto p = rng.Permutation(1000);
+  std::vector<uint64_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(sorted[i], i);
+  // Not the identity (probability ~ 0 for n=1000).
+  EXPECT_NE(p, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (uint64_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(23);
+  auto s = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(RngTest, SampleUniformity) {
+  // Each element of [0, 20) should appear in a k=5 sample with p = 1/4.
+  Rng rng(29);
+  std::vector<int> counts(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (uint64_t v : rng.SampleWithoutReplacement(20, 5)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(timer.Seconds(), 0.0);
+  EXPECT_LE(timer.Millis(), timer.Micros());  // unit consistency
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/box.h"
+#include "geom/point_set.h"
+#include "geom/polyhedron.h"
+
+namespace mds {
+namespace {
+
+TEST(PointSetTest, AppendAndAccess) {
+  PointSet ps(3, 0);
+  float a[3] = {1, 2, 3};
+  double b[3] = {4, 5, 6};
+  ps.Append(a);
+  ps.Append(b);
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_FLOAT_EQ(ps.coord(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(ps.coord(1, 2), 6.0f);
+  ps.set_coord(1, 0, 9.0f);
+  EXPECT_FLOAT_EQ(ps.point(1)[0], 9.0f);
+}
+
+TEST(PointSetTest, Gather) {
+  PointSet ps(2, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    ps.set_coord(i, 0, static_cast<float>(i));
+    ps.set_coord(i, 1, static_cast<float>(10 * i));
+  }
+  PointSet g = ps.Gather({2, 0});
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_FLOAT_EQ(g.coord(0, 1), 20.0f);
+  EXPECT_FLOAT_EQ(g.coord(1, 0), 0.0f);
+}
+
+TEST(PointSetTest, SquaredDistance) {
+  float a[2] = {0, 0}, b[2] = {3, 4};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 2), 25.0);
+  double c[2] = {1, 1};
+  EXPECT_DOUBLE_EQ(SquaredDistance(c, b, 2), 4.0 + 9.0);
+}
+
+TEST(BoxTest, ExtendAndContains) {
+  Box b = Box::Empty(2);
+  float p1[2] = {0, 0}, p2[2] = {2, 3};
+  b.Extend(p1);
+  b.Extend(p2);
+  EXPECT_DOUBLE_EQ(b.lo(0), 0);
+  EXPECT_DOUBLE_EQ(b.hi(1), 3);
+  float inside[2] = {1, 1}, outside[2] = {3, 1}, edge[2] = {2, 3};
+  EXPECT_TRUE(b.Contains(inside));
+  EXPECT_FALSE(b.Contains(outside));
+  EXPECT_TRUE(b.Contains(edge));  // closed box
+}
+
+TEST(BoxTest, IntersectsAndContainsBox) {
+  Box a({0, 0}, {2, 2});
+  Box b({1, 1}, {3, 3});
+  Box c({2.5, 2.5}, {4, 4});
+  Box inner({0.5, 0.5}, {1.5, 1.5});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(c));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.ContainsBox(inner));
+  EXPECT_FALSE(a.ContainsBox(b));
+  // Touching edges count as intersection (closed boxes).
+  Box d({2, 0}, {3, 2});
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(BoxTest, VolumeAndCenter) {
+  Box b({1, 2, 3}, {2, 4, 6});
+  EXPECT_DOUBLE_EQ(b.Volume(), 1.0 * 2.0 * 3.0);
+  auto c = b.Center();
+  EXPECT_DOUBLE_EQ(c[0], 1.5);
+  EXPECT_DOUBLE_EQ(c[2], 4.5);
+}
+
+TEST(BoxTest, CornersEnumerateAll) {
+  Box b({0, 0, 0}, {1, 2, 3});
+  std::set<std::vector<double>> corners;
+  for (uint64_t k = 0; k < 8; ++k) corners.insert(b.Corner(k));
+  EXPECT_EQ(corners.size(), 8u);
+  EXPECT_TRUE(corners.count({0, 0, 0}));
+  EXPECT_TRUE(corners.count({1, 2, 3}));
+  EXPECT_TRUE(corners.count({1, 0, 3}));
+}
+
+TEST(BoxTest, MinMaxSquaredDistance) {
+  Box b({0, 0}, {1, 1});
+  double inside[2] = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(b.MinSquaredDistance(inside), 0.0);
+  EXPECT_DOUBLE_EQ(b.MaxSquaredDistance(inside), 0.5);
+  double outside[2] = {2, 3};
+  EXPECT_DOUBLE_EQ(b.MinSquaredDistance(outside), 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(b.MaxSquaredDistance(outside), 4.0 + 9.0);
+}
+
+TEST(BoxTest, InflateGrowsBothSides) {
+  Box b({0, 0}, {1, 1});
+  b.Inflate(0.5);
+  EXPECT_DOUBLE_EQ(b.lo(0), -0.5);
+  EXPECT_DOUBLE_EQ(b.hi(1), 1.5);
+}
+
+TEST(HalfspaceTest, Contains) {
+  Halfspace h{{1.0, 0.0}, 2.0};  // x <= 2
+  float in[2] = {1, 100}, on[2] = {2, 0}, out[2] = {3, 0};
+  EXPECT_TRUE(h.Contains(in));
+  EXPECT_TRUE(h.Contains(on));
+  EXPECT_FALSE(h.Contains(out));
+}
+
+TEST(PolyhedronTest, FromBoxMatchesBoxMembership) {
+  Box b({-1, 0, 2}, {1, 3, 5});
+  Polyhedron poly = Polyhedron::FromBox(b);
+  EXPECT_EQ(poly.num_halfspaces(), 6u);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    float p[3];
+    for (int j = 0; j < 3; ++j) {
+      p[j] = static_cast<float>(rng.NextUniform(-3, 7));
+    }
+    EXPECT_EQ(poly.Contains(p), b.Contains(p));
+  }
+}
+
+TEST(PolyhedronTest, BallApproximationContainsBall) {
+  std::vector<double> center = {1.0, -2.0, 0.5};
+  Polyhedron poly = Polyhedron::BallApproximation(center, 2.0, 20);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    // Points inside the ball must be inside the (circumscribed) polyhedron.
+    double p[3];
+    double r2 = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      p[j] = rng.NextGaussian();
+      r2 += p[j] * p[j];
+    }
+    double scale = 2.0 * std::pow(rng.NextDouble(), 1.0 / 3) / std::sqrt(r2);
+    for (int j = 0; j < 3; ++j) p[j] = center[j] + p[j] * scale;
+    EXPECT_TRUE(poly.Contains(p));
+  }
+  // The center is deep inside; a far point is outside.
+  EXPECT_TRUE(poly.Contains(center.data()));
+  double far[3] = {100, 100, 100};
+  EXPECT_FALSE(poly.Contains(far));
+}
+
+class ClassifyPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ClassifyPropertyTest, ClassificationConsistentWithMembership) {
+  const size_t d = GetParam();
+  Rng rng(40 + d);
+  std::vector<double> center(d, 0.0);
+  for (auto& c : center) c = rng.NextUniform(-1, 1);
+  Polyhedron poly = Polyhedron::BallApproximation(center, 1.0, 4 * d);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> lo(d), hi(d);
+    for (size_t j = 0; j < d; ++j) {
+      double a = rng.NextUniform(-2.5, 2.5);
+      double b = a + rng.NextUniform(0.01, 1.5);
+      lo[j] = a;
+      hi[j] = b;
+    }
+    Box box(lo, hi);
+    BoxClass cls = poly.Classify(box);
+    // Sample points in the box; their membership must be consistent with
+    // the classification (kInside -> all in, kOutside -> none in).
+    for (int s = 0; s < 50; ++s) {
+      std::vector<double> p(d);
+      for (size_t j = 0; j < d; ++j) {
+        p[j] = rng.NextUniform(box.lo(j), box.hi(j));
+      }
+      bool in = poly.Contains(p.data());
+      if (cls == BoxClass::kInside) EXPECT_TRUE(in);
+      if (cls == BoxClass::kOutside) EXPECT_FALSE(in);
+    }
+    // Corners too (extremes of the box).
+    for (uint64_t k = 0; k < (uint64_t{1} << d); ++k) {
+      std::vector<double> corner = box.Corner(k);
+      bool in = poly.Contains(corner.data());
+      if (cls == BoxClass::kInside) EXPECT_TRUE(in);
+      if (cls == BoxClass::kOutside) EXPECT_FALSE(in);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ClassifyPropertyTest,
+                         ::testing::Values(2, 3, 5));
+
+TEST(PolyhedronTest, ClassifyExactForBoxQueries) {
+  // For a box-shaped polyhedron the classification must be exact, not just
+  // conservative.
+  Box query({0, 0}, {4, 4});
+  Polyhedron poly = Polyhedron::FromBox(query);
+  EXPECT_EQ(poly.Classify(Box({1, 1}, {2, 2})), BoxClass::kInside);
+  EXPECT_EQ(poly.Classify(Box({5, 5}, {6, 6})), BoxClass::kOutside);
+  EXPECT_EQ(poly.Classify(Box({3, 3}, {5, 5})), BoxClass::kPartial);
+  EXPECT_EQ(poly.Classify(Box({0, 0}, {4, 4})), BoxClass::kInside);
+  // Off to the side in just one axis.
+  EXPECT_EQ(poly.Classify(Box({10, 1}, {11, 2})), BoxClass::kOutside);
+}
+
+TEST(PolyhedronTest, ContainsAll) {
+  PointSet ps(2, 0);
+  float a[2] = {1, 1}, b[2] = {3, 3}, c[2] = {9, 9};
+  ps.Append(a);
+  ps.Append(b);
+  ps.Append(c);
+  Polyhedron poly = Polyhedron::FromBox(Box({0, 0}, {4, 4}));
+  EXPECT_TRUE(poly.ContainsAll(ps, {0, 1}));
+  EXPECT_FALSE(poly.ContainsAll(ps, {0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/kdtree.h"
+#include "hull/hull_query.h"
+#include "sdss/catalog.h"
+
+namespace mds {
+namespace {
+
+TEST(HullQueryTest, SquareHull) {
+  std::vector<double> pts = {0, 0, 1, 0, 0, 1, 1, 1, 0.5, 0.5};
+  auto poly = ConvexHullPolyhedron(pts, 2);
+  ASSERT_TRUE(poly.ok());
+  EXPECT_EQ(poly->num_halfspaces(), 4u);
+  double inside[2] = {0.5, 0.7}, outside[2] = {1.2, 0.5}, corner[2] = {0, 0};
+  EXPECT_TRUE(poly->Contains(inside));
+  EXPECT_FALSE(poly->Contains(outside));
+  EXPECT_TRUE(poly->Contains(corner));
+}
+
+TEST(HullQueryTest, TrainingPointsAlwaysInside) {
+  Rng rng(3);
+  for (size_t d : {2u, 3u, 5u}) {
+    const size_t n = 100;
+    std::vector<double> pts(n * d);
+    for (double& x : pts) x = rng.NextGaussian();
+    auto poly = ConvexHullPolyhedron(pts, d);
+    ASSERT_TRUE(poly.ok());
+    for (size_t i = 0; i < n; ++i) {
+      // Tolerance via a tiny margin-inflated hull (hull planes can cut
+      // within 1e-10 of their defining vertices).
+      EXPECT_TRUE(
+          ConvexHullPolyhedron(pts, d, 1e-9)->Contains(&pts[i * d]))
+          << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(HullQueryTest, MarginExpandsHull) {
+  std::vector<double> pts = {0, 0, 1, 0, 0, 1, 1, 1};
+  auto tight = ConvexHullPolyhedron(pts, 2, 0.0);
+  auto fat = ConvexHullPolyhedron(pts, 2, 0.25);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(fat.ok());
+  double near[2] = {1.2, 0.5};
+  EXPECT_FALSE(tight->Contains(near));
+  EXPECT_TRUE(fat->Contains(near));
+}
+
+TEST(HullQueryTest, PointSetOverload) {
+  PointSet ps(2, 0);
+  float a[2] = {0, 0}, b[2] = {2, 0}, c[2] = {0, 2}, d[2] = {2, 2},
+        mid[2] = {1, 1};
+  ps.Append(a);
+  ps.Append(b);
+  ps.Append(c);
+  ps.Append(d);
+  ps.Append(mid);
+  auto poly = ConvexHullPolyhedron(ps, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(poly.ok());
+  float inside[2] = {1.5f, 0.5f}, outside[2] = {2.5f, 0.5f};
+  EXPECT_TRUE(poly->Contains(inside));
+  EXPECT_FALSE(poly->Contains(outside));
+}
+
+TEST(HullQueryTest, SimilarObjectSearchOnCatalog) {
+  // The §2.2 workflow: hull of a quasar training set queried through the
+  // kd-tree finds the rest of the quasar population with high purity.
+  CatalogConfig config;
+  config.num_objects = 50000;
+  config.seed = 31;
+  Catalog cat = GenerateCatalog(config);
+  std::vector<uint64_t> training;
+  for (uint64_t i = 0; i < cat.size() && training.size() < 400; ++i) {
+    if (cat.classes[i] == SpectralClass::kQuasar) training.push_back(i);
+  }
+  ASSERT_GE(training.size(), 100u);
+  auto poly = ConvexHullPolyhedron(cat.colors, training, 0.0);
+  ASSERT_TRUE(poly.ok());
+
+  auto tree = KdTreeIndex::Build(&cat.colors);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint64_t> hits;
+  tree->QueryPolyhedron(*poly, &hits);
+  // Everything returned matches brute force.
+  std::vector<uint64_t> expect;
+  for (uint64_t i = 0; i < cat.size(); ++i) {
+    if (poly->Contains(cat.colors.point(i))) expect.push_back(i);
+  }
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, expect);
+
+  // Training points are found, and the haul is mostly quasars.
+  size_t quasars = 0;
+  for (uint64_t id : hits) {
+    if (cat.classes[id] == SpectralClass::kQuasar) ++quasars;
+  }
+  EXPECT_GE(hits.size(), training.size());
+  EXPECT_GT(static_cast<double>(quasars) / hits.size(), 0.7);
+  // And the search generalizes: more quasars than the training set alone.
+  EXPECT_GT(quasars, training.size());
+}
+
+TEST(HullQueryTest, DegenerateTrainingSetFails) {
+  std::vector<double> collinear = {0, 0, 1, 1, 2, 2, 3, 3};
+  QuickhullOptions options;
+  options.joggle = false;
+  auto poly = ConvexHullPolyhedron(collinear, 2, 0.0, options);
+  EXPECT_FALSE(poly.ok());
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "hull/delaunay.h"
+#include "hull/quickhull.h"
+#include "hull/voronoi.h"
+
+namespace mds {
+namespace {
+
+/// All input points must satisfy every facet plane (within tolerance) —
+/// the defining property of a convex hull.
+void ExpectAllPointsInside(const ConvexHull& hull,
+                           const std::vector<double>& points, double tol) {
+  const size_t d = hull.dim;
+  const size_t n = points.size() / d;
+  for (const HullFacet& f : hull.facets) {
+    for (size_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (size_t j = 0; j < d; ++j) dot += f.normal[j] * points[i * d + j];
+      EXPECT_LE(dot, f.offset + tol) << "point " << i << " above a facet";
+    }
+  }
+}
+
+/// Every facet must have exactly d alive neighbors and each neighbor must
+/// share d-1 vertices.
+void ExpectFacetGraphConsistent(const ConvexHull& hull) {
+  const size_t d = hull.dim;
+  for (size_t fi = 0; fi < hull.facets.size(); ++fi) {
+    const HullFacet& f = hull.facets[fi];
+    EXPECT_EQ(f.vertices.size(), d);
+    EXPECT_EQ(f.neighbors.size(), d) << "facet " << fi;
+    for (uint32_t nb : f.neighbors) {
+      ASSERT_LT(nb, hull.facets.size());
+      const HullFacet& g = hull.facets[nb];
+      std::vector<uint32_t> shared;
+      std::set_intersection(f.vertices.begin(), f.vertices.end(),
+                            g.vertices.begin(), g.vertices.end(),
+                            std::back_inserter(shared));
+      EXPECT_EQ(shared.size(), d - 1);
+    }
+  }
+}
+
+TEST(QuickhullTest, Square2D) {
+  // Unit square corners plus interior points.
+  std::vector<double> pts = {0, 0, 1, 0, 0, 1, 1, 1,
+                             0.5, 0.5, 0.25, 0.75, 0.9, 0.1};
+  auto hull = ComputeConvexHull(pts, 2);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_EQ(hull->facets.size(), 4u);
+  EXPECT_EQ(hull->hull_vertices.size(), 4u);
+  std::set<uint32_t> hv(hull->hull_vertices.begin(),
+                        hull->hull_vertices.end());
+  EXPECT_EQ(hv, (std::set<uint32_t>{0, 1, 2, 3}));
+  ExpectAllPointsInside(*hull, pts, 1e-9);
+  ExpectFacetGraphConsistent(*hull);
+}
+
+TEST(QuickhullTest, Cube3D) {
+  std::vector<double> pts;
+  for (int x = 0; x <= 1; ++x)
+    for (int y = 0; y <= 1; ++y)
+      for (int z = 0; z <= 1; ++z) {
+        pts.push_back(x);
+        pts.push_back(y);
+        pts.push_back(z);
+      }
+  pts.insert(pts.end(), {0.5, 0.5, 0.5});  // interior
+  auto hull = ComputeConvexHull(pts, 3);
+  ASSERT_TRUE(hull.ok());
+  // Cube faces triangulate (possibly with joggle) but all 8 corners are on
+  // the hull and the interior point is not.
+  EXPECT_EQ(hull->hull_vertices.size(), 8u);
+  ExpectAllPointsInside(*hull, pts, 1e-5);
+}
+
+TEST(QuickhullTest, Simplex4D) {
+  // A 4-simplex: exactly 5 facets.
+  std::vector<double> pts = {
+      0, 0, 0, 0,  1, 0, 0, 0,  0, 1, 0, 0,  0, 0, 1, 0,  0, 0, 0, 1,
+  };
+  auto hull = ComputeConvexHull(pts, 4);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_EQ(hull->facets.size(), 5u);
+  ExpectFacetGraphConsistent(*hull);
+}
+
+class QuickhullRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(QuickhullRandomTest, HullProperty) {
+  auto [d, n] = GetParam();
+  Rng rng(500 + d * 100 + n);
+  std::vector<double> pts(n * d);
+  for (double& x : pts) x = rng.NextGaussian();
+  auto hull = ComputeConvexHull(pts, d);
+  ASSERT_TRUE(hull.ok()) << hull.status().ToString();
+  EXPECT_GE(hull->facets.size(), d + 1);
+  ExpectAllPointsInside(*hull, pts, 1e-7);
+  ExpectFacetGraphConsistent(*hull);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSizes, QuickhullRandomTest,
+    ::testing::Values(std::make_tuple(2, 50), std::make_tuple(2, 500),
+                      std::make_tuple(3, 100), std::make_tuple(3, 1000),
+                      std::make_tuple(4, 200), std::make_tuple(5, 150),
+                      std::make_tuple(6, 100)));
+
+TEST(QuickhullTest, HullVerticesMatchBruteForce2D) {
+  // In 2D a point is a hull vertex iff it is not a convex combination of
+  // others; verify against an O(n^3) brute force on a small set.
+  Rng rng(9);
+  const size_t n = 40;
+  std::vector<double> pts(n * 2);
+  for (double& x : pts) x = rng.NextUniform(-1, 1);
+  auto hull = ComputeConvexHull(pts, 2);
+  ASSERT_TRUE(hull.ok());
+  std::set<uint32_t> hv(hull->hull_vertices.begin(),
+                        hull->hull_vertices.end());
+  // Brute force: i is on the hull iff some halfplane through i has all
+  // other points on one side (test all directions defined by point pairs).
+  for (uint32_t i = 0; i < n; ++i) {
+    bool extreme = false;
+    for (uint32_t a = 0; a < n && !extreme; ++a) {
+      for (uint32_t b = 0; b < n && !extreme; ++b) {
+        if (a == b) continue;
+        // Normal of segment a->b.
+        double nx = -(pts[b * 2 + 1] - pts[a * 2 + 1]);
+        double ny = pts[b * 2] - pts[a * 2];
+        double di = nx * pts[i * 2] + ny * pts[i * 2 + 1];
+        bool all_below = true;
+        for (uint32_t k = 0; k < n; ++k) {
+          if (k == i) continue;
+          double dk = nx * pts[k * 2] + ny * pts[k * 2 + 1];
+          if (dk > di - 1e-12) {
+            all_below = false;
+            break;
+          }
+        }
+        if (all_below) extreme = true;
+      }
+    }
+    EXPECT_EQ(hv.count(i) > 0, extreme) << "point " << i;
+  }
+}
+
+TEST(QuickhullTest, DegenerateNeedsJoggle) {
+  // A planar grid embedded in 3D: flat input. Without joggle it must fail
+  // cleanly; with joggle it must produce a hull.
+  std::vector<double> pts;
+  for (int x = 0; x < 4; ++x)
+    for (int y = 0; y < 4; ++y) {
+      pts.push_back(x);
+      pts.push_back(y);
+      pts.push_back(0.0);
+    }
+  QuickhullOptions no_joggle;
+  no_joggle.joggle = false;
+  auto flat = ComputeConvexHull(pts, 3, no_joggle);
+  EXPECT_FALSE(flat.ok());
+  auto joggled = ComputeConvexHull(pts, 3);
+  EXPECT_TRUE(joggled.ok());
+}
+
+TEST(QuickhullTest, CosphericalJoggles) {
+  // Points exactly on a sphere are degenerate for the lifted Delaunay but
+  // fine for a plain hull; all of them end up hull vertices.
+  Rng rng(11);
+  const size_t n = 100;
+  std::vector<double> pts(n * 3);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.NextGaussian(), y = rng.NextGaussian(),
+           z = rng.NextGaussian();
+    double r = std::sqrt(x * x + y * y + z * z);
+    pts[i * 3] = x / r;
+    pts[i * 3 + 1] = y / r;
+    pts[i * 3 + 2] = z / r;
+  }
+  auto hull = ComputeConvexHull(pts, 3);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_EQ(hull->hull_vertices.size(), n);
+}
+
+TEST(QuickhullTest, RejectsTooFewPoints) {
+  std::vector<double> pts = {0, 0, 1, 1};
+  EXPECT_FALSE(ComputeConvexHull(pts, 2).ok());
+}
+
+TEST(CircumcenterTest, EquilateralTriangle) {
+  std::vector<double> verts = {0, 0, 1, 0, 0.5, std::sqrt(3) / 2};
+  auto c = Circumcenter(verts, 2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR((*c)[0], 0.5, 1e-12);
+  EXPECT_NEAR((*c)[1], std::sqrt(3) / 6, 1e-12);
+}
+
+TEST(CircumcenterTest, EquidistanceProperty) {
+  Rng rng(13);
+  for (size_t d = 2; d <= 5; ++d) {
+    std::vector<double> verts((d + 1) * d);
+    for (double& x : verts) x = rng.NextGaussian();
+    auto c = Circumcenter(verts, d);
+    ASSERT_TRUE(c.ok());
+    double r0 = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      double diff = (*c)[j] - verts[j];
+      r0 += diff * diff;
+    }
+    for (size_t i = 1; i <= d; ++i) {
+      double ri = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double diff = (*c)[j] - verts[i * d + j];
+        ri += diff * diff;
+      }
+      EXPECT_NEAR(ri, r0, 1e-6 * (1.0 + r0));
+    }
+  }
+}
+
+TEST(DelaunayTest, EmptyCircumsphereProperty2D) {
+  Rng rng(17);
+  const size_t n = 60;
+  std::vector<double> pts(n * 2);
+  for (double& x : pts) x = rng.NextUniform(0, 10);
+  auto tri = DelaunayTriangulation::Compute(pts, 2);
+  ASSERT_TRUE(tri.ok());
+  // Triangle count sanity: 2n - 2 - h for n points with h on the hull.
+  size_t h = 0;
+  for (char c : tri->on_hull()) h += c;
+  EXPECT_EQ(tri->simplices().size(), 2 * n - 2 - h);
+  // The defining property: no point strictly inside a circumcircle.
+  for (const DelaunaySimplex& s : tri->simplices()) {
+    for (size_t i = 0; i < n; ++i) {
+      double d2 = 0.0;
+      for (size_t j = 0; j < 2; ++j) {
+        double diff = pts[i * 2 + j] - s.circumcenter[j];
+        d2 += diff * diff;
+      }
+      EXPECT_GE(d2, s.circumradius2 * (1 - 1e-6))
+          << "point " << i << " inside a circumcircle";
+    }
+  }
+}
+
+TEST(DelaunayTest, GraphSymmetricAndConnected) {
+  Rng rng(19);
+  const size_t n = 80;
+  std::vector<double> pts(n * 3);
+  for (double& x : pts) x = rng.NextGaussian();
+  auto tri = DelaunayTriangulation::Compute(pts, 3);
+  ASSERT_TRUE(tri.ok());
+  const auto& graph = tri->seed_graph();
+  ASSERT_EQ(graph.size(), n);
+  for (uint32_t u = 0; u < n; ++u) {
+    EXPECT_FALSE(graph[u].empty());
+    for (uint32_t v : graph[u]) {
+      EXPECT_TRUE(std::binary_search(graph[v].begin(), graph[v].end(), u))
+          << u << "<->" << v;
+    }
+  }
+  // Connectivity: BFS reaches everything.
+  std::vector<char> seen(n, 0);
+  std::vector<uint32_t> stack = {0};
+  seen[0] = 1;
+  size_t visited = 0;
+  while (!stack.empty()) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (uint32_t v : graph[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  EXPECT_EQ(visited, n);
+}
+
+TEST(DelaunayTest, IncidentSimplicesCoverAllSimplices) {
+  Rng rng(23);
+  const size_t n = 50;
+  std::vector<double> pts(n * 2);
+  for (double& x : pts) x = rng.NextGaussian();
+  auto tri = DelaunayTriangulation::Compute(pts, 2);
+  ASSERT_TRUE(tri.ok());
+  std::vector<size_t> counted(tri->simplices().size(), 0);
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t sid : tri->incident_simplices()[s]) ++counted[sid];
+  }
+  for (size_t sid = 0; sid < counted.size(); ++sid) {
+    EXPECT_EQ(counted[sid], 3u);  // each triangle has 3 vertices
+  }
+}
+
+TEST(VoronoiDiagramTest, CellAreas2DSumToCoveredRegion) {
+  // Seeds on a jittered grid inside [0,1]^2: bounded interior cells must
+  // tile most of the unit square; compare the summed interior area to the
+  // area of the square minus a boundary margin... instead verify each
+  // interior area against Monte-Carlo nearest-seed counts.
+  Rng rng(29);
+  const size_t gs = 7;
+  std::vector<double> pts;
+  for (size_t x = 0; x < gs; ++x) {
+    for (size_t y = 0; y < gs; ++y) {
+      pts.push_back((x + 0.5 + 0.2 * (rng.NextDouble() - 0.5)) / gs);
+      pts.push_back((y + 0.5 + 0.2 * (rng.NextDouble() - 0.5)) / gs);
+    }
+  }
+  const size_t n = pts.size() / 2;
+  auto tri = DelaunayTriangulation::Compute(pts, 2);
+  ASSERT_TRUE(tri.ok());
+  VoronoiDiagram diagram(&*tri, &pts);
+  // Monte-Carlo reference areas.
+  const size_t samples = 400000;
+  std::vector<double> mc(n, 0.0);
+  for (size_t s = 0; s < samples; ++s) {
+    double px = rng.NextDouble(), py = rng.NextDouble();
+    size_t best = 0;
+    double best_d2 = 1e300;
+    for (size_t i = 0; i < n; ++i) {
+      double dx = px - pts[i * 2], dy = py - pts[i * 2 + 1];
+      double d2 = dx * dx + dy * dy;
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    mc[best] += 1.0 / samples;
+  }
+  size_t checked = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    VoronoiCellStats stats = diagram.CellStats(i);
+    if (!stats.bounded) continue;
+    // Near-boundary cells legitimately extend outside the unit square (the
+    // MC reference only samples inside it); compare only cells whose
+    // vertices all lie within the square.
+    bool fully_inside = true;
+    for (const auto& v : diagram.CellVertices(i)) {
+      if (v[0] < 0 || v[0] > 1 || v[1] < 0 || v[1] > 1) {
+        fully_inside = false;
+        break;
+      }
+    }
+    if (!fully_inside) continue;
+    auto area = diagram.CellArea2D(i);
+    ASSERT_TRUE(area.ok());
+    EXPECT_NEAR(*area, mc[i], 0.15 * std::max(mc[i], 1e-3)) << "cell " << i;
+    ++checked;
+  }
+  EXPECT_GE(checked, (gs - 2) * (gs - 2));  // at least the interior seeds
+}
+
+TEST(VoronoiDiagramTest, UnboundedCellRejected) {
+  std::vector<double> pts = {0, 0, 1, 0, 0, 1, 1, 1, 0.5, 0.5};
+  auto tri = DelaunayTriangulation::Compute(pts, 2);
+  ASSERT_TRUE(tri.ok());
+  VoronoiDiagram diagram(&*tri, &pts);
+  EXPECT_FALSE(diagram.CellStats(0).bounded);  // corner seed
+  EXPECT_EQ(diagram.CellArea2D(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(diagram.CellStats(4).bounded);  // center seed
+  EXPECT_TRUE(diagram.CellArea2D(4).ok());
+}
+
+TEST(VoronoiDiagramTest, CellVertexCountsGrowWithDimension) {
+  // The §3.4 "roundness" trend: average vertices per bounded cell grows
+  // steeply with dimension (vs 2^d corners of a box).
+  Rng rng(31);
+  double prev_avg = 0.0;
+  for (size_t d = 2; d <= 4; ++d) {
+    const size_t n = 120;
+    std::vector<double> pts(n * d);
+    for (double& x : pts) x = rng.NextGaussian();
+    auto tri = DelaunayTriangulation::Compute(pts, d);
+    ASSERT_TRUE(tri.ok());
+    VoronoiDiagram diagram(&*tri, &pts);
+    double sum = 0.0;
+    size_t bounded = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      VoronoiCellStats stats = diagram.CellStats(i);
+      if (!stats.bounded) continue;
+      sum += stats.num_vertices;
+      ++bounded;
+    }
+    ASSERT_GT(bounded, 0u);
+    double avg = sum / bounded;
+    EXPECT_GT(avg, prev_avg);
+    prev_avg = avg;
+  }
+}
+
+}  // namespace
+}  // namespace mds

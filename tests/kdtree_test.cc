@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "core/kdtree.h"
+
+namespace mds {
+namespace {
+
+PointSet RandomPoints(size_t n, size_t d, uint64_t seed,
+                      bool clustered = false) {
+  Rng rng(seed);
+  PointSet ps(d, 0);
+  ps.Reserve(n);
+  std::vector<double> p(d);
+  for (size_t i = 0; i < n; ++i) {
+    if (clustered && rng.NextDouble() < 0.7) {
+      // Two dense Gaussian blobs plus background: the non-uniform regime
+      // the paper targets.
+      double cx = rng.NextDouble() < 0.5 ? -2.0 : 3.0;
+      for (size_t j = 0; j < d; ++j) {
+        p[j] = cx + 0.3 * rng.NextGaussian();
+      }
+    } else {
+      for (size_t j = 0; j < d; ++j) p[j] = rng.NextUniform(-5, 5);
+    }
+    ps.Append(p.data());
+  }
+  return ps;
+}
+
+std::vector<uint64_t> BruteForcePolyQuery(const PointSet& points,
+                                          const Polyhedron& poly) {
+  std::vector<uint64_t> out;
+  for (uint64_t i = 0; i < points.size(); ++i) {
+    if (poly.Contains(points.point(i))) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(KdTreeTest, BuildInvariants) {
+  PointSet ps = RandomPoints(10000, 3, 1);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  // The paper's sizing: #leaves ~ sqrt(N), here next power of two of 100.
+  EXPECT_EQ(tree->num_leaves(), 128u);
+  EXPECT_EQ(tree->num_levels(), 8u);  // 2^7 leaves -> 8 levels
+  EXPECT_EQ(tree->nodes().size(), 2u * 128 - 1);
+  EXPECT_EQ(tree->clustered_order().size(), 10000u);
+
+  // Clustered order is a permutation.
+  std::vector<uint64_t> sorted = tree->clustered_order();
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+
+  // Leaf row ranges partition [0, N).
+  uint64_t expect_begin = 0;
+  for (uint32_t l = 0; l < tree->num_leaves(); ++l) {
+    const auto& leaf = tree->leaf(l);
+    EXPECT_EQ(leaf.row_begin, expect_begin);
+    EXPECT_GT(leaf.row_end, leaf.row_begin);
+    expect_begin = leaf.row_end;
+  }
+  EXPECT_EQ(expect_begin, 10000u);
+
+  // Balanced: leaf sizes within 1 of each other.
+  uint64_t min_size = UINT64_MAX, max_size = 0;
+  for (uint32_t l = 0; l < tree->num_leaves(); ++l) {
+    uint64_t size = tree->leaf(l).row_end - tree->leaf(l).row_begin;
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KdTreeTest, PostOrderNumberingInvariant) {
+  PointSet ps = RandomPoints(3000, 2, 3);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  // Post-order ids are a permutation of [0, num_nodes).
+  std::set<uint32_t> ids;
+  for (const auto& node : tree->nodes()) ids.insert(node.post_order);
+  EXPECT_EQ(ids.size(), tree->nodes().size());
+  EXPECT_EQ(*ids.rbegin(), tree->nodes().size() - 1);
+
+  // The BETWEEN invariant: every subtree's leaves form the contiguous
+  // ordinal interval [first_leaf, last_leaf], children adjacent, and the
+  // parent's post-order is larger than all its descendants'.
+  for (const auto& node : tree->nodes()) {
+    if (node.split_dim < 0) {
+      EXPECT_EQ(node.first_leaf, node.last_leaf);
+      continue;
+    }
+    const auto& l = tree->nodes()[node.left];
+    const auto& r = tree->nodes()[node.right];
+    EXPECT_EQ(node.first_leaf, l.first_leaf);
+    EXPECT_EQ(node.last_leaf, r.last_leaf);
+    EXPECT_EQ(l.last_leaf + 1, r.first_leaf);
+    EXPECT_GT(node.post_order, l.post_order);
+    EXPECT_GT(node.post_order, r.post_order);
+    // Row ranges concatenate.
+    EXPECT_EQ(node.row_begin, l.row_begin);
+    EXPECT_EQ(l.row_end, r.row_begin);
+    EXPECT_EQ(node.row_end, r.row_end);
+  }
+}
+
+TEST(KdTreeTest, RegionsTileAndBoundsAreTight) {
+  PointSet ps = RandomPoints(5000, 3, 5, /*clustered=*/true);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  for (const auto& node : tree->nodes()) {
+    // Every point of the node is inside both its region and tight bounds.
+    for (uint64_t r = node.row_begin; r < node.row_end; ++r) {
+      const float* p = ps.point(tree->clustered_order()[r]);
+      EXPECT_TRUE(node.region.Contains(p));
+      EXPECT_TRUE(node.bounds.Contains(p));
+    }
+    // Tight bounds within region.
+    EXPECT_TRUE(node.region.ContainsBox(node.bounds));
+  }
+}
+
+TEST(KdTreeTest, FindLeafConsistent) {
+  PointSet ps = RandomPoints(2000, 3, 7);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  // Every data point locates to a leaf whose (closed) region contains it;
+  // unless the point sits exactly on a split plane, that leaf also stores
+  // the point's row. (Points on a split plane may be stored in the sibling
+  // — regions are closed on both sides there — which is fine for every
+  // consumer of FindLeaf.)
+  for (uint64_t i = 0; i < ps.size(); i += 17) {
+    uint32_t ordinal = tree->FindLeaf(ps.point(i));
+    const auto& leaf = tree->leaf(ordinal);
+    EXPECT_TRUE(leaf.region.Contains(ps.point(i))) << "point " << i;
+    bool on_boundary = false;
+    for (size_t j = 0; j < 3; ++j) {
+      double v = ps.coord(i, j);
+      if (v == leaf.region.lo(j) || v == leaf.region.hi(j)) {
+        on_boundary = true;
+      }
+    }
+    bool found = false;
+    for (uint64_t r = leaf.row_begin; r < leaf.row_end; ++r) {
+      if (tree->clustered_order()[r] == i) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found || on_boundary) << "point " << i;
+  }
+}
+
+TEST(KdTreeTest, SinglePointAndTinyTrees) {
+  PointSet one(2, 1);
+  one.set_coord(0, 0, 1.0f);
+  one.set_coord(0, 1, 2.0f);
+  auto tree = KdTreeIndex::Build(&one);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves(), 1u);
+  std::vector<uint64_t> out;
+  tree->QueryBox(Box({0, 0}, {2, 3}), &out);
+  EXPECT_EQ(out.size(), 1u);
+
+  PointSet empty(2, 0);
+  EXPECT_FALSE(KdTreeIndex::Build(&empty).ok());
+}
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  PointSet ps(2, 0);
+  float p[2] = {1.0f, 1.0f};
+  for (int i = 0; i < 1000; ++i) ps.Append(p);
+  float q[2] = {2.0f, 2.0f};
+  for (int i = 0; i < 10; ++i) ps.Append(q);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  std::vector<uint64_t> out;
+  tree->QueryBox(Box({0.5, 0.5}, {1.5, 1.5}), &out);
+  EXPECT_EQ(out.size(), 1000u);
+  out.clear();
+  tree->QueryBox(Box({1.5, 1.5}, {2.5, 2.5}), &out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+struct QueryCase {
+  size_t dim;
+  size_t n;
+  bool clustered;
+  bool max_spread;
+};
+
+class KdQueryPropertyTest : public ::testing::TestWithParam<QueryCase> {};
+
+TEST_P(KdQueryPropertyTest, MatchesBruteForce) {
+  const QueryCase& tc = GetParam();
+  PointSet ps = RandomPoints(tc.n, tc.dim, 11 + tc.n, tc.clustered);
+  KdTreeConfig config;
+  config.max_spread_split = tc.max_spread;
+  auto tree = KdTreeIndex::Build(&ps, config);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Alternate box queries and ball-approximation polyhedra across a wide
+    // range of selectivities.
+    Polyhedron poly(tc.dim);
+    if (trial % 2 == 0) {
+      std::vector<double> lo(tc.dim), hi(tc.dim);
+      for (size_t j = 0; j < tc.dim; ++j) {
+        double a = rng.NextUniform(-6, 6);
+        lo[j] = a;
+        hi[j] = a + rng.NextUniform(0.1, 8.0);
+      }
+      poly = Polyhedron::FromBox(Box(lo, hi));
+    } else {
+      std::vector<double> center(tc.dim);
+      for (auto& c : center) c = rng.NextUniform(-4, 4);
+      poly = Polyhedron::BallApproximation(center, rng.NextUniform(0.3, 4.0),
+                                           3 * tc.dim + trial);
+    }
+    std::vector<uint64_t> got;
+    KdQueryStats stats;
+    tree->QueryPolyhedron(poly, &got, &stats);
+    std::vector<uint64_t> expect = BruteForcePolyQuery(ps, poly);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect) << "dim=" << tc.dim << " trial=" << trial;
+    EXPECT_EQ(stats.points_emitted, expect.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KdQueryPropertyTest,
+    ::testing::Values(QueryCase{1, 500, false, false},
+                      QueryCase{2, 2000, false, false},
+                      QueryCase{2, 2000, true, false},
+                      QueryCase{3, 5000, true, false},
+                      QueryCase{3, 5000, true, true},
+                      QueryCase{5, 3000, true, false},
+                      QueryCase{5, 3000, false, true}));
+
+TEST(KdTreeTest, PlanCoversExactlyQueryRows) {
+  PointSet ps = RandomPoints(8000, 3, 17, true);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  std::vector<double> center = {0, 0, 0};
+  Polyhedron poly = Polyhedron::BallApproximation(center, 3.0, 12);
+  std::vector<std::pair<uint64_t, uint64_t>> full, partial;
+  tree->PlanPolyhedron(poly, &full, &partial);
+  // Full ranges: every row qualifies. Partial: mixed. Union of qualifying
+  // rows equals the brute-force result.
+  std::set<uint64_t> got;
+  for (auto [b, e] : full) {
+    for (uint64_t r = b; r < e; ++r) {
+      uint64_t id = tree->clustered_order()[r];
+      EXPECT_TRUE(poly.Contains(ps.point(id)));
+      got.insert(id);
+    }
+  }
+  for (auto [b, e] : partial) {
+    for (uint64_t r = b; r < e; ++r) {
+      uint64_t id = tree->clustered_order()[r];
+      if (poly.Contains(ps.point(id))) got.insert(id);
+    }
+  }
+  std::vector<uint64_t> expect = BruteForcePolyQuery(ps, poly);
+  EXPECT_EQ(got.size(), expect.size());
+}
+
+TEST(KdTreeTest, LowSelectivityTouchesFewLeaves) {
+  // The Figure 5 regime: tiny queries should visit a small fraction of the
+  // tree.
+  PointSet ps = RandomPoints(50000, 5, 19, true);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  Box tiny({-2.1, -2.1, -2.1, -2.1, -2.1}, {-1.9, -1.9, -1.9, -1.9, -1.9});
+  std::vector<uint64_t> out;
+  KdQueryStats stats;
+  tree->QueryBox(tiny, &out, &stats);
+  uint64_t leaves_touched = stats.leaves_full + stats.leaves_partial;
+  EXPECT_LT(leaves_touched, tree->num_leaves() / 4);
+  EXPECT_LT(stats.points_tested, ps.size() / 4);
+}
+
+TEST(KdTreeTest, ExplicitLeafCountRespected) {
+  PointSet ps = RandomPoints(4096, 2, 23);
+  KdTreeConfig config;
+  config.num_leaves = 64;
+  auto tree = KdTreeIndex::Build(&ps, config);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves(), 64u);
+  for (uint32_t l = 0; l < 64; ++l) {
+    EXPECT_EQ(tree->leaf(l).row_end - tree->leaf(l).row_begin, 64u);
+  }
+}
+
+TEST(KdTreeTest, MaxSpreadReducesElongation) {
+  // Data stretched 100x along one axis: round-robin splitting leaves
+  // elongated boxes, max-spread splitting cuts the long axis first. The
+  // Figure 15 observation and its [8] remedy.
+  Rng rng(29);
+  PointSet ps(3, 0);
+  for (int i = 0; i < 8192; ++i) {
+    float p[3] = {static_cast<float>(100.0 * rng.NextGaussian()),
+                  static_cast<float>(rng.NextGaussian()),
+                  static_cast<float>(rng.NextGaussian())};
+    ps.Append(p);
+  }
+  auto aspect = [&](const KdTreeIndex& tree) {
+    double total = 0.0;
+    for (uint32_t l = 0; l < tree.num_leaves(); ++l) {
+      const Box& b = tree.leaf(l).bounds;
+      double longest = 0, shortest = 1e300;
+      for (size_t j = 0; j < 3; ++j) {
+        double ext = b.hi(j) - b.lo(j);
+        longest = std::max(longest, ext);
+        shortest = std::min(shortest, ext);
+      }
+      total += longest / std::max(shortest, 1e-9);
+    }
+    return total / tree.num_leaves();
+  };
+  KdTreeConfig round_robin;
+  KdTreeConfig max_spread;
+  max_spread.max_spread_split = true;
+  auto t1 = KdTreeIndex::Build(&ps, round_robin);
+  auto t2 = KdTreeIndex::Build(&ps, max_spread);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_LT(aspect(*t2), aspect(*t1));
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/layered_grid.h"
+
+namespace mds {
+namespace {
+
+PointSet ClusteredPoints(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  PointSet ps(d, 0);
+  ps.Reserve(n);
+  std::vector<double> p(d);
+  for (size_t i = 0; i < n; ++i) {
+    double mode = rng.NextDouble();
+    for (size_t j = 0; j < d; ++j) {
+      if (mode < 0.6) {
+        p[j] = 0.5 + 0.05 * rng.NextGaussian();
+      } else {
+        p[j] = rng.NextDouble();
+      }
+    }
+    ps.Append(p.data());
+  }
+  return ps;
+}
+
+TEST(LayeredGridTest, BuildInvariants) {
+  const size_t n = 50000;
+  PointSet ps = ClusteredPoints(n, 3, 1);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+
+  // Layer sizes follow 1024 * 8^(l-1) until the remainder.
+  uint64_t expected = 1024;
+  uint64_t total = 0;
+  for (uint32_t l = 0; l < index->num_layers(); ++l) {
+    const auto& layer = index->layer(l);
+    uint64_t size = layer.row_end - layer.row_begin;
+    if (l + 1 < index->num_layers()) {
+      EXPECT_EQ(size, expected) << "layer " << l;
+    } else {
+      EXPECT_EQ(size, n - total);
+    }
+    total += size;
+    expected *= 8;
+    EXPECT_EQ(layer.resolution, uint32_t{1} << (l + 1));
+  }
+  EXPECT_EQ(total, n);
+
+  // RandomID is a permutation; Layer/ContainedBy consistent with CellOf.
+  std::set<int64_t> rids;
+  for (uint64_t i = 0; i < n; ++i) {
+    rids.insert(index->random_id(i));
+    uint32_t layer = static_cast<uint32_t>(index->layer_of(i)) - 1;
+    EXPECT_EQ(index->contained_by(i), index->CellOf(ps.point(i), layer));
+  }
+  EXPECT_EQ(rids.size(), n);
+
+  // Clustered order sorted by (layer, cell, random id).
+  const auto& order = index->clustered_order();
+  for (uint64_t r = 1; r < n; ++r) {
+    uint64_t a = order[r - 1], b = order[r];
+    auto key = [&](uint64_t id) {
+      return std::make_tuple(index->layer_of(id), index->contained_by(id),
+                             index->random_id(id));
+    };
+    EXPECT_LT(key(a), key(b));
+  }
+
+  // Cell directories cover their layers exactly.
+  for (uint32_t l = 0; l < index->num_layers(); ++l) {
+    const auto& layer = index->layer(l);
+    uint64_t covered = 0;
+    int64_t prev_cell = -1;
+    for (const auto& cr : layer.cells) {
+      EXPECT_GT(cr.cell, prev_cell);  // sorted, unique
+      prev_cell = cr.cell;
+      covered += cr.row_end - cr.row_begin;
+    }
+    EXPECT_EQ(covered, layer.row_end - layer.row_begin);
+  }
+}
+
+TEST(LayeredGridTest, FullBoxReturnsEverythingWhenAskedForAll) {
+  const size_t n = 20000;
+  PointSet ps = ClusteredPoints(n, 3, 3);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  Box everything = index->bounding_box();
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(index->SampleQuery(everything, n, &out).ok());
+  EXPECT_EQ(out.size(), n);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  EXPECT_EQ(out.size(), n);  // no duplicates
+}
+
+TEST(LayeredGridTest, ReturnsAtLeastNAndAllInBox) {
+  const size_t n = 100000;
+  PointSet ps = ClusteredPoints(n, 3, 5);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<double> lo(3), hi(3);
+    for (int j = 0; j < 3; ++j) {
+      lo[j] = rng.NextUniform(0.0, 0.7);
+      hi[j] = lo[j] + rng.NextUniform(0.05, 0.3);
+    }
+    Box q(lo, hi);
+    const uint64_t want = 500;
+    std::vector<uint64_t> out;
+    GridQueryStats stats;
+    ASSERT_TRUE(index->SampleQuery(q, want, &out, &stats).ok());
+    // Everything returned is in the box.
+    for (uint64_t id : out) EXPECT_TRUE(q.Contains(ps.point(id)));
+    // Count the box population; if >= want, the query must deliver.
+    uint64_t population = 0;
+    for (uint64_t i = 0; i < ps.size(); ++i) {
+      if (q.Contains(ps.point(i))) ++population;
+    }
+    if (population >= want) {
+      EXPECT_GE(out.size(), want);
+    } else {
+      EXPECT_EQ(out.size(), population);
+    }
+    EXPECT_EQ(stats.points_returned, out.size());
+  }
+}
+
+TEST(LayeredGridTest, SampleFollowsUnderlyingDistribution) {
+  // Two clusters with 3:1 mass ratio inside the query box: a fair sampler
+  // must return them in roughly that ratio even when asked for a small n.
+  Rng rng(11);
+  PointSet ps(3, 0);
+  const size_t n = 80000;
+  for (size_t i = 0; i < n; ++i) {
+    double cx = (i % 4 != 0) ? 0.25 : 0.75;  // 3:1
+    double p[3];
+    for (int j = 0; j < 3; ++j) {
+      p[j] = cx + 0.03 * rng.NextGaussian();
+    }
+    ps.Append(p);
+  }
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  Box q({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(index->SampleQuery(q, 2000, &out).ok());
+  ASSERT_GE(out.size(), 2000u);
+  uint64_t left = 0;
+  for (uint64_t id : out) {
+    if (ps.coord(id, 0) < 0.5) ++left;
+  }
+  double fraction = static_cast<double>(left) / out.size();
+  EXPECT_NEAR(fraction, 0.75, 0.05);
+}
+
+TEST(LayeredGridTest, SmallBoxesStopAtDeepLayers) {
+  const size_t n = 200000;
+  PointSet ps = ClusteredPoints(n, 3, 13);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  // A large box satisfied by layer 1; a tiny box requiring deep layers.
+  std::vector<uint64_t> out;
+  GridQueryStats big_stats;
+  ASSERT_TRUE(index
+                  ->SampleQuery(index->bounding_box(), 100, &out, &big_stats)
+                  .ok());
+  EXPECT_EQ(big_stats.layers_visited, 1u);
+  // Scanning only layer 1 touches at most 1024 points.
+  EXPECT_LE(big_stats.points_scanned, 1024u);
+
+  out.clear();
+  GridQueryStats small_stats;
+  Box tiny({0.49, 0.49, 0.49}, {0.51, 0.51, 0.51});
+  ASSERT_TRUE(index->SampleQuery(tiny, 100, &out, &small_stats).ok());
+  EXPECT_GT(small_stats.layers_visited, 1u);
+  // The box straddles the densest cell corner — the uniform grid's worst
+  // case (the paper notes "the grid is not adaptive"). Even so, deep
+  // layers are never touched once n is reached, so the scan stays well
+  // under the table size.
+  EXPECT_LT(small_stats.layers_visited, index->num_layers());
+  EXPECT_LT(small_stats.points_scanned, n / 3);
+}
+
+TEST(LayeredGridTest, DimensionMismatchRejected) {
+  PointSet ps = ClusteredPoints(5000, 3, 17);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(index->SampleQuery(Box({0, 0}, {1, 1}), 10, &out).ok());
+}
+
+TEST(LayeredGridTest, TwoDimensionalData) {
+  PointSet ps = ClusteredPoints(30000, 2, 19);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  // Layer multiplier is 2^d = 4 in 2-D.
+  const auto& l0 = index->layer(0);
+  const auto& l1 = index->layer(1);
+  EXPECT_EQ(l0.row_end - l0.row_begin, 1024u);
+  EXPECT_EQ(l1.row_end - l1.row_begin, 4096u);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(
+      index->SampleQuery(Box({0.2, 0.2}, {0.8, 0.8}), 300, &out).ok());
+  EXPECT_GE(out.size(), 300u);
+}
+
+TEST(LayeredGridTest, DegenerateAxisHandled) {
+  // All points share one coordinate: the bounding box would be flat.
+  Rng rng(23);
+  PointSet ps(3, 0);
+  for (int i = 0; i < 5000; ++i) {
+    float p[3] = {static_cast<float>(rng.NextDouble()),
+                  static_cast<float>(rng.NextDouble()), 2.5f};
+    ps.Append(p);
+  }
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  std::vector<uint64_t> out;
+  Box q({0.0, 0.0, 2.0}, {1.0, 1.0, 3.0});
+  ASSERT_TRUE(index->SampleQuery(q, 100, &out).ok());
+  EXPECT_GE(out.size(), 100u);
+}
+
+TEST(LayeredGridStreamTest, StreamMatchesBatchQuery) {
+  PointSet ps = ClusteredPoints(50000, 3, 29);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  Box q({0.3, 0.3, 0.3}, {0.6, 0.6, 0.6});
+  std::vector<uint64_t> batch;
+  ASSERT_TRUE(index->SampleQuery(q, 800, &batch).ok());
+  std::vector<uint64_t> streamed;
+  std::vector<uint32_t> layers;
+  ASSERT_TRUE(index
+                  ->SampleQueryStream(q, 800,
+                                      [&](uint64_t id, uint32_t layer) {
+                                        streamed.push_back(id);
+                                        layers.push_back(layer);
+                                      })
+                  .ok());
+  EXPECT_EQ(streamed, batch);
+  // Points arrive layer by layer, coarse to fine (§3.1 streaming).
+  for (size_t i = 1; i < layers.size(); ++i) {
+    EXPECT_LE(layers[i - 1], layers[i]);
+  }
+}
+
+TEST(LayeredGridStreamTest, EarlyAbortStopsStream) {
+  PointSet ps = ClusteredPoints(20000, 3, 31);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  uint64_t received = 0;
+  ASSERT_TRUE(index
+                  ->SampleQueryStream(index->bounding_box(), 100000,
+                                      [&](uint64_t, uint32_t) -> bool {
+                                        return ++received < 50;
+                                      })
+                  .ok());
+  EXPECT_EQ(received, 50u);
+}
+
+TEST(LayeredGridStreamTest, DimensionMismatchRejected) {
+  PointSet ps = ClusteredPoints(5000, 3, 33);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index
+                   ->SampleQueryStream(Box({0, 0}, {1, 1}), 10,
+                                       [](uint64_t, uint32_t) {})
+                   .ok());
+}
+
+TEST(LayeredGridTest, EmptyPointSetRejected) {
+  PointSet empty(3, 0);
+  EXPECT_FALSE(LayeredGridIndex::Build(&empty).ok());
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/least_squares.h"
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+#include "linalg/whitening.h"
+
+namespace mds {
+namespace {
+
+TEST(MatrixTest, MultiplyIdentity) {
+  Matrix a(3, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 2) = 3;
+  a(2, 0) = -1;
+  Matrix product = a.Multiply(Matrix::Identity(3));
+  EXPECT_EQ(product, a);
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 3; ++j) a(i, j) = av[i * 3 + j];
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 2; ++j) b(i, j) = bv[i * 2 + j];
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(5);
+  Matrix a(4, 7);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 7; ++j) a(i, j) = rng.NextGaussian();
+  EXPECT_EQ(a.Transposed().Transposed(), a);
+}
+
+TEST(MatrixTest, Apply) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 0;
+  a(1, 1) = 3;
+  std::vector<double> v = {1.0, 2.0};
+  auto out = a.Apply(v);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [8, 7] -> x = [1.5, 4/3]... solve directly.
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  auto x = SolveCholesky(a, {8, 7});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(4 * (*x)[0] + 2 * (*x)[1], 8.0, 1e-12);
+  EXPECT_NEAR(2 * (*x)[0] + 3 * (*x)[1], 7.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // indefinite
+  auto x = SolveCholesky(a, {1, 1});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, RejectsDimensionMismatch) {
+  auto x = SolveCholesky(Matrix(2, 3), {1, 1});
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 3 + 2 x0 - x1, no noise.
+  Rng rng(7);
+  const size_t n = 50;
+  Matrix pts(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts(i, 0) = rng.NextGaussian();
+    pts(i, 1) = rng.NextGaussian();
+    y[i] = 3.0 + 2.0 * pts(i, 0) - pts(i, 1);
+  }
+  Matrix design = PolynomialDesign(pts, 1);
+  auto beta = FitLeastSquares(design, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 3.0, 1e-6);
+  EXPECT_NEAR((*beta)[1], 2.0, 1e-6);
+  EXPECT_NEAR((*beta)[2], -1.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, RecoversQuadraticModel) {
+  Rng rng(11);
+  const size_t n = 200;
+  Matrix pts(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts(i, 0) = rng.NextGaussian();
+    pts(i, 1) = rng.NextGaussian();
+    double x0 = pts(i, 0), x1 = pts(i, 1);
+    y[i] = 1.0 - x0 + 0.5 * x1 + 0.25 * x0 * x0 - 0.75 * x0 * x1 + 2 * x1 * x1;
+  }
+  Matrix design = PolynomialDesign(pts, 2);
+  auto beta = FitLeastSquares(design, y);
+  ASSERT_TRUE(beta.ok());
+  // Evaluate at a fresh point and compare against the true model.
+  double p[2] = {0.3, -0.7};
+  double truth = 1.0 - p[0] + 0.5 * p[1] + 0.25 * p[0] * p[0] -
+                 0.75 * p[0] * p[1] + 2 * p[1] * p[1];
+  EXPECT_NEAR(EvaluatePolynomial(*beta, p, 2, 2), truth, 1e-6);
+}
+
+TEST(LeastSquaresTest, TermCounts) {
+  EXPECT_EQ(PolynomialTermCount(5, 0), 1u);
+  EXPECT_EQ(PolynomialTermCount(5, 1), 6u);
+  EXPECT_EQ(PolynomialTermCount(5, 2), 21u);
+}
+
+TEST(LeastSquaresTest, RejectsUnderdetermined) {
+  Matrix design(2, 5);
+  auto beta = FitLeastSquares(design, {1, 2});
+  EXPECT_FALSE(beta.ok());
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1;
+  a(1, 1) = 5;
+  a(2, 2) = 3;
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 5, 1e-12);
+  EXPECT_NEAR(eig->values[1], 3, 1e-12);
+  EXPECT_NEAR(eig->values[2], 1, 1e-12);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-12);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EigenPropertyTest, EigenEquationAndOrthonormality) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = rng.NextGaussian();
+      a(j, i) = a(i, j);
+    }
+  }
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  // A v_j = lambda_j v_j.
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = eig->vectors(i, j);
+    std::vector<double> av = a.Apply(v);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], eig->values[j] * v[i], 1e-8) << "n=" << n;
+    }
+  }
+  // V^T V = I.
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t k = 0; k < n; ++k) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        dot += eig->vectors(i, j) * eig->vectors(i, k);
+      }
+      EXPECT_NEAR(dot, j == k ? 1.0 : 0.0, 1e-10);
+    }
+  }
+  // Sorted descending.
+  for (size_t j = 1; j < n; ++j) {
+    EXPECT_GE(eig->values[j - 1], eig->values[j]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(2, 3, 5, 8, 16, 25));
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data stretched along (1, 1)/sqrt(2).
+  Rng rng(21);
+  const size_t n = 2000;
+  Matrix data(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    double t = 5.0 * rng.NextGaussian();
+    double s = 0.3 * rng.NextGaussian();
+    data(i, 0) = t + s;
+    data(i, 1) = t - s;
+  }
+  auto pca = Pca::Fit(data);
+  ASSERT_TRUE(pca.ok());
+  double c0 = pca->components()(0, 0);
+  double c1 = pca->components()(0, 1);
+  EXPECT_NEAR(std::abs(c0), std::sqrt(0.5), 0.02);
+  EXPECT_NEAR(std::abs(c1), std::sqrt(0.5), 0.02);
+  EXPECT_GT(c0 * c1, 0.0);  // same sign: the (1,1) direction
+  EXPECT_GT(pca->ExplainedVarianceRatio(1), 0.98);
+}
+
+TEST(PcaTest, VarianceDescending) {
+  Rng rng(23);
+  Matrix data(300, 6);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      data(i, j) = rng.NextGaussian() * (j + 1);
+    }
+  }
+  auto pca = Pca::Fit(data);
+  ASSERT_TRUE(pca.ok());
+  const auto& var = pca->explained_variance();
+  for (size_t j = 1; j < var.size(); ++j) EXPECT_GE(var[j - 1], var[j]);
+  EXPECT_NEAR(pca->ExplainedVarianceRatio(var.size()), 1.0, 1e-9);
+}
+
+TEST(PcaTest, DualPathMatchesPrimal) {
+  // Wide data (d > n) exercises the Gram-matrix path; a thin copy of the
+  // same data exercises the primal path. Projections must agree up to
+  // component sign.
+  Rng rng(27);
+  const size_t n = 20, d = 50;
+  Matrix wide(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.NextGaussian(), b = rng.NextGaussian();
+    for (size_t j = 0; j < d; ++j) {
+      wide(i, j) = a * std::sin(0.1 * j) + b * std::cos(0.07 * j) +
+                   0.01 * rng.NextGaussian();
+    }
+  }
+  auto pca = Pca::Fit(wide, 3);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ(pca->num_components(), 3u);
+  // Components are unit length in input space.
+  for (size_t c = 0; c < 3; ++c) {
+    double norm = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      norm += pca->components()(c, j) * pca->components()(c, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+  }
+  // Two dominant latent directions: 2 components capture almost all.
+  EXPECT_GT(pca->ExplainedVarianceRatio(2), 0.99);
+}
+
+TEST(PcaTest, ReconstructionErrorSmallForLowRankData) {
+  Rng rng(31);
+  const size_t n = 100, d = 8;
+  Matrix data(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.NextGaussian(), b = rng.NextGaussian();
+    for (size_t j = 0; j < d; ++j) {
+      data(i, j) = 2.0 * a * j - b * (j % 3) + 7.0;
+    }
+  }
+  auto pca = Pca::Fit(data, 2);
+  ASSERT_TRUE(pca.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    double proj[2];
+    pca->TransformPoint(data.RowPtr(i), 2, proj);
+    std::vector<double> rec = pca->InverseTransformPoint(proj, 2);
+    for (size_t j = 0; j < d; ++j) {
+      EXPECT_NEAR(rec[j], data(i, j), 1e-6);
+    }
+  }
+}
+
+TEST(PcaTest, RejectsTooFewRows) {
+  EXPECT_FALSE(Pca::Fit(Matrix(1, 5)).ok());
+}
+
+TEST(WhiteningTest, ProducesIdentityCovariance) {
+  Rng rng(37);
+  const size_t n = 5000, d = 4;
+  Matrix data(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.NextGaussian(), b = rng.NextGaussian(),
+           c = rng.NextGaussian(), e = rng.NextGaussian();
+    data(i, 0) = 3.0 * a + 1.0;
+    data(i, 1) = a + 0.5 * b - 2.0;
+    data(i, 2) = 0.2 * c + b;
+    data(i, 3) = e + a + b;
+  }
+  auto w = Whitening::Fit(data);
+  ASSERT_TRUE(w.ok());
+  Matrix white = w->Transform(data);
+  // Covariance of the whitened data ~ identity.
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) mean[j] += white(i, j);
+  }
+  for (double& m : mean) m /= n;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      double cov = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        cov += (white(i, a) - mean[a]) * (white(i, b) - mean[b]);
+      }
+      cov /= n - 1;
+      EXPECT_NEAR(cov, a == b ? 1.0 : 0.0, 0.05) << a << "," << b;
+    }
+  }
+}
+
+TEST(WhiteningTest, InverseRoundTrip) {
+  Rng rng(41);
+  Matrix data(200, 3);
+  for (size_t i = 0; i < 200; ++i) {
+    data(i, 0) = rng.NextGaussian() * 2;
+    data(i, 1) = data(i, 0) + rng.NextGaussian();
+    data(i, 2) = rng.NextUniform(-1, 5);
+  }
+  auto w = Whitening::Fit(data);
+  ASSERT_TRUE(w.ok());
+  double in[3] = {1.5, -0.5, 2.0}, mid[3], out[3];
+  w->TransformPoint(in, mid);
+  w->InverseTransformPoint(mid, out);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(out[j], in[j], 1e-6);
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/outlier.h"
+#include "common/rng.h"
+#include "sdss/catalog.h"
+
+namespace mds {
+namespace {
+
+/// Dense blob + a handful of far-away planted outliers.
+struct PlantedData {
+  PointSet points{3, 0};
+  std::vector<char> is_outlier;
+};
+
+PlantedData MakePlanted(size_t n_inliers, size_t n_outliers, uint64_t seed) {
+  Rng rng(seed);
+  PlantedData data;
+  for (size_t i = 0; i < n_inliers; ++i) {
+    float p[3];
+    for (int j = 0; j < 3; ++j) {
+      p[j] = static_cast<float>(0.1 * rng.NextGaussian());
+    }
+    data.points.Append(p);
+    data.is_outlier.push_back(0);
+  }
+  for (size_t i = 0; i < n_outliers; ++i) {
+    float p[3];
+    for (int j = 0; j < 3; ++j) {
+      p[j] = static_cast<float>(rng.NextUniform(2.0, 5.0) *
+                                (rng.NextDouble() < 0.5 ? -1.0 : 1.0));
+    }
+    data.points.Append(p);
+    data.is_outlier.push_back(1);
+  }
+  return data;
+}
+
+TEST(KnnOutlierTest, PlantedOutliersScoreHighest) {
+  PlantedData data = MakePlanted(5000, 25, 3);
+  auto detector = KnnOutlierDetector::Build(&data.points, 8);
+  ASSERT_TRUE(detector.ok());
+  std::vector<double> scores = detector->ScoreAll();
+  double precision =
+      OutlierPrecisionAtTop(scores, data.is_outlier, 25.0 / 5025.0);
+  EXPECT_GT(precision, 0.9);
+}
+
+TEST(KnnOutlierTest, QueryPointScore) {
+  PlantedData data = MakePlanted(3000, 10, 5);
+  auto detector = KnnOutlierDetector::Build(&data.points, 8);
+  ASSERT_TRUE(detector.ok());
+  double core[3] = {0.0, 0.0, 0.0};
+  double far[3] = {8.0, 8.0, 8.0};
+  EXPECT_GT(detector->Score(far), 10.0 * detector->Score(core));
+}
+
+TEST(KnnOutlierTest, BuildValidation) {
+  PointSet tiny(2, 3);
+  EXPECT_FALSE(KnnOutlierDetector::Build(&tiny, 5).ok());
+  EXPECT_FALSE(KnnOutlierDetector::Build(&tiny, 0).ok());
+}
+
+TEST(VoronoiOutlierTest, PlantedOutliersScoreHighest) {
+  PlantedData data = MakePlanted(8000, 40, 7);
+  VoronoiIndexConfig config;
+  config.num_seeds = 256;
+  auto index = VoronoiIndex::Build(&data.points, config);
+  ASSERT_TRUE(index.ok());
+  Rng rng(9);
+  auto detector = VoronoiOutlierDetector::Build(&*index, 200000, rng);
+  ASSERT_TRUE(detector.ok());
+  std::vector<double> scores = detector->ScoreAll();
+  // Cell granularity makes the top of the ranking coarser than the k-NN
+  // detector (a sparse fringe cell promotes all its members at once), so
+  // assert recall instead: nearly all planted outliers sit inside the top
+  // 5% of scores.
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  double threshold = sorted[sorted.size() * 95 / 100];
+  size_t recalled = 0, planted = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!data.is_outlier[i]) continue;
+    ++planted;
+    if (scores[i] >= threshold) ++recalled;
+  }
+  EXPECT_GT(static_cast<double>(recalled) / planted, 0.85);
+  // And the ranking is still far better than chance at the contamination
+  // level (chance would be ~0.005).
+  double precision =
+      OutlierPrecisionAtTop(scores, data.is_outlier, 40.0 / 8040.0);
+  EXPECT_GT(precision, 0.2);
+}
+
+TEST(VoronoiOutlierTest, DenseCellsScoreLow) {
+  PlantedData data = MakePlanted(8000, 40, 11);
+  VoronoiIndexConfig config;
+  config.num_seeds = 256;
+  auto index = VoronoiIndex::Build(&data.points, config);
+  ASSERT_TRUE(index.ok());
+  Rng rng(13);
+  auto detector = VoronoiOutlierDetector::Build(&*index, 200000, rng);
+  ASSERT_TRUE(detector.ok());
+  // The cell containing the blob center scores far below the cell of a
+  // planted outlier.
+  double center[3] = {0, 0, 0};
+  uint32_t core_cell = index->NearestSeed(center);
+  uint64_t some_outlier = 8000;  // first planted outlier id
+  EXPECT_LT(detector->cell_scores()[core_cell],
+            detector->Score(some_outlier));
+}
+
+TEST(VoronoiOutlierTest, BuildValidation) {
+  PlantedData data = MakePlanted(100, 2, 15);
+  VoronoiIndexConfig config;
+  config.num_seeds = 16;
+  auto index = VoronoiIndex::Build(&data.points, config);
+  ASSERT_TRUE(index.ok());
+  Rng rng(1);
+  EXPECT_FALSE(VoronoiOutlierDetector::Build(&*index, 0, rng).ok());
+}
+
+TEST(OutlierEvalTest, PrecisionAtTop) {
+  std::vector<double> scores = {0.1, 0.9, 0.2, 0.8, 0.3};
+  std::vector<char> labels = {0, 1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(OutlierPrecisionAtTop(scores, labels, 0.4), 1.0);
+  EXPECT_DOUBLE_EQ(OutlierPrecisionAtTop(scores, labels, 1.0), 0.4);
+  std::vector<char> inverted = {1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(OutlierPrecisionAtTop(scores, inverted, 0.4), 0.0);
+}
+
+TEST(OutlierEvalTest, CatalogOutliersDetected) {
+  // End-to-end on the synthetic SDSS catalog: the generator's measurement
+  // artifacts (class kOutlier) should surface among the top k-NN scores.
+  CatalogConfig config;
+  config.num_objects = 20000;
+  config.seed = 21;
+  Catalog cat = GenerateCatalog(config);
+  std::vector<char> labels;
+  size_t planted = 0;
+  for (SpectralClass c : cat.classes) {
+    bool out = c == SpectralClass::kOutlier;
+    labels.push_back(out);
+    planted += out;
+  }
+  ASSERT_GT(planted, 50u);
+  auto detector = KnnOutlierDetector::Build(&cat.colors, 8);
+  ASSERT_TRUE(detector.ok());
+  std::vector<double> scores = detector->ScoreAll();
+  double contamination = static_cast<double>(planted) / cat.size();
+  double precision = OutlierPrecisionAtTop(scores, labels, contamination);
+  // Half of the generator's outliers are single-band glitches far off the
+  // loci; the uniform-scatter half can land inside dense regions, so
+  // precision is bounded away from 1 but must far exceed chance (~1%).
+  EXPECT_GT(precision, 0.35);
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/index_io.h"
+#include "core/knn.h"
+#include "core/point_table.h"
+#include "core/query_engine.h"
+#include "storage/page_stream.h"
+#include "storage/pager.h"
+
+namespace mds {
+namespace {
+
+TEST(PageStreamTest, RoundTripSmall) {
+  MemPager pager;
+  BufferPool pool(&pager, 16);
+  PageStreamWriter w(&pool);
+  ASSERT_TRUE(w.WriteValue<uint64_t>(0xfeedface).ok());
+  ASSERT_TRUE(w.WriteValue<double>(3.25).ok());
+  std::vector<int32_t> v = {1, -2, 3};
+  ASSERT_TRUE(w.WriteVector(v).ok());
+  auto head = w.Finish();
+  ASSERT_TRUE(head.ok());
+
+  PageStreamReader r(&pool, *head);
+  EXPECT_EQ(*r.ReadValue<uint64_t>(), 0xfeedfaceULL);
+  EXPECT_EQ(*r.ReadValue<double>(), 3.25);
+  auto back = r.ReadVector<int32_t>();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, v);
+  // Reading past the end fails cleanly.
+  EXPECT_EQ(r.ReadValue<uint8_t>().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PageStreamTest, RoundTripMultiPage) {
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  Rng rng(3);
+  std::vector<uint64_t> big(100000);
+  for (auto& x : big) x = rng.NextU64();
+  PageStreamWriter w(&pool);
+  ASSERT_TRUE(w.WriteVector(big).ok());
+  auto head = w.Finish();
+  ASSERT_TRUE(head.ok());
+  // ~800 KB spans ~100 pages; the pool holds 64, so the chain is also
+  // exercised through eviction and write-back.
+  EXPECT_GT(pager.NumPages(), 50u);
+
+  PageStreamReader r(&pool, *head);
+  auto back = r.ReadVector<uint64_t>();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, big);
+}
+
+TEST(PageStreamTest, EmptyStream) {
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  PageStreamWriter w(&pool);
+  auto head = w.Finish();
+  ASSERT_TRUE(head.ok());
+  PageStreamReader r(&pool, *head);
+  EXPECT_EQ(r.ReadValue<uint8_t>().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PageStreamTest, WriteAfterFinishFails) {
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  PageStreamWriter w(&pool);
+  ASSERT_TRUE(w.WriteValue<int>(1).ok());
+  ASSERT_TRUE(w.Finish().ok());
+  EXPECT_EQ(w.WriteValue<int>(2).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PageStreamTest, CorruptVectorLengthRejected) {
+  MemPager pager;
+  BufferPool pool(&pager, 8);
+  PageStreamWriter w(&pool);
+  ASSERT_TRUE(w.WriteValue<uint64_t>(~uint64_t{0}).ok());  // absurd length
+  auto head = w.Finish();
+  ASSERT_TRUE(head.ok());
+  PageStreamReader r(&pool, *head);
+  EXPECT_EQ(r.ReadVector<uint32_t>().status().code(), StatusCode::kCorruption);
+}
+
+PointSet MakePoints(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  PointSet ps(d, 0);
+  ps.Reserve(n);
+  std::vector<double> p(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      p[j] = rng.NextDouble() < 0.5 ? 0.4 + 0.05 * rng.NextGaussian()
+                                    : rng.NextDouble();
+    }
+    ps.Append(p.data());
+  }
+  return ps;
+}
+
+TEST(IndexIoTest, KdTreeRoundTrip) {
+  PointSet ps = MakePoints(20000, 3, 5);
+  MemPager pager;
+  BufferPool pool(&pager, 4096);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  auto head = IndexIo::SaveKdTree(&pool, *tree);
+  ASSERT_TRUE(head.ok());
+  auto loaded = IndexIo::LoadKdTree(&pool, *head, &ps);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->num_leaves(), tree->num_leaves());
+  EXPECT_EQ(loaded->num_levels(), tree->num_levels());
+  EXPECT_EQ(loaded->clustered_order(), tree->clustered_order());
+  // Query equivalence.
+  Polyhedron poly = Polyhedron::BallApproximation({0.4, 0.4, 0.4}, 0.2, 12);
+  std::vector<uint64_t> a, b;
+  tree->QueryPolyhedron(poly, &a);
+  loaded->QueryPolyhedron(poly, &b);
+  EXPECT_EQ(a, b);
+  // k-NN equivalence.
+  KdKnnSearcher sa(&*tree), sb(&*loaded);
+  double q[3] = {0.41, 0.39, 0.42};
+  auto na = sa.BoundaryGrow(q, 10);
+  auto nb = sb.BoundaryGrow(q, 10);
+  for (size_t i = 0; i < na.size(); ++i) {
+    EXPECT_DOUBLE_EQ(na[i].squared_distance, nb[i].squared_distance);
+  }
+}
+
+TEST(IndexIoTest, LayeredGridRoundTrip) {
+  PointSet ps = MakePoints(30000, 3, 7);
+  MemPager pager;
+  BufferPool pool(&pager, 4096);
+  auto grid = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(grid.ok());
+  auto head = IndexIo::SaveLayeredGrid(&pool, *grid);
+  ASSERT_TRUE(head.ok());
+  auto loaded = IndexIo::LoadLayeredGrid(&pool, *head, &ps);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->num_layers(), grid->num_layers());
+  EXPECT_EQ(loaded->clustered_order(), grid->clustered_order());
+  Box q({0.3, 0.3, 0.3}, {0.5, 0.5, 0.5});
+  std::vector<uint64_t> a, b;
+  ASSERT_TRUE(grid->SampleQuery(q, 500, &a).ok());
+  ASSERT_TRUE(loaded->SampleQuery(q, 500, &b).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST(IndexIoTest, VoronoiRoundTrip) {
+  PointSet ps = MakePoints(15000, 3, 9);
+  MemPager pager;
+  BufferPool pool(&pager, 4096);
+  VoronoiIndexConfig config;
+  config.num_seeds = 128;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  auto head = IndexIo::SaveVoronoi(&pool, *index);
+  ASSERT_TRUE(head.ok());
+  auto loaded = IndexIo::LoadVoronoi(&pool, *head, &ps);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->num_seeds(), index->num_seeds());
+  EXPECT_EQ(loaded->seed_graph(), index->seed_graph());
+  EXPECT_EQ(loaded->clustered_order(), index->clustered_order());
+  for (uint64_t i = 0; i < ps.size(); i += 97) {
+    EXPECT_EQ(loaded->tag(i), index->tag(i));
+  }
+  // Walk + exact nearest-seed equivalence.
+  double q[3] = {0.5, 0.5, 0.5};
+  EXPECT_EQ(loaded->NearestSeed(q), index->NearestSeed(q));
+  Polyhedron poly = Polyhedron::BallApproximation({0.4, 0.4, 0.4}, 0.15, 10);
+  std::vector<uint64_t> a, b;
+  index->QueryPolyhedron(poly, &a);
+  loaded->QueryPolyhedron(poly, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(IndexIoTest, WrongMagicRejected) {
+  PointSet ps = MakePoints(5000, 3, 11);
+  MemPager pager;
+  BufferPool pool(&pager, 1024);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  auto head = IndexIo::SaveKdTree(&pool, *tree);
+  ASSERT_TRUE(head.ok());
+  // Loading a kd-tree chain as a grid must fail on magic.
+  EXPECT_EQ(IndexIo::LoadLayeredGrid(&pool, *head, &ps).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, MismatchedPointSetRejected) {
+  PointSet ps = MakePoints(5000, 3, 13);
+  PointSet other = MakePoints(4999, 3, 13);
+  MemPager pager;
+  BufferPool pool(&pager, 1024);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  auto head = IndexIo::SaveKdTree(&pool, *tree);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(IndexIo::LoadKdTree(&pool, *head, &other).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+/// End-to-end persistence: table + index into one FILE, close, reopen,
+/// query — the out-of-core database lifecycle.
+TEST(IndexIoTest, FilePagerReopenLifecycle) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "mds_persist_test.db").string();
+  PointSet ps = MakePoints(20000, 3, 17);
+  PageId table_first_page;
+  PageId index_head;
+  uint64_t table_pages;
+  {
+    auto pager = FilePager::Create(path);
+    ASSERT_TRUE(pager.ok());
+    BufferPool pool(pager->get(), 512);
+    auto tree = KdTreeIndex::Build(&ps);
+    ASSERT_TRUE(tree.ok());
+    auto table =
+        MaterializePointTable(&pool, ps, tree->clustered_order());
+    ASSERT_TRUE(table.ok());
+    table_pages = table->num_pages();
+    table_first_page = 0;  // tables allocate from page 0 here
+    auto head = IndexIo::SaveKdTree(&pool, *tree);
+    ASSERT_TRUE(head.ok());
+    index_head = *head;
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  // Reopen the file cold.
+  {
+    auto pager = FilePager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    BufferPool pool(pager->get(), 512);
+    auto loaded = IndexIo::LoadKdTree(&pool, index_head, &ps);
+    ASSERT_TRUE(loaded.ok());
+    // Rebind the table: the schema is known, pages 0..table_pages-1.
+    auto table = Table::Create(&pool, PointTableSchema(3));
+    ASSERT_TRUE(table.ok());
+    // Instead of poking table internals, verify via the index alone:
+    Polyhedron poly =
+        Polyhedron::BallApproximation({0.4, 0.4, 0.4}, 0.1, 12);
+    std::vector<uint64_t> got;
+    loaded->QueryPolyhedron(poly, &got);
+    std::vector<uint64_t> expect;
+    for (uint64_t i = 0; i < ps.size(); ++i) {
+      if (poly.Contains(ps.point(i))) expect.push_back(i);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect);
+    (void)table_pages;
+    (void)table_first_page;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mds

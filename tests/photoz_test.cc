@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "photoz/knn_photoz.h"
+#include "photoz/template_fitting.h"
+#include "sdss/catalog.h"
+
+namespace mds {
+namespace {
+
+/// Reference + unknown galaxy sets built from the synthetic catalog.
+struct PhotoZFixtureData {
+  PointSet ref_colors{kNumBands, 0};
+  std::vector<float> ref_z;
+  PointSet unk_colors{kNumBands, 0};
+  std::vector<float> unk_z;
+};
+
+PhotoZFixtureData MakeData(uint64_t n, uint64_t seed) {
+  CatalogConfig config;
+  config.num_objects = n;
+  config.seed = seed;
+  config.star_fraction = 0.0;  // galaxies only: the §4.1 setting
+  config.galaxy_fraction = 1.0;
+  config.quasar_fraction = 0.0;
+  Catalog cat = GenerateCatalog(config);
+  ReferenceSplit split = SplitReferenceSet(cat, 0.1, seed + 1);
+  PhotoZFixtureData data;
+  for (uint64_t id : split.reference) {
+    data.ref_colors.Append(cat.colors.point(id));
+    data.ref_z.push_back(cat.redshifts[id]);
+  }
+  for (uint64_t id : split.unknown) {
+    data.unk_colors.Append(cat.colors.point(id));
+    data.unk_z.push_back(cat.redshifts[id]);
+  }
+  return data;
+}
+
+TEST(KnnPhotoZTest, BuildValidation) {
+  PhotoZFixtureData data = MakeData(2000, 3);
+  KnnPhotoZConfig config;
+  config.k = data.ref_colors.size() + 1;  // too large
+  EXPECT_FALSE(
+      KnnPhotoZEstimator::Build(&data.ref_colors, &data.ref_z, config).ok());
+  config.k = 8;
+  config.degree = 3;  // unsupported
+  EXPECT_FALSE(
+      KnnPhotoZEstimator::Build(&data.ref_colors, &data.ref_z, config).ok());
+}
+
+TEST(KnnPhotoZTest, EstimatesAreAccurate) {
+  PhotoZFixtureData data = MakeData(20000, 5);
+  KnnPhotoZConfig config;
+  config.k = 32;
+  config.degree = 1;
+  auto est = KnnPhotoZEstimator::Build(&data.ref_colors, &data.ref_z, config);
+  ASSERT_TRUE(est.ok());
+  PhotoZScorer scorer;
+  for (size_t i = 0; i < data.unk_colors.size(); i += 10) {
+    PhotoZEstimate e = est->Estimate(data.unk_colors.point(i));
+    scorer.Add(e.redshift, data.unk_z[i]);
+  }
+  PhotoZEvaluation eval = scorer.Finish();
+  EXPECT_GT(eval.count, 100u);
+  // The catalog's intrinsic scatter limits accuracy; the estimator must
+  // stay well within the redshift range (0..0.6).
+  EXPECT_LT(eval.rms_error, 0.1);
+  EXPECT_LT(std::abs(eval.bias), 0.02);
+}
+
+TEST(KnnPhotoZTest, PolynomialFitBeatsPlainAverage) {
+  PhotoZFixtureData data = MakeData(20000, 7);
+  KnnPhotoZConfig fit_config;
+  fit_config.k = 48;
+  fit_config.degree = 1;
+  KnnPhotoZConfig avg_config;
+  avg_config.k = 48;
+  avg_config.degree = 0;
+  auto fit = KnnPhotoZEstimator::Build(&data.ref_colors, &data.ref_z,
+                                       fit_config);
+  auto avg = KnnPhotoZEstimator::Build(&data.ref_colors, &data.ref_z,
+                                       avg_config);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_TRUE(avg.ok());
+  PhotoZScorer fit_scorer, avg_scorer;
+  for (size_t i = 0; i < data.unk_colors.size(); i += 20) {
+    fit_scorer.Add(fit->Estimate(data.unk_colors.point(i)).redshift,
+                   data.unk_z[i]);
+    avg_scorer.Add(avg->Estimate(data.unk_colors.point(i)).redshift,
+                   data.unk_z[i]);
+  }
+  // "instead of using the average, a local low order polynomial fit over
+  // the neighbors gives a better estimate" (§4.1).
+  EXPECT_LT(fit_scorer.Finish().rms_error, avg_scorer.Finish().rms_error);
+}
+
+TEST(TemplateFittingTest, OracleCalibrationIsAccurate) {
+  // With zero calibration offsets the template grid is the true locus, so
+  // the chi^2 fit should be nearly unbiased.
+  PhotoZFixtureData data = MakeData(5000, 9);
+  TemplateFittingConfig config;
+  config.calibration_offset = {0, 0, 0, 0, 0};
+  config.miscalibration = 0.0;
+  auto est = TemplateFittingEstimator::Build(config);
+  ASSERT_TRUE(est.ok());
+  PhotoZScorer scorer;
+  for (size_t i = 0; i < data.unk_colors.size(); i += 5) {
+    scorer.Add(est->Estimate(data.unk_colors.point(i)), data.unk_z[i]);
+  }
+  PhotoZEvaluation eval = scorer.Finish();
+  EXPECT_LT(eval.rms_error, 0.08);
+  EXPECT_LT(std::abs(eval.bias), 0.02);
+}
+
+TEST(TemplateFittingTest, CalibrationErrorDegradesAccuracy) {
+  PhotoZFixtureData data = MakeData(5000, 11);
+  TemplateFittingConfig clean;
+  clean.calibration_offset = {0, 0, 0, 0, 0};
+  clean.miscalibration = 0.0;
+  TemplateFittingConfig biased;  // default offsets
+  auto clean_est = TemplateFittingEstimator::Build(clean);
+  auto biased_est = TemplateFittingEstimator::Build(biased);
+  ASSERT_TRUE(clean_est.ok());
+  ASSERT_TRUE(biased_est.ok());
+  PhotoZScorer clean_scorer, biased_scorer;
+  for (size_t i = 0; i < data.unk_colors.size(); i += 5) {
+    clean_scorer.Add(clean_est->Estimate(data.unk_colors.point(i)),
+                     data.unk_z[i]);
+    biased_scorer.Add(biased_est->Estimate(data.unk_colors.point(i)),
+                      data.unk_z[i]);
+  }
+  EXPECT_GT(biased_scorer.Finish().rms_error,
+            clean_scorer.Finish().rms_error);
+}
+
+TEST(PhotoZComparisonTest, KnnHalvesTemplateFittingError) {
+  // The headline §4.1 result (Figures 7 vs 8): the k-NN estimator's error
+  // is less than half of the (mis-calibrated) template fitting error.
+  PhotoZFixtureData data = MakeData(30000, 13);
+  auto knn = KnnPhotoZEstimator::Build(&data.ref_colors, &data.ref_z);
+  auto tmpl = TemplateFittingEstimator::Build();
+  ASSERT_TRUE(knn.ok());
+  ASSERT_TRUE(tmpl.ok());
+  PhotoZScorer knn_scorer, tmpl_scorer;
+  for (size_t i = 0; i < data.unk_colors.size(); i += 25) {
+    knn_scorer.Add(knn->Estimate(data.unk_colors.point(i)).redshift,
+                   data.unk_z[i]);
+    tmpl_scorer.Add(tmpl->Estimate(data.unk_colors.point(i)), data.unk_z[i]);
+  }
+  double knn_rms = knn_scorer.Finish().rms_error;
+  double tmpl_rms = tmpl_scorer.Finish().rms_error;
+  EXPECT_LT(knn_rms, 0.5 * tmpl_rms)
+      << "knn=" << knn_rms << " template=" << tmpl_rms;
+}
+
+TEST(PhotoZScorerTest, Statistics) {
+  PhotoZScorer scorer;
+  scorer.Add(1.0, 0.5);   // err +0.5
+  scorer.Add(0.0, 0.5);   // err -0.5
+  PhotoZEvaluation eval = scorer.Finish();
+  EXPECT_EQ(eval.count, 2u);
+  EXPECT_DOUBLE_EQ(eval.rms_error, 0.5);
+  EXPECT_DOUBLE_EQ(eval.mean_abs_error, 0.5);
+  EXPECT_DOUBLE_EQ(eval.bias, 0.0);
+}
+
+TEST(PhotoZScorerTest, EmptyIsZero) {
+  PhotoZScorer scorer;
+  PhotoZEvaluation eval = scorer.Finish();
+  EXPECT_EQ(eval.count, 0u);
+  EXPECT_EQ(eval.rms_error, 0.0);
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <map>
+
+#include "geom/box.h"
+#include "sdss/catalog.h"
+#include "sdss/magnitude_table.h"
+#include "sdss/sky.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace mds {
+namespace {
+
+TEST(CatalogTest, Deterministic) {
+  CatalogConfig config;
+  config.num_objects = 5000;
+  config.seed = 42;
+  Catalog a = GenerateCatalog(config);
+  Catalog b = GenerateCatalog(config);
+  EXPECT_EQ(a.colors.raw(), b.colors.raw());
+  EXPECT_EQ(a.classes, b.classes);
+  EXPECT_EQ(a.redshifts, b.redshifts);
+}
+
+TEST(CatalogTest, ClassFractionsRoughlyHonored) {
+  CatalogConfig config;
+  config.num_objects = 100000;
+  Catalog cat = GenerateCatalog(config);
+  size_t counts[4] = {0, 0, 0, 0};
+  for (SpectralClass c : cat.classes) ++counts[static_cast<size_t>(c)];
+  double n = static_cast<double>(cat.size());
+  EXPECT_NEAR(counts[0] / n, config.star_fraction, 0.01);
+  EXPECT_NEAR(counts[1] / n, config.galaxy_fraction, 0.01);
+  EXPECT_NEAR(counts[2] / n, config.quasar_fraction, 0.005);
+  EXPECT_GT(counts[3], 0u);  // outliers exist (§2.1)
+}
+
+TEST(CatalogTest, RedshiftsOnlyForExtragalactic) {
+  CatalogConfig config;
+  config.num_objects = 20000;
+  Catalog cat = GenerateCatalog(config);
+  for (size_t i = 0; i < cat.size(); ++i) {
+    switch (cat.classes[i]) {
+      case SpectralClass::kStar:
+      case SpectralClass::kOutlier:
+        EXPECT_EQ(cat.redshifts[i], 0.0f);
+        break;
+      case SpectralClass::kGalaxy:
+        EXPECT_GT(cat.redshifts[i], 0.0f);
+        EXPECT_LE(cat.redshifts[i], config.max_galaxy_redshift);
+        break;
+      case SpectralClass::kQuasar:
+        EXPECT_LE(cat.redshifts[i], config.max_quasar_redshift);
+        break;
+    }
+  }
+}
+
+TEST(CatalogTest, DistributionIsNonUniform) {
+  // Figure 1's key property: strong density contrast. Compare occupancy of
+  // a coarse grid: the busiest cell must hold orders of magnitude more
+  // points than the median non-empty cell count would under uniformity.
+  CatalogConfig config;
+  config.num_objects = 50000;
+  Catalog cat = GenerateCatalog(config);
+  Box bounds = Box::Bounding(cat.colors);
+  const int res = 8;
+  std::map<int64_t, int> cells;
+  for (size_t i = 0; i < cat.size(); ++i) {
+    const float* p = cat.colors.point(i);
+    int64_t cell = 0;
+    for (size_t j = 0; j < kNumBands; ++j) {
+      double t = (p[j] - bounds.lo(j)) / (bounds.hi(j) - bounds.lo(j));
+      int c = std::min(res - 1, static_cast<int>(t * res));
+      cell = cell * res + c;
+    }
+    ++cells[cell];
+  }
+  int max_count = 0;
+  for (const auto& [cell, count] : cells) max_count = std::max(max_count, count);
+  double uniform_expect =
+      static_cast<double>(cat.size()) / std::pow(res, kNumBands);
+  EXPECT_GT(max_count, 100 * uniform_expect);
+}
+
+TEST(CatalogTest, LociAreSmooth) {
+  // Galaxy locus: colors move continuously with redshift.
+  double a[kNumBands], b[kNumBands];
+  GalaxyLocus(0.2, 0.0, a);
+  GalaxyLocus(0.201, 0.0, b);
+  for (size_t j = 0; j < kNumBands; ++j) {
+    EXPECT_NEAR(a[j], b[j], 0.02);
+  }
+  // Different redshifts produce different colors (invertibility basis).
+  GalaxyLocus(0.4, 0.0, b);
+  double diff = 0.0;
+  for (size_t j = 0; j < kNumBands; ++j) diff += std::abs(a[j] - b[j]);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(ReferenceSplitTest, FractionAndEligibility) {
+  CatalogConfig config;
+  config.num_objects = 50000;
+  Catalog cat = GenerateCatalog(config);
+  ReferenceSplit split = SplitReferenceSet(cat, 0.01, 7);
+  EXPECT_EQ(split.reference.size() + split.unknown.size(), cat.size());
+  for (uint64_t id : split.reference) {
+    EXPECT_TRUE(cat.classes[id] == SpectralClass::kGalaxy ||
+                cat.classes[id] == SpectralClass::kQuasar);
+  }
+  // ~1% of eligible objects.
+  double eligible = 0;
+  for (SpectralClass c : cat.classes) {
+    if (c == SpectralClass::kGalaxy || c == SpectralClass::kQuasar) ++eligible;
+  }
+  EXPECT_NEAR(split.reference.size() / eligible, 0.01, 0.003);
+}
+
+TEST(MagnitudeTableTest, MaterializeAndReadBack) {
+  CatalogConfig config;
+  config.num_objects = 3000;
+  Catalog cat = GenerateCatalog(config);
+  MemPager pager;
+  BufferPool pool(&pager, 256);
+  auto table = MaterializeMagnitudeTable(&pool, cat, {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), cat.size());
+  float mags[kNumBands];
+  ASSERT_TRUE(table
+                  ->Scan([&](uint64_t row_id, RowRef ref) {
+                    EXPECT_EQ(ref.GetInt64(kColObjId),
+                              static_cast<int64_t>(row_id));
+                    ReadMagnitudes(ref, mags);
+                    for (size_t b = 0; b < kNumBands; ++b) {
+                      EXPECT_FLOAT_EQ(mags[b], cat.colors.coord(row_id, b));
+                    }
+                    EXPECT_EQ(ref.GetInt64(kColClass),
+                              static_cast<int64_t>(cat.classes[row_id]));
+                    EXPECT_FLOAT_EQ(ref.GetFloat32(kColRedshift),
+                                    cat.redshifts[row_id]);
+                  })
+                  .ok());
+}
+
+TEST(MagnitudeTableTest, MaterializeWithPermutation) {
+  CatalogConfig config;
+  config.num_objects = 1000;
+  Catalog cat = GenerateCatalog(config);
+  std::vector<uint64_t> order(cat.size());
+  for (uint64_t i = 0; i < cat.size(); ++i) order[i] = cat.size() - 1 - i;
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  auto table = MaterializeMagnitudeTable(&pool, cat, order);
+  ASSERT_TRUE(table.ok());
+  std::vector<uint8_t> buf(table->schema().row_size());
+  ASSERT_TRUE(table->ReadRow(0, buf.data()).ok());
+  RowRef ref(&table->schema(), buf.data());
+  EXPECT_EQ(ref.GetInt64(kColObjId), static_cast<int64_t>(cat.size() - 1));
+}
+
+TEST(SkyCatalogTest, DeterministicAndInFootprint) {
+  SkyCatalogConfig config;
+  config.num_galaxies = 20000;
+  SkyCatalog a = GenerateSkyCatalog(config);
+  SkyCatalog b = GenerateSkyCatalog(config);
+  EXPECT_EQ(a.redshift, b.redshift);
+  EXPECT_EQ(a.positions.raw(), b.positions.raw());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a.dec[i], config.dec_min - 5 * config.cluster_sigma_deg);
+    EXPECT_LE(a.dec[i], config.dec_max + 5 * config.cluster_sigma_deg);
+    EXPECT_GT(a.redshift[i], 0.0f);
+    EXPECT_LE(a.redshift[i],
+              config.max_redshift + 6 * config.finger_sigma_z);
+  }
+}
+
+TEST(SkyCatalogTest, CartesianConsistentWithHubbleLaw) {
+  SkyCatalogConfig config;
+  config.num_galaxies = 2000;
+  SkyCatalog cat = GenerateSkyCatalog(config);
+  for (size_t i = 0; i < cat.size(); i += 47) {
+    double p[3];
+    SkyToCartesian(cat.ra[i], cat.dec[i], cat.redshift[i], p);
+    double r = std::sqrt(p[0] * p[0] + p[1] * p[1] + p[2] * p[2]);
+    // Radial distance is linear in redshift: r = 2998 z (h^-1 Mpc).
+    EXPECT_NEAR(r, 2998.0 * cat.redshift[i], 1e-6 * r + 1e-9);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(cat.positions.coord(i, j), p[j], 1e-3);
+    }
+  }
+}
+
+TEST(SkyCatalogTest, FingersOfGodAreRadial) {
+  // Cluster members scatter much more along the line of sight (redshift)
+  // than across it (angle) — the Figure 14 signature.
+  SkyCatalogConfig config;
+  config.num_galaxies = 100000;
+  SkyCatalog cat = GenerateSkyCatalog(config);
+  // Per-cluster spreads.
+  std::map<int32_t, std::vector<size_t>> members;
+  for (size_t i = 0; i < cat.size(); ++i) {
+    if (cat.cluster_id[i] >= 0) members[cat.cluster_id[i]].push_back(i);
+  }
+  ASSERT_GT(members.size(), 50u);
+  size_t radial_dominant = 0, checked = 0;
+  for (const auto& [cid, ids] : members) {
+    if (ids.size() < 30) continue;
+    // Mean position and scatter along/across the radial direction.
+    double mean[3] = {0, 0, 0};
+    for (size_t id : ids) {
+      for (int j = 0; j < 3; ++j) mean[j] += cat.positions.coord(id, j);
+    }
+    for (double& m : mean) m /= ids.size();
+    double norm = std::sqrt(mean[0] * mean[0] + mean[1] * mean[1] +
+                            mean[2] * mean[2]);
+    double radial[3] = {mean[0] / norm, mean[1] / norm, mean[2] / norm};
+    double var_along = 0, var_across = 0;
+    for (size_t id : ids) {
+      double d[3], along = 0;
+      for (int j = 0; j < 3; ++j) {
+        d[j] = cat.positions.coord(id, j) - mean[j];
+        along += d[j] * radial[j];
+      }
+      double total = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+      var_along += along * along;
+      var_across += (total - along * along) / 2;  // per transverse axis
+    }
+    ++checked;
+    if (var_along > 2.0 * var_across) ++radial_dominant;
+  }
+  ASSERT_GT(checked, 30u);
+  EXPECT_GT(static_cast<double>(radial_dominant) / checked, 0.8);
+}
+
+TEST(SkyCatalogTest, ClusteredFractionHonored) {
+  SkyCatalogConfig config;
+  config.num_galaxies = 50000;
+  config.clustered_fraction = 0.3;
+  SkyCatalog cat = GenerateSkyCatalog(config);
+  size_t clustered = 0;
+  for (int32_t id : cat.cluster_id) clustered += id >= 0;
+  EXPECT_NEAR(static_cast<double>(clustered) / cat.size(), 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace mds

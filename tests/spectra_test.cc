@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "spectra/similarity.h"
+#include "spectra/spectrum_generator.h"
+
+namespace mds {
+namespace {
+
+SpectrumGrid SmallGrid() {
+  SpectrumGrid grid;
+  grid.num_samples = 400;  // keep PCA fits fast in tests
+  return grid;
+}
+
+TEST(SpectrumGeneratorTest, NormalizedAndNonNegative) {
+  SpectrumGenerator gen(SmallGrid());
+  for (auto cls : {SpectrumClass::kElliptical, SpectrumClass::kSpiral,
+                   SpectrumClass::kStarburst, SpectrumClass::kQuasar}) {
+    SpectrumParams p;
+    p.cls = cls;
+    p.redshift = 0.1;
+    std::vector<float> flux = gen.Generate(p);
+    ASSERT_EQ(flux.size(), 400u);
+    double mean = 0.0;
+    for (float f : flux) {
+      EXPECT_GE(f, 0.0f);
+      mean += f;
+    }
+    mean /= flux.size();
+    EXPECT_NEAR(mean, 1.0, 1e-6);
+  }
+}
+
+TEST(SpectrumGeneratorTest, RedshiftMovesFeatures) {
+  SpectrumGenerator gen(SmallGrid());
+  SpectrumParams a, b;
+  a.cls = b.cls = SpectrumClass::kStarburst;
+  a.redshift = 0.0;
+  b.redshift = 0.2;
+  auto fa = gen.Generate(a);
+  auto fb = gen.Generate(b);
+  // The Halpha emission peak shifts redward: find the strongest sample.
+  auto peak = [&](const std::vector<float>& f) {
+    return std::distance(f.begin(), std::max_element(f.begin(), f.end()));
+  };
+  EXPECT_GT(peak(fb), peak(fa));
+}
+
+TEST(SpectrumGeneratorTest, ClassesDiffer) {
+  SpectrumGenerator gen(SmallGrid());
+  SpectrumParams e, q;
+  e.cls = SpectrumClass::kElliptical;
+  q.cls = SpectrumClass::kQuasar;
+  auto fe = gen.Generate(e);
+  auto fq = gen.Generate(q);
+  double diff = 0.0;
+  for (size_t i = 0; i < fe.size(); ++i) {
+    diff += std::abs(fe[i] - fq[i]);
+  }
+  EXPECT_GT(diff / fe.size(), 0.05);
+}
+
+TEST(SpectrumGeneratorTest, NoiseIsBounded) {
+  SpectrumGenerator gen(SmallGrid());
+  Rng rng(3);
+  SpectrumParams p;
+  p.cls = SpectrumClass::kSpiral;
+  auto clean = gen.Generate(p);
+  auto noisy = gen.GenerateNoisy(p, 0.02, rng);
+  double rel = 0.0;
+  for (size_t i = 0; i < clean.size(); ++i) {
+    if (clean[i] > 0.1f) {
+      rel += std::abs(noisy[i] - clean[i]) / clean[i];
+    }
+  }
+  EXPECT_LT(rel / clean.size(), 0.05);
+}
+
+struct SpectraSet {
+  std::vector<std::vector<float>> spectra;
+  std::vector<SpectrumClass> classes;
+  std::vector<SpectrumParams> params;
+};
+
+SpectraSet MakeArchive(size_t per_class, uint64_t seed, double noise) {
+  SpectrumGenerator gen(SmallGrid());
+  Rng rng(seed);
+  SpectraSet set;
+  for (size_t c = 0; c < kNumSpectrumClasses; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      SpectrumParams p =
+          gen.RandomParams(static_cast<SpectrumClass>(c), rng);
+      set.spectra.push_back(gen.GenerateNoisy(p, noise, rng));
+      set.classes.push_back(p.cls);
+      set.params.push_back(p);
+    }
+  }
+  return set;
+}
+
+TEST(SpectralFeatureSpaceTest, FiveComponentsCaptureMostVariance) {
+  SpectraSet archive = MakeArchive(100, 5, 0.01);
+  auto space = SpectralFeatureSpace::Fit(archive.spectra, 5);
+  ASSERT_TRUE(space.ok());
+  // The §4.2 premise: "the first few principal components ... is enough to
+  // describe most of the physical characteristics".
+  EXPECT_GT(space->ExplainedVarianceRatio(), 0.80);
+}
+
+TEST(SpectralFeatureSpaceTest, ReconstructionClose) {
+  SpectraSet archive = MakeArchive(60, 7, 0.0);
+  auto space = SpectralFeatureSpace::Fit(archive.spectra, 8);
+  ASSERT_TRUE(space.ok());
+  double worst = 0.0;
+  for (size_t i = 0; i < archive.spectra.size(); i += 17) {
+    auto features = space->Project(archive.spectra[i]);
+    auto rec = space->Reconstruct(features);
+    double err = 0.0, norm = 0.0;
+    for (size_t j = 0; j < rec.size(); ++j) {
+      err += (rec[j] - archive.spectra[i][j]) * (rec[j] - archive.spectra[i][j]);
+      norm += archive.spectra[i][j] * archive.spectra[i][j];
+    }
+    worst = std::max(worst, std::sqrt(err / norm));
+  }
+  EXPECT_LT(worst, 0.25);
+}
+
+TEST(SpectralFeatureSpaceTest, RejectsRaggedInput) {
+  std::vector<std::vector<float>> bad = {{1, 2, 3}, {1, 2}};
+  EXPECT_FALSE(SpectralFeatureSpace::Fit(bad, 2).ok());
+}
+
+TEST(SimilaritySearchTest, RetrievesSameClass) {
+  SpectraSet archive = MakeArchive(150, 9, 0.02);
+  auto space = SpectralFeatureSpace::Fit(archive.spectra, 5);
+  ASSERT_TRUE(space.ok());
+  auto search = SpectralSimilaritySearch::Build(&*space, archive.spectra);
+  ASSERT_TRUE(search.ok());
+
+  SpectrumGenerator gen(SmallGrid());
+  Rng rng(11);
+  size_t correct = 0, total = 0;
+  for (size_t c = 0; c < kNumSpectrumClasses; ++c) {
+    for (int t = 0; t < 10; ++t) {
+      SpectrumParams p = gen.RandomParams(static_cast<SpectrumClass>(c), rng);
+      std::vector<float> query = gen.GenerateNoisy(p, 0.02, rng);
+      auto hits = search->FindSimilar(query, 5);
+      for (const Neighbor& h : hits) {
+        ++total;
+        if (archive.classes[h.id] == p.cls) ++correct;
+      }
+    }
+  }
+  // Figures 9-10: the most similar spectra are the same kind of object.
+  EXPECT_GT(static_cast<double>(correct) / total, 0.8);
+}
+
+TEST(SimilaritySearchTest, ExactSelfMatch) {
+  SpectraSet archive = MakeArchive(50, 13, 0.0);
+  auto space = SpectralFeatureSpace::Fit(archive.spectra, 5);
+  ASSERT_TRUE(space.ok());
+  auto search = SpectralSimilaritySearch::Build(&*space, archive.spectra);
+  ASSERT_TRUE(search.ok());
+  for (size_t i = 0; i < archive.spectra.size(); i += 13) {
+    auto hits = search->FindSimilar(archive.spectra[i], 1);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NEAR(hits[0].squared_distance, 0.0, 1e-6);
+  }
+}
+
+TEST(SimulationMatchingTest, RecoversGeneratingParameters) {
+  // §4.2 / E13: match "observed" spectra against a simulated grid and read
+  // off the parameters of the nearest simulated spectrum.
+  SpectraSet simulated = MakeArchive(400, 15, 0.0);
+  auto space = SpectralFeatureSpace::Fit(simulated.spectra, 5);
+  ASSERT_TRUE(space.ok());
+  auto search = SpectralSimilaritySearch::Build(&*space, simulated.spectra);
+  ASSERT_TRUE(search.ok());
+
+  SpectrumGenerator gen(SmallGrid());
+  Rng rng(17);
+  double z_err = 0.0, age_err = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    SpectrumParams truth = gen.RandomParams(
+        static_cast<SpectrumClass>(t % kNumSpectrumClasses), rng);
+    std::vector<float> observed = gen.GenerateNoisy(truth, 0.02, rng);
+    auto hits = search->FindSimilar(observed, 1);
+    ASSERT_EQ(hits.size(), 1u);
+    const SpectrumParams& match = simulated.params[hits[0].id];
+    EXPECT_EQ(match.cls, truth.cls) << "trial " << t;
+    z_err += std::abs(match.redshift - truth.redshift);
+    age_err += std::abs(match.age - truth.age);
+  }
+  EXPECT_LT(z_err / trials, 0.05);
+  EXPECT_LT(age_err / trials, 0.35);
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/vector_codec.h"
+
+namespace mds {
+namespace {
+
+TEST(RawVectorCodecTest, RoundTrip) {
+  std::vector<float> v = {1.5f, -2.25f, 0.0f, 3e10f, -1e-10f};
+  std::vector<uint8_t> buf;
+  RawVectorCodec::Encode(v.data(), v.size(), &buf);
+  EXPECT_EQ(buf.size(), RawVectorCodec::EncodedSize(v.size()));
+  auto decoded = RawVectorCodec::Decode(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(RawVectorCodecTest, EmptyVector) {
+  std::vector<uint8_t> buf;
+  RawVectorCodec::Encode(nullptr, 0, &buf);
+  auto decoded = RawVectorCodec::Decode(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(RawVectorCodecTest, TruncatedFails) {
+  std::vector<float> v = {1, 2, 3};
+  std::vector<uint8_t> buf;
+  RawVectorCodec::Encode(v.data(), v.size(), &buf);
+  EXPECT_EQ(RawVectorCodec::Decode(buf.data(), 2).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(RawVectorCodec::Decode(buf.data(), buf.size() - 1).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(RawVectorCodecTest, DecodeInto) {
+  std::vector<float> v = {9.0f, 8.0f};
+  std::vector<uint8_t> buf;
+  RawVectorCodec::Encode(v.data(), v.size(), &buf);
+  float out[4];
+  auto n = RawVectorCodec::DecodeInto(buf.data(), buf.size(), out, 4);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_FLOAT_EQ(out[0], 9.0f);
+  // Capacity too small.
+  auto small = RawVectorCodec::DecodeInto(buf.data(), buf.size(), out, 1);
+  EXPECT_EQ(small.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TlvVectorCodecTest, RoundTrip) {
+  Rng rng(5);
+  std::vector<float> v(64);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  std::vector<uint8_t> buf;
+  TlvVectorCodec::Encode(v.data(), v.size(), &buf);
+  EXPECT_EQ(buf.size(), TlvVectorCodec::EncodedSize(v.size()));
+  auto decoded = TlvVectorCodec::Decode(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, v);
+}
+
+TEST(TlvVectorCodecTest, CorruptTagFails) {
+  std::vector<float> v = {1, 2};
+  std::vector<uint8_t> buf;
+  TlvVectorCodec::Encode(v.data(), v.size(), &buf);
+  buf[buf.size() - 6] = 0xff;  // clobber the last element's tag
+  EXPECT_EQ(TlvVectorCodec::Decode(buf.data(), buf.size()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(TlvVectorCodecTest, CorruptNameFails) {
+  std::vector<float> v = {1};
+  std::vector<uint8_t> buf;
+  TlvVectorCodec::Encode(v.data(), v.size(), &buf);
+  buf[3] ^= 0x7;  // flip a type-name byte
+  EXPECT_EQ(TlvVectorCodec::Decode(buf.data(), buf.size()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(TlvVectorCodecTest, TruncatedFails) {
+  std::vector<float> v = {1, 2, 3};
+  std::vector<uint8_t> buf;
+  TlvVectorCodec::Encode(v.data(), v.size(), &buf);
+  for (size_t cut : {1u, 5u, 20u}) {
+    if (cut < buf.size()) {
+      EXPECT_FALSE(TlvVectorCodec::Decode(buf.data(), cut).ok());
+    }
+  }
+}
+
+TEST(VectorCodecTest, TlvIsLargerThanRaw) {
+  // The generic format pays per-element overhead — the root cause of the
+  // §3.5 CPU cost it models.
+  EXPECT_GT(TlvVectorCodec::EncodedSize(5), RawVectorCodec::EncodedSize(5));
+}
+
+}  // namespace
+}  // namespace mds

@@ -1,0 +1,454 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/layered_grid.h"
+#include "viz/app.h"
+#include "viz/geometry_cache.h"
+#include "viz/producers.h"
+#include "viz/pipes.h"
+#include "viz/renderer.h"
+
+namespace mds {
+namespace {
+
+PointSet Cloud3D(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  PointSet ps(3, 0);
+  ps.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    float p[3];
+    double mode = rng.NextDouble();
+    for (int j = 0; j < 3; ++j) {
+      p[j] = static_cast<float>(mode < 0.5 ? 0.5 + 0.08 * rng.NextGaussian()
+                                           : rng.NextDouble());
+    }
+    ps.Append(p);
+  }
+  return ps;
+}
+
+TEST(RegistryTest, CameraEventsReachSubscribers) {
+  Registry registry;
+  int calls = 0;
+  Camera seen;
+  registry.SubscribeCameraChanged([&](const Camera& c) {
+    ++calls;
+    seen = c;
+  });
+  Camera camera;
+  camera.detail = 777;
+  registry.EmitCameraChanged(camera);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen.detail, 777u);
+}
+
+TEST(RegistryTest, ProductionSignalLatches) {
+  Registry registry;
+  EXPECT_FALSE(registry.ConsumeProductionSignal());
+  registry.SignalProduction(nullptr);
+  registry.SignalProduction(nullptr);
+  EXPECT_TRUE(registry.ConsumeProductionSignal());
+  EXPECT_FALSE(registry.ConsumeProductionSignal());  // cleared
+}
+
+TEST(GeometryCacheTest, CoveringEntryHits) {
+  GeometryCache cache(2);
+  Camera big;
+  big.view = Box({0, 0, 0}, {1, 1, 1});
+  big.detail = 1000;
+  // Cached geometry dense inside [0.2, 0.4]^3 so sub-views can be served.
+  auto geometry = std::make_shared<GeometrySet>();
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    float p[3];
+    for (int j = 0; j < 3; ++j) {
+      p[j] = static_cast<float>(rng.NextUniform(0.2, 0.4));
+    }
+    geometry->points.Append(p);
+  }
+  cache.Insert(big, geometry);
+
+  // Identical view: always a hit.
+  EXPECT_EQ(cache.Lookup(big), geometry);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Covered view with enough cached points inside: hit.
+  Camera inside;
+  inside.view = Box({0.2, 0.2, 0.2}, {0.4, 0.4, 0.4});
+  inside.detail = 500;
+  EXPECT_EQ(cache.Lookup(inside), geometry);
+  EXPECT_EQ(cache.hits(), 2u);
+
+  // Covered view where the cached points are too sparse: miss (zooming in
+  // needs "additional geometry").
+  Camera sparse;
+  sparse.view = Box({0.6, 0.6, 0.6}, {0.9, 0.9, 0.9});
+  sparse.detail = 500;
+  EXPECT_EQ(cache.Lookup(sparse), nullptr);
+
+  Camera outside;
+  outside.view = Box({-1, 0, 0}, {0.5, 1, 1});
+  outside.detail = 500;
+  EXPECT_EQ(cache.Lookup(outside), nullptr);
+
+  Camera more_detail = inside;
+  more_detail.detail = 5000;  // needs more points than the cached result
+  EXPECT_EQ(cache.Lookup(more_detail), nullptr);
+}
+
+TEST(GeometryCacheTest, LruEviction) {
+  GeometryCache cache(2);
+  for (int i = 0; i < 3; ++i) {
+    Camera c;
+    c.view = Box({double(10 * i), 0, 0}, {double(10 * i + 1), 1, 1});
+    c.detail = 10;
+    cache.Insert(c, std::make_shared<GeometrySet>());
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  Camera first;
+  first.view = Box({0, 0, 0}, {1, 1, 1});
+  first.detail = 10;
+  EXPECT_EQ(cache.Lookup(first), nullptr);  // evicted
+}
+
+TEST(PointCloudProducerTest, DeliversRequestedDetail) {
+  PointSet ps = Cloud3D(100000, 1);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  PointCloudProducer producer(&*index, /*threaded=*/false);
+  Registry registry;
+  ASSERT_TRUE(producer.Initialize(&registry));
+  ASSERT_TRUE(producer.Start());
+
+  Camera camera = producer.SuggestInitial();
+  camera.detail = 5000;
+  registry.EmitCameraChanged(camera);
+  EXPECT_TRUE(registry.ConsumeProductionSignal());
+  auto geometry = producer.GetOutput();
+  ASSERT_NE(geometry, nullptr);
+  EXPECT_GE(geometry->points.size(), 5000u);
+  EXPECT_EQ(producer.db_fetches(), 1u);
+}
+
+TEST(PointCloudProducerTest, ZoomOutServedFromCache) {
+  // The E15 claim: "when zooming in and then back out, the cache reduces
+  // time delay to zero" — no new index queries on the way out.
+  PointSet ps = Cloud3D(100000, 3);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  PointCloudProducer producer(&*index, /*threaded=*/false);
+  Registry registry;
+  ASSERT_TRUE(producer.Initialize(&registry));
+  ASSERT_TRUE(producer.Start());
+
+  Camera camera = producer.SuggestInitial();
+  camera.detail = 2000;
+  std::vector<Camera> zoom_path = {camera};
+  for (int i = 0; i < 4; ++i) {
+    zoom_path.push_back(ZoomCamera(zoom_path.back(), 0.6));
+  }
+  // Zoom in. Some steps may be served from the cache when the covering
+  // result is already dense enough in the sub-view; all others fetch.
+  for (const Camera& c : zoom_path) registry.EmitCameraChanged(c);
+  uint64_t fetches_at_max_zoom = producer.db_fetches();
+  EXPECT_GE(fetches_at_max_zoom, 1u);
+  EXPECT_LE(fetches_at_max_zoom, zoom_path.size());
+  // Zoom back out: every view is servable from the way in — zero new
+  // database fetches ("the cache reduces time delay to zero").
+  for (auto it = zoom_path.rbegin(); it != zoom_path.rend(); ++it) {
+    registry.EmitCameraChanged(*it);
+  }
+  EXPECT_EQ(producer.db_fetches(), fetches_at_max_zoom);
+  EXPECT_GE(producer.cache_hits(), zoom_path.size());
+}
+
+TEST(ThreadedProducerTest, WorkerProducesAndSignals) {
+  PointSet ps = Cloud3D(50000, 5);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  PointCloudProducer producer(&*index, /*threaded=*/true);
+  Registry registry;
+  ASSERT_TRUE(producer.Initialize(&registry));
+  ASSERT_TRUE(producer.Start());
+  Camera camera = producer.SuggestInitial();
+  camera.detail = 1000;
+  registry.EmitCameraChanged(camera);
+  producer.WaitIdle();
+  EXPECT_TRUE(registry.ConsumeProductionSignal());
+  auto geometry = producer.GetOutput();
+  ASSERT_NE(geometry, nullptr);
+  EXPECT_GE(geometry->points.size(), 1000u);
+  EXPECT_TRUE(producer.Stop());
+}
+
+TEST(ThreadedProducerTest, CollapsesBurstOfCameraEvents) {
+  PointSet ps = Cloud3D(50000, 7);
+  auto index = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(index.ok());
+  PointCloudProducer producer(&*index, /*threaded=*/true);
+  Registry registry;
+  ASSERT_TRUE(producer.Initialize(&registry));
+  ASSERT_TRUE(producer.Start());
+  Camera camera = producer.SuggestInitial();
+  camera.detail = 500;
+  // A burst of camera events: the worker may skip intermediate ones (only
+  // the latest matters), so productions <= events.
+  for (int i = 0; i < 20; ++i) {
+    registry.EmitCameraChanged(ZoomCamera(camera, 1.0 - 0.01 * i));
+  }
+  producer.WaitIdle();
+  EXPECT_GE(producer.productions(), 1u);
+  EXPECT_LE(producer.productions(), 20u);
+  EXPECT_TRUE(producer.Stop());
+}
+
+TEST(KdBoxProducerTest, AtLeastMinBoxesInView) {
+  PointSet ps = Cloud3D(50000, 9);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_GE(tree->num_leaves(), 256u);
+  KdBoxProducer producer(&*tree, /*min_boxes=*/100);
+  Registry registry;
+  ASSERT_TRUE(producer.Initialize(&registry));
+  ASSERT_TRUE(producer.Start());
+  Camera camera = producer.SuggestInitial();
+  registry.EmitCameraChanged(camera);
+  ASSERT_TRUE(registry.ConsumeProductionSignal());
+  auto geometry = producer.GetOutput();
+  ASSERT_NE(geometry, nullptr);
+  EXPECT_GE(geometry->boxes.size(), 100u);
+  // Zooming into a small region still yields >= min boxes (deeper levels).
+  Camera zoomed = ZoomCamera(camera, 0.2);
+  registry.EmitCameraChanged(zoomed);
+  ASSERT_TRUE(registry.ConsumeProductionSignal());
+  auto zoomed_geometry = producer.GetOutput();
+  ASSERT_NE(zoomed_geometry, nullptr);
+  EXPECT_GE(zoomed_geometry->boxes.size(), 100u);
+  // All returned boxes intersect the view (in the constrained axes).
+  for (const Box& b : zoomed_geometry->boxes) {
+    bool intersects = true;
+    for (size_t j = 0; j < 3; ++j) {
+      if (b.hi(j) < zoomed.view.lo(j) || b.lo(j) > zoomed.view.hi(j)) {
+        intersects = false;
+      }
+    }
+    EXPECT_TRUE(intersects);
+  }
+}
+
+std::vector<AdaptiveGraphLevel> MakeLevels(uint64_t seed) {
+  // Three levels of increasing edge density over the unit cube.
+  Rng rng(seed);
+  std::vector<AdaptiveGraphLevel> levels;
+  for (size_t n : {20u, 200u, 2000u}) {
+    AdaptiveGraphLevel level;
+    level.seeds = PointSet(3, 0);
+    for (size_t i = 0; i < n; ++i) {
+      float p[3] = {static_cast<float>(rng.NextDouble()),
+                    static_cast<float>(rng.NextDouble()),
+                    static_cast<float>(rng.NextDouble())};
+      level.seeds.Append(p);
+      level.seed_values.push_back(static_cast<float>(rng.NextDouble()));
+    }
+    for (size_t i = 0; i + 1 < n; ++i) {
+      level.edges.emplace_back(i, i + 1);
+    }
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+TEST(DelaunayProducerTest, PicksCoarsestSufficientLevel) {
+  DelaunayProducer producer(MakeLevels(11), /*min_edges=*/100);
+  Registry registry;
+  ASSERT_TRUE(producer.Initialize(&registry));
+  ASSERT_TRUE(producer.Start());
+  Camera wide = producer.SuggestInitial();
+  registry.EmitCameraChanged(wide);
+  ASSERT_TRUE(registry.ConsumeProductionSignal());
+  auto geometry = producer.GetOutput();
+  ASSERT_NE(geometry, nullptr);
+  // Level 0 has 19 edges (< 100), level 1 has 199 (>= 100).
+  EXPECT_EQ(producer.last_level(), 1u);
+  EXPECT_GE(geometry->segments.size(), 100u);
+}
+
+TEST(DelaunayProducerTest, ZoomForcesFinerLevel) {
+  DelaunayProducer producer(MakeLevels(13), /*min_edges=*/50);
+  Registry registry;
+  ASSERT_TRUE(producer.Initialize(&registry));
+  ASSERT_TRUE(producer.Start());
+  Camera tiny;
+  tiny.view = Box({0.4, 0.4, 0.4}, {0.45, 0.45, 0.45});
+  registry.EmitCameraChanged(tiny);
+  ASSERT_TRUE(registry.ConsumeProductionSignal());
+  auto geometry = producer.GetOutput();
+  ASSERT_NE(geometry, nullptr);
+  // A tiny view has few edges even at the finest level: ends at level 2.
+  EXPECT_EQ(producer.last_level(), 2u);
+}
+
+TEST(VoronoiCellProducerTest, EmitsValuesWithPoints) {
+  VoronoiCellProducer producer(MakeLevels(15), /*min_points=*/50);
+  Registry registry;
+  ASSERT_TRUE(producer.Initialize(&registry));
+  ASSERT_TRUE(producer.Start());
+  Camera camera = producer.SuggestInitial();
+  registry.EmitCameraChanged(camera);
+  ASSERT_TRUE(registry.ConsumeProductionSignal());
+  auto geometry = producer.GetOutput();
+  ASSERT_NE(geometry, nullptr);
+  EXPECT_GE(geometry->points.size(), 50u);
+  EXPECT_EQ(geometry->points.size(), geometry->point_values.size());
+}
+
+TEST(PipeTest, DecimateKeepsEveryKth) {
+  auto geometry = std::make_shared<GeometrySet>();
+  for (int i = 0; i < 100; ++i) {
+    float p[3] = {static_cast<float>(i), 0, 0};
+    geometry->points.Append(p);
+    geometry->point_values.push_back(static_cast<float>(i));
+  }
+  geometry->boxes.push_back(Box({0, 0, 0}, {1, 1, 1}));
+  DecimatePipe pipe(10);
+  auto out = pipe.Transform(geometry);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->points.size(), 10u);
+  EXPECT_EQ(out->point_values.size(), 10u);
+  EXPECT_FLOAT_EQ(out->points.coord(3, 0), 30.0f);
+  EXPECT_EQ(out->boxes.size(), 1u);  // non-point geometry passes through
+  // Stride 1 passes the input through unchanged (same object).
+  DecimatePipe identity(1);
+  EXPECT_EQ(identity.Transform(geometry), geometry);
+  // Null input passes through.
+  EXPECT_EQ(pipe.Transform(nullptr), nullptr);
+}
+
+TEST(PipeTest, ColorByAxisAssignsCoordinates) {
+  auto geometry = std::make_shared<GeometrySet>();
+  for (int i = 0; i < 5; ++i) {
+    float p[3] = {0, static_cast<float>(2 * i), 0};
+    geometry->points.Append(p);
+  }
+  ColorByAxisPipe pipe(1);
+  auto out = pipe.Transform(geometry);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->point_values.size(), 5u);
+  EXPECT_FLOAT_EQ(out->point_values[3], 6.0f);
+  // Out-of-range axis passes through untouched.
+  ColorByAxisPipe bad(7);
+  EXPECT_EQ(bad.Transform(geometry), geometry);
+}
+
+TEST(PipeTest, BoundingBoxAppendsBox) {
+  auto geometry = std::make_shared<GeometrySet>();
+  float a[3] = {1, 2, 3}, b[3] = {-1, 5, 0};
+  geometry->points.Append(a);
+  geometry->points.Append(b);
+  BoundingBoxPipe pipe;
+  auto out = pipe.Transform(geometry);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->boxes.size(), 1u);
+  EXPECT_DOUBLE_EQ(out->boxes[0].lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(out->boxes[0].hi(1), 5.0);
+  // Empty geometry passes through.
+  auto empty = std::make_shared<GeometrySet>();
+  EXPECT_EQ(pipe.Transform(empty), empty);
+}
+
+TEST(PipeTest, PipesComposeInAppPipeline) {
+  PointSet ps = Cloud3D(50000, 23);
+  auto grid = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(grid.ok());
+  VisualizationApp app;
+  std::vector<std::unique_ptr<Pipe>> pipes;
+  pipes.push_back(std::make_unique<DecimatePipe>(5));
+  pipes.push_back(std::make_unique<ColorByAxisPipe>(2));
+  pipes.push_back(std::make_unique<BoundingBoxPipe>());
+  app.AddPipeline(std::make_unique<PointCloudProducer>(&*grid, false),
+                  std::move(pipes));
+  app.SetConsumer(std::make_unique<RecordingConsumer>());
+  ASSERT_TRUE(app.Start().ok());
+  Camera camera = app.producer(0)->SuggestInitial();
+  camera.detail = 5000;
+  app.SetCamera(camera);
+  auto report = app.DrainFrames();
+  EXPECT_EQ(report.outputs_collected, 1u);
+  // ~1/5 of the produced points survive the decimator, plus one box.
+  EXPECT_GE(report.primitives, 1000u);
+  EXPECT_LT(report.primitives, 5000u);
+  app.Stop();
+}
+
+TEST(VisualizationAppTest, FullPipelineFrameCycle) {
+  PointSet ps = Cloud3D(60000, 17);
+  auto grid = LayeredGridIndex::Build(&ps);
+  auto tree = KdTreeIndex::Build(&ps);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(tree.ok());
+
+  VisualizationApp app;
+  app.AddPipeline(std::make_unique<PointCloudProducer>(&*grid, true));
+  app.AddPipeline(std::make_unique<KdBoxProducer>(&*tree, 64, false));
+  auto renderer = std::make_unique<PpmRenderer>(64, 64);
+  PpmRenderer* renderer_ptr = renderer.get();
+  app.SetConsumer(std::move(renderer));
+  ASSERT_TRUE(app.Start().ok());
+
+  Camera camera = app.SuggestInitial();
+  camera.detail = 2000;
+  app.SetCamera(camera);
+  auto report = app.DrainFrames();
+  EXPECT_GE(report.outputs_collected, 2u);
+  EXPECT_GT(report.primitives, 2000u);
+  EXPECT_GE(renderer_ptr->frames_consumed(), 2u);
+  EXPECT_GT(renderer_ptr->CoverageFraction(), 0.0);
+
+  // Render to a PPM and check the file exists and is non-trivial.
+  std::string path =
+      (std::filesystem::temp_directory_path() / "mds_viz_test.ppm").string();
+  ASSERT_TRUE(renderer_ptr->WritePpm(path).ok());
+  EXPECT_GT(std::filesystem::file_size(path), 64u * 64u);
+  std::filesystem::remove(path);
+  app.Stop();
+}
+
+TEST(VisualizationAppTest, ZoomSequenceKeepsDetail) {
+  PointSet ps = Cloud3D(120000, 19);
+  auto grid = LayeredGridIndex::Build(&ps);
+  ASSERT_TRUE(grid.ok());
+  VisualizationApp app;
+  app.AddPipeline(std::make_unique<PointCloudProducer>(&*grid, false));
+  app.SetConsumer(std::make_unique<RecordingConsumer>());
+  ASSERT_TRUE(app.Start().ok());
+  auto* producer = dynamic_cast<PointCloudProducer*>(app.producer(0));
+  ASSERT_NE(producer, nullptr);
+
+  Camera camera = producer->SuggestInitial();
+  camera.detail = 3000;
+  // Zoom toward the dense cluster at (0.5, 0.5, 0.5): every view must keep
+  // >= detail points (the region stays populated).
+  for (int i = 0; i < 5; ++i) {
+    app.SetCamera(camera);
+    auto report = app.DrainFrames();
+    ASSERT_EQ(report.outputs_collected, 1u) << "zoom step " << i;
+    EXPECT_GE(report.primitives, 3000u) << "zoom step " << i;
+    // Shrink around the cluster center.
+    Camera next = camera;
+    for (int j = 0; j < 3; ++j) {
+      double center = 0.5;
+      double half = 0.5 * (camera.view.hi(j) - camera.view.lo(j)) * 0.6;
+      next.view.set_lo(j, center - half);
+      next.view.set_hi(j, center + half);
+    }
+    camera = next;
+  }
+  app.Stop();
+}
+
+}  // namespace
+}  // namespace mds

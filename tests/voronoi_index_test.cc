@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/voronoi_index.h"
+
+namespace mds {
+namespace {
+
+PointSet BlobData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  PointSet ps(d, 0);
+  ps.Reserve(n);
+  std::vector<double> p(d);
+  for (size_t i = 0; i < n; ++i) {
+    double mode = rng.NextDouble();
+    for (size_t j = 0; j < d; ++j) {
+      if (mode < 0.5) {
+        p[j] = 0.3 + 0.04 * rng.NextGaussian();
+      } else if (mode < 0.8) {
+        p[j] = 0.7 + 0.06 * rng.NextGaussian();
+      } else {
+        p[j] = rng.NextDouble();
+      }
+    }
+    ps.Append(p.data());
+  }
+  return ps;
+}
+
+uint32_t BruteForceNearestSeed(const VoronoiIndex& index, const float* p) {
+  uint32_t best = 0;
+  double best_d2 = 1e300;
+  for (uint32_t s = 0; s < index.num_seeds(); ++s) {
+    double d2 = SquaredDistance(index.seeds().point(s), p, index.dim());
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = s;
+    }
+  }
+  return best;
+}
+
+TEST(VoronoiIndexTest, TagsAreNearestSeeds) {
+  PointSet ps = BlobData(5000, 3, 1);
+  VoronoiIndexConfig config;
+  config.num_seeds = 64;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_seeds(), 64u);
+  for (uint64_t i = 0; i < ps.size(); i += 37) {
+    uint32_t brute = BruteForceNearestSeed(*index, ps.point(i));
+    double d_tag = SquaredDistance(index->seeds().point(index->tag(i)),
+                                   ps.point(i), 3);
+    double d_brute =
+        SquaredDistance(index->seeds().point(brute), ps.point(i), 3);
+    EXPECT_DOUBLE_EQ(d_tag, d_brute) << "point " << i;
+  }
+}
+
+TEST(VoronoiIndexTest, CellRowsPartition) {
+  PointSet ps = BlobData(8000, 3, 3);
+  VoronoiIndexConfig config;
+  config.num_seeds = 100;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  uint64_t total = 0;
+  std::set<uint64_t> seen;
+  for (uint32_t c = 0; c < index->num_seeds(); ++c) {
+    for (uint64_t r = index->cell_row_begin(c); r < index->cell_row_end(c);
+         ++r) {
+      uint64_t id = index->clustered_order()[r];
+      EXPECT_EQ(index->tag(id), c);
+      seen.insert(id);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, ps.size());
+  EXPECT_EQ(seen.size(), ps.size());
+}
+
+TEST(VoronoiIndexTest, CellBoundsContainMembers) {
+  PointSet ps = BlobData(4000, 2, 5);
+  VoronoiIndexConfig config;
+  config.num_seeds = 50;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  for (uint64_t i = 0; i < ps.size(); ++i) {
+    EXPECT_TRUE(index->cell_bounds(index->tag(i)).Contains(ps.point(i)));
+  }
+}
+
+TEST(VoronoiIndexTest, SeedIdsMapToSeedCoordinates) {
+  PointSet ps = BlobData(2000, 3, 7);
+  VoronoiIndexConfig config;
+  config.num_seeds = 32;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->seed_point_ids().size(), 32u);
+  for (uint32_t s = 0; s < 32; ++s) {
+    uint64_t id = index->seed_point_ids()[s];
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(index->seeds().coord(s, j), ps.coord(id, j));
+    }
+  }
+}
+
+TEST(VoronoiIndexTest, ExactDelaunayWalkFindsNearestSeed) {
+  PointSet ps = BlobData(3000, 2, 9);
+  VoronoiIndexConfig config;
+  config.num_seeds = 80;
+  config.graph_mode = VoronoiGraphMode::kExactDelaunay;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->delaunay().has_value());
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    double q[2] = {rng.NextDouble(), rng.NextDouble()};
+    WalkStats stats;
+    uint32_t walked = index->WalkLocate(q, trial % index->num_seeds(), &stats);
+    uint32_t exact = index->NearestSeed(q);
+    // The directed walk on the exact Delaunay graph reaches the nearest
+    // seed (up to exact distance ties).
+    double dw = SquaredDistance(q, index->seeds().point(walked), 2);
+    double de = SquaredDistance(q, index->seeds().point(exact), 2);
+    EXPECT_DOUBLE_EQ(dw, de) << "trial " << trial;
+    EXPECT_LT(stats.steps, index->num_seeds());
+  }
+}
+
+TEST(VoronoiIndexTest, WitnessWalkMostlyFindsNearestSeed) {
+  PointSet ps = BlobData(20000, 3, 13);
+  VoronoiIndexConfig config;
+  config.num_seeds = 128;
+  config.graph_mode = VoronoiGraphMode::kWitness;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    // Query near the data distribution, where the witness graph is dense.
+    uint64_t anchor = rng.NextBounded(ps.size());
+    double q[3];
+    for (size_t j = 0; j < 3; ++j) {
+      q[j] = ps.coord(anchor, j) + 0.01 * rng.NextGaussian();
+    }
+    uint32_t walked = index->WalkLocate(q, 0);
+    uint32_t exact = index->NearestSeed(q);
+    double dw = SquaredDistance(q, index->seeds().point(walked), 3);
+    double de = SquaredDistance(q, index->seeds().point(exact), 3);
+    if (dw == de) ++hits;
+  }
+  EXPECT_GT(hits, trials * 8 / 10);
+}
+
+TEST(VoronoiIndexTest, QueryPolyhedronMatchesBruteForce) {
+  PointSet ps = BlobData(10000, 3, 19);
+  VoronoiIndexConfig config;
+  config.num_seeds = 96;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  Rng rng(21);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<double> center = {rng.NextDouble(), rng.NextDouble(),
+                                  rng.NextDouble()};
+    Polyhedron poly = Polyhedron::BallApproximation(
+        center, rng.NextUniform(0.05, 0.5), 10 + trial);
+    std::vector<uint64_t> got;
+    VoronoiQueryStats stats;
+    index->QueryPolyhedron(poly, &got, &stats);
+    std::vector<uint64_t> expect;
+    for (uint64_t i = 0; i < ps.size(); ++i) {
+      if (poly.Contains(ps.point(i))) expect.push_back(i);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect) << "trial " << trial;
+    EXPECT_EQ(stats.points_emitted, expect.size());
+    EXPECT_EQ(stats.cells_inside + stats.cells_outside + stats.cells_partial,
+              index->num_seeds());
+  }
+}
+
+TEST(VoronoiIndexTest, VolumesSumToBoxVolume) {
+  PointSet ps = BlobData(3000, 2, 23);
+  VoronoiIndexConfig config;
+  config.num_seeds = 40;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  Rng rng(25);
+  std::vector<double> volumes = index->EstimateCellVolumes(100000, rng);
+  double sum = 0.0;
+  for (double v : volumes) sum += v;
+  Box bounds = Box::Bounding(ps);
+  EXPECT_NEAR(sum, bounds.Volume(), 1e-9);
+}
+
+TEST(VoronoiIndexTest, DensityTracksLocalCrowding) {
+  // Cells in the dense blob must report much higher density than cells in
+  // the sparse background — the §3.4 inverse-volume density estimator.
+  PointSet ps = BlobData(30000, 2, 27);
+  VoronoiIndexConfig config;
+  config.num_seeds = 120;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  Rng rng(29);
+  std::vector<double> density = index->EstimateCellDensities(200000, rng);
+  // Identify the seed nearest the dense blob center and one far corner.
+  double blob_center[2] = {0.3, 0.3};
+  double corner[2] = {0.02, 0.98};
+  uint32_t dense_cell = index->NearestSeed(blob_center);
+  uint32_t sparse_cell = index->NearestSeed(corner);
+  EXPECT_GT(density[dense_cell], 5.0 * density[sparse_cell]);
+}
+
+TEST(VoronoiIndexTest, WitnessGraphSymmetric) {
+  PointSet ps = BlobData(5000, 3, 31);
+  VoronoiIndexConfig config;
+  config.num_seeds = 60;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  const auto& graph = index->seed_graph();
+  for (uint32_t u = 0; u < graph.size(); ++u) {
+    for (uint32_t v : graph[u]) {
+      EXPECT_TRUE(std::binary_search(graph[v].begin(), graph[v].end(), u));
+    }
+  }
+}
+
+TEST(VoronoiIndexTest, ClampsedSeedCount) {
+  PointSet ps = BlobData(10, 2, 33);
+  VoronoiIndexConfig config;
+  config.num_seeds = 1000;
+  auto index = VoronoiIndex::Build(&ps, config);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_seeds(), 10u);
+}
+
+}  // namespace
+}  // namespace mds
