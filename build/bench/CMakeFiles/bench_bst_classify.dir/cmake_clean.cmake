@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bst_classify.dir/bench_bst_classify.cc.o"
+  "CMakeFiles/bench_bst_classify.dir/bench_bst_classify.cc.o.d"
+  "bench_bst_classify"
+  "bench_bst_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bst_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_catalog.dir/bench_catalog.cc.o"
+  "CMakeFiles/bench_catalog.dir/bench_catalog.cc.o.d"
+  "bench_catalog"
+  "bench_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

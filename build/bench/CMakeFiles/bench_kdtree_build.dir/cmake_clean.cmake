@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kdtree_build.dir/bench_kdtree_build.cc.o"
+  "CMakeFiles/bench_kdtree_build.dir/bench_kdtree_build.cc.o.d"
+  "bench_kdtree_build"
+  "bench_kdtree_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kdtree_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knn.dir/bench_knn.cc.o"
+  "CMakeFiles/bench_knn.dir/bench_knn.cc.o.d"
+  "bench_knn"
+  "bench_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layered_grid.dir/bench_layered_grid.cc.o"
+  "CMakeFiles/bench_layered_grid.dir/bench_layered_grid.cc.o.d"
+  "bench_layered_grid"
+  "bench_layered_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layered_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

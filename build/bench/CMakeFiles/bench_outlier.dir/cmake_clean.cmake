@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outlier.dir/bench_outlier.cc.o"
+  "CMakeFiles/bench_outlier.dir/bench_outlier.cc.o.d"
+  "bench_outlier"
+  "bench_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

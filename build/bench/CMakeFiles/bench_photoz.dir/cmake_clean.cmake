@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_photoz.dir/bench_photoz.cc.o"
+  "CMakeFiles/bench_photoz.dir/bench_photoz.cc.o.d"
+  "bench_photoz"
+  "bench_photoz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_photoz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_match.dir/bench_sim_match.cc.o"
+  "CMakeFiles/bench_sim_match.dir/bench_sim_match.cc.o.d"
+  "bench_sim_match"
+  "bench_sim_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spectral_sim.dir/bench_spectral_sim.cc.o"
+  "CMakeFiles/bench_spectral_sim.dir/bench_spectral_sim.cc.o.d"
+  "bench_spectral_sim"
+  "bench_spectral_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spectral_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

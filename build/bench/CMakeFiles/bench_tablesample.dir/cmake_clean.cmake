@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tablesample.dir/bench_tablesample.cc.o"
+  "CMakeFiles/bench_tablesample.dir/bench_tablesample.cc.o.d"
+  "bench_tablesample"
+  "bench_tablesample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tablesample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

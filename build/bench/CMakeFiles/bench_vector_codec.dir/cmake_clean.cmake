@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vector_codec.dir/bench_vector_codec.cc.o"
+  "CMakeFiles/bench_vector_codec.dir/bench_vector_codec.cc.o.d"
+  "bench_vector_codec"
+  "bench_vector_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vector_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_vector_codec.
+# This may be replaced when dependencies are built.

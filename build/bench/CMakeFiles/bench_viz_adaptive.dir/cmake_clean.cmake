@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_viz_adaptive.dir/bench_viz_adaptive.cc.o"
+  "CMakeFiles/bench_viz_adaptive.dir/bench_viz_adaptive.cc.o.d"
+  "bench_viz_adaptive"
+  "bench_viz_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_viz_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voronoi_cells.dir/bench_voronoi_cells.cc.o"
+  "CMakeFiles/bench_voronoi_cells.dir/bench_voronoi_cells.cc.o.d"
+  "bench_voronoi_cells"
+  "bench_voronoi_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voronoi_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voronoi_query.dir/bench_voronoi_query.cc.o"
+  "CMakeFiles/bench_voronoi_query.dir/bench_voronoi_query.cc.o.d"
+  "bench_voronoi_query"
+  "bench_voronoi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voronoi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voronoi_walk.dir/bench_voronoi_walk.cc.o"
+  "CMakeFiles/bench_voronoi_walk.dir/bench_voronoi_walk.cc.o.d"
+  "bench_voronoi_walk"
+  "bench_voronoi_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voronoi_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_and_query.dir/persist_and_query.cpp.o"
+  "CMakeFiles/persist_and_query.dir/persist_and_query.cpp.o.d"
+  "persist_and_query"
+  "persist_and_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_and_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

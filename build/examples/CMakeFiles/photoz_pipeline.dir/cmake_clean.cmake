@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photoz_pipeline.dir/photoz_pipeline.cpp.o"
+  "CMakeFiles/photoz_pipeline.dir/photoz_pipeline.cpp.o.d"
+  "photoz_pipeline"
+  "photoz_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photoz_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasar_hunt.dir/quasar_hunt.cpp.o"
+  "CMakeFiles/quasar_hunt.dir/quasar_hunt.cpp.o.d"
+  "quasar_hunt"
+  "quasar_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasar_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

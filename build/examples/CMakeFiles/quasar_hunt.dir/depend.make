@@ -1,0 +1,2 @@
+# Empty dependencies file for quasar_hunt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sky_explorer.dir/sky_explorer.cpp.o"
+  "CMakeFiles/sky_explorer.dir/sky_explorer.cpp.o.d"
+  "sky_explorer"
+  "sky_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sky_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

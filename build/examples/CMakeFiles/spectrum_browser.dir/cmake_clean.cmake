@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_browser.dir/spectrum_browser.cpp.o"
+  "CMakeFiles/spectrum_browser.dir/spectrum_browser.cpp.o.d"
+  "spectrum_browser"
+  "spectrum_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universe_map.dir/universe_map.cpp.o"
+  "CMakeFiles/universe_map.dir/universe_map.cpp.o.d"
+  "universe_map"
+  "universe_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universe_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for universe_map.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_cluster.dir/basin_spanning_tree.cc.o"
+  "CMakeFiles/mds_cluster.dir/basin_spanning_tree.cc.o.d"
+  "CMakeFiles/mds_cluster.dir/outlier.cc.o"
+  "CMakeFiles/mds_cluster.dir/outlier.cc.o.d"
+  "libmds_cluster.a"
+  "libmds_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_common.dir/rng.cc.o"
+  "CMakeFiles/mds_common.dir/rng.cc.o.d"
+  "CMakeFiles/mds_common.dir/status.cc.o"
+  "CMakeFiles/mds_common.dir/status.cc.o.d"
+  "libmds_common.a"
+  "libmds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

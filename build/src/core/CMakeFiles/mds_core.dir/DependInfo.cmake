@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/index_io.cc" "src/core/CMakeFiles/mds_core.dir/index_io.cc.o" "gcc" "src/core/CMakeFiles/mds_core.dir/index_io.cc.o.d"
+  "/root/repo/src/core/kdtree.cc" "src/core/CMakeFiles/mds_core.dir/kdtree.cc.o" "gcc" "src/core/CMakeFiles/mds_core.dir/kdtree.cc.o.d"
+  "/root/repo/src/core/knn.cc" "src/core/CMakeFiles/mds_core.dir/knn.cc.o" "gcc" "src/core/CMakeFiles/mds_core.dir/knn.cc.o.d"
+  "/root/repo/src/core/layered_grid.cc" "src/core/CMakeFiles/mds_core.dir/layered_grid.cc.o" "gcc" "src/core/CMakeFiles/mds_core.dir/layered_grid.cc.o.d"
+  "/root/repo/src/core/point_table.cc" "src/core/CMakeFiles/mds_core.dir/point_table.cc.o" "gcc" "src/core/CMakeFiles/mds_core.dir/point_table.cc.o.d"
+  "/root/repo/src/core/query_engine.cc" "src/core/CMakeFiles/mds_core.dir/query_engine.cc.o" "gcc" "src/core/CMakeFiles/mds_core.dir/query_engine.cc.o.d"
+  "/root/repo/src/core/voronoi_index.cc" "src/core/CMakeFiles/mds_core.dir/voronoi_index.cc.o" "gcc" "src/core/CMakeFiles/mds_core.dir/voronoi_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mds_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hull/CMakeFiles/mds_hull.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdss/CMakeFiles/mds_sdss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_core.dir/index_io.cc.o"
+  "CMakeFiles/mds_core.dir/index_io.cc.o.d"
+  "CMakeFiles/mds_core.dir/kdtree.cc.o"
+  "CMakeFiles/mds_core.dir/kdtree.cc.o.d"
+  "CMakeFiles/mds_core.dir/knn.cc.o"
+  "CMakeFiles/mds_core.dir/knn.cc.o.d"
+  "CMakeFiles/mds_core.dir/layered_grid.cc.o"
+  "CMakeFiles/mds_core.dir/layered_grid.cc.o.d"
+  "CMakeFiles/mds_core.dir/point_table.cc.o"
+  "CMakeFiles/mds_core.dir/point_table.cc.o.d"
+  "CMakeFiles/mds_core.dir/query_engine.cc.o"
+  "CMakeFiles/mds_core.dir/query_engine.cc.o.d"
+  "CMakeFiles/mds_core.dir/voronoi_index.cc.o"
+  "CMakeFiles/mds_core.dir/voronoi_index.cc.o.d"
+  "libmds_core.a"
+  "libmds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_geom.dir/box.cc.o"
+  "CMakeFiles/mds_geom.dir/box.cc.o.d"
+  "CMakeFiles/mds_geom.dir/point_set.cc.o"
+  "CMakeFiles/mds_geom.dir/point_set.cc.o.d"
+  "CMakeFiles/mds_geom.dir/polyhedron.cc.o"
+  "CMakeFiles/mds_geom.dir/polyhedron.cc.o.d"
+  "libmds_geom.a"
+  "libmds_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hull/delaunay.cc" "src/hull/CMakeFiles/mds_hull.dir/delaunay.cc.o" "gcc" "src/hull/CMakeFiles/mds_hull.dir/delaunay.cc.o.d"
+  "/root/repo/src/hull/hull_query.cc" "src/hull/CMakeFiles/mds_hull.dir/hull_query.cc.o" "gcc" "src/hull/CMakeFiles/mds_hull.dir/hull_query.cc.o.d"
+  "/root/repo/src/hull/quickhull.cc" "src/hull/CMakeFiles/mds_hull.dir/quickhull.cc.o" "gcc" "src/hull/CMakeFiles/mds_hull.dir/quickhull.cc.o.d"
+  "/root/repo/src/hull/voronoi.cc" "src/hull/CMakeFiles/mds_hull.dir/voronoi.cc.o" "gcc" "src/hull/CMakeFiles/mds_hull.dir/voronoi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

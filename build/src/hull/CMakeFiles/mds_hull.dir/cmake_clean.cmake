@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_hull.dir/delaunay.cc.o"
+  "CMakeFiles/mds_hull.dir/delaunay.cc.o.d"
+  "CMakeFiles/mds_hull.dir/hull_query.cc.o"
+  "CMakeFiles/mds_hull.dir/hull_query.cc.o.d"
+  "CMakeFiles/mds_hull.dir/quickhull.cc.o"
+  "CMakeFiles/mds_hull.dir/quickhull.cc.o.d"
+  "CMakeFiles/mds_hull.dir/voronoi.cc.o"
+  "CMakeFiles/mds_hull.dir/voronoi.cc.o.d"
+  "libmds_hull.a"
+  "libmds_hull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

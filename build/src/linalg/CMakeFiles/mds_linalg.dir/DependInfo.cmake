@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eigen.cc" "src/linalg/CMakeFiles/mds_linalg.dir/eigen.cc.o" "gcc" "src/linalg/CMakeFiles/mds_linalg.dir/eigen.cc.o.d"
+  "/root/repo/src/linalg/least_squares.cc" "src/linalg/CMakeFiles/mds_linalg.dir/least_squares.cc.o" "gcc" "src/linalg/CMakeFiles/mds_linalg.dir/least_squares.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/mds_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/mds_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "src/linalg/CMakeFiles/mds_linalg.dir/pca.cc.o" "gcc" "src/linalg/CMakeFiles/mds_linalg.dir/pca.cc.o.d"
+  "/root/repo/src/linalg/whitening.cc" "src/linalg/CMakeFiles/mds_linalg.dir/whitening.cc.o" "gcc" "src/linalg/CMakeFiles/mds_linalg.dir/whitening.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

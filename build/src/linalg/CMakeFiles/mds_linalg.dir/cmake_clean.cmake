@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_linalg.dir/eigen.cc.o"
+  "CMakeFiles/mds_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/mds_linalg.dir/least_squares.cc.o"
+  "CMakeFiles/mds_linalg.dir/least_squares.cc.o.d"
+  "CMakeFiles/mds_linalg.dir/matrix.cc.o"
+  "CMakeFiles/mds_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/mds_linalg.dir/pca.cc.o"
+  "CMakeFiles/mds_linalg.dir/pca.cc.o.d"
+  "CMakeFiles/mds_linalg.dir/whitening.cc.o"
+  "CMakeFiles/mds_linalg.dir/whitening.cc.o.d"
+  "libmds_linalg.a"
+  "libmds_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/photoz/knn_photoz.cc" "src/photoz/CMakeFiles/mds_photoz.dir/knn_photoz.cc.o" "gcc" "src/photoz/CMakeFiles/mds_photoz.dir/knn_photoz.cc.o.d"
+  "/root/repo/src/photoz/template_fitting.cc" "src/photoz/CMakeFiles/mds_photoz.dir/template_fitting.cc.o" "gcc" "src/photoz/CMakeFiles/mds_photoz.dir/template_fitting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mds_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdss/CMakeFiles/mds_sdss.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mds_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hull/CMakeFiles/mds_hull.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

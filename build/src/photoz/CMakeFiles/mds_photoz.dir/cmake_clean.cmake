@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_photoz.dir/knn_photoz.cc.o"
+  "CMakeFiles/mds_photoz.dir/knn_photoz.cc.o.d"
+  "CMakeFiles/mds_photoz.dir/template_fitting.cc.o"
+  "CMakeFiles/mds_photoz.dir/template_fitting.cc.o.d"
+  "libmds_photoz.a"
+  "libmds_photoz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_photoz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdss/catalog.cc" "src/sdss/CMakeFiles/mds_sdss.dir/catalog.cc.o" "gcc" "src/sdss/CMakeFiles/mds_sdss.dir/catalog.cc.o.d"
+  "/root/repo/src/sdss/magnitude_table.cc" "src/sdss/CMakeFiles/mds_sdss.dir/magnitude_table.cc.o" "gcc" "src/sdss/CMakeFiles/mds_sdss.dir/magnitude_table.cc.o.d"
+  "/root/repo/src/sdss/sky.cc" "src/sdss/CMakeFiles/mds_sdss.dir/sky.cc.o" "gcc" "src/sdss/CMakeFiles/mds_sdss.dir/sky.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mds_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

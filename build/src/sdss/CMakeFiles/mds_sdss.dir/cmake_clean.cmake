@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_sdss.dir/catalog.cc.o"
+  "CMakeFiles/mds_sdss.dir/catalog.cc.o.d"
+  "CMakeFiles/mds_sdss.dir/magnitude_table.cc.o"
+  "CMakeFiles/mds_sdss.dir/magnitude_table.cc.o.d"
+  "CMakeFiles/mds_sdss.dir/sky.cc.o"
+  "CMakeFiles/mds_sdss.dir/sky.cc.o.d"
+  "libmds_sdss.a"
+  "libmds_sdss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_sdss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

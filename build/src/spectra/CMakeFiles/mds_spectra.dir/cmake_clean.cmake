@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_spectra.dir/similarity.cc.o"
+  "CMakeFiles/mds_spectra.dir/similarity.cc.o.d"
+  "CMakeFiles/mds_spectra.dir/spectrum_generator.cc.o"
+  "CMakeFiles/mds_spectra.dir/spectrum_generator.cc.o.d"
+  "libmds_spectra.a"
+  "libmds_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bplus_tree.cc" "src/storage/CMakeFiles/mds_storage.dir/bplus_tree.cc.o" "gcc" "src/storage/CMakeFiles/mds_storage.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/mds_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/mds_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/clustered_index.cc" "src/storage/CMakeFiles/mds_storage.dir/clustered_index.cc.o" "gcc" "src/storage/CMakeFiles/mds_storage.dir/clustered_index.cc.o.d"
+  "/root/repo/src/storage/page_stream.cc" "src/storage/CMakeFiles/mds_storage.dir/page_stream.cc.o" "gcc" "src/storage/CMakeFiles/mds_storage.dir/page_stream.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/storage/CMakeFiles/mds_storage.dir/pager.cc.o" "gcc" "src/storage/CMakeFiles/mds_storage.dir/pager.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/mds_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/mds_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/vector_codec.cc" "src/storage/CMakeFiles/mds_storage.dir/vector_codec.cc.o" "gcc" "src/storage/CMakeFiles/mds_storage.dir/vector_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/mds_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/mds_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/mds_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/mds_storage.dir/clustered_index.cc.o"
+  "CMakeFiles/mds_storage.dir/clustered_index.cc.o.d"
+  "CMakeFiles/mds_storage.dir/page_stream.cc.o"
+  "CMakeFiles/mds_storage.dir/page_stream.cc.o.d"
+  "CMakeFiles/mds_storage.dir/pager.cc.o"
+  "CMakeFiles/mds_storage.dir/pager.cc.o.d"
+  "CMakeFiles/mds_storage.dir/table.cc.o"
+  "CMakeFiles/mds_storage.dir/table.cc.o.d"
+  "CMakeFiles/mds_storage.dir/vector_codec.cc.o"
+  "CMakeFiles/mds_storage.dir/vector_codec.cc.o.d"
+  "libmds_storage.a"
+  "libmds_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

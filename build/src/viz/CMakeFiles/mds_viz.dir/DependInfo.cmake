@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/app.cc" "src/viz/CMakeFiles/mds_viz.dir/app.cc.o" "gcc" "src/viz/CMakeFiles/mds_viz.dir/app.cc.o.d"
+  "/root/repo/src/viz/camera.cc" "src/viz/CMakeFiles/mds_viz.dir/camera.cc.o" "gcc" "src/viz/CMakeFiles/mds_viz.dir/camera.cc.o.d"
+  "/root/repo/src/viz/pipes.cc" "src/viz/CMakeFiles/mds_viz.dir/pipes.cc.o" "gcc" "src/viz/CMakeFiles/mds_viz.dir/pipes.cc.o.d"
+  "/root/repo/src/viz/plugin.cc" "src/viz/CMakeFiles/mds_viz.dir/plugin.cc.o" "gcc" "src/viz/CMakeFiles/mds_viz.dir/plugin.cc.o.d"
+  "/root/repo/src/viz/producers.cc" "src/viz/CMakeFiles/mds_viz.dir/producers.cc.o" "gcc" "src/viz/CMakeFiles/mds_viz.dir/producers.cc.o.d"
+  "/root/repo/src/viz/renderer.cc" "src/viz/CMakeFiles/mds_viz.dir/renderer.cc.o" "gcc" "src/viz/CMakeFiles/mds_viz.dir/renderer.cc.o.d"
+  "/root/repo/src/viz/threaded_producer.cc" "src/viz/CMakeFiles/mds_viz.dir/threaded_producer.cc.o" "gcc" "src/viz/CMakeFiles/mds_viz.dir/threaded_producer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hull/CMakeFiles/mds_hull.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdss/CMakeFiles/mds_sdss.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mds_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

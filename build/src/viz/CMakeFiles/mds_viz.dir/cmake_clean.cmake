@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mds_viz.dir/app.cc.o"
+  "CMakeFiles/mds_viz.dir/app.cc.o.d"
+  "CMakeFiles/mds_viz.dir/camera.cc.o"
+  "CMakeFiles/mds_viz.dir/camera.cc.o.d"
+  "CMakeFiles/mds_viz.dir/pipes.cc.o"
+  "CMakeFiles/mds_viz.dir/pipes.cc.o.d"
+  "CMakeFiles/mds_viz.dir/plugin.cc.o"
+  "CMakeFiles/mds_viz.dir/plugin.cc.o.d"
+  "CMakeFiles/mds_viz.dir/producers.cc.o"
+  "CMakeFiles/mds_viz.dir/producers.cc.o.d"
+  "CMakeFiles/mds_viz.dir/renderer.cc.o"
+  "CMakeFiles/mds_viz.dir/renderer.cc.o.d"
+  "CMakeFiles/mds_viz.dir/threaded_producer.cc.o"
+  "CMakeFiles/mds_viz.dir/threaded_producer.cc.o.d"
+  "libmds_viz.a"
+  "libmds_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mds_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bplus_tree_test.dir/bplus_tree_test.cc.o"
+  "CMakeFiles/bplus_tree_test.dir/bplus_tree_test.cc.o.d"
+  "bplus_tree_test"
+  "bplus_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bplus_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geom_test.cc" "tests/CMakeFiles/geom_test.dir/geom_test.cc.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mds_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mds_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hull/CMakeFiles/mds_hull.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdss/CMakeFiles/mds_sdss.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mds_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/photoz/CMakeFiles/mds_photoz.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectra/CMakeFiles/mds_spectra.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/mds_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hull_query_test.dir/hull_query_test.cc.o"
+  "CMakeFiles/hull_query_test.dir/hull_query_test.cc.o.d"
+  "hull_query_test"
+  "hull_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hull_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdtree_test.dir/kdtree_test.cc.o"
+  "CMakeFiles/kdtree_test.dir/kdtree_test.cc.o.d"
+  "kdtree_test"
+  "kdtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

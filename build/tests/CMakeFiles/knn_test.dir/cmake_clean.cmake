@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_test.dir/knn_test.cc.o"
+  "CMakeFiles/knn_test.dir/knn_test.cc.o.d"
+  "knn_test"
+  "knn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

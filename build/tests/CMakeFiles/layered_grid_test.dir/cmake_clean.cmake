@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_grid_test.dir/layered_grid_test.cc.o"
+  "CMakeFiles/layered_grid_test.dir/layered_grid_test.cc.o.d"
+  "layered_grid_test"
+  "layered_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_test.dir/outlier_test.cc.o"
+  "CMakeFiles/outlier_test.dir/outlier_test.cc.o.d"
+  "outlier_test"
+  "outlier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

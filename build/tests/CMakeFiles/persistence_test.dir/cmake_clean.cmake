@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_test.dir/persistence_test.cc.o"
+  "CMakeFiles/persistence_test.dir/persistence_test.cc.o.d"
+  "persistence_test"
+  "persistence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photoz_test.dir/photoz_test.cc.o"
+  "CMakeFiles/photoz_test.dir/photoz_test.cc.o.d"
+  "photoz_test"
+  "photoz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photoz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

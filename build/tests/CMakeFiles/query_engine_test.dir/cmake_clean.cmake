@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_engine_test.dir/query_engine_test.cc.o"
+  "CMakeFiles/query_engine_test.dir/query_engine_test.cc.o.d"
+  "query_engine_test"
+  "query_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

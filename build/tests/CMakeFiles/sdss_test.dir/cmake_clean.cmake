@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdss_test.dir/sdss_test.cc.o"
+  "CMakeFiles/sdss_test.dir/sdss_test.cc.o.d"
+  "sdss_test"
+  "sdss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectra_test.dir/spectra_test.cc.o"
+  "CMakeFiles/spectra_test.dir/spectra_test.cc.o.d"
+  "spectra_test"
+  "spectra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_codec_test.dir/vector_codec_test.cc.o"
+  "CMakeFiles/vector_codec_test.dir/vector_codec_test.cc.o.d"
+  "vector_codec_test"
+  "vector_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voronoi_index_test.dir/voronoi_index_test.cc.o"
+  "CMakeFiles/voronoi_index_test.dir/voronoi_index_test.cc.o.d"
+  "voronoi_index_test"
+  "voronoi_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voronoi_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for voronoi_index_test.
+# This may be replaced when dependencies are built.
