@@ -7,9 +7,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/access_path.h"
 #include "core/kdtree.h"
 #include "core/point_table.h"
-#include "core/query_engine.h"
+#include "core/query_planner.h"
 #include "sdss/catalog.h"
 #include "storage/pager.h"
 
@@ -49,33 +50,45 @@ void Run(const bench::BenchOptions& options) {
     StellarLocus(0.5, 0.0, mags);
     for (size_t j = 0; j < kNumBands; ++j) center[j] = mags[j];
   }
-  std::printf("%-10s %-9s %-10s %-10s %-9s %-10s %-10s\n", "radius",
+  std::printf("%-10s %-9s %-10s %-10s %-9s %-10s %-10s %-10s\n", "radius",
               "selectiv", "scan_ms", "kd_ms", "speedup", "kd_rows",
-              "kd_pages");
+              "kd_pages", "planner");
   double crossover_radius = -1.0;
   for (double radius :
        {0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6}) {
     Polyhedron poly = Polyhedron::BallApproximation(center, radius, 24);
-    pool.ResetStats();
     WallTimer scan_timer;
-    auto scan = StorageQueryExecutor::FullScan(binding, poly);
+    FullScanPath scan_path(binding, poly);
+    auto scan = ExecuteAccessPath(&scan_path);
     MDS_CHECK(scan.ok());
     double scan_ms = scan_timer.Millis();
 
-    pool.ResetStats();
     WallTimer kd_timer;
-    auto kd = StorageQueryExecutor::ExecuteKdPlan(binding, *tree, poly);
+    KdTreePath kd_path(binding, *tree, poly);
+    auto kd = ExecuteAccessPath(&kd_path);
     MDS_CHECK(kd.ok());
     double kd_ms = kd_timer.Millis();
     MDS_CHECK(kd->objids.size() == scan->objids.size());
+
+    // What the cost-based planner would have picked for this query.
+    QueryPlanner planner;
+    planner.AddPath(std::make_unique<FullScanPath>(binding, poly))
+        .AddPath(std::make_unique<KdTreePath>(binding, *tree, poly));
+    auto best = planner.ChooseBest();
+    MDS_CHECK(best.ok());
+    const char* chosen = planner.path(*best).name();
 
     double selectivity =
         static_cast<double>(kd->objids.size()) / points.size();
     double speedup = scan_ms / kd_ms;
     if (speedup < 1.0 && crossover_radius < 0.0) crossover_radius = radius;
-    std::printf("%-10.2f %-9.2g %-10.2f %-10.2f %-9.2f %-10zu %-10llu\n",
+    std::printf("%-10.2f %-9.2g %-10.2f %-10.2f %-9.2f %-10zu %-10llu %-10s\n",
                 radius, selectivity, scan_ms, kd_ms, speedup,
-                kd->objids.size(), (unsigned long long)kd->pages_fetched);
+                kd->objids.size(), (unsigned long long)kd->pages_fetched,
+                chosen);
+    char row_name[64];
+    std::snprintf(row_name, sizeof(row_name), "kdtree_query_r%.2f", radius);
+    bench::EmitJson(options, row_name, points.size(), kd_ms, kd->pages_read);
   }
   if (crossover_radius > 0.0) {
     std::printf("crossover (kd-tree slower than scan) first at radius %.2f\n",

@@ -8,9 +8,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/access_path.h"
 #include "core/layered_grid.h"
 #include "core/point_table.h"
-#include "core/query_engine.h"
 #include "linalg/pca.h"
 #include "sdss/catalog.h"
 #include "storage/pager.h"
@@ -85,11 +85,10 @@ void Run(const bench::BenchOptions& options) {
         hi[j] = center + half;
       }
       Box q(lo, hi);
-      pool.ResetStats();
       WallTimer timer;
-      GridQueryStats stats;
-      auto result =
-          StorageQueryExecutor::GridSample(binding, *index, q, n, &stats);
+      GridSamplePath path(binding, *index, q, n);
+      QueryStats stats;
+      auto result = ExecuteAccessPath(&path, &stats);
       MDS_CHECK(result.ok());
       double ms = timer.Millis();
       double ideal_pages =
@@ -100,8 +99,12 @@ void Run(const bench::BenchOptions& options) {
       std::printf("%-10.3g %-8llu %-9zu %-9llu %-10.0f %-12.2f %-8.2f\n",
                   std::pow(side_fraction, 3), (unsigned long long)n,
                   result->objids.size(),
-                  (unsigned long long)result->pages_fetched, ideal_pages,
-                  result->pages_fetched / std::max(ideal_pages, 1.0), ms);
+                  (unsigned long long)stats.pages_fetched, ideal_pages,
+                  stats.pages_fetched / std::max(ideal_pages, 1.0), ms);
+      char row_name[64];
+      std::snprintf(row_name, sizeof(row_name), "grid_sample_f%.3g_n%llu",
+                    std::pow(side_fraction, 3), (unsigned long long)n);
+      bench::EmitJson(options, row_name, points.size(), ms, stats.pages_read);
     }
   }
   std::printf(

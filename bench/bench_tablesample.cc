@@ -10,9 +10,9 @@
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "core/access_path.h"
 #include "core/layered_grid.h"
 #include "core/point_table.h"
-#include "core/query_engine.h"
 #include "sdss/catalog.h"
 #include "storage/pager.h"
 
@@ -119,8 +119,8 @@ void Run(const bench::BenchOptions& options) {
     Box q(lo, hi);
     double frac = std::pow(side, 3);
     for (double percent : {1.0, 10.0, 50.0}) {
-      auto result = StorageQueryExecutor::TableSampleTopN(heap_binding, q,
-                                                          percent, n, rng);
+      TableSamplePath path(heap_binding, q, percent, n, &rng);
+      auto result = ExecuteAccessPath(&path);
       MDS_CHECK(result.ok());
       double chi2 = DistributionChi2(points, q, result->objids);
       const char* verdict =
@@ -134,15 +134,22 @@ void Run(const bench::BenchOptions& options) {
                   (unsigned long long)result->rows_scanned, chi2, verdict);
     }
     {
-      auto result =
-          StorageQueryExecutor::GridSample(grid_binding, *index, q, n);
+      WallTimer timer;
+      GridSamplePath path(grid_binding, *index, q, n);
+      QueryStats stats;
+      auto result = ExecuteAccessPath(&path, &stats);
       MDS_CHECK(result.ok());
+      double ms = timer.Millis();
       double chi2 = DistributionChi2(points, q, result->objids);
       std::printf("%-9.3g %-8s %-9zu %-10llu %-9.2f %-10s\n", frac, "grid",
                   result->objids.size(),
                   (unsigned long long)result->rows_scanned, chi2,
                   result->objids.size() >= std::min<uint64_t>(n, 1) ? "ok"
                                                                     : "-");
+      char row_name[64];
+      std::snprintf(row_name, sizeof(row_name), "tablesample_grid_f%.3g",
+                    frac);
+      bench::EmitJson(options, row_name, points.size(), ms, stats.pages_read);
     }
   }
   std::printf(

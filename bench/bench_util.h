@@ -7,14 +7,18 @@
 #include <string>
 
 #include "common/timer.h"
+#include "storage/buffer_pool.h"
 
 namespace mds::bench {
 
 /// Common bench options. Every bench accepts:
 ///   --quick      reduced problem sizes (used by smoke runs / CI)
 ///   --n=<rows>   override the main table size
+///   --json       additionally emit one JSON object per benchmark row, so
+///                CI can track a perf trajectory across commits
 struct BenchOptions {
   bool quick = false;
+  bool json = false;
   uint64_t n = 0;  // 0 = bench default
 
   static BenchOptions Parse(int argc, char** argv) {
@@ -22,6 +26,8 @@ struct BenchOptions {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--quick") == 0) {
         options.quick = true;
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        options.json = true;
       } else if (std::strncmp(argv[i], "--n=", 4) == 0) {
         options.n = std::strtoull(argv[i] + 4, nullptr, 10);
       }
@@ -35,6 +41,32 @@ inline void PrintHeader(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n", experiment);
   std::printf("paper claim: %s\n", claim);
 }
+
+/// One machine-readable result row (only with --json): a single JSON
+/// object per line, greppable out of the human-readable output.
+inline void EmitJson(const BenchOptions& options, const char* name,
+                     uint64_t n, double wall_ms, uint64_t pages_read) {
+  if (!options.json) return;
+  std::printf(
+      "{\"name\":\"%s\",\"n\":%llu,\"wall_ms\":%.3f,\"pages_read\":%llu}\n",
+      name, static_cast<unsigned long long>(n), wall_ms,
+      static_cast<unsigned long long>(pages_read));
+}
+
+/// Per-measurement I/O probe over a buffer pool, built on the pool's
+/// CounterSnapshot arithmetic — no hand-maintained counter deltas.
+class IoProbe {
+ public:
+  explicit IoProbe(const BufferPool* pool)
+      : pool_(pool), since_(pool->Snapshot()) {}
+
+  CounterSnapshot::Delta Delta() const { return pool_->Delta(since_); }
+  void Reset() { since_ = pool_->Snapshot(); }
+
+ private:
+  const BufferPool* pool_;
+  CounterSnapshot since_;
+};
 
 }  // namespace mds::bench
 

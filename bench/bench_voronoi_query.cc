@@ -7,9 +7,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/access_path.h"
 #include "core/kdtree.h"
 #include "core/point_table.h"
-#include "core/query_engine.h"
+#include "core/query_planner.h"
 #include "core/voronoi_index.h"
 #include "sdss/catalog.h"
 #include "storage/pager.h"
@@ -56,38 +57,51 @@ void Run(const bench::BenchOptions& options) {
     GalaxyLocus(0.25, 0.0, mags);
     for (size_t j = 0; j < kNumBands; ++j) center[j] = mags[j];
   }
-  std::printf("%-8s %-9s %-9s %-9s %-9s %-22s\n", "radius", "selectiv",
-              "scan_ms", "kd_ms", "vor_ms", "cells in/part/out");
+  std::printf("%-8s %-9s %-9s %-9s %-9s %-22s %-10s\n", "radius", "selectiv",
+              "scan_ms", "kd_ms", "vor_ms", "cells in/part/out", "planner");
   for (double radius : {0.1, 0.3, 0.9, 2.7, 8.1}) {
     Polyhedron poly = Polyhedron::BallApproximation(center, radius, 24);
 
     WallTimer scan_timer;
-    auto scan = StorageQueryExecutor::FullScan(kd_binding, poly);
+    FullScanPath scan_path(kd_binding, poly);
+    auto scan = ExecuteAccessPath(&scan_path);
     MDS_CHECK(scan.ok());
     double scan_ms = scan_timer.Millis();
 
     WallTimer kd_timer;
-    auto kd = StorageQueryExecutor::ExecuteKdPlan(kd_binding, *tree, poly);
+    KdTreePath kd_path(kd_binding, *tree, poly);
+    auto kd = ExecuteAccessPath(&kd_path);
     MDS_CHECK(kd.ok());
     double kd_ms = kd_timer.Millis();
 
-    VoronoiQueryStats vstats;
     WallTimer vo_timer;
-    auto vo =
-        StorageQueryExecutor::ExecuteVoronoi(vo_binding, *voronoi, poly, &vstats);
+    VoronoiPath vo_path(vo_binding, *voronoi, poly);
+    QueryStats vstats;
+    auto vo = ExecuteAccessPath(&vo_path, &vstats);
     MDS_CHECK(vo.ok());
     double vo_ms = vo_timer.Millis();
+
+    // The planner's three-way choice for this selectivity.
+    QueryPlanner planner;
+    planner.AddPath(std::make_unique<FullScanPath>(kd_binding, poly))
+        .AddPath(std::make_unique<KdTreePath>(kd_binding, *tree, poly))
+        .AddPath(std::make_unique<VoronoiPath>(vo_binding, *voronoi, poly));
+    auto best = planner.ChooseBest();
+    MDS_CHECK(best.ok());
 
     MDS_CHECK(vo->objids.size() == scan->objids.size());
     MDS_CHECK(kd->objids.size() == scan->objids.size());
     char cells[64];
     std::snprintf(cells, sizeof(cells), "%llu/%llu/%llu",
-                  (unsigned long long)vstats.cells_inside,
+                  (unsigned long long)vstats.cells_full,
                   (unsigned long long)vstats.cells_partial,
-                  (unsigned long long)vstats.cells_outside);
-    std::printf("%-8.2f %-9.2g %-9.2f %-9.2f %-9.2f %-22s\n", radius,
+                  (unsigned long long)vstats.cells_pruned);
+    std::printf("%-8.2f %-9.2g %-9.2f %-9.2f %-9.2f %-22s %-10s\n", radius,
                 static_cast<double>(scan->objids.size()) / points.size(),
-                scan_ms, kd_ms, vo_ms, cells);
+                scan_ms, kd_ms, vo_ms, cells, planner.path(*best).name());
+    char row_name[64];
+    std::snprintf(row_name, sizeof(row_name), "voronoi_query_r%.1f", radius);
+    bench::EmitJson(options, row_name, points.size(), vo_ms, vstats.pages_read);
   }
 }
 

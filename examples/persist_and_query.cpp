@@ -8,9 +8,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "core/access_path.h"
 #include "core/index_io.h"
 #include "core/point_table.h"
-#include "core/query_engine.h"
 #include "sdss/catalog.h"
 #include "storage/pager.h"
 
@@ -59,13 +59,14 @@ int main() {
     // A deliberately small pool: 64 pages = 512 KB against a ~15 MB file —
     // the out-of-core regime.
     BufferPool pool(pager->get(), 64);
+    CounterSnapshot before_load = pool.Snapshot();
     auto tree = IndexIo::LoadKdTree(&pool, index_head, &catalog.colors);
     if (!tree.ok()) {
       std::printf("index load failed: %s\n",
                   tree.status().ToString().c_str());
       return 1;
     }
-    uint64_t load_reads = pool.stats().physical_reads;
+    uint64_t load_reads = pool.Delta(before_load).physical_reads;
     std::printf("reopened cold; kd-tree restored (%u leaves) with %llu "
                 "physical page reads\n",
                 tree->num_leaves(), (unsigned long long)load_reads);
@@ -87,17 +88,17 @@ int main() {
     cuts.AddHalfspace({0, 1, -1, 0, 0}, 0.5);   // g - r < 0.5
     cuts.AddHalfspace({0, 0, 1, 0, 0}, 20.0);   // r < 20
 
-    pool.ResetStats();
-    auto kd_result = StorageQueryExecutor::ExecuteKdPlan(
-        BindPointTable(&*table, kNumBands), *tree, cuts);
+    CounterSnapshot before_kd = pool.Snapshot();
+    KdTreePath kd_path(BindPointTable(&*table, kNumBands), *tree, cuts);
+    auto kd_result = ExecuteAccessPath(&kd_path);
     if (!kd_result.ok()) return 1;
-    uint64_t kd_reads = pool.stats().physical_reads;
+    uint64_t kd_reads = pool.Delta(before_kd).physical_reads;
 
-    pool.ResetStats();
-    auto scan_result =
-        StorageQueryExecutor::FullScan(BindPointTable(&*table, kNumBands), cuts);
+    CounterSnapshot before_scan = pool.Snapshot();
+    FullScanPath scan_path(BindPointTable(&*table, kNumBands), cuts);
+    auto scan_result = ExecuteAccessPath(&scan_path);
     if (!scan_result.ok()) return 1;
-    uint64_t scan_reads = pool.stats().physical_reads;
+    uint64_t scan_reads = pool.Delta(before_scan).physical_reads;
 
     std::printf("query via kd-tree : %zu rows, %llu physical page reads\n",
                 kd_result->objids.size(), (unsigned long long)kd_reads);

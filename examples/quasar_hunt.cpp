@@ -13,8 +13,9 @@
 #include "cluster/basin_spanning_tree.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/access_path.h"
 #include "core/point_table.h"
-#include "core/query_engine.h"
+#include "core/query_planner.h"
 #include "sdss/catalog.h"
 #include "storage/pager.h"
 
@@ -70,24 +71,48 @@ int main() {
 
   {
     WallTimer t;
-    auto r = StorageQueryExecutor::FullScan(BindPointTable(&*heap_table, 5),
-                                            query);
+    FullScanPath path(BindPointTable(&*heap_table, 5), query);
+    auto r = ExecuteAccessPath(&path);
     if (!r.ok()) return 1;
     report("full scan", *r, t.Millis());
   }
   {
     WallTimer t;
-    auto r = StorageQueryExecutor::ExecuteKdPlan(
-        BindPointTable(&*kd_table, 5), *tree, query);
+    KdTreePath path(BindPointTable(&*kd_table, 5), *tree, query);
+    auto r = ExecuteAccessPath(&path);
     if (!r.ok()) return 1;
     report("kd-tree", *r, t.Millis());
   }
   {
     WallTimer t;
-    auto r = StorageQueryExecutor::ExecuteVoronoi(
-        BindPointTable(&*vo_table, 5), *voronoi, query);
+    VoronoiPath path(BindPointTable(&*vo_table, 5), *voronoi, query);
+    auto r = ExecuteAccessPath(&path);
     if (!r.ok()) return 1;
     report("voronoi", *r, t.Millis());
+  }
+
+  // The cost-based planner run over all three candidates at once — this is
+  // how a client would normally issue the query.
+  {
+    QueryPlanner planner;
+    planner
+        .AddPath(std::make_unique<FullScanPath>(BindPointTable(&*heap_table, 5),
+                                                query))
+        .AddPath(std::make_unique<KdTreePath>(BindPointTable(&*kd_table, 5),
+                                              *tree, query))
+        .AddPath(std::make_unique<VoronoiPath>(BindPointTable(&*vo_table, 5),
+                                               *voronoi, query));
+    for (const auto& cand : planner.ExplainAll()) {
+      std::printf("  plan %-10s est pages=%8.0f ranges=%6.0f total=%10.1f\n",
+                  cand.name.c_str(), cand.cost.page_fetches, cand.cost.ranges,
+                  cand.cost.Total());
+    }
+    WallTimer t;
+    std::string chosen;
+    auto r = planner.Execute(nullptr, &chosen);
+    if (!r.ok()) return 1;
+    std::printf("planner picked: %s\n", chosen.c_str());
+    report("planner", *r, t.Millis());
   }
 
   // Unsupervised cross-check: BST clustering over Voronoi cell densities.
@@ -100,8 +125,8 @@ int main() {
 
   // Which cluster is "the quasar cloud"? The one whose members contain the
   // highest fraction of our color-cut candidates.
-  auto kd_result = StorageQueryExecutor::ExecuteKdPlan(
-      BindPointTable(&*kd_table, 5), *tree, query);
+  KdTreePath recheck(BindPointTable(&*kd_table, 5), *tree, query);
+  auto kd_result = ExecuteAccessPath(&recheck);
   if (!kd_result.ok()) return 1;
   std::vector<uint64_t> members_per_cluster(bst->num_clusters(), 0);
   std::vector<uint64_t> hits_per_cluster(bst->num_clusters(), 0);

@@ -1,220 +1,55 @@
 #include "core/query_engine.h"
 
-#include <algorithm>
-
-#include "storage/table_sample.h"
-
 namespace mds {
-
-namespace {
-
-constexpr size_t kMaxDim = 16;
-
-/// Coalesces sorted row ranges that touch or overlap, so consecutive cell
-/// or leaf ranges sharing a page are scanned in one pass (one fetch per
-/// page instead of one per range).
-void MergeRanges(std::vector<std::pair<uint64_t, uint64_t>>* ranges) {
-  if (ranges->empty()) return;
-  std::sort(ranges->begin(), ranges->end());
-  size_t out = 0;
-  for (size_t i = 1; i < ranges->size(); ++i) {
-    if ((*ranges)[i].first <= (*ranges)[out].second) {
-      (*ranges)[out].second =
-          std::max((*ranges)[out].second, (*ranges)[i].second);
-    } else {
-      (*ranges)[++out] = (*ranges)[i];
-    }
-  }
-  ranges->resize(out + 1);
-}
-
-/// Snapshot of pool stats to compute per-query deltas.
-struct IoProbe {
-  BufferPool* pool;
-  uint64_t physical0;
-  uint64_t logical0;
-
-  explicit IoProbe(BufferPool* p)
-      : pool(p),
-        physical0(p->stats().physical_reads),
-        logical0(p->stats().logical_reads) {}
-
-  void Finish(StorageQueryResult* result) const {
-    result->pages_read = pool->stats().physical_reads - physical0;
-    result->pages_fetched = pool->stats().logical_reads - logical0;
-  }
-};
-
-}  // namespace
 
 Result<StorageQueryResult> StorageQueryExecutor::FullScan(
     const PointTableBinding& binding, const Polyhedron& query) {
-  if (binding.dim != query.dim() || binding.dim > kMaxDim) {
-    return Status::InvalidArgument("FullScan: dimension mismatch");
-  }
-  StorageQueryResult result;
-  IoProbe probe(binding.table->pool());
-  float coords[kMaxDim];
-  MDS_RETURN_NOT_OK(binding.table->Scan([&](uint64_t, RowRef ref) {
-    ++result.rows_scanned;
-    ref.GetFloat32Span(binding.first_coord_col, binding.dim, coords);
-    if (query.Contains(coords)) {
-      result.objids.push_back(ref.GetInt64(binding.objid_col));
-    }
-  }));
-  probe.Finish(&result);
-  return result;
+  FullScanPath path(binding, query);
+  return ExecuteAccessPath(&path);
 }
 
 Result<StorageQueryResult> StorageQueryExecutor::ExecuteKdPlan(
     const PointTableBinding& binding, const KdTreeIndex& index,
     const Polyhedron& query) {
-  if (binding.dim != query.dim() || binding.dim > kMaxDim) {
-    return Status::InvalidArgument("ExecuteKdPlan: dimension mismatch");
-  }
-  std::vector<std::pair<uint64_t, uint64_t>> full;
-  std::vector<std::pair<uint64_t, uint64_t>> partial;
-  index.PlanPolyhedron(query, &full, &partial);
-  MergeRanges(&full);
-  MergeRanges(&partial);
-
-  StorageQueryResult result;
-  IoProbe probe(binding.table->pool());
-  // Emit fully-contained subtrees without per-row geometry: the paper's
-  // "child leaf nodes can be selected trivially using BETWEEN".
-  for (auto [begin, end] : full) {
-    MDS_RETURN_NOT_OK(
-        binding.table->ScanRange(begin, end, [&](uint64_t, RowRef ref) {
-          ++result.rows_scanned;
-          result.objids.push_back(ref.GetInt64(binding.objid_col));
-        }));
-  }
-  float coords[kMaxDim];
-  for (auto [begin, end] : partial) {
-    MDS_RETURN_NOT_OK(
-        binding.table->ScanRange(begin, end, [&](uint64_t, RowRef ref) {
-          ++result.rows_scanned;
-          ref.GetFloat32Span(binding.first_coord_col, binding.dim, coords);
-          if (query.Contains(coords)) {
-            result.objids.push_back(ref.GetInt64(binding.objid_col));
-          }
-        }));
-  }
-  probe.Finish(&result);
-  return result;
+  KdTreePath path(binding, index, query);
+  return ExecuteAccessPath(&path);
 }
 
 Result<StorageQueryResult> StorageQueryExecutor::GridSample(
     const PointTableBinding& binding, const LayeredGridIndex& index,
     const Box& query, uint64_t n, GridQueryStats* grid_stats) {
-  if (binding.dim != query.dim() || binding.dim > kMaxDim) {
-    return Status::InvalidArgument("GridSample: dimension mismatch");
+  GridSamplePath path(binding, index, query, n);
+  QueryStats stats;
+  auto result = ExecuteAccessPath(&path, &stats);
+  if (result.ok() && grid_stats != nullptr) {
+    grid_stats->layers_visited = static_cast<uint32_t>(stats.plan_steps);
+    grid_stats->cells_visited = stats.cells_full + stats.cells_partial;
+    grid_stats->points_scanned = stats.rows_scanned;
+    grid_stats->points_returned = stats.rows_emitted;
   }
-  GridQueryStats local;
-  GridQueryStats* st = grid_stats != nullptr ? grid_stats : &local;
-  StorageQueryResult result;
-  IoProbe probe(binding.table->pool());
-  std::vector<LayeredGridIndex::CellRange> ranges;
-  float coords[kMaxDim];
-  uint64_t found = 0;
-  std::vector<std::pair<uint64_t, uint64_t>> merged;
-  for (uint32_t l = 0; l < index.num_layers(); ++l) {
-    ++st->layers_visited;
-    ranges.clear();
-    index.CellRangesFor(query, l, &ranges);
-    st->cells_visited += ranges.size();
-    merged.clear();
-    merged.reserve(ranges.size());
-    for (const auto& cr : ranges) merged.emplace_back(cr.row_begin, cr.row_end);
-    MergeRanges(&merged);
-    for (const auto& cr : merged) {
-      MDS_RETURN_NOT_OK(binding.table->ScanRange(
-          cr.first, cr.second, [&](uint64_t, RowRef ref) {
-            ++result.rows_scanned;
-            ++st->points_scanned;
-            ref.GetFloat32Span(binding.first_coord_col, binding.dim, coords);
-            if (query.Contains(coords)) {
-              result.objids.push_back(ref.GetInt64(binding.objid_col));
-              ++st->points_returned;
-              ++found;
-            }
-          }));
-    }
-    if (found >= n) break;
-  }
-  probe.Finish(&result);
   return result;
 }
 
 Result<StorageQueryResult> StorageQueryExecutor::TableSampleTopN(
     const PointTableBinding& binding, const Box& query, double percent,
     uint64_t n, Rng& rng) {
-  if (binding.dim != query.dim() || binding.dim > kMaxDim) {
-    return Status::InvalidArgument("TableSampleTopN: dimension mismatch");
-  }
-  StorageQueryResult result;
-  IoProbe probe(binding.table->pool());
-  float coords[kMaxDim];
-  MDS_RETURN_NOT_OK(TableSamplePages(
-      *binding.table, percent, rng, [&](uint64_t, RowRef ref) -> bool {
-        ++result.rows_scanned;
-        ref.GetFloat32Span(binding.first_coord_col, binding.dim, coords);
-        if (query.Contains(coords)) {
-          result.objids.push_back(ref.GetInt64(binding.objid_col));
-          if (result.objids.size() >= n) return false;  // TOP(n)
-        }
-        return true;
-      }));
-  probe.Finish(&result);
-  return result;
+  TableSamplePath path(binding, query, percent, n, &rng);
+  return ExecuteAccessPath(&path);
 }
 
 Result<StorageQueryResult> StorageQueryExecutor::ExecuteVoronoi(
     const PointTableBinding& binding, const VoronoiIndex& index,
     const Polyhedron& query, VoronoiQueryStats* voronoi_stats) {
-  if (binding.dim != query.dim() || binding.dim > kMaxDim) {
-    return Status::InvalidArgument("ExecuteVoronoi: dimension mismatch");
+  VoronoiPath path(binding, index, query);
+  QueryStats stats;
+  auto result = ExecuteAccessPath(&path, &stats);
+  if (result.ok() && voronoi_stats != nullptr) {
+    voronoi_stats->cells_inside = stats.cells_full;
+    voronoi_stats->cells_outside = stats.cells_pruned;
+    voronoi_stats->cells_partial = stats.cells_partial;
+    voronoi_stats->points_tested = stats.rows_tested;
+    voronoi_stats->points_emitted = stats.rows_emitted;
   }
-  VoronoiQueryStats local;
-  VoronoiQueryStats* st = voronoi_stats != nullptr ? voronoi_stats : &local;
-  StorageQueryResult result;
-  IoProbe probe(binding.table->pool());
-  float coords[kMaxDim];
-  for (uint32_t c = 0; c < index.num_seeds(); ++c) {
-    if (index.cell_size(c) == 0) {
-      ++st->cells_outside;
-      continue;
-    }
-    BoxClass cls = query.Classify(index.cell_bounds(c));
-    if (cls == BoxClass::kOutside) {
-      ++st->cells_outside;
-      continue;
-    }
-    const uint64_t begin = index.cell_row_begin(c);
-    const uint64_t end = index.cell_row_end(c);
-    if (cls == BoxClass::kInside) {
-      ++st->cells_inside;
-      MDS_RETURN_NOT_OK(
-          binding.table->ScanRange(begin, end, [&](uint64_t, RowRef ref) {
-            ++result.rows_scanned;
-            result.objids.push_back(ref.GetInt64(binding.objid_col));
-            ++st->points_emitted;
-          }));
-      continue;
-    }
-    ++st->cells_partial;
-    MDS_RETURN_NOT_OK(
-        binding.table->ScanRange(begin, end, [&](uint64_t, RowRef ref) {
-          ++result.rows_scanned;
-          ++st->points_tested;
-          ref.GetFloat32Span(binding.first_coord_col, binding.dim, coords);
-          if (query.Contains(coords)) {
-            result.objids.push_back(ref.GetInt64(binding.objid_col));
-            ++st->points_emitted;
-          }
-        }));
-  }
-  probe.Finish(&result);
   return result;
 }
 

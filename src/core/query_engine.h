@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "core/access_path.h"
 #include "core/kdtree.h"
 #include "core/layered_grid.h"
 #include "core/voronoi_index.h"
@@ -14,28 +15,13 @@
 
 namespace mds {
 
-/// Binds a stored point table to the query engine: which column carries
-/// the original object id and where the coordinate columns start.
-struct PointTableBinding {
-  const Table* table = nullptr;
-  size_t objid_col = 0;
-  size_t first_coord_col = 1;
-  size_t dim = 0;
-};
-
-/// I/O-level result of a storage-backed query.
-struct StorageQueryResult {
-  std::vector<int64_t> objids;
-  uint64_t rows_scanned = 0;
-  uint64_t pages_read = 0;     ///< physical page reads during the query
-  uint64_t pages_fetched = 0;  ///< logical page fetches (hits + misses)
-};
-
-/// Executes spatial queries against tables through the buffer pool, so
-/// every experiment can report page-level I/O. The three index execution
-/// paths assume the table rows were materialized in the respective index's
-/// clustered order; the full-scan path is the paper's "simple SQL query"
-/// baseline (Figure 5) and works on any order.
+/// Legacy façade over the AccessPath / RangeScanner execution layer.
+///
+/// Each entry point builds the corresponding access path and runs it
+/// through ExecuteAccessPath — the five methods share one physical scan
+/// loop and one instrumentation struct (QueryStats). New code should use
+/// the access paths (or QueryPlanner) directly; these wrappers keep the
+/// original signatures stable for existing tests, benches and examples.
 class StorageQueryExecutor {
  public:
   /// Full-table scan with a per-row polyhedron predicate.

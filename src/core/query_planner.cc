@@ -1,0 +1,45 @@
+#include "core/query_planner.h"
+
+namespace mds {
+
+QueryPlanner& QueryPlanner::AddPath(std::unique_ptr<AccessPath> path) {
+  paths_.push_back(std::move(path));
+  return *this;
+}
+
+Result<size_t> QueryPlanner::ChooseBest() const {
+  size_t best = paths_.size();
+  double best_cost = 0.0;
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    if (!paths_[i]->Validate().ok()) continue;
+    const CostEstimate estimate = paths_[i]->Estimate();
+    if (!estimate.feasible) continue;
+    const double cost = estimate.Total();
+    if (best == paths_.size() || cost < best_cost) {
+      best = i;
+      best_cost = cost;
+    }
+  }
+  if (best == paths_.size()) {
+    return Status::InvalidArgument("QueryPlanner: no feasible access path");
+  }
+  return best;
+}
+
+std::vector<QueryPlanner::Candidate> QueryPlanner::ExplainAll() const {
+  std::vector<Candidate> out;
+  out.reserve(paths_.size());
+  for (const auto& path : paths_) {
+    out.push_back(Candidate{path->name(), path->Estimate()});
+  }
+  return out;
+}
+
+Result<StorageQueryResult> QueryPlanner::Execute(QueryStats* stats,
+                                                 std::string* chosen) {
+  MDS_ASSIGN_OR_RETURN(size_t best, ChooseBest());
+  if (chosen != nullptr) *chosen = paths_[best]->name();
+  return ExecuteAccessPath(paths_[best].get(), stats);
+}
+
+}  // namespace mds

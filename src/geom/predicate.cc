@@ -1,0 +1,11 @@
+#include "geom/predicate.h"
+
+namespace mds {
+
+BoxClass BoxPredicate::Classify(const Box& box) const {
+  if (box_->ContainsBox(box)) return BoxClass::kInside;
+  if (!box_->Intersects(box)) return BoxClass::kOutside;
+  return BoxClass::kPartial;
+}
+
+}  // namespace mds

@@ -31,6 +31,19 @@ struct BufferPoolStats {
   }
 };
 
+/// Point-in-time copy of the pool's read counters plus delta arithmetic —
+/// the one way to measure per-query I/O. Take a snapshot before the query,
+/// subtract after; no caller should diff raw `stats()` fields by hand.
+struct CounterSnapshot {
+  uint64_t logical_reads = 0;
+  uint64_t physical_reads = 0;
+
+  struct Delta {
+    uint64_t logical_reads = 0;   ///< page fetches since the snapshot
+    uint64_t physical_reads = 0;  ///< fetches that missed the pool
+  };
+};
+
 /// Fixed-capacity LRU buffer pool over a Pager. Pages are pinned while a
 /// PageGuard is alive; unpinned pages are eligible for eviction (dirty
 /// pages are written back). Single-threaded by design: the query engine
@@ -57,6 +70,18 @@ class BufferPool {
 
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  /// Captures the current read counters for later Delta() calls.
+  CounterSnapshot Snapshot() const {
+    return CounterSnapshot{stats_.logical_reads, stats_.physical_reads};
+  }
+
+  /// Reads performed since `since` was taken.
+  CounterSnapshot::Delta Delta(const CounterSnapshot& since) const {
+    return CounterSnapshot::Delta{stats_.logical_reads - since.logical_reads,
+                                  stats_.physical_reads -
+                                      since.physical_reads};
+  }
 
   size_t capacity() const { return capacity_; }
   size_t resident() const { return frames_.size(); }

@@ -1,0 +1,114 @@
+#include "storage/range_scanner.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mds {
+
+void CoalesceRanges(std::vector<RowRange>* ranges) {
+  if (ranges->empty()) return;
+  std::sort(ranges->begin(), ranges->end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.kind < b.kind;
+            });
+  size_t out = 0;
+  for (size_t i = 1; i < ranges->size(); ++i) {
+    RowRange& prev = (*ranges)[out];
+    const RowRange& cur = (*ranges)[i];
+    if (cur.kind == prev.kind && cur.begin <= prev.end) {
+      prev.end = std::max(prev.end, cur.end);
+    } else {
+      (*ranges)[++out] = cur;
+    }
+  }
+  ranges->resize(out + 1);
+}
+
+RangeScanner::RangeScanner(const Table* table, const Layout& layout)
+    : table_(table), layout_(layout), io_since_(table->pool()->Snapshot()) {
+  coord_batch_.resize(static_cast<size_t>(table->rows_per_page()) *
+                      layout.dim);
+}
+
+Status RangeScanner::ScanStep(const PlanStep& step,
+                              const SpatialPredicate& predicate,
+                              uint64_t limit, QueryStats* stats,
+                              std::vector<int64_t>* out) {
+  for (const RowRange& range : step.ranges) {
+    if (limit != 0 && out->size() >= limit) return Status::OK();
+    if (range.kind == RangeKind::kFull) {
+      ++stats->ranges_full;
+    } else {
+      ++stats->ranges_partial;
+    }
+    MDS_RETURN_NOT_OK(ScanRange(range, predicate, limit, stats, out));
+  }
+  return Status::OK();
+}
+
+Status RangeScanner::ScanRange(const RowRange& range,
+                               const SpatialPredicate& predicate,
+                               uint64_t limit, QueryStats* stats,
+                               std::vector<int64_t>* out) {
+  if (range.begin > range.end || range.end > table_->num_rows()) {
+    return Status::OutOfRange("RangeScanner: bad row range");
+  }
+  const Schema& schema = table_->schema();
+  const uint32_t row_size = schema.row_size();
+  const uint32_t objid_off = schema.offset(layout_.objid_col);
+  const uint32_t coord_off = schema.offset(layout_.first_coord_col);
+  const uint32_t rows_per_page = table_->rows_per_page();
+  const size_t dim = layout_.dim;
+
+  uint64_t row = range.begin;
+  while (row < range.end) {
+    const uint64_t page_index = row / rows_per_page;
+    const uint64_t first_in_page = row % rows_per_page;
+    const uint64_t rows_here =
+        std::min<uint64_t>(range.end - row, rows_per_page - first_in_page);
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard,
+                         table_->pool()->Fetch(table_->page_id(page_index)));
+    const uint8_t* base = guard.page().bytes() + first_in_page * row_size;
+
+    if (range.kind == RangeKind::kFull) {
+      // The BETWEEN case: every row qualifies, only the objid column is
+      // decoded.
+      for (uint64_t i = 0; i < rows_here; ++i) {
+        int64_t objid;
+        std::memcpy(&objid, base + i * row_size + objid_off, sizeof(objid));
+        out->push_back(objid);
+        ++stats->rows_scanned;
+        ++stats->rows_emitted;
+        if (limit != 0 && out->size() >= limit) return Status::OK();
+      }
+    } else {
+      // Batched page decode: gather the page's coordinate columns into one
+      // contiguous buffer, then run the predicate over the batch.
+      for (uint64_t i = 0; i < rows_here; ++i) {
+        std::memcpy(&coord_batch_[i * dim], base + i * row_size + coord_off,
+                    dim * sizeof(float));
+      }
+      for (uint64_t i = 0; i < rows_here; ++i) {
+        ++stats->rows_scanned;
+        ++stats->rows_tested;
+        if (!predicate.Matches(&coord_batch_[i * dim])) continue;
+        int64_t objid;
+        std::memcpy(&objid, base + i * row_size + objid_off, sizeof(objid));
+        out->push_back(objid);
+        ++stats->rows_emitted;
+        if (limit != 0 && out->size() >= limit) return Status::OK();
+      }
+    }
+    row += rows_here;
+  }
+  return Status::OK();
+}
+
+void RangeScanner::AccumulateIo(QueryStats* stats) {
+  CounterSnapshot::Delta delta = table_->pool()->Delta(io_since_);
+  stats->pages_fetched += delta.logical_reads;
+  stats->pages_read += delta.physical_reads;
+  io_since_ = table_->pool()->Snapshot();
+}
+
+}  // namespace mds

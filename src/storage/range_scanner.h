@@ -1,0 +1,112 @@
+#ifndef MDS_STORAGE_RANGE_SCANNER_H_
+#define MDS_STORAGE_RANGE_SCANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/predicate.h"
+#include "storage/table.h"
+
+namespace mds {
+
+/// How a planned row range is to be consumed. This is the paper's central
+/// distinction: ranges whose every row is known to qualify from index
+/// metadata alone (`BETWEEN` over a fully-contained subtree / cell) are
+/// emitted without touching the geometry; only `partial` ranges pay the
+/// per-row predicate.
+enum class RangeKind {
+  kFull,     ///< emit every row, no per-row test
+  kPartial,  ///< test each row against the query predicate
+};
+
+/// Half-open clustered row interval [begin, end) tagged with how to scan it.
+struct RowRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  RangeKind kind = RangeKind::kPartial;
+};
+
+/// One batch of ranges an access path hands to the scanner. Adaptive paths
+/// (grid layers, TABLESAMPLE pages) emit several steps and inspect
+/// progress between them; single-shot paths emit everything in one step.
+struct PlanStep {
+  std::vector<RowRange> ranges;
+};
+
+/// Unified per-query counters shared by every access path — supersedes the
+/// per-index KdQueryStats / GridQueryStats / VoronoiQueryStats plumbing on
+/// the storage-backed path. Planning fields are filled by the access path,
+/// row fields by the RangeScanner, page fields from buffer-pool deltas.
+/// `pages_fetched` vs rows_emitted is the paper's E2 "practically only
+/// points which are actually returned are read from disk" measurement;
+/// rows_tested / rows_scanned is the Figure 5 full-vs-partial split.
+struct QueryStats {
+  // Planning (access-path) counters.
+  uint64_t plan_steps = 0;      ///< batches executed (grid: layers visited)
+  uint64_t ranges_full = 0;     ///< merged `full` ranges scanned
+  uint64_t ranges_partial = 0;  ///< merged `partial` ranges scanned
+  uint64_t cells_full = 0;      ///< index units wholly inside the query
+  uint64_t cells_partial = 0;   ///< index units straddling the boundary
+  uint64_t cells_pruned = 0;    ///< index units rejected from metadata only
+
+  // Row-level (RangeScanner) counters.
+  uint64_t rows_scanned = 0;  ///< rows decoded from candidate ranges
+  uint64_t rows_tested = 0;   ///< rows run through the predicate (partial)
+  uint64_t rows_emitted = 0;  ///< rows in the result set
+
+  // Page-level I/O (buffer-pool deltas).
+  uint64_t pages_fetched = 0;  ///< logical page fetches (hits + misses)
+  uint64_t pages_read = 0;     ///< physical page reads
+};
+
+/// Sorts ranges by begin row and coalesces touching or overlapping ranges
+/// of the same kind, so consecutive cell / leaf ranges sharing a page are
+/// scanned in one pass. Ranges of different kinds are never merged.
+void CoalesceRanges(std::vector<RowRange>* ranges);
+
+/// Executes range plans against one stored point table through the buffer
+/// pool — the single physical scan loop every access path shares. Pages
+/// are pinned once each; the coordinate columns of a page's rows are
+/// decoded in one batch before predicate evaluation. The scanner owns all
+/// physical/logical read accounting for the query (via buffer-pool
+/// counter snapshots).
+class RangeScanner {
+ public:
+  /// Column layout of the scanned table (a point table: one int64 objid
+  /// column plus `dim` contiguous float32 coordinate columns).
+  struct Layout {
+    size_t objid_col = 0;
+    size_t first_coord_col = 1;
+    size_t dim = 0;
+  };
+
+  RangeScanner(const Table* table, const Layout& layout);
+
+  /// Scans one plan step, appending qualifying objids to `out` and
+  /// updating row counters in `stats`. `limit` (0 = none) stops the scan
+  /// exactly when `out` reaches `limit` rows — the TOP(n) clause.
+  Status ScanStep(const PlanStep& step, const SpatialPredicate& predicate,
+                  uint64_t limit, QueryStats* stats,
+                  std::vector<int64_t>* out);
+
+  /// Adds the buffer-pool reads since construction (or since the previous
+  /// call) to `stats` and re-arms the snapshot.
+  void AccumulateIo(QueryStats* stats);
+
+  const Table* table() const { return table_; }
+
+ private:
+  Status ScanRange(const RowRange& range, const SpatialPredicate& predicate,
+                   uint64_t limit, QueryStats* stats,
+                   std::vector<int64_t>* out);
+
+  const Table* table_;
+  Layout layout_;
+  CounterSnapshot io_since_;
+  std::vector<float> coord_batch_;  // page-at-a-time coordinate scratch
+};
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_RANGE_SCANNER_H_

@@ -102,6 +102,9 @@ class Table {
   uint64_t num_rows() const { return num_rows_; }
   uint32_t rows_per_page() const { return rows_per_page_; }
   uint64_t num_pages() const { return page_ids_.size(); }
+  /// Pool page holding rows [page_index*rows_per_page, ...) — lets
+  /// page-at-a-time readers (RangeScanner) drive the buffer pool directly.
+  PageId page_id(uint64_t page_index) const { return page_ids_[page_index]; }
 
   /// Appends one row.
   Status Append(const RowBuilder& row);

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/access_path.h"
+#include "core/point_table.h"
+#include "core/query_planner.h"
+#include "sdss/catalog.h"
+#include "storage/pager.h"
+
+namespace mds {
+namespace {
+
+/// Shared 10^5-point seeded catalog plus the four differently-clustered
+/// tables, built once for the whole suite.
+class AccessPathTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogConfig config;
+    config.num_objects = 100000;
+    config.seed = 2007;
+    catalog_ = new Catalog(GenerateCatalog(config));
+    const PointSet& points = catalog_->colors;
+
+    pager_ = new MemPager();
+    pool_ = new BufferPool(pager_, 1u << 16);
+
+    kd_index_ = new KdTreeIndex(KdTreeIndex::Build(&points).MoveValue());
+    grid_index_ =
+        new LayeredGridIndex(LayeredGridIndex::Build(&points).MoveValue());
+    VoronoiIndexConfig vc;
+    vc.num_seeds = 256;
+    voronoi_index_ =
+        new VoronoiIndex(VoronoiIndex::Build(&points, vc).MoveValue());
+
+    heap_table_ = new Table(
+        MaterializePointTable(pool_, points, {}).MoveValue());
+    kd_table_ = new Table(
+        MaterializePointTable(pool_, points, kd_index_->clustered_order())
+            .MoveValue());
+    grid_table_ = new Table(
+        MaterializePointTable(pool_, points, grid_index_->clustered_order())
+            .MoveValue());
+    voronoi_table_ = new Table(
+        MaterializePointTable(pool_, points,
+                              voronoi_index_->clustered_order())
+            .MoveValue());
+  }
+
+  static void TearDownTestSuite() {
+    delete voronoi_table_;
+    delete grid_table_;
+    delete kd_table_;
+    delete heap_table_;
+    delete voronoi_index_;
+    delete grid_index_;
+    delete kd_index_;
+    delete pool_;
+    delete pager_;
+    delete catalog_;
+  }
+
+  static std::vector<int64_t> SortedIds(const StorageQueryResult& result) {
+    std::vector<int64_t> ids = result.objids;
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  static std::vector<int64_t> BruteForce(const Polyhedron& poly) {
+    std::vector<int64_t> out;
+    const PointSet& points = catalog_->colors;
+    for (uint64_t i = 0; i < points.size(); ++i) {
+      if (poly.Contains(points.point(i))) {
+        out.push_back(static_cast<int64_t>(i));
+      }
+    }
+    return out;
+  }
+
+  /// A color-space box around the stellar locus holding a few thousand
+  /// points — selective but well populated.
+  static Box LocusBox(double half_width) {
+    double mags[kNumBands];
+    StellarLocus(0.5, 0.0, mags);
+    std::vector<double> lo(kNumBands), hi(kNumBands);
+    for (size_t j = 0; j < kNumBands; ++j) {
+      lo[j] = mags[j] - half_width;
+      hi[j] = mags[j] + half_width;
+    }
+    return Box(lo, hi);
+  }
+
+  static Catalog* catalog_;
+  static MemPager* pager_;
+  static BufferPool* pool_;
+  static KdTreeIndex* kd_index_;
+  static LayeredGridIndex* grid_index_;
+  static VoronoiIndex* voronoi_index_;
+  static Table* heap_table_;
+  static Table* kd_table_;
+  static Table* grid_table_;
+  static Table* voronoi_table_;
+};
+
+Catalog* AccessPathTest::catalog_ = nullptr;
+MemPager* AccessPathTest::pager_ = nullptr;
+BufferPool* AccessPathTest::pool_ = nullptr;
+KdTreeIndex* AccessPathTest::kd_index_ = nullptr;
+LayeredGridIndex* AccessPathTest::grid_index_ = nullptr;
+VoronoiIndex* AccessPathTest::voronoi_index_ = nullptr;
+Table* AccessPathTest::heap_table_ = nullptr;
+Table* AccessPathTest::kd_table_ = nullptr;
+Table* AccessPathTest::grid_table_ = nullptr;
+Table* AccessPathTest::voronoi_table_ = nullptr;
+
+TEST_F(AccessPathTest, AllPathsReturnIdenticalObjidSet) {
+  // One region expressed both ways: a box for the grid path, the
+  // equivalent polyhedron for the other three.
+  const Box box = LocusBox(0.8);
+  const Polyhedron poly = Polyhedron::FromBox(box);
+  const std::vector<int64_t> truth = BruteForce(poly);
+  ASSERT_GT(truth.size(), 1000u);
+  ASSERT_LT(truth.size(), catalog_->size() / 2);
+
+  FullScanPath scan(BindPointTable(heap_table_, kNumBands), poly);
+  KdTreePath kd(BindPointTable(kd_table_, kNumBands), *kd_index_, poly);
+  // n beyond the population: the sample query degenerates to "all points
+  // of the box", making it set-comparable with the exact paths.
+  GridSamplePath grid(BindPointTable(grid_table_, kNumBands), *grid_index_,
+                      box, catalog_->size());
+  VoronoiPath voronoi(BindPointTable(voronoi_table_, kNumBands),
+                      *voronoi_index_, poly);
+
+  AccessPath* paths[] = {&scan, &kd, &grid, &voronoi};
+  for (AccessPath* path : paths) {
+    QueryStats stats;
+    auto result = ExecuteAccessPath(path, &stats);
+    ASSERT_TRUE(result.ok()) << path->name();
+    EXPECT_EQ(SortedIds(*result), truth) << path->name();
+    // Unified instrumentation invariants: every emitted row was scanned,
+    // untested rows can only come from `full` ranges, and the result size
+    // matches the emitted counter.
+    EXPECT_EQ(stats.rows_emitted, result->objids.size()) << path->name();
+    EXPECT_LE(stats.rows_tested, stats.rows_scanned) << path->name();
+    EXPECT_GE(stats.rows_emitted, stats.rows_scanned - stats.rows_tested)
+        << path->name();
+  }
+}
+
+TEST_F(AccessPathTest, FullRangesNeverRequirePerRowTests) {
+  const Box box = LocusBox(1.2);
+  const Polyhedron poly = Polyhedron::FromBox(box);
+  // The grid's coarse cells span a quarter of the data range per axis, so
+  // give its box most of the space — narrower boxes legitimately contain
+  // no whole cell in 5-D.
+  const Box grid_bounds = grid_index_->bounding_box();
+  std::vector<double> glo(kNumBands), ghi(kNumBands);
+  for (size_t j = 0; j < kNumBands; ++j) {
+    const double center = 0.5 * (grid_bounds.lo(j) + grid_bounds.hi(j));
+    const double half = 0.40 * (grid_bounds.hi(j) - grid_bounds.lo(j));
+    glo[j] = center - half;
+    ghi[j] = center + half;
+  }
+  const Box grid_box(glo, ghi);
+
+  // Drive fresh plans step by step and check the ground truth directly:
+  // every row inside a `full`-tagged range must satisfy the predicate, so
+  // emitting it without a test is sound.
+  KdTreePath kd(BindPointTable(kd_table_, kNumBands), *kd_index_, poly);
+  GridSamplePath grid(BindPointTable(grid_table_, kNumBands), *grid_index_,
+                      grid_box, catalog_->size());
+  VoronoiPath voronoi(BindPointTable(voronoi_table_, kNumBands),
+                      *voronoi_index_, poly);
+
+  struct Case {
+    AccessPath* path;
+    const Table* table;
+  };
+  Case cases[] = {{&kd, kd_table_}, {&grid, grid_table_},
+                  {&voronoi, voronoi_table_}};
+  for (auto& [path, table] : cases) {
+    QueryStats stats;
+    PlanStep step;
+    uint64_t full_ranges = 0;
+    while (path->NextStep(&stats, &step)) {
+      for (const RowRange& range : step.ranges) {
+        if (range.kind != RangeKind::kFull) continue;
+        ++full_ranges;
+        float coords[kNumBands];
+        auto status = table->ScanRange(
+            range.begin, range.end, [&](uint64_t, RowRef ref) {
+              ref.GetFloat32Span(1, kNumBands, coords);
+              EXPECT_TRUE(path->predicate().Matches(coords)) << path->name();
+            });
+        ASSERT_TRUE(status.ok());
+      }
+      // Keep the adaptive paths walking: pretend nothing was found so the
+      // grid visits every layer.
+    }
+    EXPECT_GT(full_ranges, 0u) << path->name()
+                               << ": expected some full ranges on a wide box";
+  }
+}
+
+TEST_F(AccessPathTest, StatsSeparateTestedFromUntestedRows) {
+  const Box box = LocusBox(1.2);
+  const Polyhedron poly = Polyhedron::FromBox(box);
+  KdTreePath kd(BindPointTable(kd_table_, kNumBands), *kd_index_, poly);
+  QueryStats stats;
+  auto result = ExecuteAccessPath(&kd, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(stats.ranges_full, 0u);
+  // Rows from full ranges are never tested and always emitted: the
+  // emitted count must equal untested rows plus tested rows that passed.
+  const uint64_t untested = stats.rows_scanned - stats.rows_tested;
+  EXPECT_GT(untested, 0u);
+  EXPECT_GE(stats.rows_emitted, untested);
+  EXPECT_EQ(stats.rows_emitted, result->objids.size());
+  EXPECT_EQ(stats.cells_full, kd.plan_stats().leaves_full);
+}
+
+TEST_F(AccessPathTest, PlannerPicksKdForSelectiveAndScanForWholeSpace) {
+  // Selective query: the kd plan touches a small fraction of the pages.
+  const Polyhedron selective = Polyhedron::FromBox(LocusBox(0.4));
+  {
+    QueryPlanner planner;
+    planner
+        .AddPath(std::make_unique<FullScanPath>(
+            BindPointTable(heap_table_, kNumBands), selective))
+        .AddPath(std::make_unique<KdTreePath>(
+            BindPointTable(kd_table_, kNumBands), *kd_index_, selective));
+    auto best = planner.ChooseBest();
+    ASSERT_TRUE(best.ok());
+    EXPECT_STREQ(planner.path(*best).name(), "kd-tree");
+
+    std::string chosen;
+    QueryStats stats;
+    auto result = planner.Execute(&stats, &chosen);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(chosen, "kd-tree");
+    EXPECT_EQ(SortedIds(*result), BruteForce(selective));
+    EXPECT_LT(stats.pages_fetched, kd_table_->num_pages() / 2);
+  }
+
+  // Whole-space query: every row qualifies, the index plan covers every
+  // page anyway, and the planner must fall back to the plain scan.
+  Box everything = Box::Bounding(catalog_->colors);
+  everything.Inflate(1.0);
+  const Polyhedron whole = Polyhedron::FromBox(everything);
+  {
+    QueryPlanner planner;
+    planner
+        .AddPath(std::make_unique<FullScanPath>(
+            BindPointTable(heap_table_, kNumBands), whole))
+        .AddPath(std::make_unique<KdTreePath>(
+            BindPointTable(kd_table_, kNumBands), *kd_index_, whole));
+    auto best = planner.ChooseBest();
+    ASSERT_TRUE(best.ok());
+    EXPECT_STREQ(planner.path(*best).name(), "full-scan");
+
+    std::string chosen;
+    auto result = planner.Execute(nullptr, &chosen);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(chosen, "full-scan");
+    EXPECT_EQ(result->objids.size(), catalog_->size());
+  }
+}
+
+TEST_F(AccessPathTest, PlannerRejectsInfeasibleOnlyPaths) {
+  Polyhedron wrong_dim(2);
+  QueryPlanner planner;
+  planner.AddPath(std::make_unique<FullScanPath>(
+      BindPointTable(heap_table_, kNumBands), wrong_dim));
+  EXPECT_FALSE(planner.ChooseBest().ok());
+}
+
+TEST_F(AccessPathTest, TableSamplePathHonorsTopNLimit) {
+  Rng rng(13);
+  const Box everything = Box::Bounding(catalog_->colors);
+  TableSamplePath path(BindPointTable(heap_table_, kNumBands), everything,
+                       50.0, 100, &rng);
+  QueryStats stats;
+  auto result = ExecuteAccessPath(&path, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->objids.size(), 100u);
+  EXPECT_EQ(stats.rows_emitted, 100u);
+  EXPECT_LT(stats.rows_scanned, catalog_->size());
+}
+
+}  // namespace
+}  // namespace mds
