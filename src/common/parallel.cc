@@ -1,0 +1,93 @@
+#include "common/parallel.h"
+
+#include <cstdlib>
+
+namespace mds {
+
+unsigned QueryThreads() {
+  static const unsigned value = [] {
+    if (const char* env = std::getenv("MDS_QUERY_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1u;
+  }();
+  return value;
+}
+
+TaskPool::TaskPool(unsigned threads)
+    : num_threads_(threads != 0 ? threads : QueryThreads()) {
+  // Worker 0 is the caller; only workers 1..N-1 get threads.
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::Run(const std::function<void(unsigned)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);  // the calling thread is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void TaskPool::WorkerLoop(unsigned worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelFor(TaskPool* pool, uint64_t n, uint64_t grain,
+                 const std::function<void(uint64_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || pool->num_threads() == 1 || n <= grain) {
+    for (uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<uint64_t> next{0};
+  pool->Run([&](unsigned) {
+    for (;;) {
+      const uint64_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const uint64_t end = std::min(begin + grain, n);
+      for (uint64_t i = begin; i < end; ++i) fn(i);
+    }
+  });
+}
+
+}  // namespace mds

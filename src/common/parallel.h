@@ -1,0 +1,70 @@
+#ifndef MDS_COMMON_PARALLEL_H_
+#define MDS_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mds {
+
+/// Worker count for query execution and index builds: the value of the
+/// MDS_QUERY_THREADS environment variable if set and positive, otherwise
+/// std::thread::hardware_concurrency() (minimum 1). Read once per process.
+unsigned QueryThreads();
+
+/// Fixed pool of worker threads. Workers are started once and reused for
+/// every Run() call — the "fixed worker pool" all parallel query machinery
+/// (ParallelRangeScanner, QueryEngine::ExecuteBatch, parallel kd-tree
+/// build) shares, so concurrency is bounded by one knob rather than
+/// multiplying per layer.
+///
+/// Thread safety: Run() may be called from one thread at a time per pool
+/// (it is a synchronous fork/join, not a task queue); distinct pools are
+/// independent. The pool itself must be constructed and destroyed on a
+/// single thread.
+class TaskPool {
+ public:
+  /// threads == 0 picks QueryThreads(). A pool of 1 runs Run() bodies
+  /// inline on the calling thread (no worker is spawned).
+  explicit TaskPool(unsigned threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Invokes fn(worker) for worker = 0..num_threads()-1, one invocation
+  /// per worker thread (worker 0 runs on the calling thread), and blocks
+  /// until all invocations return. fn must not throw.
+  void Run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void WorkerLoop(unsigned worker);
+
+  unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // Run() waits for completion
+  const std::function<void(unsigned)>* job_ = nullptr;  // valid while running
+  uint64_t generation_ = 0;  // bumped per Run(); workers run once per bump
+  unsigned pending_ = 0;     // workers still inside the current job
+  bool stop_ = false;
+};
+
+/// Fork/join parallel loop: invokes fn(i) for every i in [0, n), dynamically
+/// load-balanced across the pool's workers in chunks of `grain` iterations.
+/// Iterations must be independent; fn may run on any worker thread,
+/// including the caller's. With a 1-thread pool this is a plain loop.
+void ParallelFor(TaskPool* pool, uint64_t n, uint64_t grain,
+                 const std::function<void(uint64_t)>& fn);
+
+}  // namespace mds
+
+#endif  // MDS_COMMON_PARALLEL_H_

@@ -319,32 +319,58 @@ bool TableSamplePath::NextStep(QueryStats* stats, PlanStep* step) {
 
 // --- Executor --------------------------------------------------------------
 
+namespace {
+
+/// The shared plan-drive loop: pulls PlanSteps from the path and hands
+/// them to `scanner` (RangeScanner or ParallelRangeScanner — same
+/// interface by design).
+template <typename Scanner>
+Result<StorageQueryResult> DriveAccessPath(AccessPath* path, Scanner* scanner,
+                                           QueryStats* st) {
+  StorageQueryResult result;
+  const uint64_t limit = path->limit();
+  PlanStep step;
+  while (path->NextStep(st, &step)) {
+    ++st->plan_steps;
+    MDS_RETURN_NOT_OK(scanner->ScanStep(step, path->predicate(), limit, st,
+                                        &result.objids));
+    if (limit != 0 && result.objids.size() >= limit) break;
+  }
+  scanner->AccumulateIo(st);
+  result.rows_scanned = st->rows_scanned;
+  result.pages_read = st->pages_read;
+  result.pages_fetched = st->pages_fetched;
+  return result;
+}
+
+RangeScanner::Layout LayoutOf(const AccessPath& path) {
+  return RangeScanner::Layout{path.binding().objid_col,
+                              path.binding().first_coord_col,
+                              path.binding().dim};
+}
+
+}  // namespace
+
 Result<StorageQueryResult> ExecuteAccessPath(AccessPath* path,
                                              QueryStats* stats) {
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats{};
   MDS_RETURN_NOT_OK(path->Validate());
+  RangeScanner scanner(path->binding().table, LayoutOf(*path));
+  return DriveAccessPath(path, &scanner, st);
+}
 
-  RangeScanner scanner(
-      path->binding().table,
-      RangeScanner::Layout{path->binding().objid_col,
-                           path->binding().first_coord_col,
-                           path->binding().dim});
-  StorageQueryResult result;
-  const uint64_t limit = path->limit();
-  PlanStep step;
-  while (path->NextStep(st, &step)) {
-    ++st->plan_steps;
-    MDS_RETURN_NOT_OK(scanner.ScanStep(step, path->predicate(), limit, st,
-                                       &result.objids));
-    if (limit != 0 && result.objids.size() >= limit) break;
-  }
-  scanner.AccumulateIo(st);
-  result.rows_scanned = st->rows_scanned;
-  result.pages_read = st->pages_read;
-  result.pages_fetched = st->pages_fetched;
-  return result;
+Result<StorageQueryResult> ExecuteAccessPathParallel(AccessPath* path,
+                                                     unsigned num_threads,
+                                                     QueryStats* stats) {
+  QueryStats local;
+  QueryStats* st = stats != nullptr ? stats : &local;
+  *st = QueryStats{};
+  MDS_RETURN_NOT_OK(path->Validate());
+  ParallelRangeScanner scanner(path->binding().table, LayoutOf(*path),
+                               num_threads);
+  return DriveAccessPath(path, &scanner, st);
 }
 
 }  // namespace mds

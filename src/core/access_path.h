@@ -214,9 +214,20 @@ class TableSamplePath final : public AccessPath {
 
 /// Runs an access path to completion through a RangeScanner over the
 /// path's bound table. Fills `stats` (optional) with the unified per-query
-/// instrumentation, including buffer-pool I/O deltas.
+/// instrumentation, including the scanner's page-fetch accounting.
+/// Thread-compatible: many calls may run concurrently (each builds its own
+/// scanner) as long as each call owns its path object.
 Result<StorageQueryResult> ExecuteAccessPath(AccessPath* path,
                                              QueryStats* stats = nullptr);
+
+/// Intra-query parallel variant: executes the same plan through a
+/// ParallelRangeScanner, which splits each PlanStep's row ranges across
+/// `num_threads` workers (0 = MDS_QUERY_THREADS / hardware_concurrency).
+/// Returns the identical result set and, for limit-free paths, identical
+/// QueryStats to ExecuteAccessPath — see ParallelRangeScanner for the
+/// merge contract.
+Result<StorageQueryResult> ExecuteAccessPathParallel(
+    AccessPath* path, unsigned num_threads, QueryStats* stats = nullptr);
 
 }  // namespace mds
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace mds {
 
 namespace {
@@ -57,10 +59,18 @@ Result<KdTreeIndex> KdTreeIndex::Build(const PointSet* points,
 
   // Iterative level-by-level build, the paper's "build the tree iteratively
   // (not recursively)" lesson: each pass splits every node of one level.
+  // The nodes of one level partition the permutation into disjoint slices,
+  // so they split in parallel across the worker pool (each worker handles
+  // whole subtree slices — the task-recursion shape without recursion);
+  // levels are barriers. Node computations are pure functions of their
+  // slice, so the tree is identical for any thread count.
+  TaskPool build_pool(config.build_threads);
   for (uint32_t level = 0; level < depth; ++level) {
     const size_t level_begin = (size_t{1} << level) - 1;
     const size_t level_end = (size_t{1} << (level + 1)) - 1;
-    for (size_t idx = level_begin; idx < level_end; ++idx) {
+    const size_t level_nodes = level_end - level_begin;
+    auto split_node = [&](uint64_t node_offset) {
+      const size_t idx = level_begin + node_offset;
       Node& node = index.nodes_[idx];
       const uint64_t b = node.row_begin;
       const uint64_t e = node.row_end;
@@ -102,7 +112,8 @@ Result<KdTreeIndex> KdTreeIndex::Build(const PointSet* points,
       rnode.region.set_lo(dim, split);
       rnode.row_begin = m;
       rnode.row_end = e;
-    }
+    };
+    ParallelFor(&build_pool, level_nodes, /*grain=*/1, split_node);
   }
 
   // Leaf ordinals, left to right.
@@ -112,17 +123,19 @@ Result<KdTreeIndex> KdTreeIndex::Build(const PointSet* points,
     index.leaf_node_index_[o] = static_cast<uint32_t>(first_leaf_idx + o);
   }
 
-  // Tight bounding boxes bottom-up.
-  for (size_t idx = num_nodes; idx-- > 0;) {
+  // Tight bounding boxes bottom-up. The leaf scans dominate (they touch
+  // every point once) and are independent, so they run on the pool; the
+  // internal merges are O(#nodes) and stay serial.
+  ParallelFor(&build_pool, leaves, /*grain=*/1, [&](uint64_t o) {
+    Node& node = index.nodes_[first_leaf_idx + o];
+    node.bounds = tight_box(node.row_begin, node.row_end);
+  });
+  for (size_t idx = first_leaf_idx; idx-- > 0;) {
     Node& node = index.nodes_[idx];
-    if (node.split_dim < 0) {
-      node.bounds = tight_box(node.row_begin, node.row_end);
-    } else {
-      node.bounds = index.nodes_[node.left].bounds;
-      const Box& rb = index.nodes_[node.right].bounds;
-      node.bounds.Extend(rb.lo().data());
-      node.bounds.Extend(rb.hi().data());
-    }
+    node.bounds = index.nodes_[node.left].bounds;
+    const Box& rb = index.nodes_[node.right].bounds;
+    node.bounds.Extend(rb.lo().data());
+    node.bounds.Extend(rb.hi().data());
   }
 
   // Post-order numbering plus covered-leaf intervals: the invariant behind

@@ -23,6 +23,14 @@ struct KdTreeConfig {
   /// bounding box — the [8] variant that counteracts the elongated boxes
   /// the paper observes in Figure 15. Benched as an ablation.
   bool max_spread_split = false;
+
+  /// Build workers: 1 = serial, 0 = QueryThreads() (MDS_QUERY_THREADS /
+  /// hardware_concurrency). The level-by-level build parallelizes over
+  /// the nodes of each level — every node's median split touches a
+  /// disjoint slice of the permutation, the subtree-task analog of
+  /// recursive task spawning without the recursion the paper warns
+  /// against. The built tree is bit-identical for every thread count.
+  unsigned build_threads = 0;
 };
 
 /// Per-query work counters.

@@ -4,9 +4,30 @@
 
 namespace mds {
 
-BufferPool::BufferPool(Pager* pager, size_t capacity)
+namespace {
+
+size_t AutoShards(size_t capacity) {
+  size_t shards = 1;
+  while (shards < BufferPool::kMaxAutoShards &&
+         capacity / (shards * 2) >= BufferPool::kMinShardCapacity) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
     : pager_(pager), capacity_(capacity) {
   MDS_CHECK(capacity_ > 0);
+  if (shards == 0) shards = AutoShards(capacity);
+  if (shards > capacity) shards = capacity;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    // First `capacity % shards` shards absorb the remainder.
+    shards_[s]->capacity = capacity / shards + (s < capacity % shards ? 1 : 0);
+  }
 }
 
 BufferPool::~BufferPool() {
@@ -14,90 +35,146 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
-Result<BufferPool::PageGuard> BufferPool::Fetch(PageId id) {
-  ++stats_.logical_reads;
-  MDS_ASSIGN_OR_RETURN(Frame * frame, GetFrame(id, /*load=*/true));
-  Pin(frame);
+Result<BufferPool::PageGuard> BufferPool::Fetch(PageId id, bool* physical) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.logical_reads.fetch_add(1, std::memory_order_relaxed);
+  MDS_ASSIGN_OR_RETURN(Frame * frame,
+                       GetFrame(shard, id, /*load=*/true, physical));
+  Pin(shard, frame);
   return PageGuard(this, frame);
 }
 
 Result<BufferPool::PageGuard> BufferPool::Allocate() {
   MDS_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
-  ++stats_.logical_reads;
-  MDS_ASSIGN_OR_RETURN(Frame * frame, GetFrame(id, /*load=*/false));
-  Pin(frame);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.logical_reads.fetch_add(1, std::memory_order_relaxed);
+  MDS_ASSIGN_OR_RETURN(Frame * frame,
+                       GetFrame(shard, id, /*load=*/false, nullptr));
+  Pin(shard, frame);
   PageGuard guard(this, frame);
   guard.MarkDirty();
   return guard;
 }
 
-Result<BufferPool::Frame*> BufferPool::GetFrame(PageId id, bool load) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
+Result<BufferPool::Frame*> BufferPool::GetFrame(Shard& shard, PageId id,
+                                                bool load, bool* physical) {
+  if (physical != nullptr) *physical = false;
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
     return it->second.get();
   }
-  while (frames_.size() >= capacity_) {
-    MDS_RETURN_NOT_OK(EvictOne());
+  while (shard.frames.size() >= shard.capacity) {
+    MDS_RETURN_NOT_OK(EvictOne(shard));
   }
   auto frame = std::make_unique<Frame>();
   frame->id = id;
   if (load) {
-    ++stats_.physical_reads;
+    shard.physical_reads.fetch_add(1, std::memory_order_relaxed);
+    if (physical != nullptr) *physical = true;
     MDS_RETURN_NOT_OK(pager_->ReadPage(id, &frame->page));
   }
   Frame* raw = frame.get();
-  frames_.emplace(id, std::move(frame));
+  shard.frames.emplace(id, std::move(frame));
   return raw;
 }
 
-Status BufferPool::EvictOne() {
-  // Evict the least recently used unpinned page.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+Status BufferPool::EvictOne(Shard& shard) {
+  // Evict the least recently used unpinned page of this shard.
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
     PageId victim = *it;
-    auto fit = frames_.find(victim);
-    MDS_CHECK(fit != frames_.end());
+    auto fit = shard.frames.find(victim);
+    MDS_CHECK(fit != shard.frames.end());
     Frame* f = fit->second.get();
     if (f->pins != 0) continue;
     if (f->dirty) {
-      ++stats_.physical_writes;
+      shard.physical_writes.fetch_add(1, std::memory_order_relaxed);
       MDS_RETURN_NOT_OK(pager_->WritePage(f->id, f->page));
     }
-    lru_.erase(std::next(it).base());
-    frames_.erase(fit);
-    ++stats_.evictions;
+    shard.lru.erase(std::next(it).base());
+    shard.frames.erase(fit);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
-  return Status::ResourceExhausted("buffer pool: all pages pinned");
+  return Status::ResourceExhausted("buffer pool: all pages of shard pinned");
 }
 
-void BufferPool::Pin(Frame* f) {
+void BufferPool::Pin(Shard& shard, Frame* f) {
   if (f->in_lru) {
-    lru_.erase(f->lru_pos);
+    shard.lru.erase(f->lru_pos);
     f->in_lru = false;
   }
   ++f->pins;
 }
 
 void BufferPool::Unpin(Frame* f, bool dirty) {
+  Shard& shard = ShardFor(f->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   MDS_CHECK(f->pins > 0);
   f->dirty = f->dirty || dirty;
   --f->pins;
   if (f->pins == 0) {
-    lru_.push_front(f->id);
-    f->lru_pos = lru_.begin();
+    shard.lru.push_front(f->id);
+    f->lru_pos = shard.lru.begin();
     f->in_lru = true;
   }
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, frame] : frames_) {
-    if (frame->dirty) {
-      ++stats_.physical_writes;
-      MDS_RETURN_NOT_OK(pager_->WritePage(frame->id, frame->page));
-      frame->dirty = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, frame] : shard->frames) {
+      if (frame->dirty) {
+        shard->physical_writes.fetch_add(1, std::memory_order_relaxed);
+        MDS_RETURN_NOT_OK(pager_->WritePage(frame->id, frame->page));
+        frame->dirty = false;
+      }
     }
   }
   return pager_->Sync();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    total.logical_reads += shard->logical_reads.load(std::memory_order_relaxed);
+    total.physical_reads +=
+        shard->physical_reads.load(std::memory_order_relaxed);
+    total.physical_writes +=
+        shard->physical_writes.load(std::memory_order_relaxed);
+    total.evictions += shard->evictions.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    shard->logical_reads.store(0, std::memory_order_relaxed);
+    shard->physical_reads.store(0, std::memory_order_relaxed);
+    shard->physical_writes.store(0, std::memory_order_relaxed);
+    shard->evictions.store(0, std::memory_order_relaxed);
+  }
+}
+
+CounterSnapshot BufferPool::Snapshot() const {
+  const BufferPoolStats total = stats();
+  return CounterSnapshot{total.logical_reads, total.physical_reads};
+}
+
+CounterSnapshot::Delta BufferPool::Delta(const CounterSnapshot& since) const {
+  const BufferPoolStats total = stats();
+  return CounterSnapshot::Delta{total.logical_reads - since.logical_reads,
+                                total.physical_reads - since.physical_reads};
+}
+
+size_t BufferPool::resident() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->frames.size();
+  }
+  return n;
 }
 
 }  // namespace mds

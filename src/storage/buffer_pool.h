@@ -1,9 +1,11 @@
 #ifndef MDS_STORAGE_BUFFER_POOL_H_
 #define MDS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -32,8 +34,13 @@ struct BufferPoolStats {
 };
 
 /// Point-in-time copy of the pool's read counters plus delta arithmetic —
-/// the one way to measure per-query I/O. Take a snapshot before the query,
+/// the one way to measure pool-level I/O. Take a snapshot before the work,
 /// subtract after; no caller should diff raw `stats()` fields by hand.
+/// Under concurrency a snapshot is a monotone (per-shard-consistent) cut:
+/// deltas are exact when the pool is externally quiescent over the window,
+/// and otherwise attribute all threads' I/O to the window — per-query
+/// attribution under concurrency belongs to RangeScanner, which counts its
+/// own fetches.
 struct CounterSnapshot {
   uint64_t logical_reads = 0;
   uint64_t physical_reads = 0;
@@ -46,12 +53,38 @@ struct CounterSnapshot {
 
 /// Fixed-capacity LRU buffer pool over a Pager. Pages are pinned while a
 /// PageGuard is alive; unpinned pages are eligible for eviction (dirty
-/// pages are written back). Single-threaded by design: the query engine
-/// executes one query at a time, as the paper's stored procedures do.
+/// pages are written back).
+///
+/// Thread safety: the pool is fully thread-safe — any number of threads
+/// may Fetch/Allocate/release guards concurrently, which is what lets the
+/// query engine run many queries at once over one shared pool (the
+/// concurrent-serving setup of DESIGN.md "Concurrency model"). Internally
+/// the pool is lock-striped: pages are distributed over independent shards
+/// (page id modulo shard count), each with its own mutex, frame table, LRU
+/// list and capacity slice, so two queries touching different pages rarely
+/// contend. Counters are per-shard atomics aggregated on read.
+///
+/// Per-method guarantees:
+///  - Fetch / Allocate / guard release: thread-safe (shard mutex held only
+///    for table/LRU bookkeeping and miss I/O of that shard).
+///  - FlushAll: thread-safe, but flushes a moving target if writers are
+///    active; quiesce writers for a meaningful barrier.
+///  - stats / Snapshot / Delta: thread-safe, lock-free counter reads.
+///  - resident: thread-safe (briefly takes each shard lock in turn).
+///  - ResetStats: thread-safe, but only meaningful while quiescent.
+///  - Construction/destruction: single-threaded, strictly before/after all
+///    concurrent use.
+///
+/// Physical I/O through the pager requires the Pager implementation to be
+/// thread-safe (FilePager and MemPager are; see pager.h).
 class BufferPool {
  public:
-  /// capacity: maximum resident pages (> 0).
-  BufferPool(Pager* pager, size_t capacity);
+  /// capacity: maximum resident pages (> 0), partitioned over the shards.
+  /// shards: lock stripes; 0 picks a power of two such that every shard
+  /// owns at least kMinShardCapacity pages (small pools degrade to a
+  /// single shard, i.e. exactly the old single-threaded LRU semantics,
+  /// which the storage tests rely on).
+  BufferPool(Pager* pager, size_t capacity, size_t shards = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -59,8 +92,11 @@ class BufferPool {
 
   class PageGuard;
 
-  /// Fetches a page, pinning it for the guard's lifetime.
-  Result<PageGuard> Fetch(PageId id);
+  /// Fetches a page, pinning it for the guard's lifetime. If `physical`
+  /// is non-null it is set to whether this fetch missed the pool and hit
+  /// the pager — how RangeScanner attributes I/O to one query even while
+  /// other queries run (a pool-wide counter delta could not).
+  Result<PageGuard> Fetch(PageId id, bool* physical = nullptr);
 
   /// Allocates a fresh page in the pager and returns it pinned (dirty).
   Result<PageGuard> Allocate();
@@ -68,24 +104,30 @@ class BufferPool {
   /// Writes back all dirty pages.
   Status FlushAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Aggregated counters across shards (by value: the per-shard counters
+  /// are the source of truth and must be summed under concurrency).
+  BufferPoolStats stats() const;
+  void ResetStats();
 
   /// Captures the current read counters for later Delta() calls.
-  CounterSnapshot Snapshot() const {
-    return CounterSnapshot{stats_.logical_reads, stats_.physical_reads};
-  }
+  CounterSnapshot Snapshot() const;
 
   /// Reads performed since `since` was taken.
-  CounterSnapshot::Delta Delta(const CounterSnapshot& since) const {
-    return CounterSnapshot::Delta{stats_.logical_reads - since.logical_reads,
-                                  stats_.physical_reads -
-                                      since.physical_reads};
-  }
+  CounterSnapshot::Delta Delta(const CounterSnapshot& since) const;
 
   size_t capacity() const { return capacity_; }
-  size_t resident() const { return frames_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+  size_t resident() const;
   Pager* pager() const { return pager_; }
+
+  /// Auto-sharding floor: a shard is only split off while every shard
+  /// keeps at least this many pages, so tiny pools stay single-sharded
+  /// (global LRU order) and eviction pressure is not amplified.
+  static constexpr size_t kMinShardCapacity = 64;
+  /// Auto-sharding ceiling: enough stripes to keep a typical worker-pool's
+  /// pin/unpin traffic spread out, small enough that per-shard LRU slices
+  /// stay deep. See DESIGN.md "Concurrency model" for the rationale.
+  static constexpr size_t kMaxAutoShards = 16;
 
  private:
   struct Frame {
@@ -97,21 +139,43 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  Result<Frame*> GetFrame(PageId id, bool load);
-  Status EvictOne();
-  void Pin(Frame* f);
+  /// One lock stripe: an independent LRU pool over the page ids congruent
+  /// to its index modulo the shard count. All fields below `mu` are
+  /// guarded by `mu`; the counters are atomics so readers never lock.
+  struct Shard {
+    std::mutex mu;
+    size_t capacity = 0;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    std::list<PageId> lru;  // front = most recently used
+
+    std::atomic<uint64_t> logical_reads{0};
+    std::atomic<uint64_t> physical_reads{0};
+    std::atomic<uint64_t> physical_writes{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+
+  /// Looks up or loads a frame; called with the shard mutex held.
+  Result<Frame*> GetFrame(Shard& shard, PageId id, bool load, bool* physical);
+  Status EvictOne(Shard& shard);
+  void Pin(Shard& shard, Frame* f);
   void Unpin(Frame* f, bool dirty);
 
   Pager* pager_;
   size_t capacity_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
-  std::list<PageId> lru_;  // front = most recently used
-  BufferPoolStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   friend class PageGuard;
 };
 
 /// RAII pin on a buffered page. Mark dirty via MarkDirty() before writing.
+///
+/// Thread safety: a guard is thread-compatible — it may be moved between
+/// threads but must not be accessed from two threads at once. The page
+/// bytes it exposes are protected only by the pin (eviction is blocked);
+/// two guards on the same page see the same bytes, so concurrent writers
+/// of one page must coordinate externally (the query path never writes).
 class BufferPool::PageGuard {
  public:
   PageGuard() = default;

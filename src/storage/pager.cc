@@ -48,14 +48,22 @@ Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
 }
 
 Result<PageId> FilePager::AllocatePage() {
+  // The append edge is the only operation two threads could collide on;
+  // pread/pwrite of already-allocated pages need no lock.
+  std::lock_guard<std::mutex> lock(append_mu_);
   Page zero;
-  PageId id = num_pages_;
-  MDS_RETURN_NOT_OK(WritePage(id, zero));
+  PageId id = num_pages_.load(std::memory_order_relaxed);
+  ssize_t n = ::pwrite(fd_, zero.bytes(), kPageSize,
+                       static_cast<off_t>(id * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(ErrnoMessage("short write to pager file", path_));
+  }
+  num_pages_.store(id + 1, std::memory_order_release);
   return id;
 }
 
 Status FilePager::ReadPage(PageId id, Page* page) {
-  if (id >= num_pages_) {
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
     return Status::OutOfRange("ReadPage: page id out of range");
   }
   ssize_t n = ::pread(fd_, page->bytes(), kPageSize,
@@ -67,15 +75,27 @@ Status FilePager::ReadPage(PageId id, Page* page) {
 }
 
 Status FilePager::WritePage(PageId id, const Page& page) {
-  if (id > num_pages_) {
-    return Status::OutOfRange("WritePage: page id beyond end");
+  if (id >= num_pages_.load(std::memory_order_acquire)) {
+    // Extension writes race with other extenders; take the append lock and
+    // re-check. In-place writes (the common case) skip the lock entirely.
+    std::lock_guard<std::mutex> lock(append_mu_);
+    const uint64_t n_pages = num_pages_.load(std::memory_order_relaxed);
+    if (id > n_pages) {
+      return Status::OutOfRange("WritePage: page id beyond end");
+    }
+    ssize_t n = ::pwrite(fd_, page.bytes(), kPageSize,
+                         static_cast<off_t>(id * kPageSize));
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IOError(ErrnoMessage("short write to pager file", path_));
+    }
+    if (id == n_pages) num_pages_.store(id + 1, std::memory_order_release);
+    return Status::OK();
   }
   ssize_t n = ::pwrite(fd_, page.bytes(), kPageSize,
                        static_cast<off_t>(id * kPageSize));
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError(ErrnoMessage("short write to pager file", path_));
   }
-  if (id == num_pages_) ++num_pages_;
   return Status::OK();
 }
 
@@ -87,11 +107,13 @@ Status FilePager::Sync() {
 }
 
 Result<PageId> MemPager::AllocatePage() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   pages_.push_back(std::make_unique<Page>());
   return PageId{pages_.size() - 1};
 }
 
 Status MemPager::ReadPage(PageId id, Page* page) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("ReadPage: page id out of range");
   }
@@ -100,6 +122,7 @@ Status MemPager::ReadPage(PageId id, Page* page) {
 }
 
 Status MemPager::WritePage(PageId id, const Page& page) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (id > pages_.size()) {
     return Status::OutOfRange("WritePage: page id beyond end");
   }
@@ -112,10 +135,15 @@ Status MemPager::WritePage(PageId id, const Page& page) {
 }
 
 Status FaultInjectionPager::Tick() {
-  if (remaining_ == 0) {
-    return Status::IOError("injected fault");
-  }
-  --remaining_;
+  // Atomic decrement-if-nonzero, so a budget of N admits exactly N
+  // operations no matter how they interleave across threads.
+  uint64_t budget = remaining_.load(std::memory_order_relaxed);
+  do {
+    if (budget == 0) {
+      return Status::IOError("injected fault");
+    }
+  } while (!remaining_.compare_exchange_weak(budget, budget - 1,
+                                             std::memory_order_relaxed));
   return Status::OK();
 }
 

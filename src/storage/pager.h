@@ -1,7 +1,10 @@
 #ifndef MDS_STORAGE_PAGER_H_
 #define MDS_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,12 @@ namespace mds {
 /// (POSIX file), MemPager (RAM, for tests), FaultInjectionPager (wraps
 /// another pager and fails after a programmable number of operations, for
 /// error-path tests).
+///
+/// Thread safety contract: implementations must support concurrent
+/// ReadPage/WritePage/AllocatePage calls on *distinct* pages — the sharded
+/// BufferPool issues miss I/O from several shards at once. Concurrent
+/// operations on the same page are serialized by the buffer pool (a page
+/// lives in exactly one shard), so implementations need not handle them.
 class Pager {
  public:
   virtual ~Pager() = default;
@@ -42,6 +51,12 @@ class Pager {
 };
 
 /// File-backed pager using pread/pwrite on a single file.
+///
+/// Thread-safe: reads and writes of allocated pages go straight to
+/// positioned I/O (pread/pwrite carry their own offset, no shared file
+/// cursor); the append edge — AllocatePage and the WritePage extension
+/// case — is serialized by a mutex, and the page count is atomic so
+/// readers never lock.
 class FilePager : public Pager {
  public:
   ~FilePager() override;
@@ -64,10 +79,16 @@ class FilePager : public Pager {
 
   int fd_ = -1;
   std::string path_;
-  uint64_t num_pages_ = 0;
+  std::mutex append_mu_;  // serializes growth of the file
+  std::atomic<uint64_t> num_pages_{0};
 };
 
 /// In-memory pager; used by unit tests and small pipelines.
+///
+/// Thread-safe: a reader/writer lock guards the page directory, so any
+/// number of ReadPage calls proceed in parallel while AllocatePage /
+/// WritePage take the lock exclusively (pages are stored behind stable
+/// unique_ptrs, but allocation may reallocate the directory vector).
 class MemPager : public Pager {
  public:
   MemPager() = default;
@@ -75,16 +96,21 @@ class MemPager : public Pager {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* page) override;
   Status WritePage(PageId id, const Page& page) override;
-  uint64_t NumPages() const override { return pages_.size(); }
+  uint64_t NumPages() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return pages_.size();
+  }
   Status Sync() override { return Status::OK(); }
 
  private:
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
 };
 
 /// Wraps a pager and injects an IOError after `fail_after` successful
 /// operations (reads+writes+allocations). Used to test that storage errors
 /// propagate as Status through every layer instead of crashing.
+/// Thread-safe (the budget is an atomic) to the extent the wrapped pager is.
 class FaultInjectionPager : public Pager {
  public:
   explicit FaultInjectionPager(Pager* base, uint64_t fail_after)
@@ -103,7 +129,7 @@ class FaultInjectionPager : public Pager {
   Status Tick();
 
   Pager* base_;
-  uint64_t remaining_;
+  std::atomic<uint64_t> remaining_;
 };
 
 }  // namespace mds

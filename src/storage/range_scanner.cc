@@ -25,7 +25,7 @@ void CoalesceRanges(std::vector<RowRange>* ranges) {
 }
 
 RangeScanner::RangeScanner(const Table* table, const Layout& layout)
-    : table_(table), layout_(layout), io_since_(table->pool()->Snapshot()) {
+    : table_(table), layout_(layout) {
   coord_batch_.resize(static_cast<size_t>(table->rows_per_page()) *
                       layout.dim);
 }
@@ -66,8 +66,12 @@ Status RangeScanner::ScanRange(const RowRange& range,
     const uint64_t first_in_page = row % rows_per_page;
     const uint64_t rows_here =
         std::min<uint64_t>(range.end - row, rows_per_page - first_in_page);
-    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard,
-                         table_->pool()->Fetch(table_->page_id(page_index)));
+    bool physical = false;
+    MDS_ASSIGN_OR_RETURN(
+        BufferPool::PageGuard guard,
+        table_->pool()->Fetch(table_->page_id(page_index), &physical));
+    ++pages_fetched_;
+    if (physical) ++pages_read_;
     const uint8_t* base = guard.page().bytes() + first_in_page * row_size;
 
     if (range.kind == RangeKind::kFull) {
@@ -105,10 +109,130 @@ Status RangeScanner::ScanRange(const RowRange& range,
 }
 
 void RangeScanner::AccumulateIo(QueryStats* stats) {
-  CounterSnapshot::Delta delta = table_->pool()->Delta(io_since_);
-  stats->pages_fetched += delta.logical_reads;
-  stats->pages_read += delta.physical_reads;
-  io_since_ = table_->pool()->Snapshot();
+  stats->pages_fetched += pages_fetched_;
+  stats->pages_read += pages_read_;
+  pages_fetched_ = 0;
+  pages_read_ = 0;
+}
+
+// --- ParallelRangeScanner --------------------------------------------------
+
+ParallelRangeScanner::ParallelRangeScanner(const Table* table,
+                                           const RangeScanner::Layout& layout,
+                                           unsigned num_threads)
+    : table_(table), layout_(layout), pool_(num_threads) {
+  workers_.reserve(pool_.num_threads());
+  for (unsigned w = 0; w < pool_.num_threads(); ++w) {
+    workers_.emplace_back(table, layout);
+  }
+  partitions_.resize(pool_.num_threads());
+}
+
+Status ParallelRangeScanner::ScanStep(const PlanStep& step,
+                                      const SpatialPredicate& predicate,
+                                      uint64_t limit, QueryStats* stats,
+                                      std::vector<int64_t>* out) {
+  // Range counters come from the original (un-split) step so the parallel
+  // scan reports the same plan shape as the serial one.
+  uint64_t total_rows = 0;
+  for (const RowRange& range : step.ranges) {
+    total_rows += range.end - range.begin;
+    if (range.kind == RangeKind::kFull) {
+      ++stats->ranges_full;
+    } else {
+      ++stats->ranges_partial;
+    }
+  }
+  const uint64_t remaining =
+      limit == 0 ? 0 : (out->size() >= limit ? 0 : limit - out->size());
+  if (limit != 0 && remaining == 0) return Status::OK();
+
+  const unsigned threads = pool_.num_threads();
+  const uint32_t rows_per_page = table_->rows_per_page();
+  // Below ~one page per worker the fork/join overhead cannot pay off.
+  if (threads == 1 || total_rows < uint64_t{2} * threads * rows_per_page) {
+    QueryStats local;
+    Status status =
+        workers_[0].ScanStep(step, predicate, limit, &local, out);
+    stats->rows_scanned += local.rows_scanned;
+    stats->rows_tested += local.rows_tested;
+    stats->rows_emitted += local.rows_emitted;
+    return status;
+  }
+
+  // Partition the plan's rows into `threads` contiguous, page-aligned
+  // chunks. Page alignment keeps worker page sets disjoint within each
+  // range, which is what makes summed pages_fetched match serial exactly.
+  for (auto& partition : partitions_) partition.clear();
+  const uint64_t target = (total_rows + threads - 1) / threads;
+  unsigned w = 0;
+  uint64_t quota = target;
+  for (const RowRange& range : step.ranges) {
+    uint64_t begin = range.begin;
+    while (begin < range.end) {
+      if (quota == 0 && w + 1 < threads) {
+        ++w;
+        quota = target;
+      }
+      uint64_t cut = range.end;
+      if (range.end - begin > quota && w + 1 < threads) {
+        // Round the cut up to the next page boundary (always progresses,
+        // since begin + quota rounds past begin's page start).
+        const uint64_t raw = begin + quota;
+        cut = std::min<uint64_t>(
+            range.end,
+            (raw + rows_per_page - 1) / rows_per_page * rows_per_page);
+      }
+      partitions_[w].push_back(RowRange{begin, cut, range.kind});
+      const uint64_t taken = cut - begin;
+      quota -= std::min(quota, taken);
+      begin = cut;
+    }
+  }
+
+  std::vector<QueryStats> worker_stats(threads);
+  std::vector<std::vector<int64_t>> worker_out(threads);
+  std::vector<Status> worker_status(threads);
+  pool_.Run([&](unsigned worker) {
+    if (partitions_[worker].empty()) return;
+    PlanStep part;
+    part.ranges = partitions_[worker];
+    worker_status[worker] =
+        workers_[worker].ScanStep(part, predicate, remaining,
+                                  &worker_stats[worker], &worker_out[worker]);
+  });
+
+  for (unsigned i = 0; i < threads; ++i) {
+    MDS_RETURN_NOT_OK(worker_status[i]);
+  }
+
+  for (unsigned i = 0; i < threads; ++i) {
+    stats->rows_scanned += worker_stats[i].rows_scanned;
+    stats->rows_tested += worker_stats[i].rows_tested;
+  }
+
+  // Deterministic merge: concatenate in partition order (== plan order),
+  // truncating at the limit, so the emitted sequence matches serial.
+  uint64_t emitted = 0;
+  for (unsigned i = 0; i < threads; ++i) {
+    uint64_t take = worker_out[i].size();
+    if (limit != 0) {
+      const uint64_t room = limit - out->size();
+      take = std::min<uint64_t>(take, room);
+    }
+    out->insert(out->end(), worker_out[i].begin(),
+                worker_out[i].begin() + static_cast<ptrdiff_t>(take));
+    emitted += take;
+    if (limit != 0 && out->size() >= limit) break;
+  }
+  stats->rows_emitted += emitted;
+  return Status::OK();
+}
+
+void ParallelRangeScanner::AccumulateIo(QueryStats* stats) {
+  for (RangeScanner& worker : workers_) {
+    worker.AccumulateIo(stats);
+  }
 }
 
 }  // namespace mds

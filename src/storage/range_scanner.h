@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "geom/predicate.h"
 #include "storage/table.h"
@@ -37,10 +38,11 @@ struct PlanStep {
 /// Unified per-query counters shared by every access path — supersedes the
 /// per-index KdQueryStats / GridQueryStats / VoronoiQueryStats plumbing on
 /// the storage-backed path. Planning fields are filled by the access path,
-/// row fields by the RangeScanner, page fields from buffer-pool deltas.
-/// `pages_fetched` vs rows_emitted is the paper's E2 "practically only
-/// points which are actually returned are read from disk" measurement;
-/// rows_tested / rows_scanned is the Figure 5 full-vs-partial split.
+/// row fields by the RangeScanner, page fields by the scanner's own fetch
+/// accounting. `pages_fetched` vs rows_emitted is the paper's E2
+/// "practically only points which are actually returned are read from
+/// disk" measurement; rows_tested / rows_scanned is the Figure 5
+/// full-vs-partial split.
 struct QueryStats {
   // Planning (access-path) counters.
   uint64_t plan_steps = 0;      ///< batches executed (grid: layers visited)
@@ -55,7 +57,7 @@ struct QueryStats {
   uint64_t rows_tested = 0;   ///< rows run through the predicate (partial)
   uint64_t rows_emitted = 0;  ///< rows in the result set
 
-  // Page-level I/O (buffer-pool deltas).
+  // Page-level I/O (per-scanner fetch accounting).
   uint64_t pages_fetched = 0;  ///< logical page fetches (hits + misses)
   uint64_t pages_read = 0;     ///< physical page reads
 };
@@ -68,9 +70,20 @@ void CoalesceRanges(std::vector<RowRange>* ranges);
 /// Executes range plans against one stored point table through the buffer
 /// pool — the single physical scan loop every access path shares. Pages
 /// are pinned once each; the coordinate columns of a page's rows are
-/// decoded in one batch before predicate evaluation. The scanner owns all
-/// physical/logical read accounting for the query (via buffer-pool
-/// counter snapshots).
+/// decoded in one batch before predicate evaluation.
+///
+/// I/O accounting: the scanner counts its own page fetches and misses
+/// (via BufferPool::Fetch's physical-read report) rather than diffing
+/// pool-wide counters, so per-query pages_fetched / pages_read stay exact
+/// even while other queries run concurrently on the same pool — the
+/// invariant behind the E2/E3 page-accounting tables.
+///
+/// Thread safety: thread-compatible. One scanner belongs to one thread
+/// (it owns mutable scratch and counters); any number of scanners may
+/// scan the same table through the same (thread-safe) BufferPool
+/// concurrently. That is exactly how ParallelRangeScanner and
+/// QueryEngine::ExecuteBatch parallelize: one private RangeScanner per
+/// worker.
 class RangeScanner {
  public:
   /// Column layout of the scanned table (a point table: one int64 objid
@@ -86,12 +99,14 @@ class RangeScanner {
   /// Scans one plan step, appending qualifying objids to `out` and
   /// updating row counters in `stats`. `limit` (0 = none) stops the scan
   /// exactly when `out` reaches `limit` rows — the TOP(n) clause.
+  /// Single-threaded per scanner; see class comment.
   Status ScanStep(const PlanStep& step, const SpatialPredicate& predicate,
                   uint64_t limit, QueryStats* stats,
                   std::vector<int64_t>* out);
 
-  /// Adds the buffer-pool reads since construction (or since the previous
-  /// call) to `stats` and re-arms the snapshot.
+  /// Adds the page fetches/misses this scanner performed since
+  /// construction (or since the previous call) to `stats` and resets the
+  /// internal tally. Must be called by the scanner's owning thread.
   void AccumulateIo(QueryStats* stats);
 
   const Table* table() const { return table_; }
@@ -103,8 +118,57 @@ class RangeScanner {
 
   const Table* table_;
   Layout layout_;
-  CounterSnapshot io_since_;
+  uint64_t pages_fetched_ = 0;  // this scanner's pins (logical fetches)
+  uint64_t pages_read_ = 0;     // the subset that missed the pool
   std::vector<float> coord_batch_;  // page-at-a-time coordinate scratch
+};
+
+/// Data-parallel variant of RangeScanner: splits one PlanStep's row
+/// ranges across a fixed worker pool, scans the partitions concurrently
+/// (one private RangeScanner per worker) and merges the per-worker
+/// results and QueryStats deterministically.
+///
+/// Determinism and stats parity (the contract EXPERIMENTS.md's page
+/// tables rely on):
+///  - Partition cuts are page-aligned and workers own disjoint page sets
+///    within each range, so summed pages_fetched/pages_read equal the
+///    serial scan's exactly (when limit == 0).
+///  - Outputs are concatenated in partition order, so the emitted objid
+///    sequence is identical to the serial scan's.
+///  - ranges_full/ranges_partial are taken from the original step, not
+///    the split pieces.
+///  - With limit != 0 the result (first `limit` qualifying rows in plan
+///    order) is still identical to serial, but workers may overshoot:
+///    rows_scanned/pages_fetched can exceed the serial scan's.
+///
+/// Thread safety: thread-compatible — one ParallelRangeScanner per query;
+/// it spawns onto its own TaskPool. Concurrent instances over one shared
+/// BufferPool are safe.
+class ParallelRangeScanner {
+ public:
+  /// num_threads == 0 picks QueryThreads() (MDS_QUERY_THREADS).
+  ParallelRangeScanner(const Table* table, const RangeScanner::Layout& layout,
+                       unsigned num_threads = 0);
+
+  /// Parallel equivalent of RangeScanner::ScanStep; same contract, same
+  /// counters (see class comment for the limit != 0 caveat).
+  Status ScanStep(const PlanStep& step, const SpatialPredicate& predicate,
+                  uint64_t limit, QueryStats* stats,
+                  std::vector<int64_t>* out);
+
+  /// Adds the pooled workers' page fetch/miss tallies to `stats` (exactly
+  /// like RangeScanner::AccumulateIo, summed over workers).
+  void AccumulateIo(QueryStats* stats);
+
+  unsigned num_threads() const { return pool_.num_threads(); }
+
+ private:
+  const Table* table_;
+  RangeScanner::Layout layout_;
+  TaskPool pool_;
+  std::vector<RangeScanner> workers_;  // one per pool thread
+  // Sub-ranges assigned per worker, rebuilt each ScanStep (page-aligned).
+  std::vector<std::vector<RowRange>> partitions_;
 };
 
 }  // namespace mds
