@@ -16,6 +16,14 @@
     }                                                                       \
   } while (0)
 
+/// Debug-only invariant check: compiled out under NDEBUG so it can guard
+/// hot paths (per-access page bounds checks) at zero release cost.
+#ifdef NDEBUG
+#define MDS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
 #define MDS_DCHECK(cond) MDS_CHECK(cond)
+#endif
 
 #endif  // MDS_COMMON_LOGGING_H_

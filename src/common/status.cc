@@ -16,6 +16,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kCorruption:
       return "Corruption";
     case StatusCode::kResourceExhausted:
@@ -36,6 +38,14 @@ std::string Status::ToString() const {
   out += ": ";
   out += message_;
   return out;
+}
+
+Status AnnotateStatus(const Status& status, std::string_view context) {
+  if (status.ok()) return status;
+  std::string message(context);
+  message += ": ";
+  message += status.message();
+  return Status(status.code(), std::move(message));
 }
 
 }  // namespace mds

@@ -17,6 +17,7 @@ enum class StatusCode {
   kNotFound,
   kAlreadyExists,
   kIOError,
+  kUnavailable,  ///< transient I/O failure; safe to retry (EINTR, EAGAIN)
   kCorruption,
   kResourceExhausted,
   kFailedPrecondition,
@@ -59,6 +60,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
@@ -79,6 +83,9 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// True for failures that a bounded retry may clear (kUnavailable).
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
+
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
@@ -90,6 +97,13 @@ class Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Returns `status` with "<context>: " prepended to its message (no-op for
+/// OK). Every storage error site uses this to carry the file path and page
+/// id outward, so a failure deep in the pager surfaces as e.g.
+///   IOError: ReadPage(id=17, file '/data/sky.db'): short read
+/// instead of a bare "short read".
+Status AnnotateStatus(const Status& status, std::string_view context);
 
 }  // namespace mds
 

@@ -340,6 +340,8 @@ Result<StorageQueryResult> DriveAccessPath(AccessPath* path, Scanner* scanner,
   result.rows_scanned = st->rows_scanned;
   result.pages_read = st->pages_read;
   result.pages_fetched = st->pages_fetched;
+  result.pages_skipped = st->pages_skipped;
+  result.degraded = st->degraded;
   return result;
 }
 
@@ -353,23 +355,36 @@ RangeScanner::Layout LayoutOf(const AccessPath& path) {
 
 Result<StorageQueryResult> ExecuteAccessPath(AccessPath* path,
                                              QueryStats* stats) {
+  return ExecuteAccessPath(path, RangeScanner::ScanOptions{}, stats);
+}
+
+Result<StorageQueryResult> ExecuteAccessPath(
+    AccessPath* path, const RangeScanner::ScanOptions& scan_options,
+    QueryStats* stats) {
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats{};
   MDS_RETURN_NOT_OK(path->Validate());
-  RangeScanner scanner(path->binding().table, LayoutOf(*path));
+  RangeScanner scanner(path->binding().table, LayoutOf(*path), scan_options);
   return DriveAccessPath(path, &scanner, st);
 }
 
 Result<StorageQueryResult> ExecuteAccessPathParallel(AccessPath* path,
                                                      unsigned num_threads,
                                                      QueryStats* stats) {
+  return ExecuteAccessPathParallel(path, num_threads,
+                                   RangeScanner::ScanOptions{}, stats);
+}
+
+Result<StorageQueryResult> ExecuteAccessPathParallel(
+    AccessPath* path, unsigned num_threads,
+    const RangeScanner::ScanOptions& scan_options, QueryStats* stats) {
   QueryStats local;
   QueryStats* st = stats != nullptr ? stats : &local;
   *st = QueryStats{};
   MDS_RETURN_NOT_OK(path->Validate());
   ParallelRangeScanner scanner(path->binding().table, LayoutOf(*path),
-                               num_threads);
+                               num_threads, scan_options);
   return DriveAccessPath(path, &scanner, st);
 }
 

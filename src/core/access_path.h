@@ -31,6 +31,13 @@ struct StorageQueryResult {
   uint64_t rows_scanned = 0;
   uint64_t pages_read = 0;     ///< physical page reads during the query
   uint64_t pages_fetched = 0;  ///< logical page fetches (hits + misses)
+
+  /// Degradation contract: when `degraded` is true the result is an
+  /// explicitly partial answer — `pages_skipped` clustered pages failed
+  /// checksum verification and their rows are absent. A non-degraded
+  /// result is complete (or the query returned a non-OK Status instead).
+  uint64_t pages_skipped = 0;
+  bool degraded = false;
 };
 
 /// Cost of one access path for one query, estimated from index metadata
@@ -220,6 +227,13 @@ class TableSamplePath final : public AccessPath {
 Result<StorageQueryResult> ExecuteAccessPath(AccessPath* path,
                                              QueryStats* stats = nullptr);
 
+/// As above with an explicit degradation policy: pass
+/// ScanOptions{.skip_corrupt_pages = true} to turn checksum failures into
+/// a degraded (partial, flagged) result instead of a kCorruption error.
+Result<StorageQueryResult> ExecuteAccessPath(
+    AccessPath* path, const RangeScanner::ScanOptions& scan_options,
+    QueryStats* stats = nullptr);
+
 /// Intra-query parallel variant: executes the same plan through a
 /// ParallelRangeScanner, which splits each PlanStep's row ranges across
 /// `num_threads` workers (0 = MDS_QUERY_THREADS / hardware_concurrency).
@@ -228,6 +242,11 @@ Result<StorageQueryResult> ExecuteAccessPath(AccessPath* path,
 /// merge contract.
 Result<StorageQueryResult> ExecuteAccessPathParallel(
     AccessPath* path, unsigned num_threads, QueryStats* stats = nullptr);
+
+/// Parallel variant with an explicit degradation policy.
+Result<StorageQueryResult> ExecuteAccessPathParallel(
+    AccessPath* path, unsigned num_threads,
+    const RangeScanner::ScanOptions& scan_options, QueryStats* stats = nullptr);
 
 }  // namespace mds
 

@@ -22,6 +22,28 @@ Result<Box> ReadBox(PageStreamReader* r, size_t dim) {
   return Box(std::move(lo), std::move(hi));
 }
 
+std::string HeadContext(const char* what, PageId head) {
+  return std::string(what) + "(head=" + std::to_string(head) + ")";
+}
+
+/// Shared tail of every Save: finish the chain, then make it durable
+/// before the head escapes. Save chains live in freshly allocated pages,
+/// so a crash or I/O failure anywhere in here leaves any previously saved
+/// index physically untouched — the caller still holds the old head and
+/// the old chain still loads. Only after FlushAll (write-back + fsync)
+/// succeeds is the new head returned for the caller to swap into its
+/// catalog: the classic write-new / sync / swap-pointer commit protocol.
+Result<PageId> FinishAtomic(BufferPool* pool, PageStreamWriter* w,
+                            const char* what) {
+  Result<PageId> head = w->Finish();
+  if (!head.ok()) return AnnotateStatus(head.status(), what);
+  Status flushed = pool->FlushAll();
+  if (!flushed.ok()) {
+    return AnnotateStatus(flushed, HeadContext(what, *head));
+  }
+  return *head;
+}
+
 Status ValidateHeader(PageStreamReader* r, uint64_t magic,
                       const PointSet* points) {
   MDS_ASSIGN_OR_RETURN(uint64_t got_magic, r->ReadValue<uint64_t>());
@@ -45,32 +67,36 @@ Status ValidateHeader(PageStreamReader* r, uint64_t magic,
 Result<PageId> IndexIo::SaveKdTree(BufferPool* pool,
                                    const KdTreeIndex& index) {
   PageStreamWriter w(pool);
-  MDS_RETURN_NOT_OK(w.WriteValue(kKdMagic));
+  auto write = [&]() -> Status {
+    MDS_RETURN_NOT_OK(w.WriteValue(kKdMagic));
   MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.dim()));
   MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.num_points()));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_levels_));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_leaves_));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.nodes_.size()));
-  for (const KdTreeIndex::Node& node : index.nodes_) {
-    MDS_RETURN_NOT_OK(w.WriteValue<int32_t>(node.split_dim));
-    MDS_RETURN_NOT_OK(w.WriteValue<double>(node.split_value));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.left));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.right));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.post_order));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.first_leaf));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.last_leaf));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(node.row_begin));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(node.row_end));
-    MDS_RETURN_NOT_OK(WriteBox(&w, node.region));
-    MDS_RETURN_NOT_OK(WriteBox(&w, node.bounds));
-  }
-  MDS_RETURN_NOT_OK(w.WriteVector(index.leaf_node_index_));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.clustered_order_));
-  return w.Finish();
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_levels_));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_leaves_));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.nodes_.size()));
+    for (const KdTreeIndex::Node& node : index.nodes_) {
+      MDS_RETURN_NOT_OK(w.WriteValue<int32_t>(node.split_dim));
+      MDS_RETURN_NOT_OK(w.WriteValue<double>(node.split_value));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.left));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.right));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.post_order));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.first_leaf));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(node.last_leaf));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(node.row_begin));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(node.row_end));
+      MDS_RETURN_NOT_OK(WriteBox(&w, node.region));
+      MDS_RETURN_NOT_OK(WriteBox(&w, node.bounds));
+    }
+    MDS_RETURN_NOT_OK(w.WriteVector(index.leaf_node_index_));
+    return w.WriteVector(index.clustered_order_);
+  };
+  MDS_RETURN_NOT_OK(AnnotateStatus(write(), "IndexIo::SaveKdTree"));
+  return FinishAtomic(pool, &w, "IndexIo::SaveKdTree");
 }
 
 Result<KdTreeIndex> IndexIo::LoadKdTree(BufferPool* pool, PageId head,
                                         const PointSet* points) {
+  auto load = [&]() -> Result<KdTreeIndex> {
   PageStreamReader r(pool, head);
   MDS_RETURN_NOT_OK(ValidateHeader(&r, kKdMagic, points));
   KdTreeIndex index;
@@ -103,6 +129,13 @@ Result<KdTreeIndex> IndexIo::LoadKdTree(BufferPool* pool, PageId head,
     return Status::Corruption("IndexIo: kd-tree payload sizes inconsistent");
   }
   return index;
+  };
+  Result<KdTreeIndex> result = load();
+  if (!result.ok()) {
+    return AnnotateStatus(result.status(),
+                          HeadContext("IndexIo::LoadKdTree", head));
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -111,27 +144,31 @@ Result<KdTreeIndex> IndexIo::LoadKdTree(BufferPool* pool, PageId head,
 Result<PageId> IndexIo::SaveLayeredGrid(BufferPool* pool,
                                         const LayeredGridIndex& index) {
   PageStreamWriter w(pool);
-  MDS_RETURN_NOT_OK(w.WriteValue(kGridMagic));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.dim()));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.points_->size()));
-  MDS_RETURN_NOT_OK(WriteBox(&w, index.bounds_));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_layers()));
-  for (const LayeredGridIndex::Layer& layer : index.layers_) {
-    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(layer.resolution));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(layer.row_begin));
-    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(layer.row_end));
-    MDS_RETURN_NOT_OK(w.WriteVector(layer.cells));
-  }
-  MDS_RETURN_NOT_OK(w.WriteVector(index.random_id_));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.layer_of_));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.contained_by_));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.clustered_order_));
-  return w.Finish();
+  auto write = [&]() -> Status {
+    MDS_RETURN_NOT_OK(w.WriteValue(kGridMagic));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.dim()));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.points_->size()));
+    MDS_RETURN_NOT_OK(WriteBox(&w, index.bounds_));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_layers()));
+    for (const LayeredGridIndex::Layer& layer : index.layers_) {
+      MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(layer.resolution));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(layer.row_begin));
+      MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(layer.row_end));
+      MDS_RETURN_NOT_OK(w.WriteVector(layer.cells));
+    }
+    MDS_RETURN_NOT_OK(w.WriteVector(index.random_id_));
+    MDS_RETURN_NOT_OK(w.WriteVector(index.layer_of_));
+    MDS_RETURN_NOT_OK(w.WriteVector(index.contained_by_));
+    return w.WriteVector(index.clustered_order_);
+  };
+  MDS_RETURN_NOT_OK(AnnotateStatus(write(), "IndexIo::SaveLayeredGrid"));
+  return FinishAtomic(pool, &w, "IndexIo::SaveLayeredGrid");
 }
 
 Result<LayeredGridIndex> IndexIo::LoadLayeredGrid(BufferPool* pool,
                                                   PageId head,
                                                   const PointSet* points) {
+  auto load = [&]() -> Result<LayeredGridIndex> {
   PageStreamReader r(pool, head);
   MDS_RETURN_NOT_OK(ValidateHeader(&r, kGridMagic, points));
   LayeredGridIndex index;
@@ -155,6 +192,13 @@ Result<LayeredGridIndex> IndexIo::LoadLayeredGrid(BufferPool* pool,
     return Status::Corruption("IndexIo: grid payload sizes inconsistent");
   }
   return index;
+  };
+  Result<LayeredGridIndex> result = load();
+  if (!result.ok()) {
+    return AnnotateStatus(result.status(),
+                          HeadContext("IndexIo::LoadLayeredGrid", head));
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -163,35 +207,40 @@ Result<LayeredGridIndex> IndexIo::LoadLayeredGrid(BufferPool* pool,
 Result<PageId> IndexIo::SaveVoronoi(BufferPool* pool,
                                     const VoronoiIndex& index) {
   PageStreamWriter w(pool);
-  MDS_RETURN_NOT_OK(w.WriteValue(kVoronoiMagic));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.dim()));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.points_->size()));
-  MDS_RETURN_NOT_OK(WriteBox(&w, index.data_bounds_));
-  MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_seeds()));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.seeds_->raw()));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.seed_ids_));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.tags_));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.clustered_order_));
-  MDS_RETURN_NOT_OK(w.WriteVector(index.cell_rows_));
-  for (const Box& box : index.cell_bounds_) {
-    MDS_RETURN_NOT_OK(WriteBox(&w, box));
-  }
-  // Adjacency: offsets + flattened edges (the Delaunay triangulation
-  // itself is not persisted — the graph is what queries use; §3.4 likewise
-  // suggests storing only the Delaunay edges).
-  std::vector<uint64_t> offsets(index.graph_.size() + 1, 0);
-  std::vector<uint32_t> edges;
-  for (size_t s = 0; s < index.graph_.size(); ++s) {
-    offsets[s + 1] = offsets[s] + index.graph_[s].size();
-    edges.insert(edges.end(), index.graph_[s].begin(), index.graph_[s].end());
-  }
-  MDS_RETURN_NOT_OK(w.WriteVector(offsets));
-  MDS_RETURN_NOT_OK(w.WriteVector(edges));
-  return w.Finish();
+  auto write = [&]() -> Status {
+    MDS_RETURN_NOT_OK(w.WriteValue(kVoronoiMagic));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.dim()));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(index.points_->size()));
+    MDS_RETURN_NOT_OK(WriteBox(&w, index.data_bounds_));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint32_t>(index.num_seeds()));
+    MDS_RETURN_NOT_OK(w.WriteVector(index.seeds_->raw()));
+    MDS_RETURN_NOT_OK(w.WriteVector(index.seed_ids_));
+    MDS_RETURN_NOT_OK(w.WriteVector(index.tags_));
+    MDS_RETURN_NOT_OK(w.WriteVector(index.clustered_order_));
+    MDS_RETURN_NOT_OK(w.WriteVector(index.cell_rows_));
+    for (const Box& box : index.cell_bounds_) {
+      MDS_RETURN_NOT_OK(WriteBox(&w, box));
+    }
+    // Adjacency: offsets + flattened edges (the Delaunay triangulation
+    // itself is not persisted — the graph is what queries use; §3.4
+    // likewise suggests storing only the Delaunay edges).
+    std::vector<uint64_t> offsets(index.graph_.size() + 1, 0);
+    std::vector<uint32_t> edges;
+    for (size_t s = 0; s < index.graph_.size(); ++s) {
+      offsets[s + 1] = offsets[s] + index.graph_[s].size();
+      edges.insert(edges.end(), index.graph_[s].begin(),
+                   index.graph_[s].end());
+    }
+    MDS_RETURN_NOT_OK(w.WriteVector(offsets));
+    return w.WriteVector(edges);
+  };
+  MDS_RETURN_NOT_OK(AnnotateStatus(write(), "IndexIo::SaveVoronoi"));
+  return FinishAtomic(pool, &w, "IndexIo::SaveVoronoi");
 }
 
 Result<VoronoiIndex> IndexIo::LoadVoronoi(BufferPool* pool, PageId head,
                                           const PointSet* points) {
+  auto load = [&]() -> Result<VoronoiIndex> {
   PageStreamReader r(pool, head);
   MDS_RETURN_NOT_OK(ValidateHeader(&r, kVoronoiMagic, points));
   VoronoiIndex index;
@@ -233,6 +282,13 @@ Result<VoronoiIndex> IndexIo::LoadVoronoi(BufferPool* pool, PageId head,
   if (!tree.ok()) return tree.status();
   index.seed_tree_ = std::make_unique<KdTreeIndex>(std::move(*tree));
   return index;
+  };
+  Result<VoronoiIndex> result = load();
+  if (!result.ok()) {
+    return AnnotateStatus(result.status(),
+                          HeadContext("IndexIo::LoadVoronoi", head));
+  }
+  return result;
 }
 
 }  // namespace mds

@@ -1,5 +1,8 @@
 #include "core/query_planner.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace mds {
 
 QueryPlanner& QueryPlanner::AddPath(std::unique_ptr<AccessPath> path) {
@@ -37,9 +40,50 @@ std::vector<QueryPlanner::Candidate> QueryPlanner::ExplainAll() const {
 
 Result<StorageQueryResult> QueryPlanner::Execute(QueryStats* stats,
                                                  std::string* chosen) {
-  MDS_ASSIGN_OR_RETURN(size_t best, ChooseBest());
-  if (chosen != nullptr) *chosen = paths_[best]->name();
-  return ExecuteAccessPath(paths_[best].get(), stats);
+  return Execute(ExecuteOptions{}, stats, chosen);
+}
+
+Result<StorageQueryResult> QueryPlanner::Execute(const ExecuteOptions& options,
+                                                 QueryStats* stats,
+                                                 std::string* chosen) {
+  // Rank every feasible path by estimated cost; execution walks this order
+  // so a corruption fallback lands on the next-cheapest alternative.
+  std::vector<std::pair<double, size_t>> order;
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    if (!paths_[i]->Validate().ok()) continue;
+    const CostEstimate estimate = paths_[i]->Estimate();
+    if (!estimate.feasible) continue;
+    order.emplace_back(estimate.Total(), i);
+  }
+  if (order.empty()) {
+    return Status::InvalidArgument("QueryPlanner: no feasible access path");
+  }
+  std::sort(order.begin(), order.end());
+
+  Status last;
+  bool fell_back = false;
+  for (const auto& [cost, i] : order) {
+    Result<StorageQueryResult> attempt =
+        ExecuteAccessPath(paths_[i].get(), options.scan, stats);
+    if (attempt.ok()) {
+      if (chosen != nullptr) *chosen = paths_[i]->name();
+      StorageQueryResult result = std::move(*attempt);
+      if (fell_back) {
+        // The answer is trustworthy (this path verified clean) but the
+        // query did hit corruption en route; surface that to the caller.
+        result.degraded = true;
+        if (stats != nullptr) stats->degraded = true;
+      }
+      return result;
+    }
+    last = attempt.status();
+    if (!options.fallback_on_corruption ||
+        last.code() != StatusCode::kCorruption) {
+      return last;
+    }
+    fell_back = true;
+  }
+  return AnnotateStatus(last, "QueryPlanner: every access path failed");
 }
 
 }  // namespace mds

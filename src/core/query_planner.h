@@ -40,9 +40,26 @@ class QueryPlanner {
   /// indices).
   std::vector<Candidate> ExplainAll() const;
 
+  /// Degradation policy for Execute (see DESIGN.md "Failure model").
+  struct ExecuteOptions {
+    /// When the chosen path fails with kCorruption (a checksum failure in
+    /// its index or data pages), try the remaining feasible paths in cost
+    /// order — typically ending at the clustered full scan, which depends
+    /// on no index pages. A result produced after a fallback is marked
+    /// degraded even when complete: corruption was detected on the way.
+    bool fallback_on_corruption = true;
+    /// Scan-level policy, forwarded to the executing RangeScanner.
+    RangeScanner::ScanOptions scan;
+  };
+
   /// Chooses the cheapest path and executes it. `chosen` (optional)
   /// receives the winning path's name.
   Result<StorageQueryResult> Execute(QueryStats* stats = nullptr,
+                                     std::string* chosen = nullptr);
+
+  /// As above with an explicit degradation policy.
+  Result<StorageQueryResult> Execute(const ExecuteOptions& options,
+                                     QueryStats* stats = nullptr,
                                      std::string* chosen = nullptr);
 
  private:

@@ -72,10 +72,10 @@ class BPlusTree {
   // Capacity constants exposed for tests.
   static constexpr size_t kHeaderSize = 4;
   static constexpr size_t kLeafHeader = kHeaderSize + 8;   // + next pointer
-  static constexpr size_t kLeafCapacity = (kPageSize - kLeafHeader) / 16;
+  static constexpr size_t kLeafCapacity = (kPageUsableSize - kLeafHeader) / 16;
   static constexpr size_t kInternalHeader = kHeaderSize + 8;  // + child0
   static constexpr size_t kInternalCapacity =
-      (kPageSize - kInternalHeader) / 16;
+      (kPageUsableSize - kInternalHeader) / 16;
 };
 
 }  // namespace mds

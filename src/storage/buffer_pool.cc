@@ -17,8 +17,9 @@ size_t AutoShards(size_t capacity) {
 
 }  // namespace
 
-BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
-    : pager_(pager), capacity_(capacity) {
+BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards,
+                       bool verify_checksums)
+    : pager_(pager), capacity_(capacity), verify_checksums_(verify_checksums) {
   MDS_CHECK(capacity_ > 0);
   if (shards == 0) shards = AutoShards(capacity);
   if (shards > capacity) shards = capacity;
@@ -36,6 +37,10 @@ BufferPool::~BufferPool() {
 }
 
 Result<BufferPool::PageGuard> BufferPool::Fetch(PageId id, bool* physical) {
+  if (IsQuarantined(id)) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is quarantined (failed checksum earlier)");
+  }
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.logical_reads.fetch_add(1, std::memory_order_relaxed);
@@ -74,6 +79,25 @@ Result<BufferPool::Frame*> BufferPool::GetFrame(Shard& shard, PageId id,
     shard.physical_reads.fetch_add(1, std::memory_order_relaxed);
     if (physical != nullptr) *physical = true;
     MDS_RETURN_NOT_OK(pager_->ReadPage(id, &frame->page));
+    if (verify_checksums_) {
+      switch (VerifyPageChecksum(frame->page)) {
+        case PageVerdict::kOk:
+          shard.checksums_verified.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case PageVerdict::kUnformatted:
+          shard.checksum_skips.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case PageVerdict::kCorrupt:
+          // The frame is dropped, never entering the table: a corrupt
+          // page must not be served from cache, not even by accident.
+          shard.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+          Quarantine(id);
+          return Status::Corruption(
+              "page " + std::to_string(id) + " failed checksum: stored=" +
+              std::to_string(PageStoredCrc(frame->page)) +
+              " computed=" + std::to_string(PageComputedCrc(frame->page)));
+      }
+    }
   }
   Frame* raw = frame.get();
   shard.frames.emplace(id, std::move(frame));
@@ -89,8 +113,7 @@ Status BufferPool::EvictOne(Shard& shard) {
     Frame* f = fit->second.get();
     if (f->pins != 0) continue;
     if (f->dirty) {
-      shard.physical_writes.fetch_add(1, std::memory_order_relaxed);
-      MDS_RETURN_NOT_OK(pager_->WritePage(f->id, f->page));
+      MDS_RETURN_NOT_OK(WriteBack(shard, f));
     }
     shard.lru.erase(std::next(it).base());
     shard.frames.erase(fit);
@@ -126,13 +149,38 @@ Status BufferPool::FlushAll() {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto& [id, frame] : shard->frames) {
       if (frame->dirty) {
-        shard->physical_writes.fetch_add(1, std::memory_order_relaxed);
-        MDS_RETURN_NOT_OK(pager_->WritePage(frame->id, frame->page));
+        MDS_RETURN_NOT_OK(WriteBack(*shard, frame.get()));
         frame->dirty = false;
       }
     }
   }
   return pager_->Sync();
+}
+
+Status BufferPool::WriteBack(Shard& shard, Frame* f) {
+  // Stamp the footer CRC right before the bytes leave the pool — the one
+  // choke point every physical write funnels through, so no page reaches
+  // the device unstamped.
+  if (verify_checksums_) StampPageChecksum(&f->page);
+  shard.physical_writes.fetch_add(1, std::memory_order_relaxed);
+  return pager_->WritePage(f->id, f->page);
+}
+
+void BufferPool::Quarantine(PageId id) {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantined_.insert(id);
+  quarantine_nonempty_.store(true, std::memory_order_release);
+}
+
+bool BufferPool::IsQuarantined(PageId id) const {
+  if (!quarantine_nonempty_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_.count(id) != 0;
+}
+
+size_t BufferPool::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_.size();
 }
 
 BufferPoolStats BufferPool::stats() const {
@@ -144,6 +192,12 @@ BufferPoolStats BufferPool::stats() const {
     total.physical_writes +=
         shard->physical_writes.load(std::memory_order_relaxed);
     total.evictions += shard->evictions.load(std::memory_order_relaxed);
+    total.checksums_verified +=
+        shard->checksums_verified.load(std::memory_order_relaxed);
+    total.checksum_skips +=
+        shard->checksum_skips.load(std::memory_order_relaxed);
+    total.checksum_failures +=
+        shard->checksum_failures.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -154,18 +208,25 @@ void BufferPool::ResetStats() {
     shard->physical_reads.store(0, std::memory_order_relaxed);
     shard->physical_writes.store(0, std::memory_order_relaxed);
     shard->evictions.store(0, std::memory_order_relaxed);
+    shard->checksums_verified.store(0, std::memory_order_relaxed);
+    shard->checksum_skips.store(0, std::memory_order_relaxed);
+    shard->checksum_failures.store(0, std::memory_order_relaxed);
   }
 }
 
 CounterSnapshot BufferPool::Snapshot() const {
   const BufferPoolStats total = stats();
-  return CounterSnapshot{total.logical_reads, total.physical_reads};
+  return CounterSnapshot{total.logical_reads, total.physical_reads,
+                         total.checksums_verified, total.checksum_skips};
 }
 
 CounterSnapshot::Delta BufferPool::Delta(const CounterSnapshot& since) const {
   const BufferPoolStats total = stats();
-  return CounterSnapshot::Delta{total.logical_reads - since.logical_reads,
-                                total.physical_reads - since.physical_reads};
+  return CounterSnapshot::Delta{
+      total.logical_reads - since.logical_reads,
+      total.physical_reads - since.physical_reads,
+      total.checksums_verified - since.checksums_verified,
+      total.checksum_skips - since.checksum_skips};
 }
 
 size_t BufferPool::resident() const {

@@ -7,10 +7,12 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "storage/page.h"
+#include "storage/page_checksum.h"
 #include "storage/pager.h"
 
 namespace mds {
@@ -24,6 +26,9 @@ struct BufferPoolStats {
   uint64_t physical_reads = 0;  ///< fetches that had to hit the pager
   uint64_t physical_writes = 0;
   uint64_t evictions = 0;
+  uint64_t checksums_verified = 0;  ///< miss reads whose CRC checked out
+  uint64_t checksum_skips = 0;      ///< unformatted (fresh zero) pages
+  uint64_t checksum_failures = 0;   ///< miss reads rejected -> quarantined
 
   double HitRate() const {
     return logical_reads == 0
@@ -44,10 +49,14 @@ struct BufferPoolStats {
 struct CounterSnapshot {
   uint64_t logical_reads = 0;
   uint64_t physical_reads = 0;
+  uint64_t checksums_verified = 0;
+  uint64_t checksum_skips = 0;
 
   struct Delta {
     uint64_t logical_reads = 0;   ///< page fetches since the snapshot
     uint64_t physical_reads = 0;  ///< fetches that missed the pool
+    uint64_t checksums_verified = 0;  ///< CRC verifications in the window
+    uint64_t checksum_skips = 0;      ///< unformatted pages skipped
   };
 };
 
@@ -84,7 +93,11 @@ class BufferPool {
   /// owns at least kMinShardCapacity pages (small pools degrade to a
   /// single shard, i.e. exactly the old single-threaded LRU semantics,
   /// which the storage tests rely on).
-  BufferPool(Pager* pager, size_t capacity, size_t shards = 0);
+  /// verify_checksums: when true (default), every dirty write-back stamps
+  /// the page footer CRC and every pool miss verifies it; false disables
+  /// both, which exists solely so bench_integrity can measure the cost.
+  BufferPool(Pager* pager, size_t capacity, size_t shards = 0,
+             bool verify_checksums = true);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -119,6 +132,14 @@ class BufferPool {
   size_t num_shards() const { return shards_.size(); }
   size_t resident() const;
   Pager* pager() const { return pager_; }
+  bool verify_checksums() const { return verify_checksums_; }
+
+  /// True if `id` failed checksum verification earlier. Quarantined pages
+  /// never enter the frame table: Fetch fails fast with kCorruption without
+  /// re-reading the device, so a scan that skips corrupt pages pays for the
+  /// bad page once, not once per query.
+  bool IsQuarantined(PageId id) const;
+  size_t quarantined_count() const;
 
   /// Auto-sharding floor: a shard is only split off while every shard
   /// keeps at least this many pages, so tiny pools stay single-sharded
@@ -152,6 +173,9 @@ class BufferPool {
     std::atomic<uint64_t> physical_reads{0};
     std::atomic<uint64_t> physical_writes{0};
     std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> checksums_verified{0};
+    std::atomic<uint64_t> checksum_skips{0};
+    std::atomic<uint64_t> checksum_failures{0};
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
@@ -161,10 +185,21 @@ class BufferPool {
   Status EvictOne(Shard& shard);
   void Pin(Shard& shard, Frame* f);
   void Unpin(Frame* f, bool dirty);
+  Status WriteBack(Shard& shard, Frame* f);
+  void Quarantine(PageId id);
 
   Pager* pager_;
   size_t capacity_;
+  bool verify_checksums_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Pages rejected by checksum verification. Kept out of the sharded
+  /// frame tables on purpose: the set is expected to be empty in healthy
+  /// operation, so the hot Fetch path only pays one relaxed atomic load
+  /// (quarantine_nonempty_) before skipping the lookup entirely.
+  mutable std::mutex quarantine_mu_;
+  std::unordered_set<PageId> quarantined_;
+  std::atomic<bool> quarantine_nonempty_{false};
 
   friend class PageGuard;
 };

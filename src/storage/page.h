@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace mds {
 
 /// Fixed page size, matching the 8 KB pages of the SQL Server instance the
@@ -15,17 +17,42 @@ namespace mds {
 /// claim is measured.
 inline constexpr size_t kPageSize = 8192;
 
+/// Integrity footer at the tail of every page:
+///   [u8 format][u8 epoch][u16 reserved][u32 crc32c]
+/// The CRC covers bytes [0, kPageSize - 4) — payload plus format/epoch —
+/// and is stamped by the buffer pool on every physical write and verified
+/// on every physical read (see storage/page_checksum.h). Pages written
+/// before the stamp (freshly allocated zero pages) carry format 0 and are
+/// skipped by verification rather than failed.
+inline constexpr size_t kPageFooterSize = 8;
+
+/// Bytes usable by page consumers (tables, page streams, B+-tree nodes);
+/// the footer claims the rest.
+inline constexpr size_t kPageUsableSize = kPageSize - kPageFooterSize;
+
+/// Footer field offsets within the page.
+inline constexpr size_t kPageFormatOffset = kPageSize - 8;
+inline constexpr size_t kPageEpochOffset = kPageSize - 7;
+inline constexpr size_t kPageCrcOffset = kPageSize - 4;
+
+/// Format byte values. kPageFormatNone marks a page never stamped by the
+/// checksum layer (e.g. a freshly allocated zero page); kPageFormatV1 is
+/// the current checksummed format.
+inline constexpr uint8_t kPageFormatNone = 0;
+inline constexpr uint8_t kPageFormatV1 = 1;
+
 using PageId = uint64_t;
 inline constexpr PageId kInvalidPageId = ~PageId{0};
 
-/// Raw page buffer with typed access helpers. Readers/writers are
-/// responsible for staying inside kPageSize (checked in debug builds by the
-/// callers' offsets).
+/// Raw page buffer with typed access helpers. Offsets are bounds-checked
+/// in debug builds; release builds trust the callers (the hot row-decode
+/// paths pre-validate their offsets against the schema).
 struct Page {
   std::array<uint8_t, kPageSize> data{};
 
   template <typename T>
   T ReadAt(size_t offset) const {
+    MDS_DCHECK(offset <= kPageSize && sizeof(T) <= kPageSize - offset);
     T v;
     std::memcpy(&v, data.data() + offset, sizeof(T));
     return v;
@@ -33,6 +60,7 @@ struct Page {
 
   template <typename T>
   void WriteAt(size_t offset, const T& v) {
+    MDS_DCHECK(offset <= kPageSize && sizeof(T) <= kPageSize - offset);
     std::memcpy(data.data() + offset, &v, sizeof(T));
   }
 

@@ -1,0 +1,36 @@
+#include "storage/page_checksum.h"
+
+#include "common/crc32c.h"
+
+namespace mds {
+
+uint32_t PageStoredCrc(const Page& page) {
+  return page.ReadAt<uint32_t>(kPageCrcOffset);
+}
+
+uint32_t PageComputedCrc(const Page& page) {
+  return Crc32c(page.bytes(), kPageCrcOffset);
+}
+
+void StampPageChecksum(Page* page) {
+  page->WriteAt<uint8_t>(kPageFormatOffset, kPageFormatV1);
+  page->WriteAt<uint32_t>(kPageCrcOffset, PageComputedCrc(*page));
+}
+
+PageVerdict VerifyPageChecksum(const Page& page) {
+  const uint8_t format = page.ReadAt<uint8_t>(kPageFormatOffset);
+  if (format == kPageFormatNone) {
+    // The only page legitimately lacking a stamp is a freshly allocated
+    // zero page. A nonzero payload under a zero footer means a stamped
+    // write was torn before its footer landed — corrupt, not skippable.
+    for (size_t off = 0; off < kPageSize; off += sizeof(uint64_t)) {
+      if (page.ReadAt<uint64_t>(off) != 0) return PageVerdict::kCorrupt;
+    }
+    return PageVerdict::kUnformatted;
+  }
+  if (format != kPageFormatV1) return PageVerdict::kCorrupt;
+  return PageStoredCrc(page) == PageComputedCrc(page) ? PageVerdict::kOk
+                                                      : PageVerdict::kCorrupt;
+}
+
+}  // namespace mds

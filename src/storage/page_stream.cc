@@ -72,7 +72,7 @@ Status PageStreamReader::LoadNextPage() {
   const Page& page = guard.page();
   next_ = page.ReadAt<PageId>(0);
   uint32_t used = page.ReadAt<uint32_t>(8);
-  if (used > kPageSize - kHeader) {
+  if (used > kPageUsableSize - kHeader) {
     return Status::Corruption("PageStreamReader: bad page header");
   }
   buffer_.assign(page.bytes() + kHeader, page.bytes() + kHeader + used);

@@ -53,7 +53,7 @@ class PageStreamWriter {
   bool finished_ = false;
 
   static constexpr size_t kHeader = 12;
-  static constexpr size_t kCapacity = kPageSize - kHeader;
+  static constexpr size_t kCapacity = kPageUsableSize - kHeader;
 };
 
 /// Reader for chains written by PageStreamWriter.

@@ -25,7 +25,11 @@ void CoalesceRanges(std::vector<RowRange>* ranges) {
 }
 
 RangeScanner::RangeScanner(const Table* table, const Layout& layout)
-    : table_(table), layout_(layout) {
+    : RangeScanner(table, layout, ScanOptions{}) {}
+
+RangeScanner::RangeScanner(const Table* table, const Layout& layout,
+                           const ScanOptions& options)
+    : table_(table), layout_(layout), options_(options) {
   coord_batch_.resize(static_cast<size_t>(table->rows_per_page()) *
                       layout.dim);
 }
@@ -67,9 +71,20 @@ Status RangeScanner::ScanRange(const RowRange& range,
     const uint64_t rows_here =
         std::min<uint64_t>(range.end - row, rows_per_page - first_in_page);
     bool physical = false;
-    MDS_ASSIGN_OR_RETURN(
-        BufferPool::PageGuard guard,
-        table_->pool()->Fetch(table_->page_id(page_index), &physical));
+    Result<BufferPool::PageGuard> fetched =
+        table_->pool()->Fetch(table_->page_id(page_index), &physical);
+    if (!fetched.ok()) {
+      if (options_.skip_corrupt_pages &&
+          fetched.status().code() == StatusCode::kCorruption) {
+        // Degraded mode: the page is quarantined; drop its rows, say so.
+        ++stats->pages_skipped;
+        stats->degraded = true;
+        row += rows_here;
+        continue;
+      }
+      return fetched.status();
+    }
+    BufferPool::PageGuard guard = std::move(*fetched);
     ++pages_fetched_;
     if (physical) ++pages_read_;
     const uint8_t* base = guard.page().bytes() + first_in_page * row_size;
@@ -120,10 +135,16 @@ void RangeScanner::AccumulateIo(QueryStats* stats) {
 ParallelRangeScanner::ParallelRangeScanner(const Table* table,
                                            const RangeScanner::Layout& layout,
                                            unsigned num_threads)
+    : ParallelRangeScanner(table, layout, num_threads,
+                           RangeScanner::ScanOptions{}) {}
+
+ParallelRangeScanner::ParallelRangeScanner(
+    const Table* table, const RangeScanner::Layout& layout,
+    unsigned num_threads, const RangeScanner::ScanOptions& options)
     : table_(table), layout_(layout), pool_(num_threads) {
   workers_.reserve(pool_.num_threads());
   for (unsigned w = 0; w < pool_.num_threads(); ++w) {
-    workers_.emplace_back(table, layout);
+    workers_.emplace_back(table, layout, options);
   }
   partitions_.resize(pool_.num_threads());
 }
@@ -157,6 +178,8 @@ Status ParallelRangeScanner::ScanStep(const PlanStep& step,
     stats->rows_scanned += local.rows_scanned;
     stats->rows_tested += local.rows_tested;
     stats->rows_emitted += local.rows_emitted;
+    stats->pages_skipped += local.pages_skipped;
+    stats->degraded = stats->degraded || local.degraded;
     return status;
   }
 
@@ -209,6 +232,8 @@ Status ParallelRangeScanner::ScanStep(const PlanStep& step,
   for (unsigned i = 0; i < threads; ++i) {
     stats->rows_scanned += worker_stats[i].rows_scanned;
     stats->rows_tested += worker_stats[i].rows_tested;
+    stats->pages_skipped += worker_stats[i].pages_skipped;
+    stats->degraded = stats->degraded || worker_stats[i].degraded;
   }
 
   // Deterministic merge: concatenate in partition order (== plan order),

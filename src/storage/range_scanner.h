@@ -60,6 +60,12 @@ struct QueryStats {
   // Page-level I/O (per-scanner fetch accounting).
   uint64_t pages_fetched = 0;  ///< logical page fetches (hits + misses)
   uint64_t pages_read = 0;     ///< physical page reads
+
+  // Degradation (checksum-failure fallback; see DESIGN.md "Failure
+  // model"). A degraded result is explicitly partial: `pages_skipped`
+  // pages failed verification and their rows are missing from the output.
+  uint64_t pages_skipped = 0;  ///< quarantined pages skipped over
+  bool degraded = false;       ///< true iff pages_skipped > 0 anywhere
 };
 
 /// Sorts ranges by begin row and coalesces touching or overlapping ranges
@@ -94,7 +100,17 @@ class RangeScanner {
     size_t dim = 0;
   };
 
+  /// Degradation policy. Strict (default) propagates a checksum failure
+  /// as kCorruption and aborts the scan; skip mode drops the corrupt
+  /// page's rows, counts it in QueryStats::pages_skipped and marks the
+  /// result degraded — the explicit partial-answer contract.
+  struct ScanOptions {
+    bool skip_corrupt_pages = false;
+  };
+
   RangeScanner(const Table* table, const Layout& layout);
+  RangeScanner(const Table* table, const Layout& layout,
+               const ScanOptions& options);
 
   /// Scans one plan step, appending qualifying objids to `out` and
   /// updating row counters in `stats`. `limit` (0 = none) stops the scan
@@ -118,6 +134,7 @@ class RangeScanner {
 
   const Table* table_;
   Layout layout_;
+  ScanOptions options_;
   uint64_t pages_fetched_ = 0;  // this scanner's pins (logical fetches)
   uint64_t pages_read_ = 0;     // the subset that missed the pool
   std::vector<float> coord_batch_;  // page-at-a-time coordinate scratch
@@ -149,6 +166,9 @@ class ParallelRangeScanner {
   /// num_threads == 0 picks QueryThreads() (MDS_QUERY_THREADS).
   ParallelRangeScanner(const Table* table, const RangeScanner::Layout& layout,
                        unsigned num_threads = 0);
+  ParallelRangeScanner(const Table* table, const RangeScanner::Layout& layout,
+                       unsigned num_threads,
+                       const RangeScanner::ScanOptions& options);
 
   /// Parallel equivalent of RangeScanner::ScanStep; same contract, same
   /// counters (see class comment for the limit != 0 caveat).

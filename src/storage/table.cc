@@ -5,7 +5,7 @@ namespace mds {
 Table::Table(BufferPool* pool, Schema schema)
     : pool_(pool),
       schema_(std::move(schema)),
-      rows_per_page_(kPageSize / schema_.row_size()) {
+      rows_per_page_(kPageUsableSize / schema_.row_size()) {
   MDS_CHECK(rows_per_page_ > 0);
 }
 
@@ -13,8 +13,9 @@ Result<Table> Table::Create(BufferPool* pool, Schema schema) {
   if (schema.num_columns() == 0) {
     return Status::InvalidArgument("Table::Create: empty schema");
   }
-  if (schema.row_size() > kPageSize) {
-    return Status::InvalidArgument("Table::Create: row larger than a page");
+  if (schema.row_size() > kPageUsableSize) {
+    return Status::InvalidArgument(
+        "Table::Create: row larger than a page's usable bytes");
   }
   return Table(pool, std::move(schema));
 }

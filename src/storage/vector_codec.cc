@@ -94,6 +94,11 @@ Result<std::vector<float>> TlvVectorCodec::Decode(const uint8_t* data,
   uint32_t count;
   std::memcpy(&count, p, 4);
   p += 4;
+  // Validate the count against the bytes actually present before sizing the
+  // output: a corrupted count must fail cleanly, not drive a huge reserve().
+  if (static_cast<uint64_t>(end - p) < static_cast<uint64_t>(count) * 6) {
+    return Status::Corruption("TlvVectorCodec: count exceeds payload");
+  }
   std::vector<float> out;
   out.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -105,6 +110,11 @@ Result<std::vector<float>> TlvVectorCodec::Decode(const uint8_t* data,
     std::memcpy(&v, p + 2, 4);
     out.push_back(v);
     p += 6;
+  }
+  // A count that shrank (e.g. a flipped bit) leaves well-formed records
+  // unconsumed; reject that instead of silently dropping elements.
+  if (p != end) {
+    return Status::Corruption("TlvVectorCodec: trailing bytes after records");
   }
   return out;
 }
