@@ -141,16 +141,22 @@ void Run(const bench::BenchOptions& options) {
   const auto queries = MakeQueryBatch(batch_size);
 
   std::vector<std::vector<int64_t>> expected;
+  bench::LatencyRecorder per_query;
   WallTimer loop_timer;
   for (const Polyhedron& poly : queries) {
     KdTreePath path(binding, *tree, poly);
+    WallTimer query_timer;
     auto result = ExecuteAccessPath(&path);
+    per_query.RecordMillis(query_timer.Millis());
     MDS_CHECK(result.ok());
     expected.push_back(std::move(result->objids));
   }
   const double loop_ms = loop_timer.Millis();
 
   std::printf("\n-- inter-query: ExecuteBatch, %zu queries --\n", batch_size);
+  bench::PrintLatency("per-query (serial)", per_query.Take());
+  bench::EmitJsonLatency(options, "batch_query_latency", per_query.Take(),
+                         1000.0 * static_cast<double>(batch_size) / loop_ms);
   std::printf("%-8s %-10s %-9s\n", "threads", "batch_ms", "speedup");
   std::printf("%-8s %-10.1f %-9.2f\n", "serial", loop_ms, 1.0);
   bench::EmitJson(options, "batch_serial", batch_size, loop_ms, 0);

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/histogram.h"
 #include "common/timer.h"
 #include "storage/buffer_pool.h"
 
@@ -51,6 +52,69 @@ inline void EmitJson(const BenchOptions& options, const char* name,
       "{\"name\":\"%s\",\"n\":%llu,\"wall_ms\":%.3f,\"pages_read\":%llu}\n",
       name, static_cast<unsigned long long>(n), wall_ms,
       static_cast<unsigned long long>(pages_read));
+}
+
+/// Per-measurement latency digest built on the shared log-bucketed
+/// Histogram: benches report p50/p95/p99/max, not a mean that hides the
+/// tail. Record() is lock-free, so closed-loop bench workers can record
+/// from many threads into one recorder.
+class LatencyRecorder {
+ public:
+  struct Digest {
+    uint64_t count = 0;
+    uint64_t p50_us = 0;
+    uint64_t p95_us = 0;
+    uint64_t p99_us = 0;
+    uint64_t max_us = 0;
+    double mean_us = 0.0;
+  };
+
+  void RecordMicros(uint64_t us) { hist_.Record(us); }
+  void RecordMillis(double ms) {
+    hist_.Record(ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0));
+  }
+
+  Digest Take() const {
+    const Histogram::Snapshot s = hist_.TakeSnapshot();
+    Digest d;
+    d.count = s.count;
+    d.p50_us = s.ValueAtPercentile(50);
+    d.p95_us = s.ValueAtPercentile(95);
+    d.p99_us = s.ValueAtPercentile(99);
+    d.max_us = s.ValueAtPercentile(100);
+    d.mean_us = s.Mean();
+    return d;
+  }
+
+ private:
+  Histogram hist_;
+};
+
+/// Human-readable percentile row.
+inline void PrintLatency(const char* label, const LatencyRecorder::Digest& d) {
+  std::printf(
+      "%-24s n=%-8llu p50=%lluus p95=%lluus p99=%lluus max=%lluus "
+      "mean=%.0fus\n",
+      label, static_cast<unsigned long long>(d.count),
+      static_cast<unsigned long long>(d.p50_us),
+      static_cast<unsigned long long>(d.p95_us),
+      static_cast<unsigned long long>(d.p99_us),
+      static_cast<unsigned long long>(d.max_us), d.mean_us);
+}
+
+/// Machine-readable percentile row (only with --json).
+inline void EmitJsonLatency(const BenchOptions& options, const char* name,
+                            const LatencyRecorder::Digest& d,
+                            double per_sec = 0.0) {
+  if (!options.json) return;
+  std::printf(
+      "{\"name\":\"%s\",\"count\":%llu,\"p50_us\":%llu,\"p95_us\":%llu,"
+      "\"p99_us\":%llu,\"max_us\":%llu,\"mean_us\":%.1f,\"per_sec\":%.1f}\n",
+      name, static_cast<unsigned long long>(d.count),
+      static_cast<unsigned long long>(d.p50_us),
+      static_cast<unsigned long long>(d.p95_us),
+      static_cast<unsigned long long>(d.p99_us),
+      static_cast<unsigned long long>(d.max_us), d.mean_us, per_sec);
 }
 
 /// Per-measurement I/O probe over a buffer pool, built on the pool's

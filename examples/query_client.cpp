@@ -1,0 +1,166 @@
+// query_client — walkthrough of the mdsd wire client.
+//
+// Run the server in one terminal:
+//   ./build/src/server/mdsd --quick
+//   mdsd: serving 100000 rows on 127.0.0.1:PORT
+//
+// then point this example at it:
+//   ./build/examples/query_client PORT
+//
+// With no arguments it starts an in-process server over a small dataset,
+// runs the same walkthrough against it, and shuts it down — so the
+// example is also a self-contained smoke test (CI runs it both ways).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "sdss/catalog.h"
+#include "server/client.h"
+#include "server/dataset.h"
+#include "server/server.h"
+
+using namespace mds;
+
+namespace {
+
+Box LocusBox(double half_width) {
+  double mags[kNumBands];
+  StellarLocus(0.5, 0.0, mags);
+  std::vector<double> lo(mags, mags + kNumBands);
+  std::vector<double> hi = lo;
+  for (size_t j = 0; j < kNumBands; ++j) {
+    lo[j] -= half_width;
+    hi[j] += half_width;
+  }
+  return Box(lo, hi);
+}
+
+int Walkthrough(uint16_t port) {
+  // 1. Connect. One QueryClient = one connection = one request at a time.
+  auto client = QueryClient::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Health: what is this server serving?
+  auto health = client->Health();
+  if (!health.ok()) {
+    std::fprintf(stderr, "health failed: %s\n",
+                 health.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected: %llu rows, dim %u%s\n",
+              (unsigned long long)health->served_rows, health->dim,
+              health->draining ? " (draining)" : "");
+
+  // 3. Count, then fetch, the stars near the stellar locus.
+  const Box box = LocusBox(0.8);
+  auto count = client->PointCount(box);
+  if (!count.ok()) {
+    std::fprintf(stderr, "count failed: %s\n",
+                 count.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("locus box holds %llu objects\n", (unsigned long long)*count);
+
+  auto rows = client->BoxQuery(box, /*limit=*/5);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("box query via %s: %llu rows, %llu pages fetched; first ids:",
+              rows->chosen_path.c_str(), (unsigned long long)rows->row_count,
+              (unsigned long long)rows->pages_fetched);
+  for (int64_t id : rows->objids) std::printf(" %lld", (long long)id);
+  std::printf("\n");
+
+  // 4. Per-request options: planner hints, deadlines, degraded reads.
+  QueryClient::Options opts;
+  opts.force_full_scan = true;  // compare the clustered scan's I/O
+  opts.deadline_ms = 10000;     // server drops it if it can't run in time
+  auto scan = client->BoxQuery(box, 0, opts);
+  if (scan.ok()) {
+    std::printf("forced %s: %llu rows scanned, %llu pages fetched\n",
+                scan->chosen_path.c_str(),
+                (unsigned long long)scan->rows_scanned,
+                (unsigned long long)scan->pages_fetched);
+  }
+
+  // 5. kNN: the 3 nearest stored objects to a locus point.
+  double mags[kNumBands];
+  StellarLocus(0.3, 0.0, mags);
+  auto knn = client->Knn(std::vector<double>(mags, mags + kNumBands), 3);
+  if (!knn.ok()) {
+    std::fprintf(stderr, "knn failed: %s\n", knn.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("3 nearest neighbors:");
+  for (const auto& n : knn->neighbors) {
+    std::printf(" (id %lld, d2 %.4f)", (long long)n.id, n.squared_distance);
+  }
+  std::printf("\n");
+
+  // 6. TABLESAMPLE: a reproducible 10% page sample, TOP(5), in the box.
+  auto sample = client->TableSample(box, 10.0, 5, /*seed=*/42);
+  if (sample.ok()) {
+    std::printf("tablesample(10%%) TOP(5):");
+    for (int64_t id : sample->objids) std::printf(" %lld", (long long)id);
+    std::printf("\n");
+  }
+
+  // 7. Server stats: counters plus per-type latency percentiles.
+  auto stats = client->ServerStats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("server: %llu requests, %llu ok, %llu bytes out\n",
+              (unsigned long long)stats->requests_total,
+              (unsigned long long)stats->replies_ok,
+              (unsigned long long)stats->bytes_out);
+  const auto& pc =
+      stats->per_type[protocol::TypeIndex(protocol::MessageType::kPointCount)];
+  if (pc.count > 0) {
+    std::printf("point-count latency: p50=%lluus p99=%lluus over %llu calls\n",
+                (unsigned long long)pc.p50_us, (unsigned long long)pc.p99_us,
+                (unsigned long long)pc.count);
+  }
+  std::printf("query_client: OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    // Against an external mdsd (started separately; see file header).
+    return Walkthrough(static_cast<uint16_t>(std::atoi(argv[1])));
+  }
+
+  // Self-contained: in-process server over a small dataset.
+  DatasetConfig dataset_config;
+  dataset_config.num_rows = 50000;
+  auto dataset = ServedDataset::Build(dataset_config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset build failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  QueryServer server(&*dataset, ServerConfig{});
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("in-process mdsd on 127.0.0.1:%u\n", server.port());
+  const int rc = Walkthrough(server.port());
+  server.Shutdown();
+  return rc;
+}

@@ -1,0 +1,79 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <limits>
+
+namespace mds {
+
+namespace {
+constexpr size_t kSub = Histogram::kSubBucketBits;
+constexpr uint64_t kSubCount = uint64_t{1} << kSub;
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubCount) return static_cast<size_t>(value);
+  // 2^e <= value < 2^(e+1), e >= kSub: octave e starts at bucket
+  // (e - kSub + 1) * kSubCount and its sub-bucket is the next kSub bits
+  // below the leading one.
+  const unsigned e = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const uint64_t sub = (value >> (e - kSub)) - kSubCount;
+  return static_cast<size_t>(((e - kSub + 1) << kSub) + sub);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubCount) return index;
+  const unsigned e = static_cast<unsigned>(index >> kSub) + kSub - 1;
+  const uint64_t sub = index & (kSubCount - 1);
+  return (kSubCount + sub) << (e - kSub);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index + 1 >= kNumBuckets) return std::numeric_limits<uint64_t>::max();
+  return BucketLowerBound(index + 1) - 1;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = c;
+    snap.count += c;
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t Histogram::Snapshot::ValueAtPercentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the target sample, 1-based; p=0 maps to the first sample.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                        static_cast<double>(count) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const uint64_t lo = BucketLowerBound(i);
+      const uint64_t hi = BucketUpperBound(i);
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return BucketUpperBound(buckets.size() - 1);
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+}  // namespace mds

@@ -1,0 +1,77 @@
+#ifndef MDS_COMMON_HISTOGRAM_H_
+#define MDS_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mds {
+
+/// Fixed log-bucketed histogram of non-negative integer samples (latency
+/// in microseconds, sizes in bytes, ...). The bucket layout is static —
+/// every power of two is split into 4 geometric sub-buckets, covering the
+/// full uint64 range in 252 buckets with <= ~19% relative quantile error —
+/// so two histograms are always mergeable bucket-by-bucket and recording
+/// never allocates.
+///
+/// Thread safety: Record() is lock-free (one relaxed atomic increment per
+/// sample) and may be called from any number of threads concurrently —
+/// this is the per-request-type latency recorder on the server's hot
+/// path. Readers (Merge into a Snapshot) see a consistent-enough view for
+/// monitoring: counts are summed with relaxed loads, so a snapshot taken
+/// while writers are active may miss in-flight samples but never tears a
+/// counter.
+class Histogram {
+ public:
+  static constexpr size_t kSubBucketBits = 2;  // 4 sub-buckets per octave
+  static constexpr size_t kNumBuckets =
+      ((64 - kSubBucketBits) << kSubBucketBits) + (1u << kSubBucketBits);
+
+  Histogram() = default;
+
+  /// Lock-free; safe from any thread.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Plain-value copy of a histogram's state: what crosses the wire in a
+  /// stats reply and what percentile queries are answered from.
+  struct Snapshot {
+    std::vector<uint64_t> buckets;  // kNumBuckets counts
+    uint64_t count = 0;
+    uint64_t sum = 0;
+
+    /// Estimated value at percentile p in [0, 100]: the geometric midpoint
+    /// of the bucket holding the p-th sample (0 for an empty histogram).
+    uint64_t ValueAtPercentile(double p) const;
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Bucket-wise accumulation (histograms of the same static layout are
+    /// always compatible).
+    void Merge(const Snapshot& other);
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  /// Index of the bucket holding `value` (exposed for tests and for the
+  /// wire codec, which transmits only non-empty buckets).
+  static size_t BucketIndex(uint64_t value);
+
+  /// Upper bound of bucket `index` (inclusive); the geometric midpoint of
+  /// [LowerBound, UpperBound] is the reported quantile value.
+  static uint64_t BucketUpperBound(size_t index);
+  static uint64_t BucketLowerBound(size_t index);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace mds
+
+#endif  // MDS_COMMON_HISTOGRAM_H_

@@ -33,7 +33,20 @@ std::vector<Result<StorageQueryResult>> QueryEngine::ExecuteBatch(
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= paths.size()) return;
       QueryStats* st = stats != nullptr ? &(*stats)[i] : nullptr;
-      results[i] = ExecuteAccessPath(paths[i], st);
+      Result<StorageQueryResult> r = paths[i] != nullptr
+                                         ? ExecuteAccessPath(paths[i], st)
+                                         : Result<StorageQueryResult>(
+                                               Status::InvalidArgument(
+                                                   "null access path"));
+      if (!r.ok()) {
+        // A failing sub-query fails only its own slot — siblings keep
+        // their results — and names its batch index so a caller fanning
+        // out hundreds of queries can attribute the failure.
+        results[i] = AnnotateStatus(
+            r.status(), "ExecuteBatch[" + std::to_string(i) + "]");
+      } else {
+        results[i] = std::move(r);
+      }
     }
   });
   return results;

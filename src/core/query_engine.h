@@ -40,7 +40,9 @@ class QueryEngine {
   /// Runs every path to completion, `num_threads` at a time, over the
   /// shared buffer pool. paths[i]'s result lands in slot i of the
   /// returned vector (and its instrumentation in (*stats)[i], resized to
-  /// match, if stats is non-null). Each path must bind a table whose
+  /// match, if stats is non-null). A failing sub-query fails only its own
+  /// slot — sibling results are preserved — and its Status is annotated
+  /// with the batch index ("ExecuteBatch[i]"). Each path must bind a table whose
   /// BufferPool and Pager are thread-safe (the library's are) — paths may
   /// bind the same table or different tables of one pool. Per-query page
   /// accounting stays exact under the interleaving because each scanner

@@ -50,12 +50,21 @@ Result<StorageQueryResult> QueryPlanner::Execute(const ExecuteOptions& options,
   // so a corruption fallback lands on the next-cheapest alternative.
   std::vector<std::pair<double, size_t>> order;
   for (size_t i = 0; i < paths_.size(); ++i) {
+    if (!options.required_path.empty() &&
+        options.required_path != paths_[i]->name()) {
+      continue;
+    }
     if (!paths_[i]->Validate().ok()) continue;
     const CostEstimate estimate = paths_[i]->Estimate();
     if (!estimate.feasible) continue;
     order.emplace_back(estimate.Total(), i);
   }
   if (order.empty()) {
+    if (!options.required_path.empty()) {
+      return Status::InvalidArgument(
+          "QueryPlanner: required path '" + options.required_path +
+          "' is not registered or not feasible");
+    }
     return Status::InvalidArgument("QueryPlanner: no feasible access path");
   }
   std::sort(order.begin(), order.end());

@@ -50,6 +50,10 @@ class QueryPlanner {
     bool fallback_on_corruption = true;
     /// Scan-level policy, forwarded to the executing RangeScanner.
     RangeScanner::ScanOptions scan;
+    /// Planner hint: when non-empty, only paths with this name() are
+    /// considered (the protocol's force-full-scan / force-index flags).
+    /// Fails with InvalidArgument if no registered path matches.
+    std::string required_path;
   };
 
   /// Chooses the cheapest path and executes it. `chosen` (optional)

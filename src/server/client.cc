@@ -1,0 +1,224 @@
+#include "server/client.h"
+
+namespace mds {
+
+namespace {
+
+using protocol::MessageHeader;
+using protocol::MessageType;
+
+/// Client-side slack on top of the server-side deadline: the exchange is
+/// bounded even when the request deadline is tight, and an unbounded
+/// request still cannot hang the client forever.
+constexpr uint32_t kIoSlackMs = 2000;
+constexpr uint32_t kNoDeadlineIoMs = 120000;
+
+IoDeadline ExchangeDeadline(uint32_t deadline_ms) {
+  return IoDeadline::After(deadline_ms == 0 ? kNoDeadlineIoMs
+                                            : deadline_ms + kIoSlackMs);
+}
+
+}  // namespace
+
+Result<QueryClient> QueryClient::Connect(const std::string& host,
+                                         uint16_t port,
+                                         uint64_t connect_timeout_ms) {
+  auto sock = TcpConnect(host, port, connect_timeout_ms);
+  if (!sock.ok()) {
+    return AnnotateStatus(sock.status(), "QueryClient::Connect");
+  }
+  return QueryClient(std::move(*sock));
+}
+
+uint32_t QueryClient::RequestFlags(const Options& options) {
+  uint32_t flags = 0;
+  if (options.skip_corrupt) flags |= protocol::kFlagSkipCorrupt;
+  if (options.force_full_scan) {
+    flags |= protocol::kFlagHintFullScan;
+  } else if (options.force_index) {
+    flags |= protocol::kFlagHintIndex;
+  }
+  return flags;
+}
+
+Status QueryClient::RoundTrip(MessageType type, const Options& options,
+                              const std::vector<uint8_t>& body,
+                              std::vector<uint8_t>* reply_payload,
+                              MessageHeader* reply_header,
+                              size_t* body_offset) {
+  if (!sock_.valid()) {
+    return Status::FailedPrecondition("client connection is closed");
+  }
+  const uint64_t request_id = next_request_id_++;
+
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  MessageHeader header;
+  header.type = type;
+  header.flags = RequestFlags(options);
+  header.request_id = request_id;
+  EncodeMessageHeader(header, &w);
+  w.PutU32(options.deadline_ms);  // RequestPrefix
+  w.PutRaw(body.data(), body.size());
+
+  const IoDeadline deadline = ExchangeDeadline(options.deadline_ms);
+  Status st = protocol::WriteFrame(&sock_, deadline, payload);
+  if (st.ok()) {
+    st = protocol::ReadFrame(&sock_, deadline, reply_payload);
+  }
+  if (!st.ok()) {
+    // The stream is desynchronized (partial frame, timeout, close): this
+    // connection cannot be trusted for another exchange.
+    sock_.Close();
+    return AnnotateStatus(st, "QueryClient");
+  }
+
+  WireReader r(*reply_payload);
+  MDS_RETURN_NOT_OK(DecodeMessageHeader(&r, reply_header));
+  if ((reply_header->flags & protocol::kFlagReply) == 0 ||
+      reply_header->type != type ||
+      reply_header->request_id != request_id) {
+    sock_.Close();
+    return Status::Internal("protocol: reply does not match request");
+  }
+  Status remote;
+  MDS_RETURN_NOT_OK(protocol::DecodeStatus(&r, &remote));
+  MDS_RETURN_NOT_OK(remote);
+  *body_offset = reply_payload->size() - r.remaining();
+  return Status::OK();
+}
+
+Result<uint64_t> QueryClient::PointCount(const Box& box,
+                                         const Options& options) {
+  auto result = BoxQueryInternal(box, 0, options, MessageType::kPointCount);
+  if (!result.ok()) return result.status();
+  return result->row_count;
+}
+
+Result<QueryClient::QueryResult> QueryClient::BoxQuery(const Box& box,
+                                                       uint64_t limit,
+                                                       const Options& options) {
+  return BoxQueryInternal(box, limit, options, MessageType::kBoxQuery);
+}
+
+Result<QueryClient::QueryResult> QueryClient::BoxQueryInternal(
+    const Box& box, uint64_t limit, const Options& options,
+    protocol::MessageType type) {
+  protocol::BoxQueryRequest req;
+  req.lo = box.lo();
+  req.hi = box.hi();
+  req.limit = limit;
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  protocol::EncodeBoxQueryRequest(req, &w);
+
+  std::vector<uint8_t> reply;
+  protocol::MessageHeader header;
+  size_t offset = 0;
+  MDS_RETURN_NOT_OK(RoundTrip(type, options, body, &reply, &header, &offset));
+
+  WireReader r(reply.data() + offset, reply.size() - offset);
+  protocol::QueryReply decoded;
+  MDS_RETURN_NOT_OK(DecodeQueryReply(&r, &decoded));
+  QueryResult out;
+  out.row_count = decoded.row_count;
+  out.objids = std::move(decoded.objids);
+  out.rows_scanned = decoded.rows_scanned;
+  out.pages_fetched = decoded.pages_fetched;
+  out.pages_read = decoded.pages_read;
+  out.pages_skipped = decoded.pages_skipped;
+  out.degraded =
+      decoded.degraded || (header.flags & protocol::kFlagDegraded) != 0;
+  out.chosen_path = std::move(decoded.chosen_path);
+  return out;
+}
+
+Result<QueryClient::KnnResult> QueryClient::Knn(
+    const std::vector<double>& point, uint32_t k, const Options& options) {
+  protocol::KnnRequest req;
+  req.point = point;
+  req.k = k;
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  protocol::EncodeKnnRequest(req, &w);
+
+  std::vector<uint8_t> reply;
+  protocol::MessageHeader header;
+  size_t offset = 0;
+  MDS_RETURN_NOT_OK(
+      RoundTrip(MessageType::kKnn, options, body, &reply, &header, &offset));
+
+  WireReader r(reply.data() + offset, reply.size() - offset);
+  protocol::KnnReply decoded;
+  MDS_RETURN_NOT_OK(DecodeKnnReply(&r, &decoded));
+  KnnResult out;
+  out.neighbors = std::move(decoded.neighbors);
+  return out;
+}
+
+Result<QueryClient::QueryResult> QueryClient::TableSample(
+    const Box& box, double percent, uint64_t n, uint64_t seed,
+    const Options& options) {
+  protocol::TableSampleRequest req;
+  req.lo = box.lo();
+  req.hi = box.hi();
+  req.percent = percent;
+  req.n = n;
+  req.seed = seed;
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  protocol::EncodeTableSampleRequest(req, &w);
+
+  std::vector<uint8_t> reply;
+  protocol::MessageHeader header;
+  size_t offset = 0;
+  MDS_RETURN_NOT_OK(RoundTrip(MessageType::kTableSample, options, body, &reply,
+                              &header, &offset));
+
+  WireReader r(reply.data() + offset, reply.size() - offset);
+  protocol::QueryReply decoded;
+  MDS_RETURN_NOT_OK(DecodeQueryReply(&r, &decoded));
+  QueryResult out;
+  out.row_count = decoded.row_count;
+  out.objids = std::move(decoded.objids);
+  out.rows_scanned = decoded.rows_scanned;
+  out.pages_fetched = decoded.pages_fetched;
+  out.pages_read = decoded.pages_read;
+  out.pages_skipped = decoded.pages_skipped;
+  out.degraded =
+      decoded.degraded || (header.flags & protocol::kFlagDegraded) != 0;
+  out.chosen_path = std::move(decoded.chosen_path);
+  return out;
+}
+
+Result<QueryClient::HealthResult> QueryClient::Health(const Options& options) {
+  std::vector<uint8_t> reply;
+  protocol::MessageHeader header;
+  size_t offset = 0;
+  MDS_RETURN_NOT_OK(RoundTrip(MessageType::kHealth, options, {}, &reply,
+                              &header, &offset));
+  WireReader r(reply.data() + offset, reply.size() - offset);
+  protocol::HealthReply decoded;
+  MDS_RETURN_NOT_OK(DecodeHealthReply(&r, &decoded));
+  HealthResult out;
+  out.draining =
+      decoded.draining != 0 || (header.flags & protocol::kFlagDraining) != 0;
+  out.served_rows = decoded.served_rows;
+  out.dim = decoded.dim;
+  return out;
+}
+
+Result<protocol::ServerStatsSnapshot> QueryClient::ServerStats(
+    const Options& options) {
+  std::vector<uint8_t> reply;
+  protocol::MessageHeader header;
+  size_t offset = 0;
+  MDS_RETURN_NOT_OK(RoundTrip(MessageType::kStats, options, {}, &reply,
+                              &header, &offset));
+  WireReader r(reply.data() + offset, reply.size() - offset);
+  protocol::ServerStatsSnapshot decoded;
+  MDS_RETURN_NOT_OK(DecodeServerStats(&r, &decoded));
+  return decoded;
+}
+
+}  // namespace mds

@@ -1,0 +1,122 @@
+#ifndef MDS_SERVER_CLIENT_H_
+#define MDS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/socket.h"
+#include "geom/box.h"
+#include "server/protocol.h"
+
+namespace mds {
+
+/// Synchronous client for the mdsd wire protocol — the library tests,
+/// benches and examples speak to the server exclusively through this
+/// class, so the protocol has exactly two implementations (server,
+/// client) and one codec (protocol.h).
+///
+/// Thread safety: thread-compatible. One QueryClient owns one connection
+/// and one in-flight request at a time; use one client per thread (the
+/// throughput bench's closed-loop workers do exactly that).
+/// Per-request client options (namespace scope so `= {}` default
+/// arguments work; a nested class cannot use its default member
+/// initializers in the enclosing class's default arguments).
+struct QueryOptions {
+  /// Server-side deadline for the request, and the client-side I/O
+  /// bound for the exchange (plus slack). 0 = none.
+  uint32_t deadline_ms = 0;
+  /// Permit a degraded (partial) answer over checksum-failed pages.
+  bool skip_corrupt = false;
+  /// Planner hints (mutually exclusive; force_full_scan wins).
+  bool force_full_scan = false;
+  bool force_index = false;
+};
+
+class QueryClient {
+ public:
+  using Options = QueryOptions;
+
+  /// Result of a box/sample query, including the server-side I/O
+  /// accounting and degradation marker.
+  struct QueryResult {
+    uint64_t row_count = 0;
+    std::vector<int64_t> objids;
+    uint64_t rows_scanned = 0;
+    uint64_t pages_fetched = 0;
+    uint64_t pages_read = 0;
+    uint64_t pages_skipped = 0;
+    bool degraded = false;
+    std::string chosen_path;
+  };
+
+  struct KnnResult {
+    std::vector<protocol::WireNeighbor> neighbors;  // ascending distance
+  };
+
+  struct HealthResult {
+    bool draining = false;
+    uint64_t served_rows = 0;
+    uint32_t dim = 0;
+  };
+
+  /// Connects to an mdsd instance (numeric IPv4 host).
+  static Result<QueryClient> Connect(const std::string& host, uint16_t port,
+                                     uint64_t connect_timeout_ms = 5000);
+
+  QueryClient(QueryClient&&) = default;
+  QueryClient& operator=(QueryClient&&) = default;
+
+  /// Number of stored rows inside `box` (no row payload on the wire).
+  Result<uint64_t> PointCount(const Box& box, const Options& options = {});
+
+  /// Objids of stored rows inside `box`; `limit` != 0 caps the reply to
+  /// the first `limit` matches in clustered row order.
+  Result<QueryResult> BoxQuery(const Box& box, uint64_t limit = 0,
+                               const Options& options = {});
+
+  /// Exact k nearest stored points to `point`.
+  Result<KnnResult> Knn(const std::vector<double>& point, uint32_t k,
+                        const Options& options = {});
+
+  /// TABLESAMPLE SYSTEM(percent) + TOP(n) inside `box`, page sampling
+  /// seeded by `seed` (same seed, same sample).
+  Result<QueryResult> TableSample(const Box& box, double percent, uint64_t n,
+                                  uint64_t seed, const Options& options = {});
+
+  Result<HealthResult> Health(const Options& options = {});
+  Result<protocol::ServerStatsSnapshot> ServerStats(
+      const Options& options = {});
+
+  /// True while the connection has not failed. A failed exchange closes
+  /// the connection; callers reconnect with Connect().
+  bool connected() const { return sock_.valid(); }
+
+ private:
+  explicit QueryClient(Socket sock) : sock_(std::move(sock)) {}
+
+  /// One request/reply exchange: frames and sends the request payload,
+  /// reads the matching reply, decodes its header + status, and leaves
+  /// `reader` positioned at the reply body.
+  Status RoundTrip(protocol::MessageType type, const Options& options,
+                   const std::vector<uint8_t>& body,
+                   std::vector<uint8_t>* reply_payload,
+                   protocol::MessageHeader* reply_header,
+                   size_t* body_offset);
+
+  /// Shared body of PointCount / BoxQuery (same request shape, different
+  /// message type).
+  Result<QueryResult> BoxQueryInternal(const Box& box, uint64_t limit,
+                                       const Options& options,
+                                       protocol::MessageType type);
+
+  static uint32_t RequestFlags(const Options& options);
+
+  Socket sock_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace mds
+
+#endif  // MDS_SERVER_CLIENT_H_

@@ -1,0 +1,27 @@
+#include "server/dataset.h"
+
+namespace mds {
+
+Result<ServedDataset> ServedDataset::Build(const DatasetConfig& config) {
+  ServedDataset ds;
+
+  CatalogConfig catalog_config;
+  catalog_config.num_objects = config.num_rows;
+  catalog_config.seed = config.seed;
+  ds.catalog_ = std::make_unique<Catalog>(GenerateCatalog(catalog_config));
+
+  auto tree = KdTreeIndex::Build(&ds.catalog_->colors);
+  if (!tree.ok()) return AnnotateStatus(tree.status(), "ServedDataset");
+  ds.tree_ = std::make_unique<KdTreeIndex>(std::move(*tree));
+
+  ds.pager_ = std::make_unique<MemPager>();
+  ds.pool_ = std::make_unique<BufferPool>(ds.pager_.get(), config.pool_pages);
+  auto table = MaterializePointTable(ds.pool_.get(), ds.catalog_->colors,
+                                     ds.tree_->clustered_order());
+  if (!table.ok()) return AnnotateStatus(table.status(), "ServedDataset");
+  ds.table_ = std::make_unique<Table>(std::move(*table));
+  ds.binding_ = BindPointTable(ds.table_.get(), kNumBands);
+  return ds;
+}
+
+}  // namespace mds

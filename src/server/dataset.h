@@ -1,0 +1,57 @@
+#ifndef MDS_SERVER_DATASET_H_
+#define MDS_SERVER_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "core/kdtree.h"
+#include "core/point_table.h"
+#include "sdss/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace mds {
+
+/// What one mdsd process serves: a synthetic SDSS color catalog
+/// materialized as a kd-tree-clustered point table over a shared
+/// thread-safe BufferPool, plus the in-memory kd-tree for planning and
+/// kNN. One immutable dataset, many concurrent readers — the paper's
+/// serving shape (the index is rebuilt offline per data release).
+struct DatasetConfig {
+  uint64_t num_rows = 1000000;
+  uint64_t seed = 42;
+  /// Buffer-pool capacity in pages; defaults comfortably above the table
+  /// size so steady-state serving is hit-dominated.
+  size_t pool_pages = 1u << 16;
+};
+
+class ServedDataset {
+ public:
+  /// Generates the catalog, builds the kd-tree (parallel build) and
+  /// materializes the clustered table.
+  static Result<ServedDataset> Build(const DatasetConfig& config);
+
+  const PointTableBinding& binding() const { return binding_; }
+  const KdTreeIndex& tree() const { return *tree_; }
+  const PointSet& points() const { return catalog_->colors; }
+  BufferPool* pool() const { return pool_.get(); }
+  size_t dim() const { return binding_.dim; }
+  uint64_t num_rows() const { return binding_.table->num_rows(); }
+
+ private:
+  ServedDataset() = default;
+
+  // Destruction order (reverse of declaration): table releases before the
+  // pool, the pool flushes into the pager, the tree before its points.
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<KdTreeIndex> tree_;
+  std::unique_ptr<MemPager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Table> table_;
+  PointTableBinding binding_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_SERVER_DATASET_H_

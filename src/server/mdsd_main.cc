@@ -1,0 +1,121 @@
+// mdsd — the mds query server binary.
+//
+//   mdsd [--port=N] [--n=ROWS] [--workers=N] [--max-in-flight=N]
+//        [--seed=N] [--quick] [--port-file=PATH]
+//
+// Serves a synthetic SDSS color catalog over the loopback wire protocol
+// (src/server/protocol.h). --port=0 (the default) binds an ephemeral port
+// and prints it; --port-file additionally writes the bound port to PATH so
+// scripts (CI smoke job) can find the server without parsing stdout.
+// SIGTERM/SIGINT trigger a graceful drain: in-flight queries complete and
+// reply, new requests are rejected with a retryable status, then the
+// process exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+// Signal handling: the handler only sets a flag; the main thread polls it
+// and runs the (non-async-signal-safe) drain.
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    value->clear();
+    return true;
+  }
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mds::DatasetConfig dataset_config;
+  mds::ServerConfig server_config;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--port", &v)) {
+      server_config.port = static_cast<uint16_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--n", &v)) {
+      dataset_config.num_rows = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      server_config.num_workers = static_cast<unsigned>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--max-in-flight", &v)) {
+      server_config.max_in_flight = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      dataset_config.seed = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--quick", &v)) {
+      dataset_config.num_rows = 100000;
+    } else if (ParseFlag(argv[i], "--port-file", &v)) {
+      port_file = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: mdsd [--port=N] [--n=ROWS] [--workers=N] "
+                   "[--max-in-flight=N] [--seed=N] [--quick] "
+                   "[--port-file=PATH]\n");
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "mdsd: building dataset (%llu rows, seed %llu)\n",
+               static_cast<unsigned long long>(dataset_config.num_rows),
+               static_cast<unsigned long long>(dataset_config.seed));
+  auto dataset = mds::ServedDataset::Build(dataset_config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "mdsd: dataset build failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  mds::QueryServer server(&*dataset, server_config);
+  mds::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "mdsd: start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::printf("mdsd: serving %llu rows on 127.0.0.1:%u\n",
+              static_cast<unsigned long long>(dataset->num_rows()),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "mdsd: cannot write port file %s\n",
+                   port_file.c_str());
+      server.Shutdown();
+      return 1;
+    }
+  }
+
+  // Park until a signal arrives; the server's own threads do all the work.
+  sigset_t mask;
+  sigemptyset(&mask);
+  while (g_stop == 0) {
+    sigsuspend(&mask);  // returns on any delivered signal
+  }
+
+  std::fprintf(stderr, "mdsd: signal received, draining\n");
+  server.Shutdown();
+  std::fprintf(stderr, "mdsd: drained, exiting\n");
+  return 0;
+}

@@ -1,0 +1,283 @@
+#include "server/protocol.h"
+
+#include "common/crc32c.h"
+
+namespace mds {
+namespace protocol {
+
+void EncodeCoords(const std::vector<double>& v, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(v.size()));
+  for (double x : v) w->PutF64(x);
+}
+
+Status DecodeCoords(WireReader* r, std::vector<double>* v) {
+  const uint32_t dim = r->GetU32();
+  if (!r->ok()) return r->status();
+  if (dim == 0 || dim > kMaxDim) {
+    return Status::InvalidArgument("protocol: dimension out of range");
+  }
+  v->resize(dim);
+  for (uint32_t j = 0; j < dim; ++j) (*v)[j] = r->GetF64();
+  return r->status();
+}
+
+size_t TypeIndex(MessageType type) {
+  const uint16_t v = static_cast<uint16_t>(type);
+  if (v >= 1 && v <= kNumRequestTypes) return v - 1;
+  return kNumRequestTypes;
+}
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kHealth: return "health";
+    case MessageType::kStats: return "stats";
+    case MessageType::kPointCount: return "point-count";
+    case MessageType::kBoxQuery: return "box-query";
+    case MessageType::kKnn: return "knn";
+    case MessageType::kTableSample: return "tablesample";
+  }
+  return "unknown";
+}
+
+void AppendFrame(const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* wire) {
+  WireWriter w(wire);
+  w.PutU32(kFrameMagic);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32c(payload.data(), payload.size()));
+  w.PutRaw(payload.data(), payload.size());
+}
+
+void EncodeMessageHeader(const MessageHeader& header, WireWriter* w) {
+  w->PutU16(header.version);
+  w->PutU16(static_cast<uint16_t>(header.type));
+  w->PutU32(header.flags);
+  w->PutU64(header.request_id);
+}
+
+Status DecodeMessageHeader(WireReader* r, MessageHeader* header) {
+  header->version = r->GetU16();
+  header->type = static_cast<MessageType>(r->GetU16());
+  header->flags = r->GetU32();
+  header->request_id = r->GetU64();
+  if (!r->ok()) return r->status();
+  if (header->version != kProtocolVersion) {
+    return Status::InvalidArgument("protocol: unsupported version " +
+                                   std::to_string(header->version));
+  }
+  return Status::OK();
+}
+
+void EncodeBoxQueryRequest(const BoxQueryRequest& req, WireWriter* w) {
+  EncodeCoords(req.lo, w);
+  EncodeCoords(req.hi, w);
+  w->PutU64(req.limit);
+}
+
+Status DecodeBoxQueryRequest(WireReader* r, BoxQueryRequest* req) {
+  MDS_RETURN_NOT_OK(DecodeCoords(r, &req->lo));
+  MDS_RETURN_NOT_OK(DecodeCoords(r, &req->hi));
+  req->limit = r->GetU64();
+  if (!r->ok()) return r->status();
+  if (req->lo.size() != req->hi.size()) {
+    return Status::InvalidArgument("protocol: box lo/hi dimension mismatch");
+  }
+  return Status::OK();
+}
+
+void EncodeKnnRequest(const KnnRequest& req, WireWriter* w) {
+  EncodeCoords(req.point, w);
+  w->PutU32(req.k);
+}
+
+Status DecodeKnnRequest(WireReader* r, KnnRequest* req) {
+  MDS_RETURN_NOT_OK(DecodeCoords(r, &req->point));
+  req->k = r->GetU32();
+  if (!r->ok()) return r->status();
+  if (req->k == 0) {
+    return Status::InvalidArgument("protocol: knn k must be positive");
+  }
+  return Status::OK();
+}
+
+void EncodeTableSampleRequest(const TableSampleRequest& req, WireWriter* w) {
+  EncodeCoords(req.lo, w);
+  EncodeCoords(req.hi, w);
+  w->PutF64(req.percent);
+  w->PutU64(req.n);
+  w->PutU64(req.seed);
+}
+
+Status DecodeTableSampleRequest(WireReader* r, TableSampleRequest* req) {
+  MDS_RETURN_NOT_OK(DecodeCoords(r, &req->lo));
+  MDS_RETURN_NOT_OK(DecodeCoords(r, &req->hi));
+  req->percent = r->GetF64();
+  req->n = r->GetU64();
+  req->seed = r->GetU64();
+  if (!r->ok()) return r->status();
+  if (req->lo.size() != req->hi.size()) {
+    return Status::InvalidArgument("protocol: box lo/hi dimension mismatch");
+  }
+  if (!(req->percent > 0.0) || req->percent > 100.0) {
+    return Status::InvalidArgument("protocol: percent out of (0, 100]");
+  }
+  return Status::OK();
+}
+
+void EncodeStatus(const Status& status, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(status.code()));
+  w->PutString(status.message());
+}
+
+Status DecodeStatus(WireReader* r, Status* status) {
+  const uint32_t code = r->GetU32();
+  const std::string message = r->GetString();
+  if (!r->ok()) return r->status();
+  if (code > static_cast<uint32_t>(StatusCode::kInternal)) {
+    return Status::InvalidArgument("protocol: unknown status code");
+  }
+  *status = Status(static_cast<StatusCode>(code), message);
+  return Status::OK();
+}
+
+void EncodeQueryReply(const QueryReply& reply, WireWriter* w) {
+  w->PutU64(reply.row_count);
+  w->PutPodVector(reply.objids);
+  w->PutU64(reply.rows_scanned);
+  w->PutU64(reply.pages_fetched);
+  w->PutU64(reply.pages_read);
+  w->PutU64(reply.pages_skipped);
+  w->PutU8(reply.degraded ? 1 : 0);
+  w->PutString(reply.chosen_path);
+}
+
+Status DecodeQueryReply(WireReader* r, QueryReply* reply) {
+  reply->row_count = r->GetU64();
+  reply->objids = r->GetPodVector<int64_t>();
+  reply->rows_scanned = r->GetU64();
+  reply->pages_fetched = r->GetU64();
+  reply->pages_read = r->GetU64();
+  reply->pages_skipped = r->GetU64();
+  reply->degraded = r->GetU8() != 0;
+  reply->chosen_path = r->GetString();
+  return r->status();
+}
+
+void EncodeKnnReply(const KnnReply& reply, WireWriter* w) {
+  w->PutPodVector(reply.neighbors);
+}
+
+Status DecodeKnnReply(WireReader* r, KnnReply* reply) {
+  reply->neighbors = r->GetPodVector<WireNeighbor>();
+  return r->status();
+}
+
+void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w) {
+  w->PutU64(stats.connections_accepted);
+  w->PutU64(stats.connections_closed);
+  w->PutU64(stats.protocol_errors);
+  w->PutU64(stats.requests_total);
+  w->PutU64(stats.replies_ok);
+  w->PutU64(stats.replies_error);
+  w->PutU64(stats.rejected_overload);
+  w->PutU64(stats.rejected_draining);
+  w->PutU64(stats.deadline_timeouts);
+  w->PutU64(stats.bytes_in);
+  w->PutU64(stats.bytes_out);
+  w->PutU64(stats.in_flight_peak);
+  w->PutU64(stats.pool_logical_reads);
+  w->PutU64(stats.pool_physical_reads);
+  for (const RequestTypeStats& t : stats.per_type) {
+    w->PutU64(t.count);
+    w->PutU64(t.errors);
+    w->PutU64(t.p50_us);
+    w->PutU64(t.p95_us);
+    w->PutU64(t.p99_us);
+    w->PutU64(t.max_us);
+    w->PutF64(t.mean_us);
+  }
+}
+
+Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
+  stats->connections_accepted = r->GetU64();
+  stats->connections_closed = r->GetU64();
+  stats->protocol_errors = r->GetU64();
+  stats->requests_total = r->GetU64();
+  stats->replies_ok = r->GetU64();
+  stats->replies_error = r->GetU64();
+  stats->rejected_overload = r->GetU64();
+  stats->rejected_draining = r->GetU64();
+  stats->deadline_timeouts = r->GetU64();
+  stats->bytes_in = r->GetU64();
+  stats->bytes_out = r->GetU64();
+  stats->in_flight_peak = r->GetU64();
+  stats->pool_logical_reads = r->GetU64();
+  stats->pool_physical_reads = r->GetU64();
+  for (RequestTypeStats& t : stats->per_type) {
+    t.count = r->GetU64();
+    t.errors = r->GetU64();
+    t.p50_us = r->GetU64();
+    t.p95_us = r->GetU64();
+    t.p99_us = r->GetU64();
+    t.max_us = r->GetU64();
+    t.mean_us = r->GetF64();
+  }
+  return r->status();
+}
+
+void EncodeHealthReply(const HealthReply& reply, WireWriter* w) {
+  w->PutU8(reply.draining);
+  w->PutU64(reply.served_rows);
+  w->PutU32(reply.dim);
+}
+
+Status DecodeHealthReply(WireReader* r, HealthReply* reply) {
+  reply->draining = r->GetU8();
+  reply->served_rows = r->GetU64();
+  reply->dim = r->GetU32();
+  return r->status();
+}
+
+Status ReadFrame(Socket* sock, const IoDeadline& deadline,
+                 std::vector<uint8_t>* payload, uint64_t* bytes_read) {
+  uint8_t prefix[kFramePrefixBytes];
+  MDS_RETURN_NOT_OK(sock->ReadFull(prefix, sizeof(prefix), deadline));
+  WireReader r(prefix, sizeof(prefix));
+  const uint32_t magic = r.GetU32();
+  const uint32_t len = r.GetU32();
+  const uint32_t crc = r.GetU32();
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("protocol: bad frame magic");
+  }
+  if (len > kMaxPayloadBytes) {
+    return Status::InvalidArgument("protocol: frame length " +
+                                   std::to_string(len) + " exceeds cap");
+  }
+  payload->resize(len);
+  Status body = sock->ReadFull(payload->data(), len, deadline);
+  if (body.code() == StatusCode::kNotFound) {
+    // A close between prefix and body is a truncated frame, not the clean
+    // frame-boundary close NotFound signals.
+    return Status::Unavailable("protocol: connection closed mid-frame");
+  }
+  MDS_RETURN_NOT_OK(body);
+  if (Crc32c(payload->data(), len) != crc) {
+    return Status::Corruption("protocol: frame CRC mismatch");
+  }
+  if (bytes_read != nullptr) *bytes_read += kFramePrefixBytes + len;
+  return Status::OK();
+}
+
+Status WriteFrame(Socket* sock, const IoDeadline& deadline,
+                  const std::vector<uint8_t>& payload,
+                  uint64_t* bytes_written) {
+  std::vector<uint8_t> wire;
+  wire.reserve(kFramePrefixBytes + payload.size());
+  AppendFrame(payload, &wire);
+  MDS_RETURN_NOT_OK(sock->WriteFull(wire.data(), wire.size(), deadline));
+  if (bytes_written != nullptr) *bytes_written += wire.size();
+  return Status::OK();
+}
+
+}  // namespace protocol
+}  // namespace mds

@@ -1,0 +1,232 @@
+#ifndef MDS_SERVER_PROTOCOL_H_
+#define MDS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/socket.h"
+#include "geom/box.h"
+#include "server/wire.h"
+
+namespace mds {
+
+/// The mdsd wire protocol: length-prefixed CRC-framed little-endian binary
+/// messages over TCP, one request/reply pair per frame exchange.
+///
+/// Frame layout (12-byte prefix + payload):
+///
+///   +--------+-------------+-------------+====================+
+///   | magic  | payload_len | payload_crc |  payload bytes ... |
+///   |  u32   |     u32     |  u32 CRC32C |   (payload_len)    |
+///   +--------+-------------+-------------+====================+
+///
+/// The CRC (the storage layer's CRC32C, common/crc32c.h) covers exactly the
+/// payload bytes, so a torn or bit-flipped frame is rejected before any
+/// field of it is interpreted. The payload begins with a MessageHeader:
+///
+///   +---------+------+-------+------------+
+///   | version | type | flags | request_id |
+///   |   u16   | u16  |  u32  |    u64     |
+///   +---------+------+-------+------------+
+///
+/// followed by the type-specific body (requests carry a deadline_ms field
+/// first). Replies echo the request's type and request_id and set
+/// kFlagReply; their body starts with a wire-encoded Status. Protocol
+/// violations (bad magic, bad CRC, oversized length, unknown version,
+/// truncated body) are not answerable — the server closes the connection.
+namespace protocol {
+
+inline constexpr uint32_t kFrameMagic = 0x3151444Du;  // "MDQ1" on the wire
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFramePrefixBytes = 12;
+/// Upper bound on a payload a peer may declare. Large enough for a
+/// multi-million-row reply, small enough that a hostile length prefix
+/// cannot make the receiver allocate unbounded memory.
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+/// Query dimensionality cap (matches the engine's kMaxQueryDim).
+inline constexpr uint32_t kMaxDim = 16;
+
+enum class MessageType : uint16_t {
+  kHealth = 1,
+  kStats = 2,
+  kPointCount = 3,
+  kBoxQuery = 4,
+  kKnn = 5,
+  kTableSample = 6,
+};
+inline constexpr size_t kNumRequestTypes = 6;
+/// Index of a request type in per-type stats arrays, or kNumRequestTypes
+/// for out-of-range values.
+size_t TypeIndex(MessageType type);
+const char* MessageTypeName(MessageType type);
+
+// MessageHeader.flags bits.
+inline constexpr uint32_t kFlagReply = 1u << 0;
+/// Request: permit a degraded (partial) answer — checksum-failed pages are
+/// skipped instead of failing the query (PR 3's skip-corrupt scan mode).
+inline constexpr uint32_t kFlagSkipCorrupt = 1u << 1;
+/// Request: planner hint — force the clustered full scan.
+inline constexpr uint32_t kFlagHintFullScan = 1u << 2;
+/// Request: planner hint — force the index path (error if infeasible).
+inline constexpr uint32_t kFlagHintIndex = 1u << 3;
+/// Reply: the result is degraded (see StorageQueryResult::degraded).
+inline constexpr uint32_t kFlagDegraded = 1u << 4;
+/// Reply: the server is draining; retry against another replica.
+inline constexpr uint32_t kFlagDraining = 1u << 5;
+
+struct MessageHeader {
+  uint16_t version = kProtocolVersion;
+  MessageType type = MessageType::kHealth;
+  uint32_t flags = 0;
+  uint64_t request_id = 0;
+};
+
+// --- Request bodies --------------------------------------------------------
+//
+// Every request body begins with a u32 deadline_ms (0 = none) written and
+// consumed at the exchange layer (QueryClient::RoundTrip on the way out,
+// the server's reader thread on the way in); the Encode/Decode functions
+// below cover only the fields after it.
+
+/// kPointCount / kBoxQuery: an axis-aligned box over the served dimensions.
+/// kPointCount returns only the row count; kBoxQuery returns the objids.
+struct BoxQueryRequest {
+  std::vector<double> lo, hi;
+  uint64_t limit = 0;  ///< TOP(n); 0 = unlimited (kBoxQuery only)
+};
+
+/// kKnn: the k nearest stored points to `point`.
+struct KnnRequest {
+  std::vector<double> point;
+  uint32_t k = 1;
+};
+
+/// kTableSample: TABLESAMPLE SYSTEM(percent) + TOP(n) inside a box (E3).
+struct TableSampleRequest {
+  std::vector<double> lo, hi;
+  double percent = 1.0;
+  uint64_t n = 1;
+  uint64_t seed = 0;  ///< page-sampling RNG seed (reproducible samples)
+};
+
+// --- Reply bodies ----------------------------------------------------------
+
+/// kPointCount / kBoxQuery / kTableSample reply: result rows plus the
+/// per-query I/O accounting (QueryStats essentials), so a remote client
+/// sees the same E2-style instrumentation an embedded caller would.
+struct QueryReply {
+  uint64_t row_count = 0;
+  std::vector<int64_t> objids;  ///< empty for kPointCount
+  uint64_t rows_scanned = 0;
+  uint64_t pages_fetched = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_skipped = 0;
+  bool degraded = false;
+  std::string chosen_path;  ///< planner's pick ("kd-tree", "full-scan", ...)
+};
+
+/// One kNN answer row (trivially copyable for bulk encoding).
+struct WireNeighbor {
+  int64_t id = 0;
+  double squared_distance = 0.0;
+};
+
+struct KnnReply {
+  std::vector<WireNeighbor> neighbors;
+};
+
+/// Per-request-type latency digest inside a stats reply (microseconds,
+/// from the server's log-bucketed histograms).
+struct RequestTypeStats {
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t max_us = 0;
+  double mean_us = 0.0;
+};
+
+/// kStats reply: the server's counters since start, including the embedded
+/// BufferPool read-counter delta over the same window.
+struct ServerStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t requests_total = 0;
+  uint64_t replies_ok = 0;
+  uint64_t replies_error = 0;
+  uint64_t rejected_overload = 0;   ///< admission control (queue/in-flight)
+  uint64_t rejected_draining = 0;   ///< arrived during graceful drain
+  uint64_t deadline_timeouts = 0;   ///< expired before execution finished
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t in_flight_peak = 0;
+  uint64_t pool_logical_reads = 0;   ///< BufferPool delta since server start
+  uint64_t pool_physical_reads = 0;
+  RequestTypeStats per_type[kNumRequestTypes];
+};
+
+/// kHealth reply body.
+struct HealthReply {
+  uint8_t draining = 0;
+  uint64_t served_rows = 0;
+  uint32_t dim = 0;
+};
+
+// --- Codec -----------------------------------------------------------------
+
+/// Wraps `payload` in a frame (magic, length, CRC32C) appended to `wire`.
+void AppendFrame(const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* wire);
+
+void EncodeMessageHeader(const MessageHeader& header, WireWriter* w);
+Status DecodeMessageHeader(WireReader* r, MessageHeader* header);
+
+/// Shared coordinate-vector codec (u32 dim + dim f64), bounds-checked to
+/// kMaxDim on decode.
+void EncodeCoords(const std::vector<double>& v, WireWriter* w);
+Status DecodeCoords(WireReader* r, std::vector<double>* v);
+
+void EncodeBoxQueryRequest(const BoxQueryRequest& req, WireWriter* w);
+Status DecodeBoxQueryRequest(WireReader* r, BoxQueryRequest* req);
+void EncodeKnnRequest(const KnnRequest& req, WireWriter* w);
+Status DecodeKnnRequest(WireReader* r, KnnRequest* req);
+void EncodeTableSampleRequest(const TableSampleRequest& req, WireWriter* w);
+Status DecodeTableSampleRequest(WireReader* r, TableSampleRequest* req);
+
+/// Replies carry a Status first; the body follows only when it is OK.
+void EncodeStatus(const Status& status, WireWriter* w);
+Status DecodeStatus(WireReader* r, Status* status);
+
+void EncodeQueryReply(const QueryReply& reply, WireWriter* w);
+Status DecodeQueryReply(WireReader* r, QueryReply* reply);
+void EncodeKnnReply(const KnnReply& reply, WireWriter* w);
+Status DecodeKnnReply(WireReader* r, KnnReply* reply);
+void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w);
+Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats);
+void EncodeHealthReply(const HealthReply& reply, WireWriter* w);
+Status DecodeHealthReply(WireReader* r, HealthReply* reply);
+
+// --- Framed socket I/O -----------------------------------------------------
+
+/// Reads one frame into `payload`, verifying magic, length bound and CRC.
+/// Failure taxonomy: NotFound = clean close on a frame boundary;
+/// kUnavailable = deadline or mid-frame close; kInvalidArgument /
+/// kCorruption = protocol violation (caller must close the connection).
+/// `bytes_read` (optional) accumulates the on-wire byte count.
+Status ReadFrame(Socket* sock, const IoDeadline& deadline,
+                 std::vector<uint8_t>* payload, uint64_t* bytes_read = nullptr);
+
+/// Frames and writes one payload. `bytes_written` (optional) accumulates
+/// the on-wire byte count.
+Status WriteFrame(Socket* sock, const IoDeadline& deadline,
+                  const std::vector<uint8_t>& payload,
+                  uint64_t* bytes_written = nullptr);
+
+}  // namespace protocol
+}  // namespace mds
+
+#endif  // MDS_SERVER_PROTOCOL_H_

@@ -1,0 +1,528 @@
+#include "server/server.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/knn.h"
+#include "core/query_planner.h"
+
+namespace mds {
+
+namespace {
+
+using protocol::MessageHeader;
+using protocol::MessageType;
+using protocol::TypeIndex;
+
+/// Bound on any single reply write: a client that stops draining its
+/// socket cannot wedge a worker (the write-side slow-loris).
+constexpr uint32_t kReplyWriteTimeoutMs = 30000;
+
+/// Resource cap on one kNN request (the result is k * 16 bytes).
+constexpr uint32_t kMaxKnnK = 1u << 16;
+
+void RelaxedMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const ServedDataset* dataset,
+                         const ServerConfig& config)
+    : dataset_(dataset), config_(config) {
+  if (config_.max_in_flight == 0) config_.max_in_flight = 1;
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+Status QueryServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  auto listener = TcpListener::Listen(config_.port);
+  if (!listener.ok()) {
+    return AnnotateStatus(listener.status(), "QueryServer::Start");
+  }
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  pool_at_start_ = dataset_->pool()->Snapshot();
+
+  started_ = true;
+  state_.store(State::kRunning);
+  workers_ = std::make_unique<TaskPool>(config_.num_workers);
+  worker_runner_ = std::thread([this] {
+    workers_->Run([this](unsigned) { WorkerLoop(); });
+  });
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::AcceptLoop() {
+  while (state_.load() == State::kRunning) {
+    ReapFinishedReaders(/*join_all=*/false);
+    // Short accept deadline: the loop re-checks state a few times a second
+    // even if the listener shutdown race is lost.
+    auto accepted = listener_.Accept(IoDeadline::After(250));
+    if (!accepted.ok()) {
+      if (accepted.status().IsTransient()) continue;  // deadline tick
+      break;  // listener shut down or broken
+    }
+    Socket sock = std::move(*accepted);
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
+      // Connection-level shed: no protocol state yet, so close is the only
+      // honest answer (request-level shedding replies kUnavailable).
+      counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      continue;  // sock closes on scope exit
+    }
+    (void)sock.SetNoDelay();
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(sock);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    readers_.push_back(ReaderThread{
+        std::thread([this, conn, done] {
+          ReaderLoop(conn);
+          open_connections_.fetch_sub(1, std::memory_order_relaxed);
+          counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+          done->store(true);
+        }),
+        done});
+  }
+}
+
+void QueryServer::ReapFinishedReaders(bool join_all) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = readers_.begin(); it != readers_.end();) {
+    if (join_all || it->done->load()) {
+      it->thread.join();
+      it = readers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (join_all) {
+    conns_.clear();
+  }
+}
+
+void QueryServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    const IoDeadline deadline = config_.idle_timeout_ms == 0
+                                    ? IoDeadline::Infinite()
+                                    : IoDeadline::After(config_.idle_timeout_ms);
+    PendingRequest req;
+    req.conn = conn;
+    uint64_t frame_bytes = 0;
+    Status read = protocol::ReadFrame(&conn->sock, deadline, &req.payload,
+                                      &frame_bytes);
+    counters_.bytes_in.fetch_add(frame_bytes, std::memory_order_relaxed);
+    if (!read.ok()) {
+      // NotFound = clean close on a frame boundary; kUnavailable = idle /
+      // slow-loris timeout or mid-frame close; anything else is a protocol
+      // violation (bad magic, oversized length, bad CRC) or socket error.
+      if (read.code() != StatusCode::kNotFound &&
+          read.code() != StatusCode::kUnavailable &&
+          read.code() != StatusCode::kIOError) {
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+
+    req.arrival = std::chrono::steady_clock::now();
+    WireReader r(req.payload);
+    if (!DecodeMessageHeader(&r, &req.header).ok()) {
+      // Unknown version or truncated header: nothing trustworthy to echo —
+      // close the connection (the documented contract for version skew).
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    counters_.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+    // All request bodies begin with the deadline prefix.
+    req.deadline_ms = r.GetU32();
+    req.body_offset = req.payload.size() - r.remaining();
+    if (!r.ok()) {
+      (void)WriteErrorReply(
+          req, Status::InvalidArgument("request body truncated"), 0);
+      continue;
+    }
+    if (req.deadline_ms == 0) req.deadline_ms = config_.default_deadline_ms;
+
+    switch (req.header.type) {
+      case MessageType::kHealth:
+        HandleHealth(req);
+        continue;
+      case MessageType::kStats:
+        HandleStats(req);
+        continue;
+      case MessageType::kPointCount:
+      case MessageType::kBoxQuery:
+      case MessageType::kKnn:
+      case MessageType::kTableSample:
+        break;
+      default:
+        (void)WriteErrorReply(
+            req,
+            Status::Unimplemented("unknown request type " +
+                                  std::to_string(static_cast<unsigned>(
+                                      req.header.type))),
+            0);
+        continue;
+    }
+
+    // Admission control: reject rather than buffer beyond the cap.
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      if (state_.load() != State::kRunning) {
+        lock.unlock();
+        counters_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+        (void)WriteErrorReply(
+            req, Status::Unavailable("server draining; retry elsewhere"),
+            protocol::kFlagDraining);
+        continue;
+      }
+      if (in_flight_ >= config_.max_in_flight) {
+        lock.unlock();
+        counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+        (void)WriteErrorReply(
+            req, Status::Unavailable("server overloaded; retry with backoff"),
+            0);
+        continue;
+      }
+      ++in_flight_;
+      RelaxedMax(&counters_.in_flight_peak, in_flight_);
+      queue_.push_back(std::move(req));
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    PendingRequest req;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return queue_closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    HandleRequest(&req);
+  }
+}
+
+bool QueryServer::Expired(const PendingRequest& req) const {
+  if (req.deadline_ms == 0) return false;
+  const auto elapsed = std::chrono::steady_clock::now() - req.arrival;
+  return elapsed >= std::chrono::milliseconds(req.deadline_ms);
+}
+
+void QueryServer::HandleRequest(PendingRequest* req) {
+  // Counters and latency are finalized BEFORE the reply hits the wire, so
+  // a client that has seen its reply always sees it reflected in a
+  // subsequent stats request (no read-your-own-write race).
+  if (Expired(*req)) {
+    counters_.deadline_timeouts.fetch_add(1, std::memory_order_relaxed);
+    const Status expired =
+        Status::Unavailable("deadline expired before execution");
+    FinishRequest(*req, expired);
+    (void)WriteErrorReply(*req, expired, 0);
+  } else if (req->header.type == MessageType::kKnn) {
+    protocol::KnnReply reply;
+    const Status query_status = ExecuteKnn(*req, &reply);
+    FinishRequest(*req, query_status);
+    (void)WriteReply(*req, query_status, 0, [&](WireWriter* w) {
+      protocol::EncodeKnnReply(reply, w);
+    });
+  } else {
+    protocol::QueryReply reply;
+    const Status query_status = ExecuteBoxLike(*req, &reply);
+    const uint32_t flags = reply.degraded ? protocol::kFlagDegraded : 0;
+    FinishRequest(*req, query_status);
+    (void)WriteReply(*req, query_status, flags, [&](WireWriter* w) {
+      protocol::EncodeQueryReply(reply, w);
+    });
+  }
+}
+
+void QueryServer::FinishRequest(const PendingRequest& req,
+                                const Status& status) {
+  const size_t idx = TypeIndex(req.header.type);
+  if (idx < protocol::kNumRequestTypes) {
+    const auto elapsed = std::chrono::steady_clock::now() - req.arrival;
+    latency_us_[idx].Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    if (status.ok()) {
+      counters_.replies_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.replies_error.fetch_add(1, std::memory_order_relaxed);
+      counters_.type_errors[idx].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    --in_flight_;
+    drained = in_flight_ == 0;
+  }
+  if (drained) drained_cv_.notify_all();
+}
+
+Status QueryServer::ExecuteBoxLike(const PendingRequest& req,
+                                   protocol::QueryReply* out) {
+  WireReader r(req.payload.data() + req.body_offset,
+               req.payload.size() - req.body_offset);
+  const PointTableBinding& binding = dataset_->binding();
+
+  RangeScanner::ScanOptions scan;
+  scan.skip_corrupt_pages =
+      (req.header.flags & protocol::kFlagSkipCorrupt) != 0;
+
+  QueryStats stats;
+  Result<StorageQueryResult> result =
+      Status::Internal("query not executed");
+  uint64_t limit = 0;
+
+  if (req.header.type == MessageType::kTableSample) {
+    protocol::TableSampleRequest sample;
+    MDS_RETURN_NOT_OK(DecodeTableSampleRequest(&r, &sample));
+    MDS_RETURN_NOT_OK(r.ExpectEnd());
+    if (sample.lo.size() != dataset_->dim()) {
+      return Status::InvalidArgument("query dimension " +
+                                     std::to_string(sample.lo.size()) +
+                                     " != served dimension " +
+                                     std::to_string(dataset_->dim()));
+    }
+    Box box(sample.lo, sample.hi);
+    Rng rng(sample.seed);
+    TableSamplePath path(binding, box, sample.percent, sample.n, &rng);
+    result = ExecuteAccessPath(&path, scan, &stats);
+    out->chosen_path = path.name();
+  } else {
+    protocol::BoxQueryRequest query;
+    MDS_RETURN_NOT_OK(DecodeBoxQueryRequest(&r, &query));
+    MDS_RETURN_NOT_OK(r.ExpectEnd());
+    if (query.lo.size() != dataset_->dim()) {
+      return Status::InvalidArgument("query dimension " +
+                                     std::to_string(query.lo.size()) +
+                                     " != served dimension " +
+                                     std::to_string(dataset_->dim()));
+    }
+    limit = query.limit;
+    Box box(query.lo, query.hi);
+    const Polyhedron poly = Polyhedron::FromBox(box);
+
+    QueryPlanner planner;
+    planner.AddPath(std::make_unique<FullScanPath>(binding, box))
+        .AddPath(
+            std::make_unique<KdTreePath>(binding, dataset_->tree(), poly));
+
+    QueryPlanner::ExecuteOptions options;
+    options.scan = scan;
+    // Protocol planner hints map onto the planner's path restriction.
+    if (req.header.flags & protocol::kFlagHintFullScan) {
+      options.required_path = "full-scan";
+    } else if (req.header.flags & protocol::kFlagHintIndex) {
+      options.required_path = "kd-tree";
+    }
+    result = planner.Execute(options, &stats, &out->chosen_path);
+  }
+
+  if (!result.ok()) return result.status();
+
+  out->row_count = result->objids.size();
+  if (req.header.type == MessageType::kBoxQuery ||
+      req.header.type == MessageType::kTableSample) {
+    out->objids = std::move(result->objids);
+    if (limit != 0 && out->objids.size() > limit) {
+      // The reply-size cap: first `limit` matches in clustered row order.
+      // (The scan itself is not truncated; pages_fetched is unaffected.)
+      out->objids.resize(limit);
+    }
+  }
+  out->rows_scanned = stats.rows_scanned;
+  out->pages_fetched = stats.pages_fetched;
+  out->pages_read = stats.pages_read;
+  out->pages_skipped = stats.pages_skipped;
+  out->degraded = result->degraded;
+  return Status::OK();
+}
+
+Status QueryServer::ExecuteKnn(const PendingRequest& req,
+                               protocol::KnnReply* out) {
+  WireReader r(req.payload.data() + req.body_offset,
+               req.payload.size() - req.body_offset);
+  protocol::KnnRequest knn;
+  MDS_RETURN_NOT_OK(DecodeKnnRequest(&r, &knn));
+  MDS_RETURN_NOT_OK(r.ExpectEnd());
+  if (knn.point.size() != dataset_->dim()) {
+    return Status::InvalidArgument("query dimension " +
+                                   std::to_string(knn.point.size()) +
+                                   " != served dimension " +
+                                   std::to_string(dataset_->dim()));
+  }
+  if (knn.k > kMaxKnnK) {
+    return Status::InvalidArgument("k exceeds cap " +
+                                   std::to_string(kMaxKnnK));
+  }
+  const size_t k = std::min<size_t>(knn.k, dataset_->num_rows());
+  KdKnnSearcher searcher(&dataset_->tree());
+  std::vector<Neighbor> neighbors =
+      searcher.BoundaryGrow(knn.point.data(), k);
+  out->neighbors.reserve(neighbors.size());
+  for (const Neighbor& n : neighbors) {
+    out->neighbors.push_back(protocol::WireNeighbor{
+        static_cast<int64_t>(n.id), n.squared_distance});
+  }
+  return Status::OK();
+}
+
+void QueryServer::HandleHealth(const PendingRequest& req) {
+  protocol::HealthReply reply;
+  reply.draining = state_.load() != State::kRunning ? 1 : 0;
+  reply.served_rows = dataset_->num_rows();
+  reply.dim = static_cast<uint32_t>(dataset_->dim());
+  const size_t idx = TypeIndex(req.header.type);
+  const auto elapsed = std::chrono::steady_clock::now() - req.arrival;
+  latency_us_[idx].Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+  counters_.replies_ok.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t flags = reply.draining ? protocol::kFlagDraining : 0;
+  (void)WriteReply(req, Status::OK(), flags, [&](WireWriter* w) {
+    protocol::EncodeHealthReply(reply, w);
+  });
+}
+
+void QueryServer::HandleStats(const PendingRequest& req) {
+  const size_t idx = TypeIndex(req.header.type);
+  const auto elapsed = std::chrono::steady_clock::now() - req.arrival;
+  latency_us_[idx].Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+  counters_.replies_ok.fetch_add(1, std::memory_order_relaxed);
+  const protocol::ServerStatsSnapshot snapshot = Stats();
+  (void)WriteReply(req, Status::OK(), 0, [&](WireWriter* w) {
+    protocol::EncodeServerStats(snapshot, w);
+  });
+}
+
+template <typename EncodeBody>
+Status QueryServer::WriteReply(const PendingRequest& req, const Status& status,
+                               uint32_t extra_flags, EncodeBody&& encode_body) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  MessageHeader header;
+  header.type = req.header.type;
+  header.flags = protocol::kFlagReply | extra_flags;
+  header.request_id = req.header.request_id;
+  EncodeMessageHeader(header, &w);
+  protocol::EncodeStatus(status, &w);
+  if (status.ok()) {
+    encode_body(&w);
+  }
+
+  uint64_t bytes = 0;
+  Status written;
+  {
+    std::lock_guard<std::mutex> lock(req.conn->write_mu);
+    written = protocol::WriteFrame(&req.conn->sock,
+                                   IoDeadline::After(kReplyWriteTimeoutMs),
+                                   payload, &bytes);
+  }
+  counters_.bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+  if (!written.ok()) {
+    // The reply cannot be delivered; drop the connection so its reader
+    // stops feeding us work for a dead peer.
+    req.conn->sock.ShutdownBoth();
+  }
+  return written;
+}
+
+Status QueryServer::WriteErrorReply(const PendingRequest& req,
+                                    const Status& status,
+                                    uint32_t extra_flags) {
+  return WriteReply(req, status, extra_flags, [](WireWriter*) {});
+}
+
+protocol::ServerStatsSnapshot QueryServer::Stats() const {
+  protocol::ServerStatsSnapshot s;
+  s.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_closed =
+      counters_.connections_closed.load(std::memory_order_relaxed);
+  s.protocol_errors =
+      counters_.protocol_errors.load(std::memory_order_relaxed);
+  s.requests_total = counters_.requests_total.load(std::memory_order_relaxed);
+  s.replies_ok = counters_.replies_ok.load(std::memory_order_relaxed);
+  s.replies_error = counters_.replies_error.load(std::memory_order_relaxed);
+  s.rejected_overload =
+      counters_.rejected_overload.load(std::memory_order_relaxed);
+  s.rejected_draining =
+      counters_.rejected_draining.load(std::memory_order_relaxed);
+  s.deadline_timeouts =
+      counters_.deadline_timeouts.load(std::memory_order_relaxed);
+  s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  s.in_flight_peak = counters_.in_flight_peak.load(std::memory_order_relaxed);
+
+  const CounterSnapshot::Delta delta =
+      dataset_->pool()->Delta(pool_at_start_);
+  s.pool_logical_reads = delta.logical_reads;
+  s.pool_physical_reads = delta.physical_reads;
+
+  for (size_t i = 0; i < protocol::kNumRequestTypes; ++i) {
+    const Histogram::Snapshot h = latency_us_[i].TakeSnapshot();
+    protocol::RequestTypeStats& t = s.per_type[i];
+    t.count = h.count;
+    t.errors = counters_.type_errors[i].load(std::memory_order_relaxed);
+    t.p50_us = h.ValueAtPercentile(50);
+    t.p95_us = h.ValueAtPercentile(95);
+    t.p99_us = h.ValueAtPercentile(99);
+    t.max_us = h.ValueAtPercentile(100);
+    t.mean_us = h.Mean();
+  }
+  return s;
+}
+
+void QueryServer::RequestDrain() {
+  State expected = State::kRunning;
+  if (state_.compare_exchange_strong(expected, State::kDraining)) {
+    listener_.Shutdown();
+  }
+}
+
+void QueryServer::Shutdown() {
+  if (!started_) return;
+  RequestDrain();
+
+  // Complete every admitted request before tearing anything down — the
+  // graceful-drain contract.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_runner_.joinable()) worker_runner_.join();
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // Wake readers blocked on idle connections, then join them.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& weak : conns_) {
+      if (auto conn = weak.lock()) conn->sock.ShutdownBoth();
+    }
+  }
+  ReapFinishedReaders(/*join_all=*/true);
+  state_.store(State::kStopped);
+  started_ = false;
+}
+
+}  // namespace mds

@@ -1,0 +1,194 @@
+#ifndef MDS_SERVER_SERVER_H_
+#define MDS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/parallel.h"
+#include "common/socket.h"
+#include "server/dataset.h"
+#include "server/protocol.h"
+
+namespace mds {
+
+/// mdsd server tuning knobs.
+struct ServerConfig {
+  /// Loopback TCP port; 0 picks an ephemeral port (see QueryServer::port).
+  uint16_t port = 0;
+  /// Query worker threads; 0 = QueryThreads() (MDS_QUERY_THREADS).
+  unsigned num_workers = 0;
+  /// Admission-control cap: maximum requests admitted (queued + executing)
+  /// at once. Arrivals beyond the cap are rejected immediately with a
+  /// retryable kUnavailable reply — the server sheds load, it never
+  /// buffers unboundedly or hangs.
+  size_t max_in_flight = 64;
+  /// Connections beyond this are accepted and closed immediately.
+  size_t max_connections = 256;
+  /// Applied to requests that carry no deadline; 0 = none.
+  uint32_t default_deadline_ms = 0;
+  /// Per-frame read deadline on every connection: a client that stalls
+  /// mid-frame (slow-loris) or goes silent longer than this is closed.
+  /// 0 = no timeout.
+  uint32_t idle_timeout_ms = 30000;
+};
+
+/// The mdsd query server: a concurrent TCP front end over the QueryEngine.
+///
+/// Threading model (DESIGN.md "Serving layer"):
+///  - one acceptor thread owns the listening socket;
+///  - one reader thread per connection decodes frames; health/stats are
+///    answered inline (they must work while the server is saturated),
+///    query requests pass admission control into a bounded queue;
+///  - the existing TaskPool (MDS_QUERY_THREADS workers) drains the queue,
+///    executes each query through QueryPlanner/AccessPath over the shared
+///    BufferPool, and writes the reply (per-connection write mutex).
+///
+/// Admission control: at most max_in_flight requests are in the system;
+/// beyond that, arrivals get an immediate retryable kUnavailable. Each
+/// request may carry a deadline — a request whose deadline expires while
+/// queued is answered kUnavailable without executing.
+///
+/// Graceful drain: RequestDrain() stops accepting connections and rejects
+/// new query requests (kUnavailable + kFlagDraining) while every admitted
+/// request still executes and replies. Shutdown() drains, waits for
+/// in-flight work, then joins all threads. SIGTERM handling is the
+/// binary's job (see mdsd_main.cc): it calls Shutdown().
+///
+/// Thread safety: Start/RequestDrain/Shutdown may be called from any
+/// thread; Start exactly once. Stats() is safe at any time.
+class QueryServer {
+ public:
+  QueryServer(const ServedDataset* dataset, const ServerConfig& config);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds the port and starts the acceptor and worker threads.
+  Status Start();
+
+  /// Bound port (valid after Start; the ephemeral port when config.port=0).
+  uint16_t port() const { return port_; }
+
+  bool draining() const { return state_.load() != State::kRunning; }
+
+  /// Stops admitting new work; in-flight requests keep executing. Safe to
+  /// call more than once.
+  void RequestDrain();
+
+  /// Full graceful stop: drain, complete in-flight requests, join all
+  /// threads, close all connections. Idempotent.
+  void Shutdown();
+
+  /// Point-in-time server counters (the same snapshot a kStats request
+  /// returns).
+  protocol::ServerStatsSnapshot Stats() const;
+
+ private:
+  enum class State { kRunning, kDraining, kStopped };
+
+  struct Connection {
+    Socket sock;
+    std::mutex write_mu;
+    uint64_t bytes_in = 0;   // owned by the reader thread
+  };
+
+  struct PendingRequest {
+    std::shared_ptr<Connection> conn;
+    protocol::MessageHeader header;
+    std::vector<uint8_t> payload;  // full payload; body starts at body_offset
+    size_t body_offset = 0;
+    uint32_t deadline_ms = 0;  // effective (request or config default)
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  struct ReaderThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  /// Executes one admitted query request and writes its reply.
+  void HandleRequest(PendingRequest* req);
+
+  void HandleHealth(const PendingRequest& req);
+  void HandleStats(const PendingRequest& req);
+  Status ExecuteBoxLike(const PendingRequest& req, protocol::QueryReply* out);
+  Status ExecuteKnn(const PendingRequest& req, protocol::KnnReply* out);
+
+  /// Serializes and writes a reply frame (status + optional body encoded
+  /// by `encode_body` when status is OK). Closes the connection on write
+  /// failure. Returns the write status.
+  template <typename EncodeBody>
+  Status WriteReply(const PendingRequest& req, const Status& status,
+                    uint32_t extra_flags, EncodeBody&& encode_body);
+  Status WriteErrorReply(const PendingRequest& req, const Status& status,
+                         uint32_t extra_flags);
+
+  void FinishRequest(const PendingRequest& req, const Status& status);
+  void ReapFinishedReaders(bool join_all);
+
+  bool Expired(const PendingRequest& req) const;
+
+  const ServedDataset* dataset_;
+  ServerConfig config_;
+  uint16_t port_ = 0;
+
+  TcpListener listener_;
+  std::thread acceptor_;
+  std::thread worker_runner_;  // blocks inside TaskPool::Run for the
+                               // server's lifetime
+  std::unique_ptr<TaskPool> workers_;
+
+  std::atomic<State> state_{State::kStopped};
+  bool started_ = false;
+
+  // Bounded request queue + in-flight accounting (admission control).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;   // workers wait for work
+  std::condition_variable drained_cv_;  // Shutdown waits for in-flight == 0
+  std::deque<PendingRequest> queue_;
+  bool queue_closed_ = false;
+  size_t in_flight_ = 0;  // queued + executing, guarded by queue_mu_
+
+  // Connection registry (for Shutdown) and reader thread reaping.
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+  std::list<ReaderThread> readers_;
+  std::atomic<size_t> open_connections_{0};
+
+  // Counters (relaxed atomics; aggregated into ServerStatsSnapshot).
+  struct Counters {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> requests_total{0};
+    std::atomic<uint64_t> replies_ok{0};
+    std::atomic<uint64_t> replies_error{0};
+    std::atomic<uint64_t> rejected_overload{0};
+    std::atomic<uint64_t> rejected_draining{0};
+    std::atomic<uint64_t> deadline_timeouts{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> in_flight_peak{0};
+    std::atomic<uint64_t> type_errors[protocol::kNumRequestTypes] = {};
+  };
+  mutable Counters counters_;
+  Histogram latency_us_[protocol::kNumRequestTypes];
+  CounterSnapshot pool_at_start_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_SERVER_SERVER_H_

@@ -230,5 +230,50 @@ TEST_F(QueryEngineTest, DimensionMismatchRejected) {
   EXPECT_FALSE(StorageQueryExecutor::FullScan(binding, poly2).ok());
 }
 
+TEST_F(QueryEngineTest, ExecuteBatchPreservesSiblingsOnFailure) {
+  auto table = MaterializePointTable(pool_.get(), points_, {});
+  ASSERT_TRUE(table.ok());
+  PointTableBinding binding = BindPointTable(&*table, 3);
+
+  const Polyhedron good =
+      Polyhedron::BallApproximation({0.4, 0.4, 0.4}, 0.15, 10);
+  const Polyhedron bad(2);  // dimension mismatch: this entry must fail
+
+  std::vector<std::unique_ptr<AccessPath>> paths;
+  paths.push_back(std::make_unique<FullScanPath>(binding, good));
+  paths.push_back(std::make_unique<FullScanPath>(binding, bad));
+  paths.push_back(std::make_unique<FullScanPath>(binding, good));
+
+  std::vector<QueryStats> stats;
+  auto results = QueryEngine::ExecuteBatch(std::move(paths), {}, &stats);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_EQ(stats.size(), 3u);
+
+  // Siblings of the failing entry keep their full results.
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[2].ok());
+  std::vector<int64_t> got = results[0]->objids;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, BruteForce(points_, good));
+  EXPECT_EQ(results[0]->objids, results[2]->objids);
+  EXPECT_EQ(stats[0].rows_scanned, points_.size());
+
+  // The failing entry reports its own status, annotated with its index.
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(results[1].status().message().find("ExecuteBatch[1]"),
+            std::string::npos);
+
+  // A null path entry fails its slot only, same annotation contract.
+  FullScanPath solo(binding, good);
+  std::vector<AccessPath*> raw{&solo, nullptr};
+  auto mixed = QueryEngine::ExecuteBatch(raw);
+  ASSERT_EQ(mixed.size(), 2u);
+  EXPECT_TRUE(mixed[0].ok());
+  ASSERT_FALSE(mixed[1].ok());
+  EXPECT_NE(mixed[1].status().message().find("ExecuteBatch[1]"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace mds

@@ -1,0 +1,380 @@
+// Protocol robustness: the mdsd wire codec and server must survive
+// truncated frames, oversized length prefixes, corrupted payloads, unknown
+// versions/types and slow-loris partial writes with clean connection
+// closes — never a crash, a hang, or a desynchronized reply. These tests
+// speak raw bytes (no QueryClient) so they can violate the protocol on
+// purpose; CI runs them under ASan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "server/client.h"
+#include "server/dataset.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace mds {
+namespace {
+
+using protocol::MessageHeader;
+using protocol::MessageType;
+
+// --- Codec unit tests (no sockets) -----------------------------------------
+
+TEST(WireCodec, RoundTripsScalars) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.PutU8(7);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF64(3.25);
+  w.PutString("mdsd");
+
+  WireReader r(buf);
+  EXPECT_EQ(r.GetU8(), 7u);
+  EXPECT_EQ(r.GetU16(), 0xBEEFu);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_EQ(r.GetF64(), 3.25);
+  EXPECT_EQ(r.GetString(), "mdsd");
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(WireCodec, TruncatedReadFailsSticky) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.PutU32(1);
+  WireReader r(buf);
+  (void)r.GetU64();  // 8 > 4 bytes present
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.GetU32(), 0u);  // sticky: later reads yield zero, not UB
+  EXPECT_FALSE(r.ExpectEnd().ok());
+}
+
+TEST(WireCodec, PodVectorCountMustFitPayload) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.PutU64(1u << 30);  // claims 2^30 int64 elements, provides none
+  WireReader r(buf);
+  auto v = r.GetPodVector<int64_t>();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireCodec, TrailingBytesRejected) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.PutU32(1);
+  w.PutU8(0);
+  WireReader r(buf);
+  (void)r.GetU32();
+  EXPECT_FALSE(r.ExpectEnd().ok());
+}
+
+TEST(ProtocolCodec, RequestReplyRoundTrips) {
+  {
+    protocol::BoxQueryRequest req;
+    req.lo = {0.0, 1.0, 2.0};
+    req.hi = {3.0, 4.0, 5.0};
+    req.limit = 17;
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeBoxQueryRequest(req, &w);
+    WireReader r(buf);
+    protocol::BoxQueryRequest got;
+    ASSERT_TRUE(DecodeBoxQueryRequest(&r, &got).ok());
+    EXPECT_EQ(got.lo, req.lo);
+    EXPECT_EQ(got.hi, req.hi);
+    EXPECT_EQ(got.limit, req.limit);
+    EXPECT_TRUE(r.ExpectEnd().ok());
+  }
+  {
+    protocol::KnnRequest req;
+    req.point = {1.5, -2.5};
+    req.k = 9;
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeKnnRequest(req, &w);
+    WireReader r(buf);
+    protocol::KnnRequest got;
+    ASSERT_TRUE(DecodeKnnRequest(&r, &got).ok());
+    EXPECT_EQ(got.point, req.point);
+    EXPECT_EQ(got.k, req.k);
+  }
+  {
+    protocol::QueryReply reply;
+    reply.row_count = 3;
+    reply.objids = {5, 7, 11};
+    reply.rows_scanned = 100;
+    reply.pages_fetched = 4;
+    reply.degraded = true;
+    reply.chosen_path = "kd-tree";
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeQueryReply(reply, &w);
+    WireReader r(buf);
+    protocol::QueryReply got;
+    ASSERT_TRUE(DecodeQueryReply(&r, &got).ok());
+    EXPECT_EQ(got.objids, reply.objids);
+    EXPECT_EQ(got.degraded, true);
+    EXPECT_EQ(got.chosen_path, "kd-tree");
+  }
+  {
+    Status in = Status::Unavailable("retry");
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    protocol::EncodeStatus(in, &w);
+    WireReader r(buf);
+    Status out;
+    ASSERT_TRUE(protocol::DecodeStatus(&r, &out).ok());
+    EXPECT_EQ(out.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(out.message(), "retry");
+  }
+}
+
+TEST(ProtocolCodec, RejectsBadDimensionAndParameters) {
+  {
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    w.PutU32(protocol::kMaxDim + 1);  // dim beyond the engine's cap
+    WireReader r(buf);
+    std::vector<double> v;
+    EXPECT_FALSE(protocol::DecodeCoords(&r, &v).ok());
+  }
+  {
+    protocol::KnnRequest req;
+    req.point = {0.0};
+    req.k = 1;
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeKnnRequest(req, &w);
+    buf[buf.size() - 4] = 0;  // k -> 0
+    buf[buf.size() - 3] = 0;
+    buf[buf.size() - 2] = 0;
+    buf[buf.size() - 1] = 0;
+    WireReader r(buf);
+    protocol::KnnRequest got;
+    EXPECT_FALSE(DecodeKnnRequest(&r, &got).ok());
+  }
+}
+
+// --- Live-server abuse ------------------------------------------------------
+
+class ServerProtocolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.num_rows = 20000;
+    auto built = ServedDataset::Build(config);
+    ASSERT_TRUE(built.ok());
+    dataset_ = new ServedDataset(std::move(*built));
+
+    ServerConfig server_config;
+    server_config.num_workers = 2;
+    server_config.idle_timeout_ms = 1000;  // fast slow-loris verdicts
+    server_ = new QueryServer(dataset_, server_config);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  static void TearDownTestSuite() {
+    server_->Shutdown();
+    delete server_;
+    delete dataset_;
+    server_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Socket MustConnect() {
+    auto sock = TcpConnect("127.0.0.1", server_->port(), 5000);
+    EXPECT_TRUE(sock.ok()) << sock.status().ToString();
+    return std::move(*sock);
+  }
+
+  /// True when the peer closed the connection (any read failure short of
+  /// a deadline counts; a protocol-violating client only learns "closed").
+  static bool ServerClosed(Socket* sock) {
+    uint8_t byte = 0;
+    Status st = sock->ReadFull(&byte, 1, IoDeadline::After(5000));
+    return !st.ok() && st.code() != StatusCode::kUnavailable;
+  }
+
+  /// The server must still answer a well-formed request after abuse.
+  static void ExpectServerHealthy() {
+    auto client = QueryClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto health = client->Health();
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    EXPECT_EQ(health->served_rows, dataset_->num_rows());
+  }
+
+  static ServedDataset* dataset_;
+  static QueryServer* server_;
+};
+
+ServedDataset* ServerProtocolTest::dataset_ = nullptr;
+QueryServer* ServerProtocolTest::server_ = nullptr;
+
+TEST_F(ServerProtocolTest, BadMagicClosesConnection) {
+  Socket sock = MustConnect();
+  std::vector<uint8_t> junk(64, 0xAB);
+  ASSERT_TRUE(
+      sock.WriteFull(junk.data(), junk.size(), IoDeadline::After(5000)).ok());
+  EXPECT_TRUE(ServerClosed(&sock));
+  ExpectServerHealthy();
+}
+
+TEST_F(ServerProtocolTest, OversizedLengthPrefixClosesConnection) {
+  Socket sock = MustConnect();
+  std::vector<uint8_t> frame;
+  WireWriter w(&frame);
+  w.PutU32(protocol::kFrameMagic);
+  w.PutU32(0xFFFFFFFFu);  // 4 GiB claim: must be rejected before allocation
+  w.PutU32(0);
+  ASSERT_TRUE(
+      sock.WriteFull(frame.data(), frame.size(), IoDeadline::After(5000)).ok());
+  EXPECT_TRUE(ServerClosed(&sock));
+  ExpectServerHealthy();
+}
+
+TEST_F(ServerProtocolTest, BadCrcClosesConnection) {
+  std::vector<uint8_t> payload;
+  WireWriter pw(&payload);
+  EncodeMessageHeader(MessageHeader{}, &pw);
+  pw.PutU32(0);  // deadline prefix
+
+  std::vector<uint8_t> frame;
+  protocol::AppendFrame(payload, &frame);
+  frame[frame.size() - 1] ^= 0x01;  // flip a payload bit; CRC now wrong
+
+  Socket sock = MustConnect();
+  ASSERT_TRUE(
+      sock.WriteFull(frame.data(), frame.size(), IoDeadline::After(5000)).ok());
+  EXPECT_TRUE(ServerClosed(&sock));
+  ExpectServerHealthy();
+}
+
+TEST_F(ServerProtocolTest, UnknownVersionClosesConnection) {
+  std::vector<uint8_t> payload;
+  WireWriter pw(&payload);
+  MessageHeader header;
+  header.version = 99;
+  header.type = MessageType::kHealth;
+  EncodeMessageHeader(header, &pw);
+  pw.PutU32(0);
+
+  std::vector<uint8_t> frame;
+  protocol::AppendFrame(payload, &frame);
+  Socket sock = MustConnect();
+  ASSERT_TRUE(
+      sock.WriteFull(frame.data(), frame.size(), IoDeadline::After(5000)).ok());
+  EXPECT_TRUE(ServerClosed(&sock));
+  ExpectServerHealthy();
+}
+
+TEST_F(ServerProtocolTest, UnknownTypeGetsUnimplementedReply) {
+  std::vector<uint8_t> payload;
+  WireWriter pw(&payload);
+  MessageHeader header;
+  header.type = static_cast<MessageType>(77);
+  header.request_id = 5;
+  EncodeMessageHeader(header, &pw);
+  pw.PutU32(0);
+
+  std::vector<uint8_t> frame;
+  protocol::AppendFrame(payload, &frame);
+  Socket sock = MustConnect();
+  ASSERT_TRUE(
+      sock.WriteFull(frame.data(), frame.size(), IoDeadline::After(5000)).ok());
+
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(
+      protocol::ReadFrame(&sock, IoDeadline::After(5000), &reply).ok());
+  WireReader r(reply);
+  MessageHeader reply_header;
+  ASSERT_TRUE(DecodeMessageHeader(&r, &reply_header).ok());
+  EXPECT_EQ(reply_header.request_id, 5u);
+  Status remote;
+  ASSERT_TRUE(protocol::DecodeStatus(&r, &remote).ok());
+  EXPECT_EQ(remote.code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ServerProtocolTest, TruncatedBodyGetsErrorReply) {
+  // Well-framed payload whose body stops mid-request: the frame passes CRC,
+  // decode fails cleanly, and the server answers with a status instead of
+  // crashing on the short buffer.
+  std::vector<uint8_t> payload;
+  WireWriter pw(&payload);
+  MessageHeader header;
+  header.type = MessageType::kBoxQuery;
+  header.request_id = 6;
+  EncodeMessageHeader(header, &pw);
+  pw.PutU32(0);   // deadline
+  pw.PutU32(3);   // dim=3 but no coordinates follow
+
+  std::vector<uint8_t> frame;
+  protocol::AppendFrame(payload, &frame);
+  Socket sock = MustConnect();
+  ASSERT_TRUE(
+      sock.WriteFull(frame.data(), frame.size(), IoDeadline::After(5000)).ok());
+
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(
+      protocol::ReadFrame(&sock, IoDeadline::After(5000), &reply).ok());
+  WireReader r(reply);
+  MessageHeader reply_header;
+  ASSERT_TRUE(DecodeMessageHeader(&r, &reply_header).ok());
+  Status remote;
+  ASSERT_TRUE(protocol::DecodeStatus(&r, &remote).ok());
+  EXPECT_FALSE(remote.ok());
+}
+
+TEST_F(ServerProtocolTest, SlowLorisPartialFrameTimesOutCleanly) {
+  // Send half a valid frame, then stall. The per-frame idle deadline
+  // (1 s in this suite) must reap the connection; the server stays up.
+  std::vector<uint8_t> payload;
+  WireWriter pw(&payload);
+  EncodeMessageHeader(MessageHeader{}, &pw);
+  pw.PutU32(0);
+  std::vector<uint8_t> frame;
+  protocol::AppendFrame(payload, &frame);
+
+  Socket sock = MustConnect();
+  ASSERT_TRUE(
+      sock.WriteFull(frame.data(), frame.size() / 2, IoDeadline::After(5000))
+          .ok());
+  EXPECT_TRUE(ServerClosed(&sock));  // bounded by the 5 s read deadline
+  ExpectServerHealthy();
+}
+
+TEST_F(ServerProtocolTest, AbuseBarrageLeavesServerServing) {
+  // A burst of mixed violations from several threads, then a correctness
+  // probe: the server must still answer queries with exact results.
+  std::vector<std::thread> abusers;
+  for (int t = 0; t < 4; ++t) {
+    abusers.emplace_back([t] {
+      for (int i = 0; i < 8; ++i) {
+        auto sock = TcpConnect("127.0.0.1", server_->port(), 5000);
+        if (!sock.ok()) continue;
+        std::vector<uint8_t> junk((t * 8 + i) % 23 + 1,
+                                  static_cast<uint8_t>(i * 37 + t));
+        (void)sock->WriteFull(junk.data(), junk.size(),
+                              IoDeadline::After(1000));
+        // Half the abusers vanish without closing properly.
+        if (i % 2 == 0) sock->ShutdownBoth();
+      }
+    });
+  }
+  for (auto& a : abusers) a.join();
+  ExpectServerHealthy();
+}
+
+}  // namespace
+}  // namespace mds
