@@ -45,9 +45,11 @@ struct PhaseResult {
 
 /// Runs `clients` closed-loop threads for `requests_per_client` requests
 /// each; every thread owns one connection and reconnects if an exchange
-/// fails.
+/// fails. `distinct_boxes` != 0 folds the workload onto that many distinct
+/// query boxes (a repeated workload, the response cache's target shape);
+/// 0 keeps the full variety.
 PhaseResult RunClosedLoop(uint16_t port, size_t clients,
-                          int requests_per_client) {
+                          int requests_per_client, size_t distinct_boxes = 0) {
   bench::LatencyRecorder recorder;
   std::atomic<uint64_t> ok{0}, rejected{0}, failed{0};
   std::vector<std::thread> threads;
@@ -60,7 +62,9 @@ PhaseResult RunClosedLoop(uint16_t port, size_t clients,
         return;
       }
       for (int i = 0; i < requests_per_client; ++i) {
-        const Box box = SmallBox(t * 131 + static_cast<size_t>(i));
+        size_t box_index = t * 131 + static_cast<size_t>(i);
+        if (distinct_boxes != 0) box_index %= distinct_boxes;
+        const Box box = SmallBox(box_index);
         WallTimer timer;
         auto result = client->PointCount(box);
         recorder.RecordMillis(timer.Millis());
@@ -188,6 +192,98 @@ void Run(const bench::BenchOptions& options) {
                 100.0 * static_cast<double>(r.rejected) /
                     static_cast<double>(r.ok + r.rejected),
                 (unsigned long long)(r.ok + r.rejected));
+    server.Shutdown();
+  }
+
+  // --- Phase 3: response cache on a repeated workload ------------------
+  // The same tiny worker pool and admission cap as the overload phase, but
+  // with the response cache on and the workload folded onto a fixed set of
+  // distinct boxes. Once the cache is warm, hits are answered on reader
+  // threads and never enter admission control: with 4x the cap in clients,
+  // nothing is shed and the in-flight peak stays below the cap.
+  {
+    ServerConfig config;
+    config.num_workers = 2;
+    config.max_in_flight = 4;
+    config.cache_bytes = 32u << 20;
+    QueryServer server(&*dataset, config);
+    MDS_CHECK(server.Start().ok());
+
+    const size_t kDistinct = 64;
+    const size_t hot_clients = 16;
+    const int hot_per_client = options.quick ? 100 : 500;
+    std::printf("\n-- response cache: %zu distinct boxes, %zu clients --\n",
+                kDistinct, hot_clients);
+
+    // Hit ratio over a window = counter deltas across one pass.
+    uint64_t last_hits = 0, last_misses = 0;
+    auto hit_ratio_since = [&]() {
+      const auto stats = server.Stats();
+      const uint64_t dh = stats.cache_hits - last_hits;
+      const uint64_t dm = stats.cache_misses - last_misses;
+      last_hits = stats.cache_hits;
+      last_misses = stats.cache_misses;
+      return dh + dm == 0
+                 ? 0.0
+                 : static_cast<double>(dh) / static_cast<double>(dh + dm);
+    };
+
+    // Cold pass: one client touches every distinct box once — all misses,
+    // each executing through the engine. Its p50 is the execution cost.
+    PhaseResult cold = RunClosedLoop(server.port(), 1,
+                                     static_cast<int>(kDistinct), kDistinct);
+    PrintPhase(options, "server_cache_cold", cold);
+    MDS_CHECK(cold.failed == 0);
+    const double cold_ratio = hit_ratio_since();
+    std::printf("cold pass hit ratio: %.3f\n", cold_ratio);
+
+    // Warm pass at the same concurrency (one client): every request is a
+    // hit, so its p50 is the memoized-reply cost — an apples-to-apples
+    // latency comparison against the cold pass.
+    PhaseResult warm = RunClosedLoop(server.port(), 1,
+                                     4 * static_cast<int>(kDistinct),
+                                     kDistinct);
+    PrintPhase(options, "server_cache_warm", warm);
+    const double warm_ratio = hit_ratio_since();
+    std::printf("warm pass hit ratio: %.3f\n", warm_ratio);
+    MDS_CHECK(warm.failed == 0);
+    MDS_CHECK(warm_ratio >= 0.9);
+    MDS_CHECK(warm.latency.p50_us < cold.latency.p50_us);
+
+    // Hot hammer: 4x the admission cap in clients; everything is memoized
+    // and answered on reader threads, so nothing is shed and the workers
+    // stay idle.
+    PhaseResult hot = RunClosedLoop(server.port(), hot_clients,
+                                    hot_per_client, kDistinct);
+    PrintPhase(options, "server_cache_hot", hot);
+    const double hot_ratio = hit_ratio_since();
+    const auto hot_stats = server.Stats();
+    std::printf("hot pass hit ratio: %.3f (cache: %llu entries, %llu bytes)\n",
+                hot_ratio, (unsigned long long)hot_stats.cache_entries,
+                (unsigned long long)hot_stats.cache_bytes);
+    MDS_CHECK(hot.failed == 0);
+    MDS_CHECK(hot.rejected == 0);  // hits bypass admission control
+    MDS_CHECK(hot_ratio >= 0.9);
+    MDS_CHECK(hot_stats.in_flight_peak < config.max_in_flight);
+
+    // Epoch bump mid-bench: one atomic store invalidates everything. The
+    // next pass over the same boxes re-misses (~0 ratio), repopulates,
+    // and the pass after that is hot again.
+    dataset->BumpEpoch();
+    PhaseResult repop = RunClosedLoop(server.port(), 1,
+                                      static_cast<int>(kDistinct), kDistinct);
+    MDS_CHECK(repop.failed == 0);
+    const double bumped_ratio = hit_ratio_since();
+    PhaseResult rehot = RunClosedLoop(server.port(), hot_clients,
+                                      hot_per_client / 2, kDistinct);
+    MDS_CHECK(rehot.failed == 0);
+    const double recovered_ratio = hit_ratio_since();
+    std::printf(
+        "epoch bump: hit ratio %.3f -> %.3f after repopulation\n",
+        bumped_ratio, recovered_ratio);
+    MDS_CHECK(bumped_ratio <= 0.05);
+    MDS_CHECK(recovered_ratio >= 0.9);
+
     server.Shutdown();
   }
 }

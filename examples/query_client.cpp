@@ -124,6 +124,11 @@ int Walkthrough(uint16_t port) {
               (unsigned long long)stats->requests_total,
               (unsigned long long)stats->replies_ok,
               (unsigned long long)stats->bytes_out);
+  std::printf("cache: %llu hits, %llu misses, %llu bytes (epoch %llu)\n",
+              (unsigned long long)stats->cache_hits,
+              (unsigned long long)stats->cache_misses,
+              (unsigned long long)stats->cache_bytes,
+              (unsigned long long)stats->dataset_epoch);
   const auto& pc =
       stats->per_type[protocol::TypeIndex(protocol::MessageType::kPointCount)];
   if (pc.count > 0) {

@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <bit>
+#include <cmath>
 #include <limits>
 
 namespace mds {
@@ -46,23 +47,34 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
 
 uint64_t Histogram::Snapshot::ValueAtPercentile(double p) const {
   if (count == 0 || buckets.empty()) return 0;
-  if (p < 0.0) p = 0.0;
+  if (!(p >= 0.0)) p = 0.0;  // also normalizes NaN
   if (p > 100.0) p = 100.0;
-  // Rank of the target sample, 1-based; p=0 maps to the first sample.
-  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
-                                        static_cast<double>(count) + 0.5);
-  if (rank == 0) rank = 1;
-  if (rank > count) rank = count;
+  // Nearest-rank percentile: the 1-based rank is ceil(p/100 * count).
+  // Computed and clamped in double — casting a product near 2^64 straight
+  // to uint64_t is undefined, and round-half-up picks rank 1 of 3 for p=34
+  // where nearest-rank requires rank 2.
+  const double want = std::ceil(p / 100.0 * static_cast<double>(count));
+  uint64_t rank;  // p=0 maps to the first sample, p=100 to the last
+  if (want < 1.0) {
+    rank = 1;
+  } else if (want >= static_cast<double>(count)) {
+    rank = count;
+  } else {
+    rank = static_cast<uint64_t>(want);
+  }
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
     seen += buckets[i];
     if (seen >= rank) {
       const uint64_t lo = BucketLowerBound(i);
       const uint64_t hi = BucketUpperBound(i);
+      // The catch-all top bucket is unbounded above; its midpoint would be
+      // a meaningless ~2^63. Report its lower bound instead.
+      if (hi == std::numeric_limits<uint64_t>::max()) return lo;
       return lo + (hi - lo) / 2;
     }
   }
-  return BucketUpperBound(buckets.size() - 1);
+  return BucketLowerBound(buckets.size() - 1);
 }
 
 void Histogram::Snapshot::Merge(const Snapshot& other) {

@@ -13,12 +13,31 @@
 #include <algorithm>
 #include <limits>
 
+// A peer that closes mid-reply must surface as a Status, never SIGPIPE
+// (which kills the process by default). Linux suppresses the signal per
+// send() via MSG_NOSIGNAL; BSD/macOS lack that flag but offer the
+// per-socket SO_NOSIGPIPE option instead — so the flag compiles away to 0
+// there and DisableSigpipe() below covers the socket at creation.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 namespace mds {
 
 namespace {
 
 Status Errno(const char* op) {
   return Status::IOError(std::string(op) + ": " + strerror(errno));
+}
+
+/// Best-effort SO_NOSIGPIPE on platforms that have it (no-op elsewhere).
+void DisableSigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
 }
 
 /// Waits for `events` on fd, bounded by deadline. OK when ready;
@@ -148,7 +167,10 @@ Result<Socket> TcpListener::Accept(const IoDeadline& deadline) {
   for (;;) {
     MDS_RETURN_NOT_OK(PollFor(socket_.fd(), POLLIN, deadline));
     const int fd = accept(socket_.fd(), nullptr, nullptr);
-    if (fd >= 0) return Socket(fd);
+    if (fd >= 0) {
+      DisableSigpipe(fd);
+      return Socket(fd);
+    }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
         errno == ECONNABORTED) {
       continue;
@@ -166,6 +188,7 @@ Result<Socket> TcpConnect(const std::string& host, uint16_t port,
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   Socket sock(fd);
+  DisableSigpipe(fd);
 
   struct sockaddr_in addr;
   memset(&addr, 0, sizeof(addr));

@@ -1,6 +1,7 @@
 #ifndef MDS_SERVER_DATASET_H_
 #define MDS_SERVER_DATASET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -39,6 +40,16 @@ class ServedDataset {
   size_t dim() const { return binding_.dim; }
   uint64_t num_rows() const { return binding_.table->num_rows(); }
 
+  /// Monotonically increasing dataset generation, starting at 1. The
+  /// serving layer keys memoized replies by it (server/response_cache.h):
+  /// bumping the epoch invalidates every cached reply with one atomic
+  /// store, with no per-entry tracking.
+  uint64_t epoch() const { return epoch_->load(std::memory_order_acquire); }
+
+  /// Marks the served data as changed (reload, mutation, repaired pages).
+  /// Owners call this; the server itself only reads the epoch.
+  void BumpEpoch() { epoch_->fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   ServedDataset() = default;
 
@@ -50,6 +61,9 @@ class ServedDataset {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Table> table_;
   PointTableBinding binding_;
+  // Heap-allocated so the dataset stays movable (Result<ServedDataset>).
+  std::unique_ptr<std::atomic<uint64_t>> epoch_ =
+      std::make_unique<std::atomic<uint64_t>>(1);
 };
 
 }  // namespace mds

@@ -2,6 +2,7 @@
 //
 //   mdsd [--port=N] [--n=ROWS] [--workers=N] [--max-in-flight=N]
 //        [--seed=N] [--quick] [--port-file=PATH]
+//        [--cache-bytes=N] [--no-cache]
 //
 // Serves a synthetic SDSS color catalog over the loopback wire protocol
 // (src/server/protocol.h). --port=0 (the default) binds an ephemeral port
@@ -43,6 +44,9 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 int main(int argc, char** argv) {
   mds::DatasetConfig dataset_config;
   mds::ServerConfig server_config;
+  // The library default is cache-off (embedded tests want every request to
+  // execute); the binary default is cache-on at 64 MiB.
+  server_config.cache_bytes = 64u << 20;
   std::string port_file;
 
   for (int i = 1; i < argc; ++i) {
@@ -61,11 +65,15 @@ int main(int argc, char** argv) {
       dataset_config.num_rows = 100000;
     } else if (ParseFlag(argv[i], "--port-file", &v)) {
       port_file = v;
+    } else if (ParseFlag(argv[i], "--cache-bytes", &v)) {
+      server_config.cache_bytes = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--no-cache", &v)) {
+      server_config.cache_bytes = 0;
     } else {
       std::fprintf(stderr,
                    "usage: mdsd [--port=N] [--n=ROWS] [--workers=N] "
                    "[--max-in-flight=N] [--seed=N] [--quick] "
-                   "[--port-file=PATH]\n");
+                   "[--port-file=PATH] [--cache-bytes=N] [--no-cache]\n");
       return 2;
     }
   }

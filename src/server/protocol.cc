@@ -1,9 +1,38 @@
 #include "server/protocol.h"
 
+#include <cmath>
+
 #include "common/crc32c.h"
 
 namespace mds {
 namespace protocol {
+
+namespace {
+
+/// Degenerate-box rejection at the wire boundary: a NaN bound poisons
+/// every containment test (the engine would return an empty result with a
+/// success status — a silent lie) and an inverted axis describes no volume
+/// the caller could have meant. Both are InvalidArgument here, before any
+/// engine code runs.
+Status ValidateBoxBounds(const std::vector<double>& lo,
+                         const std::vector<double>& hi) {
+  if (lo.size() != hi.size()) {
+    return Status::InvalidArgument("protocol: box lo/hi dimension mismatch");
+  }
+  for (size_t j = 0; j < lo.size(); ++j) {
+    if (std::isnan(lo[j]) || std::isnan(hi[j])) {
+      return Status::InvalidArgument("protocol: box bound is NaN on axis " +
+                                     std::to_string(j));
+    }
+    if (lo[j] > hi[j]) {
+      return Status::InvalidArgument(
+          "protocol: box is inverted (lo > hi) on axis " + std::to_string(j));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 void EncodeCoords(const std::vector<double>& v, WireWriter* w) {
   w->PutU32(static_cast<uint32_t>(v.size()));
@@ -79,10 +108,7 @@ Status DecodeBoxQueryRequest(WireReader* r, BoxQueryRequest* req) {
   MDS_RETURN_NOT_OK(DecodeCoords(r, &req->hi));
   req->limit = r->GetU64();
   if (!r->ok()) return r->status();
-  if (req->lo.size() != req->hi.size()) {
-    return Status::InvalidArgument("protocol: box lo/hi dimension mismatch");
-  }
-  return Status::OK();
+  return ValidateBoxBounds(req->lo, req->hi);
 }
 
 void EncodeKnnRequest(const KnnRequest& req, WireWriter* w) {
@@ -96,6 +122,13 @@ Status DecodeKnnRequest(WireReader* r, KnnRequest* req) {
   if (!r->ok()) return r->status();
   if (req->k == 0) {
     return Status::InvalidArgument("protocol: knn k must be positive");
+  }
+  for (size_t j = 0; j < req->point.size(); ++j) {
+    if (std::isnan(req->point[j])) {
+      return Status::InvalidArgument(
+          "protocol: knn probe coordinate is NaN on axis " +
+          std::to_string(j));
+    }
   }
   return Status::OK();
 }
@@ -115,9 +148,9 @@ Status DecodeTableSampleRequest(WireReader* r, TableSampleRequest* req) {
   req->n = r->GetU64();
   req->seed = r->GetU64();
   if (!r->ok()) return r->status();
-  if (req->lo.size() != req->hi.size()) {
-    return Status::InvalidArgument("protocol: box lo/hi dimension mismatch");
-  }
+  MDS_RETURN_NOT_OK(ValidateBoxBounds(req->lo, req->hi));
+  // The sampling fraction lives in (0, 1], carried as a percent in
+  // (0, 100]. `!(> 0.0)` also rejects NaN.
   if (!(req->percent > 0.0) || req->percent > 100.0) {
     return Status::InvalidArgument("protocol: percent out of (0, 100]");
   }
@@ -187,6 +220,13 @@ void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w) {
   w->PutU64(stats.in_flight_peak);
   w->PutU64(stats.pool_logical_reads);
   w->PutU64(stats.pool_physical_reads);
+  w->PutU64(stats.cache_hits);
+  w->PutU64(stats.cache_misses);
+  w->PutU64(stats.cache_insertions);
+  w->PutU64(stats.cache_evictions);
+  w->PutU64(stats.cache_bytes);
+  w->PutU64(stats.cache_entries);
+  w->PutU64(stats.dataset_epoch);
   for (const RequestTypeStats& t : stats.per_type) {
     w->PutU64(t.count);
     w->PutU64(t.errors);
@@ -213,6 +253,13 @@ Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
   stats->in_flight_peak = r->GetU64();
   stats->pool_logical_reads = r->GetU64();
   stats->pool_physical_reads = r->GetU64();
+  stats->cache_hits = r->GetU64();
+  stats->cache_misses = r->GetU64();
+  stats->cache_insertions = r->GetU64();
+  stats->cache_evictions = r->GetU64();
+  stats->cache_bytes = r->GetU64();
+  stats->cache_entries = r->GetU64();
+  stats->dataset_epoch = r->GetU64();
   for (RequestTypeStats& t : stats->per_type) {
     t.count = r->GetU64();
     t.errors = r->GetU64();

@@ -82,6 +82,10 @@ struct MessageHeader {
   uint32_t flags = 0;
   uint64_t request_id = 0;
 };
+/// Encoded MessageHeader size. The response cache stores reply payloads
+/// from this offset on, so a hit can be re-headed with the requester's own
+/// request id.
+inline constexpr size_t kMessageHeaderBytes = 16;
 
 // --- Request bodies --------------------------------------------------------
 //
@@ -166,6 +170,14 @@ struct ServerStatsSnapshot {
   uint64_t in_flight_peak = 0;
   uint64_t pool_logical_reads = 0;   ///< BufferPool delta since server start
   uint64_t pool_physical_reads = 0;
+  /// Response cache (server/response_cache.h); all zero when disabled.
+  uint64_t cache_hits = 0;        ///< replies served from the reader thread
+  uint64_t cache_misses = 0;      ///< cacheable requests that executed
+  uint64_t cache_insertions = 0;
+  uint64_t cache_evictions = 0;   ///< LRU evictions under the byte bound
+  uint64_t cache_bytes = 0;       ///< currently charged bytes
+  uint64_t cache_entries = 0;
+  uint64_t dataset_epoch = 0;     ///< generation the served data is at
   RequestTypeStats per_type[kNumRequestTypes];
 };
 

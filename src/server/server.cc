@@ -21,6 +21,31 @@ constexpr uint32_t kReplyWriteTimeoutMs = 30000;
 /// Resource cap on one kNN request (the result is k * 16 bytes).
 constexpr uint32_t kMaxKnnK = 1u << 16;
 
+/// Flags that make a request uncacheable: skip_corrupt can produce a
+/// degraded answer tied to a transient fault, and planner-pinning hints
+/// are diagnostics whose replies (chosen_path, I/O counters) must reflect
+/// a real execution.
+constexpr uint32_t kUncacheableFlags = protocol::kFlagSkipCorrupt |
+                                       protocol::kFlagHintFullScan |
+                                       protocol::kFlagHintIndex;
+
+/// True for request types whose reply is a pure function of (dataset
+/// epoch, request body): point counts, box queries, kNN and seeded
+/// TABLESAMPLE (the RNG seed travels in the body). Health and stats are
+/// answered inline and change between calls.
+bool CacheableRequest(const protocol::MessageHeader& header) {
+  if ((header.flags & kUncacheableFlags) != 0) return false;
+  switch (header.type) {
+    case MessageType::kPointCount:
+    case MessageType::kBoxQuery:
+    case MessageType::kKnn:
+    case MessageType::kTableSample:
+      return true;
+    default:
+      return false;
+  }
+}
+
 void RelaxedMax(std::atomic<uint64_t>* target, uint64_t value) {
   uint64_t cur = target->load(std::memory_order_relaxed);
   while (cur < value &&
@@ -35,6 +60,9 @@ QueryServer::QueryServer(const ServedDataset* dataset,
                          const ServerConfig& config)
     : dataset_(dataset), config_(config) {
   if (config_.max_in_flight == 0) config_.max_in_flight = 1;
+  if (config_.cache_bytes != 0) {
+    cache_ = std::make_unique<ResponseCache>(config_.cache_bytes);
+  }
 }
 
 QueryServer::~QueryServer() { Shutdown(); }
@@ -177,6 +205,12 @@ void QueryServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         continue;
     }
 
+    // Response-cache fast path, on this reader thread: a hit is answered
+    // immediately and never touches admission control, the queue or the
+    // deadline machinery. A miss tags the request to populate the cache
+    // once its reply is finalized.
+    if (TryServeFromCache(&req)) continue;
+
     // Admission control: reject rather than buffer beyond the cap.
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
@@ -218,6 +252,55 @@ void QueryServer::WorkerLoop() {
   }
 }
 
+bool QueryServer::TryServeFromCache(PendingRequest* req) {
+  if (cache_ == nullptr || !CacheableRequest(req->header)) return false;
+  // The epoch is observed once, before the probe: a reply computed for
+  // this request populates the cache under the same generation it was
+  // looked up against, never a newer one.
+  req->cache_epoch = dataset_->epoch();
+  const uint8_t* body = req->payload.data() + req->body_offset;
+  const size_t body_len = req->payload.size() - req->body_offset;
+  ResponseCache::CachedReply hit;
+  if (!cache_->Lookup(static_cast<uint16_t>(req->header.type),
+                      req->cache_epoch, body, body_len, &hit)) {
+    req->cache_populate = true;
+    return false;
+  }
+
+  // Rebuild the frame under the requester's own request id; everything
+  // after the header is the memoized bytes, so the reply is byte-identical
+  // to the execution that populated the entry.
+  std::vector<uint8_t> payload;
+  payload.reserve(protocol::kMessageHeaderBytes + hit.tail.size());
+  WireWriter w(&payload);
+  MessageHeader header;
+  header.type = req->header.type;
+  header.flags = protocol::kFlagReply | hit.flags;
+  header.request_id = req->header.request_id;
+  EncodeMessageHeader(header, &w);
+  w.PutRaw(hit.tail.data(), hit.tail.size());
+
+  // Counters and latency are finalized before the wire write, matching
+  // the executed-reply path's read-your-own-write contract.
+  const size_t idx = TypeIndex(req->header.type);
+  const auto elapsed = std::chrono::steady_clock::now() - req->arrival;
+  latency_us_[idx].Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+  counters_.replies_ok.fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t bytes = 0;
+  Status written;
+  {
+    std::lock_guard<std::mutex> lock(req->conn->write_mu);
+    written = protocol::WriteFrame(&req->conn->sock,
+                                   IoDeadline::After(kReplyWriteTimeoutMs),
+                                   payload, &bytes);
+  }
+  counters_.bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+  if (!written.ok()) req->conn->sock.ShutdownBoth();
+  return true;
+}
+
 bool QueryServer::Expired(const PendingRequest& req) const {
   if (req.deadline_ms == 0) return false;
   const auto elapsed = std::chrono::steady_clock::now() - req.arrival;
@@ -238,17 +321,19 @@ void QueryServer::HandleRequest(PendingRequest* req) {
     protocol::KnnReply reply;
     const Status query_status = ExecuteKnn(*req, &reply);
     FinishRequest(*req, query_status);
-    (void)WriteReply(*req, query_status, 0, [&](WireWriter* w) {
-      protocol::EncodeKnnReply(reply, w);
-    });
+    (void)WriteReply(*req, query_status, 0,
+                     ReplyCacheable(query_status, /*degraded=*/false,
+                                    /*pages_skipped=*/0),
+                     [&](WireWriter* w) { protocol::EncodeKnnReply(reply, w); });
   } else {
     protocol::QueryReply reply;
     const Status query_status = ExecuteBoxLike(*req, &reply);
     const uint32_t flags = reply.degraded ? protocol::kFlagDegraded : 0;
     FinishRequest(*req, query_status);
-    (void)WriteReply(*req, query_status, flags, [&](WireWriter* w) {
-      protocol::EncodeQueryReply(reply, w);
-    });
+    (void)WriteReply(
+        *req, query_status, flags,
+        ReplyCacheable(query_status, reply.degraded, reply.pages_skipped),
+        [&](WireWriter* w) { protocol::EncodeQueryReply(reply, w); });
   }
 }
 
@@ -373,10 +458,17 @@ Status QueryServer::ExecuteKnn(const PendingRequest& req,
     return Status::InvalidArgument("k exceeds cap " +
                                    std::to_string(kMaxKnnK));
   }
-  const size_t k = std::min<size_t>(knn.k, dataset_->num_rows());
+  // k beyond the stored row count used to clamp silently; an answer with
+  // fewer than k neighbors is indistinguishable from data loss to the
+  // caller, so it is now a boundary error.
+  if (knn.k > dataset_->num_rows()) {
+    return Status::InvalidArgument(
+        "k " + std::to_string(knn.k) + " exceeds served rows " +
+        std::to_string(dataset_->num_rows()));
+  }
   KdKnnSearcher searcher(&dataset_->tree());
   std::vector<Neighbor> neighbors =
-      searcher.BoundaryGrow(knn.point.data(), k);
+      searcher.BoundaryGrow(knn.point.data(), knn.k);
   out->neighbors.reserve(neighbors.size());
   for (const Neighbor& n : neighbors) {
     out->neighbors.push_back(protocol::WireNeighbor{
@@ -396,9 +488,10 @@ void QueryServer::HandleHealth(const PendingRequest& req) {
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
   counters_.replies_ok.fetch_add(1, std::memory_order_relaxed);
   const uint32_t flags = reply.draining ? protocol::kFlagDraining : 0;
-  (void)WriteReply(req, Status::OK(), flags, [&](WireWriter* w) {
-    protocol::EncodeHealthReply(reply, w);
-  });
+  (void)WriteReply(req, Status::OK(), flags, /*cacheable_reply=*/false,
+                   [&](WireWriter* w) {
+                     protocol::EncodeHealthReply(reply, w);
+                   });
 }
 
 void QueryServer::HandleStats(const PendingRequest& req) {
@@ -408,14 +501,16 @@ void QueryServer::HandleStats(const PendingRequest& req) {
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
   counters_.replies_ok.fetch_add(1, std::memory_order_relaxed);
   const protocol::ServerStatsSnapshot snapshot = Stats();
-  (void)WriteReply(req, Status::OK(), 0, [&](WireWriter* w) {
-    protocol::EncodeServerStats(snapshot, w);
-  });
+  (void)WriteReply(req, Status::OK(), 0, /*cacheable_reply=*/false,
+                   [&](WireWriter* w) {
+                     protocol::EncodeServerStats(snapshot, w);
+                   });
 }
 
 template <typename EncodeBody>
 Status QueryServer::WriteReply(const PendingRequest& req, const Status& status,
-                               uint32_t extra_flags, EncodeBody&& encode_body) {
+                               uint32_t extra_flags, bool cacheable_reply,
+                               EncodeBody&& encode_body) {
   std::vector<uint8_t> payload;
   WireWriter w(&payload);
   MessageHeader header;
@@ -426,6 +521,18 @@ Status QueryServer::WriteReply(const PendingRequest& req, const Status& status,
   protocol::EncodeStatus(status, &w);
   if (status.ok()) {
     encode_body(&w);
+  }
+
+  // Populate after the reply is finalized and before it hits the wire: a
+  // subsequent hit on any connection replays exactly these bytes (minus
+  // the request id). Only requests the reader probe tagged get here with
+  // cache_populate set, so uncacheable flags never leak entries in.
+  if (cache_ != nullptr && req.cache_populate && cacheable_reply) {
+    cache_->Insert(static_cast<uint16_t>(req.header.type), req.cache_epoch,
+                   req.payload.data() + req.body_offset,
+                   req.payload.size() - req.body_offset, extra_flags,
+                   payload.data() + protocol::kMessageHeaderBytes,
+                   payload.size() - protocol::kMessageHeaderBytes);
   }
 
   uint64_t bytes = 0;
@@ -448,7 +555,8 @@ Status QueryServer::WriteReply(const PendingRequest& req, const Status& status,
 Status QueryServer::WriteErrorReply(const PendingRequest& req,
                                     const Status& status,
                                     uint32_t extra_flags) {
-  return WriteReply(req, status, extra_flags, [](WireWriter*) {});
+  return WriteReply(req, status, extra_flags, /*cacheable_reply=*/false,
+                    [](WireWriter*) {});
 }
 
 protocol::ServerStatsSnapshot QueryServer::Stats() const {
@@ -476,6 +584,17 @@ protocol::ServerStatsSnapshot QueryServer::Stats() const {
       dataset_->pool()->Delta(pool_at_start_);
   s.pool_logical_reads = delta.logical_reads;
   s.pool_physical_reads = delta.physical_reads;
+
+  if (cache_ != nullptr) {
+    const ResponseCache::StatsSnapshot c = cache_->Stats();
+    s.cache_hits = c.hits;
+    s.cache_misses = c.misses;
+    s.cache_insertions = c.insertions;
+    s.cache_evictions = c.evictions;
+    s.cache_bytes = c.bytes;
+    s.cache_entries = c.entries;
+  }
+  s.dataset_epoch = dataset_->epoch();
 
   for (size_t i = 0; i < protocol::kNumRequestTypes; ++i) {
     const Histogram::Snapshot h = latency_us_[i].TakeSnapshot();

@@ -17,6 +17,7 @@
 #include "common/socket.h"
 #include "server/dataset.h"
 #include "server/protocol.h"
+#include "server/response_cache.h"
 
 namespace mds {
 
@@ -39,6 +40,10 @@ struct ServerConfig {
   /// mid-frame (slow-loris) or goes silent longer than this is closed.
   /// 0 = no timeout.
   uint32_t idle_timeout_ms = 30000;
+  /// Response-cache capacity in bytes; 0 disables caching (the library
+  /// default, so embedded tests see every request execute). The mdsd
+  /// binary enables it by default (--cache-bytes / --no-cache).
+  size_t cache_bytes = 0;
 };
 
 /// The mdsd query server: a concurrent TCP front end over the QueryEngine.
@@ -109,6 +114,12 @@ class QueryServer {
     size_t body_offset = 0;
     uint32_t deadline_ms = 0;  // effective (request or config default)
     std::chrono::steady_clock::time_point arrival;
+    // Set by the reader-thread cache probe on a miss: this request should
+    // populate the cache under the epoch observed at probe time (an epoch
+    // bump between probe and populate strands the entry under the old
+    // epoch, where it can never serve a stale hit).
+    bool cache_populate = false;
+    uint64_t cache_epoch = 0;
   };
 
   struct ReaderThread {
@@ -127,12 +138,21 @@ class QueryServer {
   Status ExecuteBoxLike(const PendingRequest& req, protocol::QueryReply* out);
   Status ExecuteKnn(const PendingRequest& req, protocol::KnnReply* out);
 
+  /// Reader-thread fast path: serves `req` from the response cache when a
+  /// memoized reply exists. Hits bypass admission control, the queue and
+  /// the deadline machinery entirely. Returns true when the request was
+  /// answered here (hit) — the caller must not enqueue it.
+  bool TryServeFromCache(PendingRequest* req);
+
   /// Serializes and writes a reply frame (status + optional body encoded
-  /// by `encode_body` when status is OK). Closes the connection on write
-  /// failure. Returns the write status.
+  /// by `encode_body` when status is OK). When `cacheable_reply` and the
+  /// request was tagged for population, the encoded reply enters the
+  /// response cache after finalization and before it hits the wire.
+  /// Closes the connection on write failure. Returns the write status.
   template <typename EncodeBody>
   Status WriteReply(const PendingRequest& req, const Status& status,
-                    uint32_t extra_flags, EncodeBody&& encode_body);
+                    uint32_t extra_flags, bool cacheable_reply,
+                    EncodeBody&& encode_body);
   Status WriteErrorReply(const PendingRequest& req, const Status& status,
                          uint32_t extra_flags);
 
@@ -187,6 +207,9 @@ class QueryServer {
   mutable Counters counters_;
   Histogram latency_us_[protocol::kNumRequestTypes];
   CounterSnapshot pool_at_start_;
+  // Response cache (null when config.cache_bytes == 0). Probed on reader
+  // threads, populated on workers; thread-safe by construction.
+  std::unique_ptr<ResponseCache> cache_;
 };
 
 }  // namespace mds

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -195,6 +197,131 @@ TEST(TimerTest, MeasuresElapsed) {
   EXPECT_LE(timer.Millis(), timer.Micros());  // unit consistency
   timer.Restart();
   EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+// --- Histogram::Snapshot::ValueAtPercentile edge cases ----------------------
+//
+// Values below 2^kSubBucketBits (and up through one full octave above) land
+// in single-value buckets, so small-sample percentiles are exact — the
+// tests below rely on that to pin nearest-rank semantics precisely.
+
+TEST(HistogramTest, EmptySnapshotIsZeroEverywhere) {
+  Histogram h;
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.ValueAtPercentile(0), 0u);
+  EXPECT_EQ(snap.ValueAtPercentile(50), 0u);
+  EXPECT_EQ(snap.ValueAtPercentile(100), 0u);
+  EXPECT_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleAtEveryPercentile) {
+  Histogram h;
+  h.Record(5);
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  ASSERT_EQ(snap.count, 1u);
+  // With one sample, every percentile is that sample (rank clamps to 1).
+  EXPECT_EQ(snap.ValueAtPercentile(0), 5u);
+  EXPECT_EQ(snap.ValueAtPercentile(50), 5u);
+  EXPECT_EQ(snap.ValueAtPercentile(100), 5u);
+}
+
+TEST(HistogramTest, NearestRankSmallSamples) {
+  Histogram h;
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.ValueAtPercentile(0), 1u);    // rank clamps up to 1
+  // Regression: p=34 of 3 samples is rank ceil(1.02) = 2; round-half-up
+  // used to pick rank 1 here.
+  EXPECT_EQ(snap.ValueAtPercentile(34), 2u);
+  EXPECT_EQ(snap.ValueAtPercentile(50), 2u);   // rank ceil(1.5) = 2
+  EXPECT_EQ(snap.ValueAtPercentile(66.7), 3u);
+  EXPECT_EQ(snap.ValueAtPercentile(100), 3u);  // the maximum, not beyond
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeInput) {
+  Histogram h;
+  h.Record(2);
+  h.Record(7);
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.ValueAtPercentile(-10), snap.ValueAtPercentile(0));
+  EXPECT_EQ(snap.ValueAtPercentile(250), snap.ValueAtPercentile(100));
+  const double nan = std::nan("");
+  EXPECT_EQ(snap.ValueAtPercentile(nan), snap.ValueAtPercentile(0));
+}
+
+TEST(HistogramTest, PercentilesMonotonicInP) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v * 37 % 9973);
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  uint64_t prev = 0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const uint64_t v = snap.ValueAtPercentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, AllSamplesInUnboundedTopBucket) {
+  // The catch-all top bucket has no finite upper bound; its midpoint would
+  // be a meaningless ~2^63 value. The reported quantile is its lower bound.
+  Histogram h;
+  const uint64_t max = std::numeric_limits<uint64_t>::max();
+  h.Record(max);
+  h.Record(max - 1);
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  const uint64_t lo =
+      Histogram::BucketLowerBound(Histogram::BucketIndex(max));
+  EXPECT_EQ(snap.ValueAtPercentile(50), lo);
+  EXPECT_EQ(snap.ValueAtPercentile(100), lo);
+}
+
+TEST(HistogramTest, HugeCountDoesNotOverflowRank) {
+  // Casting p/100 * count straight to uint64_t is UB once the product
+  // rounds to 2^64; build such a snapshot by hand and demand sane answers.
+  Histogram::Snapshot snap;
+  snap.buckets.resize(Histogram::kNumBuckets, 0);
+  snap.count = std::numeric_limits<uint64_t>::max();
+  snap.buckets[Histogram::BucketIndex(7)] = snap.count;
+  EXPECT_EQ(snap.ValueAtPercentile(100), 7u);
+  EXPECT_EQ(snap.ValueAtPercentile(50), 7u);
+  EXPECT_EQ(snap.ValueAtPercentile(0), 7u);
+}
+
+TEST(HistogramTest, MergedSnapshotPercentiles) {
+  Histogram a, b;
+  a.Record(1);
+  a.Record(2);
+  b.Record(3);
+  b.Record(7);
+  Histogram::Snapshot snap = a.TakeSnapshot();
+  snap.Merge(b.TakeSnapshot());
+  ASSERT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 13u);
+  EXPECT_EQ(snap.ValueAtPercentile(0), 1u);
+  EXPECT_EQ(snap.ValueAtPercentile(50), 2u);   // rank 2 of 4
+  EXPECT_EQ(snap.ValueAtPercentile(75), 3u);   // rank 3 of 4
+  EXPECT_EQ(snap.ValueAtPercentile(100), 7u);
+  // Merging into an empty snapshot (zero-length buckets) must also work.
+  Histogram::Snapshot empty;
+  empty.Merge(snap);
+  EXPECT_EQ(empty.count, 4u);
+  EXPECT_EQ(empty.ValueAtPercentile(100), 7u);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  // Every value's bucket must contain it.
+  const uint64_t probes[] = {0,  1,   3,    4,    5,        8,       100,
+                             1u << 20, (1u << 20) + 12345, 1ull << 40,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : probes) {
+    const size_t idx = Histogram::BucketIndex(v);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v);
+    EXPECT_GE(Histogram::BucketUpperBound(idx), v);
+  }
 }
 
 }  // namespace

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <cmath>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -138,6 +141,90 @@ TEST(ProtocolCodec, RequestReplyRoundTrips) {
     EXPECT_EQ(out.code(), StatusCode::kUnavailable);
     EXPECT_EQ(out.message(), "retry");
   }
+}
+
+TEST(ProtocolCodec, RejectsInvertedAndNaNBoxBounds) {
+  // An inverted box (lo > hi) or a NaN bound silently matches nothing in
+  // every comparison downstream; the codec rejects both at the boundary so
+  // no engine layer ever sees them.
+  {
+    protocol::BoxQueryRequest req;
+    req.lo = {0.0, 2.0};
+    req.hi = {1.0, 1.0};  // axis 1 inverted
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeBoxQueryRequest(req, &w);
+    WireReader r(buf);
+    protocol::BoxQueryRequest got;
+    Status st = DecodeBoxQueryRequest(&r, &got);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    protocol::BoxQueryRequest req;
+    req.lo = {0.0, std::nan("")};
+    req.hi = {1.0, 1.0};
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeBoxQueryRequest(req, &w);
+    WireReader r(buf);
+    protocol::BoxQueryRequest got;
+    EXPECT_EQ(DecodeBoxQueryRequest(&r, &got).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // lo == hi is a legal degenerate (single point), not an inversion.
+    protocol::BoxQueryRequest req;
+    req.lo = {1.0, 2.0};
+    req.hi = {1.0, 2.0};
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeBoxQueryRequest(req, &w);
+    WireReader r(buf);
+    protocol::BoxQueryRequest got;
+    EXPECT_TRUE(DecodeBoxQueryRequest(&r, &got).ok());
+  }
+}
+
+TEST(ProtocolCodec, RejectsNaNKnnProbe) {
+  protocol::KnnRequest req;
+  req.point = {0.5, std::nan("")};
+  req.k = 3;
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeKnnRequest(req, &w);
+  WireReader r(buf);
+  protocol::KnnRequest got;
+  EXPECT_EQ(DecodeKnnRequest(&r, &got).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolCodec, RejectsOutOfRangeSampleFraction) {
+  for (double pct : {0.0, -1.0, 100.5, std::nan("")}) {
+    protocol::TableSampleRequest req;
+    req.lo = {0.0};
+    req.hi = {1.0};
+    req.percent = pct;
+    req.n = 5;
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeTableSampleRequest(req, &w);
+    WireReader r(buf);
+    protocol::TableSampleRequest got;
+    Status st = DecodeTableSampleRequest(&r, &got);
+    ASSERT_FALSE(st.ok()) << "percent=" << pct;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+  // The boundary itself (100%) is legal: sample every page.
+  protocol::TableSampleRequest req;
+  req.lo = {0.0};
+  req.hi = {1.0};
+  req.percent = 100.0;
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeTableSampleRequest(req, &w);
+  WireReader r(buf);
+  protocol::TableSampleRequest got;
+  EXPECT_TRUE(DecodeTableSampleRequest(&r, &got).ok());
 }
 
 TEST(ProtocolCodec, RejectsBadDimensionAndParameters) {
@@ -351,6 +438,109 @@ TEST_F(ServerProtocolTest, SlowLorisPartialFrameTimesOutCleanly) {
       sock.WriteFull(frame.data(), frame.size() / 2, IoDeadline::After(5000))
           .ok());
   EXPECT_TRUE(ServerClosed(&sock));  // bounded by the 5 s read deadline
+  ExpectServerHealthy();
+}
+
+TEST_F(ServerProtocolTest, CachedReplyIsByteIdenticalOnTheWire) {
+  // A cache-enabled server must hand back the memoized reply byte for byte
+  // — same payload, same CRC-able bytes — when the same request (including
+  // request_id) repeats, and differ only in the echoed request_id when a
+  // different id asks for the same work.
+  ServerConfig config;
+  config.num_workers = 2;
+  config.cache_bytes = 4u << 20;
+  QueryServer server(dataset_, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  const size_t dim = dataset_->dim();
+  auto make_request = [&](uint64_t request_id) {
+    std::vector<uint8_t> payload;
+    WireWriter pw(&payload);
+    MessageHeader header;
+    header.type = MessageType::kPointCount;
+    header.request_id = request_id;
+    EncodeMessageHeader(header, &pw);
+    pw.PutU32(0);  // deadline
+    protocol::BoxQueryRequest req;
+    req.lo.assign(dim, -10.0);
+    req.hi.assign(dim, 10.0);
+    EncodeBoxQueryRequest(req, &pw);
+    std::vector<uint8_t> frame;
+    protocol::AppendFrame(payload, &frame);
+    return frame;
+  };
+
+  auto connected = TcpConnect("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  Socket sock = std::move(*connected);
+  auto exchange = [&](uint64_t request_id) {
+    const std::vector<uint8_t> frame = make_request(request_id);
+    EXPECT_TRUE(
+        sock.WriteFull(frame.data(), frame.size(), IoDeadline::After(5000))
+            .ok());
+    std::vector<uint8_t> reply;
+    EXPECT_TRUE(
+        protocol::ReadFrame(&sock, IoDeadline::After(5000), &reply).ok());
+    return reply;
+  };
+
+  const std::vector<uint8_t> executed = exchange(1);   // miss: executes
+  const std::vector<uint8_t> memoized = exchange(1);   // hit: same id
+  EXPECT_EQ(memoized, executed);
+  EXPECT_EQ(server.Stats().cache_hits, 1u);
+
+  const std::vector<uint8_t> reheaded = exchange(2);   // hit: new id
+  ASSERT_EQ(reheaded.size(), executed.size());
+  // The request_id lives in header bytes [8, 16); everything else matches.
+  EXPECT_NE(std::memcmp(reheaded.data() + 8, executed.data() + 8, 8), 0);
+  EXPECT_EQ(std::memcmp(reheaded.data(), executed.data(), 8), 0);
+  EXPECT_EQ(std::memcmp(reheaded.data() + 16, executed.data() + 16,
+                        executed.size() - 16),
+            0);
+  EXPECT_EQ(server.Stats().cache_hits, 2u);
+
+  server.Shutdown();
+}
+
+TEST_F(ServerProtocolTest, PeerCloseMidReplyLeavesServerServing) {
+  // A client that submits a large query and slams the connection shut (RST
+  // via zero-linger) before reading the reply must cost the server nothing
+  // but the wasted work: the reply write fails with a status — never a
+  // SIGPIPE, which would kill the whole process.
+  const size_t dim = dataset_->dim();
+  for (int i = 0; i < 8; ++i) {
+    auto sock = TcpConnect("127.0.0.1", server_->port(), 5000);
+    ASSERT_TRUE(sock.ok());
+    std::vector<uint8_t> payload;
+    WireWriter pw(&payload);
+    MessageHeader header;
+    header.type = MessageType::kBoxQuery;
+    header.request_id = static_cast<uint64_t>(i) + 100;
+    EncodeMessageHeader(header, &pw);
+    pw.PutU32(0);
+    protocol::BoxQueryRequest req;  // whole-table box: a multi-MB reply
+    req.lo.assign(dim, -100.0);
+    req.hi.assign(dim, 100.0);
+    EncodeBoxQueryRequest(req, &pw);
+    std::vector<uint8_t> frame;
+    protocol::AppendFrame(payload, &frame);
+    ASSERT_TRUE(
+        sock->WriteFull(frame.data(), frame.size(), IoDeadline::After(5000))
+            .ok());
+
+    // Half the iterations RST immediately; the rest give the server a head
+    // start so some writes fail mid-stream rather than up front.
+    if (i % 2 == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    struct linger lin;
+    lin.l_onoff = 1;
+    lin.l_linger = 0;
+    ASSERT_EQ(
+        setsockopt(sock->fd(), SOL_SOCKET, SO_LINGER, &lin, sizeof(lin)), 0);
+    sock->Close();  // RST: the server's pending write hits ECONNRESET/EPIPE
+  }
+  // The process survived every mid-reply close and still serves correctly.
   ExpectServerHealthy();
 }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -171,11 +172,175 @@ TEST_F(ServerTest, KnnMatchesDirectSearcher) {
                      expected[i].squared_distance);
   }
 
-  // k larger than the table: clamped, one neighbor per stored row at most.
-  auto clamped = client.Knn(probe, 60000);
-  ASSERT_TRUE(clamped.ok());
-  EXPECT_EQ(clamped->neighbors.size(), dataset_->num_rows());
+  // k larger than the table is a boundary error, not a silent clamp: an
+  // answer with fewer than k neighbors is indistinguishable from data loss.
+  auto too_big = client.Knn(probe, 60000);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
 
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, DegenerateInputsRejectedAsInvalidArgument) {
+  QueryServer server(dataset_, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  const std::vector<double> probe(kNumBands, 0.5);
+
+  // kNN k=0: nothing to answer, never an empty success.
+  auto zero_k = client.Knn(probe, 0);
+  ASSERT_FALSE(zero_k.ok());
+  EXPECT_EQ(zero_k.status().code(), StatusCode::kInvalidArgument);
+
+  // Inverted box (lo > hi on one axis).
+  std::vector<double> lo(kNumBands, 0.0), hi(kNumBands, 1.0);
+  std::swap(lo[2], hi[2]);
+  auto inverted = client.PointCount(Box(lo, hi));
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_EQ(inverted.status().code(), StatusCode::kInvalidArgument);
+
+  // NaN bound: every comparison against it is false, which silently turns
+  // the box empty — reject it instead.
+  std::vector<double> nlo(kNumBands, 0.0), nhi(kNumBands, 1.0);
+  nhi[0] = std::nan("");
+  auto nan_box = client.BoxQuery(Box(nlo, nhi));
+  ASSERT_FALSE(nan_box.ok());
+  EXPECT_EQ(nan_box.status().code(), StatusCode::kInvalidArgument);
+
+  // NaN kNN probe coordinate.
+  std::vector<double> nan_probe(kNumBands, 0.5);
+  nan_probe[1] = std::nan("");
+  auto nan_knn = client.Knn(nan_probe, 3);
+  ASSERT_FALSE(nan_knn.ok());
+  EXPECT_EQ(nan_knn.status().code(), StatusCode::kInvalidArgument);
+
+  // TABLESAMPLE fraction outside (0, 100]: zero, negative, above 100, NaN.
+  const Box box = LocusBox(1.0);
+  for (double pct : {0.0, -5.0, 150.0, std::nan("")}) {
+    auto sampled = client.TableSample(box, pct, 10, /*seed=*/1);
+    ASSERT_FALSE(sampled.ok()) << "percent=" << pct;
+    EXPECT_EQ(sampled.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // These are error replies, not protocol violations: the connection must
+  // stay usable afterwards.
+  auto ok = client.PointCount(LocusBox(0.5));
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, ResponseCacheServesRepeatsAndCountsStats) {
+  ServerConfig config;
+  config.cache_bytes = 8u << 20;
+  QueryServer server(dataset_, config);
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  const Box box = LocusBox(0.7);
+  auto first = client.BoxQuery(box);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Repeats of the identical request are hits: same answer, same
+  // accounting, served without executing.
+  for (int i = 0; i < 4; ++i) {
+    auto again = client.BoxQuery(box);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->objids, first->objids);
+    EXPECT_EQ(again->pages_fetched, first->pages_fetched);
+    EXPECT_EQ(again->chosen_path, first->chosen_path);
+  }
+
+  // A different request type over the same body bytes is a separate entry.
+  auto count = client.PointCount(box);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, first->row_count);
+
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.cache_hits, 4u);
+  EXPECT_GE(stats.cache_misses, 2u);  // first BoxQuery + first PointCount
+  EXPECT_GE(stats.cache_insertions, 2u);
+  EXPECT_GT(stats.cache_bytes, 0u);
+  EXPECT_GE(stats.cache_entries, 2u);
+  EXPECT_EQ(stats.dataset_epoch, dataset_->epoch());
+
+  // The wire stats reply carries the same counters.
+  auto remote = client.ServerStats();
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(remote->cache_hits, stats.cache_hits);
+  EXPECT_EQ(remote->dataset_epoch, stats.dataset_epoch);
+
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, EpochBumpInvalidatesCachedReplies) {
+  ServerConfig config;
+  config.cache_bytes = 8u << 20;
+  QueryServer server(dataset_, config);
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  const Box box = LocusBox(0.6);
+  ASSERT_TRUE(client.PointCount(box).ok());  // miss, populates
+  ASSERT_TRUE(client.PointCount(box).ok());  // hit
+  EXPECT_EQ(server.Stats().cache_hits, 1u);
+
+  // One atomic store invalidates everything cached so far.
+  dataset_->BumpEpoch();
+  ASSERT_TRUE(client.PointCount(box).ok());  // miss under the new epoch
+  EXPECT_EQ(server.Stats().cache_hits, 1u);
+  ASSERT_TRUE(client.PointCount(box).ok());  // repopulated: hit again
+  EXPECT_EQ(server.Stats().cache_hits, 2u);
+  EXPECT_GE(server.Stats().cache_misses, 2u);
+
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, UncacheableRequestsBypassTheCache) {
+  ServerConfig config;
+  config.cache_bytes = 8u << 20;
+  QueryServer server(dataset_, config);
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  const Box box = LocusBox(0.5);
+  // skip_corrupt and planner hints pin execution behavior; memoizing them
+  // would mix their replies with default-planned ones. They never probe
+  // and never populate.
+  QueryClient::Options tolerant;
+  tolerant.skip_corrupt = true;
+  QueryClient::Options pinned;
+  pinned.force_full_scan = true;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.BoxQuery(box, 0, tolerant).ok());
+    ASSERT_TRUE(client.BoxQuery(box, 0, pinned).ok());
+  }
+  auto stats = server.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.cache_entries, 0u);
+
+  // Health and stats requests are control-plane: also uncacheable.
+  ASSERT_TRUE(client.Health().ok());
+  ASSERT_TRUE(client.ServerStats().ok());
+  EXPECT_EQ(server.Stats().cache_entries, 0u);
+
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, CacheDisabledByDefaultConfig) {
+  QueryServer server(dataset_, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+  const Box box = LocusBox(0.5);
+  ASSERT_TRUE(client.PointCount(box).ok());
+  ASSERT_TRUE(client.PointCount(box).ok());
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(stats.cache_bytes, 0u);
+  EXPECT_EQ(stats.dataset_epoch, dataset_->epoch());
   server.Shutdown();
 }
 
