@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sdss/catalog.h"
@@ -113,7 +114,26 @@ int Walkthrough(uint16_t port) {
     std::printf("\n");
   }
 
-  // 7. Server stats: counters plus per-type latency percentiles.
+  // 7. Pipelining: stream a whole batch of requests before reading the
+  // first reply. One RTT's worth of syscalls covers all of them; replies
+  // come back correlated by request id, and a bad request fails only its
+  // own slot.
+  std::vector<Box> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(LocusBox(0.2 + 0.2 * i));
+  auto counts = client->PointCountPipeline(batch);
+  std::printf("pipelined counts (4 boxes, one round trip):");
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i].ok()) {
+      std::printf(" %llu", (unsigned long long)*counts[i]);
+    } else {
+      std::printf(" <%s>",
+                  std::string(StatusCodeToString(counts[i].status().code()))
+                      .c_str());
+    }
+  }
+  std::printf("\n");
+
+  // 8. Server stats: counters plus per-type latency percentiles.
   auto stats = client->ServerStats();
   if (!stats.ok()) {
     std::fprintf(stderr, "stats failed: %s\n",
@@ -129,6 +149,10 @@ int Walkthrough(uint16_t port) {
               (unsigned long long)stats->cache_misses,
               (unsigned long long)stats->cache_bytes,
               (unsigned long long)stats->dataset_epoch);
+  if (stats->accept_errors > 0) {
+    std::printf("accept backoffs (fd exhaustion): %llu\n",
+                (unsigned long long)stats->accept_errors);
+  }
   const auto& pc =
       stats->per_type[protocol::TypeIndex(protocol::MessageType::kPointCount)];
   if (pc.count > 0) {

@@ -1,0 +1,238 @@
+#include "common/event_loop.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace mds {
+
+namespace {
+
+constexpr int kMaxEventsPerWait = 128;
+
+uint32_t ToEpollMask(uint32_t mask) {
+  uint32_t ep = 0;
+  if (mask & EventLoop::kReadable) ep |= EPOLLIN;
+  if (mask & EventLoop::kWritable) ep |= EPOLLOUT;
+  if (mask & EventLoop::kEdgeTriggered) ep |= EPOLLET;
+  return ep;
+}
+
+uint32_t FromEpollMask(uint32_t ep) {
+  uint32_t mask = 0;
+  if (ep & (EPOLLIN | EPOLLPRI)) mask |= EventLoop::kReadable;
+  if (ep & EPOLLOUT) mask |= EventLoop::kWritable;
+  if (ep & (EPOLLHUP | EPOLLRDHUP)) mask |= EventLoop::kHangup;
+  if (ep & EPOLLERR) mask |= EventLoop::kError;
+  return mask;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return;
+  int pipe_fds[2];
+  if (pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+    return;
+  }
+  wakeup_read_fd_ = pipe_fds[0];
+  wakeup_write_fd_ = pipe_fds[1];
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_read_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_read_fd_, &ev) != 0) {
+    close(wakeup_read_fd_);
+    close(wakeup_write_fd_);
+    close(epoll_fd_);
+    epoll_fd_ = wakeup_read_fd_ = wakeup_write_fd_ = -1;
+    return;
+  }
+  wheel_epoch_ = std::chrono::steady_clock::now();
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_read_fd_ >= 0) close(wakeup_read_fd_);
+  if (wakeup_write_fd_ >= 0) close(wakeup_write_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t mask, FdHandler handler) {
+  if (!valid()) return Status::FailedPrecondition("event loop is invalid");
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = ToEpollMask(mask);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(ADD): ") + strerror(errno));
+  }
+  handlers_[fd] = std::move(handler);
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t mask) {
+  if (!valid()) return Status::FailedPrecondition("event loop is invalid");
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = ToEpollMask(mask);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(MOD): ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  if (!valid()) return;
+  if (handlers_.erase(fd) == 0) return;
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EventLoop::TimerId EventLoop::AddTimer(uint64_t delay_ms,
+                                       std::function<void()> callback) {
+  const uint64_t ticks = std::max<uint64_t>(
+      1, (delay_ms + kTickMillis - 1) / kTickMillis);
+  const uint64_t due = current_tick_ + ticks;
+  const TimerId id = next_timer_id_++;
+  Timer timer;
+  timer.id = id;
+  timer.rounds = (ticks - 1) / kWheelSlots;
+  timer.callback = std::move(callback);
+  wheel_[due % kWheelSlots].push_back(std::move(timer));
+  ++active_timers_;
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) {
+  for (auto& slot : wheel_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --active_timers_;
+        return;
+      }
+    }
+  }
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  // A spurious or dropped wakeup byte is fine: the pipe is non-blocking
+  // (a full pipe means a wakeup is already pending) and the loop drains
+  // every posted callback per iteration.
+  if (wakeup_write_fd_ >= 0) {
+    const uint8_t one = 1;
+    ssize_t rc;
+    do {
+      rc = write(wakeup_write_fd_, &one, 1);
+    } while (rc < 0 && errno == EINTR);
+  }
+}
+
+void EventLoop::DrainWakeupPipe() {
+  uint8_t buf[256];
+  while (read(wakeup_read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EventLoop::RunPosted() {
+  // Swap under the lock, run outside it: a posted callback may Post again
+  // (next iteration) without deadlocking.
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::AdvanceWheel() {
+  const auto now = std::chrono::steady_clock::now();
+  const uint64_t tick_now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - wheel_epoch_)
+          .count() /
+      kTickMillis);
+  while (current_tick_ < tick_now) {
+    ++current_tick_;
+    wheel_pos_ = (wheel_pos_ + 1) % kWheelSlots;
+    auto& slot = wheel_[wheel_pos_];
+    // Fire entries that completed their revolutions; decrement the rest.
+    // Collect first: a callback may add timers into this same slot.
+    std::vector<std::function<void()>> due;
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->rounds == 0) {
+        due.push_back(std::move(it->callback));
+        it = slot.erase(it);
+        --active_timers_;
+      } else {
+        --it->rounds;
+        ++it;
+      }
+    }
+    for (auto& fn : due) fn();
+  }
+}
+
+int EventLoop::PollTimeoutMillis() const {
+  if (active_timers_ == 0) return -1;
+  const auto next_tick_at =
+      wheel_epoch_ +
+      std::chrono::milliseconds((current_tick_ + 1) * kTickMillis);
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= next_tick_at) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      next_tick_at - now)
+                      .count();
+  return static_cast<int>(
+      std::min<long long>(ms + 1, std::numeric_limits<int>::max()));
+}
+
+void EventLoop::Run() {
+  if (!valid()) return;
+  loop_thread_.store(std::this_thread::get_id());
+  struct epoll_event events[kMaxEventsPerWait];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEventsPerWait,
+                             PollTimeoutMillis());
+    if (n < 0 && errno != EINTR) break;
+    AdvanceWheel();
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_read_fd_) {
+        DrainWakeupPipe();
+        continue;
+      }
+      // Look the handler up at dispatch time: an earlier handler in this
+      // batch may have Remove()d this fd (e.g. closed the connection).
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      // Invoke a copy: the handler itself may Remove(fd), and erasing the
+      // map entry mid-call would destroy the closure being executed.
+      FdHandler handler = it->second;
+      handler(FromEpollMask(events[i].events));
+    }
+    RunPosted();
+  }
+  RunPosted();  // drain callbacks posted concurrently with Stop()
+  loop_thread_.store(std::thread::id());
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Post([] {});  // wake the loop if it is blocked in epoll_wait
+}
+
+}  // namespace mds

@@ -1,0 +1,140 @@
+#ifndef MDS_COMMON_EVENT_LOOP_H_
+#define MDS_COMMON_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mds {
+
+/// A single-threaded epoll reactor: one thread multiplexes readiness for
+/// any number of file descriptors, fires monotonic-clock timers from a
+/// hashed timer wheel, and runs callbacks posted from other threads (a
+/// self-pipe wakes the epoll_wait). This is the serving layer's I/O core:
+/// the mdsd server runs one EventLoop per I/O thread and registers every
+/// connection on it, so thread count is independent of connection count.
+///
+/// Thread safety: Add/Modify/Remove/AddTimer/CancelTimer and all handler
+/// callbacks run on the loop thread only (assert-checked in debug). Post()
+/// and Stop() are safe from any thread — Post is the cross-thread entry
+/// point; to touch a registered fd from outside, Post a callback that does
+/// it. Run() is called by exactly one thread, which becomes the loop
+/// thread for its duration.
+class EventLoop {
+ public:
+  /// Event bits for Add/Modify and the readiness mask handed to fd
+  /// handlers. kHangup/kError are level reported by the kernel without
+  /// being requested.
+  static constexpr uint32_t kReadable = 1u << 0;
+  static constexpr uint32_t kWritable = 1u << 1;
+  static constexpr uint32_t kHangup = 1u << 2;
+  static constexpr uint32_t kError = 1u << 3;
+  /// Add-time option: edge-triggered delivery (EPOLLET). The handler must
+  /// then drain the fd to EAGAIN on every event. Default is level.
+  static constexpr uint32_t kEdgeTriggered = 1u << 4;
+
+  using FdHandler = std::function<void(uint32_t ready)>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when the epoll instance or wakeup pipe could not be created
+  /// (the constructor cannot report a Status); every method is a safe
+  /// no-op / error in that state.
+  bool valid() const { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` for the events in `mask` (kReadable/kWritable, plus
+  /// kEdgeTriggered as an option). The handler is invoked on the loop
+  /// thread with the ready-event mask whenever the fd fires. The loop
+  /// never owns or closes the fd.
+  Status Add(int fd, uint32_t mask, FdHandler handler);
+
+  /// Changes the watched event set of a registered fd.
+  Status Modify(int fd, uint32_t mask);
+
+  /// Deregisters an fd. Safe to call from inside any handler, including
+  /// for an fd with a not-yet-dispatched event in the current batch (the
+  /// stale event is dropped). No-op if the fd is not registered.
+  void Remove(int fd);
+
+  /// Arms a one-shot timer `delay_ms` from now; returns an id for
+  /// CancelTimer. Timers fire on the loop thread with the wheel's tick
+  /// granularity (kTickMillis) of slack.
+  TimerId AddTimer(uint64_t delay_ms, std::function<void()> callback);
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  void CancelTimer(TimerId id);
+
+  /// Enqueues `fn` to run on the loop thread and wakes the loop. Safe from
+  /// any thread, including the loop thread itself (runs on the next
+  /// iteration, not reentrantly). Posted after Stop(), fn is discarded.
+  void Post(std::function<void()> fn);
+
+  /// Dispatches events, timers and posted callbacks until Stop(). The
+  /// calling thread is the loop thread for the duration.
+  void Run();
+
+  /// Makes Run() return once the current iteration's dispatch completes.
+  /// Safe from any thread; idempotent.
+  void Stop();
+
+  /// True when called on the thread currently inside Run().
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_.load();
+  }
+
+  /// Timer wheel granularity. A timer may fire up to one tick late.
+  static constexpr uint64_t kTickMillis = 10;
+
+ private:
+  struct Timer {
+    TimerId id = 0;
+    uint64_t rounds = 0;  ///< full wheel revolutions until due
+    std::function<void()> callback;
+  };
+
+  static constexpr size_t kWheelSlots = 512;  // 512 * 10ms ≈ 5.1s horizon
+
+  void AdvanceWheel();
+  void DrainWakeupPipe();
+  void RunPosted();
+  /// Milliseconds until the next wheel tick is due; -1 with no timers.
+  int PollTimeoutMillis() const;
+
+  int epoll_fd_ = -1;
+  int wakeup_read_fd_ = -1;
+  int wakeup_write_fd_ = -1;
+
+  std::unordered_map<int, FdHandler> handlers_;  // loop thread only
+
+  // Timer wheel (loop thread only): slot = due tick mod kWheelSlots, with
+  // a rounds counter for ticks beyond one revolution.
+  std::vector<std::deque<Timer>> wheel_{kWheelSlots};
+  size_t wheel_pos_ = 0;
+  uint64_t current_tick_ = 0;
+  size_t active_timers_ = 0;
+  TimerId next_timer_id_ = 1;
+  std::chrono::steady_clock::time_point wheel_epoch_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+
+  std::mutex post_mu_;
+  std::deque<std::function<void()>> posted_;  // guarded by post_mu_
+};
+
+}  // namespace mds
+
+#endif  // MDS_COMMON_EVENT_LOOP_H_

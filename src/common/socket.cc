@@ -121,6 +121,14 @@ Status Socket::SetNoDelay() {
   return Status::OK();
 }
 
+Status Socket::SetNonBlocking() {
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
 void Socket::ShutdownBoth() {
   if (fd_ >= 0) shutdown(fd_, SHUT_RDWR);
 }
@@ -177,6 +185,30 @@ Result<Socket> TcpListener::Accept(const IoDeadline& deadline) {
     }
     if (errno == EINVAL) {
       // listen socket shut down from another thread
+      return Status::Unavailable("listener shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+Result<Socket> TcpListener::AcceptNonBlocking() {
+  for (;;) {
+    const int fd = accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      DisableSigpipe(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("no pending connection");
+    }
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      // Descriptor/buffer exhaustion: the pending connection stays queued,
+      // so returning to the event loop without backing off would spin.
+      return Status::ResourceExhausted(Errno("accept").message());
+    }
+    if (errno == EINVAL) {
       return Status::Unavailable("listener shut down");
     }
     return Errno("accept");

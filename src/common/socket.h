@@ -42,8 +42,8 @@ class IoDeadline {
 /// the same discipline FilePager applies to file I/O, applied to the wire.
 ///
 /// Thread safety: thread-compatible. Reads and writes may come from two
-/// different threads (the server's reader thread reads while a worker
-/// writes a reply) because they touch disjoint directions of the stream,
+/// different threads (one thread reads requests while another writes a
+/// reply) because they touch disjoint directions of the stream,
 /// but each direction must be externally serialized. ShutdownBoth() is
 /// safe to call from any thread to unblock a peer stuck in ReadFull.
 class Socket {
@@ -82,6 +82,11 @@ class Socket {
   /// every small query pays a delayed-ACK round trip.
   Status SetNoDelay();
 
+  /// Puts the fd in O_NONBLOCK mode (the event-loop discipline: readiness
+  /// comes from epoll, never from blocking in read/write). ReadFull and
+  /// WriteFull keep working on a non-blocking fd (they poll on EAGAIN).
+  Status SetNonBlocking();
+
   /// shutdown(SHUT_RDWR): wakes any thread blocked in ReadFull/WriteFull
   /// on this socket with "connection closed". The fd stays owned.
   void ShutdownBoth();
@@ -104,8 +109,19 @@ class TcpListener {
   /// deadline expiry or if the listener was shut down.
   Result<Socket> Accept(const IoDeadline& deadline);
 
+  /// Non-blocking accept for the event-loop path (the listener fd must be
+  /// in non-blocking mode). Failure taxonomy: kUnavailable = nothing
+  /// pending (EAGAIN) or listener shut down; kResourceExhausted = fd/
+  /// buffer exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM — the caller should
+  /// back off, not spin); kIOError otherwise.
+  Result<Socket> AcceptNonBlocking();
+
   uint16_t port() const { return port_; }
+  int fd() const { return socket_.fd(); }
   bool valid() const { return socket_.valid(); }
+
+  /// Puts the listening fd in O_NONBLOCK mode (see AcceptNonBlocking).
+  Status SetNonBlocking() { return socket_.SetNonBlocking(); }
 
   /// Unblocks a pending Accept from another thread.
   void Shutdown() { socket_.ShutdownBoth(); }

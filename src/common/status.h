@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,  ///< a caller-supplied deadline elapsed before completion
 };
 
 /// Returns a human-readable name for a status code, e.g. "IOError".
@@ -78,13 +79,20 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// True for failures that a bounded retry may clear (kUnavailable).
-  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
+  /// True for failures that a bounded retry may clear (kUnavailable, and
+  /// kDeadlineExceeded — the work may complete within a fresh deadline).
+  bool IsTransient() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,5 +1,8 @@
 #include "server/client.h"
 
+#include <unordered_map>
+#include <utility>
+
 namespace mds {
 
 namespace {
@@ -28,6 +31,21 @@ Result<QueryClient> QueryClient::Connect(const std::string& host,
     return AnnotateStatus(sock.status(), "QueryClient::Connect");
   }
   return QueryClient(std::move(*sock));
+}
+
+Status QueryClient::MapExchangeFailure(Status st, const Options& options,
+                                       const IoDeadline& deadline) {
+  // A request that carried a deadline and whose exchange ran out the
+  // clock is a deadline miss, not generic unavailability: the caller set
+  // the bound, so tell them it elapsed. (Without a caller deadline the
+  // long safety bound expiring stays kUnavailable — nobody asked for it.)
+  if (options.deadline_ms != 0 && st.code() == StatusCode::kUnavailable &&
+      deadline.Expired()) {
+    return Status::DeadlineExceeded("deadline of " +
+                                    std::to_string(options.deadline_ms) +
+                                    "ms elapsed awaiting reply");
+  }
+  return st;
 }
 
 uint32_t QueryClient::RequestFlags(const Options& options) {
@@ -70,7 +88,8 @@ Status QueryClient::RoundTrip(MessageType type, const Options& options,
     // The stream is desynchronized (partial frame, timeout, close): this
     // connection cannot be trusted for another exchange.
     sock_.Close();
-    return AnnotateStatus(st, "QueryClient");
+    return AnnotateStatus(MapExchangeFailure(std::move(st), options, deadline),
+                          "QueryClient");
   }
 
   WireReader r(*reply_payload);
@@ -188,6 +207,138 @@ Result<QueryClient::QueryResult> QueryClient::TableSample(
   out.degraded =
       decoded.degraded || (header.flags & protocol::kFlagDegraded) != 0;
   out.chosen_path = std::move(decoded.chosen_path);
+  return out;
+}
+
+std::vector<Result<uint64_t>> QueryClient::PointCountPipeline(
+    const std::vector<Box>& boxes, const Options& options) {
+  std::vector<Result<QueryResult>> replies =
+      PipelineInternal(boxes, 0, options, MessageType::kPointCount);
+  std::vector<Result<uint64_t>> out;
+  out.reserve(replies.size());
+  for (auto& r : replies) {
+    if (r.ok()) {
+      out.push_back(r->row_count);
+    } else {
+      out.push_back(r.status());
+    }
+  }
+  return out;
+}
+
+std::vector<Result<QueryClient::QueryResult>> QueryClient::BoxQueryPipeline(
+    const std::vector<Box>& boxes, uint64_t limit, const Options& options) {
+  return PipelineInternal(boxes, limit, options, MessageType::kBoxQuery);
+}
+
+std::vector<Result<QueryClient::QueryResult>> QueryClient::PipelineInternal(
+    const std::vector<Box>& boxes, uint64_t limit, const Options& options,
+    MessageType type) {
+  std::vector<Result<QueryResult>> out(
+      boxes.size(), Result<QueryResult>(Status::Internal("no reply")));
+  if (boxes.empty()) return out;
+  if (!sock_.valid()) {
+    const Status closed =
+        Status::FailedPrecondition("client connection is closed");
+    for (auto& slot : out) slot = closed;
+    return out;
+  }
+
+  // Frame every request back-to-back into one wire buffer: the whole
+  // batch leaves in one write (one RTT of request latency for k
+  // requests), and the server's frame parser sees them as one
+  // contiguous pipelined burst it can gang.
+  std::unordered_map<uint64_t, size_t> slot_of_id;
+  slot_of_id.reserve(boxes.size());
+  std::vector<uint8_t> wire;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    const uint64_t request_id = next_request_id_++;
+    slot_of_id.emplace(request_id, i);
+
+    protocol::BoxQueryRequest req;
+    req.lo = boxes[i].lo();
+    req.hi = boxes[i].hi();
+    req.limit = limit;
+
+    std::vector<uint8_t> payload;
+    WireWriter w(&payload);
+    MessageHeader header;
+    header.type = type;
+    header.flags = RequestFlags(options);
+    header.request_id = request_id;
+    EncodeMessageHeader(header, &w);
+    w.PutU32(options.deadline_ms);  // RequestPrefix
+    protocol::EncodeBoxQueryRequest(req, &w);
+    protocol::AppendFrame(payload, &wire);
+  }
+
+  // One deadline bounds the whole exchange, like RoundTrip's does one.
+  const IoDeadline deadline = ExchangeDeadline(options.deadline_ms);
+  Status st = sock_.WriteFull(wire.data(), wire.size(), deadline);
+
+  // Read until every request has its reply. Replies are matched by
+  // request id: the contract is per-connection completeness, not order
+  // (a future server is free to interleave).
+  while (st.ok() && !slot_of_id.empty()) {
+    std::vector<uint8_t> reply;
+    st = protocol::ReadFrame(&sock_, deadline, &reply);
+    if (!st.ok()) break;
+
+    WireReader r(reply);
+    MessageHeader header;
+    st = DecodeMessageHeader(&r, &header);
+    if (!st.ok()) break;
+    if ((header.flags & protocol::kFlagReply) == 0 || header.type != type) {
+      st = Status::Internal("protocol: reply does not match request");
+      break;
+    }
+    auto it = slot_of_id.find(header.request_id);
+    if (it == slot_of_id.end()) {
+      st = Status::Internal("protocol: reply for unknown request id");
+      break;
+    }
+    const size_t slot = it->second;
+    slot_of_id.erase(it);
+
+    // Per-slot failures (bad request, overload shed, deadline expiry on
+    // the server) consume the reply and fail only this slot.
+    Status remote;
+    Status decode = protocol::DecodeStatus(&r, &remote);
+    if (!decode.ok()) {
+      st = std::move(decode);
+      break;
+    }
+    if (!remote.ok()) {
+      out[slot] = AnnotateStatus(std::move(remote), "QueryClient");
+      continue;
+    }
+    protocol::QueryReply decoded;
+    decode = DecodeQueryReply(&r, &decoded);
+    if (!decode.ok()) {
+      st = std::move(decode);
+      break;
+    }
+    QueryResult result;
+    result.row_count = decoded.row_count;
+    result.objids = std::move(decoded.objids);
+    result.rows_scanned = decoded.rows_scanned;
+    result.pages_fetched = decoded.pages_fetched;
+    result.pages_read = decoded.pages_read;
+    result.pages_skipped = decoded.pages_skipped;
+    result.degraded =
+        decoded.degraded || (header.flags & protocol::kFlagDegraded) != 0;
+    result.chosen_path = std::move(decoded.chosen_path);
+    out[slot] = std::move(result);
+  }
+
+  if (!st.ok()) {
+    // Transport failure mid-batch: the stream is desynchronized. Close,
+    // and fail every slot still awaiting its reply.
+    sock_.Close();
+    const Status failed = AnnotateStatus(
+        MapExchangeFailure(std::move(st), options, deadline), "QueryClient");
+    for (const auto& entry : slot_of_id) out[entry.second] = failed;
+  }
   return out;
 }
 

@@ -89,6 +89,23 @@ class QueryClient {
   Result<protocol::ServerStatsSnapshot> ServerStats(
       const Options& options = {});
 
+  /// Pipelined batch exchanges: all k request frames are written before
+  /// any reply is read, so the batch costs one round trip instead of k.
+  /// Replies are correlated by request id (the server may interleave
+  /// them), and each slot of the returned vector carries that request's
+  /// own result — per-request errors (invalid argument, overload
+  /// rejection) fail only their slot. A transport failure (timeout,
+  /// desynchronized stream, connection loss) closes the connection and
+  /// fails every slot that has no reply yet.
+  ///
+  /// The returned vector always has boxes.size() entries, slot i matching
+  /// boxes[i].
+  std::vector<Result<uint64_t>> PointCountPipeline(
+      const std::vector<Box>& boxes, const Options& options = {});
+  std::vector<Result<QueryResult>> BoxQueryPipeline(
+      const std::vector<Box>& boxes, uint64_t limit = 0,
+      const Options& options = {});
+
   /// True while the connection has not failed. A failed exchange closes
   /// the connection; callers reconnect with Connect().
   bool connected() const { return sock_.valid(); }
@@ -111,7 +128,20 @@ class QueryClient {
                                        const Options& options,
                                        protocol::MessageType type);
 
+  /// Shared body of the pipelined exchanges: writes all request frames
+  /// back-to-back, then reads and correlates the replies. Returns one
+  /// decoded QueryReply result per request, in request order.
+  std::vector<Result<QueryResult>> PipelineInternal(
+      const std::vector<Box>& boxes, uint64_t limit, const Options& options,
+      protocol::MessageType type);
+
   static uint32_t RequestFlags(const Options& options);
+
+  /// Maps a transport-read failure onto the caller's deadline: a bounded
+  /// exchange that timed out is kDeadlineExceeded (retryable), not a
+  /// generic kUnavailable.
+  Status MapExchangeFailure(Status st, const Options& options,
+                            const IoDeadline& deadline);
 
   Socket sock_;
   uint64_t next_request_id_ = 1;

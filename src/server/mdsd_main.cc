@@ -3,6 +3,7 @@
 //   mdsd [--port=N] [--n=ROWS] [--workers=N] [--max-in-flight=N]
 //        [--seed=N] [--quick] [--port-file=PATH]
 //        [--cache-bytes=N] [--no-cache]
+//        [--io-threads=N] [--pipeline-batch=N]
 //
 // Serves a synthetic SDSS color catalog over the loopback wire protocol
 // (src/server/protocol.h). --port=0 (the default) binds an ephemeral port
@@ -69,11 +70,16 @@ int main(int argc, char** argv) {
       server_config.cache_bytes = std::stoull(v);
     } else if (ParseFlag(argv[i], "--no-cache", &v)) {
       server_config.cache_bytes = 0;
+    } else if (ParseFlag(argv[i], "--io-threads", &v)) {
+      server_config.io_threads = static_cast<unsigned>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--pipeline-batch", &v)) {
+      server_config.pipeline_batch_max = std::stoull(v);
     } else {
       std::fprintf(stderr,
                    "usage: mdsd [--port=N] [--n=ROWS] [--workers=N] "
                    "[--max-in-flight=N] [--seed=N] [--quick] "
-                   "[--port-file=PATH] [--cache-bytes=N] [--no-cache]\n");
+                   "[--port-file=PATH] [--cache-bytes=N] [--no-cache] "
+                   "[--io-threads=N] [--pipeline-batch=N]\n");
       return 2;
     }
   }

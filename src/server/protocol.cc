@@ -166,7 +166,7 @@ Status DecodeStatus(WireReader* r, Status* status) {
   const uint32_t code = r->GetU32();
   const std::string message = r->GetString();
   if (!r->ok()) return r->status();
-  if (code > static_cast<uint32_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
     return Status::InvalidArgument("protocol: unknown status code");
   }
   *status = Status(static_cast<StatusCode>(code), message);
@@ -208,6 +208,7 @@ Status DecodeKnnReply(WireReader* r, KnnReply* reply) {
 void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w) {
   w->PutU64(stats.connections_accepted);
   w->PutU64(stats.connections_closed);
+  w->PutU64(stats.accept_errors);
   w->PutU64(stats.protocol_errors);
   w->PutU64(stats.requests_total);
   w->PutU64(stats.replies_ok);
@@ -241,6 +242,7 @@ void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w) {
 Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
   stats->connections_accepted = r->GetU64();
   stats->connections_closed = r->GetU64();
+  stats->accept_errors = r->GetU64();
   stats->protocol_errors = r->GetU64();
   stats->requests_total = r->GetU64();
   stats->replies_ok = r->GetU64();

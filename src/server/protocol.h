@@ -91,7 +91,7 @@ inline constexpr size_t kMessageHeaderBytes = 16;
 //
 // Every request body begins with a u32 deadline_ms (0 = none) written and
 // consumed at the exchange layer (QueryClient::RoundTrip on the way out,
-// the server's reader thread on the way in); the Encode/Decode functions
+// the server's I/O thread on the way in); the Encode/Decode functions
 // below cover only the fields after it.
 
 /// kPointCount / kBoxQuery: an axis-aligned box over the served dimensions.
@@ -158,6 +158,7 @@ struct RequestTypeStats {
 struct ServerStatsSnapshot {
   uint64_t connections_accepted = 0;
   uint64_t connections_closed = 0;
+  uint64_t accept_errors = 0;  ///< accept() fd-exhaustion backoffs (EMFILE)
   uint64_t protocol_errors = 0;
   uint64_t requests_total = 0;
   uint64_t replies_ok = 0;
@@ -171,7 +172,7 @@ struct ServerStatsSnapshot {
   uint64_t pool_logical_reads = 0;   ///< BufferPool delta since server start
   uint64_t pool_physical_reads = 0;
   /// Response cache (server/response_cache.h); all zero when disabled.
-  uint64_t cache_hits = 0;        ///< replies served from the reader thread
+  uint64_t cache_hits = 0;        ///< replies served inline on the I/O thread
   uint64_t cache_misses = 0;      ///< cacheable requests that executed
   uint64_t cache_insertions = 0;
   uint64_t cache_evictions = 0;   ///< LRU evictions under the byte bound

@@ -42,7 +42,7 @@ inline bool ReplyCacheable(const Status& status, bool degraded,
 /// tracked per-entry; they age out of the LRU under the byte bound.
 ///
 /// Capacity is bounded in bytes, split evenly across shards (each shard is an
-/// independent mutex + LRU list + map, so concurrent reader threads contend
+/// independent mutex + LRU list + map, so concurrent I/O threads contend
 /// only when they collide on a shard). An entry whose charge alone exceeds
 /// its shard's budget is rejected outright — one huge reply cannot wipe the
 /// cache.
@@ -53,7 +53,7 @@ class ResponseCache {
  public:
   /// `max_bytes` bounds the sum of entry charges (key + payload + fixed
   /// overhead) across all shards. `num_shards` is clamped to >= 1; the
-  /// default suits a handful of concurrent reader threads.
+  /// default suits a handful of concurrent I/O threads.
   explicit ResponseCache(size_t max_bytes, size_t num_shards = 8);
 
   ResponseCache(const ResponseCache&) = delete;

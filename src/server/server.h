@@ -6,12 +6,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/buffered_socket.h"
+#include "common/event_loop.h"
 #include "common/histogram.h"
 #include "common/parallel.h"
 #include "common/socket.h"
@@ -44,18 +45,39 @@ struct ServerConfig {
   /// default, so embedded tests see every request execute). The mdsd
   /// binary enables it by default (--cache-bytes / --no-cache).
   size_t cache_bytes = 0;
+  /// Reactor I/O threads (event loops); connections are spread round-robin
+  /// across them. 0 = 1. One loop comfortably serves thousands of
+  /// connections; more loops only help when frame parsing itself saturates
+  /// a core.
+  unsigned io_threads = 1;
+  /// Upper bound on contiguous pipelined cache-miss query requests from
+  /// one connection ganged into a single QueryEngine::ExecuteBatch call.
+  /// 1 disables ganging (every request executes alone).
+  size_t pipeline_batch_max = 64;
+  /// Test hook: treat the first N accepted connections as if accept()
+  /// had failed with EMFILE (close them, count accept_errors, back off).
+  /// Exercises the fd-exhaustion path deterministically.
+  size_t debug_fail_first_accepts = 0;
 };
 
 /// The mdsd query server: a concurrent TCP front end over the QueryEngine.
 ///
 /// Threading model (DESIGN.md "Serving layer"):
-///  - one acceptor thread owns the listening socket;
-///  - one reader thread per connection decodes frames; health/stats are
-///    answered inline (they must work while the server is saturated),
-///    query requests pass admission control into a bounded queue;
+///  - `io_threads` reactor threads (default one), each running an epoll
+///    EventLoop; loop 0 owns the non-blocking listener, and every
+///    connection lives on exactly one loop (BufferedSocket, idle timer,
+///    write queue). Thread count is independent of connection count —
+///    thousands of idle connections cost table entries, not stacks.
+///  - the I/O thread decodes frames in place; health/stats and response-
+///    cache hits are answered inline (they must work while the server is
+///    saturated), query requests pass admission control into a bounded
+///    queue — contiguous pipelined cache-miss box-like requests from one
+///    readiness event are ganged into one batch;
 ///  - the existing TaskPool (MDS_QUERY_THREADS workers) drains the queue,
-///    executes each query through QueryPlanner/AccessPath over the shared
-///    BufferPool, and writes the reply (per-connection write mutex).
+///    executes each batch through QueryPlanner/AccessPath (gangs through
+///    one QueryEngine::ExecuteBatch call) over the shared BufferPool, and
+///    enqueues the reply back onto the connection's loop, which flushes
+///    it with writev (no worker ever blocks on a slow client).
 ///
 /// Admission control: at most max_in_flight requests are in the system;
 /// beyond that, arrivals get an immediate retryable kUnavailable. Each
@@ -65,11 +87,13 @@ struct ServerConfig {
 /// Graceful drain: RequestDrain() stops accepting connections and rejects
 /// new query requests (kUnavailable + kFlagDraining) while every admitted
 /// request still executes and replies. Shutdown() drains, waits for
-/// in-flight work, then joins all threads. SIGTERM handling is the
-/// binary's job (see mdsd_main.cc): it calls Shutdown().
+/// in-flight work, flushes pending replies, then joins all threads.
+/// SIGTERM handling is the binary's job (see mdsd_main.cc): it calls
+/// Shutdown().
 ///
 /// Thread safety: Start/RequestDrain/Shutdown may be called from any
-/// thread; Start exactly once. Stats() is safe at any time.
+/// thread; Start exactly once per started epoch. Stats() is safe at any
+/// time.
 class QueryServer {
  public:
   QueryServer(const ServedDataset* dataset, const ServerConfig& config);
@@ -78,7 +102,7 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Binds the port and starts the acceptor and worker threads.
+  /// Binds the port and starts the I/O and worker threads.
   Status Start();
 
   /// Bound port (valid after Start; the ephemeral port when config.port=0).
@@ -90,8 +114,8 @@ class QueryServer {
   /// call more than once.
   void RequestDrain();
 
-  /// Full graceful stop: drain, complete in-flight requests, join all
-  /// threads, close all connections. Idempotent.
+  /// Full graceful stop: drain, complete in-flight requests, flush their
+  /// replies, join all threads, close all connections. Idempotent.
   void Shutdown();
 
   /// Point-in-time server counters (the same snapshot a kStats request
@@ -101,63 +125,132 @@ class QueryServer {
  private:
   enum class State { kRunning, kDraining, kStopped };
 
-  struct Connection {
-    Socket sock;
-    std::mutex write_mu;
-    uint64_t bytes_in = 0;   // owned by the reader thread
+  struct IoLoop;
+
+  /// Per-connection reactor state. All fields are owned by the home
+  /// loop's thread; other threads reach a Conn only via EventLoop::Post.
+  struct Conn {
+    BufferedSocket bsock;
+    IoLoop* home = nullptr;
+    int fd = -1;  ///< cached for deregistration after the socket closes
+    bool closed = false;
+    /// Logical close: no more frames are read (peer EOF, idle timeout or
+    /// protocol violation), but the socket stays open until the replies
+    /// of already-admitted requests have flushed — the old blocking
+    /// reader's exit semantics, reproduced on the loop.
+    bool read_eof = false;
+    bool want_write = false;  ///< EPOLLOUT currently requested
+    /// Admitted requests whose replies have not yet been delivered to
+    /// this connection's write queue (loop thread only).
+    size_t admitted_open = 0;
+    EventLoop::TimerId idle_timer = 0;
+    EventLoop::TimerId write_timer = 0;
+  };
+
+  /// One reactor thread: an event loop plus the connections homed on it.
+  struct IoLoop {
+    EventLoop loop;
+    std::thread thread;
+    std::vector<std::shared_ptr<Conn>> conns;  // loop-thread owned
+    bool shutting_down = false;
+    bool stop_requested = false;
+    EventLoop::TimerId shutdown_timer = 0;
   };
 
   struct PendingRequest {
-    std::shared_ptr<Connection> conn;
+    std::shared_ptr<Conn> conn;
     protocol::MessageHeader header;
     std::vector<uint8_t> payload;  // full payload; body starts at body_offset
     size_t body_offset = 0;
     uint32_t deadline_ms = 0;  // effective (request or config default)
     std::chrono::steady_clock::time_point arrival;
-    // Set by the reader-thread cache probe on a miss: this request should
+    // Set by the I/O-thread cache probe on a miss: this request should
     // populate the cache under the epoch observed at probe time (an epoch
     // bump between probe and populate strands the entry under the old
     // epoch, where it can never serve a stale hit).
     bool cache_populate = false;
     uint64_t cache_epoch = 0;
+    /// True once the request passed admission control (its reply delivery
+    /// decrements Conn::admitted_open).
+    bool admitted = false;
   };
 
-  struct ReaderThread {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
+  /// One work-queue item: a gang of admitted requests from one connection
+  /// (usually a singleton; >1 for contiguous pipelined cache misses).
+  using Batch = std::vector<PendingRequest>;
 
-  void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Connection> conn);
+  // --- reactor path (loop threads) ---------------------------------------
+  void OnAcceptReady();
+  void BackOffAccept();
+  void AdoptConnection(Socket sock);
+  void RegisterConnection(IoLoop* home, std::shared_ptr<Conn> conn);
+  void OnConnEvent(const std::shared_ptr<Conn>& conn, uint32_t ready);
+  /// Parses complete frames out of the connection's read buffer,
+  /// dispatching each; gangs admitted query requests. Returns false when
+  /// reading stopped (protocol violation).
+  bool ProcessFrames(const std::shared_ptr<Conn>& conn, Batch* gang);
+  /// Dispatches one decoded frame payload. Returns false when the
+  /// connection must stop reading (header violation).
+  bool HandleFrame(const std::shared_ptr<Conn>& conn,
+                   std::vector<uint8_t> payload, Batch* gang);
+  void FlushGang(Batch* gang);
+  void EnqueueBatch(Batch batch);
+  void ArmIdleTimer(const std::shared_ptr<Conn>& conn);
+  /// Flushes the connection's write queue, managing EPOLLOUT interest and
+  /// the write-stall timer; closes on error.
+  void FlushConn(const std::shared_ptr<Conn>& conn);
+  /// Logical close (see Conn::read_eof): closes outright once no admitted
+  /// replies or queued writes remain.
+  void StopReading(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  /// Loop-thread delivery of an encoded reply frame.
+  void DeliverReply(const std::shared_ptr<Conn>& conn,
+                    std::vector<uint8_t> wire, bool admitted);
+  /// Routes an encoded reply frame to the connection's loop (direct when
+  /// already on it, Post otherwise).
+  void EnqueueReply(const std::shared_ptr<Conn>& conn,
+                    std::vector<uint8_t> wire, bool admitted);
+  void ShutdownLoopTask(IoLoop* io);
+  void CheckLoopDrained(IoLoop* io);
+
+  // --- request path (worker threads unless noted) ------------------------
   void WorkerLoop();
-  /// Executes one admitted query request and writes its reply.
+  /// Executes one admitted query request and enqueues its reply.
   void HandleRequest(PendingRequest* req);
+  /// The box-like branch of HandleRequest (planner execution + reply).
+  void ExecuteAndReplyBoxLike(PendingRequest* req);
+  /// Executes a gang through one QueryEngine::ExecuteBatch call. Any slot
+  /// that cannot take the batch fast path (or fails on it) is re-run
+  /// through the exact single-request path, so replies are byte-identical
+  /// to sequential execution.
+  void HandleBatch(Batch* batch);
 
-  void HandleHealth(const PendingRequest& req);
-  void HandleStats(const PendingRequest& req);
+  void HandleHealth(const PendingRequest& req);  // loop thread
+  void HandleStats(const PendingRequest& req);   // loop thread
   Status ExecuteBoxLike(const PendingRequest& req, protocol::QueryReply* out);
   Status ExecuteKnn(const PendingRequest& req, protocol::KnnReply* out);
 
-  /// Reader-thread fast path: serves `req` from the response cache when a
+  /// I/O-thread fast path: serves `req` from the response cache when a
   /// memoized reply exists. Hits bypass admission control, the queue and
   /// the deadline machinery entirely. Returns true when the request was
   /// answered here (hit) — the caller must not enqueue it.
   bool TryServeFromCache(PendingRequest* req);
 
-  /// Serializes and writes a reply frame (status + optional body encoded
-  /// by `encode_body` when status is OK). When `cacheable_reply` and the
-  /// request was tagged for population, the encoded reply enters the
-  /// response cache after finalization and before it hits the wire.
-  /// Closes the connection on write failure. Returns the write status.
+  /// Serializes a reply frame (status + optional body encoded by
+  /// `encode_body` when status is OK) and enqueues it on the connection's
+  /// loop. When `cacheable_reply` and the request was tagged for
+  /// population, the encoded reply enters the response cache after
+  /// finalization and before it is enqueued.
   template <typename EncodeBody>
-  Status WriteReply(const PendingRequest& req, const Status& status,
-                    uint32_t extra_flags, bool cacheable_reply,
-                    EncodeBody&& encode_body);
-  Status WriteErrorReply(const PendingRequest& req, const Status& status,
-                         uint32_t extra_flags);
+  void WriteReply(const PendingRequest& req, const Status& status,
+                  uint32_t extra_flags, bool cacheable_reply,
+                  EncodeBody&& encode_body);
+  void WriteErrorReply(const PendingRequest& req, const Status& status,
+                       uint32_t extra_flags);
 
   void FinishRequest(const PendingRequest& req, const Status& status);
-  void ReapFinishedReaders(bool join_all);
+  /// Records latency + reply counters for an inline (loop-thread) reply.
+  void RecordInlineReply(const PendingRequest& req);
 
   bool Expired(const PendingRequest& req) const;
 
@@ -166,7 +259,9 @@ class QueryServer {
   uint16_t port_ = 0;
 
   TcpListener listener_;
-  std::thread acceptor_;
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  size_t next_loop_ = 0;  // loop-0 thread only (round-robin assignment)
+
   std::thread worker_runner_;  // blocks inside TaskPool::Run for the
                                // server's lifetime
   std::unique_ptr<TaskPool> workers_;
@@ -174,24 +269,26 @@ class QueryServer {
   std::atomic<State> state_{State::kStopped};
   bool started_ = false;
 
+  // Accept-backoff state (loop-0 thread only).
+  bool listener_registered_ = false;
+  uint64_t accept_backoff_ms_ = 0;
+  size_t debug_fail_remaining_ = 0;
+
   // Bounded request queue + in-flight accounting (admission control).
   mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;   // workers wait for work
+  std::condition_variable queue_cv_;    // workers wait for work
   std::condition_variable drained_cv_;  // Shutdown waits for in-flight == 0
-  std::deque<PendingRequest> queue_;
+  std::deque<Batch> queue_;
   bool queue_closed_ = false;
-  size_t in_flight_ = 0;  // queued + executing, guarded by queue_mu_
+  size_t in_flight_ = 0;  // queued + executing requests, guarded by queue_mu_
 
-  // Connection registry (for Shutdown) and reader thread reaping.
-  std::mutex conns_mu_;
-  std::vector<std::weak_ptr<Connection>> conns_;
-  std::list<ReaderThread> readers_;
   std::atomic<size_t> open_connections_{0};
 
   // Counters (relaxed atomics; aggregated into ServerStatsSnapshot).
   struct Counters {
     std::atomic<uint64_t> connections_accepted{0};
     std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> accept_errors{0};
     std::atomic<uint64_t> protocol_errors{0};
     std::atomic<uint64_t> requests_total{0};
     std::atomic<uint64_t> replies_ok{0};
@@ -207,7 +304,7 @@ class QueryServer {
   mutable Counters counters_;
   Histogram latency_us_[protocol::kNumRequestTypes];
   CounterSnapshot pool_at_start_;
-  // Response cache (null when config.cache_bytes == 0). Probed on reader
+  // Response cache (null when config.cache_bytes == 0). Probed on I/O
   // threads, populated on workers; thread-safe by construction.
   std::unique_ptr<ResponseCache> cache_;
 };

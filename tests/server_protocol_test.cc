@@ -502,6 +502,96 @@ TEST_F(ServerProtocolTest, CachedReplyIsByteIdenticalOnTheWire) {
   server.Shutdown();
 }
 
+TEST_F(ServerProtocolTest, PipelinedBurstCorrelatesByRequestId) {
+  // Raw-wire pipelining: k request frames in one write, with request ids
+  // deliberately out of ascending order. The server must answer every id
+  // exactly once, and each reply must be byte-identical to the reply the
+  // same request gets on its own connection — only the echoed request_id
+  // bytes (header [8, 16)) may differ.
+  const size_t dim = dataset_->dim();
+  auto make_request = [&](uint64_t request_id, double half_width) {
+    std::vector<uint8_t> payload;
+    WireWriter pw(&payload);
+    MessageHeader header;
+    header.type = MessageType::kBoxQuery;
+    header.request_id = request_id;
+    EncodeMessageHeader(header, &pw);
+    pw.PutU32(0);  // deadline
+    protocol::BoxQueryRequest req;
+    req.lo.assign(dim, -half_width);
+    req.hi.assign(dim, half_width);
+    EncodeBoxQueryRequest(req, &pw);
+    std::vector<uint8_t> frame;
+    protocol::AppendFrame(payload, &frame);
+    return frame;
+  };
+
+  constexpr size_t kBurst = 8;
+  const double widths[kBurst] = {0.4, 1.1, 0.2, 2.0, 0.7, 1.6, 0.9, 0.5};
+  // Shuffled ids: correlation must not assume arrival order == id order.
+  const uint64_t ids[kBurst] = {905, 901, 908, 903, 907, 902, 906, 904};
+
+  // Reference replies, one exchange at a time on a separate connection.
+  std::vector<std::vector<uint8_t>> reference(kBurst);
+  {
+    Socket sock = MustConnect();
+    for (size_t i = 0; i < kBurst; ++i) {
+      const std::vector<uint8_t> frame = make_request(700 + i, widths[i]);
+      ASSERT_TRUE(
+          sock.WriteFull(frame.data(), frame.size(), IoDeadline::After(5000))
+              .ok());
+      ASSERT_TRUE(
+          protocol::ReadFrame(&sock, IoDeadline::After(5000), &reference[i])
+              .ok());
+    }
+  }
+
+  // The pipelined burst: all frames in one write, then read them all.
+  Socket sock = MustConnect();
+  std::vector<uint8_t> burst;
+  for (size_t i = 0; i < kBurst; ++i) {
+    const std::vector<uint8_t> frame = make_request(ids[i], widths[i]);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(
+      sock.WriteFull(burst.data(), burst.size(), IoDeadline::After(5000))
+          .ok());
+
+  std::vector<bool> answered(kBurst, false);
+  for (size_t n = 0; n < kBurst; ++n) {
+    std::vector<uint8_t> reply;
+    ASSERT_TRUE(
+        protocol::ReadFrame(&sock, IoDeadline::After(10000), &reply).ok());
+    WireReader r(reply);
+    MessageHeader reply_header;
+    ASSERT_TRUE(DecodeMessageHeader(&r, &reply_header).ok());
+    size_t slot = kBurst;
+    for (size_t i = 0; i < kBurst; ++i) {
+      if (ids[i] == reply_header.request_id) {
+        slot = i;
+        break;
+      }
+    }
+    ASSERT_LT(slot, kBurst) << "reply for unknown id "
+                            << reply_header.request_id;
+    EXPECT_FALSE(answered[slot]) << "duplicate reply for id " << ids[slot];
+    answered[slot] = true;
+
+    // Byte parity with the solo exchange, modulo the request_id echo.
+    const std::vector<uint8_t>& ref = reference[slot];
+    ASSERT_EQ(reply.size(), ref.size()) << "slot " << slot;
+    EXPECT_EQ(std::memcmp(reply.data(), ref.data(), 8), 0) << "slot " << slot;
+    EXPECT_EQ(std::memcmp(reply.data() + 16, ref.data() + 16,
+                          ref.size() - 16),
+              0)
+        << "slot " << slot;
+  }
+  for (size_t i = 0; i < kBurst; ++i) {
+    EXPECT_TRUE(answered[i]) << "no reply for id " << ids[i];
+  }
+  ExpectServerHealthy();
+}
+
 TEST_F(ServerProtocolTest, PeerCloseMidReplyLeavesServerServing) {
   // A client that submits a large query and slams the connection shut (RST
   // via zero-linger) before reading the reply must cost the server nothing

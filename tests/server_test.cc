@@ -7,7 +7,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -567,6 +570,255 @@ TEST_F(ServerTest, ShutdownIsIdempotentAndRestartFreesPort) {
   QueryClient client = MustConnect(second);
   EXPECT_TRUE(client.Health().ok());
   second.Shutdown();
+}
+
+TEST_F(ServerTest, PipelinedBatchMatchesSequentialExactly) {
+  // Pipelining parity: k pipelined requests must produce, slot for slot,
+  // exactly the replies of k sequential round trips — same objids, same
+  // chosen access path, same I/O accounting — whether the server ganged
+  // them into one ExecuteBatch call or not. Cache off, so every request
+  // truly executes.
+  ServerConfig config;
+  config.num_workers = 2;
+  QueryServer server(dataset_, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<Box> boxes;
+  for (int i = 0; i < 12; ++i) {
+    boxes.push_back(LocusBox(0.2 + 0.1 * i));  // selective through wide
+  }
+
+  QueryClient sequential = MustConnect(server);
+  std::vector<QueryClient::QueryResult> expected;
+  for (const Box& box : boxes) {
+    auto r = sequential.BoxQuery(box);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(std::move(*r));
+  }
+
+  QueryClient pipelined = MustConnect(server);
+  auto got = pipelined.BoxQueryPipeline(boxes);
+  ASSERT_EQ(got.size(), boxes.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_TRUE(got[i].ok()) << i << ": " << got[i].status().ToString();
+    EXPECT_EQ(got[i]->row_count, expected[i].row_count) << i;
+    EXPECT_EQ(got[i]->objids, expected[i].objids) << i;
+    EXPECT_EQ(got[i]->chosen_path, expected[i].chosen_path) << i;
+    EXPECT_EQ(got[i]->rows_scanned, expected[i].rows_scanned) << i;
+    EXPECT_EQ(got[i]->pages_fetched, expected[i].pages_fetched) << i;
+    EXPECT_EQ(got[i]->pages_read, expected[i].pages_read) << i;
+    EXPECT_EQ(got[i]->degraded, expected[i].degraded) << i;
+  }
+
+  // PointCount rides the same path; limits apply per slot.
+  auto counts = pipelined.PointCountPipeline(boxes);
+  ASSERT_EQ(counts.size(), boxes.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_TRUE(counts[i].ok()) << i;
+    EXPECT_EQ(*counts[i], expected[i].row_count) << i;
+  }
+  auto limited = pipelined.BoxQueryPipeline(boxes, 2);
+  ASSERT_EQ(limited.size(), boxes.size());
+  for (size_t i = 0; i < limited.size(); ++i) {
+    ASSERT_TRUE(limited[i].ok()) << i;
+    const size_t want =
+        std::min<size_t>(2, static_cast<size_t>(expected[i].row_count));
+    ASSERT_EQ(limited[i]->objids.size(), want) << i;
+    EXPECT_TRUE(std::equal(limited[i]->objids.begin(),
+                           limited[i]->objids.end(),
+                           expected[i].objids.begin()))
+        << i;
+  }
+
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, PipelinedErrorsFailOnlyTheirSlot) {
+  // A malformed request inside a pipelined burst must not poison its
+  // neighbors: the bad slot gets its own error status, every other slot
+  // its normal answer, on the same connection.
+  QueryServer server(dataset_, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  std::vector<Box> boxes;
+  boxes.push_back(LocusBox(0.6));
+  boxes.push_back(Box(std::vector<double>(2, 0.0),
+                      std::vector<double>(2, 1.0)));  // dim mismatch
+  boxes.push_back(LocusBox(0.3));
+
+  auto got = client.BoxQueryPipeline(boxes);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_TRUE(got[0].ok()) << got[0].status().ToString();
+  ASSERT_FALSE(got[1].ok());
+  EXPECT_EQ(got[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(got[2].ok()) << got[2].status().ToString();
+
+  // The connection survived the per-slot error.
+  EXPECT_TRUE(client.Health().ok());
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, PipelinedBurstMixingCacheHitsAndMisses) {
+  // With the response cache on, a pipelined burst can contain slots the
+  // I/O thread answers inline (hits) interleaved with slots that gang to
+  // a worker (misses). Every slot must still get its answer and the
+  // connection must survive — the mdsd default configuration runs with
+  // the cache enabled, so this is the production shape of a burst.
+  ServerConfig config;
+  config.cache_bytes = 8u << 20;
+  QueryServer server(dataset_, config);
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  std::vector<Box> boxes;
+  for (int i = 0; i < 4; ++i) boxes.push_back(LocusBox(0.2 + 0.2 * i));
+
+  // Warm exactly one slot's entry (the last), as a prior singleton query.
+  auto warm = client.PointCount(boxes.back());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  auto counts = client.PointCountPipeline(boxes);
+  ASSERT_EQ(counts.size(), boxes.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_TRUE(counts[i].ok())
+        << "slot " << i << ": " << counts[i].status().ToString();
+    EXPECT_EQ(*counts[i], BruteForceBox(boxes[i]).size()) << "slot " << i;
+  }
+  const auto stats = server.Stats();
+  EXPECT_GE(stats.cache_hits, 1u);
+  EXPECT_TRUE(client.Health().ok());  // connection survived the mix
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, ThousandIdleConnectionsOnOneIoThread) {
+  // The reactor's raison d'être: connection count decoupled from thread
+  // count. Park >=1000 idle connections on the default single I/O thread
+  // and verify the process spawned no additional threads for them, while
+  // the server still answers queries promptly.
+  auto count_threads = [] {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("Threads:", 0) == 0) {
+        return std::stoi(line.substr(8));
+      }
+    }
+    return -1;
+  };
+
+  ServerConfig config;
+  config.io_threads = 1;
+  config.max_connections = 1200;
+  config.idle_timeout_ms = 0;  // idle on purpose; don't reap them
+  QueryServer server(dataset_, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int threads_before = count_threads();
+  ASSERT_GT(threads_before, 0);
+
+  constexpr size_t kIdle = 1000;
+  std::vector<Socket> idle;
+  idle.reserve(kIdle);
+  for (size_t i = 0; i < kIdle; ++i) {
+    auto sock = TcpConnect("127.0.0.1", server.port(), 5000);
+    ASSERT_TRUE(sock.ok()) << "connection " << i << ": "
+                           << sock.status().ToString();
+    idle.push_back(std::move(*sock));
+  }
+
+  // Give the loop a beat to register the tail end of the accept burst,
+  // then verify: same thread count, and a live query path.
+  QueryClient client = MustConnect(server);
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  auto count = client.PointCount(LocusBox(0.5));
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+
+  const int threads_after = count_threads();
+  EXPECT_EQ(threads_after, threads_before)
+      << kIdle << " idle connections must not cost threads";
+
+  const auto stats = server.Stats();
+  EXPECT_GE(stats.connections_accepted, kIdle);
+
+  idle.clear();
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, AcceptBackoffRecoversFromFdExhaustion) {
+  // Synthetic EMFILE on the first accepts (the debug hook mirrors the
+  // real branch: count, close, deregister, re-arm after backoff). The
+  // server must count accept_errors, keep running, and serve connections
+  // normally once the pressure clears.
+  ServerConfig config;
+  config.debug_fail_first_accepts = 3;
+  QueryServer server(dataset_, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Early connects may be swallowed by the synthetic failures; keep
+  // trying until a request round-trips. Backoff caps at 10+20+40ms here,
+  // so well under the retry budget.
+  bool served = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto client = QueryClient::Connect("127.0.0.1", server.port(), 1000);
+    if (client.ok() && client->Health().ok()) {
+      served = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(served) << "server never recovered from synthetic EMFILE";
+
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.accept_errors, 3u);
+  EXPECT_GE(stats.connections_accepted, 1u);
+
+  // The counter also travels the wire.
+  QueryClient client = MustConnect(server);
+  auto remote = client.ServerStats();
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(remote->accept_errors, 3u);
+
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, ClientDeadlineExceededInsteadOfHanging) {
+  // A server that accepts but never replies must not hang the client: a
+  // request with a deadline comes back kDeadlineExceeded (retryable)
+  // once the exchange bound expires.
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread sink([&] {
+    auto sock = listener->Accept(IoDeadline::After(10000));
+    if (sock.ok()) {
+      // Hold the connection open, reading nothing, replying nothing,
+      // until well past the client's exchange bound (deadline + 2 s
+      // slack) so the client's clock, not a reset, ends the wait.
+      std::this_thread::sleep_for(std::chrono::milliseconds(4000));
+    }
+  });
+
+  auto client = QueryClient::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok());
+  QueryClient::Options options;
+  options.deadline_ms = 100;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = client->PointCount(LocusBox(0.5), options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+  EXPECT_TRUE(result.status().IsTransient());
+  // Bounded by deadline + client slack, far under the no-deadline bound.
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+  EXPECT_FALSE(client->connected());  // stream is desynchronized
+
+  listener->Shutdown();
+  sink.join();
 }
 
 }  // namespace
