@@ -7,6 +7,8 @@
 // buffering or hanging.
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "common/timer.h"
 #include "sdss/catalog.h"
 #include "server/client.h"
+#include "server/coordinator.h"
 #include "server/dataset.h"
 #include "server/server.h"
 
@@ -411,6 +414,98 @@ void Run(const bench::BenchOptions& options) {
     MDS_CHECK(piped_per_sec >= 1.5 * serial_per_sec);
 
     server.Shutdown();
+  }
+
+  // --- Phase 5: scale-out — point counts through mdsc over S shards ----
+  // Every shard set re-derives kd-subtree slices of the SAME catalog
+  // (same --n/--seed), so each topology answers every query identically;
+  // the coordinator fans a point count out to all S backends and sums.
+  // On a multi-core host the shards' engine work runs concurrently and
+  // throughput should scale; on one core the fan-out only adds hops, so
+  // the >= 1.5x acceptance bar at 4 shards is gated on >= 4 cores and the
+  // single-core result is reported flat, honestly.
+  {
+    std::printf("\n-- scale-out: closed-loop point counts through mdsc --\n");
+    uint64_t expected_count = 0;
+    {
+      const Box probe = SmallBox(7);
+      const PointSet& points = dataset->points();
+      for (uint64_t i = 0; i < points.size(); ++i) {
+        if (probe.Contains(points.point(i))) ++expected_count;
+      }
+    }
+
+    const int per_client = options.quick ? 150 : 1000;
+    double shards1_per_sec = 0.0;
+    double shards4_per_sec = 0.0;
+    for (const uint32_t num_shards : {1u, 2u, 4u}) {
+      // Shard datasets: shard 0 of 1 is the full catalog, already built.
+      std::vector<std::unique_ptr<ServedDataset>> shard_data;
+      std::vector<std::unique_ptr<QueryServer>> backends;
+      ShardMap map;
+      for (uint32_t i = 0; i < num_shards; ++i) {
+        ServedDataset* served = &*dataset;
+        if (num_shards > 1) {
+          DatasetConfig shard_config = dataset_config;
+          shard_config.shard_index = i;
+          shard_config.shard_count = num_shards;
+          auto built = ServedDataset::Build(shard_config);
+          MDS_CHECK(built.ok());
+          shard_data.push_back(
+              std::make_unique<ServedDataset>(std::move(*built)));
+          served = shard_data.back().get();
+        }
+        ServerConfig backend_config;
+        backend_config.num_workers = 2;
+        backend_config.max_in_flight = 256;
+        backends.push_back(
+            std::make_unique<QueryServer>(served, backend_config));
+        MDS_CHECK(backends.back()->Start().ok());
+        map.shards.push_back({{"127.0.0.1", backends.back()->port()}});
+      }
+      Coordinator coordinator(map, CoordinatorConfig{});
+      MDS_CHECK(coordinator.Start().ok());
+      MDS_CHECK(coordinator.served_rows() == dataset->num_rows());
+
+      // Parity probe before the clock starts: the fanned-out count must
+      // match the local brute force, at every shard count.
+      {
+        auto client = QueryClient::Connect("127.0.0.1", coordinator.port());
+        MDS_CHECK(client.ok());
+        auto count = client->PointCount(SmallBox(7));
+        MDS_CHECK(count.ok());
+        MDS_CHECK(*count == expected_count);
+      }
+
+      PhaseResult warm =
+          RunClosedLoop(coordinator.port(), 4, per_client / 5);
+      (void)warm;
+      PhaseResult r = RunClosedLoop(coordinator.port(), 4, per_client);
+      const std::string name =
+          "coordinator_shards_" + std::to_string(num_shards);
+      PrintPhase(options, name.c_str(), r);
+      MDS_CHECK(r.failed == 0);
+      MDS_CHECK(r.ok > 0);
+
+      const double per_sec = 1000.0 * static_cast<double>(r.ok) / r.wall_ms;
+      if (num_shards == 1) shards1_per_sec = per_sec;
+      if (num_shards == 4) shards4_per_sec = per_sec;
+
+      coordinator.Shutdown();
+      for (auto& b : backends) b->Shutdown();
+    }
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("scale-out speedup at 4 shards: %.2fx (%.0f -> %.0f req/s) "
+                "on %u cores\n",
+                shards4_per_sec / shards1_per_sec, shards1_per_sec,
+                shards4_per_sec, cores);
+    if (cores >= 4) {
+      MDS_CHECK(shards4_per_sec >= 1.5 * shards1_per_sec);
+    } else {
+      std::printf("(single-core host: shards serialize onto one CPU, so no "
+                  "speedup bar is enforced)\n");
+    }
   }
 }
 

@@ -160,6 +160,22 @@ int Walkthrough(uint16_t port) {
                 (unsigned long long)pc.p50_us, (unsigned long long)pc.p99_us,
                 (unsigned long long)pc.count);
   }
+  // Non-empty only when the far end is an mdsc coordinator: per-shard
+  // routing counters (the server-smoke failover phase greps these).
+  for (size_t s = 0; s < stats->shards.size(); ++s) {
+    const auto& shard = stats->shards[s];
+    std::printf("shard %zu: %u/%u replicas healthy, %llu requests, "
+                "failovers=%llu hedges=%llu/%llu errors=%llu "
+                "p50=%lluus p99=%lluus\n",
+                s, shard.healthy_replicas, shard.replicas,
+                (unsigned long long)shard.requests,
+                (unsigned long long)shard.failovers,
+                (unsigned long long)shard.hedges_won,
+                (unsigned long long)shard.hedges_fired,
+                (unsigned long long)shard.backend_errors,
+                (unsigned long long)shard.p50_us,
+                (unsigned long long)shard.p99_us);
+  }
   std::printf("query_client: OK\n");
   return 0;
 }

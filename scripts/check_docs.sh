@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo's *.md files
+# resolves to an existing file or directory. External URLs, mailto links
+# and in-page anchors are skipped. Exit 1 (after listing every offender)
+# if any link is broken.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r file; do
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"   # strip in-page anchor
+    path="${path%% *}"     # strip optional markdown link title
+    [ -z "$path" ] && continue
+    dir=$(dirname "$file")
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "broken link in $file: ($target)"
+      fail=1
+    fi
+  done < <(grep -o ']([^)]*)' "$file" 2>/dev/null | sed 's/^](//; s/)$//')
+done < <(find . -name '*.md' -not -path './build/*' -not -path './.git/*')
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: all relative markdown links resolve"
+fi
+exit "$fail"

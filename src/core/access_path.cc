@@ -99,6 +99,15 @@ KdTreePath::KdTreePath(const PointTableBinding& binding,
   CoalesceRanges(&partial_ranges);
   ranges_ = std::move(full_ranges);
   ranges_.insert(ranges_.end(), partial_ranges.begin(), partial_ranges.end());
+  // Positional order, not full-before-partial: rows then emit in the
+  // clustered row order, so TOP(limit) really is the first `limit`
+  // matches of the clustered order (client.h's contract) and a
+  // kd-subtree shard's reply is a contiguous slice of the full tree's
+  // (the mdsc coordinator's concatenation-parity invariant).
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const RowRange& a, const RowRange& b) {
+              return a.begin < b.begin;
+            });
   for (const RowRange& range : ranges_) {
     candidate_rows_ += range.end - range.begin;
   }

@@ -139,7 +139,7 @@ class KdTreePath final : public AccessPath {
 
  private:
   PolyhedronPredicate polyhedron_predicate_;
-  std::vector<RowRange> ranges_;  // full ranges first, then partial
+  std::vector<RowRange> ranges_;  // disjoint, ascending by row position
   KdQueryStats plan_stats_;
   uint64_t candidate_rows_ = 0;
   bool done_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/parallel.h"
 
@@ -13,6 +14,43 @@ uint64_t NextPowerOfTwo(uint64_t x) {
   uint64_t p = 1;
   while (p < x) p <<= 1;
   return p;
+}
+
+/// Post-order numbering plus covered-leaf intervals: the invariant behind
+/// the BETWEEN trick (§3.2) — a subtree's leaves are contiguous ordinals.
+/// `nodes` is an implicit complete tree (children of i at 2i+1, 2i+2);
+/// leaves live at [first_leaf_idx, 2*first_leaf_idx].
+void AssignPostOrder(std::vector<KdTreeIndex::Node>* nodes,
+                     size_t first_leaf_idx) {
+  uint32_t counter = 0;
+  // Iterative post-order over the implicit complete tree.
+  struct Item {
+    uint32_t idx;
+    bool expanded;
+  };
+  std::vector<Item> stack;
+  stack.push_back({0, false});
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    KdTreeIndex::Node& node = (*nodes)[item.idx];
+    if (node.split_dim < 0) {
+      node.post_order = counter++;
+      uint32_t ordinal = item.idx - static_cast<uint32_t>(first_leaf_idx);
+      node.first_leaf = ordinal;
+      node.last_leaf = ordinal;
+      continue;
+    }
+    if (!item.expanded) {
+      stack.push_back({item.idx, true});
+      stack.push_back({node.right, false});
+      stack.push_back({node.left, false});
+    } else {
+      node.post_order = counter++;
+      node.first_leaf = (*nodes)[node.left].first_leaf;
+      node.last_leaf = (*nodes)[node.right].last_leaf;
+    }
+  }
 }
 
 }  // namespace
@@ -138,39 +176,66 @@ Result<KdTreeIndex> KdTreeIndex::Build(const PointSet* points,
     node.bounds.Extend(rb.hi().data());
   }
 
-  // Post-order numbering plus covered-leaf intervals: the invariant behind
-  // the BETWEEN trick (§3.2) — a subtree's leaves are contiguous ordinals.
-  {
-    uint32_t counter = 0;
-    // Iterative post-order over the implicit complete tree.
-    struct Item {
-      uint32_t idx;
-      bool expanded;
-    };
-    std::vector<Item> stack;
-    stack.push_back({0, false});
-    while (!stack.empty()) {
-      Item item = stack.back();
-      stack.pop_back();
-      Node& node = index.nodes_[item.idx];
-      if (node.split_dim < 0) {
-        node.post_order = counter++;
-        uint32_t ordinal = item.idx - static_cast<uint32_t>(first_leaf_idx);
-        node.first_leaf = ordinal;
-        node.last_leaf = ordinal;
-        continue;
-      }
-      if (!item.expanded) {
-        stack.push_back({item.idx, true});
-        stack.push_back({node.right, false});
-        stack.push_back({node.left, false});
-      } else {
-        node.post_order = counter++;
-        node.first_leaf = index.nodes_[node.left].first_leaf;
-        node.last_leaf = index.nodes_[node.right].last_leaf;
-      }
-    }
+  AssignPostOrder(&index.nodes_, first_leaf_idx);
+  return index;
+}
+
+Result<KdTreeIndex> KdTreeIndex::ExtractSubtree(const KdTreeIndex& source,
+                                                uint32_t node_index) {
+  if (node_index >= source.nodes_.size()) {
+    return Status::InvalidArgument(
+        "KdTreeIndex::ExtractSubtree: node index " +
+        std::to_string(node_index) + " out of range");
   }
+  const Node& src_root = source.nodes_[node_index];
+  const uint64_t leaves = src_root.last_leaf - src_root.first_leaf + 1;
+  const uint64_t base_row = src_root.row_begin;
+  const uint32_t base_leaf = src_root.first_leaf;
+
+  KdTreeIndex index;
+  index.points_ = source.points_;
+  index.num_leaves_ = static_cast<uint32_t>(leaves);
+  uint32_t depth = 0;
+  while ((uint64_t{1} << depth) < leaves) ++depth;
+  index.num_levels_ = depth + 1;
+
+  // Map the new implicit complete tree onto the source's: new node j sits
+  // at old index old_of_new[j], and the implicit child rule is preserved
+  // on both sides, so children map to children.
+  const size_t num_nodes = 2 * leaves - 1;
+  std::vector<uint32_t> old_of_new(num_nodes);
+  old_of_new[0] = node_index;
+  for (size_t j = 0; j + 1 < leaves; ++j) {
+    old_of_new[2 * j + 1] = 2 * old_of_new[j] + 1;
+    old_of_new[2 * j + 2] = 2 * old_of_new[j] + 2;
+  }
+
+  index.nodes_.resize(num_nodes);
+  const size_t first_leaf_idx = leaves - 1;
+  for (size_t j = 0; j < num_nodes; ++j) {
+    Node node = source.nodes_[old_of_new[j]];
+    if (node.split_dim >= 0) {
+      node.left = static_cast<uint32_t>(2 * j + 1);
+      node.right = static_cast<uint32_t>(2 * j + 2);
+    } else {
+      node.left = kNoChild;
+      node.right = kNoChild;
+    }
+    node.row_begin -= base_row;
+    node.row_end -= base_row;
+    node.first_leaf -= base_leaf;
+    node.last_leaf -= base_leaf;
+    index.nodes_[j] = node;
+  }
+
+  index.leaf_node_index_.resize(leaves);
+  for (size_t o = 0; o < leaves; ++o) {
+    index.leaf_node_index_[o] = static_cast<uint32_t>(first_leaf_idx + o);
+  }
+  index.clustered_order_.assign(
+      source.clustered_order_.begin() + static_cast<ptrdiff_t>(base_row),
+      source.clustered_order_.begin() + static_cast<ptrdiff_t>(src_root.row_end));
+  AssignPostOrder(&index.nodes_, first_leaf_idx);
   return index;
 }
 

@@ -75,8 +75,24 @@ class KdTreeIndex {
   static Result<KdTreeIndex> Build(const PointSet* points,
                                    const KdTreeConfig& config = {});
 
+  /// Extracts the subtree rooted at `node_index` (an index into
+  /// source.nodes()) as a standalone index over the same PointSet. The
+  /// extracted tree keeps the source's split planes, boxes and clustered
+  /// order verbatim: its clustered_order() is exactly the source's
+  /// clustered rows [row_begin, row_end) of that node, its node row ranges
+  /// are rebased to that slice, and its leaf ordinals to the subtree.
+  /// Queries against it therefore return the same original point ids, in
+  /// the same clustered order, as the source tree restricted to the
+  /// subtree — the invariant shard-of-N serving relies on (a shard serves
+  /// one level-log2(N) subtree and a coordinator concatenates shard
+  /// replies in shard order; see server/coordinator.h).
+  static Result<KdTreeIndex> ExtractSubtree(const KdTreeIndex& source,
+                                            uint32_t node_index);
+
   size_t dim() const { return points_->dim(); }
-  uint64_t num_points() const { return points_->size(); }
+  /// Number of points the index covers (== clustered_order().size();
+  /// smaller than points().size() for an extracted subtree).
+  uint64_t num_points() const { return clustered_order_.size(); }
   uint32_t num_levels() const { return num_levels_; }
   uint32_t num_leaves() const { return num_leaves_; }
   const std::vector<Node>& nodes() const { return nodes_; }

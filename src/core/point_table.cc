@@ -19,7 +19,9 @@ Result<Table> MaterializePointTable(BufferPool* pool, const PointSet& points,
   MDS_ASSIGN_OR_RETURN(Table table,
                        Table::Create(pool, PointTableSchema(points.dim())));
   RowBuilder row(&table.schema());
-  const uint64_t n = points.size();
+  // `order` may cover a subset of the points (a kd-subtree shard's
+  // clustered slice); an empty order means identity over the whole set.
+  const uint64_t n = order.empty() ? points.size() : order.size();
   for (uint64_t pos = 0; pos < n; ++pos) {
     uint64_t id = order.empty() ? pos : order[pos];
     row.SetInt64(0, static_cast<int64_t>(id));

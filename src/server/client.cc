@@ -114,6 +114,11 @@ Result<uint64_t> QueryClient::PointCount(const Box& box,
   return result->row_count;
 }
 
+Result<QueryClient::QueryResult> QueryClient::PointCountDetailed(
+    const Box& box, const Options& options) {
+  return BoxQueryInternal(box, 0, options, MessageType::kPointCount);
+}
+
 Result<QueryClient::QueryResult> QueryClient::BoxQuery(const Box& box,
                                                        uint64_t limit,
                                                        const Options& options) {

@@ -71,6 +71,13 @@ class QueryClient {
   /// Number of stored rows inside `box` (no row payload on the wire).
   Result<uint64_t> PointCount(const Box& box, const Options& options = {});
 
+  /// PointCount with the full reply (row_count plus the I/O accounting and
+  /// chosen_path a kBoxQuery reply carries; objids stays empty). The mdsc
+  /// coordinator uses this so merged point-count replies keep the same
+  /// instrumentation a single server reports.
+  Result<QueryResult> PointCountDetailed(const Box& box,
+                                         const Options& options = {});
+
   /// Objids of stored rows inside `box`; `limit` != 0 caps the reply to
   /// the first `limit` matches in clustered row order.
   Result<QueryResult> BoxQuery(const Box& box, uint64_t limit = 0,

@@ -1,0 +1,1009 @@
+#include "server/coordinator.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "geom/box.h"
+
+namespace mds {
+
+namespace {
+
+using protocol::MessageHeader;
+using protocol::MessageType;
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Failover-retryable statuses: kUnavailable covers overload sheds,
+/// draining backends, refused connects and mid-frame closes; kIOError
+/// covers transport faults (e.g. a write onto a connection whose peer
+/// died); kNotFound is the transport's clean-EOF code (protocol.h) — a
+/// replica that crashed or reaped an idle pooled connection closes it at
+/// a frame boundary, and mdsd never sends kNotFound as a reply status, so
+/// during an exchange it always means "peer went away", not a semantic
+/// answer. Anything else is an answer every replica would repeat (or, for
+/// kDeadlineExceeded, a bound the client chose).
+bool RetryableBackendFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kNotFound;
+}
+
+protocol::QueryReply FromClientResult(QueryClient::QueryResult result) {
+  protocol::QueryReply out;
+  out.row_count = result.row_count;
+  out.objids = std::move(result.objids);
+  out.rows_scanned = result.rows_scanned;
+  out.pages_fetched = result.pages_fetched;
+  out.pages_read = result.pages_read;
+  out.pages_skipped = result.pages_skipped;
+  out.degraded = result.degraded;
+  out.chosen_path = std::move(result.chosen_path);
+  return out;
+}
+
+}  // namespace
+
+// --- shard map -------------------------------------------------------------
+
+Result<ShardMap> ParseShardMap(const std::string& text) {
+  ShardMap map;
+  std::vector<std::string> shard_specs;
+  std::string current;
+  for (char c : text) {
+    if (c == ';' || c == '\n') {
+      shard_specs.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  shard_specs.push_back(current);
+
+  for (const std::string& raw : shard_specs) {
+    // Trim whitespace; skip blank and comment lines.
+    const size_t b = raw.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const size_t e = raw.find_last_not_of(" \t\r");
+    const std::string spec = raw.substr(b, e - b + 1);
+    if (spec[0] == '#') continue;
+
+    std::vector<BackendAddress> replicas;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+      const size_t comma = spec.find(',', pos);
+      std::string endpoint = spec.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+
+      const size_t eb = endpoint.find_first_not_of(" \t");
+      if (eb == std::string::npos) {
+        return Status::InvalidArgument("ParseShardMap: empty endpoint in '" +
+                                       spec + "'");
+      }
+      const size_t ee = endpoint.find_last_not_of(" \t");
+      endpoint = endpoint.substr(eb, ee - eb + 1);
+
+      const size_t colon = endpoint.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= endpoint.size()) {
+        return Status::InvalidArgument("ParseShardMap: endpoint '" + endpoint +
+                                       "' is not host:port");
+      }
+      BackendAddress addr;
+      addr.host = endpoint.substr(0, colon);
+      unsigned long port = 0;
+      try {
+        size_t used = 0;
+        port = std::stoul(endpoint.substr(colon + 1), &used);
+        if (used != endpoint.size() - colon - 1) port = 0;
+      } catch (...) {
+        port = 0;
+      }
+      if (port == 0 || port > 65535) {
+        return Status::InvalidArgument("ParseShardMap: bad port in '" +
+                                       endpoint + "'");
+      }
+      addr.port = static_cast<uint16_t>(port);
+      replicas.push_back(std::move(addr));
+    }
+    map.shards.push_back(std::move(replicas));
+  }
+  if (map.shards.empty()) {
+    return Status::InvalidArgument("ParseShardMap: no shards");
+  }
+  return map;
+}
+
+// --- merge helpers ---------------------------------------------------------
+
+std::vector<protocol::WireNeighbor> MergeKnnNeighbors(
+    const std::vector<std::vector<protocol::WireNeighbor>>& per_shard,
+    uint32_t k) {
+  std::vector<protocol::WireNeighbor> out;
+  std::vector<size_t> cursor(per_shard.size(), 0);
+  auto less = [](const protocol::WireNeighbor& a,
+                 const protocol::WireNeighbor& b) {
+    return a.squared_distance < b.squared_distance ||
+           (a.squared_distance == b.squared_distance && a.id < b.id);
+  };
+  while (out.size() < k) {
+    size_t best = per_shard.size();
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+      if (cursor[s] >= per_shard[s].size()) continue;
+      if (best == per_shard.size() ||
+          less(per_shard[s][cursor[s]], per_shard[best][cursor[best]])) {
+        best = s;
+      }
+    }
+    if (best == per_shard.size()) break;  // every list exhausted
+    out.push_back(per_shard[best][cursor[best]++]);
+  }
+  return out;
+}
+
+protocol::QueryReply MergeQueryReplies(
+    std::vector<protocol::QueryReply> per_shard, uint64_t limit) {
+  protocol::QueryReply out;
+  bool first = true;
+  bool mixed_path = false;
+  for (protocol::QueryReply& shard : per_shard) {
+    out.row_count += shard.row_count;
+    out.rows_scanned += shard.rows_scanned;
+    out.pages_fetched += shard.pages_fetched;
+    out.pages_read += shard.pages_read;
+    out.pages_skipped += shard.pages_skipped;
+    out.degraded = out.degraded || shard.degraded;
+    if (first) {
+      out.chosen_path = shard.chosen_path;
+      first = false;
+    } else if (shard.chosen_path != out.chosen_path) {
+      mixed_path = true;
+    }
+    if (out.objids.empty()) {
+      out.objids = std::move(shard.objids);
+    } else {
+      out.objids.insert(out.objids.end(), shard.objids.begin(),
+                        shard.objids.end());
+    }
+  }
+  if (mixed_path) out.chosen_path = "mixed";
+  if (limit != 0 && out.objids.size() > limit) out.objids.resize(limit);
+  return out;
+}
+
+// --- fan-out pool ----------------------------------------------------------
+
+/// A plain queue-based thread pool. TaskPool (common/parallel.h) is a
+/// fork/join pool whose Run() admits one caller at a time — exactly wrong
+/// for many concurrent handler threads each scattering a few jobs — so the
+/// coordinator brings its own. Jobs block on network I/O (bounded by the
+/// sub-request deadline), so the pool is sized to the replica count, not
+/// the core count.
+class Coordinator::FanoutPool {
+ public:
+  explicit FanoutPool(unsigned threads) {
+    threads_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      threads_.emplace_back([this] { Work(); });
+    }
+  }
+
+  ~FanoutPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void Submit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void Work() {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        // Drain the queue even when stopping: a handler may still be
+        // waiting on a queued attempt.
+        if (queue_.empty()) return;
+        fn = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      fn();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// One client connection: its handler thread reads frames from it; the
+/// socket is shared with Shutdown (read-side shutdown only, see Socket's
+/// thread-safety note).
+struct Coordinator::ClientConn {
+  Socket sock;
+};
+
+// --- lifecycle -------------------------------------------------------------
+
+Coordinator::Coordinator(const ShardMap& map, const CoordinatorConfig& config)
+    : config_(config) {
+  shards_.reserve(map.shards.size());
+  for (const auto& replicas : map.shards) {
+    auto shard = std::make_unique<Shard>();
+    for (const BackendAddress& addr : replicas) {
+      auto replica = std::make_unique<Replica>();
+      replica->addr = addr;
+      shard->replicas.push_back(std::move(replica));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Coordinator::~Coordinator() { Shutdown(); }
+
+Status Coordinator::Start() {
+  if (started_) return Status::FailedPrecondition("Coordinator started twice");
+  if (shards_.empty()) {
+    return Status::InvalidArgument("Coordinator: empty shard map");
+  }
+  for (const auto& shard : shards_) {
+    if (shard->replicas.empty()) {
+      return Status::InvalidArgument("Coordinator: shard with no replicas");
+    }
+  }
+
+  // Probe each shard: the first reachable replica (in preference order)
+  // reports the shard's row count and dimension. Probes do not touch the
+  // failure/backoff state — health is driven by request traffic.
+  QueryOptions probe;
+  probe.deadline_ms = config_.sub_deadline_ms;
+  served_rows_ = 0;
+  dim_ = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard* shard = shards_[s].get();
+    Status last = Status::Unavailable("no replica probed");
+    bool probed = false;
+    for (const auto& replica : shard->replicas) {
+      auto client = QueryClient::Connect(
+          replica->addr.host, replica->addr.port, config_.connect_timeout_ms);
+      if (!client.ok()) {
+        last = client.status();
+        continue;
+      }
+      auto health = client->Health(probe);
+      if (!health.ok()) {
+        last = health.status();
+        continue;
+      }
+      shard->served_rows = health->served_rows;
+      if (dim_ == 0) {
+        dim_ = health->dim;
+      } else if (health->dim != dim_) {
+        return Status::InvalidArgument(
+            "Coordinator: shard " + std::to_string(s) + " serves dimension " +
+            std::to_string(health->dim) + ", expected " + std::to_string(dim_));
+      }
+      ReleaseClient(replica.get(), std::move(*client));
+      probed = true;
+      break;
+    }
+    if (!probed) {
+      return AnnotateStatus(last, "Coordinator: shard " + std::to_string(s) +
+                                      " has no reachable replica");
+    }
+    served_rows_ += shard->served_rows;
+  }
+
+  unsigned fanout = config_.fanout_threads;
+  if (fanout == 0) {
+    size_t total_replicas = 0;
+    for (const auto& shard : shards_) total_replicas += shard->replicas.size();
+    fanout = static_cast<unsigned>(
+        std::min<size_t>(32, std::max<size_t>(4, 2 * total_replicas)));
+  }
+  fanout_ = std::make_unique<FanoutPool>(fanout);
+
+  auto listener = TcpListener::Listen(config_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  state_.store(State::kRunning);
+  stop_accept_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void Coordinator::RequestDrain() {
+  State expected = State::kRunning;
+  state_.compare_exchange_strong(expected, State::kDraining);
+}
+
+void Coordinator::Shutdown() {
+  if (!started_) return;
+  RequestDrain();
+
+  stop_accept_.store(true);
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock every handler's read loop; in-flight replies still flush
+  // (the write direction stays open until the handler closes its socket).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->sock.ShutdownRead();
+  }
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+
+  fanout_.reset();  // drains queued attempts, joins pool threads
+  for (auto& shard : shards_) {
+    for (auto& replica : shard->replicas) {
+      std::lock_guard<std::mutex> lock(replica->mu);
+      replica->idle.clear();
+    }
+  }
+  state_.store(State::kStopped);
+  started_ = false;
+}
+
+void Coordinator::AcceptLoop() {
+  while (!stop_accept_.load()) {
+    auto sock = listener_.Accept(IoDeadline::After(250));
+    if (!sock.ok()) continue;  // deadline tick or listener shutdown
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    size_t open = 0;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      open = conns_.size();
+    }
+    if (draining() || open >= config_.max_connections) {
+      counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Socket destructor closes the connection
+    }
+    (void)sock->SetNoDelay();
+    auto conn = std::make_shared<ClientConn>();
+    conn->sock = std::move(*sock);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    handler_threads_.emplace_back(
+        [this, conn]() mutable { HandleConnection(std::move(conn)); });
+  }
+}
+
+void Coordinator::HandleConnection(std::shared_ptr<ClientConn> conn) {
+  for (;;) {
+    std::vector<uint8_t> payload;
+    const IoDeadline deadline =
+        config_.idle_timeout_ms == 0
+            ? IoDeadline::Infinite()
+            : IoDeadline::After(config_.idle_timeout_ms);
+    uint64_t frame_bytes = 0;
+    Status st =
+        protocol::ReadFrame(&conn->sock, deadline, &payload, &frame_bytes);
+    counters_.bytes_in.fetch_add(frame_bytes, std::memory_order_relaxed);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kInvalidArgument ||
+          st.code() == StatusCode::kCorruption) {
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;  // clean close, idle timeout, mid-frame close or violation
+    }
+    if (!HandleFrame(conn.get(), std::move(payload))) break;
+  }
+  counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Deregister before touching the fd: Shutdown() calls ShutdownRead()
+    // on every socket still registered (under conns_mu_), so the socket
+    // must leave the registry before Close() invalidates it.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+  }
+  conn->sock.Close();
+}
+
+bool Coordinator::HandleFrame(ClientConn* conn, std::vector<uint8_t> payload) {
+  WireReader r(payload);
+  MessageHeader header;
+  if (!protocol::DecodeMessageHeader(&r, &header).ok()) {
+    // Bad version or truncated header: the stream cannot be trusted.
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  counters_.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+  if (header.type == MessageType::kHealth) {
+    HandleHealth(conn, header);
+    return true;
+  }
+  if (header.type == MessageType::kStats) {
+    HandleStats(conn, header);
+    return true;
+  }
+  if (protocol::TypeIndex(header.type) >= protocol::kNumRequestTypes) {
+    WriteReplyFrame(conn, header,
+                    Status::InvalidArgument(
+                        "unknown message type " +
+                        std::to_string(static_cast<int>(header.type))),
+                    0, nullptr);
+    return true;
+  }
+
+  // Query request: the body starts with the u32 deadline prefix.
+  const uint32_t deadline_ms = r.GetU32();
+  if (!r.ok()) {
+    counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const size_t body_offset = payload.size() - r.remaining();
+  HandleQuery(conn, header, payload, body_offset, deadline_ms);
+  return true;
+}
+
+void Coordinator::HandleHealth(ClientConn* conn, const MessageHeader& header) {
+  const auto arrival = std::chrono::steady_clock::now();
+  protocol::HealthReply reply;
+  reply.draining = draining() ? 1 : 0;
+  reply.served_rows = served_rows_;
+  reply.dim = dim_;
+  const uint32_t flags = reply.draining ? protocol::kFlagDraining : 0;
+  WriteReplyFrame(conn, header, Status::OK(), flags, [&](WireWriter* w) {
+    protocol::EncodeHealthReply(reply, w);
+  });
+  RecordReply(header.type, arrival, Status::OK());
+}
+
+void Coordinator::HandleStats(ClientConn* conn, const MessageHeader& header) {
+  // Count this reply before snapshotting so the snapshot includes the stats
+  // request itself, matching mdsd's accounting.
+  RecordReply(header.type, std::chrono::steady_clock::now(), Status::OK());
+  const protocol::ServerStatsSnapshot snapshot = Stats();
+  WriteReplyFrame(conn, header, Status::OK(), 0, [&](WireWriter* w) {
+    protocol::EncodeServerStats(snapshot, w);
+  });
+}
+
+void Coordinator::HandleQuery(ClientConn* conn, const MessageHeader& header,
+                              const std::vector<uint8_t>& payload,
+                              size_t body_offset, uint32_t deadline_ms) {
+  const auto arrival = std::chrono::steady_clock::now();
+
+  if (draining()) {
+    counters_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+    const Status shed = Status::Unavailable("coordinator is draining");
+    WriteReplyFrame(conn, header, shed, protocol::kFlagDraining, nullptr);
+    RecordReply(header.type, arrival, shed);
+    return;
+  }
+  const size_t in_flight = in_flight_.fetch_add(1) + 1;
+  uint64_t peak = counters_.in_flight_peak.load(std::memory_order_relaxed);
+  while (in_flight > peak &&
+         !counters_.in_flight_peak.compare_exchange_weak(peak, in_flight)) {
+  }
+  if (in_flight > config_.max_in_flight) {
+    in_flight_.fetch_sub(1);
+    counters_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    const Status shed = Status::Unavailable(
+        "coordinator overloaded: " + std::to_string(config_.max_in_flight) +
+        " requests in flight");
+    WriteReplyFrame(conn, header, shed, 0, nullptr);
+    RecordReply(header.type, arrival, shed);
+    return;
+  }
+
+  SubRequest req;
+  Status st = DecodeSubRequest(header, payload.data() + body_offset,
+                               payload.size() - body_offset, deadline_ms, &req);
+  protocol::QueryReply merged;
+  std::vector<protocol::WireNeighbor> neighbors;
+  if (st.ok()) {
+    st = ScatterGather(req, &merged, &neighbors);
+  }
+  in_flight_.fetch_sub(1);
+
+  if (!st.ok()) {
+    WriteReplyFrame(conn, header, st, 0, nullptr);
+    RecordReply(header.type, arrival, st);
+    return;
+  }
+  if (header.type == MessageType::kKnn) {
+    protocol::KnnReply reply;
+    reply.neighbors = std::move(neighbors);
+    WriteReplyFrame(conn, header, st, 0, [&](WireWriter* w) {
+      protocol::EncodeKnnReply(reply, w);
+    });
+  } else {
+    const uint32_t flags = merged.degraded ? protocol::kFlagDegraded : 0;
+    WriteReplyFrame(conn, header, st, flags, [&](WireWriter* w) {
+      protocol::EncodeQueryReply(merged, w);
+    });
+  }
+  RecordReply(header.type, arrival, st);
+}
+
+Status Coordinator::DecodeSubRequest(const MessageHeader& header,
+                                     const uint8_t* body, size_t body_len,
+                                     uint32_t deadline_ms, SubRequest* out) {
+  out->type = header.type;
+  out->options.deadline_ms =
+      deadline_ms != 0 ? deadline_ms : config_.sub_deadline_ms;
+  out->options.skip_corrupt = (header.flags & protocol::kFlagSkipCorrupt) != 0;
+  out->options.force_full_scan =
+      (header.flags & protocol::kFlagHintFullScan) != 0;
+  out->options.force_index = (header.flags & protocol::kFlagHintIndex) != 0;
+
+  WireReader r(body, body_len);
+  switch (header.type) {
+    case MessageType::kPointCount:
+    case MessageType::kBoxQuery: {
+      protocol::BoxQueryRequest query;
+      MDS_RETURN_NOT_OK(protocol::DecodeBoxQueryRequest(&r, &query));
+      MDS_RETURN_NOT_OK(r.ExpectEnd());
+      if (query.lo.size() != dim_) {
+        return Status::InvalidArgument(
+            "query dimension " + std::to_string(query.lo.size()) +
+            " != served dimension " + std::to_string(dim_));
+      }
+      out->lo = std::move(query.lo);
+      out->hi = std::move(query.hi);
+      out->limit = query.limit;
+      return Status::OK();
+    }
+    case MessageType::kKnn: {
+      protocol::KnnRequest knn;
+      MDS_RETURN_NOT_OK(protocol::DecodeKnnRequest(&r, &knn));
+      MDS_RETURN_NOT_OK(r.ExpectEnd());
+      if (knn.point.size() != dim_) {
+        return Status::InvalidArgument(
+            "query dimension " + std::to_string(knn.point.size()) +
+            " != served dimension " + std::to_string(dim_));
+      }
+      // The global bound check lives here: each shard only knows its own
+      // rows, so a k between one shard's rows and the total is valid
+      // globally while invalid locally (the scatter clamps per-shard k).
+      if (knn.k > served_rows_) {
+        return Status::InvalidArgument("k " + std::to_string(knn.k) +
+                                       " exceeds served rows " +
+                                       std::to_string(served_rows_));
+      }
+      out->point = std::move(knn.point);
+      out->k = knn.k;
+      return Status::OK();
+    }
+    case MessageType::kTableSample: {
+      protocol::TableSampleRequest sample;
+      MDS_RETURN_NOT_OK(protocol::DecodeTableSampleRequest(&r, &sample));
+      MDS_RETURN_NOT_OK(r.ExpectEnd());
+      if (sample.lo.size() != dim_) {
+        return Status::InvalidArgument(
+            "query dimension " + std::to_string(sample.lo.size()) +
+            " != served dimension " + std::to_string(dim_));
+      }
+      out->lo = std::move(sample.lo);
+      out->hi = std::move(sample.hi);
+      out->percent = sample.percent;
+      out->n = sample.n;
+      out->sample_seed = sample.seed;
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("not a query type");
+  }
+}
+
+Status Coordinator::ScatterGather(
+    const SubRequest& req, protocol::QueryReply* merged,
+    std::vector<protocol::WireNeighbor>* neighbors) {
+  // Attempt jobs (and hedges) can outlive this frame when a late attempt
+  // loses the race, so the request template they read is shared, not
+  // stack-owned.
+  auto shared_req = std::make_shared<const SubRequest>(req);
+  auto scatter = std::make_shared<Scatter>();
+  scatter->calls.resize(shards_.size());
+
+  // Per-shard kNN clamp: a shard cannot answer a k beyond its own rows.
+  std::vector<uint32_t> shard_k(shards_.size(), req.k);
+  if (req.type == MessageType::kKnn) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shard_k[s] = static_cast<uint32_t>(
+          std::min<uint64_t>(req.k, shards_[s]->served_rows));
+    }
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardCall& call = scatter->calls[s];
+    call.outstanding = 1;
+    std::chrono::microseconds delay{0};
+    call.hedge_possible = HedgeDelay(*shards_[s], &delay);
+    if (call.hedge_possible) call.hedge_at = now + delay;
+    fanout_->Submit([this, s, shared_req, k = shard_k[s], scatter] {
+      RunAttempt(s, /*replica_offset=*/0, shared_req, k, scatter, s,
+                 /*is_hedge=*/false);
+    });
+  }
+
+  // Gather, firing hedges as their delays expire. Attempts are bounded by
+  // the sub-request deadline (plus the client's exchange slack), so every
+  // call completes in bounded time.
+  std::vector<protocol::QueryReply> query_replies;
+  std::vector<std::vector<protocol::WireNeighbor>> knn_replies;
+  Status failure = Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(scatter->mu);
+    while (scatter->done_count < scatter->calls.size()) {
+      // Earliest pending hedge deadline among live calls, if any.
+      bool have_hedge = false;
+      std::chrono::steady_clock::time_point next{};
+      for (const ShardCall& call : scatter->calls) {
+        if (call.done || call.hedged || !call.hedge_possible) continue;
+        if (!have_hedge || call.hedge_at < next) {
+          next = call.hedge_at;
+          have_hedge = true;
+        }
+      }
+      if (!have_hedge) {
+        scatter->cv.wait(lock);
+        continue;
+      }
+      if (scatter->cv.wait_until(lock, next) == std::cv_status::timeout) {
+        const auto fire_now = std::chrono::steady_clock::now();
+        for (size_t s = 0; s < scatter->calls.size(); ++s) {
+          ShardCall& call = scatter->calls[s];
+          if (call.done || call.hedged || !call.hedge_possible) continue;
+          if (call.hedge_at > fire_now) continue;
+          call.hedged = true;
+          ++call.outstanding;
+          shards_[s]->hedges_fired.fetch_add(1, std::memory_order_relaxed);
+          fanout_->Submit([this, s, shared_req, k = shard_k[s], scatter] {
+            RunAttempt(s, /*replica_offset=*/1, shared_req, k, scatter, s,
+                       /*is_hedge=*/true);
+          });
+        }
+      }
+    }
+
+    // Extract under the lock: a losing late attempt may still touch its
+    // call's bookkeeping fields.
+    for (size_t s = 0; s < scatter->calls.size(); ++s) {
+      ShardCall& call = scatter->calls[s];
+      if (!call.status.ok()) {
+        // A failed shard fails the request — partial scatter results are
+        // not a correct answer to any query type. Prefer a retryable
+        // failure so clients treat it like a single server's shed.
+        if (failure.ok() || RetryableBackendFailure(call.status)) {
+          failure = AnnotateStatus(call.status,
+                                   "shard " + std::to_string(s) + " failed");
+        }
+        continue;
+      }
+      if (req.type == MessageType::kKnn) {
+        knn_replies.push_back(std::move(call.reply.neighbors));
+      } else {
+        query_replies.push_back(std::move(call.reply.query));
+      }
+    }
+  }
+  if (!failure.ok()) return failure;
+
+  if (req.type == MessageType::kKnn) {
+    *neighbors = MergeKnnNeighbors(knn_replies, req.k);
+    return Status::OK();
+  }
+  const uint64_t limit =
+      req.type == MessageType::kTableSample ? req.n : req.limit;
+  *merged = MergeQueryReplies(std::move(query_replies), limit);
+  if (req.type == MessageType::kTableSample) {
+    // A single server's sample reply has row_count == returned rows (the
+    // TOP(n) cuts sampling short); keep that invariant for the merge.
+    merged->row_count = merged->objids.size();
+  }
+  return Status::OK();
+}
+
+void Coordinator::RunAttempt(size_t shard_index, size_t replica_offset,
+                             std::shared_ptr<const SubRequest> req,
+                             uint32_t k_for_shard,
+                             std::shared_ptr<Scatter> scatter,
+                             size_t call_index, bool is_hedge) {
+  Shard* shard = shards_[shard_index].get();
+  if (!is_hedge) {
+    shard->requests.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Preference order: replicas from replica_offset, healthy ones only —
+  // unless that filters out everything, in which case try them all (a
+  // likely-failing attempt beats a certain failure, and one success
+  // resets the backoff).
+  const size_t n = shard->replicas.size();
+  std::vector<Replica*> candidates;
+  candidates.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Replica* replica = shard->replicas[(replica_offset + i) % n].get();
+    if (ReplicaHealthy(*replica)) candidates.push_back(replica);
+  }
+  if (candidates.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      candidates.push_back(shard->replicas[(replica_offset + i) % n].get());
+    }
+  }
+
+  Status last = Status::Unavailable("no replica attempted");
+  SubReply reply;
+  bool success = false;
+  bool attempted = false;
+  for (Replica* replica : candidates) {
+    {
+      // The other attempt may have completed the call while we were
+      // failing over; stop burning backends on an answered question.
+      std::lock_guard<std::mutex> lock(scatter->mu);
+      if (scatter->calls[call_index].done) break;
+    }
+    if (attempted) {
+      shard->failovers.fetch_add(1, std::memory_order_relaxed);
+    }
+    attempted = true;
+    last = AttemptReplica(shard, replica, *req, k_for_shard, &reply);
+    if (last.ok()) {
+      success = true;
+      break;
+    }
+    shard->backend_errors.fetch_add(1, std::memory_order_relaxed);
+    if (!RetryableBackendFailure(last)) break;  // semantic error: stop
+  }
+
+  std::lock_guard<std::mutex> lock(scatter->mu);
+  ShardCall& call = scatter->calls[call_index];
+  --call.outstanding;
+  if (call.done) return;  // the other attempt won; nothing to record
+  if (success) {
+    call.done = true;
+    call.status = Status::OK();
+    call.reply = std::move(reply);
+    if (is_hedge) {
+      shard->hedges_won.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++scatter->done_count;
+    scatter->cv.notify_all();
+    return;
+  }
+  call.status = last;
+  if (call.outstanding > 0) return;  // a hedge is still in flight
+  // Don't wait out a pending hedge timer: this attempt already walked the
+  // replicas, so a hedge could only repeat what just failed.
+  call.done = true;
+  ++scatter->done_count;
+  scatter->cv.notify_all();
+}
+
+Status Coordinator::AttemptReplica(Shard* shard, Replica* replica,
+                                   const SubRequest& req, uint32_t k_for_shard,
+                                   SubReply* out) {
+  auto client = AcquireClient(replica);
+  if (!client.ok()) {
+    MarkReplicaFailure(replica);
+    return client.status();
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  Status st;
+  switch (req.type) {
+    case MessageType::kPointCount: {
+      auto result = client->PointCountDetailed(Box(req.lo, req.hi), req.options);
+      if (result.ok()) out->query = FromClientResult(std::move(*result));
+      st = result.status();
+      break;
+    }
+    case MessageType::kBoxQuery: {
+      auto result =
+          client->BoxQuery(Box(req.lo, req.hi), req.limit, req.options);
+      if (result.ok()) out->query = FromClientResult(std::move(*result));
+      st = result.status();
+      break;
+    }
+    case MessageType::kKnn: {
+      auto result = client->Knn(req.point, k_for_shard, req.options);
+      if (result.ok()) out->neighbors = std::move(result->neighbors);
+      st = result.status();
+      break;
+    }
+    case MessageType::kTableSample: {
+      auto result = client->TableSample(Box(req.lo, req.hi), req.percent,
+                                        req.n, req.sample_seed, req.options);
+      if (result.ok()) out->query = FromClientResult(std::move(*result));
+      st = result.status();
+      break;
+    }
+    default:
+      st = Status::Internal("ScatterGather on a non-query type");
+      break;
+  }
+
+  if (st.ok()) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    shard->latency_us.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    MarkReplicaSuccess(replica);
+  } else if (RetryableBackendFailure(st)) {
+    MarkReplicaFailure(replica);
+  }
+  // A failed exchange already closed the client's socket and ReleaseClient
+  // only pools connections that are still good; a semantic error from the
+  // backend (e.g. InvalidArgument) leaves the connection healthy.
+  ReleaseClient(replica, std::move(*client));
+  return st;
+}
+
+Result<QueryClient> Coordinator::AcquireClient(Replica* replica) {
+  {
+    std::lock_guard<std::mutex> lock(replica->mu);
+    if (!replica->idle.empty()) {
+      QueryClient client = std::move(replica->idle.back());
+      replica->idle.pop_back();
+      return client;
+    }
+  }
+  return QueryClient::Connect(replica->addr.host, replica->addr.port,
+                              config_.connect_timeout_ms);
+}
+
+void Coordinator::ReleaseClient(Replica* replica, QueryClient client) {
+  if (!client.connected()) return;
+  std::lock_guard<std::mutex> lock(replica->mu);
+  if (replica->idle.size() < config_.pool_connections_per_replica) {
+    replica->idle.push_back(std::move(client));
+  }
+}
+
+bool Coordinator::ReplicaHealthy(const Replica& replica) const {
+  const int64_t retry_at = replica.retry_at_ms.load(std::memory_order_acquire);
+  return retry_at == 0 || SteadyNowMs() >= retry_at;
+}
+
+void Coordinator::MarkReplicaFailure(Replica* replica) {
+  const uint32_t failures =
+      replica->consecutive_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  uint64_t backoff = config_.replica_backoff_ms;
+  for (uint32_t i = 1; i < failures && backoff < config_.replica_backoff_max_ms;
+       ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min<uint64_t>(backoff, config_.replica_backoff_max_ms);
+  replica->retry_at_ms.store(SteadyNowMs() + static_cast<int64_t>(backoff),
+                             std::memory_order_release);
+}
+
+void Coordinator::MarkReplicaSuccess(Replica* replica) {
+  replica->consecutive_failures.store(0, std::memory_order_release);
+  replica->retry_at_ms.store(0, std::memory_order_release);
+}
+
+bool Coordinator::HedgeDelay(const Shard& shard,
+                             std::chrono::microseconds* delay) const {
+  if (shard.replicas.size() < 2) return false;
+  if (config_.hedge_delay_ms != 0) {
+    *delay = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::milliseconds(config_.hedge_delay_ms));
+    return true;
+  }
+  const Histogram::Snapshot snap = shard.latency_us.TakeSnapshot();
+  if (snap.count < config_.hedge_min_samples) return false;
+  // Never hedge instantly even when the shard is very fast: below ~1ms
+  // the hedge would routinely lose the race it was meant to win.
+  *delay = std::chrono::microseconds(
+      std::max<uint64_t>(1000, snap.ValueAtPercentile(99)));
+  return true;
+}
+
+void Coordinator::WriteReplyFrame(
+    ClientConn* conn, const MessageHeader& req, const Status& status,
+    uint32_t extra_flags, const std::function<void(WireWriter*)>& encode_body) {
+  std::vector<uint8_t> payload;
+  WireWriter w(&payload);
+  MessageHeader header;
+  header.type = req.type;
+  header.flags = protocol::kFlagReply | extra_flags;
+  header.request_id = req.request_id;
+  protocol::EncodeMessageHeader(header, &w);
+  protocol::EncodeStatus(status, &w);
+  if (status.ok() && encode_body) encode_body(&w);
+  // Writes on one connection come only from its own handler thread, so
+  // replies never interleave. A failed write surfaces on the next read.
+  uint64_t wire_bytes = 0;
+  (void)protocol::WriteFrame(&conn->sock, IoDeadline::After(30000), payload,
+                             &wire_bytes);
+  counters_.bytes_out.fetch_add(wire_bytes, std::memory_order_relaxed);
+}
+
+void Coordinator::RecordReply(MessageType type,
+                              std::chrono::steady_clock::time_point arrival,
+                              const Status& status) {
+  const size_t idx = protocol::TypeIndex(type);
+  if (idx >= protocol::kNumRequestTypes) return;
+  const auto elapsed = std::chrono::steady_clock::now() - arrival;
+  latency_us_[idx].Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+  if (status.ok()) {
+    counters_.replies_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.replies_error.fetch_add(1, std::memory_order_relaxed);
+    counters_.type_errors[idx].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+protocol::ServerStatsSnapshot Coordinator::Stats() const {
+  protocol::ServerStatsSnapshot out;
+  out.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  out.connections_closed =
+      counters_.connections_closed.load(std::memory_order_relaxed);
+  out.protocol_errors =
+      counters_.protocol_errors.load(std::memory_order_relaxed);
+  out.requests_total = counters_.requests_total.load(std::memory_order_relaxed);
+  out.replies_ok = counters_.replies_ok.load(std::memory_order_relaxed);
+  out.replies_error = counters_.replies_error.load(std::memory_order_relaxed);
+  out.rejected_overload =
+      counters_.rejected_overload.load(std::memory_order_relaxed);
+  out.rejected_draining =
+      counters_.rejected_draining.load(std::memory_order_relaxed);
+  out.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  out.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  out.in_flight_peak = counters_.in_flight_peak.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < protocol::kNumRequestTypes; ++i) {
+    const Histogram::Snapshot snap = latency_us_[i].TakeSnapshot();
+    protocol::RequestTypeStats& t = out.per_type[i];
+    t.count = snap.count;
+    t.errors = counters_.type_errors[i].load(std::memory_order_relaxed);
+    t.p50_us = snap.ValueAtPercentile(50);
+    t.p95_us = snap.ValueAtPercentile(95);
+    t.p99_us = snap.ValueAtPercentile(99);
+    t.max_us = snap.ValueAtPercentile(100);
+    t.mean_us = snap.Mean();
+  }
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    protocol::ShardStatsEntry entry;
+    entry.replicas = static_cast<uint32_t>(shard->replicas.size());
+    for (const auto& replica : shard->replicas) {
+      if (ReplicaHealthy(*replica)) ++entry.healthy_replicas;
+    }
+    entry.requests = shard->requests.load(std::memory_order_relaxed);
+    entry.backend_errors = shard->backend_errors.load(std::memory_order_relaxed);
+    entry.failovers = shard->failovers.load(std::memory_order_relaxed);
+    entry.hedges_fired = shard->hedges_fired.load(std::memory_order_relaxed);
+    entry.hedges_won = shard->hedges_won.load(std::memory_order_relaxed);
+    const Histogram::Snapshot snap = shard->latency_us.TakeSnapshot();
+    entry.p50_us = snap.ValueAtPercentile(50);
+    entry.p99_us = snap.ValueAtPercentile(99);
+    out.shards.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace mds

@@ -1,0 +1,346 @@
+#ifndef MDS_SERVER_COORDINATOR_H_
+#define MDS_SERVER_COORDINATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/socket.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace mds {
+
+/// One backend mdsd endpoint (numeric IPv4 host).
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Shard map: shards[i] is the ordered replica list of shard i. Replica 0
+/// is preferred; later replicas are failover (and hedge) targets, so list
+/// the nearest replica first. Shard i must serve the i-th of shard_count
+/// kd-subtree slices of the same catalog — every replica of shard i runs
+/// `mdsd --shard-index=i --shard-count=N` with identical --n and --seed.
+struct ShardMap {
+  std::vector<std::vector<BackendAddress>> shards;
+};
+
+/// Parses a shard-map string: shards are separated by ';' or newlines,
+/// replicas of one shard by ','. Example ("2 shards x 2 replicas"):
+///
+///   127.0.0.1:7001,127.0.0.1:7101;127.0.0.1:7002,127.0.0.1:7102
+///
+/// The same grammar reads a shard-map file (one shard per line; blank
+/// lines and '#' comment lines are skipped).
+Result<ShardMap> ParseShardMap(const std::string& text);
+
+/// mdsc tuning knobs.
+struct CoordinatorConfig {
+  /// Loopback TCP port; 0 picks an ephemeral port (Coordinator::port()).
+  uint16_t port = 0;
+  /// Connections beyond this are accepted and closed immediately.
+  size_t max_connections = 256;
+  /// Admission cap on concurrently coordinated client requests; beyond it
+  /// requests are shed with a retryable kUnavailable, like mdsd.
+  size_t max_in_flight = 256;
+  /// Per-frame read deadline on client connections (slow-loris / idle
+  /// close); 0 = none.
+  uint32_t idle_timeout_ms = 30000;
+  /// TCP connect bound for backend connections.
+  uint64_t connect_timeout_ms = 2000;
+  /// Deadline applied to backend sub-requests when the client request
+  /// carries none: a wedged backend must not stall a fan-out forever —
+  /// the bound is what lets failover and hedging act.
+  uint32_t sub_deadline_ms = 10000;
+  /// Fixed hedge delay in milliseconds; 0 = adaptive (a shard's observed
+  /// p99 sub-request latency, once hedge_min_samples successes have been
+  /// recorded — before that, no hedging). Hedging also requires the shard
+  /// to have >= 2 replicas.
+  uint32_t hedge_delay_ms = 0;
+  uint64_t hedge_min_samples = 64;
+  /// Consecutive-failure backoff for an unhealthy replica: after the k-th
+  /// consecutive failure the replica is skipped for
+  /// min(replica_backoff_ms * 2^(k-1), replica_backoff_max_ms). All
+  /// replicas of a shard unhealthy => they are tried anyway (better a
+  /// likely-failing attempt than certain failure).
+  uint32_t replica_backoff_ms = 500;
+  uint32_t replica_backoff_max_ms = 8000;
+  /// Scatter worker threads shared by all in-flight fan-outs;
+  /// 0 = min(32, max(4, 2 * total replicas)).
+  unsigned fanout_threads = 0;
+  /// Idle pooled connections kept per replica.
+  size_t pool_connections_per_replica = 8;
+};
+
+// --- merge helpers ---------------------------------------------------------
+//
+// Pure functions, unit-tested directly (coordinator_test).
+
+/// k-way merge of per-shard kNN replies: each input list is sorted
+/// ascending by (squared_distance, id) — the order a single mdsd returns —
+/// and the output is the first min(k, total) of the merged union in that
+/// same order. Ties across shards break by id, exactly like the engine's
+/// Neighbor::operator<, so the merge of shard replies equals a single
+/// server's reply bit for bit. Empty inputs are fine.
+std::vector<protocol::WireNeighbor> MergeKnnNeighbors(
+    const std::vector<std::vector<protocol::WireNeighbor>>& per_shard,
+    uint32_t k);
+
+/// Folds shard box-like replies in shard order: row_count and the I/O
+/// counters sum, objids concatenate (shard order == global clustered
+/// order, so concatenation is the single-server order), degraded ORs,
+/// chosen_path collapses to the common value or "mixed". `limit` != 0
+/// truncates the concatenated objids, matching the single server's TOP.
+protocol::QueryReply MergeQueryReplies(
+    std::vector<protocol::QueryReply> per_shard, uint64_t limit);
+
+// ---------------------------------------------------------------------------
+
+/// mdsc — the shard coordinator: a server-shaped front end that speaks the
+/// exact mdsd wire protocol to its clients and fans every query out to N
+/// backend shards (each possibly replicated) over pooled QueryClient
+/// connections, merging the replies.
+///
+/// Routing and merge semantics (DESIGN.md "Scale-out"):
+///  - kPointCount / kBoxQuery: scatter to every shard unchanged (the limit
+///    included — each shard's contribution to a TOP(limit) is at most
+///    limit rows); counts sum, objids concatenate in shard order.
+///  - kKnn: per-shard k_i = min(k, shard rows); replies k-way merge by
+///    (squared_distance, id). k > total served rows is InvalidArgument,
+///    exactly like a single server.
+///  - kTableSample: scatter unchanged, concatenate, truncate to n. Page
+///    sampling is physical-layout-dependent, so the sampled rows match a
+///    single server's distribution and determinism (same seed => same
+///    reply through the same topology) but not its exact row set.
+///  - kHealth / kStats: answered by the coordinator itself; stats carry
+///    per-shard routing counters (ShardStatsEntry).
+///
+/// Failover: replicas are tried in preference order; an attempt that
+/// fails with a retryable transport-or-shed status (kUnavailable — sheds,
+/// draining backends, connect failures, mid-frame closes — or kIOError)
+/// moves to the next healthy replica and counts one failover. Non-
+/// retryable backend errors (e.g. InvalidArgument) return immediately.
+/// Repeated failures put a replica in exponential backoff.
+///
+/// Hedging: while a shard's primary attempt is outstanding, the fan-out
+/// waits the hedge delay (fixed, or the shard's observed p99); on expiry
+/// a second attempt starts on the next replica, and the first success
+/// wins. Hedges fired/won are counted per shard.
+///
+/// Threading model: one blocking accept thread plus one handler thread
+/// per client connection (the coordinator holds no dataset and does no
+/// engine work — its per-connection state is one stack, and a handler
+/// spends its life blocked on the scatter anyway); sub-requests run on a
+/// shared fan-out thread pool so one request's shards proceed in
+/// parallel. Graceful drain mirrors mdsd: RequestDrain() sheds new query
+/// requests with kUnavailable + kFlagDraining while admitted fan-outs
+/// complete; Shutdown() drains, stops the acceptor, shuts the read side
+/// of every client connection (in-flight replies still flush) and joins.
+class Coordinator {
+ public:
+  Coordinator(const ShardMap& map, const CoordinatorConfig& config);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Probes every shard (first reachable replica wins), validates that
+  /// dimensions agree across shards, binds the port and starts the accept
+  /// thread. Fails if any shard has no reachable replica.
+  Status Start();
+
+  /// Bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  bool draining() const { return state_.load() != State::kRunning; }
+
+  /// Stops accepting connections and sheds new query requests; admitted
+  /// fan-outs complete. Safe to call more than once.
+  void RequestDrain();
+
+  /// Full graceful stop. Idempotent.
+  void Shutdown();
+
+  /// The same snapshot a kStats request returns (front-end counters plus
+  /// per-shard routing counters).
+  protocol::ServerStatsSnapshot Stats() const;
+
+  /// Total rows served across shards / their common dimension (valid
+  /// after Start).
+  uint64_t served_rows() const { return served_rows_; }
+  uint32_t dim() const { return dim_; }
+
+ private:
+  enum class State { kRunning, kDraining, kStopped };
+
+  /// One backend replica: its address, a small pool of idle connections,
+  /// and consecutive-failure health state.
+  struct Replica {
+    BackendAddress addr;
+    std::mutex mu;
+    std::vector<QueryClient> idle;  // pooled connections, guarded by mu
+    std::atomic<uint32_t> consecutive_failures{0};
+    /// Steady-clock milliseconds before which the replica is skipped
+    /// (0 = healthy).
+    std::atomic<int64_t> retry_at_ms{0};
+  };
+
+  /// One shard: its replicas plus routing counters.
+  struct Shard {
+    std::vector<std::unique_ptr<Replica>> replicas;
+    uint64_t served_rows = 0;  // from the Start() probe
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> backend_errors{0};
+    std::atomic<uint64_t> failovers{0};
+    std::atomic<uint64_t> hedges_fired{0};
+    std::atomic<uint64_t> hedges_won{0};
+    Histogram latency_us;  // successful sub-request round trips
+  };
+
+  /// One decoded client query request, in the shape sub-requests are
+  /// re-issued in (per-shard kNN k varies, so shards cannot share one
+  /// encoded body).
+  struct SubRequest {
+    protocol::MessageType type = protocol::MessageType::kPointCount;
+    QueryOptions options;
+    std::vector<double> lo, hi;  // box-like
+    uint64_t limit = 0;
+    std::vector<double> point;  // kNN
+    uint32_t k = 0;
+    double percent = 1.0;  // sample
+    uint64_t n = 1;
+    uint64_t sample_seed = 0;
+  };
+
+  /// What one backend attempt returns.
+  struct SubReply {
+    protocol::QueryReply query;                     // box-like types
+    std::vector<protocol::WireNeighbor> neighbors;  // kKnn
+  };
+
+  /// Per-shard slot of one fan-out: attempt jobs complete it under mu.
+  struct ShardCall {
+    Status status = Status::OK();
+    SubReply reply;
+    bool done = false;     ///< a success landed, or every attempt failed
+    bool hedged = false;   ///< a hedge attempt has been launched
+    int outstanding = 0;   ///< attempts still running
+    std::chrono::steady_clock::time_point hedge_at;
+    bool hedge_possible = false;
+  };
+
+  /// One client request's scatter state, shared by the handler thread and
+  /// the attempt jobs.
+  struct Scatter {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<ShardCall> calls;
+    size_t done_count = 0;
+  };
+
+  class FanoutPool;
+  struct ClientConn;
+
+  void AcceptLoop();
+  void HandleConnection(std::shared_ptr<ClientConn> conn);
+  /// Handles one decoded request frame; returns false when the connection
+  /// must close (protocol violation).
+  bool HandleFrame(ClientConn* conn, std::vector<uint8_t> payload);
+  void HandleHealth(ClientConn* conn, const protocol::MessageHeader& header);
+  void HandleStats(ClientConn* conn, const protocol::MessageHeader& header);
+  /// Decode, validate, scatter, merge, reply for one query request.
+  void HandleQuery(ClientConn* conn, const protocol::MessageHeader& header,
+                   const std::vector<uint8_t>& payload, size_t body_offset,
+                   uint32_t deadline_ms);
+
+  /// Decodes and validates the request body into a SubRequest template
+  /// (per-shard k is filled in at scatter time).
+  Status DecodeSubRequest(const protocol::MessageHeader& header,
+                          const uint8_t* body, size_t body_len,
+                          uint32_t deadline_ms, SubRequest* out);
+  /// Runs the scatter-gather for one validated request. On success the
+  /// merged reply is in *merged / *neighbors (by type).
+  Status ScatterGather(const SubRequest& req, protocol::QueryReply* merged,
+                       std::vector<protocol::WireNeighbor>* neighbors);
+
+  /// One attempt: walk the shard's replicas starting at replica_offset,
+  /// failing over on retryable errors, and complete the ShardCall. The
+  /// request is shared because a losing hedge can outlive the client
+  /// request's stack frame.
+  void RunAttempt(size_t shard_index, size_t replica_offset,
+                  std::shared_ptr<const SubRequest> req, uint32_t k_for_shard,
+                  std::shared_ptr<Scatter> scatter, size_t call_index,
+                  bool is_hedge);
+  /// One replica exchange. Returns the backend's status.
+  Status AttemptReplica(Shard* shard, Replica* replica, const SubRequest& req,
+                        uint32_t k_for_shard, SubReply* out);
+
+  Result<QueryClient> AcquireClient(Replica* replica);
+  void ReleaseClient(Replica* replica, QueryClient client);
+  bool ReplicaHealthy(const Replica& replica) const;
+  void MarkReplicaFailure(Replica* replica);
+  void MarkReplicaSuccess(Replica* replica);
+
+  /// Hedge delay for a shard; returns false when hedging should not fire
+  /// (single replica, or adaptive mode without enough samples).
+  bool HedgeDelay(const Shard& shard, std::chrono::microseconds* delay) const;
+
+  void WriteReplyFrame(ClientConn* conn, const protocol::MessageHeader& req,
+                       const Status& status, uint32_t extra_flags,
+                       const std::function<void(WireWriter*)>& encode_body);
+  void RecordReply(protocol::MessageType type,
+                   std::chrono::steady_clock::time_point arrival,
+                   const Status& status);
+
+  CoordinatorConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t served_rows_ = 0;
+  uint32_t dim_ = 0;
+  uint16_t port_ = 0;
+
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::unique_ptr<FanoutPool> fanout_;
+
+  std::atomic<State> state_{State::kStopped};
+  bool started_ = false;
+  std::atomic<bool> stop_accept_{false};
+
+  // Live client connections, so Shutdown can unblock their read loops.
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<ClientConn>> conns_;
+  std::vector<std::thread> handler_threads_;
+
+  std::atomic<size_t> in_flight_{0};
+
+  struct Counters {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> requests_total{0};
+    std::atomic<uint64_t> replies_ok{0};
+    std::atomic<uint64_t> replies_error{0};
+    std::atomic<uint64_t> rejected_overload{0};
+    std::atomic<uint64_t> rejected_draining{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> in_flight_peak{0};
+    std::atomic<uint64_t> type_errors[protocol::kNumRequestTypes] = {};
+  };
+  mutable Counters counters_;
+  Histogram latency_us_[protocol::kNumRequestTypes];
+};
+
+}  // namespace mds
+
+#endif  // MDS_SERVER_COORDINATOR_H_

@@ -1,5 +1,7 @@
 #include "server/dataset.h"
 
+#include <string>
+
 namespace mds {
 
 Result<ServedDataset> ServedDataset::Build(const DatasetConfig& config) {
@@ -12,7 +14,35 @@ Result<ServedDataset> ServedDataset::Build(const DatasetConfig& config) {
 
   auto tree = KdTreeIndex::Build(&ds.catalog_->colors);
   if (!tree.ok()) return AnnotateStatus(tree.status(), "ServedDataset");
-  ds.tree_ = std::make_unique<KdTreeIndex>(std::move(*tree));
+
+  if (config.shard_count > 1) {
+    const uint32_t n = config.shard_count;
+    if ((n & (n - 1)) != 0) {
+      return Status::InvalidArgument("ServedDataset: shard_count " +
+                                     std::to_string(n) +
+                                     " is not a power of two");
+    }
+    if (config.shard_index >= n) {
+      return Status::InvalidArgument(
+          "ServedDataset: shard_index " + std::to_string(config.shard_index) +
+          " out of range for shard_count " + std::to_string(n));
+    }
+    if (n > tree->num_leaves()) {
+      return Status::InvalidArgument(
+          "ServedDataset: shard_count " + std::to_string(n) + " exceeds " +
+          std::to_string(tree->num_leaves()) + " tree leaves");
+    }
+    uint32_t level = 0;
+    while ((1u << level) < n) ++level;
+    const uint32_t node_index = (1u << level) - 1 + config.shard_index;
+    auto sub = KdTreeIndex::ExtractSubtree(*tree, node_index);
+    if (!sub.ok()) return AnnotateStatus(sub.status(), "ServedDataset");
+    ds.tree_ = std::make_unique<KdTreeIndex>(std::move(*sub));
+    ds.shard_index_ = config.shard_index;
+    ds.shard_count_ = n;
+  } else {
+    ds.tree_ = std::make_unique<KdTreeIndex>(std::move(*tree));
+  }
 
   ds.pager_ = std::make_unique<MemPager>();
   ds.pool_ = std::make_unique<BufferPool>(ds.pager_.get(), config.pool_pages);

@@ -25,6 +25,18 @@ struct DatasetConfig {
   /// Buffer-pool capacity in pages; defaults comfortably above the table
   /// size so steady-state serving is hit-dominated.
   size_t pool_pages = 1u << 16;
+  /// Shard-of-N serving (mdsd --shard-index/--shard-count behind an mdsc
+  /// coordinator). Every shard generates the identical full catalog and
+  /// kd-tree (both deterministic in num_rows and seed), then materializes
+  /// only the clustered slice owned by the shard_index-th subtree at tree
+  /// level log2(shard_count). Because the shard's tree and table keep the
+  /// global clustered order and global objids verbatim
+  /// (KdTreeIndex::ExtractSubtree), concatenating shard replies in shard
+  /// order reproduces a single server's replies exactly. shard_count must
+  /// be a power of two not exceeding the tree's leaf count; 1 = serve
+  /// everything.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
 };
 
 class ServedDataset {
@@ -39,6 +51,8 @@ class ServedDataset {
   BufferPool* pool() const { return pool_.get(); }
   size_t dim() const { return binding_.dim; }
   uint64_t num_rows() const { return binding_.table->num_rows(); }
+  uint32_t shard_index() const { return shard_index_; }
+  uint32_t shard_count() const { return shard_count_; }
 
   /// Monotonically increasing dataset generation, starting at 1. The
   /// serving layer keys memoized replies by it (server/response_cache.h):
@@ -61,6 +75,8 @@ class ServedDataset {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Table> table_;
   PointTableBinding binding_;
+  uint32_t shard_index_ = 0;
+  uint32_t shard_count_ = 1;
   // Heap-allocated so the dataset stays movable (Result<ServedDataset>).
   std::unique_ptr<std::atomic<uint64_t>> epoch_ =
       std::make_unique<std::atomic<uint64_t>>(1);

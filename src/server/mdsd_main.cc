@@ -4,6 +4,12 @@
 //        [--seed=N] [--quick] [--port-file=PATH]
 //        [--cache-bytes=N] [--no-cache]
 //        [--io-threads=N] [--pipeline-batch=N]
+//        [--shard-index=I --shard-count=N]
+//
+// With --shard-count=N > 1 the process serves only the shard-index-th of N
+// kd-subtree slices of the catalog (same --n and --seed on every shard);
+// an mdsc coordinator (mdsc_main.cc) fans client requests out across the
+// shards and merges the replies.
 //
 // Serves a synthetic SDSS color catalog over the loopback wire protocol
 // (src/server/protocol.h). --port=0 (the default) binds an ephemeral port
@@ -74,12 +80,17 @@ int main(int argc, char** argv) {
       server_config.io_threads = static_cast<unsigned>(std::stoul(v));
     } else if (ParseFlag(argv[i], "--pipeline-batch", &v)) {
       server_config.pipeline_batch_max = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--shard-index", &v)) {
+      dataset_config.shard_index = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--shard-count", &v)) {
+      dataset_config.shard_count = static_cast<uint32_t>(std::stoul(v));
     } else {
       std::fprintf(stderr,
                    "usage: mdsd [--port=N] [--n=ROWS] [--workers=N] "
                    "[--max-in-flight=N] [--seed=N] [--quick] "
                    "[--port-file=PATH] [--cache-bytes=N] [--no-cache] "
-                   "[--io-threads=N] [--pipeline-batch=N]\n");
+                   "[--io-threads=N] [--pipeline-batch=N] "
+                   "[--shard-index=I --shard-count=N]\n");
       return 2;
     }
   }
@@ -105,9 +116,17 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
 
-  std::printf("mdsd: serving %llu rows on 127.0.0.1:%u\n",
-              static_cast<unsigned long long>(dataset->num_rows()),
-              static_cast<unsigned>(server.port()));
+  if (dataset_config.shard_count > 1) {
+    std::printf("mdsd: serving shard %u/%u, %llu rows on 127.0.0.1:%u\n",
+                static_cast<unsigned>(dataset_config.shard_index),
+                static_cast<unsigned>(dataset_config.shard_count),
+                static_cast<unsigned long long>(dataset->num_rows()),
+                static_cast<unsigned>(server.port()));
+  } else {
+    std::printf("mdsd: serving %llu rows on 127.0.0.1:%u\n",
+                static_cast<unsigned long long>(dataset->num_rows()),
+                static_cast<unsigned>(server.port()));
+  }
   std::fflush(stdout);
   if (!port_file.empty()) {
     if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {

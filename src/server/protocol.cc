@@ -237,6 +237,18 @@ void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w) {
     w->PutU64(t.max_us);
     w->PutF64(t.mean_us);
   }
+  w->PutU32(static_cast<uint32_t>(stats.shards.size()));
+  for (const ShardStatsEntry& s : stats.shards) {
+    w->PutU32(s.replicas);
+    w->PutU32(s.healthy_replicas);
+    w->PutU64(s.requests);
+    w->PutU64(s.backend_errors);
+    w->PutU64(s.failovers);
+    w->PutU64(s.hedges_fired);
+    w->PutU64(s.hedges_won);
+    w->PutU64(s.p50_us);
+    w->PutU64(s.p99_us);
+  }
 }
 
 Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
@@ -270,6 +282,25 @@ Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
     t.p99_us = r->GetU64();
     t.max_us = r->GetU64();
     t.mean_us = r->GetF64();
+  }
+  const uint32_t num_shards = r->GetU32();
+  if (!r->ok()) return r->status();
+  if (num_shards > kMaxShardStats) {
+    return Status::InvalidArgument("protocol: shard stats count " +
+                                   std::to_string(num_shards) +
+                                   " exceeds cap");
+  }
+  stats->shards.resize(num_shards);
+  for (ShardStatsEntry& s : stats->shards) {
+    s.replicas = r->GetU32();
+    s.healthy_replicas = r->GetU32();
+    s.requests = r->GetU64();
+    s.backend_errors = r->GetU64();
+    s.failovers = r->GetU64();
+    s.hedges_fired = r->GetU64();
+    s.hedges_won = r->GetU64();
+    s.p50_us = r->GetU64();
+    s.p99_us = r->GetU64();
   }
   return r->status();
 }

@@ -153,6 +153,24 @@ struct RequestTypeStats {
   double mean_us = 0.0;
 };
 
+/// Per-shard routing counters inside a stats reply. Only the mdsc
+/// coordinator emits a non-empty list (one entry per shard, in shard
+/// order); a plain mdsd emits zero entries. Latencies are microseconds
+/// over successful backend sub-requests for that shard.
+struct ShardStatsEntry {
+  uint32_t replicas = 0;          ///< configured replicas
+  uint32_t healthy_replicas = 0;  ///< replicas not in failure backoff
+  uint64_t requests = 0;          ///< sub-requests routed to this shard
+  uint64_t backend_errors = 0;    ///< failed attempts, summed over replicas
+  uint64_t failovers = 0;         ///< retryable failures retried elsewhere
+  uint64_t hedges_fired = 0;      ///< speculative second attempts sent
+  uint64_t hedges_won = 0;        ///< hedges that beat the primary attempt
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+};
+/// Decode-side cap on the shard list length (hostile-length guard).
+inline constexpr uint32_t kMaxShardStats = 4096;
+
 /// kStats reply: the server's counters since start, including the embedded
 /// BufferPool read-counter delta over the same window.
 struct ServerStatsSnapshot {
@@ -180,6 +198,9 @@ struct ServerStatsSnapshot {
   uint64_t cache_entries = 0;
   uint64_t dataset_epoch = 0;     ///< generation the served data is at
   RequestTypeStats per_type[kNumRequestTypes];
+  /// Coordinator-only per-shard counters (empty from a plain mdsd); an
+  /// additive tail extension of the stats body — see docs/PROTOCOL.md.
+  std::vector<ShardStatsEntry> shards;
 };
 
 /// kHealth reply body.

@@ -1,0 +1,639 @@
+// Tests of the mdsc shard coordinator: the shard-map grammar, the pure
+// merge helpers, and the full scatter-gather path end-to-end — parity
+// over 2 and 4 shards against a single mdsd (rows AND ordering), replica
+// failover under a mid-load backend kill, hedging against a stalled
+// replica, graceful drain, and the per-shard routing counters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "sdss/catalog.h"
+#include "server/client.h"
+#include "server/coordinator.h"
+#include "server/dataset.h"
+#include "server/server.h"
+
+namespace mds {
+namespace {
+
+using protocol::WireNeighbor;
+
+// --- ParseShardMap ---------------------------------------------------------
+
+TEST(ParseShardMapTest, SemicolonsCommasAndReplicaOrder) {
+  auto map =
+      ParseShardMap("127.0.0.1:7001,127.0.0.1:7101;127.0.0.1:7002");
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  ASSERT_EQ(map->shards.size(), 2u);
+  ASSERT_EQ(map->shards[0].size(), 2u);  // two replicas, nearest first
+  EXPECT_EQ(map->shards[0][0].port, 7001);
+  EXPECT_EQ(map->shards[0][1].port, 7101);
+  ASSERT_EQ(map->shards[1].size(), 1u);
+  EXPECT_EQ(map->shards[1][0].host, "127.0.0.1");
+  EXPECT_EQ(map->shards[1][0].port, 7002);
+}
+
+TEST(ParseShardMapTest, FileGrammarNewlinesCommentsBlanks) {
+  auto map = ParseShardMap(
+      "# the replica sets, one shard per line\n"
+      "\n"
+      "  127.0.0.1:7001 , 127.0.0.1:7101  \n"
+      "127.0.0.1:7002\n");
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  ASSERT_EQ(map->shards.size(), 2u);
+  EXPECT_EQ(map->shards[0].size(), 2u);  // whitespace around ',' is trimmed
+  EXPECT_EQ(map->shards[0][1].port, 7101);
+}
+
+TEST(ParseShardMapTest, RejectsMalformedEndpoints) {
+  EXPECT_FALSE(ParseShardMap("").ok());
+  EXPECT_FALSE(ParseShardMap("# only a comment\n").ok());
+  EXPECT_FALSE(ParseShardMap("127.0.0.1").ok());       // no port
+  EXPECT_FALSE(ParseShardMap(":7001").ok());           // no host
+  EXPECT_FALSE(ParseShardMap("127.0.0.1:").ok());      // empty port
+  EXPECT_FALSE(ParseShardMap("127.0.0.1:http").ok());  // non-numeric
+  EXPECT_FALSE(ParseShardMap("127.0.0.1:70016").ok()); // > 65535
+  EXPECT_FALSE(ParseShardMap("127.0.0.1:70x1").ok());  // trailing junk
+  EXPECT_FALSE(ParseShardMap("127.0.0.1:7001,,127.0.0.1:7002").ok());
+}
+
+// --- MergeKnnNeighbors -----------------------------------------------------
+
+WireNeighbor N(int64_t id, double d2) {
+  WireNeighbor n;
+  n.id = id;
+  n.squared_distance = d2;
+  return n;
+}
+
+TEST(MergeKnnTest, InterleavesSortedListsAndTruncatesToK) {
+  std::vector<std::vector<WireNeighbor>> shards = {
+      {N(10, 0.1), N(11, 0.4)},
+      {N(20, 0.2), N(21, 0.3), N(22, 0.9)},
+  };
+  auto merged = MergeKnnNeighbors(shards, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id, 10);
+  EXPECT_EQ(merged[1].id, 20);
+  EXPECT_EQ(merged[2].id, 21);
+  EXPECT_EQ(merged[3].id, 11);
+}
+
+TEST(MergeKnnTest, DuplicateDistancesBreakTiesById) {
+  // Equal distances across shards must order by id — the engine's
+  // Neighbor::operator< — or the merge would not be bit-identical to a
+  // single server.
+  std::vector<std::vector<WireNeighbor>> shards = {
+      {N(7, 0.5), N(9, 0.5)},
+      {N(3, 0.5), N(8, 0.5)},
+  };
+  auto merged = MergeKnnNeighbors(shards, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id, 3);
+  EXPECT_EQ(merged[1].id, 7);
+  EXPECT_EQ(merged[2].id, 8);
+  EXPECT_EQ(merged[3].id, 9);
+}
+
+TEST(MergeKnnTest, KLargerThanUnionReturnsEveryNeighbor) {
+  std::vector<std::vector<WireNeighbor>> shards = {
+      {N(1, 0.1)},
+      {},  // an empty shard reply is fine
+      {N(2, 0.2)},
+  };
+  auto merged = MergeKnnNeighbors(shards, 100);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].id, 1);
+  EXPECT_EQ(merged[1].id, 2);
+  EXPECT_TRUE(MergeKnnNeighbors({}, 5).empty());
+  EXPECT_TRUE(MergeKnnNeighbors({{}, {}}, 5).empty());
+}
+
+// --- MergeQueryReplies -----------------------------------------------------
+
+protocol::QueryReply Reply(uint64_t rows, std::vector<int64_t> objids,
+                           const std::string& path) {
+  protocol::QueryReply r;
+  r.row_count = rows;
+  r.objids = std::move(objids);
+  r.rows_scanned = rows;
+  r.pages_fetched = 2;
+  r.pages_read = 2;
+  r.pages_skipped = 1;
+  r.chosen_path = path;
+  return r;
+}
+
+TEST(MergeQueryRepliesTest, SumsCountersAndConcatenatesInShardOrder) {
+  std::vector<protocol::QueryReply> shards;
+  shards.push_back(Reply(2, {5, 9}, "kd-tree"));
+  shards.push_back(Reply(3, {1, 3, 7}, "kd-tree"));
+  auto merged = MergeQueryReplies(std::move(shards), 0);
+  EXPECT_EQ(merged.row_count, 5u);
+  EXPECT_EQ(merged.rows_scanned, 5u);
+  EXPECT_EQ(merged.pages_fetched, 4u);
+  EXPECT_EQ(merged.pages_read, 4u);
+  EXPECT_EQ(merged.pages_skipped, 2u);
+  EXPECT_FALSE(merged.degraded);
+  EXPECT_EQ(merged.chosen_path, "kd-tree");
+  // Shard order, NOT sorted: shard order is global clustered order.
+  EXPECT_EQ(merged.objids, (std::vector<int64_t>{5, 9, 1, 3, 7}));
+}
+
+TEST(MergeQueryRepliesTest, LimitTruncatesDegradedOrsPathsMix) {
+  std::vector<protocol::QueryReply> shards;
+  shards.push_back(Reply(2, {5, 9}, "kd-tree"));
+  auto degraded = Reply(3, {1, 3, 7}, "full-scan");
+  degraded.degraded = true;
+  shards.push_back(std::move(degraded));
+  auto merged = MergeQueryReplies(std::move(shards), 3);
+  EXPECT_EQ(merged.row_count, 5u);  // row_count is the true total
+  EXPECT_EQ(merged.objids, (std::vector<int64_t>{5, 9, 1}));
+  EXPECT_TRUE(merged.degraded);
+  EXPECT_EQ(merged.chosen_path, "mixed");
+}
+
+// --- end-to-end fixtures ---------------------------------------------------
+
+/// Shard datasets are the expensive part, so the suite builds them once:
+/// the full catalog plus its 2-way and 4-way kd-subtree shardings, all
+/// over the same --n/--seed (which is what makes them one logical
+/// catalog).
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kRows = 20000;
+  static constexpr uint64_t kSeed = 7;
+
+  static void SetUpTestSuite() {
+    single_ = BuildShard(0, 1);
+    for (uint32_t i = 0; i < 2; ++i) shard2_[i] = BuildShard(i, 2);
+    for (uint32_t i = 0; i < 4; ++i) shard4_[i] = BuildShard(i, 4);
+  }
+
+  static void TearDownTestSuite() {
+    delete single_;
+    single_ = nullptr;
+    for (auto& d : shard2_) { delete d; d = nullptr; }
+    for (auto& d : shard4_) { delete d; d = nullptr; }
+  }
+
+  static ServedDataset* BuildShard(uint32_t index, uint32_t count) {
+    DatasetConfig config;
+    config.num_rows = kRows;
+    config.seed = kSeed;
+    config.shard_index = index;
+    config.shard_count = count;
+    auto built = ServedDataset::Build(config);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    return built.ok() ? new ServedDataset(std::move(*built)) : nullptr;
+  }
+
+  /// In-process topology: one mdsd QueryServer per (shard, replica) plus
+  /// an mdsc Coordinator over them. `shards[s]` lists the datasets of
+  /// shard s's replicas (replicas of one shard share a dataset).
+  struct Topology {
+    std::vector<std::unique_ptr<QueryServer>> backends;
+    std::unique_ptr<Coordinator> coordinator;
+
+    Topology() = default;
+    Topology(Topology&&) = default;
+    Topology& operator=(Topology&&) = default;
+
+    ~Topology() {
+      if (coordinator) coordinator->Shutdown();
+      for (auto& b : backends) b->Shutdown();
+    }
+  };
+
+  static Topology Start(
+      const std::vector<std::vector<ServedDataset*>>& shards,
+      CoordinatorConfig config = {}) {
+    Topology t;
+    ShardMap map;
+    for (const auto& replicas : shards) {
+      std::vector<BackendAddress> addrs;
+      for (ServedDataset* dataset : replicas) {
+        auto server =
+            std::make_unique<QueryServer>(dataset, ServerConfig{});
+        EXPECT_TRUE(server->Start().ok());
+        addrs.push_back({"127.0.0.1", server->port()});
+        t.backends.push_back(std::move(server));
+      }
+      map.shards.push_back(std::move(addrs));
+    }
+    t.coordinator = std::make_unique<Coordinator>(map, config);
+    Status started = t.coordinator->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return t;
+  }
+
+  static QueryClient MustConnect(uint16_t port) {
+    auto client = QueryClient::Connect("127.0.0.1", port);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  static Box LocusBox(double half_width) {
+    double mags[kNumBands];
+    StellarLocus(0.5, 0.0, mags);
+    std::vector<double> lo(mags, mags + kNumBands);
+    std::vector<double> hi = lo;
+    for (size_t j = 0; j < kNumBands; ++j) {
+      lo[j] -= half_width;
+      hi[j] += half_width;
+    }
+    return Box(lo, hi);
+  }
+
+  /// Asserts every query type answers identically (rows AND ordering)
+  /// through the coordinator and through the single server.
+  static void AssertParity(QueryClient& via_coord, QueryClient& via_single) {
+    const Box box = LocusBox(0.8);
+
+    auto count_c = via_coord.PointCount(box);
+    auto count_s = via_single.PointCount(box);
+    ASSERT_TRUE(count_c.ok()) << count_c.status().ToString();
+    ASSERT_TRUE(count_s.ok());
+    EXPECT_EQ(*count_c, *count_s);
+    EXPECT_GT(*count_s, 0u);
+
+    // Unhinted, each shard's planner chooses independently, and a shard
+    // holding half the rows may pick a different access path (hence a
+    // different emit order) than the single server does — so the
+    // guaranteed unhinted parity is the row set. Exact ordering parity
+    // is asserted below with the access path pinned on both sides.
+    auto query_c = via_coord.BoxQuery(box);
+    auto query_s = via_single.BoxQuery(box);
+    ASSERT_TRUE(query_c.ok()) << query_c.status().ToString();
+    ASSERT_TRUE(query_s.ok());
+    EXPECT_EQ(query_c->row_count, query_s->row_count);
+    std::vector<int64_t> set_c = query_c->objids;
+    std::vector<int64_t> set_s = query_s->objids;
+    std::sort(set_c.begin(), set_c.end());
+    std::sort(set_s.begin(), set_s.end());
+    EXPECT_EQ(set_c, set_s);
+
+    // Same access path on every server => shard concatenation must
+    // reproduce the single server's emit order exactly.
+    for (const bool full_scan : {true, false}) {
+      QueryOptions hint;
+      hint.force_full_scan = full_scan;
+      hint.force_index = !full_scan;
+      auto hinted_c = via_coord.BoxQuery(box, 0, hint);
+      auto hinted_s = via_single.BoxQuery(box, 0, hint);
+      ASSERT_TRUE(hinted_c.ok()) << hinted_c.status().ToString();
+      ASSERT_TRUE(hinted_s.ok());
+      EXPECT_EQ(hinted_c->objids, hinted_s->objids)
+          << (full_scan ? "full-scan" : "kd-tree");
+      EXPECT_EQ(hinted_c->chosen_path, hinted_s->chosen_path);
+
+      auto limited_c = via_coord.BoxQuery(box, 7, hint);
+      auto limited_s = via_single.BoxQuery(box, 7, hint);
+      ASSERT_TRUE(limited_c.ok());
+      ASSERT_TRUE(limited_s.ok());
+      EXPECT_EQ(limited_c->objids, limited_s->objids);
+      EXPECT_EQ(limited_c->objids.size(), 7u);
+      // TOP(limit) is a prefix of the unlimited reply.
+      EXPECT_TRUE(std::equal(limited_c->objids.begin(),
+                             limited_c->objids.end(),
+                             hinted_c->objids.begin()));
+    }
+
+    double target[kNumBands];
+    StellarLocus(0.62, 0.3, target);
+    const std::vector<double> point(target, target + kNumBands);
+    for (uint32_t k : {1u, 5u, 100u}) {
+      auto knn_c = via_coord.Knn(point, k);
+      auto knn_s = via_single.Knn(point, k);
+      ASSERT_TRUE(knn_c.ok()) << knn_c.status().ToString();
+      ASSERT_TRUE(knn_s.ok());
+      ASSERT_EQ(knn_c->neighbors.size(), k);
+      ASSERT_EQ(knn_s->neighbors.size(), k);
+      for (uint32_t i = 0; i < k; ++i) {
+        EXPECT_EQ(knn_c->neighbors[i].id, knn_s->neighbors[i].id) << i;
+        EXPECT_EQ(knn_c->neighbors[i].squared_distance,
+                  knn_s->neighbors[i].squared_distance)
+            << i;
+      }
+    }
+
+    const std::vector<Box> boxes = {LocusBox(0.2), LocusBox(0.5),
+                                    LocusBox(0.8)};
+    auto pipe_c = via_coord.PointCountPipeline(boxes);
+    auto pipe_s = via_single.PointCountPipeline(boxes);
+    ASSERT_EQ(pipe_c.size(), boxes.size());
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      ASSERT_TRUE(pipe_c[i].ok()) << pipe_c[i].status().ToString();
+      ASSERT_TRUE(pipe_s[i].ok());
+      EXPECT_EQ(*pipe_c[i], *pipe_s[i]) << i;
+    }
+  }
+
+  static ServedDataset* single_;
+  static ServedDataset* shard2_[2];
+  static ServedDataset* shard4_[4];
+};
+
+ServedDataset* CoordinatorTest::single_ = nullptr;
+ServedDataset* CoordinatorTest::shard2_[2] = {};
+ServedDataset* CoordinatorTest::shard4_[4] = {};
+
+// --- parity ----------------------------------------------------------------
+
+TEST_F(CoordinatorTest, ShardedDatasetsPartitionTheCatalog) {
+  ASSERT_NE(single_, nullptr);
+  uint64_t total2 = 0, total4 = 0;
+  for (auto* d : shard2_) { ASSERT_NE(d, nullptr); total2 += d->num_rows(); }
+  for (auto* d : shard4_) { ASSERT_NE(d, nullptr); total4 += d->num_rows(); }
+  EXPECT_EQ(total2, single_->num_rows());
+  EXPECT_EQ(total4, single_->num_rows());
+  for (auto* d : shard4_) EXPECT_LT(d->num_rows(), single_->num_rows());
+}
+
+TEST_F(CoordinatorTest, TwoShardParityWithSingleServer) {
+  QueryServer single(single_, ServerConfig{});
+  ASSERT_TRUE(single.Start().ok());
+  Topology t = Start({{shard2_[0]}, {shard2_[1]}});
+
+  QueryClient via_coord = MustConnect(t.coordinator->port());
+  QueryClient via_single = MustConnect(single.port());
+
+  auto health = via_coord.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->served_rows, kRows);
+  EXPECT_EQ(health->dim, kNumBands);
+  EXPECT_FALSE(health->draining);
+
+  AssertParity(via_coord, via_single);
+  single.Shutdown();
+}
+
+TEST_F(CoordinatorTest, FourShardParityWithSingleServer) {
+  QueryServer single(single_, ServerConfig{});
+  ASSERT_TRUE(single.Start().ok());
+  Topology t =
+      Start({{shard4_[0]}, {shard4_[1]}, {shard4_[2]}, {shard4_[3]}});
+
+  QueryClient via_coord = MustConnect(t.coordinator->port());
+  QueryClient via_single = MustConnect(single.port());
+  AssertParity(via_coord, via_single);
+  single.Shutdown();
+}
+
+TEST_F(CoordinatorTest, TableSampleDeterministicAndContained) {
+  Topology t = Start({{shard2_[0]}, {shard2_[1]}});
+  QueryClient client = MustConnect(t.coordinator->port());
+
+  const Box box = LocusBox(0.8);
+  auto a = client.TableSample(box, 10.0, 50, /*seed=*/123);
+  auto b = client.TableSample(box, 10.0, 50, /*seed=*/123);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  // Same seed through the same topology => the same sample.
+  EXPECT_EQ(a->objids, b->objids);
+  EXPECT_LE(a->objids.size(), 50u);
+  EXPECT_FALSE(a->objids.empty());
+  // TABLESAMPLE row_count counts the returned rows (post-TOP).
+  EXPECT_EQ(a->row_count, a->objids.size());
+  // Every sampled objid is a real catalog row inside the box.
+  const PointSet& points = single_->points();
+  for (int64_t id : a->objids) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(static_cast<uint64_t>(id), points.size());
+    EXPECT_TRUE(box.Contains(points.point(static_cast<uint64_t>(id))));
+  }
+}
+
+TEST_F(CoordinatorTest, PlannerHintsPassThroughToShards) {
+  Topology t = Start({{shard2_[0]}, {shard2_[1]}});
+  QueryClient client = MustConnect(t.coordinator->port());
+  const Box box = LocusBox(0.8);
+
+  QueryOptions full_scan;
+  full_scan.force_full_scan = true;
+  auto scanned = client.BoxQuery(box, 0, full_scan);
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+  // Every shard obeyed the hint, so the merged path is not "mixed".
+  EXPECT_EQ(scanned->chosen_path, "full-scan");
+  EXPECT_EQ(scanned->rows_scanned, kRows);  // both shards scanned fully
+
+  QueryOptions indexed;
+  indexed.force_index = true;
+  auto via_index = client.BoxQuery(box, 0, indexed);
+  ASSERT_TRUE(via_index.ok());
+  EXPECT_EQ(via_index->chosen_path, "kd-tree");
+  // The two paths emit in different orders; the row set must agree.
+  std::vector<int64_t> by_index = via_index->objids;
+  std::vector<int64_t> by_scan = scanned->objids;
+  std::sort(by_index.begin(), by_index.end());
+  std::sort(by_scan.begin(), by_scan.end());
+  EXPECT_EQ(by_index, by_scan);
+}
+
+// --- kNN bounds across shards ----------------------------------------------
+
+TEST_F(CoordinatorTest, KnnLargerThanOneShardSmallerThanUnion) {
+  QueryServer single(single_, ServerConfig{});
+  ASSERT_TRUE(single.Start().ok());
+  Topology t =
+      Start({{shard4_[0]}, {shard4_[1]}, {shard4_[2]}, {shard4_[3]}});
+  QueryClient via_coord = MustConnect(t.coordinator->port());
+  QueryClient via_single = MustConnect(single.port());
+
+  // k exceeds every single shard's population (kRows/4) but not the
+  // union: each shard must be asked for min(k, its rows) and the merge
+  // must still equal the single server bit for bit.
+  const uint32_t k = static_cast<uint32_t>(kRows / 4 + 100);
+  double target[kNumBands];
+  StellarLocus(0.5, 0.0, target);
+  const std::vector<double> point(target, target + kNumBands);
+
+  auto knn_c = via_coord.Knn(point, k);
+  auto knn_s = via_single.Knn(point, k);
+  ASSERT_TRUE(knn_c.ok()) << knn_c.status().ToString();
+  ASSERT_TRUE(knn_s.ok());
+  ASSERT_EQ(knn_c->neighbors.size(), k);
+  ASSERT_EQ(knn_c->neighbors.size(), knn_s->neighbors.size());
+  for (uint32_t i = 0; i < k; ++i) {
+    ASSERT_EQ(knn_c->neighbors[i].id, knn_s->neighbors[i].id) << i;
+  }
+
+  // k beyond the union is InvalidArgument, exactly like a single server
+  // — and not retryable, so it must come back after one round, not after
+  // walking replicas.
+  auto too_big = via_coord.Knn(point, static_cast<uint32_t>(kRows + 1));
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+  single.Shutdown();
+}
+
+TEST_F(CoordinatorTest, DimensionMismatchIsInvalidArgument) {
+  Topology t = Start({{shard2_[0]}, {shard2_[1]}});
+  QueryClient client = MustConnect(t.coordinator->port());
+  const Box flat({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});  // dim 3, catalog dim 5
+  auto count = client.PointCount(flat);
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kInvalidArgument);
+  // The connection survives a semantic error.
+  auto ok = client.PointCount(LocusBox(0.5));
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+// --- failover, hedging, drain ----------------------------------------------
+
+TEST_F(CoordinatorTest, BackendKillMidLoadFailsOverWithZeroClientErrors) {
+  // One shard, two replicas over the same dataset. Replica 0 dies while
+  // clients are querying; every client request must still succeed.
+  CoordinatorConfig config;
+  config.sub_deadline_ms = 2000;
+  Topology t = Start({{single_, single_}}, config);
+
+  QueryClient warmup = MustConnect(t.coordinator->port());
+  auto first = warmup.PointCount(LocusBox(0.5));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> successes{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> loaders;
+  for (int i = 0; i < 3; ++i) {
+    loaders.emplace_back([&t, &stop, &successes, &failures] {
+      QueryClient client = MustConnect(t.coordinator->port());
+      const Box box = LocusBox(0.5);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto count = client.PointCount(box);
+        if (count.ok()) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "client saw: " << count.status().ToString();
+          // The exchange failure closed the connection; reconnect.
+          client = MustConnect(t.coordinator->port());
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  t.backends[0]->Shutdown();  // kill replica 0 mid-load
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true);
+  for (auto& th : loaders) th.join();
+
+  EXPECT_GT(successes.load(), 0u);
+  EXPECT_EQ(failures.load(), 0u);
+
+  const auto stats = t.coordinator->Stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_GE(stats.shards[0].failovers, 1u);
+  EXPECT_GE(stats.shards[0].backend_errors, 1u);
+  // Replica 0 accumulated consecutive failures and sits in backoff.
+  EXPECT_LT(stats.shards[0].healthy_replicas, stats.shards[0].replicas);
+}
+
+TEST_F(CoordinatorTest, HedgeFiresAgainstStalledReplicaAndWins) {
+  // Replica 0 is a black hole: it accepts connections and never replies.
+  // With a fixed hedge delay well under the sub-deadline, the hedge to
+  // replica 1 must answer the client promptly and be counted as won.
+  auto stall = TcpListener::Listen(0);
+  ASSERT_TRUE(stall.ok());
+  const uint16_t stall_port = stall->port();
+  std::atomic<bool> stall_stop{false};
+  std::vector<Socket> swallowed;
+  std::thread stall_thread([&stall, &stall_stop, &swallowed] {
+    while (!stall_stop.load(std::memory_order_relaxed)) {
+      auto sock = stall->Accept(IoDeadline::After(50));
+      if (sock.ok()) swallowed.push_back(std::move(*sock));
+    }
+  });
+
+  auto backend = std::make_unique<QueryServer>(single_, ServerConfig{});
+  ASSERT_TRUE(backend->Start().ok());
+
+  ShardMap map;
+  map.shards.push_back(
+      {{"127.0.0.1", stall_port}, {"127.0.0.1", backend->port()}});
+  CoordinatorConfig config;
+  config.hedge_delay_ms = 50;
+  config.sub_deadline_ms = 300;
+  Coordinator coordinator(map, config);
+  // Start() probes replica 0, times out, and falls through to replica 1.
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  QueryClient client = MustConnect(coordinator.port());
+  auto count = client.PointCount(LocusBox(0.5));
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+
+  const auto stats = coordinator.Stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_GE(stats.shards[0].hedges_fired, 1u);
+  EXPECT_GE(stats.shards[0].hedges_won, 1u);
+
+  // Shutdown waits out the stalled attempt (sub-deadline + client slack).
+  coordinator.Shutdown();
+  backend->Shutdown();
+  stall_stop.store(true);
+  stall_thread.join();
+}
+
+TEST_F(CoordinatorTest, DrainShedsQueriesButAnswersHealth) {
+  Topology t = Start({{shard2_[0]}, {shard2_[1]}});
+  QueryClient client = MustConnect(t.coordinator->port());
+  // Complete one request so the accept thread has registered this
+  // connection before the drain starts (a connection still in the accept
+  // queue when drain begins is dropped, like any new arrival).
+  ASSERT_TRUE(client.PointCount(LocusBox(0.5)).ok());
+
+  t.coordinator->RequestDrain();
+  EXPECT_TRUE(t.coordinator->draining());
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health->draining);
+
+  auto count = client.PointCount(LocusBox(0.5));
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kUnavailable);
+
+  const auto stats = t.coordinator->Stats();
+  EXPECT_GE(stats.rejected_draining, 1u);
+}
+
+TEST_F(CoordinatorTest, StatsCarryPerShardRoutingCounters) {
+  Topology t = Start({{shard2_[0]}, {shard2_[1]}});
+  QueryClient client = MustConnect(t.coordinator->port());
+
+  const Box box = LocusBox(0.5);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.PointCount(box).ok());
+  }
+
+  // Over the wire, through the same kStats request mdsd serves.
+  auto stats = client.ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->requests_total, 4u);  // 3 counts + this stats request
+  EXPECT_GE(stats->replies_ok, 4u);      // the stats reply counts itself
+  EXPECT_EQ(stats->replies_error, 0u);
+  EXPECT_GT(stats->bytes_in, 0u);
+  EXPECT_GT(stats->bytes_out, 0u);
+  ASSERT_EQ(stats->shards.size(), 2u);
+  for (const auto& shard : stats->shards) {
+    EXPECT_EQ(shard.replicas, 1u);
+    EXPECT_EQ(shard.healthy_replicas, 1u);
+    EXPECT_GE(shard.requests, 3u);
+    EXPECT_EQ(shard.failovers, 0u);
+    EXPECT_EQ(shard.backend_errors, 0u);
+    EXPECT_GT(shard.p99_us, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mds
