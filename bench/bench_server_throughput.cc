@@ -507,6 +507,78 @@ void Run(const bench::BenchOptions& options) {
                   "speedup bar is enforced)\n");
     }
   }
+
+  // --- Phase 6: dead replica — breakers keep degraded throughput up ----
+  // 1 shard x 2 replicas over the same catalog. Baseline with both
+  // healthy, then kill -9 one replica (Shutdown closes its socket the
+  // same way) and measure again. The first few requests eat a
+  // connect-refused + failover each; after breaker_failure_threshold
+  // consecutive failures the dead replica's breaker opens and every
+  // subsequent request short-circuits straight to the survivor, so
+  // steady-state throughput must stay >= 90% of the all-healthy run.
+  {
+    std::printf("\n-- dead replica: 1 shard x 2 replicas, breakers on --\n");
+    ServerConfig backend_config;
+    backend_config.num_workers = 2;
+    backend_config.max_in_flight = 256;
+    QueryServer replica0(&*dataset, backend_config);
+    QueryServer replica1(&*dataset, backend_config);
+    MDS_CHECK(replica0.Start().ok());
+    MDS_CHECK(replica1.Start().ok());
+    ShardMap map;
+    map.shards.push_back({{"127.0.0.1", replica0.port()},
+                          {"127.0.0.1", replica1.port()}});
+    Coordinator coordinator(map, CoordinatorConfig{});
+    MDS_CHECK(coordinator.Start().ok());
+
+    const int per_client = options.quick ? 150 : 1000;
+    PhaseResult warm = RunClosedLoop(coordinator.port(), 4, per_client / 5);
+    (void)warm;
+    PhaseResult healthy = RunClosedLoop(coordinator.port(), 4, per_client);
+    PrintPhase(options, "coordinator_all_healthy", healthy);
+    MDS_CHECK(healthy.failed == 0);
+    MDS_CHECK(healthy.ok > 0);
+
+    replica0.Shutdown();
+    // Breaker warmup: absorb the failover-per-request window until the
+    // dead replica's breaker opens (threshold is 5 consecutive failures).
+    PhaseResult opening = RunClosedLoop(coordinator.port(), 4, 25);
+    MDS_CHECK(opening.failed == 0);
+
+    PhaseResult degraded = RunClosedLoop(coordinator.port(), 4, per_client);
+    PrintPhase(options, "coordinator_dead_replica", degraded);
+    MDS_CHECK(degraded.failed == 0);
+    MDS_CHECK(degraded.ok > 0);
+
+    {
+      auto client = QueryClient::Connect("127.0.0.1", coordinator.port());
+      MDS_CHECK(client.ok());
+      auto stats = client->ServerStats();
+      MDS_CHECK(stats.ok());
+      MDS_CHECK(stats->shards.size() == 1);
+      const auto& shard = stats->shards[0];
+      std::printf("shard 0 after kill: %u/%u replicas healthy, "
+                  "failovers=%llu short-circuits=%llu open breakers=%u\n",
+                  shard.healthy_replicas, shard.replicas,
+                  (unsigned long long)shard.failovers,
+                  (unsigned long long)shard.breaker_short_circuits,
+                  shard.open_breakers);
+      MDS_CHECK(shard.failovers > 0);
+      MDS_CHECK(shard.breaker_short_circuits > 0);
+    }
+
+    const double healthy_per_sec =
+        1000.0 * static_cast<double>(healthy.ok) / healthy.wall_ms;
+    const double degraded_per_sec =
+        1000.0 * static_cast<double>(degraded.ok) / degraded.wall_ms;
+    std::printf("degraded throughput: %.0f req/s vs %.0f healthy (%.1f%%)\n",
+                degraded_per_sec, healthy_per_sec,
+                100.0 * degraded_per_sec / healthy_per_sec);
+    MDS_CHECK(degraded_per_sec >= 0.9 * healthy_per_sec);
+
+    coordinator.Shutdown();
+    replica1.Shutdown();
+  }
 }
 
 }  // namespace

@@ -114,7 +114,25 @@ int Walkthrough(uint16_t port) {
     std::printf("\n");
   }
 
-  // 7. Pipelining: stream a whole batch of requests before reading the
+  // 7. Partial results: against an mdsc coordinator, allow_partial lets
+  // the reply degrade to the surviving shards when some are down (the
+  // reply says how many answered). A plain mdsd always owns 100% of the
+  // data, so it ignores the flag and reports no shard coverage.
+  QueryClient::Options partial_opts;
+  partial_opts.allow_partial = true;
+  partial_opts.deadline_ms = 10000;
+  auto best_effort = client->BoxQuery(box, /*limit=*/5, partial_opts);
+  if (best_effort.ok()) {
+    if (best_effort->shards_total == 0) {
+      std::printf("allow_partial: single-server reply, always complete\n");
+    } else {
+      std::printf("allow_partial: %u/%u shards answered (%s)\n",
+                  best_effort->shards_answered, best_effort->shards_total,
+                  best_effort->partial ? "PARTIAL result" : "complete");
+    }
+  }
+
+  // 8. Pipelining: stream a whole batch of requests before reading the
   // first reply. One RTT's worth of syscalls covers all of them; replies
   // come back correlated by request id, and a bad request fails only its
   // own slot.
@@ -133,7 +151,7 @@ int Walkthrough(uint16_t port) {
   }
   std::printf("\n");
 
-  // 8. Server stats: counters plus per-type latency percentiles.
+  // 9. Server stats: counters plus per-type latency percentiles.
   auto stats = client->ServerStats();
   if (!stats.ok()) {
     std::fprintf(stderr, "stats failed: %s\n",
@@ -175,6 +193,18 @@ int Walkthrough(uint16_t port) {
                 (unsigned long long)shard.backend_errors,
                 (unsigned long long)shard.p50_us,
                 (unsigned long long)shard.p99_us);
+    if (shard.open_breakers > 0 || shard.half_open_breakers > 0 ||
+        shard.retries_denied > 0 || shard.breaker_short_circuits > 0) {
+      std::printf("  breakers: %u open, %u half-open; %llu retries denied, "
+                  "%llu attempts short-circuited\n",
+                  shard.open_breakers, shard.half_open_breakers,
+                  (unsigned long long)shard.retries_denied,
+                  (unsigned long long)shard.breaker_short_circuits);
+    }
+  }
+  if (stats->partial_replies > 0) {
+    std::printf("partial replies served: %llu\n",
+                (unsigned long long)stats->partial_replies);
   }
   std::printf("query_client: OK\n");
   return 0;

@@ -1,0 +1,166 @@
+#ifndef MDS_COMMON_CHAOS_PROXY_H_
+#define MDS_COMMON_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/socket.h"
+
+namespace mds {
+
+/// Fault-injection policy of one proxied link. All probabilities are per
+/// draw (per accepted connection for reset/blackhole, per forwarded frame
+/// for truncation/bit-flips); draws come from the proxy's single seeded
+/// Rng in decision order, so a fixed seed replays the same fault
+/// schedule against the same traffic.
+struct ChaosPolicy {
+  /// P(connection is reset): the link closes abruptly — immediately on
+  /// accept, or after forwarding reset_after_request_frames client
+  /// frames (a mid-conversation kill, the nastier variant).
+  double reset_probability = 0.0;
+  uint32_t reset_after_request_frames = 0;
+  /// P(connection is blackholed): accepted, then all bytes read and
+  /// discarded forever — the peer's deadline is the only way out. This
+  /// is the accept()-then-stall failure mode of a wedged server.
+  double blackhole_probability = 0.0;
+  /// Fixed + uniform-random delay added before forwarding each
+  /// client->server frame (a slow-but-alive backend link).
+  uint32_t latency_ms = 0;
+  uint32_t jitter_ms = 0;
+  /// Bandwidth cap on the server->client direction; 0 = unlimited.
+  uint64_t throttle_bytes_per_sec = 0;
+  /// P(server->client frame is truncated): a strict prefix is forwarded,
+  /// then the link dies — the peer sees a mid-frame close.
+  double truncate_probability = 0.0;
+  /// P(server->client frame has one payload bit flipped): the frame CRC
+  /// no longer matches, exercising the receiver's corruption path.
+  double bitflip_probability = 0.0;
+};
+
+/// Deterministic fault-injecting TCP proxy for one backend link: listens
+/// on an ephemeral loopback port and forwards mds wire frames (see
+/// docs/PROTOCOL.md: 12-byte prefix = u32 magic, u32 length, u32 CRC32C)
+/// to the target, injecting faults per ChaosPolicy. Chaos tests put one
+/// ChaosProxy between the coordinator and each mdsd replica so every
+/// distributed failure mode is reproducible from a seed.
+///
+/// The proxy is frame-aware (it parses prefixes to fault whole frames and
+/// observe request payloads) but protocol-agnostic beyond that — it never
+/// decodes message bodies. A stream that stops looking like frames (bad
+/// magic, oversized length) closes the link.
+///
+/// Thread model: one accept thread plus two pump threads per live link.
+/// SetPolicy applies to decisions made after the call. Shutdown() stops
+/// the acceptor, shuts both sockets of every link and joins all threads.
+class ChaosProxy {
+ public:
+  struct Counters {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_reset = 0;
+    uint64_t connections_blackholed = 0;
+    uint64_t frames_in = 0;           ///< client->server frames forwarded
+    uint64_t frames_out = 0;          ///< server->client frames forwarded
+    uint64_t frames_truncated = 0;
+    uint64_t frames_bitflipped = 0;
+  };
+
+  ChaosProxy(std::string target_host, uint16_t target_port, uint64_t seed,
+             const ChaosPolicy& policy = {});
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listening port and starts the accept thread.
+  Status Start();
+
+  /// Bound loopback port (valid after Start) — point the client here.
+  uint16_t port() const { return listener_.port(); }
+
+  /// Replaces the policy for subsequent decisions (per-connection draws
+  /// for links accepted later, per-frame draws for frames seen later).
+  void SetPolicy(const ChaosPolicy& policy);
+  ChaosPolicy policy() const;
+
+  /// Observer for every client->server frame payload (prefix stripped),
+  /// called before the frame is forwarded. Chaos tests use it to watch
+  /// the deadline budget a coordinator hands each backend leg. Set before
+  /// Start(); runs on pump threads.
+  void SetClientFrameObserver(
+      std::function<void(const std::vector<uint8_t>& payload)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  Counters counters() const;
+
+  /// Stops accepting, severs every live link and joins all threads.
+  /// Idempotent.
+  void Shutdown();
+
+ private:
+  /// One proxied connection: the client-side socket, the backend socket,
+  /// and the two direction pumps.
+  struct Link {
+    Socket client;
+    Socket server;
+    std::thread client_to_server;
+    std::thread server_to_client;
+    std::atomic<bool> dead{false};  ///< both pumps may be gone
+    std::atomic<int> pumps_running{0};
+  };
+
+  void AcceptLoop();
+  void RunLink(Link* link, bool blackhole, bool reset_now,
+               uint32_t reset_after_frames);
+  /// Reads frames from `from` and forwards them to `to` with the
+  /// direction's faults applied. client_to_server selects which faults
+  /// (latency + observer vs. truncation/bit-flips/throttle) apply.
+  void Pump(Link* link, Socket* from, Socket* to, bool client_to_server,
+            uint32_t reset_after_frames);
+  /// Reads one whole frame (prefix + payload) from `from`; empty result
+  /// with non-OK status on close/desync.
+  Status ReadWholeFrame(Socket* from, std::vector<uint8_t>* frame);
+  /// Writes `data` to `to`, honoring the throttle if `throttled`.
+  Status ForwardBytes(Socket* to, const uint8_t* data, size_t len,
+                      bool throttled);
+  /// Joins links whose pumps have both exited (called from AcceptLoop so
+  /// long campaigns do not accumulate joinable threads).
+  void ReapDeadLinks();
+
+  double NextDraw();
+  uint64_t NextBounded(uint64_t bound);
+
+  const std::string target_host_;
+  const uint16_t target_port_;
+
+  mutable std::mutex policy_mu_;
+  ChaosPolicy policy_;
+
+  mutable std::mutex rng_mu_;
+  Rng rng_;
+
+  std::function<void(const std::vector<uint8_t>&)> observer_;
+
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  std::mutex links_mu_;
+  std::vector<std::unique_ptr<Link>> links_;
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+};
+
+}  // namespace mds
+
+#endif  // MDS_COMMON_CHAOS_PROXY_H_

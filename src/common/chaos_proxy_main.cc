@@ -1,0 +1,138 @@
+// chaosproxy — standalone fault-injecting TCP proxy for one backend link.
+//
+//   chaosproxy --target=HOST:PORT [--port-file=PATH] [--seed=N]
+//              [--reset-prob=P] [--reset-after-frames=N]
+//              [--blackhole-prob=P] [--latency-ms=N] [--jitter-ms=N]
+//              [--throttle-bps=N] [--truncate-prob=P] [--bitflip-prob=P]
+//
+// Listens on an ephemeral loopback port (written to --port-file, printed
+// to stdout) and forwards mds wire frames to the target with faults
+// injected per the flags. Used by the CI server-smoke chaos phase to put
+// a deterministic bad network between mdsc and an mdsd replica; the
+// library tests use the ChaosProxy class in-process instead. SIGTERM or
+// SIGINT exits cleanly.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/chaos_proxy.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: chaosproxy --target=HOST:PORT [--port-file=PATH] [--seed=N]\n"
+      "                  [--reset-prob=P] [--reset-after-frames=N]\n"
+      "                  [--blackhole-prob=P] [--latency-ms=N] "
+      "[--jitter-ms=N]\n"
+      "                  [--throttle-bps=N] [--truncate-prob=P] "
+      "[--bitflip-prob=P]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target;
+  std::string port_file;
+  uint64_t seed = 1;
+  mds::ChaosPolicy policy;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--target", &v)) {
+      target = v;
+    } else if (ParseFlag(argv[i], "--port-file", &v)) {
+      port_file = v;
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      seed = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--reset-prob", &v)) {
+      policy.reset_probability = std::stod(v);
+    } else if (ParseFlag(argv[i], "--reset-after-frames", &v)) {
+      policy.reset_after_request_frames = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--blackhole-prob", &v)) {
+      policy.blackhole_probability = std::stod(v);
+    } else if (ParseFlag(argv[i], "--latency-ms", &v)) {
+      policy.latency_ms = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--jitter-ms", &v)) {
+      policy.jitter_ms = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--throttle-bps", &v)) {
+      policy.throttle_bytes_per_sec = std::stoull(v);
+    } else if (ParseFlag(argv[i], "--truncate-prob", &v)) {
+      policy.truncate_probability = std::stod(v);
+    } else if (ParseFlag(argv[i], "--bitflip-prob", &v)) {
+      policy.bitflip_probability = std::stod(v);
+    } else {
+      return Usage();
+    }
+  }
+
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= target.size()) {
+    return Usage();
+  }
+  const std::string host = target.substr(0, colon);
+  const unsigned long port = std::stoul(target.substr(colon + 1));
+  if (port == 0 || port > 65535) return Usage();
+
+  mds::ChaosProxy proxy(host, static_cast<uint16_t>(port), seed, policy);
+  mds::Status started = proxy.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "chaosproxy: start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::printf("chaosproxy: 127.0.0.1:%u -> %s (seed %llu)\n",
+              static_cast<unsigned>(proxy.port()), target.c_str(),
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(proxy.port()));
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "chaosproxy: cannot write port file %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+  }
+
+  sigset_t mask;
+  sigemptyset(&mask);
+  while (g_stop == 0) {
+    sigsuspend(&mask);
+  }
+
+  const mds::ChaosProxy::Counters c = proxy.counters();
+  proxy.Shutdown();
+  std::fprintf(stderr,
+               "chaosproxy: accepted=%llu reset=%llu blackholed=%llu "
+               "frames_in=%llu frames_out=%llu truncated=%llu "
+               "bitflipped=%llu\n",
+               static_cast<unsigned long long>(c.connections_accepted),
+               static_cast<unsigned long long>(c.connections_reset),
+               static_cast<unsigned long long>(c.connections_blackholed),
+               static_cast<unsigned long long>(c.frames_in),
+               static_cast<unsigned long long>(c.frames_out),
+               static_cast<unsigned long long>(c.frames_truncated),
+               static_cast<unsigned long long>(c.frames_bitflipped));
+  return 0;
+}

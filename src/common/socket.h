@@ -44,8 +44,12 @@ class IoDeadline {
 /// Thread safety: thread-compatible. Reads and writes may come from two
 /// different threads (one thread reads requests while another writes a
 /// reply) because they touch disjoint directions of the stream,
-/// but each direction must be externally serialized. ShutdownBoth() is
-/// safe to call from any thread to unblock a peer stuck in ReadFull.
+/// but each direction must be externally serialized. ShutdownBoth() may
+/// be called from any thread to unblock a peer stuck in ReadFull, but the
+/// caller must guarantee the socket is not concurrently Close()d or
+/// moved — shutdown of a racing fd close could hit a recycled descriptor.
+/// QueryClient's poison-on-failure discipline provides that guarantee for
+/// the coordinator's hedge-abort path.
 class Socket {
  public:
   Socket() = default;

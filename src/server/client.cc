@@ -16,9 +16,33 @@ using protocol::MessageType;
 constexpr uint32_t kIoSlackMs = 2000;
 constexpr uint32_t kNoDeadlineIoMs = 120000;
 
-IoDeadline ExchangeDeadline(uint32_t deadline_ms) {
-  return IoDeadline::After(deadline_ms == 0 ? kNoDeadlineIoMs
-                                            : deadline_ms + kIoSlackMs);
+IoDeadline ExchangeDeadline(const QueryOptions& options) {
+  const uint32_t slack =
+      options.exchange_slack_ms == 0 ? kIoSlackMs : options.exchange_slack_ms;
+  return IoDeadline::After(options.deadline_ms == 0
+                               ? kNoDeadlineIoMs
+                               : options.deadline_ms + slack);
+}
+
+/// Lifts a decoded QueryReply (plus its header flags) into the client's
+/// result struct — one place for the degraded/partial/coverage mapping.
+QueryClient::QueryResult ToQueryResult(protocol::QueryReply decoded,
+                                       const MessageHeader& header) {
+  QueryClient::QueryResult out;
+  out.row_count = decoded.row_count;
+  out.objids = std::move(decoded.objids);
+  out.rows_scanned = decoded.rows_scanned;
+  out.pages_fetched = decoded.pages_fetched;
+  out.pages_read = decoded.pages_read;
+  out.pages_skipped = decoded.pages_skipped;
+  out.degraded =
+      decoded.degraded || (header.flags & protocol::kFlagDegraded) != 0;
+  out.partial = (header.flags & protocol::kFlagPartial) != 0;
+  out.shards_answered = decoded.shards_answered;
+  out.shards_total = decoded.shards_total;
+  out.shards_mask = decoded.shards_mask;
+  out.chosen_path = std::move(decoded.chosen_path);
+  return out;
 }
 
 }  // namespace
@@ -45,6 +69,14 @@ Status QueryClient::MapExchangeFailure(Status st, const Options& options,
                                     std::to_string(options.deadline_ms) +
                                     "ms elapsed awaiting reply");
   }
+  // A reply frame that failed CRC or framing checks means the bytes were
+  // damaged in transit, not that the backend answered kCorruption: the
+  // connection is closed either way, so surface it as a retryable
+  // transport fault rather than a semantic data-corruption verdict.
+  if (st.code() == StatusCode::kCorruption ||
+      st.code() == StatusCode::kInvalidArgument) {
+    return Status::IOError("reply frame damaged in transit: " + st.message());
+  }
   return st;
 }
 
@@ -56,6 +88,7 @@ uint32_t QueryClient::RequestFlags(const Options& options) {
   } else if (options.force_index) {
     flags |= protocol::kFlagHintIndex;
   }
+  if (options.allow_partial) flags |= protocol::kFlagAllowPartial;
   return flags;
 }
 
@@ -64,7 +97,7 @@ Status QueryClient::RoundTrip(MessageType type, const Options& options,
                               std::vector<uint8_t>* reply_payload,
                               MessageHeader* reply_header,
                               size_t* body_offset) {
-  if (!sock_.valid()) {
+  if (!connected()) {
     return Status::FailedPrecondition("client connection is closed");
   }
   const uint64_t request_id = next_request_id_++;
@@ -79,15 +112,18 @@ Status QueryClient::RoundTrip(MessageType type, const Options& options,
   w.PutU32(options.deadline_ms);  // RequestPrefix
   w.PutRaw(body.data(), body.size());
 
-  const IoDeadline deadline = ExchangeDeadline(options.deadline_ms);
+  const IoDeadline deadline = ExchangeDeadline(options);
   Status st = protocol::WriteFrame(&sock_, deadline, payload);
   if (st.ok()) {
     st = protocol::ReadFrame(&sock_, deadline, reply_payload);
   }
   if (!st.ok()) {
     // The stream is desynchronized (partial frame, timeout, close): this
-    // connection cannot be trusted for another exchange.
-    sock_.Close();
+    // connection cannot be trusted for another exchange. Poison it rather
+    // than closing the fd here — the fd is only closed by the owning
+    // thread (destruction, reconnect), so a cross-thread Abort() can
+    // never race a close onto a recycled descriptor.
+    poisoned_ = true;
     return AnnotateStatus(MapExchangeFailure(std::move(st), options, deadline),
                           "QueryClient");
   }
@@ -97,7 +133,7 @@ Status QueryClient::RoundTrip(MessageType type, const Options& options,
   if ((reply_header->flags & protocol::kFlagReply) == 0 ||
       reply_header->type != type ||
       reply_header->request_id != request_id) {
-    sock_.Close();
+    poisoned_ = true;
     return Status::Internal("protocol: reply does not match request");
   }
   Status remote;
@@ -144,17 +180,7 @@ Result<QueryClient::QueryResult> QueryClient::BoxQueryInternal(
   WireReader r(reply.data() + offset, reply.size() - offset);
   protocol::QueryReply decoded;
   MDS_RETURN_NOT_OK(DecodeQueryReply(&r, &decoded));
-  QueryResult out;
-  out.row_count = decoded.row_count;
-  out.objids = std::move(decoded.objids);
-  out.rows_scanned = decoded.rows_scanned;
-  out.pages_fetched = decoded.pages_fetched;
-  out.pages_read = decoded.pages_read;
-  out.pages_skipped = decoded.pages_skipped;
-  out.degraded =
-      decoded.degraded || (header.flags & protocol::kFlagDegraded) != 0;
-  out.chosen_path = std::move(decoded.chosen_path);
-  return out;
+  return ToQueryResult(std::move(decoded), header);
 }
 
 Result<QueryClient::KnnResult> QueryClient::Knn(
@@ -177,6 +203,11 @@ Result<QueryClient::KnnResult> QueryClient::Knn(
   MDS_RETURN_NOT_OK(DecodeKnnReply(&r, &decoded));
   KnnResult out;
   out.neighbors = std::move(decoded.neighbors);
+  out.degraded = (header.flags & protocol::kFlagDegraded) != 0;
+  out.partial = (header.flags & protocol::kFlagPartial) != 0;
+  out.shards_answered = decoded.shards_answered;
+  out.shards_total = decoded.shards_total;
+  out.shards_mask = decoded.shards_mask;
   return out;
 }
 
@@ -202,17 +233,7 @@ Result<QueryClient::QueryResult> QueryClient::TableSample(
   WireReader r(reply.data() + offset, reply.size() - offset);
   protocol::QueryReply decoded;
   MDS_RETURN_NOT_OK(DecodeQueryReply(&r, &decoded));
-  QueryResult out;
-  out.row_count = decoded.row_count;
-  out.objids = std::move(decoded.objids);
-  out.rows_scanned = decoded.rows_scanned;
-  out.pages_fetched = decoded.pages_fetched;
-  out.pages_read = decoded.pages_read;
-  out.pages_skipped = decoded.pages_skipped;
-  out.degraded =
-      decoded.degraded || (header.flags & protocol::kFlagDegraded) != 0;
-  out.chosen_path = std::move(decoded.chosen_path);
-  return out;
+  return ToQueryResult(std::move(decoded), header);
 }
 
 std::vector<Result<uint64_t>> QueryClient::PointCountPipeline(
@@ -242,7 +263,7 @@ std::vector<Result<QueryClient::QueryResult>> QueryClient::PipelineInternal(
   std::vector<Result<QueryResult>> out(
       boxes.size(), Result<QueryResult>(Status::Internal("no reply")));
   if (boxes.empty()) return out;
-  if (!sock_.valid()) {
+  if (!connected()) {
     const Status closed =
         Status::FailedPrecondition("client connection is closed");
     for (auto& slot : out) slot = closed;
@@ -278,7 +299,7 @@ std::vector<Result<QueryClient::QueryResult>> QueryClient::PipelineInternal(
   }
 
   // One deadline bounds the whole exchange, like RoundTrip's does one.
-  const IoDeadline deadline = ExchangeDeadline(options.deadline_ms);
+  const IoDeadline deadline = ExchangeDeadline(options);
   Status st = sock_.WriteFull(wire.data(), wire.size(), deadline);
 
   // Read until every request has its reply. Replies are matched by
@@ -323,23 +344,13 @@ std::vector<Result<QueryClient::QueryResult>> QueryClient::PipelineInternal(
       st = std::move(decode);
       break;
     }
-    QueryResult result;
-    result.row_count = decoded.row_count;
-    result.objids = std::move(decoded.objids);
-    result.rows_scanned = decoded.rows_scanned;
-    result.pages_fetched = decoded.pages_fetched;
-    result.pages_read = decoded.pages_read;
-    result.pages_skipped = decoded.pages_skipped;
-    result.degraded =
-        decoded.degraded || (header.flags & protocol::kFlagDegraded) != 0;
-    result.chosen_path = std::move(decoded.chosen_path);
-    out[slot] = std::move(result);
+    out[slot] = ToQueryResult(std::move(decoded), header);
   }
 
   if (!st.ok()) {
-    // Transport failure mid-batch: the stream is desynchronized. Close,
-    // and fail every slot still awaiting its reply.
-    sock_.Close();
+    // Transport failure mid-batch: the stream is desynchronized. Poison
+    // the connection and fail every slot still awaiting its reply.
+    poisoned_ = true;
     const Status failed = AnnotateStatus(
         MapExchangeFailure(std::move(st), options, deadline), "QueryClient");
     for (const auto& entry : slot_of_id) out[entry.second] = failed;

@@ -32,6 +32,15 @@ struct QueryOptions {
   /// Planner hints (mutually exclusive; force_full_scan wins).
   bool force_full_scan = false;
   bool force_index = false;
+  /// Against mdsc: accept a merged reply from only the surviving shards
+  /// (kFlagAllowPartial on the wire) instead of a blanket failure when a
+  /// shard is exhausted. Plain mdsd ignores the flag.
+  bool allow_partial = false;
+  /// Client-side I/O slack added on top of deadline_ms for the exchange
+  /// bound. 0 = the default 2000 ms; the mdsc coordinator uses a small
+  /// value so a backend leg's read deadline fires close to the leg's
+  /// share of the budget rather than 2 s later.
+  uint32_t exchange_slack_ms = 0;
 };
 
 class QueryClient {
@@ -48,11 +57,24 @@ class QueryClient {
     uint64_t pages_read = 0;
     uint64_t pages_skipped = 0;
     bool degraded = false;
+    /// True when a coordinator answered from a strict subset of its
+    /// shards (kFlagPartial); counts cover only shards_mask.
+    bool partial = false;
+    uint32_t shards_answered = 0;
+    uint32_t shards_total = 0;  ///< 0 = reply came from a single mdsd
+    uint64_t shards_mask = 0;
     std::string chosen_path;
   };
 
   struct KnnResult {
     std::vector<protocol::WireNeighbor> neighbors;  // ascending distance
+    bool degraded = false;
+    /// True when one or more shards did not answer: the neighbor list is
+    /// exact over shards_mask but possibly non-global.
+    bool partial = false;
+    uint32_t shards_answered = 0;
+    uint32_t shards_total = 0;  ///< 0 = reply came from a single mdsd
+    uint64_t shards_mask = 0;
   };
 
   struct HealthResult {
@@ -113,9 +135,19 @@ class QueryClient {
       const std::vector<Box>& boxes, uint64_t limit = 0,
       const Options& options = {});
 
-  /// True while the connection has not failed. A failed exchange closes
-  /// the connection; callers reconnect with Connect().
-  bool connected() const { return sock_.valid(); }
+  /// True while the connection has not failed. A failed exchange poisons
+  /// the connection (its fd closes when this client is destroyed or
+  /// reassigned); callers reconnect with Connect().
+  bool connected() const { return sock_.valid() && !poisoned_; }
+
+  /// Aborts an in-flight exchange from another thread: shuts the socket
+  /// down both ways so a blocked read/write in the owning thread fails
+  /// promptly. Safe concurrently with the owning thread's exchange
+  /// because a failed exchange only *poisons* the client — the fd is
+  /// closed solely by the owning thread's destructor/reassignment, which
+  /// the mdsc coordinator orders after deregistration from the abort
+  /// list. An aborted client is never reusable, only destroyable.
+  void Abort() { sock_.ShutdownBoth(); }
 
  private:
   explicit QueryClient(Socket sock) : sock_(std::move(sock)) {}
@@ -152,6 +184,10 @@ class QueryClient {
 
   Socket sock_;
   uint64_t next_request_id_ = 1;
+  /// Set by a failed exchange instead of closing the fd: keeps Close()
+  /// off exchange threads so Abort()'s cross-thread shutdown can never
+  /// race a close (and hit a recycled descriptor).
+  bool poisoned_ = false;
 };
 
 }  // namespace mds

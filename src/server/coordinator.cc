@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <random>
 #include <utility>
 
 #include "geom/box.h"
@@ -32,6 +33,17 @@ bool RetryableBackendFailure(const Status& status) {
   return status.code() == StatusCode::kUnavailable ||
          status.code() == StatusCode::kIOError ||
          status.code() == StatusCode::kNotFound;
+}
+
+/// Exhaustion failures: RetryableBackendFailure plus a leg read-deadline
+/// expiry. The leg bound is the coordinator's own subdivision of the
+/// client's budget, so a timed-out leg may still be answered by another
+/// replica within what remains — and a shard that fails this way under
+/// allow_partial degrades the reply instead of failing it. A semantic
+/// error (InvalidArgument, Corruption-as-answer, ...) is neither.
+bool ExhaustionFailure(const Status& status) {
+  return RetryableBackendFailure(status) ||
+         status.code() == StatusCode::kDeadlineExceeded;
 }
 
 protocol::QueryReply FromClientResult(QueryClient::QueryResult result) {
@@ -245,10 +257,17 @@ struct Coordinator::ClientConn {
 // --- lifecycle -------------------------------------------------------------
 
 Coordinator::Coordinator(const ShardMap& map, const CoordinatorConfig& config)
-    : config_(config) {
+    : config_(config),
+      rng_(config.jitter_seed != 0 ? config.jitter_seed
+                                   : std::random_device{}()) {
   shards_.reserve(map.shards.size());
   for (const auto& replicas : map.shards) {
     auto shard = std::make_unique<Shard>();
+    // The retry bucket starts full so cold-start failovers (a replica
+    // down before any traffic has accrued tokens) are never denied.
+    shard->retry_budget_milli.store(
+        static_cast<int64_t>(config_.retry_budget_cap) * 1000,
+        std::memory_order_relaxed);
     for (const BackendAddress& addr : replicas) {
       auto replica = std::make_unique<Replica>();
       replica->addr = addr;
@@ -517,12 +536,14 @@ void Coordinator::HandleQuery(ClientConn* conn, const MessageHeader& header,
   }
 
   SubRequest req;
+  req.arrival = arrival;
   Status st = DecodeSubRequest(header, payload.data() + body_offset,
                                payload.size() - body_offset, deadline_ms, &req);
   protocol::QueryReply merged;
   std::vector<protocol::WireNeighbor> neighbors;
+  ScatterOutcome outcome;
   if (st.ok()) {
-    st = ScatterGather(req, &merged, &neighbors);
+    st = ScatterGather(req, &merged, &neighbors, &outcome);
   }
   in_flight_.fetch_sub(1);
 
@@ -531,14 +552,27 @@ void Coordinator::HandleQuery(ClientConn* conn, const MessageHeader& header,
     RecordReply(header.type, arrival, st);
     return;
   }
+  // A partial merge is a degraded answer: both flags, so old clients that
+  // only know kFlagDegraded still see "incomplete", and new clients can
+  // tell "shards missing" from "pages skipped".
+  const uint32_t partial_flags =
+      outcome.partial ? (protocol::kFlagPartial | protocol::kFlagDegraded) : 0;
   if (header.type == MessageType::kKnn) {
     protocol::KnnReply reply;
     reply.neighbors = std::move(neighbors);
-    WriteReplyFrame(conn, header, st, 0, [&](WireWriter* w) {
+    reply.shards_answered = outcome.answered;
+    reply.shards_total = outcome.total;
+    reply.shards_mask = outcome.mask;
+    WriteReplyFrame(conn, header, st, partial_flags, [&](WireWriter* w) {
       protocol::EncodeKnnReply(reply, w);
     });
   } else {
-    const uint32_t flags = merged.degraded ? protocol::kFlagDegraded : 0;
+    merged.shards_answered = outcome.answered;
+    merged.shards_total = outcome.total;
+    merged.shards_mask = outcome.mask;
+    merged.degraded = merged.degraded || outcome.partial;
+    const uint32_t flags =
+        (merged.degraded ? protocol::kFlagDegraded : 0) | partial_flags;
     WriteReplyFrame(conn, header, st, flags, [&](WireWriter* w) {
       protocol::EncodeQueryReply(merged, w);
     });
@@ -550,6 +584,11 @@ Status Coordinator::DecodeSubRequest(const MessageHeader& header,
                                      const uint8_t* body, size_t body_len,
                                      uint32_t deadline_ms, SubRequest* out) {
   out->type = header.type;
+  out->budget_ms = deadline_ms;
+  out->allow_partial = (header.flags & protocol::kFlagAllowPartial) != 0;
+  // The per-leg deadline is recomputed from the remaining budget before
+  // every backend exchange (LegDeadline); this is only the first leg's
+  // upper bound.
   out->options.deadline_ms =
       deadline_ms != 0 ? deadline_ms : config_.sub_deadline_ms;
   out->options.skip_corrupt = (header.flags & protocol::kFlagSkipCorrupt) != 0;
@@ -618,7 +657,7 @@ Status Coordinator::DecodeSubRequest(const MessageHeader& header,
 
 Status Coordinator::ScatterGather(
     const SubRequest& req, protocol::QueryReply* merged,
-    std::vector<protocol::WireNeighbor>* neighbors) {
+    std::vector<protocol::WireNeighbor>* neighbors, ScatterOutcome* outcome) {
   // Attempt jobs (and hedges) can outlive this frame when a late attempt
   // loses the race, so the request template they read is shared, not
   // stack-owned.
@@ -654,6 +693,7 @@ Status Coordinator::ScatterGather(
   std::vector<protocol::QueryReply> query_replies;
   std::vector<std::vector<protocol::WireNeighbor>> knn_replies;
   Status failure = Status::OK();
+  bool all_failures_exhaustion = true;
   {
     std::unique_lock<std::mutex> lock(scatter->mu);
     while (scatter->done_count < scatter->calls.size()) {
@@ -677,6 +717,18 @@ Status Coordinator::ScatterGather(
           ShardCall& call = scatter->calls[s];
           if (call.done || call.hedged || !call.hedge_possible) continue;
           if (call.hedge_at > fire_now) continue;
+          // A hedge is an extra leg like any failover: it needs deadline
+          // budget left to be useful and a retry token to be affordable.
+          uint32_t leg_deadline = 0;
+          if (!LegDeadline(req, &leg_deadline)) {
+            call.hedge_possible = false;
+            continue;
+          }
+          if (!SpendRetryToken(shards_[s].get())) {
+            shards_[s]->retries_denied.fetch_add(1, std::memory_order_relaxed);
+            call.hedge_possible = false;
+            continue;
+          }
           call.hedged = true;
           ++call.outstanding;
           shards_[s]->hedges_fired.fetch_add(1, std::memory_order_relaxed);
@@ -690,18 +742,23 @@ Status Coordinator::ScatterGather(
 
     // Extract under the lock: a losing late attempt may still touch its
     // call's bookkeeping fields.
+    outcome->total = static_cast<uint32_t>(scatter->calls.size());
     for (size_t s = 0; s < scatter->calls.size(); ++s) {
       ShardCall& call = scatter->calls[s];
       if (!call.status.ok()) {
-        // A failed shard fails the request — partial scatter results are
-        // not a correct answer to any query type. Prefer a retryable
-        // failure so clients treat it like a single server's shed.
+        // A failed shard fails the request unless the client opted into a
+        // partial answer (below) — half a scatter is not a correct answer
+        // to any query type. Prefer a retryable failure so clients treat
+        // it like a single server's shed.
         if (failure.ok() || RetryableBackendFailure(call.status)) {
           failure = AnnotateStatus(call.status,
                                    "shard " + std::to_string(s) + " failed");
         }
+        if (!ExhaustionFailure(call.status)) all_failures_exhaustion = false;
         continue;
       }
+      ++outcome->answered;
+      if (s < 64) outcome->mask |= 1ull << s;
       if (req.type == MessageType::kKnn) {
         knn_replies.push_back(std::move(call.reply.neighbors));
       } else {
@@ -709,7 +766,19 @@ Status Coordinator::ScatterGather(
       }
     }
   }
-  if (!failure.ok()) return failure;
+  if (!failure.ok()) {
+    // Degraded mode: every missing shard failed by exhaustion (budget
+    // spent, breaker open, deadline out — never a semantic error, which
+    // all replicas would repeat) and at least one shard answered. Merge
+    // the survivors and flag the reply; the counts stay honest over
+    // shards_mask.
+    if (!req.allow_partial || !all_failures_exhaustion ||
+        outcome->answered == 0) {
+      return failure;
+    }
+    outcome->partial = true;
+    counters_.partial_replies.fetch_add(1, std::memory_order_relaxed);
+  }
 
   if (req.type == MessageType::kKnn) {
     *neighbors = MergeKnnNeighbors(knn_replies, req.k);
@@ -734,47 +803,97 @@ void Coordinator::RunAttempt(size_t shard_index, size_t replica_offset,
   Shard* shard = shards_[shard_index].get();
   if (!is_hedge) {
     shard->requests.fetch_add(1, std::memory_order_relaxed);
+    AccrueRetryBudget(shard);
   }
 
-  // Preference order: replicas from replica_offset, healthy ones only —
-  // unless that filters out everything, in which case try them all (a
-  // likely-failing attempt beats a certain failure, and one success
-  // resets the backoff).
+  // Walk the replicas in preference order from replica_offset, admitting
+  // each through its circuit breaker. Pass 0 honors the breakers; if it
+  // admits nothing (every breaker open, probes taken), pass 1 tries them
+  // all anyway — a likely-failing attempt beats a certain failure, and
+  // one success closes the breaker.
   const size_t n = shard->replicas.size();
-  std::vector<Replica*> candidates;
-  candidates.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    Replica* replica = shard->replicas[(replica_offset + i) % n].get();
-    if (ReplicaHealthy(*replica)) candidates.push_back(replica);
-  }
-  if (candidates.empty()) {
-    for (size_t i = 0; i < n; ++i) {
-      candidates.push_back(shard->replicas[(replica_offset + i) % n].get());
-    }
-  }
-
   Status last = Status::Unavailable("no replica attempted");
   SubReply reply;
   bool success = false;
   bool attempted = false;
-  for (Replica* replica : candidates) {
-    {
-      // The other attempt may have completed the call while we were
-      // failing over; stop burning backends on an answered question.
-      std::lock_guard<std::mutex> lock(scatter->mu);
-      if (scatter->calls[call_index].done) break;
+  bool admitted_any = false;
+  bool stop = false;
+  for (int pass = 0; pass < 2 && !stop; ++pass) {
+    if (pass == 1 && admitted_any) break;
+    for (size_t i = 0; i < n && !stop; ++i) {
+      Replica* replica = shard->replicas[(replica_offset + i) % n].get();
+      bool is_probe = false;
+      if (pass == 0) {
+        const Admit admit = AdmitReplica(replica);
+        if (admit == Admit::kSkip) {
+          shard->breaker_short_circuits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          continue;
+        }
+        is_probe = admit == Admit::kProbe;
+        admitted_any = true;
+      }
+      {
+        // The other attempt may have completed the call while we were
+        // failing over; stop burning backends on an answered question.
+        std::lock_guard<std::mutex> lock(scatter->mu);
+        if (scatter->calls[call_index].done) {
+          if (is_probe) EndProbe(replica);
+          stop = true;
+          break;
+        }
+      }
+      // The leg gets min(remaining budget, sub_deadline_ms): a request
+      // that arrived with 100 ms can never spend 500 ms in retries here.
+      QueryOptions leg_options = req->options;
+      leg_options.exchange_slack_ms = config_.leg_slack_ms;
+      if (!LegDeadline(*req, &leg_options.deadline_ms)) {
+        last = Status::DeadlineExceeded(
+            "deadline budget exhausted before another backend leg");
+        if (is_probe) EndProbe(replica);
+        stop = true;
+        break;
+      }
+      // A failover leg (any attempt after the first) costs one retry
+      // token; a hedge leg paid its token when the hedge fired.
+      if (attempted) {
+        if (!SpendRetryToken(shard)) {
+          shard->retries_denied.fetch_add(1, std::memory_order_relaxed);
+          last = Status::Unavailable("shard retry budget exhausted");
+          if (is_probe) EndProbe(replica);
+          stop = true;
+          break;
+        }
+        shard->failovers.fetch_add(1, std::memory_order_relaxed);
+      }
+      attempted = true;
+
+      bool aborted = false;
+      last = AttemptReplica(shard, replica, *req, leg_options, k_for_shard,
+                            &reply, scatter.get(), call_index, &aborted);
+      if (is_probe) EndProbe(replica);
+      if (aborted) {
+        // The other attempt won mid-exchange: the abort is what failed
+        // this leg, so its outcome says nothing about the replica.
+        stop = true;
+        break;
+      }
+      if (last.ok()) {
+        MarkReplicaSuccess(replica);
+        success = true;
+        stop = true;
+        break;
+      }
+      shard->backend_errors.fetch_add(1, std::memory_order_relaxed);
+      if (last.code() == StatusCode::kDeadlineExceeded) {
+        counters_.deadline_timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!ExhaustionFailure(last)) {
+        stop = true;  // semantic error: every replica would repeat it
+        break;
+      }
+      MarkReplicaFailure(replica);
     }
-    if (attempted) {
-      shard->failovers.fetch_add(1, std::memory_order_relaxed);
-    }
-    attempted = true;
-    last = AttemptReplica(shard, replica, *req, k_for_shard, &reply);
-    if (last.ok()) {
-      success = true;
-      break;
-    }
-    shard->backend_errors.fetch_add(1, std::memory_order_relaxed);
-    if (!RetryableBackendFailure(last)) break;  // semantic error: stop
   }
 
   std::lock_guard<std::mutex> lock(scatter->mu);
@@ -788,6 +907,12 @@ void Coordinator::RunAttempt(size_t shard_index, size_t replica_offset,
     if (is_hedge) {
       shard->hedges_won.fetch_add(1, std::memory_order_relaxed);
     }
+    // Reap the losing attempt's in-flight exchange: shut its socket down
+    // so its read fails now instead of running out the leg deadline on a
+    // connection that must not be pooled anyway. The loser deregisters
+    // under this same mutex before destroying its client, so every
+    // pointer here is live.
+    for (QueryClient* inflight : call.inflight) inflight->Abort();
     ++scatter->done_count;
     scatter->cv.notify_all();
     return;
@@ -802,39 +927,57 @@ void Coordinator::RunAttempt(size_t shard_index, size_t replica_offset,
 }
 
 Status Coordinator::AttemptReplica(Shard* shard, Replica* replica,
-                                   const SubRequest& req, uint32_t k_for_shard,
-                                   SubReply* out) {
+                                   const SubRequest& req,
+                                   const QueryOptions& leg_options,
+                                   uint32_t k_for_shard, SubReply* out,
+                                   Scatter* scatter, size_t call_index,
+                                   bool* aborted) {
+  *aborted = false;
   auto client = AcquireClient(replica);
-  if (!client.ok()) {
-    MarkReplicaFailure(replica);
-    return client.status();
+  if (!client.ok()) return client.status();
+  QueryClient conn = std::move(*client);
+
+  {
+    // Register for the reap protocol: if the other attempt completes the
+    // call while this exchange runs, it Abort()s this connection.
+    std::lock_guard<std::mutex> lock(scatter->mu);
+    ShardCall& call = scatter->calls[call_index];
+    if (call.done) {
+      *aborted = true;
+    } else {
+      call.inflight.push_back(&conn);
+    }
+  }
+  if (*aborted) {
+    // Never registered, never used: the connection is still poolable.
+    ReleaseClient(replica, std::move(conn));
+    return Status::Unavailable("attempt aborted: call already answered");
   }
 
   const auto start = std::chrono::steady_clock::now();
   Status st;
   switch (req.type) {
     case MessageType::kPointCount: {
-      auto result = client->PointCountDetailed(Box(req.lo, req.hi), req.options);
+      auto result = conn.PointCountDetailed(Box(req.lo, req.hi), leg_options);
       if (result.ok()) out->query = FromClientResult(std::move(*result));
       st = result.status();
       break;
     }
     case MessageType::kBoxQuery: {
-      auto result =
-          client->BoxQuery(Box(req.lo, req.hi), req.limit, req.options);
+      auto result = conn.BoxQuery(Box(req.lo, req.hi), req.limit, leg_options);
       if (result.ok()) out->query = FromClientResult(std::move(*result));
       st = result.status();
       break;
     }
     case MessageType::kKnn: {
-      auto result = client->Knn(req.point, k_for_shard, req.options);
+      auto result = conn.Knn(req.point, k_for_shard, leg_options);
       if (result.ok()) out->neighbors = std::move(result->neighbors);
       st = result.status();
       break;
     }
     case MessageType::kTableSample: {
-      auto result = client->TableSample(Box(req.lo, req.hi), req.percent,
-                                        req.n, req.sample_seed, req.options);
+      auto result = conn.TableSample(Box(req.lo, req.hi), req.percent, req.n,
+                                     req.sample_seed, leg_options);
       if (result.ok()) out->query = FromClientResult(std::move(*result));
       st = result.status();
       break;
@@ -844,20 +987,97 @@ Status Coordinator::AttemptReplica(Shard* shard, Replica* replica,
       break;
   }
 
+  {
+    // Deregister before the winner (or this frame) can invalidate `conn`.
+    std::lock_guard<std::mutex> lock(scatter->mu);
+    ShardCall& call = scatter->calls[call_index];
+    call.inflight.erase(
+        std::remove(call.inflight.begin(), call.inflight.end(), &conn),
+        call.inflight.end());
+    *aborted = call.done;
+  }
+  if (*aborted) {
+    // The winner may have shut this socket down mid-exchange — or right
+    // after the exchange finished, which still poisons the connection.
+    // Either way it is closed here, never pooled.
+    return st.ok() ? Status::Unavailable("attempt aborted by winner")
+                   : std::move(st);
+  }
+
   if (st.ok()) {
     const auto elapsed = std::chrono::steady_clock::now() - start;
     shard->latency_us.Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
             .count()));
-    MarkReplicaSuccess(replica);
-  } else if (RetryableBackendFailure(st)) {
-    MarkReplicaFailure(replica);
   }
-  // A failed exchange already closed the client's socket and ReleaseClient
-  // only pools connections that are still good; a semantic error from the
-  // backend (e.g. InvalidArgument) leaves the connection healthy.
-  ReleaseClient(replica, std::move(*client));
+  // A failed exchange poisoned the client (connected() == false) and
+  // ReleaseClient only pools connections that are still good; a semantic
+  // error from the backend (e.g. InvalidArgument) leaves the connection
+  // healthy. The poisoned fd closes when `conn` goes out of scope — after
+  // the deregistration above, so no Abort() can race it.
+  ReleaseClient(replica, std::move(conn));
   return st;
+}
+
+bool Coordinator::LegDeadline(const SubRequest& req,
+                              uint32_t* leg_deadline_ms) const {
+  if (req.budget_ms == 0) {
+    // No client deadline: each leg is bounded by sub_deadline_ms alone
+    // (retries are bounded by the retry budget and breakers instead).
+    *leg_deadline_ms = config_.sub_deadline_ms;
+    return true;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - req.arrival;
+  const int64_t elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  const int64_t remaining = static_cast<int64_t>(req.budget_ms) - elapsed_ms;
+  if (remaining < 1) return false;
+  int64_t leg = remaining;
+  if (config_.sub_deadline_ms != 0) {
+    leg = std::min<int64_t>(leg, config_.sub_deadline_ms);
+  }
+  *leg_deadline_ms = static_cast<uint32_t>(leg);
+  return true;
+}
+
+Coordinator::Admit Coordinator::AdmitReplica(Replica* replica) {
+  const uint32_t failures =
+      replica->consecutive_failures.load(std::memory_order_acquire);
+  if (failures < config_.breaker_failure_threshold) return Admit::kClosed;
+  const int64_t retry_at = replica->retry_at_ms.load(std::memory_order_acquire);
+  if (SteadyNowMs() < retry_at) return Admit::kSkip;  // open
+  // Half-open: admit exactly one probe until its outcome lands. The CAS
+  // loser skips — a second concurrent attempt must not pile onto a
+  // replica that is still proving itself.
+  bool expected = false;
+  if (replica->probing.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+    return Admit::kProbe;
+  }
+  return Admit::kSkip;
+}
+
+void Coordinator::AccrueRetryBudget(Shard* shard) {
+  const int64_t cap = static_cast<int64_t>(config_.retry_budget_cap) * 1000;
+  const int64_t add =
+      static_cast<int64_t>(config_.retry_budget_ratio * 1000.0);
+  if (add <= 0) return;
+  int64_t cur = shard->retry_budget_milli.load(std::memory_order_relaxed);
+  while (cur < cap && !shard->retry_budget_milli.compare_exchange_weak(
+                          cur, std::min<int64_t>(cap, cur + add),
+                          std::memory_order_relaxed)) {
+  }
+}
+
+bool Coordinator::SpendRetryToken(Shard* shard) {
+  int64_t cur = shard->retry_budget_milli.load(std::memory_order_relaxed);
+  while (cur >= 1000) {
+    if (shard->retry_budget_milli.compare_exchange_weak(
+            cur, cur - 1000, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 Result<QueryClient> Coordinator::AcquireClient(Replica* replica) {
@@ -882,19 +1102,32 @@ void Coordinator::ReleaseClient(Replica* replica, QueryClient client) {
 }
 
 bool Coordinator::ReplicaHealthy(const Replica& replica) const {
-  const int64_t retry_at = replica.retry_at_ms.load(std::memory_order_acquire);
-  return retry_at == 0 || SteadyNowMs() >= retry_at;
+  // Healthy = breaker not open: closed (under the failure threshold) or
+  // half-open (backoff expired, a probe may run).
+  const uint32_t failures =
+      replica.consecutive_failures.load(std::memory_order_acquire);
+  if (failures < config_.breaker_failure_threshold) return true;
+  return SteadyNowMs() >= replica.retry_at_ms.load(std::memory_order_acquire);
 }
 
 void Coordinator::MarkReplicaFailure(Replica* replica) {
   const uint32_t failures =
       replica->consecutive_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
-  uint64_t backoff = config_.replica_backoff_ms;
-  for (uint32_t i = 1; i < failures && backoff < config_.replica_backoff_max_ms;
+  uint64_t base = config_.replica_backoff_ms;
+  for (uint32_t i = 1; i < failures && base < config_.replica_backoff_max_ms;
        ++i) {
-    backoff *= 2;
+    base *= 2;
   }
-  backoff = std::min<uint64_t>(backoff, config_.replica_backoff_max_ms);
+  base = std::min<uint64_t>(base, config_.replica_backoff_max_ms);
+  // Equal jitter (base/2 + uniform(0, base/2]): keeps at least half the
+  // exponential spacing while desynchronizing the probe times of clients
+  // that all watched the same shard restart — a deterministic backoff
+  // turns recovery into a synchronized retry storm.
+  uint64_t backoff = base;
+  if (base >= 2) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    backoff = base / 2 + rng_.NextBounded(base / 2 + 1);
+  }
   replica->retry_at_ms.store(SteadyNowMs() + static_cast<int64_t>(backoff),
                              std::memory_order_release);
 }
@@ -975,6 +1208,10 @@ protocol::ServerStatsSnapshot Coordinator::Stats() const {
   out.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
   out.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
   out.in_flight_peak = counters_.in_flight_peak.load(std::memory_order_relaxed);
+  out.deadline_timeouts =
+      counters_.deadline_timeouts.load(std::memory_order_relaxed);
+  out.partial_replies =
+      counters_.partial_replies.load(std::memory_order_relaxed);
   for (size_t i = 0; i < protocol::kNumRequestTypes; ++i) {
     const Histogram::Snapshot snap = latency_us_[i].TakeSnapshot();
     protocol::RequestTypeStats& t = out.per_type[i];
@@ -993,11 +1230,25 @@ protocol::ServerStatsSnapshot Coordinator::Stats() const {
     for (const auto& replica : shard->replicas) {
       if (ReplicaHealthy(*replica)) ++entry.healthy_replicas;
     }
+    for (const auto& replica : shard->replicas) {
+      const uint32_t failures =
+          replica->consecutive_failures.load(std::memory_order_acquire);
+      if (failures < config_.breaker_failure_threshold) continue;
+      if (SteadyNowMs() <
+          replica->retry_at_ms.load(std::memory_order_acquire)) {
+        ++entry.open_breakers;
+      } else {
+        ++entry.half_open_breakers;
+      }
+    }
     entry.requests = shard->requests.load(std::memory_order_relaxed);
     entry.backend_errors = shard->backend_errors.load(std::memory_order_relaxed);
     entry.failovers = shard->failovers.load(std::memory_order_relaxed);
     entry.hedges_fired = shard->hedges_fired.load(std::memory_order_relaxed);
     entry.hedges_won = shard->hedges_won.load(std::memory_order_relaxed);
+    entry.retries_denied = shard->retries_denied.load(std::memory_order_relaxed);
+    entry.breaker_short_circuits =
+        shard->breaker_short_circuits.load(std::memory_order_relaxed);
     const Histogram::Snapshot snap = shard->latency_us.TakeSnapshot();
     entry.p50_us = snap.ValueAtPercentile(50);
     entry.p99_us = snap.ValueAtPercentile(99);

@@ -14,6 +14,7 @@
 
 #include "common/histogram.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "common/socket.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -68,13 +69,35 @@ struct CoordinatorConfig {
   /// to have >= 2 replicas.
   uint32_t hedge_delay_ms = 0;
   uint64_t hedge_min_samples = 64;
-  /// Consecutive-failure backoff for an unhealthy replica: after the k-th
-  /// consecutive failure the replica is skipped for
+  /// Base/cap of the per-replica breaker open interval: after the breaker
+  /// opens (breaker_failure_threshold consecutive failures) the replica
+  /// is skipped for an equal-jittered exponential interval derived from
   /// min(replica_backoff_ms * 2^(k-1), replica_backoff_max_ms). All
-  /// replicas of a shard unhealthy => they are tried anyway (better a
+  /// replicas of a shard open => they are tried anyway (better a
   /// likely-failing attempt than certain failure).
   uint32_t replica_backoff_ms = 500;
   uint32_t replica_backoff_max_ms = 8000;
+  /// Consecutive failures that open a replica's circuit breaker. While
+  /// open the replica costs zero request-path attempts; when the jittered
+  /// backoff expires, a single half-open probe attempt is admitted and
+  /// its outcome closes or re-opens the breaker.
+  uint32_t breaker_failure_threshold = 5;
+  /// Token-bucket retry budget per shard: every primary attempt accrues
+  /// retry_budget_ratio tokens (capped at retry_budget_cap) and every
+  /// failover or hedge leg spends one. An unhealthy shard can therefore
+  /// amplify traffic by at most ~ratio in steady state instead of
+  /// replica-count-fold. The bucket starts full so cold-start failovers
+  /// are never denied.
+  double retry_budget_ratio = 0.1;
+  uint32_t retry_budget_cap = 32;
+  /// Client-side exchange slack for backend legs (QueryOptions::
+  /// exchange_slack_ms): the leg's read deadline fires this soon after
+  /// the leg's deadline share, so a blackholed backend costs ~budget+
+  /// leg_slack_ms, not budget+2s.
+  uint32_t leg_slack_ms = 25;
+  /// Seed for backoff jitter; 0 = seeded from entropy. Fixed seeds make
+  /// chaos-campaign runs reproducible.
+  uint64_t jitter_seed = 0;
   /// Scatter worker threads shared by all in-flight fan-outs;
   /// 0 = min(32, max(4, 2 * total replicas)).
   unsigned fanout_threads = 0;
@@ -126,11 +149,17 @@ protocol::QueryReply MergeQueryReplies(
 ///    per-shard routing counters (ShardStatsEntry).
 ///
 /// Failover: replicas are tried in preference order; an attempt that
-/// fails with a retryable transport-or-shed status (kUnavailable — sheds,
-/// draining backends, connect failures, mid-frame closes — or kIOError)
-/// moves to the next healthy replica and counts one failover. Non-
-/// retryable backend errors (e.g. InvalidArgument) return immediately.
-/// Repeated failures put a replica in exponential backoff.
+/// fails with a retryable transport-or-shed status (kUnavailable, kIOError,
+/// kNotFound) or a leg deadline expiry moves to the next admitted replica
+/// and counts one failover. Non-retryable backend errors (e.g.
+/// InvalidArgument) return immediately. Every extra leg (failover or
+/// hedge) spends a token from the shard's retry budget and must fit in
+/// the request's remaining deadline budget; breaker_failure_threshold
+/// consecutive failures open a replica's circuit breaker, after which it
+/// costs one half-open probe per jittered backoff interval instead of
+/// per-request timeouts. Requests carrying kFlagAllowPartial degrade to a
+/// merged reply from the surviving shards (kFlagPartial + kFlagDegraded,
+/// shard coverage on the wire) when a shard is exhausted.
 ///
 /// Hedging: while a shard's primary attempt is outstanding, the fan-out
 /// waits the hedge delay (fixed, or the shard's observed p99); on expiry
@@ -184,18 +213,24 @@ class Coordinator {
   enum class State { kRunning, kDraining, kStopped };
 
   /// One backend replica: its address, a small pool of idle connections,
-  /// and consecutive-failure health state.
+  /// and circuit-breaker state. The breaker is derived state:
+  /// consecutive_failures < breaker_failure_threshold = closed;
+  /// otherwise open until retry_at_ms, then half-open (one probe admitted
+  /// via the `probing` flag until its outcome lands).
   struct Replica {
     BackendAddress addr;
     std::mutex mu;
     std::vector<QueryClient> idle;  // pooled connections, guarded by mu
     std::atomic<uint32_t> consecutive_failures{0};
-    /// Steady-clock milliseconds before which the replica is skipped
-    /// (0 = healthy).
+    /// Steady-clock milliseconds before which an open breaker skips the
+    /// replica (0 = never failed).
     std::atomic<int64_t> retry_at_ms{0};
+    /// True while a half-open probe attempt is in flight.
+    std::atomic<bool> probing{false};
   };
 
-  /// One shard: its replicas plus routing counters.
+  /// One shard: its replicas plus routing counters and the retry token
+  /// bucket (milli-tokens so a fractional accrual ratio stays integral).
   struct Shard {
     std::vector<std::unique_ptr<Replica>> replicas;
     uint64_t served_rows = 0;  // from the Start() probe
@@ -204,6 +239,9 @@ class Coordinator {
     std::atomic<uint64_t> failovers{0};
     std::atomic<uint64_t> hedges_fired{0};
     std::atomic<uint64_t> hedges_won{0};
+    std::atomic<uint64_t> retries_denied{0};
+    std::atomic<uint64_t> breaker_short_circuits{0};
+    std::atomic<int64_t> retry_budget_milli{0};  // filled by the ctor
     Histogram latency_us;  // successful sub-request round trips
   };
 
@@ -213,6 +251,15 @@ class Coordinator {
   struct SubRequest {
     protocol::MessageType type = protocol::MessageType::kPointCount;
     QueryOptions options;
+    /// When the client frame was decoded — the zero point the deadline
+    /// budget is decremented from before every leg.
+    std::chrono::steady_clock::time_point arrival;
+    /// The client's own deadline_ms (0 = none): the end-to-end budget.
+    /// options.deadline_ms is recomputed per leg from what remains.
+    uint32_t budget_ms = 0;
+    /// Client sent kFlagAllowPartial: exhausted shards degrade the reply
+    /// instead of failing it.
+    bool allow_partial = false;
     std::vector<double> lo, hi;  // box-like
     uint64_t limit = 0;
     std::vector<double> point;  // kNN
@@ -237,6 +284,11 @@ class Coordinator {
     int outstanding = 0;   ///< attempts still running
     std::chrono::steady_clock::time_point hedge_at;
     bool hedge_possible = false;
+    /// Clients with an exchange in flight for this call, registered under
+    /// Scatter::mu. Whichever attempt completes the call Abort()s the
+    /// rest, so a losing hedge leg fails its read promptly instead of
+    /// sitting on a connection with a stale correlated reply due.
+    std::vector<QueryClient*> inflight;
   };
 
   /// One client request's scatter state, shared by the handler thread and
@@ -268,22 +320,60 @@ class Coordinator {
   Status DecodeSubRequest(const protocol::MessageHeader& header,
                           const uint8_t* body, size_t body_len,
                           uint32_t deadline_ms, SubRequest* out);
+
+  /// Shard-coverage summary of one scatter, reported on the reply wire.
+  struct ScatterOutcome {
+    uint32_t answered = 0;
+    uint32_t total = 0;
+    uint64_t mask = 0;       ///< bit s set = shard s answered
+    bool partial = false;    ///< answered < total and the reply is usable
+  };
+
   /// Runs the scatter-gather for one validated request. On success the
-  /// merged reply is in *merged / *neighbors (by type).
+  /// merged reply is in *merged / *neighbors (by type) and *outcome says
+  /// which shards contributed (outcome->partial marks a degraded merge of
+  /// the survivors, possible only when req.allow_partial).
   Status ScatterGather(const SubRequest& req, protocol::QueryReply* merged,
-                       std::vector<protocol::WireNeighbor>* neighbors);
+                       std::vector<protocol::WireNeighbor>* neighbors,
+                       ScatterOutcome* outcome);
 
   /// One attempt: walk the shard's replicas starting at replica_offset,
-  /// failing over on retryable errors, and complete the ShardCall. The
-  /// request is shared because a losing hedge can outlive the client
-  /// request's stack frame.
+  /// failing over on retryable errors while the deadline and retry
+  /// budgets allow, and complete the ShardCall. The request is shared
+  /// because a losing hedge can outlive the client request's stack frame.
   void RunAttempt(size_t shard_index, size_t replica_offset,
                   std::shared_ptr<const SubRequest> req, uint32_t k_for_shard,
                   std::shared_ptr<Scatter> scatter, size_t call_index,
                   bool is_hedge);
-  /// One replica exchange. Returns the backend's status.
+  /// One replica exchange under `leg_options` (the per-leg deadline
+  /// share). Returns the backend's status; *aborted reports that another
+  /// attempt completed the call while this exchange ran — an aborted
+  /// exchange's connection is never pooled and its outcome must not
+  /// count against the replica.
   Status AttemptReplica(Shard* shard, Replica* replica, const SubRequest& req,
-                        uint32_t k_for_shard, SubReply* out);
+                        const QueryOptions& leg_options, uint32_t k_for_shard,
+                        SubReply* out, Scatter* scatter, size_t call_index,
+                        bool* aborted);
+
+  /// Remaining end-to-end deadline budget for one more leg. False = the
+  /// budget is spent (only possible when the request carried a deadline).
+  bool LegDeadline(const SubRequest& req, uint32_t* leg_deadline_ms) const;
+
+  /// Circuit-breaker admission for one replica.
+  enum class Admit {
+    kClosed,  ///< healthy: admit
+    kProbe,   ///< half-open: admit one probe (caller must EndProbe)
+    kSkip,    ///< open (or a probe is already in flight): skip
+  };
+  Admit AdmitReplica(Replica* replica);
+  void EndProbe(Replica* replica) {
+    replica->probing.store(false, std::memory_order_release);
+  }
+
+  /// Token-bucket retry budget: accrued per primary attempt, spent (one
+  /// token) per failover or hedge leg.
+  void AccrueRetryBudget(Shard* shard);
+  bool SpendRetryToken(Shard* shard);
 
   Result<QueryClient> AcquireClient(Replica* replica);
   void ReleaseClient(Replica* replica, QueryClient client);
@@ -335,10 +425,19 @@ class Coordinator {
     std::atomic<uint64_t> bytes_in{0};
     std::atomic<uint64_t> bytes_out{0};
     std::atomic<uint64_t> in_flight_peak{0};
+    /// Backend legs whose read deadline fired (slow-but-alive replicas).
+    std::atomic<uint64_t> deadline_timeouts{0};
+    /// Replies answered from a strict subset of shards (kFlagPartial).
+    std::atomic<uint64_t> partial_replies{0};
     std::atomic<uint64_t> type_errors[protocol::kNumRequestTypes] = {};
   };
   mutable Counters counters_;
   Histogram latency_us_[protocol::kNumRequestTypes];
+
+  /// Backoff jitter source (common/rng.h is not thread-safe; attempts on
+  /// many fan-out threads mark failures concurrently).
+  mutable std::mutex rng_mu_;
+  mutable Rng rng_;
 };
 
 }  // namespace mds

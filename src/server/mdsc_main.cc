@@ -6,6 +6,9 @@
 //        [--max-in-flight=N] [--idle-timeout-ms=N]
 //        [--sub-deadline-ms=N] [--hedge-delay-ms=N]
 //        [--connect-timeout-ms=N] [--fanout-threads=N]
+//        [--breaker-failures=K] [--replica-backoff-ms=N]
+//        [--replica-backoff-max-ms=N] [--retry-budget-ratio=R]
+//        [--retry-budget-cap=N] [--leg-slack-ms=N] [--jitter-seed=N]
 //
 // Each --shard names the replica set of one shard (replicas separated by
 // commas, nearest first); shards are given in shard order. --shard-map
@@ -51,7 +54,12 @@ int Usage() {
                "[--max-in-flight=N]\n"
                "            [--idle-timeout-ms=N] [--sub-deadline-ms=N] "
                "[--hedge-delay-ms=N]\n"
-               "            [--connect-timeout-ms=N] [--fanout-threads=N]\n");
+               "            [--connect-timeout-ms=N] [--fanout-threads=N]\n"
+               "            [--breaker-failures=K] [--replica-backoff-ms=N]\n"
+               "            [--replica-backoff-max-ms=N] "
+               "[--retry-budget-ratio=R]\n"
+               "            [--retry-budget-cap=N] [--leg-slack-ms=N] "
+               "[--jitter-seed=N]\n");
   return 2;
 }
 
@@ -86,6 +94,24 @@ int main(int argc, char** argv) {
       config.connect_timeout_ms = std::stoull(v);
     } else if (ParseFlag(argv[i], "--fanout-threads", &v)) {
       config.fanout_threads = static_cast<unsigned>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--breaker-failures", &v)) {
+      config.breaker_failure_threshold = static_cast<uint32_t>(std::stoul(v));
+      if (config.breaker_failure_threshold == 0) {
+        std::fprintf(stderr, "mdsc: --breaker-failures must be >= 1\n");
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--replica-backoff-ms", &v)) {
+      config.replica_backoff_ms = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--replica-backoff-max-ms", &v)) {
+      config.replica_backoff_max_ms = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--retry-budget-ratio", &v)) {
+      config.retry_budget_ratio = std::stod(v);
+    } else if (ParseFlag(argv[i], "--retry-budget-cap", &v)) {
+      config.retry_budget_cap = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--leg-slack-ms", &v)) {
+      config.leg_slack_ms = static_cast<uint32_t>(std::stoul(v));
+    } else if (ParseFlag(argv[i], "--jitter-seed", &v)) {
+      config.jitter_seed = std::stoull(v);
     } else {
       return Usage();
     }

@@ -173,6 +173,32 @@ Status DecodeStatus(WireReader* r, Status* status) {
   return Status::OK();
 }
 
+namespace {
+
+/// The 16-byte shard-coverage tail shared by QueryReply and KnnReply.
+/// Encoded only by the mdsc coordinator (shards_total != 0); on decode its
+/// presence is detected by the remaining payload length, so a plain mdsd
+/// reply (no tail) and an old-encoder reply both decode as shards_total 0.
+constexpr size_t kShardCoverageTailBytes = 16;
+
+void EncodeShardCoverage(uint32_t answered, uint32_t total, uint64_t mask,
+                         WireWriter* w) {
+  if (total == 0) return;
+  w->PutU32(answered);
+  w->PutU32(total);
+  w->PutU64(mask);
+}
+
+void DecodeShardCoverage(WireReader* r, uint32_t* answered, uint32_t* total,
+                         uint64_t* mask) {
+  if (!r->ok() || r->remaining() < kShardCoverageTailBytes) return;
+  *answered = r->GetU32();
+  *total = r->GetU32();
+  *mask = r->GetU64();
+}
+
+}  // namespace
+
 void EncodeQueryReply(const QueryReply& reply, WireWriter* w) {
   w->PutU64(reply.row_count);
   w->PutPodVector(reply.objids);
@@ -182,6 +208,8 @@ void EncodeQueryReply(const QueryReply& reply, WireWriter* w) {
   w->PutU64(reply.pages_skipped);
   w->PutU8(reply.degraded ? 1 : 0);
   w->PutString(reply.chosen_path);
+  EncodeShardCoverage(reply.shards_answered, reply.shards_total,
+                      reply.shards_mask, w);
 }
 
 Status DecodeQueryReply(WireReader* r, QueryReply* reply) {
@@ -193,15 +221,21 @@ Status DecodeQueryReply(WireReader* r, QueryReply* reply) {
   reply->pages_skipped = r->GetU64();
   reply->degraded = r->GetU8() != 0;
   reply->chosen_path = r->GetString();
+  DecodeShardCoverage(r, &reply->shards_answered, &reply->shards_total,
+                      &reply->shards_mask);
   return r->status();
 }
 
 void EncodeKnnReply(const KnnReply& reply, WireWriter* w) {
   w->PutPodVector(reply.neighbors);
+  EncodeShardCoverage(reply.shards_answered, reply.shards_total,
+                      reply.shards_mask, w);
 }
 
 Status DecodeKnnReply(WireReader* r, KnnReply* reply) {
   reply->neighbors = r->GetPodVector<WireNeighbor>();
+  DecodeShardCoverage(r, &reply->shards_answered, &reply->shards_total,
+                      &reply->shards_mask);
   return r->status();
 }
 
@@ -248,7 +282,12 @@ void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w) {
     w->PutU64(s.hedges_won);
     w->PutU64(s.p50_us);
     w->PutU64(s.p99_us);
+    w->PutU32(s.open_breakers);
+    w->PutU32(s.half_open_breakers);
+    w->PutU64(s.retries_denied);
+    w->PutU64(s.breaker_short_circuits);
   }
+  w->PutU64(stats.partial_replies);
 }
 
 Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
@@ -301,6 +340,14 @@ Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
     s.hedges_won = r->GetU64();
     s.p50_us = r->GetU64();
     s.p99_us = r->GetU64();
+    s.open_breakers = r->GetU32();
+    s.half_open_breakers = r->GetU32();
+    s.retries_denied = r->GetU64();
+    s.breaker_short_circuits = r->GetU64();
+  }
+  // Additive tail after the shard list: absent from an older encoder.
+  if (r->ok() && r->remaining() >= 8) {
+    stats->partial_replies = r->GetU64();
   }
   return r->status();
 }

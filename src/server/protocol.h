@@ -75,6 +75,14 @@ inline constexpr uint32_t kFlagHintIndex = 1u << 3;
 inline constexpr uint32_t kFlagDegraded = 1u << 4;
 /// Reply: the server is draining; retry against another replica.
 inline constexpr uint32_t kFlagDraining = 1u << 5;
+/// Request: the caller accepts a partial answer from the mdsc coordinator
+/// when a shard is exhausted (retry budget spent, breaker open, or the
+/// deadline cannot cover another attempt) — merged results from the
+/// surviving shards instead of a blanket failure. A plain mdsd ignores it.
+inline constexpr uint32_t kFlagAllowPartial = 1u << 6;
+/// Reply: one or more shards did not contribute (set together with
+/// kFlagDegraded; see the shard-coverage tail on QueryReply/KnnReply).
+inline constexpr uint32_t kFlagPartial = 1u << 7;
 
 struct MessageHeader {
   uint16_t version = kProtocolVersion;
@@ -129,6 +137,16 @@ struct QueryReply {
   uint64_t pages_skipped = 0;
   bool degraded = false;
   std::string chosen_path;  ///< planner's pick ("kd-tree", "full-scan", ...)
+  /// Shard-coverage tail, written only by the mdsc coordinator (encoded
+  /// iff shards_total != 0; a plain mdsd reply ends at chosen_path and
+  /// old decoders simply stop there). shards_mask bit i is set when shard
+  /// i contributed (shards beyond 63 saturate the mask). A partial reply
+  /// (shards_answered < shards_total) also sets kFlagPartial +
+  /// kFlagDegraded and keeps every count honest over the answering
+  /// shards only.
+  uint32_t shards_answered = 0;
+  uint32_t shards_total = 0;  ///< 0 = not a coordinator reply
+  uint64_t shards_mask = 0;
 };
 
 /// One kNN answer row (trivially copyable for bulk encoding).
@@ -139,6 +157,12 @@ struct WireNeighbor {
 
 struct KnnReply {
   std::vector<WireNeighbor> neighbors;
+  /// Shard-coverage tail, exactly as on QueryReply. A partial kNN merge
+  /// is flagged because its neighbors may not be the global nearest —
+  /// a missing shard could hold closer points.
+  uint32_t shards_answered = 0;
+  uint32_t shards_total = 0;  ///< 0 = not a coordinator reply
+  uint64_t shards_mask = 0;
 };
 
 /// Per-request-type latency digest inside a stats reply (microseconds,
@@ -167,6 +191,10 @@ struct ShardStatsEntry {
   uint64_t hedges_won = 0;        ///< hedges that beat the primary attempt
   uint64_t p50_us = 0;
   uint64_t p99_us = 0;
+  uint32_t open_breakers = 0;       ///< replicas with an open circuit breaker
+  uint32_t half_open_breakers = 0;  ///< breakers admitting a single probe
+  uint64_t retries_denied = 0;      ///< failovers/hedges denied by the retry budget
+  uint64_t breaker_short_circuits = 0;  ///< attempts skipped on an open breaker
 };
 /// Decode-side cap on the shard list length (hostile-length guard).
 inline constexpr uint32_t kMaxShardStats = 4096;
@@ -201,6 +229,9 @@ struct ServerStatsSnapshot {
   /// Coordinator-only per-shard counters (empty from a plain mdsd); an
   /// additive tail extension of the stats body — see docs/PROTOCOL.md.
   std::vector<ShardStatsEntry> shards;
+  /// Partial (degraded, some-shards-missing) replies served; a further
+  /// additive tail after the shard list. Always zero from a plain mdsd.
+  uint64_t partial_replies = 0;
 };
 
 /// kHealth reply body.

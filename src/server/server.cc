@@ -204,7 +204,14 @@ void QueryServer::BackOffAccept() {
       accept_backoff_ms_ == 0
           ? kAcceptBackoffMinMs
           : std::min(accept_backoff_ms_ * 2, kAcceptBackoffMaxMs);
-  loops_[0]->loop.AddTimer(accept_backoff_ms_, [this] {
+  // Equal jitter (base/2 + uniform(0, base/2]): fd exhaustion is usually
+  // fleet-wide (a shared client burst), and deterministic doubling would
+  // re-arm every replica's acceptor on the same tick. Loop-0 thread only,
+  // like the rest of the accept state.
+  const uint64_t backoff_ms =
+      accept_backoff_ms_ / 2 +
+      accept_rng_.NextBounded(accept_backoff_ms_ / 2 + 1);
+  loops_[0]->loop.AddTimer(backoff_ms, [this] {
     IoLoop* io0 = loops_[0].get();
     if (io0->shutting_down || state_.load() != State::kRunning) return;
     if (!listener_registered_ && listener_.valid()) {

@@ -8,6 +8,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "common/event_loop.h"
 #include "common/histogram.h"
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "common/socket.h"
 #include "server/dataset.h"
 #include "server/protocol.h"
@@ -269,10 +271,12 @@ class QueryServer {
   std::atomic<State> state_{State::kStopped};
   bool started_ = false;
 
-  // Accept-backoff state (loop-0 thread only).
+  // Accept-backoff state (loop-0 thread only; accept_rng_ jitters the
+  // re-arm interval and is therefore fine unguarded).
   bool listener_registered_ = false;
   uint64_t accept_backoff_ms_ = 0;
   size_t debug_fail_remaining_ = 0;
+  Rng accept_rng_{std::random_device{}()};
 
   // Bounded request queue + in-flight accounting (admission control).
   mutable std::mutex queue_mu_;

@@ -98,6 +98,8 @@ TEST(ProtocolDocTest, ConstantsTableMatchesHeader) {
       {"kFlagHintIndex", protocol::kFlagHintIndex},
       {"kFlagDegraded", protocol::kFlagDegraded},
       {"kFlagDraining", protocol::kFlagDraining},
+      {"kFlagAllowPartial", protocol::kFlagAllowPartial},
+      {"kFlagPartial", protocol::kFlagPartial},
   };
 
   // Every documented row must match the header...
@@ -126,12 +128,32 @@ TEST(ProtocolDocTest, DocumentedStructSizesHold) {
   EXPECT_EQ(sizeof(protocol::WireNeighbor), 16u);  // "16 B each"
   // "Twenty-two u64 scalar counters": count them via the encoded size of
   // an empty snapshot = 22*8 scalars + 6 per-type records of 6*8+8 bytes
-  // + u32 empty shard list.
+  // + u32 empty shard list + u64 partial_replies tail.
   protocol::ServerStatsSnapshot snapshot;
   std::vector<uint8_t> buf;
   WireWriter w(&buf);
   protocol::EncodeServerStats(snapshot, &w);
-  EXPECT_EQ(buf.size(), 22u * 8 + protocol::kNumRequestTypes * (6 * 8 + 8) + 4);
+  EXPECT_EQ(buf.size(),
+            22u * 8 + protocol::kNumRequestTypes * (6 * 8 + 8) + 4 + 8);
+  // One shard-stats entry is 2 u32 + 7 u64 + 2 u32 + 2 u64 = 88 bytes.
+  snapshot.shards.resize(1);
+  buf.clear();
+  WireWriter w2(&buf);
+  protocol::EncodeServerStats(snapshot, &w2);
+  EXPECT_EQ(buf.size(),
+            22u * 8 + protocol::kNumRequestTypes * (6 * 8 + 8) + 4 + 88 + 8);
+  // The shard-coverage tail on QueryReply/KnnReply is 16 bytes, and is
+  // absent entirely when shards_total == 0 (a plain mdsd reply).
+  protocol::QueryReply qr;
+  std::vector<uint8_t> plain, tailed;
+  WireWriter wp(&plain);
+  protocol::EncodeQueryReply(qr, &wp);
+  qr.shards_total = 2;
+  qr.shards_answered = 1;
+  qr.shards_mask = 0x1;
+  WireWriter wt(&tailed);
+  protocol::EncodeQueryReply(qr, &wt);
+  EXPECT_EQ(tailed.size(), plain.size() + 16);
 }
 
 }  // namespace
