@@ -7,6 +7,9 @@
 // buffering or hanging.
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -578,6 +581,112 @@ void Run(const bench::BenchOptions& options) {
 
     coordinator.Shutdown();
     replica1.Shutdown();
+  }
+
+  // --- Phase 7: dataset lifecycle — mmap load, parity, live swap -------
+  // The offline-build pipeline's bench: write the same catalog to a
+  // dataset file, then (a) compare cold-start time for mmap-load vs
+  // in-process synthetic build, (b) check the mmap-served server's
+  // steady-state throughput is within 5% of the build-served one over
+  // an identical workload, and (c) hot-swap the dataset mid-traffic
+  // and compare p99 during the swap window against steady state — with
+  // zero failed or shed requests.
+  {
+    std::printf("\n-- dataset lifecycle: mmap load, parity, live swap --\n");
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bench_lifecycle.mds")
+            .string();
+    {
+      WallTimer timer;
+      DatasetFileOptions file_options;
+      file_options.dataset = dataset_config;
+      MDS_CHECK(WriteDatasetFile(file_options, path).ok());
+      std::printf("offline build+write: %.0f ms (%s)\n", timer.Millis(),
+                  path.c_str());
+    }
+
+    WallTimer build_timer;
+    auto built = ServedDataset::Build(dataset_config);
+    const double build_ms = build_timer.Millis();
+    MDS_CHECK(built.ok());
+    WallTimer load_timer;
+    auto loaded = ServedDataset::Load(path);
+    const double load_ms = load_timer.Millis();
+    MDS_CHECK(loaded.ok());
+    std::printf("cold start: build %.0f ms vs %s load %.0f ms (%.1fx)\n",
+                build_ms, loaded->mmap_backed() ? "mmap" : "file", load_ms,
+                build_ms / load_ms);
+
+    // Steady-state parity: same workload against a build-served and a
+    // load-served server. The generations are identical (same seed), so
+    // only the pager differs; the bar is >= 95% of build throughput.
+    const int per_client = options.quick ? 250 : 2500;
+    auto throughput_of = [&](ServedDataset* served, const char* name) {
+      ServerConfig config;
+      config.num_workers = 4;
+      config.max_in_flight = 256;
+      QueryServer server(served, config);
+      MDS_CHECK(server.Start().ok());
+      PhaseResult warm = RunClosedLoop(server.port(), 4, per_client / 5);
+      (void)warm;
+      PhaseResult r = RunClosedLoop(server.port(), 4, per_client);
+      PrintPhase(options, name, r);
+      MDS_CHECK(r.failed == 0);
+      server.Shutdown();
+      return 1000.0 * static_cast<double>(r.ok) / r.wall_ms;
+    };
+    const double build_per_sec = throughput_of(&*built, "server_from_build");
+    const double mmap_per_sec = throughput_of(&*loaded, "server_from_mmap");
+    std::printf("mmap parity: %.0f req/s vs %.0f built (%.1f%%)\n",
+                mmap_per_sec, build_per_sec,
+                100.0 * mmap_per_sec / build_per_sec);
+    MDS_CHECK(mmap_per_sec >= 0.95 * build_per_sec);
+
+    // Live swap: steady p99 first, then the same workload with a reload
+    // landing mid-run. Every request must succeed across the swap.
+    {
+      auto served = std::make_shared<const ServedDataset>(std::move(*loaded));
+      ServerConfig config;
+      config.num_workers = 4;
+      config.max_in_flight = 256;
+      config.cache_bytes = 32u << 20;
+      QueryServer server(served, config);
+      server.SetReloadHandler(
+          [path](const std::string&)
+              -> Result<std::shared_ptr<ServedDataset>> {
+            auto next = ServedDataset::Load(path);
+            if (!next.ok()) return next.status();
+            return std::make_shared<ServedDataset>(std::move(*next));
+          });
+      MDS_CHECK(server.Start().ok());
+
+      PhaseResult steady = RunClosedLoop(server.port(), 4, per_client);
+      PrintPhase(options, "server_swap_steady", steady);
+      MDS_CHECK(steady.failed == 0);
+
+      std::thread admin([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        auto client = QueryClient::Connect("127.0.0.1", server.port());
+        MDS_CHECK(client.ok());
+        QueryClient::Options slow;
+        slow.deadline_ms = 60000;
+        auto reply = client->Reload("", slow);
+        MDS_CHECK(reply.ok());
+        MDS_CHECK(reply->new_epoch == reply->old_epoch + 1);
+      });
+      PhaseResult swapping = RunClosedLoop(server.port(), 4, per_client);
+      admin.join();
+      PrintPhase(options, "server_swap_live", swapping);
+      MDS_CHECK(swapping.failed == 0);
+      MDS_CHECK(swapping.rejected == 0);  // the swap sheds nothing
+      MDS_CHECK(server.Stats().dataset_epoch == 2);
+      std::printf(
+          "live swap p99: %llu us vs %llu us steady (zero failed requests)\n",
+          (unsigned long long)swapping.latency.p99_us,
+          (unsigned long long)steady.latency.p99_us);
+      server.Shutdown();
+    }
+    std::remove(path.c_str());
   }
 }
 

@@ -1,5 +1,9 @@
 #include "core/index_io.h"
 
+#include <cstring>
+
+#include "common/crc32c.h"
+
 namespace mds {
 
 namespace {
@@ -7,6 +11,13 @@ namespace {
 constexpr uint64_t kKdMagic = 0x4d44534b44543031ULL;    // "MDSKDT01"
 constexpr uint64_t kGridMagic = 0x4d445347524431ULL;    // "MDSGRD1"
 constexpr uint64_t kVoronoiMagic = 0x4d4453564f5231ULL;  // "MDSVOR1"
+constexpr uint64_t kPointsMagic = 0x4d44535054533031ULL;    // "MDSPTS01"
+constexpr uint64_t kManifestMagic = 0x4d44534d414e3031ULL;  // "MDSMAN01"
+constexpr uint64_t kSuperMagic = 0x4d44535355503031ULL;     // "MDSSUP01"
+constexpr uint32_t kSuperVersion = 1;
+/// Superblock layout on page 0: [u64 magic][u32 version][u32 reserved]
+/// [u64 manifest_head][u32 crc32c over bytes 0..24).
+constexpr size_t kSuperCrcOffset = 24;
 
 Status WriteBox(PageStreamWriter* w, const Box& box) {
   MDS_RETURN_NOT_OK(w->WriteVector(box.lo()));
@@ -58,6 +69,87 @@ Status ValidateHeader(PageStreamReader* r, uint64_t magic,
   }
   return Status::OK();
 }
+
+/// Minimal little-endian blob codec for the manifest. core/ cannot reach
+/// for the server's wire codec (layering), and the manifest wants to be a
+/// single contiguous byte blob so one CRC32C covers every field.
+class BlobWriter {
+ public:
+  explicit BlobWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    out_->insert(out_->end(), p, p + sizeof(T));
+  }
+  void PutString(const std::string& s) {
+    Put<uint32_t>(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Put<uint64_t>(v.size());
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(v.data());
+    out_->insert(out_->end(), p, p + v.size() * sizeof(T));
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked reader over the manifest blob; any overrun trips the
+/// sticky failed() flag instead of reading past the buffer.
+class BlobReader {
+ public:
+  BlobReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    if (failed_ || sizeof(T) > remaining()) {
+      failed_ = true;
+      return v;
+    }
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::string GetString() {
+    const uint32_t n = Get<uint32_t>();
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      return std::string();
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  template <typename T>
+  std::vector<T> GetVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t n = Get<uint64_t>();
+    if (failed_ || n > remaining() / sizeof(T)) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<T> v(static_cast<size_t>(n));
+    std::memcpy(v.data(), data_ + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
+    return v;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
 
 }  // namespace
 
@@ -287,6 +379,183 @@ Result<VoronoiIndex> IndexIo::LoadVoronoi(BufferPool* pool, PageId head,
   if (!result.ok()) {
     return AnnotateStatus(result.status(),
                           HeadContext("IndexIo::LoadVoronoi", head));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Point set
+
+Result<PageId> IndexIo::SavePointSet(BufferPool* pool,
+                                     const PointSet& points) {
+  PageStreamWriter w(pool);
+  auto write = [&]() -> Status {
+    MDS_RETURN_NOT_OK(w.WriteValue(kPointsMagic));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(points.dim()));
+    MDS_RETURN_NOT_OK(w.WriteValue<uint64_t>(points.size()));
+    return w.WriteVector(points.raw());
+  };
+  MDS_RETURN_NOT_OK(AnnotateStatus(write(), "IndexIo::SavePointSet"));
+  return FinishAtomic(pool, &w, "IndexIo::SavePointSet");
+}
+
+Result<PointSet> IndexIo::LoadPointSet(BufferPool* pool, PageId head) {
+  auto load = [&]() -> Result<PointSet> {
+    PageStreamReader r(pool, head);
+    MDS_ASSIGN_OR_RETURN(uint64_t magic, r.ReadValue<uint64_t>());
+    if (magic != kPointsMagic) {
+      return Status::Corruption("IndexIo: bad point-set magic");
+    }
+    MDS_ASSIGN_OR_RETURN(uint64_t dim, r.ReadValue<uint64_t>());
+    MDS_ASSIGN_OR_RETURN(uint64_t n, r.ReadValue<uint64_t>());
+    MDS_ASSIGN_OR_RETURN(std::vector<float> raw, r.ReadVector<float>());
+    if (dim == 0 || raw.size() != dim * n) {
+      return Status::Corruption("IndexIo: point-set payload size inconsistent");
+    }
+    PointSet points(dim, 0);
+    points.mutable_raw() = std::move(raw);
+    return points;
+  };
+  Result<PointSet> result = load();
+  if (!result.ok()) {
+    return AnnotateStatus(result.status(),
+                          HeadContext("IndexIo::LoadPointSet", head));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+Result<PageId> IndexIo::SaveManifest(BufferPool* pool,
+                                     const DatasetManifest& manifest) {
+  std::vector<uint8_t> blob;
+  BlobWriter b(&blob);
+  b.Put<uint32_t>(manifest.version);
+  b.Put<uint32_t>(manifest.dim);
+  b.Put<uint64_t>(manifest.table_rows);
+  b.Put<uint64_t>(manifest.total_rows);
+  b.Put<uint64_t>(manifest.seed);
+  b.PutString(manifest.provenance);
+  b.Put<uint32_t>(manifest.shard_index);
+  b.Put<uint32_t>(manifest.shard_count);
+  b.PutVector(manifest.table_pages);
+  b.Put<uint64_t>(manifest.points_head);
+  b.Put<uint64_t>(manifest.kdtree_head);
+  b.Put<uint64_t>(manifest.grid_head);
+  b.Put<uint64_t>(manifest.voronoi_head);
+  b.Put<uint32_t>(Crc32c(blob.data(), blob.size()));
+
+  PageStreamWriter w(pool);
+  auto write = [&]() -> Status {
+    MDS_RETURN_NOT_OK(w.WriteValue(kManifestMagic));
+    return w.WriteVector(blob);
+  };
+  MDS_RETURN_NOT_OK(AnnotateStatus(write(), "IndexIo::SaveManifest"));
+  return FinishAtomic(pool, &w, "IndexIo::SaveManifest");
+}
+
+Result<DatasetManifest> IndexIo::LoadManifest(BufferPool* pool, PageId head) {
+  auto load = [&]() -> Result<DatasetManifest> {
+    PageStreamReader r(pool, head);
+    MDS_ASSIGN_OR_RETURN(uint64_t magic, r.ReadValue<uint64_t>());
+    if (magic != kManifestMagic) {
+      return Status::Corruption("IndexIo: bad manifest magic");
+    }
+    MDS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.ReadVector<uint8_t>());
+    if (blob.size() < sizeof(uint32_t)) {
+      return Status::Corruption("IndexIo: manifest blob truncated");
+    }
+    const size_t covered = blob.size() - sizeof(uint32_t);
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, blob.data() + covered, sizeof(stored_crc));
+    if (Crc32c(blob.data(), covered) != stored_crc) {
+      return Status::Corruption("IndexIo: manifest CRC mismatch");
+    }
+
+    BlobReader b(blob.data(), covered);
+    DatasetManifest m;
+    m.version = b.Get<uint32_t>();
+    if (!b.failed() && m.version != DatasetManifest::kVersion) {
+      return Status::InvalidArgument("IndexIo: unsupported manifest version " +
+                                     std::to_string(m.version));
+    }
+    m.dim = b.Get<uint32_t>();
+    m.table_rows = b.Get<uint64_t>();
+    m.total_rows = b.Get<uint64_t>();
+    m.seed = b.Get<uint64_t>();
+    m.provenance = b.GetString();
+    m.shard_index = b.Get<uint32_t>();
+    m.shard_count = b.Get<uint32_t>();
+    m.table_pages = b.GetVector<PageId>();
+    m.points_head = b.Get<uint64_t>();
+    m.kdtree_head = b.Get<uint64_t>();
+    m.grid_head = b.Get<uint64_t>();
+    m.voronoi_head = b.Get<uint64_t>();
+    if (b.failed() || b.remaining() != 0) {
+      // A CRC-valid blob that mis-parses means writer/reader skew, not bit
+      // rot — but either way the manifest cannot be trusted.
+      return Status::Corruption("IndexIo: manifest blob malformed");
+    }
+    if (m.dim == 0 || m.shard_count == 0 || m.shard_index >= m.shard_count) {
+      return Status::Corruption("IndexIo: manifest fields out of range");
+    }
+    return m;
+  };
+  Result<DatasetManifest> result = load();
+  if (!result.ok()) {
+    return AnnotateStatus(result.status(),
+                          HeadContext("IndexIo::LoadManifest", head));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Superblock
+
+Status IndexIo::WriteSuperblock(BufferPool* pool, PageId manifest_head) {
+  auto write = [&]() -> Status {
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool->Fetch(0));
+    Page& page = guard.MutablePage();
+    page.WriteAt<uint64_t>(0, kSuperMagic);
+    page.WriteAt<uint32_t>(8, kSuperVersion);
+    page.WriteAt<uint32_t>(12, 0);  // reserved
+    page.WriteAt<uint64_t>(16, manifest_head);
+    page.WriteAt<uint32_t>(kSuperCrcOffset,
+                           Crc32c(page.bytes(), kSuperCrcOffset));
+    guard.Release();
+    return pool->FlushAll();
+  };
+  return AnnotateStatus(write(), "IndexIo::WriteSuperblock");
+}
+
+Result<PageId> IndexIo::ReadSuperblock(BufferPool* pool) {
+  auto read = [&]() -> Result<PageId> {
+    if (pool->pager()->NumPages() == 0) {
+      return Status::Corruption("IndexIo: empty dataset file (no superblock)");
+    }
+    MDS_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool->Fetch(0));
+    const Page& page = guard.page();
+    if (page.ReadAt<uint64_t>(0) != kSuperMagic) {
+      return Status::Corruption(
+          "IndexIo: bad superblock magic (not a dataset file, or an "
+          "incomplete build)");
+    }
+    if (page.ReadAt<uint32_t>(kSuperCrcOffset) !=
+        Crc32c(page.bytes(), kSuperCrcOffset)) {
+      return Status::Corruption("IndexIo: superblock CRC mismatch");
+    }
+    const uint32_t version = page.ReadAt<uint32_t>(8);
+    if (version != kSuperVersion) {
+      return Status::InvalidArgument(
+          "IndexIo: unsupported dataset format version " +
+          std::to_string(version));
+    }
+    return page.ReadAt<uint64_t>(16);
+  };
+  Result<PageId> result = read();
+  if (!result.ok()) {
+    return AnnotateStatus(result.status(), "IndexIo::ReadSuperblock");
   }
   return result;
 }

@@ -1,14 +1,57 @@
 #ifndef MDS_CORE_INDEX_IO_H_
 #define MDS_CORE_INDEX_IO_H_
 
+#include <string>
+#include <vector>
+
 #include "common/result.h"
 #include "core/kdtree.h"
 #include "core/layered_grid.h"
 #include "core/voronoi_index.h"
+#include "geom/point_set.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_stream.h"
 
 namespace mds {
+
+/// On-disk description of one dataset release: everything a server needs
+/// to reopen a pager file written by `mdsctl build` and serve it — the
+/// table's pages, the index-chain heads, the coordinate chain, and the
+/// provenance (dim, row counts, seed, shard slice) that reload validation
+/// checks before a file is allowed to replace live data.
+///
+/// The manifest is serialized as a single length-prefixed blob with its
+/// own CRC32C over the serialized bytes, inside a page-stream chain whose
+/// head the page-0 superblock points at. Page footers already checksum
+/// each 8 KB page; the blob CRC additionally catches a manifest stitched
+/// together from pages of different writes. See docs/PROTOCOL.md
+/// "Dataset file format" for the byte layout.
+struct DatasetManifest {
+  static constexpr uint32_t kVersion = 1;
+
+  uint32_t version = kVersion;
+  uint32_t dim = 0;
+  /// Rows materialized in the stored table (the shard's slice).
+  uint64_t table_rows = 0;
+  /// Rows in the full point set (equal to table_rows when shard_count=1).
+  uint64_t total_rows = 0;
+  /// Generator seed for synthetic catalogs; 0 for ingested data.
+  uint64_t seed = 0;
+  /// Free-form origin string, e.g. "synthetic seed=42" or "csv:sky.csv".
+  std::string provenance;
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  /// Pages of the clustered point table, in append order (Table::Attach).
+  std::vector<PageId> table_pages;
+  /// Full-point-set coordinate chain (IndexIo::SavePointSet).
+  PageId points_head = kInvalidPageId;
+  /// Index chains over the FULL point set. The kd-tree is mandatory (the
+  /// server re-extracts its shard subtree from it at load time); grid and
+  /// Voronoi are optional (kInvalidPageId when absent).
+  PageId kdtree_head = kInvalidPageId;
+  PageId grid_head = kInvalidPageId;
+  PageId voronoi_head = kInvalidPageId;
+};
 
 /// Persistence for the spatial indexes: an index is serialized into a
 /// chain of buffer-pool pages living in the same pager file as the tables
@@ -40,6 +83,33 @@ class IndexIo {
                                                   const PointSet* points);
   static Result<VoronoiIndex> LoadVoronoi(BufferPool* pool, PageId head,
                                           const PointSet* points);
+
+  // --- dataset lifecycle (manifest + coordinates + superblock) -------------
+
+  /// Serializes the raw coordinates so a dataset file is self-contained:
+  /// Load* above validates against a PointSet the caller supplies, and this
+  /// chain is where a reopening server gets that PointSet from.
+  static Result<PageId> SavePointSet(BufferPool* pool, const PointSet& points);
+  static Result<PointSet> LoadPointSet(BufferPool* pool, PageId head);
+
+  /// Serializes/loads the manifest blob (CRC-protected; see
+  /// DatasetManifest). Fails with Corruption on bad magic, short blob or
+  /// CRC mismatch, InvalidArgument on an unsupported version.
+  static Result<PageId> SaveManifest(BufferPool* pool,
+                                     const DatasetManifest& manifest);
+  static Result<DatasetManifest> LoadManifest(BufferPool* pool, PageId head);
+
+  /// Commit point of a dataset file: stamps page 0 (which the writer must
+  /// have allocated first, before any chain) with the superblock — magic,
+  /// format version, manifest head, CRC — and flushes. Until this
+  /// succeeds, page 0 is unformatted and ReadSuperblock refuses the file,
+  /// so a crashed or failed build never yields a loadable-but-incomplete
+  /// dataset: the classic write-everything / sync / swap-pointer protocol,
+  /// with the superblock as the pointer.
+  static Status WriteSuperblock(BufferPool* pool, PageId manifest_head);
+
+  /// Validates page 0 and returns the manifest head.
+  static Result<PageId> ReadSuperblock(BufferPool* pool);
 };
 
 }  // namespace mds

@@ -375,6 +375,25 @@ Result<QueryClient::HealthResult> QueryClient::Health(const Options& options) {
   return out;
 }
 
+Result<protocol::ReloadReply> QueryClient::Reload(const std::string& path,
+                                                  const Options& options) {
+  protocol::ReloadRequest req;
+  req.path = path;
+  std::vector<uint8_t> body;
+  WireWriter w(&body);
+  protocol::EncodeReloadRequest(req, &w);
+
+  std::vector<uint8_t> reply;
+  protocol::MessageHeader header;
+  size_t offset = 0;
+  MDS_RETURN_NOT_OK(RoundTrip(MessageType::kReload, options, body, &reply,
+                              &header, &offset));
+  WireReader r(reply.data() + offset, reply.size() - offset);
+  protocol::ReloadReply decoded;
+  MDS_RETURN_NOT_OK(DecodeReloadReply(&r, &decoded));
+  return decoded;
+}
+
 Result<protocol::ServerStatsSnapshot> QueryClient::ServerStats(
     const Options& options) {
   std::vector<uint8_t> reply;

@@ -118,6 +118,14 @@ class QueryClient {
   Result<protocol::ServerStatsSnapshot> ServerStats(
       const Options& options = {});
 
+  /// Admin: asks the server to load a new dataset generation and swap it
+  /// in (kReload). `path` names a dataset file on the SERVER's
+  /// filesystem; empty asks the server to reload its current source.
+  /// Loading runs on a server worker, so pass a deadline generous enough
+  /// to cover the build (or 0 for the client's long default bound).
+  Result<protocol::ReloadReply> Reload(const std::string& path,
+                                       const Options& options = {});
+
   /// Pipelined batch exchanges: all k request frames are written before
   /// any reply is read, so the batch costs one round trip instead of k.
   /// Replies are correlated by request id (the server may interleave

@@ -464,6 +464,23 @@ bool Coordinator::HandleFrame(ClientConn* conn, std::vector<uint8_t> payload) {
     HandleStats(conn, header);
     return true;
   }
+  if (header.type == MessageType::kReload) {
+    // Admin request: body is the deadline prefix + the reload body.
+    const uint32_t deadline_ms = r.GetU32();
+    if (!r.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    protocol::ReloadRequest reload;
+    Status decoded = protocol::DecodeReloadRequest(&r, &reload);
+    if (decoded.ok()) decoded = r.ExpectEnd();
+    if (!decoded.ok()) {
+      WriteReplyFrame(conn, header, decoded, 0, nullptr);
+      return true;
+    }
+    HandleReload(conn, header, reload, deadline_ms);
+    return true;
+  }
   if (protocol::TypeIndex(header.type) >= protocol::kNumRequestTypes) {
     WriteReplyFrame(conn, header,
                     Status::InvalidArgument(
@@ -505,6 +522,71 @@ void Coordinator::HandleStats(ClientConn* conn, const MessageHeader& header) {
   WriteReplyFrame(conn, header, Status::OK(), 0, [&](WireWriter* w) {
     protocol::EncodeServerStats(snapshot, w);
   });
+}
+
+void Coordinator::HandleReload(ClientConn* conn, const MessageHeader& header,
+                               const protocol::ReloadRequest& request,
+                               uint32_t deadline_ms) {
+  const auto arrival = std::chrono::steady_clock::now();
+  if (draining()) {
+    counters_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+    const Status shed = Status::Unavailable("coordinator is draining");
+    WriteReplyFrame(conn, header, shed, protocol::kFlagDraining, nullptr);
+    RecordReply(header.type, arrival, shed);
+    return;
+  }
+  // One fleet reload at a time: concurrent broadcasts would interleave
+  // their swaps across replicas.
+  std::lock_guard<std::mutex> lock(reload_mu_);
+
+  QueryOptions options;
+  options.deadline_ms = deadline_ms;  // 0 = the client's long default bound
+
+  // Broadcast to every replica of every shard over fresh connections
+  // (reloads are rare, and a dataset build would hold a pooled connection
+  // for its whole duration). All replicas must succeed: the same refusal
+  // taxonomy as the Start() probe, so a half-swapped fleet never serves.
+  protocol::ReloadReply merged;
+  merged.old_epoch = UINT64_MAX;
+  merged.new_epoch = UINT64_MAX;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard* shard = shards_[s].get();
+    uint64_t shard_rows = 0;
+    for (size_t i = 0; i < shard->replicas.size(); ++i) {
+      Replica* replica = shard->replicas[i].get();
+      Status failed = Status::OK();
+      auto client = QueryClient::Connect(
+          replica->addr.host, replica->addr.port, config_.connect_timeout_ms);
+      if (!client.ok()) {
+        failed = client.status();
+      } else {
+        auto reply = client->Reload(request.path, options);
+        if (!reply.ok()) {
+          failed = reply.status();
+        } else {
+          merged.old_epoch = std::min(merged.old_epoch, reply->old_epoch);
+          merged.new_epoch = std::min(merged.new_epoch, reply->new_epoch);
+          shard_rows = reply->served_rows;
+        }
+      }
+      if (!failed.ok()) {
+        const Status st = AnnotateStatus(
+            failed, "Coordinator: reload of shard " + std::to_string(s) +
+                        " replica " + std::to_string(i) + " failed");
+        WriteReplyFrame(conn, header, st, 0, nullptr);
+        RecordReply(header.type, arrival, st);
+        return;
+      }
+    }
+    shard->served_rows.store(shard_rows);
+    merged.served_rows += shard_rows;
+  }
+  served_rows_.store(merged.served_rows);
+
+  WriteReplyFrame(conn, header, Status::OK(), 0, [&](WireWriter* w) {
+    protocol::EncodeReloadReply(merged, w);
+  });
+  RecordReply(header.type, arrival, Status::OK());
 }
 
 void Coordinator::HandleQuery(ClientConn* conn, const MessageHeader& header,
@@ -625,10 +707,10 @@ Status Coordinator::DecodeSubRequest(const MessageHeader& header,
       // The global bound check lives here: each shard only knows its own
       // rows, so a k between one shard's rows and the total is valid
       // globally while invalid locally (the scatter clamps per-shard k).
-      if (knn.k > served_rows_) {
+      if (knn.k > served_rows_.load()) {
         return Status::InvalidArgument("k " + std::to_string(knn.k) +
                                        " exceeds served rows " +
-                                       std::to_string(served_rows_));
+                                       std::to_string(served_rows_.load()));
       }
       out->point = std::move(knn.point);
       out->k = knn.k;

@@ -147,6 +147,11 @@ protocol::QueryReply MergeQueryReplies(
 ///    reply through the same topology) but not its exact row set.
 ///  - kHealth / kStats: answered by the coordinator itself; stats carry
 ///    per-shard routing counters (ShardStatsEntry).
+///  - kReload: broadcast to EVERY replica of EVERY shard (a fleet where
+///    only some replicas swapped would answer the same query differently
+///    depending on routing); all must succeed or the reload fails with
+///    the first refusal. The merged reply carries the min old/new epochs
+///    over the fleet and the summed per-shard served_rows.
 ///
 /// Failover: replicas are tried in preference order; an attempt that
 /// fails with a retryable transport-or-shed status (kUnavailable, kIOError,
@@ -205,8 +210,9 @@ class Coordinator {
   protocol::ServerStatsSnapshot Stats() const;
 
   /// Total rows served across shards / their common dimension (valid
-  /// after Start).
-  uint64_t served_rows() const { return served_rows_; }
+  /// after Start; served_rows can move when a kReload lands a new
+  /// generation).
+  uint64_t served_rows() const { return served_rows_.load(); }
   uint32_t dim() const { return dim_; }
 
  private:
@@ -233,7 +239,9 @@ class Coordinator {
   /// bucket (milli-tokens so a fractional accrual ratio stays integral).
   struct Shard {
     std::vector<std::unique_ptr<Replica>> replicas;
-    uint64_t served_rows = 0;  // from the Start() probe
+    /// From the Start() probe; re-stamped by a successful kReload
+    /// broadcast (handler threads read it while queries validate k).
+    std::atomic<uint64_t> served_rows{0};
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> backend_errors{0};
     std::atomic<uint64_t> failovers{0};
@@ -310,6 +318,11 @@ class Coordinator {
   bool HandleFrame(ClientConn* conn, std::vector<uint8_t> payload);
   void HandleHealth(ClientConn* conn, const protocol::MessageHeader& header);
   void HandleStats(ClientConn* conn, const protocol::MessageHeader& header);
+  /// Broadcasts a decoded kReload to every replica of every shard; on
+  /// success re-stamps the per-shard and total served_rows.
+  void HandleReload(ClientConn* conn, const protocol::MessageHeader& header,
+                    const protocol::ReloadRequest& request,
+                    uint32_t deadline_ms);
   /// Decode, validate, scatter, merge, reply for one query request.
   void HandleQuery(ClientConn* conn, const protocol::MessageHeader& header,
                    const std::vector<uint8_t>& payload, size_t body_offset,
@@ -394,8 +407,11 @@ class Coordinator {
 
   CoordinatorConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  uint64_t served_rows_ = 0;
+  std::atomic<uint64_t> served_rows_{0};
   uint32_t dim_ = 0;
+  /// Serializes whole-fleet reload broadcasts (mirrors QueryServer's
+  /// per-server reload_mu_).
+  std::mutex reload_mu_;
   uint16_t port_ = 0;
 
   TcpListener listener_;

@@ -64,6 +64,7 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kBoxQuery: return "box-query";
     case MessageType::kKnn: return "knn";
     case MessageType::kTableSample: return "tablesample";
+    case MessageType::kReload: return "reload";
   }
   return "unknown";
 }
@@ -362,6 +363,32 @@ Status DecodeHealthReply(WireReader* r, HealthReply* reply) {
   reply->draining = r->GetU8();
   reply->served_rows = r->GetU64();
   reply->dim = r->GetU32();
+  return r->status();
+}
+
+void EncodeReloadRequest(const ReloadRequest& req, WireWriter* w) {
+  w->PutString(req.path);
+}
+
+Status DecodeReloadRequest(WireReader* r, ReloadRequest* req) {
+  req->path = r->GetString();
+  if (!r->ok()) return r->status();
+  if (req->path.size() > 4096) {  // PATH_MAX; hostile-length guard
+    return Status::InvalidArgument("protocol: reload path too long");
+  }
+  return Status::OK();
+}
+
+void EncodeReloadReply(const ReloadReply& reply, WireWriter* w) {
+  w->PutU64(reply.old_epoch);
+  w->PutU64(reply.new_epoch);
+  w->PutU64(reply.served_rows);
+}
+
+Status DecodeReloadReply(WireReader* r, ReloadReply* reply) {
+  reply->old_epoch = r->GetU64();
+  reply->new_epoch = r->GetU64();
+  reply->served_rows = r->GetU64();
   return r->status();
 }
 

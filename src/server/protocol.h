@@ -55,6 +55,11 @@ enum class MessageType : uint16_t {
   kBoxQuery = 4,
   kKnn = 5,
   kTableSample = 6,
+  /// Admin: hot-swap the served dataset (additive, PR 9). Not counted in
+  /// per-type stats arrays (kNumRequestTypes stays 6: the stats body
+  /// encodes per_type as a fixed-length array, so growing it would break
+  /// the wire for older decoders).
+  kReload = 7,
 };
 inline constexpr size_t kNumRequestTypes = 6;
 /// Index of a request type in per-type stats arrays, or kNumRequestTypes
@@ -121,6 +126,17 @@ struct TableSampleRequest {
   double percent = 1.0;
   uint64_t n = 1;
   uint64_t seed = 0;  ///< page-sampling RNG seed (reproducible samples)
+};
+
+/// kReload: hot-swap the served dataset to the file at `path` (a path on
+/// the SERVER's filesystem); an empty path reloads the current source
+/// (same file, or a rebuild of the same synthetic config). The mdsc
+/// coordinator broadcasts a reload to every replica of every shard. The
+/// load runs on a worker thread — in-flight queries finish against the old
+/// snapshot and the response cache is invalidated wholesale by the epoch
+/// bump.
+struct ReloadRequest {
+  std::string path;
 };
 
 // --- Reply bodies ----------------------------------------------------------
@@ -241,6 +257,15 @@ struct HealthReply {
   uint32_t dim = 0;
 };
 
+/// kReload reply body: the epoch transition and the new row count. From a
+/// coordinator, old/new epochs are the min over shards (every shard must
+/// succeed or the whole reload fails) and served_rows sums the shards.
+struct ReloadReply {
+  uint64_t old_epoch = 0;
+  uint64_t new_epoch = 0;
+  uint64_t served_rows = 0;
+};
+
 // --- Codec -----------------------------------------------------------------
 
 /// Wraps `payload` in a frame (magic, length, CRC32C) appended to `wire`.
@@ -274,6 +299,10 @@ void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w);
 Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats);
 void EncodeHealthReply(const HealthReply& reply, WireWriter* w);
 Status DecodeHealthReply(WireReader* r, HealthReply* reply);
+void EncodeReloadRequest(const ReloadRequest& req, WireWriter* w);
+Status DecodeReloadRequest(WireReader* r, ReloadRequest* req);
+void EncodeReloadReply(const ReloadReply& reply, WireWriter* w);
+Status DecodeReloadReply(WireReader* r, ReloadReply* reply);
 
 // --- Framed socket I/O -----------------------------------------------------
 

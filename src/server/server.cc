@@ -86,9 +86,9 @@ void RelaxedMax(std::atomic<uint64_t>* target, uint64_t value) {
 
 }  // namespace
 
-QueryServer::QueryServer(const ServedDataset* dataset,
+QueryServer::QueryServer(std::shared_ptr<const ServedDataset> dataset,
                          const ServerConfig& config)
-    : dataset_(dataset), config_(config) {
+    : dataset_(std::move(dataset)), config_(config) {
   if (config_.max_in_flight == 0) config_.max_in_flight = 1;
   if (config_.io_threads == 0) config_.io_threads = 1;
   if (config_.pipeline_batch_max == 0) config_.pipeline_batch_max = 1;
@@ -96,6 +96,14 @@ QueryServer::QueryServer(const ServedDataset* dataset,
     cache_ = std::make_unique<ResponseCache>(config_.cache_bytes);
   }
 }
+
+QueryServer::QueryServer(const ServedDataset* dataset,
+                         const ServerConfig& config)
+    // Aliasing constructor with an empty owner: a non-owning shared_ptr,
+    // preserving the legacy caller-owns-the-dataset contract.
+    : QueryServer(std::shared_ptr<const ServedDataset>(
+                      std::shared_ptr<const void>(), dataset),
+                  config) {}
 
 QueryServer::~QueryServer() { Shutdown(); }
 
@@ -108,7 +116,10 @@ Status QueryServer::Start() {
   listener_ = std::move(*listener);
   port_ = listener_.port();
   MDS_RETURN_NOT_OK(listener_.SetNonBlocking());
-  pool_at_start_ = dataset_->pool()->Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(dataset_mu_);
+    pool_at_start_ = dataset_->pool()->Snapshot();
+  }
 
   loops_.clear();
   next_loop_ = 0;
@@ -147,6 +158,87 @@ Status QueryServer::Start() {
     p->thread = std::thread([p] { p->loop.Run(); });
   }
   return Status::OK();
+}
+
+// --- dataset lifecycle -------------------------------------------------------
+
+void QueryServer::SnapshotDataset(
+    std::shared_ptr<const ServedDataset>* dataset, uint64_t* epoch) const {
+  std::lock_guard<std::mutex> lock(dataset_mu_);
+  *dataset = dataset_;
+  if (epoch != nullptr) *epoch = dataset_->epoch();
+}
+
+void QueryServer::SetReloadHandler(ReloadHandler handler) {
+  std::lock_guard<std::mutex> lock(dataset_mu_);
+  reload_handler_ = std::move(handler);
+}
+
+Result<protocol::ReloadReply> QueryServer::Reload(const std::string& path) {
+  // One reload at a time: concurrent kReload requests (or a SIGHUP racing
+  // an admin request) serialize here instead of interleaving their swaps.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+
+  ReloadHandler handler;
+  std::shared_ptr<const ServedDataset> current;
+  {
+    std::lock_guard<std::mutex> lock(dataset_mu_);
+    handler = reload_handler_;
+    current = dataset_;
+  }
+  if (!handler) {
+    return Status::FailedPrecondition(
+        "QueryServer::Reload: no reload handler installed");
+  }
+
+  // The load runs on the calling thread, off dataset_mu_ — queries keep
+  // executing against the current snapshot for the whole build.
+  auto next = handler(path);
+  if (!next.ok()) {
+    return AnnotateStatus(next.status(),
+                          "QueryServer::Reload('" + path + "')");
+  }
+  if (*next == nullptr) {
+    return Status::Internal(
+        "QueryServer::Reload: handler returned no dataset");
+  }
+
+  // Same refusal taxonomy as the coordinator's startup probe: the new
+  // generation must answer the same query space as the one it replaces.
+  if ((*next)->dim() != current->dim()) {
+    return Status::FailedPrecondition(
+        "reload refused: new dataset serves dimension " +
+        std::to_string((*next)->dim()) + ", expected " +
+        std::to_string(current->dim()));
+  }
+  if ((*next)->shard_index() != current->shard_index() ||
+      (*next)->shard_count() != current->shard_count()) {
+    return Status::FailedPrecondition(
+        "reload refused: new dataset is shard " +
+        std::to_string((*next)->shard_index()) + "/" +
+        std::to_string((*next)->shard_count()) + ", expected shard " +
+        std::to_string(current->shard_index()) + "/" +
+        std::to_string(current->shard_count()));
+  }
+
+  protocol::ReloadReply reply;
+  {
+    std::lock_guard<std::mutex> lock(dataset_mu_);
+    // Swap first, then bump: a request racing this window can at worst
+    // insert an old-epoch cache entry, which the bump invalidates
+    // wholesale. (Bump-then-swap could cache an old-data reply under the
+    // NEW epoch — a persistent lie.) In-flight requests that snapshotted
+    // the old generation finish against it; its pages stay alive until
+    // the last shared_ptr drops.
+    (*next)->AdoptEpochFrom(*dataset_);
+    reply.old_epoch = dataset_->epoch();
+    dataset_ = std::move(*next);
+    dataset_->BumpEpoch();
+    reply.new_epoch = dataset_->epoch();
+    reply.served_rows = dataset_->num_rows();
+    pool_at_start_ = dataset_->pool()->Snapshot();
+  }
+  return reply;
 }
 
 // --- reactor: accept path ---------------------------------------------------
@@ -372,6 +464,11 @@ bool QueryServer::HandleFrame(const std::shared_ptr<Conn>& conn,
   }
   counters_.requests_total.fetch_add(1, std::memory_order_relaxed);
 
+  // Snapshot the serving generation and its cache epoch as one consistent
+  // pair: Reload swaps the pointer and bumps the (shared) epoch under the
+  // same mutex, so a request never pairs old data with the new epoch.
+  SnapshotDataset(&req.dataset, &req.cache_epoch);
+
   // All request bodies begin with the deadline prefix.
   req.deadline_ms = r.GetU32();
   req.body_offset = req.payload.size() - r.remaining();
@@ -393,6 +490,10 @@ bool QueryServer::HandleFrame(const std::shared_ptr<Conn>& conn,
     case MessageType::kBoxQuery:
     case MessageType::kKnn:
     case MessageType::kTableSample:
+    case MessageType::kReload:
+      // kReload rides the worker path: uncacheable (CacheableRequest is
+      // false) and non-gangable (Gangable is false), so it lands in its
+      // own singleton batch behind admission control.
       break;
     default:
       WriteErrorReply(
@@ -597,10 +698,10 @@ void QueryServer::WorkerLoop() {
 
 bool QueryServer::TryServeFromCache(PendingRequest* req) {
   if (cache_ == nullptr || !CacheableRequest(req->header)) return false;
-  // The epoch is observed once, before the probe: a reply computed for
-  // this request populates the cache under the same generation it was
-  // looked up against, never a newer one.
-  req->cache_epoch = dataset_->epoch();
+  // req->cache_epoch was captured together with the dataset snapshot (one
+  // consistent pair, under dataset_mu_): a reply computed for this request
+  // populates the cache under the same generation it was looked up
+  // against, never a newer one.
   const uint8_t* body = req->payload.data() + req->body_offset;
   const size_t body_len = req->payload.size() - req->body_offset;
   ResponseCache::CachedReply hit;
@@ -650,6 +751,8 @@ void QueryServer::HandleRequest(PendingRequest* req) {
         Status::Unavailable("deadline expired before execution");
     FinishRequest(*req, expired);
     WriteErrorReply(*req, expired, 0);
+  } else if (req->header.type == MessageType::kReload) {
+    HandleReload(req);
   } else if (req->header.type == MessageType::kKnn) {
     protocol::KnnReply reply;
     const Status query_status = ExecuteKnn(*req, &reply);
@@ -672,6 +775,28 @@ void QueryServer::ExecuteAndReplyBoxLike(PendingRequest* req) {
       *req, query_status, flags,
       ReplyCacheable(query_status, reply.degraded, reply.pages_skipped),
       [&](WireWriter* w) { protocol::EncodeQueryReply(reply, w); });
+}
+
+void QueryServer::HandleReload(PendingRequest* req) {
+  WireReader r(req->payload.data() + req->body_offset,
+               req->payload.size() - req->body_offset);
+  protocol::ReloadRequest reload;
+  Status decoded = DecodeReloadRequest(&r, &reload);
+  if (decoded.ok()) decoded = r.ExpectEnd();
+  if (!decoded.ok()) {
+    FinishRequest(*req, decoded);
+    WriteErrorReply(*req, decoded, 0);
+    return;
+  }
+  auto result = Reload(reload.path);
+  if (!result.ok()) {
+    FinishRequest(*req, result.status());
+    WriteErrorReply(*req, result.status(), 0);
+    return;
+  }
+  FinishRequest(*req, Status::OK());
+  WriteReply(*req, Status::OK(), 0, /*cacheable_reply=*/false,
+             [&](WireWriter* w) { protocol::EncodeReloadReply(*result, w); });
 }
 
 void QueryServer::HandleBatch(Batch* batch) {
@@ -713,11 +838,11 @@ void QueryServer::HandleBatch(Batch* batch) {
 
     WireReader r(req->payload.data() + req->body_offset,
                  req->payload.size() - req->body_offset);
-    const PointTableBinding& binding = dataset_->binding();
+    const PointTableBinding& binding = req->dataset->binding();
     if (req->header.type == MessageType::kTableSample) {
       protocol::TableSampleRequest sample;
       if (!DecodeTableSampleRequest(&r, &sample).ok() ||
-          !r.ExpectEnd().ok() || sample.lo.size() != dataset_->dim()) {
+          !r.ExpectEnd().ok() || sample.lo.size() != req->dataset->dim()) {
         ExecuteAndReplyBoxLike(req);  // exact sequential error handling
         slot->req = nullptr;
         continue;
@@ -730,7 +855,7 @@ void QueryServer::HandleBatch(Batch* batch) {
     } else {
       protocol::BoxQueryRequest query;
       if (!DecodeBoxQueryRequest(&r, &query).ok() || !r.ExpectEnd().ok() ||
-          query.lo.size() != dataset_->dim()) {
+          query.lo.size() != req->dataset->dim()) {
         ExecuteAndReplyBoxLike(req);
         slot->req = nullptr;
         continue;
@@ -742,7 +867,7 @@ void QueryServer::HandleBatch(Batch* batch) {
       slot->paths.push_back(
           std::make_unique<FullScanPath>(binding, *slot->box));
       slot->paths.push_back(std::make_unique<KdTreePath>(
-          binding, dataset_->tree(), *slot->poly));
+          binding, req->dataset->tree(), *slot->poly));
       // The planner's rule: cheapest feasible path by Estimate().Total(),
       // ties to the earlier registration (full-scan before kd-tree).
       double best_cost = 0.0;
@@ -851,7 +976,7 @@ Status QueryServer::ExecuteBoxLike(const PendingRequest& req,
                                    protocol::QueryReply* out) {
   WireReader r(req.payload.data() + req.body_offset,
                req.payload.size() - req.body_offset);
-  const PointTableBinding& binding = dataset_->binding();
+  const PointTableBinding& binding = req.dataset->binding();
 
   RangeScanner::ScanOptions scan;
   scan.skip_corrupt_pages =
@@ -866,11 +991,11 @@ Status QueryServer::ExecuteBoxLike(const PendingRequest& req,
     protocol::TableSampleRequest sample;
     MDS_RETURN_NOT_OK(DecodeTableSampleRequest(&r, &sample));
     MDS_RETURN_NOT_OK(r.ExpectEnd());
-    if (sample.lo.size() != dataset_->dim()) {
+    if (sample.lo.size() != req.dataset->dim()) {
       return Status::InvalidArgument("query dimension " +
                                      std::to_string(sample.lo.size()) +
                                      " != served dimension " +
-                                     std::to_string(dataset_->dim()));
+                                     std::to_string(req.dataset->dim()));
     }
     Box box(sample.lo, sample.hi);
     Rng rng(sample.seed);
@@ -881,11 +1006,11 @@ Status QueryServer::ExecuteBoxLike(const PendingRequest& req,
     protocol::BoxQueryRequest query;
     MDS_RETURN_NOT_OK(DecodeBoxQueryRequest(&r, &query));
     MDS_RETURN_NOT_OK(r.ExpectEnd());
-    if (query.lo.size() != dataset_->dim()) {
+    if (query.lo.size() != req.dataset->dim()) {
       return Status::InvalidArgument("query dimension " +
                                      std::to_string(query.lo.size()) +
                                      " != served dimension " +
-                                     std::to_string(dataset_->dim()));
+                                     std::to_string(req.dataset->dim()));
     }
     limit = query.limit;
     Box box(query.lo, query.hi);
@@ -893,8 +1018,8 @@ Status QueryServer::ExecuteBoxLike(const PendingRequest& req,
 
     QueryPlanner planner;
     planner.AddPath(std::make_unique<FullScanPath>(binding, box))
-        .AddPath(
-            std::make_unique<KdTreePath>(binding, dataset_->tree(), poly));
+        .AddPath(std::make_unique<KdTreePath>(binding, req.dataset->tree(),
+                                              poly));
 
     QueryPlanner::ExecuteOptions options;
     options.scan = scan;
@@ -934,11 +1059,11 @@ Status QueryServer::ExecuteKnn(const PendingRequest& req,
   protocol::KnnRequest knn;
   MDS_RETURN_NOT_OK(DecodeKnnRequest(&r, &knn));
   MDS_RETURN_NOT_OK(r.ExpectEnd());
-  if (knn.point.size() != dataset_->dim()) {
+  if (knn.point.size() != req.dataset->dim()) {
     return Status::InvalidArgument("query dimension " +
                                    std::to_string(knn.point.size()) +
                                    " != served dimension " +
-                                   std::to_string(dataset_->dim()));
+                                   std::to_string(req.dataset->dim()));
   }
   if (knn.k > kMaxKnnK) {
     return Status::InvalidArgument("k exceeds cap " +
@@ -947,12 +1072,12 @@ Status QueryServer::ExecuteKnn(const PendingRequest& req,
   // k beyond the stored row count used to clamp silently; an answer with
   // fewer than k neighbors is indistinguishable from data loss to the
   // caller, so it is now a boundary error.
-  if (knn.k > dataset_->num_rows()) {
+  if (knn.k > req.dataset->num_rows()) {
     return Status::InvalidArgument(
         "k " + std::to_string(knn.k) + " exceeds served rows " +
-        std::to_string(dataset_->num_rows()));
+        std::to_string(req.dataset->num_rows()));
   }
-  KdKnnSearcher searcher(&dataset_->tree());
+  KdKnnSearcher searcher(&req.dataset->tree());
   std::vector<Neighbor> neighbors =
       searcher.BoundaryGrow(knn.point.data(), knn.k);
   out->neighbors.reserve(neighbors.size());
@@ -966,8 +1091,8 @@ Status QueryServer::ExecuteKnn(const PendingRequest& req,
 void QueryServer::HandleHealth(const PendingRequest& req) {
   protocol::HealthReply reply;
   reply.draining = state_.load() != State::kRunning ? 1 : 0;
-  reply.served_rows = dataset_->num_rows();
-  reply.dim = static_cast<uint32_t>(dataset_->dim());
+  reply.served_rows = req.dataset->num_rows();
+  reply.dim = static_cast<uint32_t>(req.dataset->dim());
   RecordInlineReply(req);
   const uint32_t flags = reply.draining ? protocol::kFlagDraining : 0;
   WriteReply(req, Status::OK(), flags, /*cacheable_reply=*/false,
@@ -1023,6 +1148,16 @@ void QueryServer::WriteErrorReply(const PendingRequest& req,
 }
 
 protocol::ServerStatsSnapshot QueryServer::Stats() const {
+  // One consistent (generation, baseline) pair: Reload re-baselines
+  // pool_at_start_ when it swaps the dataset, under the same mutex.
+  std::shared_ptr<const ServedDataset> dataset;
+  CounterSnapshot pool_at_start;
+  {
+    std::lock_guard<std::mutex> lock(dataset_mu_);
+    dataset = dataset_;
+    pool_at_start = pool_at_start_;
+  }
+
   protocol::ServerStatsSnapshot s;
   s.connections_accepted =
       counters_.connections_accepted.load(std::memory_order_relaxed);
@@ -1045,7 +1180,7 @@ protocol::ServerStatsSnapshot QueryServer::Stats() const {
   s.in_flight_peak = counters_.in_flight_peak.load(std::memory_order_relaxed);
 
   const CounterSnapshot::Delta delta =
-      dataset_->pool()->Delta(pool_at_start_);
+      dataset->pool()->Delta(pool_at_start);
   s.pool_logical_reads = delta.logical_reads;
   s.pool_physical_reads = delta.physical_reads;
 
@@ -1058,7 +1193,7 @@ protocol::ServerStatsSnapshot QueryServer::Stats() const {
     s.cache_bytes = c.bytes;
     s.cache_entries = c.entries;
   }
-  s.dataset_epoch = dataset_->epoch();
+  s.dataset_epoch = dataset->epoch();
 
   for (size_t i = 0; i < protocol::kNumRequestTypes; ++i) {
     const Histogram::Snapshot h = latency_us_[i].TakeSnapshot();

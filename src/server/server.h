@@ -6,9 +6,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -98,6 +100,14 @@ struct ServerConfig {
 /// time.
 class QueryServer {
  public:
+  /// Serves `dataset` as the initial generation. The server holds the
+  /// dataset as an RCU-style snapshot: every request captures the current
+  /// shared_ptr at parse time and executes against it even if a Reload
+  /// swaps the served generation mid-flight.
+  QueryServer(std::shared_ptr<const ServedDataset> dataset,
+              const ServerConfig& config);
+  /// Legacy non-owning form: `dataset` must outlive the server and every
+  /// in-flight request. Reload works only if a handler is set.
   QueryServer(const ServedDataset* dataset, const ServerConfig& config);
   ~QueryServer();
 
@@ -123,6 +133,33 @@ class QueryServer {
   /// Point-in-time server counters (the same snapshot a kStats request
   /// returns).
   protocol::ServerStatsSnapshot Stats() const;
+
+  /// Produces the next dataset generation for a hot swap. `path` names a
+  /// dataset file on this machine; empty means "reload the current
+  /// source" (same file, or a rebuild of the same synthetic config — a
+  /// no-op reload whose replies are byte-identical). The handler runs on
+  /// a worker thread and may take seconds; it must not touch the server.
+  using ReloadHandler =
+      std::function<Result<std::shared_ptr<ServedDataset>>(
+          const std::string& path)>;
+  void SetReloadHandler(ReloadHandler handler);
+
+  /// Hot-swaps the served dataset (kReload requests and SIGHUP both land
+  /// here): runs the reload handler, validates the new generation against
+  /// the live one (dimension and shard slice must match — the same
+  /// refusal taxonomy as the mdsc startup probe), then publishes it:
+  /// swap the snapshot pointer first, bump the (adopted) epoch second.
+  /// That order means a request racing the swap can at worst populate the
+  /// response cache with a still-correct old-generation reply under the
+  /// old epoch key, where the bump strands it; the reverse order could
+  /// cache an old reply under the new epoch, a persistent lie. In-flight
+  /// requests finish on their captured snapshot; the old generation is
+  /// freed when its last request completes. Reloads are serialized;
+  /// queries are never blocked by the (slow) load, only by the brief
+  /// pointer swap. Fails with FailedPrecondition when no handler is set
+  /// or the new dataset is incompatible — the live dataset is untouched
+  /// on every failure path.
+  Result<protocol::ReloadReply> Reload(const std::string& path);
 
  private:
   enum class State { kRunning, kDraining, kStopped };
@@ -161,6 +198,12 @@ class QueryServer {
 
   struct PendingRequest {
     std::shared_ptr<Conn> conn;
+    /// Dataset generation captured at parse time (with its epoch, under
+    /// one lock, so the pair is consistent across a concurrent swap). The
+    /// request executes against this snapshot even if a reload publishes
+    /// a newer generation first; the shared_ptr keeps the old generation
+    /// alive until its last in-flight request replies.
+    std::shared_ptr<const ServedDataset> dataset;
     protocol::MessageHeader header;
     std::vector<uint8_t> payload;  // full payload; body starts at body_offset
     size_t body_offset = 0;
@@ -229,6 +272,9 @@ class QueryServer {
 
   void HandleHealth(const PendingRequest& req);  // loop thread
   void HandleStats(const PendingRequest& req);   // loop thread
+  /// Executes one admitted kReload request (worker thread; the load may
+  /// take seconds and must never run on an I/O thread).
+  void HandleReload(PendingRequest* req);
   Status ExecuteBoxLike(const PendingRequest& req, protocol::QueryReply* out);
   Status ExecuteKnn(const PendingRequest& req, protocol::KnnReply* out);
 
@@ -256,7 +302,19 @@ class QueryServer {
 
   bool Expired(const PendingRequest& req) const;
 
-  const ServedDataset* dataset_;
+  /// Consistent (dataset, epoch) pair under dataset_mu_.
+  void SnapshotDataset(std::shared_ptr<const ServedDataset>* dataset,
+                       uint64_t* epoch) const;
+
+  /// The served generation. Guarded by dataset_mu_ together with
+  /// pool_at_start_ (the I/O-delta baseline is per-generation); reads are
+  /// a brief lock per request, the only writer is Reload's swap.
+  mutable std::mutex dataset_mu_;
+  std::shared_ptr<const ServedDataset> dataset_;
+  ReloadHandler reload_handler_;  // guarded by dataset_mu_
+  /// Serializes whole reloads (load + validate + swap) without ever
+  /// holding dataset_mu_ across the slow load.
+  std::mutex reload_mu_;
   ServerConfig config_;
   uint16_t port_ = 0;
 
@@ -307,7 +365,7 @@ class QueryServer {
   };
   mutable Counters counters_;
   Histogram latency_us_[protocol::kNumRequestTypes];
-  CounterSnapshot pool_at_start_;
+  CounterSnapshot pool_at_start_;  // guarded by dataset_mu_ after Start
   // Response cache (null when config.cache_bytes == 0). Probed on I/O
   // threads, populated on workers; thread-safe by construction.
   std::unique_ptr<ResponseCache> cache_;

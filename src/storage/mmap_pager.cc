@@ -1,0 +1,91 @@
+#include "storage/mmap_pager.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mds {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+MmapPager::~MmapPager() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(base_), mapped_bytes_);
+  }
+}
+
+Result<std::unique_ptr<MmapPager>> MmapPager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open pager file", path));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("cannot stat pager file", path));
+  }
+  if (static_cast<uint64_t>(size) % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("pager file size not a multiple of page size: " +
+                              path);
+  }
+  if (size == 0) {
+    // mmap(len=0) is EINVAL; an empty pager file maps to zero pages.
+    ::close(fd);
+    return std::unique_ptr<MmapPager>(
+        new MmapPager(path, nullptr, 0, 0, false));
+  }
+
+  // Pre-fault the whole file where the kernel allows it; some kernels and
+  // filesystems reject MAP_POPULATE (EINVAL), in which case a lazy mapping
+  // plus the WILLNEED hint below still gets sequential readahead.
+  const size_t len = static_cast<size_t>(size);
+  bool populated = true;
+  void* base =
+      ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE | MAP_POPULATE, fd, 0);
+  if (base == MAP_FAILED) {
+    populated = false;
+    base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
+  if (base == MAP_FAILED) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("cannot mmap pager file", path));
+  }
+  // The mapping pins the file contents; the descriptor is no longer needed.
+  ::close(fd);
+  (void)::madvise(base, len, MADV_WILLNEED);
+  return std::unique_ptr<MmapPager>(
+      new MmapPager(path, static_cast<const uint8_t*>(base), len,
+                    len / kPageSize, populated));
+}
+
+Result<PageId> MmapPager::AllocatePage() {
+  return Status::FailedPrecondition("MmapPager: read-only pager ('" + path_ +
+                                    "') cannot allocate pages");
+}
+
+Status MmapPager::ReadPage(PageId id, Page* page) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("ReadPage(id=" + std::to_string(id) +
+                              ", file '" + path_ + "'): page out of range");
+  }
+  std::memcpy(page->bytes(), base_ + id * kPageSize, kPageSize);
+  return Status::OK();
+}
+
+Status MmapPager::WritePage(PageId id, const Page&) {
+  return Status::FailedPrecondition(
+      "WritePage(id=" + std::to_string(id) + ", file '" + path_ +
+      "'): MmapPager is read-only");
+}
+
+}  // namespace mds

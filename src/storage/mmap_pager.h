@@ -1,0 +1,72 @@
+#ifndef MDS_STORAGE_MMAP_PAGER_H_
+#define MDS_STORAGE_MMAP_PAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace mds {
+
+/// Read-only pager over an mmap(2) mapping of a pager file. Serving an
+/// immutable dataset release does not need write access, and mapping the
+/// file replaces every per-miss pread syscall with a copy straight out of
+/// the kernel page cache — the buffer pool's miss path (including checksum
+/// verification) runs unchanged on top.
+///
+/// The mapping is established with MAP_POPULATE where the kernel supports
+/// it (pre-faulting the file so first-touch misses do not each take a
+/// major fault) and falls back to a plain mapping otherwise;
+/// madvise(MADV_WILLNEED) hints the readahead either way. Callers that
+/// need write access — or run where mmap fails (exotic filesystems,
+/// address-space exhaustion) — use FilePager::Open instead;
+/// ServedDataset::Load does that fallback automatically.
+///
+/// Error taxonomy (same contract as pager.h): open/stat/map failures are
+/// kIOError with errno text, a size that is not a whole number of pages is
+/// kCorruption, reads past the end are kOutOfRange, and every mutating
+/// operation (AllocatePage/WritePage) is kFailedPrecondition — a read-only
+/// device, not a transient fault, so nothing retries it.
+///
+/// Thread safety: fully thread-safe. The mapping is immutable after Open,
+/// so concurrent ReadPage calls on any pages need no synchronization.
+class MmapPager : public Pager {
+ public:
+  ~MmapPager() override;
+
+  /// Maps an existing pager file read-only; its size must be a multiple of
+  /// kPageSize.
+  static Result<std::unique_ptr<MmapPager>> Open(const std::string& path);
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* page) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t NumPages() const override { return num_pages_; }
+  Status Sync() override { return Status::OK(); }  // nothing to flush
+
+  const std::string& path() const { return path_; }
+  /// True when the mapping was pre-faulted with MAP_POPULATE (false when
+  /// the kernel rejected the flag and Open fell back to a lazy mapping).
+  bool populated() const { return populated_; }
+
+ private:
+  MmapPager(std::string path, const uint8_t* base, size_t mapped_bytes,
+            uint64_t num_pages, bool populated)
+      : path_(std::move(path)),
+        base_(base),
+        mapped_bytes_(mapped_bytes),
+        num_pages_(num_pages),
+        populated_(populated) {}
+
+  std::string path_;
+  const uint8_t* base_ = nullptr;
+  size_t mapped_bytes_ = 0;
+  uint64_t num_pages_ = 0;
+  bool populated_ = false;
+};
+
+}  // namespace mds
+
+#endif  // MDS_STORAGE_MMAP_PAGER_H_

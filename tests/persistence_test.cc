@@ -2,12 +2,15 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "common/rng.h"
 #include "core/index_io.h"
 #include "core/knn.h"
 #include "core/point_table.h"
 #include "core/query_engine.h"
+#include "server/dataset.h"
+#include "storage/mmap_pager.h"
 #include "storage/page_stream.h"
 #include "storage/pager.h"
 
@@ -254,6 +257,238 @@ TEST(IndexIoTest, FilePagerReopenLifecycle) {
     (void)table_pages;
     (void)table_first_page;
   }
+  std::remove(path.c_str());
+}
+
+// --- dataset manifest + file lifecycle --------------------------------------
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DatasetManifestTest, RoundTrip) {
+  MemPager pager;
+  BufferPool pool(&pager, 64);
+  DatasetManifest manifest;
+  manifest.dim = 5;
+  manifest.table_rows = 1234;
+  manifest.total_rows = 4321;
+  manifest.seed = 99;
+  manifest.provenance = "synthetic seed=99 rows=4321";
+  manifest.shard_index = 1;
+  manifest.shard_count = 4;
+  manifest.table_pages = {7, 8, 9};
+  manifest.points_head = 42;
+  manifest.kdtree_head = 43;
+  auto head = IndexIo::SaveManifest(&pool, manifest);
+  ASSERT_TRUE(head.ok());
+  auto back = IndexIo::LoadManifest(&pool, *head);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->version, DatasetManifest::kVersion);
+  EXPECT_EQ(back->dim, manifest.dim);
+  EXPECT_EQ(back->table_rows, manifest.table_rows);
+  EXPECT_EQ(back->total_rows, manifest.total_rows);
+  EXPECT_EQ(back->seed, manifest.seed);
+  EXPECT_EQ(back->provenance, manifest.provenance);
+  EXPECT_EQ(back->shard_index, manifest.shard_index);
+  EXPECT_EQ(back->shard_count, manifest.shard_count);
+  EXPECT_EQ(back->table_pages, manifest.table_pages);
+  EXPECT_EQ(back->points_head, manifest.points_head);
+  EXPECT_EQ(back->kdtree_head, manifest.kdtree_head);
+  EXPECT_EQ(back->grid_head, kInvalidPageId);
+  EXPECT_EQ(back->voronoi_head, kInvalidPageId);
+}
+
+TEST(DatasetManifestTest, PointSetRoundTrip) {
+  PointSet ps = MakePoints(5000, 4, 21);
+  MemPager pager;
+  BufferPool pool(&pager, 256);
+  auto head = IndexIo::SavePointSet(&pool, ps);
+  ASSERT_TRUE(head.ok());
+  auto back = IndexIo::LoadPointSet(&pool, *head);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->dim(), ps.dim());
+  EXPECT_EQ(back->size(), ps.size());
+  EXPECT_EQ(back->raw(), ps.raw());
+}
+
+TEST(DatasetManifestTest, SuperblockRefusals) {
+  // An empty pager is not a dataset file.
+  {
+    MemPager pager;
+    BufferPool pool(&pager, 8);
+    EXPECT_EQ(IndexIo::ReadSuperblock(&pool).status().code(),
+              StatusCode::kCorruption);
+  }
+  // A page-0 blob that is not a superblock fails on magic, and a damaged
+  // superblock fails on CRC.
+  {
+    MemPager pager;
+    BufferPool pool(&pager, 8);
+    auto zero = pool.Allocate();
+    ASSERT_TRUE(zero.ok());
+    ASSERT_EQ(zero->id(), 0u);
+    zero->Release();
+    EXPECT_EQ(IndexIo::ReadSuperblock(&pool).status().code(),
+              StatusCode::kCorruption);
+    ASSERT_TRUE(IndexIo::WriteSuperblock(&pool, 3).ok());
+    auto head = IndexIo::ReadSuperblock(&pool);
+    ASSERT_TRUE(head.ok());
+    EXPECT_EQ(*head, 3u);
+    auto guard = pool.Fetch(0);
+    ASSERT_TRUE(guard.ok());
+    guard->MutablePage().WriteAt<uint64_t>(16, 12345);  // flip manifest_head
+    guard->Release();
+    ASSERT_TRUE(pool.FlushAll().ok());
+    EXPECT_EQ(IndexIo::ReadSuperblock(&pool).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+TEST(DatasetFileTest, BuildLoadRoundTrip) {
+  const std::string path = TempPath("mds_dataset_roundtrip.mds");
+  DatasetFileOptions options;
+  options.dataset.num_rows = 20000;
+  options.dataset.seed = 7;
+  ASSERT_TRUE(WriteDatasetFile(options, path).ok());
+
+  auto loaded = ServedDataset::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto built = ServedDataset::Build(options.dataset);
+  ASSERT_TRUE(built.ok());
+
+  EXPECT_EQ(loaded->dim(), built->dim());
+  EXPECT_EQ(loaded->num_rows(), built->num_rows());
+  EXPECT_EQ(loaded->seed(), 7u);
+  EXPECT_EQ(loaded->total_rows(), 20000u);
+  // Same generation seed => identical points and identical clustering.
+  EXPECT_EQ(loaded->points().raw(), built->points().raw());
+  EXPECT_EQ(loaded->tree().clustered_order(),
+            built->tree().clustered_order());
+}
+
+TEST(DatasetFileTest, ShardSlicedRoundTrip) {
+  DatasetFileOptions options;
+  options.dataset.num_rows = 16000;
+  options.dataset.seed = 11;
+  options.dataset.shard_count = 2;
+
+  uint64_t shard_rows_total = 0;
+  for (uint32_t s = 0; s < 2; ++s) {
+    const std::string path =
+        TempPath(("mds_dataset_shard" + std::to_string(s) + ".mds").c_str());
+    options.dataset.shard_index = s;
+    ASSERT_TRUE(WriteDatasetFile(options, path).ok());
+    auto loaded = ServedDataset::Load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->shard_index(), s);
+    EXPECT_EQ(loaded->shard_count(), 2u);
+    EXPECT_LT(loaded->num_rows(), 16000u);
+    EXPECT_EQ(loaded->total_rows(), 16000u);
+
+    // The loaded shard serves exactly the rows the in-memory shard build
+    // serves.
+    DatasetConfig build = options.dataset;
+    auto built = ServedDataset::Build(build);
+    ASSERT_TRUE(built.ok());
+    EXPECT_EQ(loaded->num_rows(), built->num_rows());
+    EXPECT_EQ(loaded->tree().clustered_order(),
+              built->tree().clustered_order());
+    shard_rows_total += loaded->num_rows();
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(shard_rows_total, 16000u);
+}
+
+TEST(DatasetFileTest, CorruptManifestRefused) {
+  const std::string path = TempPath("mds_dataset_corrupt.mds");
+  DatasetFileOptions options;
+  options.dataset.num_rows = 8000;
+  options.dataset.seed = 3;
+  ASSERT_TRUE(WriteDatasetFile(options, path).ok());
+  auto head = [&] {
+    auto pager = FilePager::Open(path);
+    EXPECT_TRUE(pager.ok());
+    BufferPool pool(pager->get(), 64);
+    auto h = IndexIo::ReadSuperblock(&pool);
+    EXPECT_TRUE(h.ok());
+    return *h;
+  }();
+
+  // Flip one byte inside the manifest page's payload: the page CRC (or,
+  // if the page were rewritten, the manifest blob CRC) must refuse it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(head * kPageSize + 64));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(static_cast<std::streamoff>(head * kPageSize + 64));
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.write(&byte, 1);
+  }
+  auto loaded = ServedDataset::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetFileTest, TruncatedFileRefused) {
+  const std::string path = TempPath("mds_dataset_truncated.mds");
+  DatasetFileOptions options;
+  options.dataset.num_rows = 8000;
+  options.dataset.seed = 3;
+  ASSERT_TRUE(WriteDatasetFile(options, path).ok());
+
+  // Chop the file to its first page: the superblock survives but every
+  // chain head points past the end.
+  std::filesystem::resize_file(path, kPageSize);
+  auto loaded = ServedDataset::Load(path);
+  ASSERT_FALSE(loaded.ok());
+
+  // A torn (non-page-multiple) file is refused outright.
+  std::filesystem::resize_file(path, kPageSize / 2);
+  EXPECT_FALSE(MmapPager::Open(path).ok());
+  EXPECT_FALSE(ServedDataset::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetFileTest, MmapPagerMatchesFilePager) {
+  const std::string path = TempPath("mds_dataset_mmap.mds");
+  DatasetFileOptions options;
+  options.dataset.num_rows = 10000;
+  options.dataset.seed = 23;
+  ASSERT_TRUE(WriteDatasetFile(options, path).ok());
+
+  ServedDataset::LoadOptions mmap_opts;
+  auto via_mmap = ServedDataset::Load(path, mmap_opts);
+  ASSERT_TRUE(via_mmap.ok()) << via_mmap.status().ToString();
+  EXPECT_TRUE(via_mmap->mmap_backed());
+
+  ServedDataset::LoadOptions file_opts;
+  file_opts.prefer_mmap = false;
+  auto via_file = ServedDataset::Load(path, file_opts);
+  ASSERT_TRUE(via_file.ok());
+  EXPECT_FALSE(via_file->mmap_backed());
+
+  EXPECT_EQ(via_mmap->points().raw(), via_file->points().raw());
+  EXPECT_EQ(via_mmap->tree().clustered_order(),
+            via_file->tree().clustered_order());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetFileTest, IngestedPointsRoundTrip) {
+  const std::string path = TempPath("mds_dataset_ingest.mds");
+  PointSet ps = MakePoints(6000, 3, 31);
+  DatasetFileOptions options;
+  options.ingest = &ps;
+  options.provenance = "unit-test ingest";
+  ASSERT_TRUE(WriteDatasetFile(options, path).ok());
+  auto loaded = ServedDataset::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dim(), 3u);
+  EXPECT_EQ(loaded->num_rows(), 6000u);
+  EXPECT_EQ(loaded->points().raw(), ps.raw());
   std::remove(path.c_str());
 }
 

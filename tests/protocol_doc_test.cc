@@ -92,6 +92,7 @@ TEST(ProtocolDocTest, ConstantsTableMatchesHeader) {
       {"kKnn", static_cast<uint64_t>(protocol::MessageType::kKnn)},
       {"kTableSample",
        static_cast<uint64_t>(protocol::MessageType::kTableSample)},
+      {"kReload", static_cast<uint64_t>(protocol::MessageType::kReload)},
       {"kFlagReply", protocol::kFlagReply},
       {"kFlagSkipCorrupt", protocol::kFlagSkipCorrupt},
       {"kFlagHintFullScan", protocol::kFlagHintFullScan},

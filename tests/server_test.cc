@@ -821,5 +821,231 @@ TEST_F(ServerTest, ClientDeadlineExceededInsteadOfHanging) {
   sink.join();
 }
 
+// --- hot swap ---------------------------------------------------------------
+
+/// A reload handler that rebuilds the dataset from `config` — with the
+/// startup config this is a no-op generation whose replies are
+/// byte-identical to the old one.
+QueryServer::ReloadHandler RebuildHandler(DatasetConfig config) {
+  return [config](const std::string&)
+             -> Result<std::shared_ptr<ServedDataset>> {
+    auto next = ServedDataset::Build(config);
+    if (!next.ok()) return next.status();
+    return std::make_shared<ServedDataset>(std::move(*next));
+  };
+}
+
+DatasetConfig SuiteConfig() {
+  DatasetConfig config;
+  config.num_rows = 50000;  // matches the fixture dataset
+  return config;
+}
+
+TEST_F(ServerTest, ReloadWithoutHandlerIsRefused) {
+  QueryServer server(dataset_, ServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+  auto reply = client.Reload("");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+  // An error reply, not a protocol violation: the connection survives.
+  EXPECT_TRUE(client.Health().ok());
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, NoOpReloadKeepsRepliesByteIdentical) {
+  auto served = std::make_shared<const ServedDataset>(
+      std::move(*ServedDataset::Build(SuiteConfig())));
+  QueryServer server(served, ServerConfig{});
+  server.SetReloadHandler(RebuildHandler(SuiteConfig()));
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  const Box box = LocusBox(0.7);
+  auto before = client.BoxQuery(box);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  double mags[kNumBands];
+  StellarLocus(0.3, 0.0, mags);
+  auto knn_before = client.Knn(std::vector<double>(mags, mags + kNumBands), 5);
+  ASSERT_TRUE(knn_before.ok());
+
+  QueryClient::Options slow;
+  slow.deadline_ms = 60000;  // the reload covers a full dataset build
+  auto reply = client.Reload("", slow);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->new_epoch, reply->old_epoch + 1);
+  EXPECT_EQ(reply->served_rows, served->num_rows());
+
+  // Same connection, same requests: byte-identical answers from the new
+  // generation (same seed => same points, same clustering, same I/O).
+  auto after = client.BoxQuery(box);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->objids, before->objids);
+  EXPECT_EQ(after->row_count, before->row_count);
+  EXPECT_EQ(after->chosen_path, before->chosen_path);
+  EXPECT_EQ(after->rows_scanned, before->rows_scanned);
+  EXPECT_EQ(after->pages_fetched, before->pages_fetched);
+  auto knn_after = client.Knn(std::vector<double>(mags, mags + kNumBands), 5);
+  ASSERT_TRUE(knn_after.ok());
+  ASSERT_EQ(knn_after->neighbors.size(), knn_before->neighbors.size());
+  for (size_t i = 0; i < knn_after->neighbors.size(); ++i) {
+    EXPECT_EQ(knn_after->neighbors[i].id, knn_before->neighbors[i].id);
+    EXPECT_DOUBLE_EQ(knn_after->neighbors[i].squared_distance,
+                     knn_before->neighbors[i].squared_distance);
+  }
+
+  // The stats reply observes the bump.
+  auto stats = client.ServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dataset_epoch, reply->new_epoch);
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, ReloadInvalidatesCacheWholesale) {
+  auto served = std::make_shared<const ServedDataset>(
+      std::move(*ServedDataset::Build(SuiteConfig())));
+  ServerConfig config;
+  config.cache_bytes = 8u << 20;
+  QueryServer server(served, config);
+  server.SetReloadHandler(RebuildHandler(SuiteConfig()));
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  // Warm: miss then hit — ratio 1.0 on repeats.
+  const Box box = LocusBox(0.6);
+  ASSERT_TRUE(client.PointCount(box).ok());
+  ASSERT_TRUE(client.PointCount(box).ok());
+  EXPECT_EQ(server.Stats().cache_hits, 1u);
+
+  QueryClient::Options slow;
+  slow.deadline_ms = 60000;
+  auto reply = client.Reload("", slow);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  // Every pre-swap entry is dead: first repeat misses, then hits again.
+  ASSERT_TRUE(client.PointCount(box).ok());
+  EXPECT_EQ(server.Stats().cache_hits, 1u);  // miss under the new epoch
+  ASSERT_TRUE(client.PointCount(box).ok());
+  EXPECT_EQ(server.Stats().cache_hits, 2u);  // repopulated
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, ReloadRefusesIncompatibleDataset) {
+  auto served = std::make_shared<const ServedDataset>(
+      std::move(*ServedDataset::Build(SuiteConfig())));
+  QueryServer server(served, ServerConfig{});
+  // A handler that comes back with a shard slice the server wasn't
+  // serving: shape change mid-flight would silently drop data.
+  server.SetReloadHandler([](const std::string&)
+                              -> Result<std::shared_ptr<ServedDataset>> {
+    DatasetConfig sharded = SuiteConfig();
+    sharded.shard_count = 2;
+    auto next = ServedDataset::Build(sharded);
+    if (!next.ok()) return next.status();
+    return std::make_shared<ServedDataset>(std::move(*next));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+
+  const uint64_t epoch_before = server.Stats().dataset_epoch;
+  QueryClient::Options slow;
+  slow.deadline_ms = 60000;
+  auto reply = client.Reload("", slow);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+
+  // The refused generation changed nothing: same epoch, old data serves.
+  EXPECT_EQ(server.Stats().dataset_epoch, epoch_before);
+  auto count = client.PointCount(LocusBox(0.5));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, BruteForceBox(LocusBox(0.5)).size());
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, ReloadHandlerFailurePropagatesAndKeepsServing) {
+  auto served = std::make_shared<const ServedDataset>(
+      std::move(*ServedDataset::Build(SuiteConfig())));
+  QueryServer server(served, ServerConfig{});
+  server.SetReloadHandler([](const std::string& path)
+                              -> Result<std::shared_ptr<ServedDataset>> {
+    return Status::NotFound("no dataset at '" + path + "'");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  QueryClient client = MustConnect(server);
+  auto reply = client.Reload("/nonexistent.mds");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client.Health().ok());
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, HotSwapUnderConcurrentLoadLosesNoRequests) {
+  // The acceptance bar for the whole subsystem: a swap lands while
+  // closed-loop clients hammer the server, and not one request fails —
+  // in-flight queries finish on the old snapshot, later ones run on the
+  // new, the cache flips wholesale, and every answer stays correct
+  // (the generations are byte-identical, so one brute-force oracle
+  // checks both sides of the swap).
+  auto served = std::make_shared<const ServedDataset>(
+      std::move(*ServedDataset::Build(SuiteConfig())));
+  ServerConfig config;
+  config.cache_bytes = 8u << 20;
+  config.num_workers = 4;
+  config.max_in_flight = 256;
+  QueryServer server(served, config);
+  server.SetReloadHandler(RebuildHandler(SuiteConfig()));
+  ASSERT_TRUE(server.Start().ok());
+
+  const Box box = LocusBox(0.8);
+  const std::vector<int64_t> expected = BruteForceBox(box);
+  ASSERT_FALSE(expected.empty());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_ok{0};
+  std::atomic<uint64_t> queries_failed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      auto client = QueryClient::Connect("127.0.0.1", server.port());
+      ASSERT_TRUE(client.ok());
+      QueryClient::Options bounded;
+      bounded.deadline_ms = 30000;
+      while (!stop.load()) {
+        auto r = client->PointCount(box, bounded);
+        if (r.ok() && *r == expected.size()) {
+          queries_ok.fetch_add(1);
+        } else {
+          queries_failed.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Let traffic establish, then swap live — twice, to also cover a
+  // second generation retiring a first reloaded one.
+  while (queries_ok.load() < 50) std::this_thread::yield();
+  auto admin = QueryClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(admin.ok());
+  QueryClient::Options slow;
+  slow.deadline_ms = 60000;
+  auto first = admin->Reload("", slow);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const uint64_t mid = queries_ok.load();
+  while (queries_ok.load() < mid + 50) std::this_thread::yield();
+  auto second = admin->Reload("", slow);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->old_epoch, first->new_epoch);
+  EXPECT_EQ(second->new_epoch, first->new_epoch + 1);
+
+  stop.store(true);
+  for (auto& th : workers) th.join();
+
+  EXPECT_GT(queries_ok.load(), 100u);
+  EXPECT_EQ(queries_failed.load(), 0u)
+      << "hot swap must lose zero requests";
+  EXPECT_EQ(server.Stats().dataset_epoch, second->new_epoch);
+  server.Shutdown();
+}
+
 }  // namespace
 }  // namespace mds
