@@ -317,9 +317,22 @@ void Run(const bench::BenchOptions& options) {
 
     // Hot hammer: 4x the admission cap in clients; everything is memoized
     // and answered on the I/O thread, so nothing is shed and the workers
-    // stay idle.
+    // stay idle. The slab counters on the stats wire tail gauge the
+    // zero-copy contract: a hit performs no payload memcpy and no slab
+    // allocation, so across a pure-hit window reply_tail_copies and
+    // slab_allocations may move only for the residual misses plus the
+    // one stats reply written after the "before" snapshot.
+    auto wire_stats = [&]() {
+      auto client = QueryClient::Connect("127.0.0.1", server.port());
+      MDS_CHECK(client.ok());
+      auto stats = client->ServerStats();
+      MDS_CHECK(stats.ok());
+      return *stats;
+    };
+    const auto before_hot = wire_stats();
     PhaseResult hot = RunClosedLoop(server.port(), hot_clients,
                                     hot_per_client, kDistinct);
+    const auto after_hot = wire_stats();
     PrintPhase(options, "server_cache_hot", hot);
     const double hot_ratio = hit_ratio_since();
     const auto hot_stats = server.Stats();
@@ -330,6 +343,25 @@ void Run(const bench::BenchOptions& options) {
     MDS_CHECK(hot.rejected == 0);  // hits bypass admission control
     MDS_CHECK(hot_ratio >= 0.9);
     MDS_CHECK(hot_stats.in_flight_peak < config.max_in_flight);
+
+    const uint64_t hot_misses = after_hot.cache_misses - before_hot.cache_misses;
+    const uint64_t hot_copies =
+        after_hot.reply_tail_copies - before_hot.reply_tail_copies;
+    const uint64_t hot_allocs =
+        after_hot.slab_allocations - before_hot.slab_allocations;
+    std::printf("zero-copy hot pass: %llu tail copies, %llu slab allocations "
+                "over %llu misses (+1 stats reply); slab bytes in use %llu, "
+                "recycle ratio %.2f\n",
+                (unsigned long long)hot_copies, (unsigned long long)hot_allocs,
+                (unsigned long long)hot_misses,
+                (unsigned long long)after_hot.slab_bytes_in_use,
+                after_hot.slab_allocations != 0
+                    ? static_cast<double>(after_hot.slab_recycles) /
+                          static_cast<double>(after_hot.slab_allocations)
+                    : 0.0);
+    MDS_CHECK(hot_copies <= hot_misses + 1);
+    MDS_CHECK(hot_allocs <= hot_misses + 1);
+    MDS_CHECK(after_hot.slab_bytes_in_use > 0);  // cache entries pin slices
 
     // Epoch bump mid-bench: one atomic store invalidates everything. The
     // next pass over the same boxes re-misses (~0 ratio), repopulates,

@@ -74,7 +74,17 @@ void BufferedSocket::Consume(size_t n) {
 void BufferedSocket::QueueWrite(std::vector<uint8_t> bytes) {
   if (bytes.empty()) return;
   pending_write_bytes_ += bytes.size();
-  write_queue_.push_back(std::move(bytes));
+  WriteBuf buf;
+  buf.owned = std::move(bytes);
+  write_queue_.push_back(std::move(buf));
+}
+
+void BufferedSocket::QueueWrite(SlabPool::Slice slice) {
+  if (!slice || slice.size() == 0) return;
+  pending_write_bytes_ += slice.size();
+  WriteBuf buf;
+  buf.slice = std::move(slice);
+  write_queue_.push_back(std::move(buf));
 }
 
 BufferedSocket::IoResult BufferedSocket::Flush() {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/slab_pool.h"
 #include "common/socket.h"
 
 namespace mds {
@@ -54,9 +55,14 @@ class BufferedSocket {
   /// Marks n received bytes as parsed.
   void Consume(size_t n);
 
-  /// Queues one outgoing buffer (an encoded frame). Does not write;
-  /// callers follow with Flush() and watch for kWouldBlock.
+  /// Queues one outgoing buffer (an encoded frame, or a frame segment —
+  /// segments queued back to back are gathered into one writev). Does not
+  /// write; callers follow with Flush() and watch for kWouldBlock.
   void QueueWrite(std::vector<uint8_t> bytes);
+  /// Queues a refcounted slab slice (its size() bytes) without copying.
+  /// The queue holds a reference until the kernel has taken every byte,
+  /// so a cache entry sharing the slice stays valid while it flushes.
+  void QueueWrite(SlabPool::Slice slice);
 
   /// Writes queued buffers with writev until the queue drains or the
   /// kernel stops taking bytes. kProgress means drained here.
@@ -74,7 +80,19 @@ class BufferedSocket {
   std::vector<uint8_t> read_buf_;
   size_t read_pos_ = 0;
 
-  std::deque<std::vector<uint8_t>> write_queue_;
+  /// One write-queue entry: either an owned byte vector or a refcounted
+  /// slab slice (zero-copy reply tails). Exactly one is non-empty.
+  struct WriteBuf {
+    std::vector<uint8_t> owned;
+    SlabPool::Slice slice;
+
+    const uint8_t* data() const {
+      return slice ? slice.data() : owned.data();
+    }
+    size_t size() const { return slice ? slice.size() : owned.size(); }
+  };
+
+  std::deque<WriteBuf> write_queue_;
   size_t write_front_pos_ = 0;  // consumed bytes of write_queue_.front()
   size_t pending_write_bytes_ = 0;
 };

@@ -1,0 +1,190 @@
+#include "common/slab_pool.h"
+
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace mds {
+
+namespace {
+
+/// Number of size classes: 256, 512, ..., 1 MiB.
+constexpr size_t kNumClasses = 13;
+
+/// Slices carved out of one slab allocation. Bounded so the largest class
+/// still slabs (16 MiB per 1 MiB-class slab) without hoarding memory for
+/// classes the workload never touches — a slab is only allocated when its
+/// class's free list runs dry.
+constexpr size_t kSlicesPerSlab = 16;
+
+size_t ClassBytes(size_t cls) { return SlabPool::kMinSliceBytes << cls; }
+
+}  // namespace
+
+/// Slice bookkeeping, stored inline ahead of the payload bytes. For pooled
+/// slices the owning stripe/class route the last unref back to the right
+/// free list; oversize slices (stripe == nullptr) free their one-off
+/// allocation instead.
+struct SlabPool::Slice::Control {
+  std::atomic<uint32_t> refs{1};
+  uint32_t cls = 0;             ///< size class (pooled slices)
+  size_t capacity = 0;
+  size_t size = 0;
+  SlabPool* pool = nullptr;
+  Stripe* stripe = nullptr;     ///< nullptr = oversize one-off
+  Control* next_free = nullptr; ///< stripe free-list link
+
+  uint8_t* payload() { return reinterpret_cast<uint8_t*>(this + 1); }
+};
+
+/// One lock domain: per-class singly-linked free lists of idle slices plus
+/// ownership of every slab carved for this stripe.
+struct SlabPool::Stripe {
+  std::mutex mu;
+  Slice::Control* free_lists[kNumClasses] = {};
+  std::vector<std::unique_ptr<uint8_t[]>> slabs;
+};
+
+uint8_t* SlabPool::Slice::data() { return ctl_->payload(); }
+const uint8_t* SlabPool::Slice::data() const { return ctl_->payload(); }
+size_t SlabPool::Slice::size() const { return ctl_ != nullptr ? ctl_->size : 0; }
+size_t SlabPool::Slice::capacity() const {
+  return ctl_ != nullptr ? ctl_->capacity : 0;
+}
+
+void SlabPool::Slice::set_size(size_t n) {
+  MDS_DCHECK(ctl_ != nullptr && n <= ctl_->capacity);
+  ctl_->size = n;
+}
+
+void SlabPool::Slice::Ref() {
+  if (ctl_ != nullptr) ctl_->refs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SlabPool::Slice::Reset() {
+  if (ctl_ == nullptr) return;
+  // Release ordering so the payload writes of the dropping owner are
+  // visible to whoever recycles the slice; the matching acquire is the
+  // final decrement's fence.
+  if (ctl_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    SlabPool::Release(ctl_);
+  }
+  ctl_ = nullptr;
+}
+
+SlabPool::SlabPool(size_t stripes) {
+  if (stripes == 0) stripes = 1;
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+SlabPool::~SlabPool() = default;
+
+SlabPool& SlabPool::Global() {
+  // Leaked: reply slices queued on sockets may outlive any static
+  // destruction order the process tears down with.
+  static SlabPool* pool = new SlabPool();
+  return *pool;
+}
+
+size_t SlabPool::ClassForSize(size_t n) {
+  size_t cls = 0;
+  while (ClassBytes(cls) < n) ++cls;
+  return cls;
+}
+
+SlabPool::Slice SlabPool::Allocate(size_t n) {
+  if (n == 0) return Slice();
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  live_slices_.fetch_add(1, std::memory_order_relaxed);
+
+  if (n > kMaxSliceBytes) {
+    // One-off heap fallback behind the same refcounted handle.
+    oversize_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_use_.fetch_add(n, std::memory_order_relaxed);
+    uint8_t* raw = new uint8_t[sizeof(Slice::Control) + n];
+    auto* ctl = new (raw) Slice::Control();
+    ctl->capacity = n;
+    ctl->size = n;
+    ctl->pool = this;
+    return Slice(ctl);
+  }
+
+  const size_t cls = ClassForSize(n);
+  // Shard-affine stripe choice: a thread keeps hashing to the same stripe,
+  // so its free list stays warm in its cache.
+  const size_t stripe_idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      stripes_.size();
+  Stripe* stripe = stripes_[stripe_idx].get();
+
+  Slice::Control* ctl = nullptr;
+  bool recycled = false;
+  {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    ctl = stripe->free_lists[cls];
+    if (ctl != nullptr) {
+      stripe->free_lists[cls] = ctl->next_free;
+      recycled = true;
+    } else {
+      // Carve a fresh slab into kSlicesPerSlab slices; hand out the first
+      // and chain the rest onto the free list.
+      const size_t slice_bytes = sizeof(Slice::Control) + ClassBytes(cls);
+      auto slab = std::make_unique<uint8_t[]>(kSlicesPerSlab * slice_bytes);
+      uint8_t* base = slab.get();
+      stripe->slabs.push_back(std::move(slab));
+      for (size_t i = kSlicesPerSlab; i-- > 0;) {
+        auto* c = new (base + i * slice_bytes) Slice::Control();
+        c->cls = static_cast<uint32_t>(cls);
+        c->capacity = ClassBytes(cls);
+        c->pool = this;
+        c->stripe = stripe;
+        c->refs.store(0, std::memory_order_relaxed);
+        if (i == 0) {
+          ctl = c;
+        } else {
+          c->next_free = stripe->free_lists[cls];
+          stripe->free_lists[cls] = c;
+        }
+      }
+    }
+  }
+  if (recycled) recycles_.fetch_add(1, std::memory_order_relaxed);
+  ctl->refs.store(1, std::memory_order_relaxed);
+  ctl->size = n;
+  ctl->next_free = nullptr;
+  bytes_in_use_.fetch_add(ctl->capacity, std::memory_order_relaxed);
+  return Slice(ctl);
+}
+
+void SlabPool::Release(Slice::Control* ctl) {
+  SlabPool* pool = ctl->pool;
+  pool->live_slices_.fetch_sub(1, std::memory_order_relaxed);
+  pool->bytes_in_use_.fetch_sub(ctl->capacity, std::memory_order_relaxed);
+  if (ctl->stripe == nullptr) {
+    // Oversize one-off: placement-destroyed with its allocation.
+    ctl->~Control();
+    delete[] reinterpret_cast<uint8_t*>(ctl);
+    return;
+  }
+  Stripe* stripe = ctl->stripe;
+  const size_t cls = ctl->cls;
+  std::lock_guard<std::mutex> lock(stripe->mu);
+  ctl->next_free = stripe->free_lists[cls];
+  stripe->free_lists[cls] = ctl;
+}
+
+SlabPool::StatsSnapshot SlabPool::Stats() const {
+  StatsSnapshot s;
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.recycles = recycles_.load(std::memory_order_relaxed);
+  s.oversize = oversize_.load(std::memory_order_relaxed);
+  s.live_slices = live_slices_.load(std::memory_order_relaxed);
+  s.bytes_in_use = bytes_in_use_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mds

@@ -4,11 +4,17 @@
 #include <limits>
 #include <queue>
 
+#include "core/simd_dist.h"
+
 namespace mds {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Rows per distance-kernel call in the scan loops: big enough to amortize
+/// dispatch, small enough that the d2 scratch stays in L1.
+constexpr size_t kDistChunk = 256;
 
 // Max-heap ordering on squared distance.
 struct HeapLess {
@@ -44,9 +50,18 @@ std::vector<Neighbor> KdKnnSearcher::BruteForce(const double* p, size_t k,
   const PointSet& points = index_->points();
   std::vector<Neighbor> heap;
   heap.reserve(k + 1);
-  for (uint64_t i = 0; i < points.size(); ++i) {
-    if (stats != nullptr) ++stats->points_examined;
-    HeapInsert(&heap, k, {i, SquaredDistance(p, points.point(i), points.dim())});
+  // Chunked over the contiguous row store: the kernel fills d2 for a block
+  // of rows, the heap consumes them in the original order, so insert order
+  // (and therefore tie resolution) matches the row-at-a-time loop exactly.
+  double d2[kDistChunk];
+  const size_t n = points.size();
+  for (uint64_t base = 0; base < n; base += kDistChunk) {
+    const size_t len = std::min<size_t>(kDistChunk, n - base);
+    SquaredDistanceBatch(p, points.point(base), len, points.dim(), d2);
+    for (size_t i = 0; i < len; ++i) {
+      if (stats != nullptr) ++stats->points_examined;
+      HeapInsert(&heap, k, {base + i, d2[i]});
+    }
   }
   return HeapFinish(std::move(heap));
 }
@@ -68,10 +83,19 @@ void KdKnnSearcher::ScanLeaf(uint32_t ordinal, const double* p, size_t k,
     }
     stats->top_k_pruned += f;
   }
-  for (uint64_t r = leaf.row_begin; r < leaf.row_end; ++r) {
-    uint64_t id = order[r];
-    if (stats != nullptr) ++stats->points_examined;
-    HeapInsert(heap, k, {id, SquaredDistance(p, points.point(id), points.dim())});
+  // The leaf's rows are contiguous in clustered order; gather-kernel their
+  // distances a chunk at a time, then feed the heap in the original order
+  // so tie resolution is identical to the row-at-a-time loop.
+  double d2[kDistChunk];
+  for (uint64_t r = leaf.row_begin; r < leaf.row_end; r += kDistChunk) {
+    const size_t len =
+        std::min<uint64_t>(kDistChunk, leaf.row_end - r);
+    const uint64_t* ids = &order[r];
+    SquaredDistanceGather(p, points.raw().data(), ids, len, points.dim(), d2);
+    for (size_t i = 0; i < len; ++i) {
+      if (stats != nullptr) ++stats->points_examined;
+      HeapInsert(heap, k, {ids[i], d2[i]});
+    }
   }
 }
 

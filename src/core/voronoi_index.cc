@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/knn.h"
+#include "core/simd_dist.h"
 
 namespace mds {
 
@@ -167,15 +168,22 @@ uint32_t VoronoiIndex::WalkLocate(const double* p, uint32_t start,
                                   WalkStats* stats) const {
   uint32_t current = start;
   double current_d2 = SquaredDistance(p, seeds_->point(current), dim());
+  std::vector<double> d2;
   for (uint32_t guard = 0; guard < num_seeds(); ++guard) {
     uint32_t best = current;
     double best_d2 = current_d2;
-    for (uint32_t nb : graph_[current]) {
+    // Kernel the whole adjacency list at once (seed coordinates are a
+    // gather over the seed-graph neighbor ids), then pick the strict
+    // minimum in list order — the same winner as the one-at-a-time walk.
+    const std::vector<uint32_t>& nbs = graph_[current];
+    d2.resize(nbs.size());
+    SquaredDistanceGather(p, seeds_->raw().data(), nbs.data(), nbs.size(),
+                          dim(), d2.data());
+    for (size_t i = 0; i < nbs.size(); ++i) {
       if (stats != nullptr) ++stats->neighbor_evaluations;
-      double d2 = SquaredDistance(p, seeds_->point(nb), dim());
-      if (d2 < best_d2) {
-        best_d2 = d2;
-        best = nb;
+      if (d2[i] < best_d2) {
+        best_d2 = d2[i];
+        best = nbs[i];
       }
     }
     if (best == current) break;

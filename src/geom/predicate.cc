@@ -1,6 +1,14 @@
 #include "geom/predicate.h"
 
+#include "core/simd_dist.h"
+
 namespace mds {
+
+void BoxPredicate::MatchBatch(const float* rows, size_t n,
+                              uint8_t* mask) const {
+  BoxContainsBatch(box_->lo().data(), box_->hi().data(), rows, n,
+                   box_->dim(), mask);
+}
 
 BoxClass BoxPredicate::Classify(const Box& box) const {
   if (box_->ContainsBox(box)) return BoxClass::kInside;

@@ -1,6 +1,8 @@
 #ifndef MDS_GEOM_PREDICATE_H_
 #define MDS_GEOM_PREDICATE_H_
 
+#include <cstdint>
+
 #include "geom/box.h"
 #include "geom/polyhedron.h"
 
@@ -21,6 +23,15 @@ class SpatialPredicate {
 
   /// Per-row membership test (the `partial`-range fallback).
   virtual bool Matches(const float* p) const = 0;
+
+  /// Batch membership over `n` contiguous dim()-float rows:
+  /// mask[i] = Matches(rows + i*dim()), bit-for-bit. The default is the
+  /// scalar loop; predicates with a vector kernel (BoxPredicate) override
+  /// it. Scanners call this once per decoded page instead of n virtual
+  /// calls.
+  virtual void MatchBatch(const float* rows, size_t n, uint8_t* mask) const {
+    for (size_t i = 0; i < n; ++i) mask[i] = Matches(rows + i * dim()) ? 1 : 0;
+  }
 
   /// Classifies a candidate bounding box against the region, with the same
   /// conservative contract as Polyhedron::Classify: kInside and kOutside
@@ -53,6 +64,9 @@ class BoxPredicate final : public SpatialPredicate {
 
   size_t dim() const override { return box_->dim(); }
   bool Matches(const float* p) const override { return box_->Contains(p); }
+  /// SIMD interval test (core/simd_dist.h), bit-identical to
+  /// Box::Contains including its NaN-counts-as-inside comparison shape.
+  void MatchBatch(const float* rows, size_t n, uint8_t* mask) const override;
   BoxClass Classify(const Box& box) const override;
 
   const Box& box() const { return *box_; }

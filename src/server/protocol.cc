@@ -289,6 +289,10 @@ void EncodeServerStats(const ServerStatsSnapshot& stats, WireWriter* w) {
     w->PutU64(s.breaker_short_circuits);
   }
   w->PutU64(stats.partial_replies);
+  w->PutU64(stats.slab_allocations);
+  w->PutU64(stats.slab_recycles);
+  w->PutU64(stats.slab_bytes_in_use);
+  w->PutU64(stats.reply_tail_copies);
 }
 
 Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
@@ -349,6 +353,18 @@ Status DecodeServerStats(WireReader* r, ServerStatsSnapshot* stats) {
   // Additive tail after the shard list: absent from an older encoder.
   if (r->ok() && r->remaining() >= 8) {
     stats->partial_replies = r->GetU64();
+  }
+  if (r->ok() && r->remaining() >= 8) {
+    stats->slab_allocations = r->GetU64();
+  }
+  if (r->ok() && r->remaining() >= 8) {
+    stats->slab_recycles = r->GetU64();
+  }
+  if (r->ok() && r->remaining() >= 8) {
+    stats->slab_bytes_in_use = r->GetU64();
+  }
+  if (r->ok() && r->remaining() >= 8) {
+    stats->reply_tail_copies = r->GetU64();
   }
   return r->status();
 }

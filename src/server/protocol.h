@@ -248,6 +248,15 @@ struct ServerStatsSnapshot {
   /// Partial (degraded, some-shards-missing) replies served; a further
   /// additive tail after the shard list. Always zero from a plain mdsd.
   uint64_t partial_replies = 0;
+  /// Reply-path memory counters — a further additive tail (each field
+  /// decoded only when present, so older encoders interoperate).
+  /// Slab-pool slices handed out / served from a free list / capacity
+  /// bytes currently pinned, and post-encode payload memcpys on the
+  /// reply path (zero on a pure cache-hit workload).
+  uint64_t slab_allocations = 0;
+  uint64_t slab_recycles = 0;
+  uint64_t slab_bytes_in_use = 0;
+  uint64_t reply_tail_copies = 0;
 };
 
 /// kHealth reply body.

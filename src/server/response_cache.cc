@@ -4,14 +4,24 @@
 #include <cstring>
 #include <functional>
 
+#include "common/logging.h"
+
 namespace mds {
 
 namespace {
 
-/// Fixed per-entry accounting overhead: list node, map slot, allocator
-/// slack. Deliberately generous so the byte bound is honest about real
+/// Fixed per-entry accounting overhead: list node, map slot, slice control
+/// block. Deliberately generous so the byte bound is honest about real
 /// memory, not just payload bytes.
 constexpr size_t kEntryOverhead = 64;
+
+/// Charge for one entry: key storage plus the slice *capacity* (the slab
+/// class actually held, which for an oversize slice equals its length)
+/// plus fixed overhead. Capacity, not size — a 300-byte tail in a 512-byte
+/// slice pins 512 bytes of slab.
+size_t EntryCharge(const std::string& key, const SlabPool::Slice& tail) {
+  return key.size() + tail.capacity() + kEntryOverhead;
+}
 
 }  // namespace
 
@@ -49,7 +59,7 @@ bool ResponseCache::Lookup(uint16_t type, uint64_t epoch, const uint8_t* body,
       // map's string_view into its key.
       shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
       out->flags = it->second->flags;
-      out->tail = it->second->tail;
+      out->tail = it->second->tail;  // refcount++, no byte copy
       hits_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -62,6 +72,10 @@ void ResponseCache::EraseLocked(
     Shard* shard,
     std::unordered_map<std::string_view,
                        std::list<Entry>::iterator>::iterator it) {
+  // Accounting invariant: a shard's bytes is exactly the sum of its live
+  // entries' charges, so removing one can never underflow. A trip here
+  // means a replace/evict path charged and discharged different amounts.
+  MDS_CHECK(shard->bytes >= it->second->charge);
   shard->bytes -= it->second->charge;
   auto list_it = it->second;
   shard->map.erase(it);
@@ -70,12 +84,12 @@ void ResponseCache::EraseLocked(
 
 void ResponseCache::Insert(uint16_t type, uint64_t epoch, const uint8_t* body,
                            size_t body_len, uint32_t flags,
-                           const uint8_t* tail, size_t tail_len) {
+                           SlabPool::Slice tail) {
   Entry entry;
   entry.key = MakeKey(type, epoch, body, body_len);
   entry.flags = flags;
-  entry.tail.assign(tail, tail + tail_len);
-  entry.charge = entry.key.size() + entry.tail.size() + kEntryOverhead;
+  entry.tail = std::move(tail);
+  entry.charge = EntryCharge(entry.key, entry.tail);
   if (entry.charge > shard_bytes_) return;  // one reply can't wipe a shard
 
   Shard* shard = ShardFor(entry.key);
@@ -85,7 +99,8 @@ void ResponseCache::Insert(uint16_t type, uint64_t epoch, const uint8_t* body,
     auto existing = shard->map.find(entry.key);
     if (existing != shard->map.end()) {
       // Racing populates of the same request: last writer wins, no
-      // double-charged duplicate entry.
+      // double-charged duplicate entry. EraseLocked discharges the old
+      // entry's bytes before the new charge lands below.
       EraseLocked(shard, existing);
     }
     while (shard->bytes + entry.charge > shard_bytes_ && !shard->lru.empty()) {
@@ -101,6 +116,14 @@ void ResponseCache::Insert(uint16_t type, uint64_t epoch, const uint8_t* body,
   if (evicted != 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
 }
 
+void ResponseCache::Insert(uint16_t type, uint64_t epoch, const uint8_t* body,
+                           size_t body_len, uint32_t flags,
+                           const uint8_t* tail, size_t tail_len) {
+  SlabPool::Slice slice = SlabPool::Global().Allocate(tail_len);
+  if (slice) std::memcpy(slice.data(), tail, tail_len);
+  Insert(type, epoch, body, body_len, flags, std::move(slice));
+}
+
 ResponseCache::StatsSnapshot ResponseCache::Stats() const {
   StatsSnapshot s;
   s.hits = hits_.load(std::memory_order_relaxed);
@@ -113,6 +136,15 @@ ResponseCache::StatsSnapshot ResponseCache::Stats() const {
     s.entries += shard.lru.size();
   }
   return s;
+}
+
+uint64_t ResponseCache::DebugRecomputeBytes() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& e : shard.lru) total += e.charge;
+  }
+  return total;
 }
 
 }  // namespace mds

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/slab_pool.h"
 #include "common/status.h"
 
 namespace mds {
@@ -36,6 +37,13 @@ inline bool ReplyCacheable(const Status& status, bool degraded,
 /// bits, so a hit reproduces the original reply byte for byte under the
 /// requester's own request id.
 ///
+/// The payload tail lives in a refcounted SlabPool slice: a hit hands back
+/// a reference (no byte copy) that the connection's write queue pins until
+/// the kernel has taken the bytes, even if the entry is evicted or replaced
+/// mid-flush. Byte accounting is therefore at slice-class granularity — an
+/// entry is charged the slice's *capacity* (the memory actually held), not
+/// its payload length.
+///
 /// Invalidation is wholesale: the dataset's monotonically increasing epoch is
 /// part of every key, so a reload/mutation bumps the epoch (one atomic store)
 /// and every cached reply simply stops matching. Stale entries are not
@@ -51,29 +59,37 @@ inline bool ReplyCacheable(const Status& status, bool degraded,
 /// hit/miss/insert/evict counters are relaxed atomics read by Stats().
 class ResponseCache {
  public:
-  /// `max_bytes` bounds the sum of entry charges (key + payload + fixed
-  /// overhead) across all shards. `num_shards` is clamped to >= 1; the
-  /// default suits a handful of concurrent I/O threads.
+  /// `max_bytes` bounds the sum of entry charges (key + slice capacity +
+  /// fixed overhead) across all shards. `num_shards` is clamped to >= 1;
+  /// the default suits a handful of concurrent I/O threads.
   explicit ResponseCache(size_t max_bytes, size_t num_shards = 8);
 
   ResponseCache(const ResponseCache&) = delete;
   ResponseCache& operator=(const ResponseCache&) = delete;
 
   /// A memoized reply: the extra header flag bits the original reply
-  /// carried and the payload bytes after the message header.
+  /// carried and a reference to the payload bytes after the message
+  /// header (shared with the cache entry — do not mutate).
   struct CachedReply {
     uint32_t flags = 0;
-    std::vector<uint8_t> tail;
+    SlabPool::Slice tail;
   };
 
-  /// Probes `(type, epoch, body)`; on a hit copies the reply into `out`,
-  /// refreshes LRU recency and counts a hit. Counts a miss otherwise.
+  /// Probes `(type, epoch, body)`; on a hit references the reply into
+  /// `out` (no payload copy), refreshes LRU recency and counts a hit.
+  /// Counts a miss otherwise.
   bool Lookup(uint16_t type, uint64_t epoch, const uint8_t* body,
               size_t body_len, CachedReply* out);
 
   /// Memoizes a reply under `(type, epoch, body)`, replacing any existing
   /// entry, then evicts least-recently-used entries until the shard fits
-  /// its budget. Oversized entries are dropped silently.
+  /// its budget. The cache takes a reference on `tail` (sharing it with
+  /// the caller's copy). Oversized entries are dropped silently.
+  void Insert(uint16_t type, uint64_t epoch, const uint8_t* body,
+              size_t body_len, uint32_t flags, SlabPool::Slice tail);
+
+  /// Copying convenience for callers that do not hold the tail in a slab
+  /// slice (tests, legacy paths): allocates a slice and copies once.
   void Insert(uint16_t type, uint64_t epoch, const uint8_t* body,
               size_t body_len, uint32_t flags, const uint8_t* tail,
               size_t tail_len);
@@ -90,11 +106,17 @@ class ResponseCache {
 
   size_t max_bytes() const { return max_bytes_; }
 
+  /// Test hook: recomputes the byte accounting by walking every shard and
+  /// summing live entry charges. Stats().bytes must equal this at every
+  /// quiescent point — the accounting-drift invariant the hammer test
+  /// checks after randomized replace/evict sequences.
+  uint64_t DebugRecomputeBytes() const;
+
  private:
   struct Entry {
     std::string key;
     uint32_t flags = 0;
-    std::vector<uint8_t> tail;
+    SlabPool::Slice tail;
     size_t charge = 0;
   };
 

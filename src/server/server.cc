@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/crc32c.h"
@@ -654,23 +655,28 @@ void QueryServer::CloseConn(const std::shared_ptr<Conn>& conn) {
 }
 
 void QueryServer::DeliverReply(const std::shared_ptr<Conn>& conn,
-                               std::vector<uint8_t> wire, bool admitted) {
+                               ReplyFrame frame, bool admitted) {
   if (admitted && conn->admitted_open > 0) --conn->admitted_open;
   if (conn->closed) return;  // peer is gone; the reply has nowhere to go
-  counters_.bytes_out.fetch_add(wire.size(), std::memory_order_relaxed);
-  conn->bsock.QueueWrite(std::move(wire));
+  counters_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+  // Head then tail, back to back: Flush gathers both into one writev. The
+  // tail slice keeps its refcount pinned in the write queue until the
+  // kernel has taken every byte, so a cache entry sharing it may be
+  // evicted mid-flush without invalidating these bytes.
+  conn->bsock.QueueWrite(std::move(frame.head));
+  conn->bsock.QueueWrite(std::move(frame.tail));
   FlushConn(conn);
 }
 
 void QueryServer::EnqueueReply(const std::shared_ptr<Conn>& conn,
-                               std::vector<uint8_t> wire, bool admitted) {
+                               ReplyFrame frame, bool admitted) {
   EventLoop* loop = &conn->home->loop;
   if (loop->InLoopThread()) {
-    DeliverReply(conn, std::move(wire), admitted);
+    DeliverReply(conn, std::move(frame), admitted);
   } else {
     loop->Post([this, conn, admitted,
-                w = std::move(wire)]() mutable {
-      DeliverReply(conn, std::move(w), admitted);
+                f = std::move(frame)]() mutable {
+      DeliverReply(conn, std::move(f), admitted);
     });
   }
 }
@@ -711,27 +717,39 @@ bool QueryServer::TryServeFromCache(PendingRequest* req) {
     return false;
   }
 
-  // Rebuild the frame under the requester's own request id; everything
-  // after the header is the memoized bytes, so the reply is byte-identical
-  // to the execution that populated the entry.
-  std::vector<uint8_t> payload;
-  payload.reserve(protocol::kMessageHeaderBytes + hit.tail.size());
-  WireWriter w(&payload);
+  // Re-head in place under the requester's own request id: the frame is
+  // [prefix | header | memoized tail], where only prefix + header (28
+  // bytes) are built per hit and the tail ships as the cache entry's own
+  // slice — zero payload copies. The frame CRC spans header then tail;
+  // CRC-32C chains, so checksumming the two segments in order equals the
+  // CRC of their (never materialized) concatenation, and the bytes on the
+  // wire are identical to the execution that populated the entry.
   MessageHeader header;
   header.type = req->header.type;
   header.flags = protocol::kFlagReply | hit.flags;
   header.request_id = req->header.request_id;
+
+  ReplyFrame frame;
+  frame.head.reserve(protocol::kFramePrefixBytes +
+                     protocol::kMessageHeaderBytes);
+  WireWriter w(&frame.head);
+  w.PutU32(protocol::kFrameMagic);
+  w.PutU32(static_cast<uint32_t>(protocol::kMessageHeaderBytes +
+                                 hit.tail.size()));
+  w.PutU32(0);  // CRC placeholder, patched below
   EncodeMessageHeader(header, &w);
-  w.PutRaw(hit.tail.data(), hit.tail.size());
+  const uint32_t crc =
+      Crc32c(Crc32c(frame.head.data() + protocol::kFramePrefixBytes,
+                    protocol::kMessageHeaderBytes),
+             hit.tail.data(), hit.tail.size());
+  std::memcpy(frame.head.data() + 8, &crc, sizeof(crc));
+  frame.tail = std::move(hit.tail);
 
   // Counters and latency are finalized before the reply is enqueued,
   // matching the executed-reply path's read-your-own-write contract.
   RecordInlineReply(*req);
 
-  std::vector<uint8_t> wire;
-  wire.reserve(protocol::kFramePrefixBytes + payload.size());
-  protocol::AppendFrame(payload, &wire);
-  EnqueueReply(req->conn, std::move(wire), /*admitted=*/false);
+  EnqueueReply(req->conn, std::move(frame), /*admitted=*/false);
   return true;
 }
 
@@ -1122,6 +1140,18 @@ void QueryServer::WriteReply(const PendingRequest& req, const Status& status,
     encode_body(&w);
   }
 
+  // Move the encoded tail (everything after the message header) into a
+  // slab slice: the one post-encode payload copy on the miss path. The
+  // slice is then shared by reference — the cache entry below and the
+  // socket write queue pin the same bytes.
+  const size_t tail_len = payload.size() - protocol::kMessageHeaderBytes;
+  SlabPool::Slice tail = SlabPool::Global().Allocate(tail_len);
+  if (tail) {
+    std::memcpy(tail.data(), payload.data() + protocol::kMessageHeaderBytes,
+                tail_len);
+    counters_.reply_tail_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Populate after the reply is finalized and before it is enqueued: a
   // subsequent hit on any connection replays exactly these bytes (minus
   // the request id). Only requests the I/O-thread probe tagged get here
@@ -1129,15 +1159,19 @@ void QueryServer::WriteReply(const PendingRequest& req, const Status& status,
   if (cache_ != nullptr && req.cache_populate && cacheable_reply) {
     cache_->Insert(static_cast<uint16_t>(req.header.type), req.cache_epoch,
                    req.payload.data() + req.body_offset,
-                   req.payload.size() - req.body_offset, extra_flags,
-                   payload.data() + protocol::kMessageHeaderBytes,
-                   payload.size() - protocol::kMessageHeaderBytes);
+                   req.payload.size() - req.body_offset, extra_flags, tail);
   }
 
-  std::vector<uint8_t> wire;
-  wire.reserve(protocol::kFramePrefixBytes + payload.size());
-  protocol::AppendFrame(payload, &wire);
-  EnqueueReply(req.conn, std::move(wire), req.admitted);
+  ReplyFrame frame;
+  frame.head.reserve(protocol::kFramePrefixBytes +
+                     protocol::kMessageHeaderBytes);
+  WireWriter hw(&frame.head);
+  hw.PutU32(protocol::kFrameMagic);
+  hw.PutU32(static_cast<uint32_t>(payload.size()));
+  hw.PutU32(Crc32c(payload.data(), payload.size()));
+  hw.PutRaw(payload.data(), protocol::kMessageHeaderBytes);
+  frame.tail = std::move(tail);
+  EnqueueReply(req.conn, std::move(frame), req.admitted);
 }
 
 void QueryServer::WriteErrorReply(const PendingRequest& req,
@@ -1178,6 +1212,13 @@ protocol::ServerStatsSnapshot QueryServer::Stats() const {
   s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
   s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
   s.in_flight_peak = counters_.in_flight_peak.load(std::memory_order_relaxed);
+
+  const SlabPool::StatsSnapshot slab = SlabPool::Global().Stats();
+  s.slab_allocations = slab.allocations;
+  s.slab_recycles = slab.recycles;
+  s.slab_bytes_in_use = slab.bytes_in_use;
+  s.reply_tail_copies =
+      counters_.reply_tail_copies.load(std::memory_order_relaxed);
 
   const CounterSnapshot::Delta delta =
       dataset->pool()->Delta(pool_at_start);

@@ -224,6 +224,17 @@ class QueryServer {
   /// (usually a singleton; >1 for contiguous pipelined cache misses).
   using Batch = std::vector<PendingRequest>;
 
+  /// One encoded reply, split for scatter-gather delivery: `head` is the
+  /// frame prefix plus the 28 bytes through the message header (per-request:
+  /// it carries the requester's id), `tail` is the refcounted payload after
+  /// the header (status + body), shared by reference with the response
+  /// cache on hits. Queued as two write buffers, gathered into one writev.
+  struct ReplyFrame {
+    std::vector<uint8_t> head;
+    SlabPool::Slice tail;
+    size_t size() const { return head.size() + tail.size(); }
+  };
+
   // --- reactor path (loop threads) ---------------------------------------
   void OnAcceptReady();
   void BackOffAccept();
@@ -248,13 +259,14 @@ class QueryServer {
   /// replies or queued writes remain.
   void StopReading(const std::shared_ptr<Conn>& conn);
   void CloseConn(const std::shared_ptr<Conn>& conn);
-  /// Loop-thread delivery of an encoded reply frame.
-  void DeliverReply(const std::shared_ptr<Conn>& conn,
-                    std::vector<uint8_t> wire, bool admitted);
+  /// Loop-thread delivery of an encoded reply frame: queues head then tail
+  /// back to back (one writev gathers both; no payload copy).
+  void DeliverReply(const std::shared_ptr<Conn>& conn, ReplyFrame frame,
+                    bool admitted);
   /// Routes an encoded reply frame to the connection's loop (direct when
   /// already on it, Post otherwise).
-  void EnqueueReply(const std::shared_ptr<Conn>& conn,
-                    std::vector<uint8_t> wire, bool admitted);
+  void EnqueueReply(const std::shared_ptr<Conn>& conn, ReplyFrame frame,
+                    bool admitted);
   void ShutdownLoopTask(IoLoop* io);
   void CheckLoopDrained(IoLoop* io);
 
@@ -361,6 +373,11 @@ class QueryServer {
     std::atomic<uint64_t> bytes_in{0};
     std::atomic<uint64_t> bytes_out{0};
     std::atomic<uint64_t> in_flight_peak{0};
+    /// Post-encode payload memcpys on the reply path: one per executed
+    /// (miss) reply when its scratch encoding moves into a slab slice,
+    /// zero per cache hit. The zero-copy regression gauge — a pure-hit
+    /// workload must not move it.
+    std::atomic<uint64_t> reply_tail_copies{0};
     std::atomic<uint64_t> type_errors[protocol::kNumRequestTypes] = {};
   };
   mutable Counters counters_;

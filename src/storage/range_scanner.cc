@@ -102,15 +102,21 @@ Status RangeScanner::ScanRange(const RowRange& range,
       }
     } else {
       // Batched page decode: gather the page's coordinate columns into one
-      // contiguous buffer, then run the predicate over the batch.
+      // contiguous buffer, then run the predicate over the batch. The
+      // membership mask is computed page-at-a-time (SIMD for boxes); the
+      // emit loop and its counters are row-exact regardless, matching the
+      // per-row Matches path bit for bit.
       for (uint64_t i = 0; i < rows_here; ++i) {
         std::memcpy(&coord_batch_[i * dim], base + i * row_size + coord_off,
                     dim * sizeof(float));
       }
+      match_mask_.resize(rows_here);
+      predicate.MatchBatch(coord_batch_.data(), rows_here,
+                           match_mask_.data());
       for (uint64_t i = 0; i < rows_here; ++i) {
         ++stats->rows_scanned;
         ++stats->rows_tested;
-        if (!predicate.Matches(&coord_batch_[i * dim])) continue;
+        if (match_mask_[i] == 0) continue;
         int64_t objid;
         std::memcpy(&objid, base + i * row_size + objid_off, sizeof(objid));
         out->push_back(objid);

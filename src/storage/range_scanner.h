@@ -138,6 +138,7 @@ class RangeScanner {
   uint64_t pages_fetched_ = 0;  // this scanner's pins (logical fetches)
   uint64_t pages_read_ = 0;     // the subset that missed the pool
   std::vector<float> coord_batch_;  // page-at-a-time coordinate scratch
+  std::vector<uint8_t> match_mask_;  // page-at-a-time membership mask
 };
 
 /// Data-parallel variant of RangeScanner: splits one PlanStep's row

@@ -129,20 +129,24 @@ TEST(ProtocolDocTest, DocumentedStructSizesHold) {
   EXPECT_EQ(sizeof(protocol::WireNeighbor), 16u);  // "16 B each"
   // "Twenty-two u64 scalar counters": count them via the encoded size of
   // an empty snapshot = 22*8 scalars + 6 per-type records of 6*8+8 bytes
-  // + u32 empty shard list + u64 partial_replies tail.
+  // + u32 empty shard list + u64 partial_replies tail + 4 u64 reply-path
+  // memory counters (slab_allocations/recycles/bytes_in_use +
+  // reply_tail_copies).
   protocol::ServerStatsSnapshot snapshot;
   std::vector<uint8_t> buf;
   WireWriter w(&buf);
   protocol::EncodeServerStats(snapshot, &w);
   EXPECT_EQ(buf.size(),
-            22u * 8 + protocol::kNumRequestTypes * (6 * 8 + 8) + 4 + 8);
+            22u * 8 + protocol::kNumRequestTypes * (6 * 8 + 8) + 4 + 8 +
+                4 * 8);
   // One shard-stats entry is 2 u32 + 7 u64 + 2 u32 + 2 u64 = 88 bytes.
   snapshot.shards.resize(1);
   buf.clear();
   WireWriter w2(&buf);
   protocol::EncodeServerStats(snapshot, &w2);
   EXPECT_EQ(buf.size(),
-            22u * 8 + protocol::kNumRequestTypes * (6 * 8 + 8) + 4 + 88 + 8);
+            22u * 8 + protocol::kNumRequestTypes * (6 * 8 + 8) + 4 + 88 + 8 +
+                4 * 8);
   // The shard-coverage tail on QueryReply/KnnReply is 16 bytes, and is
   // absent entirely when shards_total == 0 (a plain mdsd reply).
   protocol::QueryReply qr;

@@ -20,6 +20,11 @@ std::vector<uint8_t> Bytes(const std::string& s) {
   return std::vector<uint8_t>(s.begin(), s.end());
 }
 
+std::vector<uint8_t> TailBytes(const ResponseCache::CachedReply& hit) {
+  if (!hit.tail) return {};
+  return std::vector<uint8_t>(hit.tail.data(), hit.tail.data() + hit.tail.size());
+}
+
 void Put(ResponseCache* cache, uint16_t type, uint64_t epoch,
          const std::string& body, const std::string& tail,
          uint32_t flags = 0) {
@@ -40,7 +45,7 @@ TEST(ResponseCacheTest, RoundTripPreservesTailAndFlags) {
 
   ResponseCache::CachedReply hit;
   ASSERT_TRUE(Get(&cache, 4, 1, "box-body", &hit));
-  EXPECT_EQ(hit.tail, Bytes("reply-bytes"));
+  EXPECT_EQ(TailBytes(hit), Bytes("reply-bytes"));
   EXPECT_EQ(hit.flags, 0x10u);
 }
 
@@ -64,9 +69,8 @@ TEST(ResponseCacheTest, EmptyBodyAndEmptyTailAreValid) {
   ResponseCache cache(1 << 20, 1);
   cache.Insert(3, 1, nullptr, 0, 0, nullptr, 0);
   ResponseCache::CachedReply hit;
-  hit.tail = Bytes("stale");
   ASSERT_TRUE(cache.Lookup(3, 1, nullptr, 0, &hit));
-  EXPECT_TRUE(hit.tail.empty());
+  EXPECT_EQ(hit.tail.size(), 0u);
 }
 
 TEST(ResponseCacheTest, InsertReplacesExistingEntry) {
@@ -76,7 +80,7 @@ TEST(ResponseCacheTest, InsertReplacesExistingEntry) {
 
   ResponseCache::CachedReply hit;
   ASSERT_TRUE(Get(&cache, 4, 1, "body", &hit));
-  EXPECT_EQ(hit.tail, Bytes("new-reply"));
+  EXPECT_EQ(TailBytes(hit), Bytes("new-reply"));
   EXPECT_EQ(cache.Stats().entries, 1u);
 }
 
@@ -146,6 +150,45 @@ TEST(ResponseCacheTest, StatsBytesAccountsInsertAndEvict) {
   EXPECT_GT(s.bytes, 0u);
   EXPECT_EQ(s.insertions, 2u);
   EXPECT_EQ(s.evictions, 0u);
+}
+
+// Satellite regression for the byte-accounting-drift class of bug: after
+// an arbitrary mix of inserts, same-key replacements (with different tail
+// sizes, so old and new charges differ) and bound-driven evictions, the
+// incremental `bytes` counter must equal the sum of live entry charges.
+// A replace path that charged the new entry without fully discharging the
+// old one drifts here immediately.
+TEST(ResponseCacheTest, ByteAccountingExactAfterRandomizedReplaceEvict) {
+  ResponseCache cache(32 * 1024, 2);
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const std::string body = "key" + std::to_string(next() % 48);
+    const std::vector<uint8_t> b(body.begin(), body.end());
+    // Tail sizes straddle several slab classes (and zero), so replacing
+    // an entry usually changes its charge.
+    const size_t tail_len = next() % 1500;
+    const std::string tail(tail_len, 'r');
+    if (next() % 4 == 0) {
+      ResponseCache::CachedReply hit;
+      cache.Lookup(4, 1, b.data(), b.size(), &hit);
+    } else {
+      cache.Insert(4, 1, b.data(), b.size(), 0,
+                   reinterpret_cast<const uint8_t*>(tail.data()), tail_len);
+    }
+    if (i % 997 == 0) {
+      EXPECT_EQ(cache.Stats().bytes, cache.DebugRecomputeBytes());
+    }
+  }
+  const ResponseCache::StatsSnapshot s = cache.Stats();
+  EXPECT_EQ(s.bytes, cache.DebugRecomputeBytes());
+  EXPECT_LE(s.bytes, 32u * 1024u);
+  EXPECT_GT(s.evictions, 0u);
 }
 
 TEST(ReplyCacheableTest, PolicyGate) {
